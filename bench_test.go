@@ -1,0 +1,331 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§7).
+// Each figure has one Benchmark family; sub-benchmarks enumerate the
+// series (lock variant / policy / workload) that appear in that figure.
+// The CLI tools under cmd/ produce the same data as CSV sweeps over
+// explicit thread counts; these benchmarks integrate with `go test
+// -bench` and scale with -cpu.
+//
+// Figures:
+//
+//	Fig3  ArrBench throughput            (BenchmarkFig3*)
+//	Fig4  skip list throughput           (BenchmarkFig4SkipList)
+//	Fig5  Metis runtime per policy       (BenchmarkFig5Metis)
+//	Fig6  refinement breakdown           (BenchmarkFig6Breakdown)
+//	Fig7  range lock wait times          (BenchmarkFig7LockWait)
+//	Fig8  range-tree spin lock waits     (BenchmarkFig8SpinWait)
+//
+// Plus ablations for the paper's §4.3/§4.5 mechanisms left unevaluated
+// there (BenchmarkAblation*).
+package rangelock_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	rangelock "repro"
+	"repro/internal/arrbench"
+	"repro/internal/lockapi"
+	"repro/internal/metis"
+	"repro/internal/skiplist"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// fig3Locks builds the Figure 3 lock set fresh per sub-benchmark.
+func fig3Locks(slots int) map[string]func() lockapi.Locker {
+	return map[string]func() lockapi.Locker{
+		"list-ex":   func() lockapi.Locker { return lockapi.NewListEx(nil) },
+		"list-rw":   func() lockapi.Locker { return lockapi.NewListRW(nil) },
+		"lustre-ex": func() lockapi.Locker { return lockapi.NewLustreEx() },
+		"kernel-rw": func() lockapi.Locker { return lockapi.NewKernelRW() },
+		"pnova-rw":  func() lockapi.Locker { return arrbench.NewPnovaForArray(slots) },
+		"song-rw":   func() lockapi.Locker { return lockapi.NewSongRW() },
+	}
+}
+
+// benchArr drives one ArrBench operation per iteration under RunParallel.
+func benchArr(b *testing.B, mk func() lockapi.Locker, variant arrbench.Variant, readPct int) {
+	const slots = arrbench.DefaultSlots
+	lk := mk()
+	full, hasFull := lk.(lockapi.FullLocker)
+	arr := make([]uint64, slots*8) // stride 8 = cache-line padding
+	var tid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		me := int(tid.Add(1)) - 1
+		rng := rand.New(rand.NewSource(int64(me)*2654435761 + 1))
+		for pb.Next() {
+			isRead := rng.Intn(100) < readPct
+			var lo, hi uint64
+			switch variant {
+			case arrbench.Full:
+				lo, hi = 0, slots
+			case arrbench.Disjoint:
+				// Partition by parallelism degree (approximated by the
+				// number of distinct workers seen so far).
+				n := uint64(tid.Load())
+				lo = uint64(me) % n * slots / n
+				hi = lo + slots/n
+				if hi > slots {
+					hi = slots
+				}
+				if hi == lo {
+					hi = lo + 1
+				}
+			default:
+				a, c := uint64(rng.Intn(slots)), uint64(rng.Intn(slots))
+				if a > c {
+					a, c = c, a
+				}
+				lo, hi = a, c+1
+			}
+			var rel func()
+			if variant == arrbench.Full && hasFull {
+				rel = full.AcquireFull(!isRead)
+			} else {
+				rel = lk.Acquire(lo, hi, !isRead)
+			}
+			if isRead {
+				var s uint64
+				for i := lo; i < hi; i++ {
+					s += arr[i*8]
+				}
+				_ = s
+			} else {
+				for i := lo; i < hi; i++ {
+					arr[i*8]++
+				}
+			}
+			rel()
+		}
+	})
+}
+
+func fig3(b *testing.B, variant arrbench.Variant) {
+	for _, readPct := range []int{100, 60} {
+		for name, mk := range fig3Locks(arrbench.DefaultSlots) {
+			b.Run(fmt.Sprintf("reads=%d/%s", readPct, name), func(b *testing.B) {
+				benchArr(b, mk, variant, readPct)
+			})
+		}
+	}
+}
+
+func BenchmarkFig3FullRange(b *testing.B) { fig3(b, arrbench.Full) }
+func BenchmarkFig3Disjoint(b *testing.B)  { fig3(b, arrbench.Disjoint) }
+func BenchmarkFig3Random(b *testing.B)    { fig3(b, arrbench.Random) }
+
+// BenchmarkFig4SkipList: 80% find / 20% update over a prefilled set
+// (scaled to 1M keys / 512K prefill so setup stays laptop-friendly; use
+// cmd/skipbench for the paper's 8M/4M).
+func BenchmarkFig4SkipList(b *testing.B) {
+	const (
+		keyRange = 1 << 20
+		prefill  = 1 << 19
+	)
+	impls := map[string]func() skiplist.Set{
+		"orig":         func() skiplist.Set { return skiplist.NewOptimistic() },
+		"range-list":   func() skiplist.Set { return skiplist.NewRangeLocked(lockapi.NewListEx(nil)) },
+		"range-lustre": func() skiplist.Set { return skiplist.NewRangeLocked(lockapi.NewLustreEx()) },
+	}
+	for name, mk := range impls {
+		b.Run(name, func(b *testing.B) {
+			s := mk()
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < prefill; i++ {
+				s.Insert(uint64(rng.Intn(keyRange)) + 1)
+			}
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				r := rand.New(rand.NewSource(tid.Add(1) * 104729))
+				for pb.Next() {
+					key := uint64(r.Intn(keyRange)) + 1
+					op := r.Intn(100)
+					switch {
+					case op >= 20:
+						s.Contains(key)
+					case op%2 == 0:
+						s.Insert(key)
+					default:
+						s.Remove(key)
+					}
+				}
+			})
+		})
+	}
+}
+
+// fig5Policies is the Figure 5 variant set.
+var fig5Policies = []vm.PolicyKind{vm.Stock, vm.TreeFull, vm.ListFull, vm.TreeRefined, vm.ListRefined}
+
+// benchMetis runs one full (scaled-down) Metis job per iteration.
+func benchMetis(b *testing.B, wl metis.Workload, kind vm.PolicyKind, rangeStat, spinStat *stats.LockStat) {
+	for i := 0; i < b.N; i++ {
+		res, err := metis.Run(metis.Config{
+			Workload:   wl,
+			Policy:     kind,
+			Workers:    4,
+			InputBytes: 2 << 20,
+			ArenaSize:  16 << 20,
+			Seed:       1,
+			RangeStat:  rangeStat,
+			SpinStat:   spinStat,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFig5Metis: runtime of wr/wc/wrmem per locking policy.
+func BenchmarkFig5Metis(b *testing.B) {
+	for _, wl := range []metis.Workload{metis.WR, metis.WC, metis.WRMem} {
+		for _, kind := range fig5Policies {
+			b.Run(fmt.Sprintf("%s/%s", wl, kind), func(b *testing.B) {
+				benchMetis(b, wl, kind, nil, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Breakdown: the refinement ablation (list-based variants).
+func BenchmarkFig6Breakdown(b *testing.B) {
+	for _, kind := range []vm.PolicyKind{vm.ListFull, vm.ListPF, vm.ListMprotect, vm.ListRefined} {
+		b.Run(fmt.Sprintf("wrmem/%s", kind), func(b *testing.B) {
+			benchMetis(b, metis.WRMem, kind, nil, nil)
+		})
+	}
+}
+
+// BenchmarkFig7LockWait reports the average read/write wait on the
+// top-level lock (mmap_sem or range lock) as custom metrics.
+func BenchmarkFig7LockWait(b *testing.B) {
+	for _, kind := range fig5Policies {
+		b.Run(fmt.Sprintf("wc/%s", kind), func(b *testing.B) {
+			rs := stats.New()
+			benchMetis(b, metis.WC, kind, rs, nil)
+			b.ReportMetric(float64(rs.AvgWait(stats.Read).Nanoseconds()), "read-wait-ns")
+			b.ReportMetric(float64(rs.AvgWait(stats.Write).Nanoseconds()), "write-wait-ns")
+		})
+	}
+}
+
+// BenchmarkFig8SpinWait reports the average wait on the spin lock that
+// protects the range tree in the tree-based policies.
+func BenchmarkFig8SpinWait(b *testing.B) {
+	for _, kind := range []vm.PolicyKind{vm.TreeFull, vm.TreeRefined} {
+		b.Run(fmt.Sprintf("wc/%s", kind), func(b *testing.B) {
+			ss := stats.New()
+			benchMetis(b, metis.WC, kind, nil, ss)
+			b.ReportMetric(float64(ss.AvgWait(stats.Spin).Nanoseconds()), "spin-wait-ns")
+			b.ReportMetric(float64(ss.Count(stats.Spin))/float64(b.N), "spin-acq/op")
+		})
+	}
+}
+
+// --- Ablations: the paper's §4.5 fast path and §4.3 fairness, plus
+// TryLock, measured on the public API.
+
+func BenchmarkAblationFastPath(b *testing.B) {
+	for _, fp := range []bool{true, false} {
+		b.Run(fmt.Sprintf("fastpath=%v/single-thread", fp), func(b *testing.B) {
+			lk := rangelock.NewExclusive(rangelock.NewDomain(64), rangelock.WithFastPath(fp))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := lk.Lock(0, 100)
+				g.Unlock()
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFairness(b *testing.B) {
+	for _, fair := range []bool{false, true} {
+		b.Run(fmt.Sprintf("fairness=%v/contended", fair), func(b *testing.B) {
+			lk := rangelock.NewRW(rangelock.NewDomain(256),
+				rangelock.WithFairness(fair, 64))
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := uint64(tid.Add(1))
+				rng := rand.New(rand.NewSource(int64(me)))
+				for pb.Next() {
+					s := uint64(rng.Intn(64))
+					g := lk.Lock(s, s+8)
+					g.Unlock()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationWriterPref compares the default reader preference with
+// the §4.2 reversed (writer-preference) validation under a read-mostly
+// overlapping mix.
+func BenchmarkAblationWriterPref(b *testing.B) {
+	for _, wp := range []bool{false, true} {
+		b.Run(fmt.Sprintf("writerPref=%v", wp), func(b *testing.B) {
+			lk := rangelock.NewRW(rangelock.NewDomain(256),
+				rangelock.WithWriterPreference(wp))
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(tid.Add(1) * 48611))
+				for pb.Next() {
+					s := uint64(rng.Intn(64))
+					if rng.Intn(100) < 80 {
+						g := lk.RLock(s, s+16)
+						g.Unlock()
+					} else {
+						g := lk.Lock(s, s+16)
+						g.Unlock()
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationUnmapPlanning measures the §5.2 speculative find phase
+// for munmap (future work in the paper): mmap+munmap churn with and
+// without read-phase planning.
+func BenchmarkAblationUnmapPlanning(b *testing.B) {
+	for _, plan := range []bool{false, true} {
+		b.Run(fmt.Sprintf("plan=%v", plan), func(b *testing.B) {
+			as := vm.NewAddressSpace(vm.ListRefined, nil, nil)
+			if plan {
+				as.EnableSpeculativeUnmapPlanning()
+			}
+			const sz = 8 * vm.PageSize
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := as.Mmap(sz, vm.ProtRead)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := as.Munmap(a, sz); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationTryLock(b *testing.B) {
+	lk := rangelock.NewExclusive(rangelock.NewDomain(256))
+	var tid atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		me := uint64(tid.Add(1))
+		rng := rand.New(rand.NewSource(int64(me)))
+		for pb.Next() {
+			s := uint64(rng.Intn(256))
+			if g, ok := lk.TryLock(s, s+4); ok {
+				g.Unlock()
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Command arrbench regenerates Figure 3 of the paper: throughput of the
+// ArrBench microbenchmark under each range-lock implementation, swept over
+// thread counts, for the three access variants and read percentages.
+//
+// Output is CSV: variant,reads,lock,threads,ops_per_sec
+//
+// Examples:
+//
+//	arrbench                                   # full sweep, paper defaults
+//	arrbench -variant random -reads 60 -threads 1,2,4,8
+//	arrbench -locks list-rw,kernel-rw -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/arrbench"
+	"repro/internal/lockapi"
+)
+
+func main() {
+	var (
+		variants  = flag.String("variant", "full,disjoint,random", "comma-separated ArrBench variants")
+		reads     = flag.String("reads", "100,60", "comma-separated read percentages")
+		locksFlag = flag.String("locks", "list-ex,list-rw,lustre-ex,kernel-rw,pnova-rw,song-rw", "comma-separated lock variants")
+		threads   = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,...,GOMAXPROCS)")
+		duration  = flag.Duration("duration", time.Second, "measurement time per point (paper: 10s)")
+		slots     = flag.Int("slots", arrbench.DefaultSlots, "array slots")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	threadCounts, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("variant,reads,lock,threads,ops_per_sec")
+	for _, vname := range strings.Split(*variants, ",") {
+		variant, err := arrbench.ParseVariant(strings.TrimSpace(vname))
+		if err != nil {
+			fatal(err)
+		}
+		for _, rname := range strings.Split(*reads, ",") {
+			readPct, err := strconv.Atoi(strings.TrimSpace(rname))
+			if err != nil || readPct < 0 || readPct > 100 {
+				fatal(fmt.Errorf("bad read percentage %q", rname))
+			}
+			for _, lname := range strings.Split(*locksFlag, ",") {
+				lname = strings.TrimSpace(lname)
+				for _, th := range threadCounts {
+					lk, err := makeLock(lname, *slots)
+					if err != nil {
+						fatal(err)
+					}
+					res := arrbench.Run(arrbench.Config{
+						Lock:     lk,
+						Variant:  variant,
+						Threads:  th,
+						ReadPct:  readPct,
+						Slots:    *slots,
+						Duration: *duration,
+						Seed:     *seed,
+					})
+					fmt.Printf("%s,%d,%s,%d,%.0f\n", variant, readPct, lname, th, res.Throughput)
+				}
+			}
+		}
+	}
+}
+
+func makeLock(name string, slots int) (lockapi.Locker, error) {
+	if name == "pnova-rw" {
+		return arrbench.NewPnovaForArray(slots), nil
+	}
+	return lockapi.New(name)
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		var out []int
+		for t := 1; t < max; t *= 2 {
+			out = append(out, t)
+		}
+		return append(out, max), nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arrbench:", err)
+	os.Exit(2)
+}

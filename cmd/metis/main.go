@@ -1,0 +1,137 @@
+// Command metis regenerates Figures 5–8 of the paper: runtime of the
+// Metis-style workloads (wc, wr, wrmem) on the simulated VM subsystem
+// under each locking policy, plus the lock-wait statistics.
+//
+// Default output (Figure 5) is CSV:
+//
+//	workload,policy,threads,runtime_ms,spec_ok,spec_fallback
+//
+// With -breakdown (Figure 6) the policy set becomes the list-based
+// refinement ablation. With -lockstat (Figures 7 and 8), per-point lock
+// wait columns are appended:
+//
+//	...,read_cnt,read_avg_us,write_cnt,write_avg_us,spin_cnt,spin_avg_us
+//
+// Example:
+//
+//	metis -workload wrmem -threads 1,4,16 -input $((32<<20))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/metis"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		workloads = flag.String("workload", "wr,wc,wrmem", "comma-separated workloads")
+		policies  = flag.String("policies", "", "comma-separated policies (default: Figure 5 set)")
+		threads   = flag.String("threads", "", "comma-separated worker counts (default 1,2,4,...,GOMAXPROCS)")
+		input     = flag.Uint64("input", 8<<20, "input bytes per run (paper: full files / 2 GiB for wrmem)")
+		arena     = flag.Uint64("arena", 0, "per-worker arena bytes (default 64 MiB)")
+		breakdown = flag.Bool("breakdown", false, "run the Figure 6 refinement breakdown policy set")
+		lockstat  = flag.Bool("lockstat", false, "collect and print lock wait statistics (Figures 7-8)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	polSet := *policies
+	if polSet == "" {
+		if *breakdown {
+			polSet = "list-full,list-pf,list-mprotect,list-refined"
+		} else {
+			polSet = "stock,tree-full,list-full,tree-refined,list-refined"
+		}
+	}
+
+	threadCounts, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+
+	header := "workload,policy,threads,runtime_ms,spec_ok,spec_fallback"
+	if *lockstat {
+		header += ",read_cnt,read_avg_us,write_cnt,write_avg_us,spin_cnt,spin_avg_us"
+	}
+	fmt.Println(header)
+
+	for _, wname := range strings.Split(*workloads, ",") {
+		wl, err := metis.ParseWorkload(strings.TrimSpace(wname))
+		if err != nil {
+			fatal(err)
+		}
+		for _, pname := range strings.Split(polSet, ",") {
+			kind, err := vm.ParsePolicy(strings.TrimSpace(pname))
+			if err != nil {
+				fatal(err)
+			}
+			for _, th := range threadCounts {
+				var rangeStat, spinStat *stats.LockStat
+				if *lockstat {
+					rangeStat, spinStat = stats.New(), stats.New()
+				}
+				res, err := metis.Run(metis.Config{
+					Workload:   wl,
+					Policy:     kind,
+					Workers:    th,
+					InputBytes: *input,
+					ArenaSize:  *arena,
+					Seed:       *seed,
+					RangeStat:  rangeStat,
+					SpinStat:   spinStat,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				row := fmt.Sprintf("%s,%s,%d,%.1f,%d,%d",
+					wl, kind, th,
+					float64(res.Elapsed.Microseconds())/1000,
+					res.VM.SpecSucceeded, res.VM.SpecFellBack)
+				if *lockstat {
+					row += fmt.Sprintf(",%d,%.2f,%d,%.2f,%d,%.2f",
+						rangeStat.Count(stats.Read), avgUS(rangeStat, stats.Read),
+						rangeStat.Count(stats.Write), avgUS(rangeStat, stats.Write),
+						spinStat.Count(stats.Spin), avgUS(spinStat, stats.Spin))
+				}
+				fmt.Println(row)
+			}
+		}
+	}
+}
+
+func avgUS(s *stats.LockStat, k stats.Kind) float64 {
+	return float64(s.AvgWait(k).Nanoseconds()) / 1000
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		var out []int
+		for t := 1; t < max; t *= 2 {
+			out = append(out, t)
+		}
+		return append(out, max), nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metis:", err)
+	os.Exit(2)
+}

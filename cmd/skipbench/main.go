@@ -1,0 +1,102 @@
+// Command skipbench regenerates Figure 4 of the paper: throughput of the
+// Synchrobench-style skip-list workload (80% find / 20% update, 8M key
+// range, 4M prefill) for the original optimistic skip list and the
+// range-lock-based skip lists.
+//
+// Output is CSV: impl,threads,ops_per_sec
+//
+// Example:
+//
+//	skipbench -threads 1,2,4,8 -range 1048576 -prefill 524288 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/lockapi"
+	"repro/internal/skiplist"
+)
+
+func main() {
+	var (
+		impls    = flag.String("impls", "orig,range-list,range-lustre", "comma-separated skip list implementations")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,...,GOMAXPROCS)")
+		keyRange = flag.Uint64("range", 1<<23, "key range (paper: 8M)")
+		prefill  = flag.Uint64("prefill", 1<<22, "prefilled keys (paper: 4M)")
+		updates  = flag.Int("updates", 20, "update percentage (paper: 20)")
+		duration = flag.Duration("duration", time.Second, "measurement time per point")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	threadCounts, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("impl,threads,ops_per_sec")
+	for _, iname := range strings.Split(*impls, ",") {
+		iname = strings.TrimSpace(iname)
+		for _, th := range threadCounts {
+			set, err := makeSet(iname)
+			if err != nil {
+				fatal(err)
+			}
+			res := skiplist.RunWorkload(set, skiplist.WorkloadConfig{
+				Threads:   th,
+				KeyRange:  *keyRange,
+				Prefill:   *prefill,
+				UpdatePct: *updates,
+				Duration:  *duration,
+				Seed:      *seed,
+			})
+			fmt.Printf("%s,%d,%.0f\n", iname, th, res.Throughput)
+		}
+	}
+}
+
+func makeSet(name string) (skiplist.Set, error) {
+	switch name {
+	case "orig":
+		return skiplist.NewOptimistic(), nil
+	case "range-list":
+		return skiplist.NewRangeLocked(lockapi.NewListEx(nil)), nil
+	case "range-lustre":
+		return skiplist.NewRangeLocked(lockapi.NewLustreEx()), nil
+	case "range-song":
+		return skiplist.NewRangeLocked(lockapi.NewSongRW()), nil
+	default:
+		return nil, fmt.Errorf("unknown implementation %q (orig, range-list, range-lustre, range-song)", name)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		var out []int
+		for t := 1; t < max; t *= 2 {
+			out = append(out, t)
+		}
+		return append(out, max), nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skipbench:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,92 @@
+// Pfsdemo exercises the parallel-file-system scenario that motivated
+// range locks (§1): concurrent producers append records to one shared
+// log file while stripe writers update fixed regions and checkers verify
+// checksums — all mediated by a single per-file byte-range lock.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+const recSize = 128
+
+func record(producer, seq uint32) []byte {
+	rec := make([]byte, recSize)
+	binary.LittleEndian.PutUint32(rec, producer)
+	binary.LittleEndian.PutUint32(rec[4:], seq)
+	for i := 8; i < recSize-4; i++ {
+		rec[i] = byte(producer + seq)
+	}
+	binary.LittleEndian.PutUint32(rec[recSize-4:],
+		crc32.ChecksumIEEE(rec[:recSize-4]))
+	return rec
+}
+
+func main() {
+	fs := pfs.New(nil) // list-based range lock per file
+	log, err := fs.Create("shared.log")
+	if err != nil {
+		panic(err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		appended atomic.Uint64
+		verified atomic.Uint64
+	)
+	start := time.Now()
+
+	// Producers: concurrent appends, each owning a disjoint reservation.
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p uint32) {
+			defer wg.Done()
+			for seq := uint32(0); seq < 3000; seq++ {
+				if _, err := log.Append(record(p, seq)); err != nil {
+					panic(err)
+				}
+				appended.Add(1)
+			}
+		}(uint32(p))
+	}
+
+	// Checkers: shared-mode scans verifying CRCs of settled records.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			rec := make([]byte, recSize)
+			for i := 0; i < 4000; i++ {
+				nrec := log.Size() / recSize
+				if nrec == 0 {
+					continue
+				}
+				off := uint64(rng.Int63n(int64(nrec))) * recSize
+				if _, err := log.ReadAt(rec, off); err != nil {
+					continue
+				}
+				want := binary.LittleEndian.Uint32(rec[recSize-4:])
+				if want == 0 {
+					continue // reservation not yet filled: sparse zeros
+				}
+				if crc := crc32.ChecksumIEEE(rec[:recSize-4]); crc != want {
+					panic(fmt.Sprintf("torn record at %d", off))
+				}
+				verified.Add(1)
+			}
+		}(int64(c) + 7)
+	}
+
+	wg.Wait()
+	fmt.Printf("appended %d records, verified %d, file %v in %v\n",
+		appended.Load(), verified.Load(), log, time.Since(start).Round(time.Millisecond))
+}

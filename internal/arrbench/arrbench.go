@@ -1,0 +1,216 @@
+// Package arrbench implements the ArrBench microbenchmark of §7.1:
+// threads acquire ranges of a shared, cache-line-padded array under a
+// range lock and read or increment the covered slots, with a random amount
+// of non-critical spin work between operations. Its three variants map to
+// the three rows of Figure 3:
+//
+//	Full     — every thread locks and traverses the entire array;
+//	Disjoint — thread i locks its own slots/threads partition, traversing
+//	           it threads times so the work per acquisition is constant;
+//	Random   — uniformly random [start, end) per operation.
+package arrbench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockapi"
+)
+
+// Variant selects the access pattern (Figure 3 rows).
+type Variant int
+
+// The ArrBench variants.
+const (
+	// Full locks the entire range every operation (Fig. 3 a,b).
+	Full Variant = iota
+	// Disjoint gives every thread a private partition (Fig. 3 c,d).
+	Disjoint
+	// Random draws operation ranges uniformly (Fig. 3 e,f).
+	Random
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "full"
+	case Disjoint:
+		return "disjoint"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ParseVariant resolves a variant name.
+func ParseVariant(name string) (Variant, error) {
+	for _, v := range []Variant{Full, Disjoint, Random} {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("arrbench: unknown variant %q", name)
+}
+
+// DefaultSlots is the array size used in the paper (256 slots).
+const DefaultSlots = 256
+
+// DefaultMaxWork is the paper's bound on non-critical no-op work (2048).
+const DefaultMaxWork = 2048
+
+// Config parametrizes one ArrBench run.
+type Config struct {
+	Lock     lockapi.Locker
+	Variant  Variant
+	Threads  int
+	ReadPct  int // percentage of read operations (100, 80, 60 in the paper)
+	Slots    int // 0 = DefaultSlots
+	MaxWork  int // 0 = DefaultMaxWork
+	Duration time.Duration
+	Seed     int64
+}
+
+// Result reports a run's totals.
+type Result struct {
+	Ops        uint64  // completed operations
+	Reads      uint64  // of which reads
+	Writes     uint64  // of which writes
+	Throughput float64 // operations per second
+	SlotSum    uint64  // final sum over the array (writes verification)
+	WriteUnits uint64  // total slot increments performed (must equal SlotSum)
+}
+
+// slot is one array element padded to a cache line.
+type slot struct {
+	v uint64
+	_ [7]uint64
+}
+
+// Run executes ArrBench and returns its counters.
+func Run(cfg Config) Result {
+	if cfg.Slots == 0 {
+		cfg.Slots = DefaultSlots
+	}
+	if cfg.MaxWork == 0 {
+		cfg.MaxWork = DefaultMaxWork
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	arr := make([]slot, cfg.Slots)
+	var (
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+		ops    atomic.Uint64
+		reads  atomic.Uint64
+		writes atomic.Uint64
+		units  atomic.Uint64
+	)
+	full, hasFull := cfg.Lock.(lockapi.FullLocker)
+
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(th)*104729))
+			n := uint64(cfg.Slots)
+			partLo := uint64(th) * n / uint64(cfg.Threads)
+			partHi := uint64(th+1) * n / uint64(cfg.Threads)
+			if partHi == partLo {
+				partHi = partLo + 1
+			}
+			var localOps, localReads, localWrites, localUnits uint64
+			for !stop.Load() {
+				isRead := rng.Intn(100) < cfg.ReadPct
+
+				var lo, hi uint64
+				passes := 1
+				switch cfg.Variant {
+				case Full:
+					lo, hi = 0, n
+				case Disjoint:
+					lo, hi = partLo, partHi
+					// Constant work per acquisition: traverse the private
+					// slice once per thread in the system.
+					passes = cfg.Threads
+				case Random:
+					a, b := uint64(rng.Intn(cfg.Slots)), uint64(rng.Intn(cfg.Slots))
+					if a > b {
+						a, b = b, a
+					}
+					lo, hi = a, b+1
+				}
+
+				var rel func()
+				if cfg.Variant == Full && hasFull {
+					rel = full.AcquireFull(!isRead)
+				} else {
+					rel = cfg.Lock.Acquire(lo, hi, !isRead)
+				}
+				if isRead {
+					var sink uint64
+					for p := 0; p < passes; p++ {
+						for i := lo; i < hi; i++ {
+							sink += arr[i].v
+						}
+					}
+					_ = sink
+					localReads++
+				} else {
+					for p := 0; p < passes; p++ {
+						for i := lo; i < hi; i++ {
+							arr[i].v++
+							localUnits++
+						}
+					}
+					localWrites++
+				}
+				rel()
+				localOps++
+
+				// Non-critical section: uniformly random no-op work.
+				for w := rng.Intn(cfg.MaxWork); w > 0; w-- {
+					_ = w
+				}
+			}
+			ops.Add(localOps)
+			reads.Add(localReads)
+			writes.Add(localWrites)
+			units.Add(localUnits)
+		}(th)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Ops:        ops.Load(),
+		Reads:      reads.Load(),
+		Writes:     writes.Load(),
+		WriteUnits: units.Load(),
+		Throughput: float64(ops.Load()) / elapsed.Seconds(),
+	}
+	for i := range arr {
+		res.SlotSum += arr[i].v
+	}
+	return res
+}
+
+// NewPnovaForArray builds the pnova-rw lock configured as in §7.1: one
+// segment per array slot.
+func NewPnovaForArray(slots int) lockapi.Locker {
+	if slots == 0 {
+		slots = DefaultSlots
+	}
+	return lockapi.NewPnovaRW(uint64(slots), slots)
+}

@@ -1,0 +1,90 @@
+package arrbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lockapi"
+)
+
+func shortRun(t *testing.T, lk lockapi.Locker, v Variant, readPct int) Result {
+	t.Helper()
+	return Run(Config{
+		Lock:     lk,
+		Variant:  v,
+		Threads:  4,
+		ReadPct:  readPct,
+		Duration: 50 * time.Millisecond,
+		Seed:     1,
+	})
+}
+
+// TestWriteIntegrity: the final array sum must equal the number of slot
+// increments performed — any lost update means the lock failed.
+func TestWriteIntegrity(t *testing.T) {
+	locks := map[string]lockapi.Locker{
+		"list-ex":   lockapi.NewListEx(nil),
+		"list-rw":   lockapi.NewListRW(nil),
+		"lustre-ex": lockapi.NewLustreEx(),
+		"kernel-rw": lockapi.NewKernelRW(),
+		"song-rw":   lockapi.NewSongRW(),
+		"pnova-rw":  NewPnovaForArray(DefaultSlots),
+		"rwsem":     lockapi.NewRWSem(),
+	}
+	for name, lk := range locks {
+		for _, v := range []Variant{Full, Disjoint, Random} {
+			res := shortRun(t, lk, v, 60)
+			if res.Ops == 0 {
+				t.Fatalf("%s/%s: no operations completed", name, v)
+			}
+			if res.SlotSum != res.WriteUnits {
+				t.Fatalf("%s/%s: slot sum %d != %d write units (lost updates)",
+					name, v, res.SlotSum, res.WriteUnits)
+			}
+		}
+	}
+}
+
+func TestReadOnlyWorkloadWritesNothing(t *testing.T) {
+	res := shortRun(t, lockapi.NewListRW(nil), Random, 100)
+	if res.Writes != 0 || res.SlotSum != 0 {
+		t.Fatalf("read-only run wrote: %+v", res)
+	}
+	if res.Reads != res.Ops {
+		t.Fatalf("reads %d != ops %d", res.Reads, res.Ops)
+	}
+}
+
+func TestDisjointPartitionsCoverAllThreads(t *testing.T) {
+	// More threads than slots still works (partitions clamp to >=1 slot).
+	res := Run(Config{
+		Lock:     lockapi.NewListEx(nil),
+		Variant:  Disjoint,
+		Threads:  8,
+		ReadPct:  0,
+		Slots:    4,
+		Duration: 30 * time.Millisecond,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no ops with threads > slots")
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	for _, v := range []Variant{Full, Disjoint, Random} {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Fatalf("ParseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	if _, err := ParseVariant("nah"); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	res := shortRun(t, lockapi.NewListRW(nil), Full, 60)
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %f", res.Throughput)
+	}
+}

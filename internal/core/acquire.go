@@ -1,0 +1,305 @@
+package core
+
+// MaxEnd is the exclusive upper bound used for full-range acquisitions
+// (the paper's special "entire range" call, [0 .. 2^64-1]).
+const MaxEnd = ^uint64(0)
+
+// Guard represents one held range (the paper's RangeLock handle). The zero
+// Guard is invalid. Guards are values; copy them freely but Unlock exactly
+// once.
+type Guard struct {
+	l    *list
+	id   uint64
+	fast bool
+}
+
+// Held reports whether the guard refers to an acquired range.
+func (g Guard) Held() bool { return g.l != nil }
+
+// Range returns the guarded [start, end) interval.
+func (g Guard) Range() (start, end uint64) {
+	n := g.l.dom.arena.node(g.id)
+	return n.start, n.end
+}
+
+// Unlock releases the range (MutexRangeRelease / RWRangeRelease). On the
+// regular path this is a single fetch-and-add — wait-free; traversing
+// threads unlink and recycle the node lazily. A fast-path acquisition
+// tries the eager empty-list release first (§4.5).
+func (g Guard) Unlock() {
+	if g.l == nil {
+		panic("core: Unlock of zero Guard")
+	}
+	if g.fast {
+		if g.l.head.CompareAndSwap(refMark(refOf(g.id)), refNil) {
+			// Eagerly removed. Other goroutines may still hold the ref
+			// (loaded from head before the CAS), so the node still goes
+			// through a grace period.
+			c := g.l.dom.acquireCtx()
+			c.retire(g.id)
+			c.release()
+			return
+		}
+		// Another thread converted the fast-path node into a regular one;
+		// fall through to the regular release.
+	}
+	deleteNode(g.l.dom.arena.node(g.id))
+}
+
+// acquire implements MutexRangeAcquire / RWRangeAcquire, including the
+// fast path (§4.5) and the fairness slow path (§4.3).
+func (l *list) acquire(start, end uint64, rw, reader bool) Guard {
+	checkRange(start, end)
+	c := l.dom.acquireCtx()
+
+	var haveID bool
+	var id uint64
+
+	// Fast path: empty list — CAS the head straight to a marked ref.
+	if l.opts.fastPath {
+		l.drainDeadHead(c)
+		if l.head.Load() == refNil {
+			id = c.alloc()
+			haveID = true
+			l.initNode(id, start, end, rw && reader)
+			if l.head.CompareAndSwap(refNil, refMark(refOf(id))) {
+				c.release()
+				return Guard{l: l, id: id, fast: true}
+			}
+		}
+	}
+
+	// Fairness gate: while some thread is impatient, regular acquisitions
+	// serialize behind it through the auxiliary lock's read side.
+	fairHeld := false
+	if l.opts.fairness && l.impatient.Load() > 0 {
+		l.fair.RLock()
+		fairHeld = true
+	}
+
+	budget := 0
+	if l.opts.fairness {
+		budget = l.opts.starveBudget
+	}
+
+	attempts := 0
+	for {
+		if !haveID {
+			id = c.alloc()
+			l.initNode(id, start, end, rw && reader)
+		}
+		haveID = false
+		c.slot.Pin()
+		res := l.insert(c, id, rw, budget)
+		c.slot.Unpin()
+		switch res {
+		case insertOK:
+			if fairHeld {
+				l.fair.RUnlock()
+			}
+			c.release()
+			return Guard{l: l, id: id}
+		case insertRace:
+			// Validation failed; the node already deleted itself. Retry
+			// with a fresh node. Repeated races count toward impatience.
+			attempts++
+			if budget > 0 && attempts >= budget {
+				break
+			}
+			continue
+		}
+		// insertStarved (or too many writer races): escalate. Block new
+		// acquisitions via the auxiliary lock's write side, then insert
+		// with an unlimited budget while the list drains.
+		if res == insertStarved {
+			// The starved node was never published; recycle it directly.
+			c.give(id)
+		}
+		if fairHeld {
+			l.fair.RUnlock()
+			fairHeld = false
+		}
+		l.impatient.Add(1)
+		l.fair.Lock()
+		for {
+			id = c.alloc()
+			l.initNode(id, start, end, rw && reader)
+			c.slot.Pin()
+			res := l.insert(c, id, rw, 0)
+			c.slot.Unpin()
+			if res == insertOK {
+				break
+			}
+		}
+		l.fair.Unlock()
+		l.impatient.Add(-1)
+		c.release()
+		return Guard{l: l, id: id}
+	}
+}
+
+// tryAcquire attempts a non-blocking acquisition (extension beyond the
+// paper): it fails instead of waiting whenever a conflicting range is
+// found, but retries internal CAS failures, which indicate contention on
+// the list structure rather than on the range.
+func (l *list) tryAcquire(start, end uint64, rw, reader bool) (Guard, bool) {
+	checkRange(start, end)
+	c := l.dom.acquireCtx()
+	id := c.alloc()
+	l.initNode(id, start, end, rw && reader)
+
+	if l.opts.fastPath {
+		l.drainDeadHead(c)
+		if l.head.Load() == refNil &&
+			l.head.CompareAndSwap(refNil, refMark(refOf(id))) {
+			c.release()
+			return Guard{l: l, id: id, fast: true}, true
+		}
+	}
+
+	c.slot.Pin()
+	ok, shared := l.tryInsert(c, id, rw)
+	c.slot.Unpin()
+	if ok {
+		c.release()
+		return Guard{l: l, id: id}, true
+	}
+	if !shared {
+		// The node never became visible: recycle it directly.
+		c.give(id)
+	}
+	c.release()
+	return Guard{}, false
+}
+
+// tryInsert mirrors insert but fails on any conflict instead of waiting.
+// It reports (inserted, everShared): everShared tells the caller whether
+// the node was published to the list (and thus must go through the
+// marked-deletion path) or can be reused immediately.
+func (l *list) tryInsert(c opCtx, id uint64, rw bool) (inserted, everShared bool) {
+	lockN := l.dom.arena.node(id)
+	lockRef := refOf(id)
+	for {
+		prevAddr := &l.head
+		atHead := true
+		cur := prevAddr.Load()
+	walk:
+		for {
+			if refMarked(cur) {
+				if atHead {
+					prevAddr.CompareAndSwap(cur, refUnmark(cur))
+					cur = prevAddr.Load()
+					continue
+				}
+				break walk
+			}
+			if !refIsNil(cur) {
+				curN := l.dom.arena.node(refID(cur))
+				nxt := curN.next.Load()
+				if refMarked(nxt) {
+					if prevAddr.CompareAndSwap(cur, refUnmark(nxt)) {
+						c.retire(refID(cur))
+					}
+					cur = refUnmark(nxt)
+					continue
+				}
+				switch compare(curN, lockN, rw) {
+				case -1:
+					prevAddr = &curN.next
+					atHead = false
+					cur = prevAddr.Load()
+					continue
+				case 0:
+					return false, false // conflict: give up instead of waiting
+				}
+			}
+			lockN.next.Store(cur)
+			if prevAddr.CompareAndSwap(cur, lockRef) {
+				if !rw {
+					return true, true
+				}
+				if lockN.reader == 1 {
+					if l.tryRValidate(c, lockN) {
+						return true, true
+					}
+					return false, true // self-deleted after publishing
+				}
+				if l.wValidate(c, lockN, lockRef) {
+					return true, true
+				}
+				return false, true
+			}
+			cur = prevAddr.Load()
+		}
+	}
+}
+
+// tryRValidate is the non-blocking reader validation: on meeting an
+// overlapping writer it deletes the reader's node and fails instead of
+// waiting the writer out.
+func (l *list) tryRValidate(c opCtx, lockN *lnode) bool {
+	prevAddr := &lockN.next
+	cur := refUnmark(prevAddr.Load())
+	for {
+		if refIsNil(cur) {
+			return true
+		}
+		curN := l.dom.arena.node(refID(cur))
+		if curN.start >= lockN.end {
+			return true
+		}
+		nxt := curN.next.Load()
+		if refMarked(nxt) {
+			if prevAddr.CompareAndSwap(cur, refUnmark(nxt)) {
+				c.retire(refID(cur))
+			}
+			cur = refUnmark(nxt)
+			continue
+		}
+		if curN.reader == 1 {
+			prevAddr = &curN.next
+			cur = refUnmark(prevAddr.Load())
+			continue
+		}
+		deleteNode(lockN)
+		return false
+	}
+}
+
+// drainDeadHead eagerly unlinks the head node when it is the only node
+// left and is logically deleted, restoring the empty-list state the fast
+// path depends on. Without this, a single marked straggler would keep
+// single-threaded traffic off the fast path forever (the lazy unlink in
+// insert removes it, but only after the regular path was already chosen).
+func (l *list) drainDeadHead(c opCtx) {
+	h := l.head.Load()
+	if h == refNil || refMarked(h) {
+		return
+	}
+	c.slot.Pin()
+	nxt := l.dom.arena.node(refID(h)).next.Load()
+	if refMarked(nxt) && refIsNil(nxt) {
+		if l.head.CompareAndSwap(h, refNil) {
+			c.retire(refID(h))
+		}
+	}
+	c.slot.Unpin()
+}
+
+func (l *list) initNode(id, start, end uint64, reader bool) {
+	n := l.dom.arena.node(id)
+	n.start = start
+	n.end = end
+	if reader {
+		n.reader = 1
+	} else {
+		n.reader = 0
+	}
+	n.next.Store(refNil)
+}
+
+func checkRange(start, end uint64) {
+	if start >= end {
+		panic("core: range lock requires start < end")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	blockBits = 10
+	blockSize = 1 << blockBits // nodes per arena block
+)
+
+// lnode is the paper's LNode. Nodes are padded to a cache line so that
+// busy-waiting on one node's next word does not interfere with neighbours.
+type lnode struct {
+	start uint64
+	end   uint64
+
+	// next holds the successor ref; its LSB is this node's deletion mark.
+	next atomic.Uint64
+
+	// reader is 1 for shared acquisitions, 0 for exclusive ones.
+	reader uint32
+	_      uint32
+
+	_ [4]uint64 // pad to 64 bytes
+}
+
+type block [blockSize]lnode
+
+// arena is a grow-only slab of lnodes addressed by dense ids. Blocks are
+// appended under a mutex; lookups are lock-free via an atomically swapped
+// block directory.
+type arena struct {
+	dir  atomic.Pointer[[]*block]
+	mu   sync.Mutex
+	next atomic.Uint64 // bump pointer for fresh ids
+
+	// freeHead is a Treiber stack of recycled node ids (linked through
+	// lnode.next, which stores the next free id directly while a node is
+	// on the stack). The upper 32 bits are an ABA version tag; the lower
+	// 32 bits hold id+1 (0 = empty).
+	freeHead atomic.Uint64
+}
+
+func newArena() *arena {
+	a := &arena{}
+	dir := make([]*block, 0, 8)
+	a.dir.Store(&dir)
+	return a
+}
+
+// node returns the lnode for id. The id must have been allocated.
+func (a *arena) node(id uint64) *lnode {
+	dir := *a.dir.Load()
+	return &dir[id>>blockBits][id&(blockSize-1)]
+}
+
+// capacity reports how many ids the current directory can address.
+func (a *arena) capacity() uint64 {
+	return uint64(len(*a.dir.Load())) << blockBits
+}
+
+// allocFresh carves n brand-new ids out of the arena, growing it as
+// needed, and appends them to dst.
+func (a *arena) allocFresh(dst []uint64, n int) []uint64 {
+	base := a.next.Add(uint64(n)) - uint64(n)
+	for base+uint64(n) > a.capacity() {
+		a.grow()
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, base+uint64(i))
+	}
+	return dst
+}
+
+func (a *arena) grow() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := *a.dir.Load()
+	if uint64(len(old))<<blockBits > a.next.Load() {
+		return // another goroutine grew the directory already
+	}
+	next := make([]*block, len(old)+1)
+	copy(next, old)
+	next[len(old)] = new(block)
+	a.dir.Store(&next)
+}
+
+// pushFree returns a fully quiescent id (grace period elapsed, no live
+// references) to the global free stack.
+func (a *arena) pushFree(id uint64) {
+	n := a.node(id)
+	for {
+		head := a.freeHead.Load()
+		n.next.Store(head & 0xffffffff)
+		if a.freeHead.CompareAndSwap(head, (head>>32+1)<<32|(id+1)) {
+			return
+		}
+	}
+}
+
+// popFree removes one id from the global free stack, if any.
+func (a *arena) popFree() (uint64, bool) {
+	for {
+		head := a.freeHead.Load()
+		idPlus1 := head & 0xffffffff
+		if idPlus1 == 0 {
+			return 0, false
+		}
+		id := idPlus1 - 1
+		next := a.node(id).next.Load() & 0xffffffff
+		if a.freeHead.CompareAndSwap(head, (head>>32+1)<<32|next) {
+			return id, true
+		}
+	}
+}

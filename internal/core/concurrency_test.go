@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNoFIFOBlocking reproduces the §3 example in the list lock's favour:
+// exclusive requests A=[1,3), B=[2,7), C=[4,5) arrive in order. While A
+// holds and B waits, C — which overlaps only B's *requested* (not held)
+// range — must proceed: the waiting B has no node in the list, so it
+// cannot block C. (treelock's FIFO test shows the tree lock blocking C.)
+func TestNoFIFOBlocking(t *testing.T) {
+	lk := NewExclusive(NewDomain(16))
+	a := lk.Lock(1, 3)
+
+	bAcq := make(chan Guard, 1)
+	go func() { bAcq <- lk.Lock(2, 7) }()
+	// Let B start waiting on A (B spins before inserting, so there is no
+	// externally visible state; a short delay suffices for the schedule
+	// this test wants, and a false-early C would pass anyway).
+	time.Sleep(10 * time.Millisecond)
+
+	cAcq := make(chan Guard, 1)
+	go func() { cAcq <- lk.Lock(4, 5) }()
+	select {
+	case c := <-cAcq:
+		c.Unlock() // C proceeded while B waited — the paper's claim
+	case <-time.After(5 * time.Second):
+		t.Fatal("C=[4,5) blocked behind waiting B=[2,7) — FIFO behaviour in the list lock")
+	}
+
+	a.Unlock()
+	b := <-bAcq
+	b.Unlock()
+}
+
+// TestReadersProceedUnderWaitingWriter: with reader preference (default),
+// readers arriving while a writer waits for an earlier reader may still
+// proceed if they overlap only the waiting writer.
+func TestReadersProceedUnderWaitingWriter(t *testing.T) {
+	lk := NewRW(NewDomain(16))
+	r0 := lk.RLock(0, 10) // holds
+
+	wAcq := make(chan Guard, 1)
+	go func() { wAcq <- lk.Lock(5, 20) }() // waits on r0
+	time.Sleep(10 * time.Millisecond)
+
+	// A reader overlapping only the *waiting* writer's range.
+	r1 := make(chan Guard, 1)
+	go func() { r1 <- lk.RLock(15, 18) }()
+	select {
+	case g := <-r1:
+		g.Unlock()
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader blocked behind a merely waiting writer")
+	}
+
+	r0.Unlock()
+	w := <-wAcq
+	w.Unlock()
+}
+
+// TestManyGoroutinesManyLocks drives several locks from one shared domain
+// concurrently, validating that the per-slot pools and the shared arena
+// keep isolated locks correct.
+func TestManyGoroutinesManyLocks(t *testing.T) {
+	dom := NewDomain(128)
+	const nLocks = 5
+	locksArr := make([]*RW, nLocks)
+	counters := make([][]atomic.Int32, nLocks)
+	for i := range locksArr {
+		locksArr[i] = NewRW(dom)
+		counters[i] = make([]atomic.Int32, 32)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(me int32) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				li := (int(me) + i) % nLocks
+				s := uint64(i % 28)
+				guard := locksArr[li].Lock(s, s+4)
+				for u := s; u < s+4; u++ {
+					if old := counters[li][u].Swap(me + 1); old != 0 {
+						t.Errorf("lock %d unit %d: writers %d and %d overlap", li, u, old-1, me)
+					}
+				}
+				for u := s; u < s+4; u++ {
+					counters[li][u].Store(0)
+				}
+				guard.Unlock()
+			}
+		}(int32(g))
+	}
+	wg.Wait()
+}
+
+// TestAdjacentRangesNeverConflict: half-open semantics make [a,b) and
+// [b,c) compatible in every mode combination.
+func TestAdjacentRangesNeverConflict(t *testing.T) {
+	lk := NewRW(NewDomain(16))
+	combos := []struct{ w1, w2 bool }{{true, true}, {true, false}, {false, true}, {false, false}}
+	for _, c := range combos {
+		var g1, g2 Guard
+		if c.w1 {
+			g1 = lk.Lock(100, 200)
+		} else {
+			g1 = lk.RLock(100, 200)
+		}
+		done := make(chan Guard, 1)
+		go func() {
+			if c.w2 {
+				done <- lk.Lock(200, 300)
+			} else {
+				done <- lk.RLock(200, 300)
+			}
+		}()
+		select {
+		case g2 = <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("adjacent ranges conflicted (w1=%v w2=%v)", c.w1, c.w2)
+		}
+		g1.Unlock()
+		g2.Unlock()
+	}
+}
+
+// TestSlotChurnAcrossDomains exercises slot exhaustion: a domain with very
+// few slots serving more goroutines than slots must still complete (slot
+// leases are per-operation, not per-held-range).
+func TestSlotChurnAcrossDomains(t *testing.T) {
+	dom := NewDomain(2)
+	lk := NewExclusive(dom)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				guard := lk.Lock(g*10, g*10+5)
+				guard.Unlock()
+			}
+		}(uint64(g))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("slot starvation deadlock")
+	}
+}
+
+// TestHoldManyRangesOneGoroutine: one goroutine may hold many disjoint
+// ranges simultaneously (guards are independent of slots).
+func TestHoldManyRangesOneGoroutine(t *testing.T) {
+	lk := NewExclusive(NewDomain(4))
+	guards := make([]Guard, 64)
+	for i := range guards {
+		guards[i] = lk.Lock(uint64(i*10), uint64(i*10+5))
+	}
+	if got := len(lk.Snapshot()); got != 64 {
+		t.Fatalf("snapshot has %d ranges, want 64", got)
+	}
+	for _, g := range guards {
+		g.Unlock()
+	}
+}

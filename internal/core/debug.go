@@ -1,0 +1,38 @@
+package core
+
+// HeldRange describes one live (unmarked) node observed during a list
+// snapshot; used by tests and debugging tools.
+type HeldRange struct {
+	Start, End uint64
+	Reader     bool
+}
+
+// snapshot walks the list and returns the live ranges in list order. The
+// result is a racy snapshot (concurrent operations may be mid-flight) but
+// each returned element was unmarked at the moment it was visited.
+func (l *list) snapshot() []HeldRange {
+	c := l.dom.acquireCtx()
+	defer c.release()
+	c.slot.Pin()
+	defer c.slot.Unpin()
+
+	var out []HeldRange
+	cur := refUnmark(l.head.Load())
+	for !refIsNil(cur) {
+		n := l.dom.arena.node(refID(cur))
+		nxt := n.next.Load()
+		if !refMarked(nxt) {
+			out = append(out, HeldRange{Start: n.start, End: n.end, Reader: n.reader == 1})
+		}
+		cur = refUnmark(nxt)
+	}
+	return out
+}
+
+// Snapshot returns the live ranges currently in the lock's list, in list
+// order. Intended for tests, debugging and statistics; the snapshot is
+// inherently racy under concurrency.
+func (e *Exclusive) Snapshot() []HeldRange { return e.l.snapshot() }
+
+// Snapshot returns the live ranges currently in the lock's list.
+func (r *RW) Snapshot() []HeldRange { return r.l.snapshot() }

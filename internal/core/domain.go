@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/ebr"
+)
+
+const (
+	// poolSize is N from §4.4: active pools are replenished to N nodes and
+	// trimmed back to N when they exceed 2N.
+	poolSize = 128
+
+	// defaultSlots bounds the number of concurrent lock operations served
+	// by the default domain.
+	defaultSlots = 1024
+)
+
+// Domain owns the node arena, the reclamation domain and the per-slot node
+// pools shared by every range lock created in it. Locks in the same domain
+// share node pools, mirroring the paper's per-thread pools that serve all
+// range locks a thread touches ("each thread has only two pools,
+// regardless of the number of range locks it accesses").
+type Domain struct {
+	arena *arena
+	rec   *ebr.Domain
+	pools [][]uint64 // active node pool per slot; owned by the slot lessee
+}
+
+// NewDomain creates an isolated domain serving at most slots concurrent
+// lock operations.
+func NewDomain(slots int) *Domain {
+	return &Domain{
+		arena: newArena(),
+		rec:   ebr.NewDomain(slots),
+		pools: make([][]uint64, slots),
+	}
+}
+
+var (
+	defaultDomainOnce sync.Once
+	defaultDomain     *Domain
+)
+
+// DefaultDomain returns the process-wide shared domain, created lazily.
+func DefaultDomain() *Domain {
+	defaultDomainOnce.Do(func() { defaultDomain = NewDomain(defaultSlots) })
+	return defaultDomain
+}
+
+// opCtx is the per-operation context: a leased reclamation slot plus the
+// node pool attached to it. It corresponds to the paper's thread-local
+// state.
+type opCtx struct {
+	dom  *Domain
+	slot ebr.Slot
+	idx  int
+}
+
+func (d *Domain) acquireCtx() opCtx {
+	s := d.rec.AcquireSlot()
+	return opCtx{dom: d, slot: s, idx: s.Index()}
+}
+
+func (c opCtx) release() {
+	c.dom.rec.ReleaseSlot(c.slot)
+}
+
+// alloc returns a node id ready for initialization. It serves from the
+// slot's active pool; on exhaustion it reclaims retired nodes past their
+// grace period, then the global free stack, and finally carves fresh nodes
+// from the arena (the paper's barrier-and-switch becomes a non-blocking
+// collect; see DESIGN.md §1.4). Must be called unpinned.
+func (c opCtx) alloc() uint64 {
+	pool := c.dom.pools[c.idx]
+	if len(pool) == 0 {
+		pool = c.slot.Collect(pool, 2*poolSize)
+		for len(pool) < poolSize/2 {
+			id, ok := c.dom.arena.popFree()
+			if !ok {
+				break
+			}
+			pool = append(pool, id)
+		}
+		if len(pool) == 0 {
+			// Nothing reclaimable. If retired nodes are merely waiting out
+			// their grace period, mint only a small batch — they will be
+			// collectible soon; a full batch is for cold start.
+			n := poolSize
+			if c.slot.LimboLen() > 0 {
+				n = 8
+			}
+			pool = c.dom.arena.allocFresh(pool, n)
+		}
+	}
+	id := pool[len(pool)-1]
+	pool = pool[:len(pool)-1]
+	// Trim oversized pools back to poolSize, returning the surplus to the
+	// global free stack so unbalanced workloads do not hoard nodes.
+	if len(pool) > 2*poolSize {
+		for len(pool) > poolSize {
+			c.dom.arena.pushFree(pool[len(pool)-1])
+			pool = pool[:len(pool)-1]
+		}
+	}
+	c.dom.pools[c.idx] = pool
+	return id
+}
+
+// give returns an id that never became visible to other goroutines (e.g. a
+// failed TryLock insert) straight to the pool — no grace period needed.
+func (c opCtx) give(id uint64) {
+	c.dom.pools[c.idx] = append(c.dom.pools[c.idx], id)
+}
+
+// retire hands an unlinked node to the reclamation domain.
+func (c opCtx) retire(id uint64) {
+	c.slot.Retire(id)
+}

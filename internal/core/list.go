@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/locks"
+)
+
+// insertResult reports how an insertion attempt ended.
+type insertResult int
+
+const (
+	insertOK      insertResult = iota // node inserted (and validated)
+	insertRace                        // validation failed; node self-deleted, retry
+	insertStarved                     // restart budget exhausted (fairness enabled)
+)
+
+// list is the ListRL of the paper: the head ref of a linked list of
+// acquired ranges sorted by start, plus the shared domain and the optional
+// fairness state. It is embedded by both the Exclusive and RW lock types.
+type list struct {
+	head atomic.Uint64 // encoded ref; marked head = fast-path acquisition
+	dom  *Domain
+	opts options
+
+	// Fairness (§4.3): impatient counter + auxiliary fair RW lock.
+	impatient atomic.Int32
+	fair      locks.FairRW
+}
+
+// compare relates an in-list node cur to the node being inserted, lk.
+// Return values follow Listings 1 and 2 with lock1=cur, lock2=lk:
+//
+//	+1 — lk precedes cur (insert before cur; among readers: lk starts first)
+//	-1 — lk succeeds cur (keep traversing)
+//	 0 — conflict (overlap, and at least one side is a writer)
+func compare(cur, lk *lnode, rw bool) int {
+	if !rw {
+		if cur.start >= lk.end {
+			return 1
+		}
+		if lk.start >= cur.end {
+			return -1
+		}
+		return 0
+	}
+	bothReaders := cur.reader == 1 && lk.reader == 1
+	if lk.start >= cur.end {
+		return -1
+	}
+	if bothReaders && lk.start >= cur.start {
+		return -1
+	}
+	if cur.start >= lk.end {
+		return 1
+	}
+	if bothReaders && cur.start >= lk.start {
+		return 1
+	}
+	return 0
+}
+
+// insert is InsertNode (Listing 1, extended per Listing 2 for rw): it
+// walks the list from the head, unlinking marked nodes, waiting on
+// conflicting ones, and CASes the node into its sorted position. With rw
+// set, a successful insert is followed by reader/writer validation.
+//
+// budget > 0 bounds the number of traversal restarts + failed CASes before
+// giving up with insertStarved (used by the fairness slow path).
+func (l *list) insert(c opCtx, id uint64, rw bool, budget int) insertResult {
+	lockN := l.dom.arena.node(id)
+	lockRef := refOf(id)
+	restarts := 0
+	for {
+		prevAddr := &l.head
+		atHead := true
+		cur := prevAddr.Load()
+		var b locks.Backoff
+	walk:
+		for {
+			if refMarked(cur) {
+				if atHead {
+					// A marked head means the lock was acquired on the
+					// fast path (§4.5). Remove the mark and proceed on the
+					// regular path; the fast-path owner will then release
+					// through the regular path as well.
+					prevAddr.CompareAndSwap(cur, refUnmark(cur))
+					cur = prevAddr.Load()
+					continue
+				}
+				break walk // prev was logically deleted: restart traversal
+			}
+			if !refIsNil(cur) {
+				curN := l.dom.arena.node(refID(cur))
+				nxt := curN.next.Load()
+				if refMarked(nxt) {
+					// cur is logically deleted: try to unlink it. Whether
+					// or not the CAS succeeds, continue past it.
+					if prevAddr.CompareAndSwap(cur, refUnmark(nxt)) {
+						c.retire(refID(cur))
+					}
+					cur = refUnmark(nxt)
+					continue
+				}
+				switch compare(curN, lockN, rw) {
+				case -1: // lock succeeds cur: keep walking
+					prevAddr = &curN.next
+					atHead = false
+					cur = prevAddr.Load()
+					continue
+				case 0: // conflict: wait until cur's owner releases
+					b.Reset()
+					for !refMarked(curN.next.Load()) {
+						b.Pause()
+					}
+					continue // re-examine cur; the unlink branch removes it
+				}
+				// case +1: insertion point found, fall through.
+			}
+			lockN.next.Store(cur)
+			if prevAddr.CompareAndSwap(cur, lockRef) {
+				if !rw {
+					return insertOK
+				}
+				if lockN.reader == 1 {
+					if l.rValidate(c, lockN) {
+						return insertOK
+					}
+					return insertRace
+				}
+				if l.wValidate(c, lockN, lockRef) {
+					return insertOK
+				}
+				return insertRace
+			}
+			// CAS failed: prev changed under us (insertion or deletion).
+			restarts++
+			if budget > 0 && restarts >= budget {
+				return insertStarved
+			}
+			cur = prevAddr.Load()
+		}
+		restarts++
+		if budget > 0 && restarts >= budget {
+			return insertStarved
+		}
+	}
+}
+
+// rValidate is r_validate (Listing 3): after a reader inserted its node,
+// scan forward until a node that cannot overlap. Under the default reader
+// preference an overlapping writer is waited out and validation always
+// succeeds; under writer preference (§4.2's "reverse the scheme") the
+// reader defers instead — it deletes its node and reports failure so the
+// acquisition restarts.
+func (l *list) rValidate(c opCtx, lockN *lnode) bool {
+	prevAddr := &lockN.next
+	cur := refUnmark(prevAddr.Load())
+	var b locks.Backoff
+	for {
+		if refIsNil(cur) {
+			return true
+		}
+		curN := l.dom.arena.node(refID(cur))
+		if curN.start >= lockN.end {
+			return true // past any possible overlap
+		}
+		nxt := curN.next.Load()
+		if refMarked(nxt) {
+			if prevAddr.CompareAndSwap(cur, refUnmark(nxt)) {
+				c.retire(refID(cur))
+			}
+			cur = refUnmark(nxt)
+			continue
+		}
+		if curN.reader == 1 {
+			// Another overlapping reader: fine, keep scanning.
+			prevAddr = &curN.next
+			cur = refUnmark(prevAddr.Load())
+			continue
+		}
+		// Overlapping writer.
+		if l.opts.writerPref {
+			deleteNode(lockN)
+			return false
+		}
+		// Reader preference: wait until the writer marks itself deleted,
+		// then resume (the unlink branch above will remove it).
+		b.Reset()
+		for !refMarked(curN.next.Load()) {
+			b.Pause()
+		}
+	}
+}
+
+// wValidate is w_validate (Listing 3): after a writer inserted its node,
+// re-scan from the head to its own node. Finding an overlapping node on
+// the way means the writer lost the race of Figure 1: under reader
+// preference it deletes itself and reports failure so the acquisition
+// restarts; under writer preference it stays in the list and waits for
+// the conflicting (reader) node to leave.
+func (l *list) wValidate(c opCtx, lockN *lnode, lockRef ref) bool {
+	var b locks.Backoff
+	prevAddr := &l.head
+	cur := refUnmark(prevAddr.Load())
+	for {
+		if cur == lockRef {
+			return true // reached our own node: no conflicting predecessor
+		}
+		if refIsNil(cur) {
+			// An unmarked node is always reachable from the head; landing
+			// on nil means we followed a stale frozen chain. Restart.
+			prevAddr = &l.head
+			cur = refUnmark(prevAddr.Load())
+			continue
+		}
+		curN := l.dom.arena.node(refID(cur))
+		nxt := curN.next.Load()
+		if refMarked(nxt) {
+			if prevAddr.CompareAndSwap(cur, refUnmark(nxt)) {
+				c.retire(refID(cur))
+			}
+			cur = refUnmark(nxt)
+			continue
+		}
+		if curN.end <= lockN.start {
+			prevAddr = &curN.next
+			cur = refUnmark(prevAddr.Load())
+			continue
+		}
+		// Overlap with a node that entered the list before us.
+		if l.opts.writerPref {
+			// Writer preference: wait the conflicting holder out; the
+			// unlink branch above removes it once marked. (Readers defer
+			// to us in their own validation, so this cannot deadlock.)
+			b.Reset()
+			for !refMarked(curN.next.Load()) {
+				b.Pause()
+			}
+			continue
+		}
+		deleteNode(lockN)
+		return false
+	}
+}
+
+// deleteNode marks a node as logically deleted with a single atomic
+// increment (Listing 1 line 52): the node's next pointer is known to be
+// unmarked, so adding 1 sets the mark bit. This makes release wait-free.
+func deleteNode(n *lnode) { n.next.Add(1) }

@@ -1,0 +1,52 @@
+package core
+
+// options configures a range lock instance.
+type options struct {
+	fastPath     bool
+	fairness     bool
+	starveBudget int
+	writerPref   bool
+}
+
+func defaultOptions() options {
+	return options{
+		fastPath:     true,
+		fairness:     false,
+		starveBudget: 64,
+	}
+}
+
+// Option customizes a lock at construction time.
+type Option func(*options)
+
+// WithFastPath enables or disables the empty-list fast path (§4.5).
+// Enabled by default. The paper's user-space evaluation runs with the fast
+// path disabled; the ablation benchmarks cover both settings.
+func WithFastPath(enabled bool) Option {
+	return func(o *options) { o.fastPath = enabled }
+}
+
+// WithWriterPreference reverses the reader/writer conflict-resolution
+// scheme of the RW lock's validation (§4.2): by default conflicting
+// readers stay in the list while writers back off and retry; with writer
+// preference, writers stay (waiting out conflicting readers) and readers
+// back off. Choose it for write-heavy workloads where writer restarts are
+// costly. Exclusive locks ignore this option.
+func WithWriterPreference(enabled bool) Option {
+	return func(o *options) { o.writerPref = enabled }
+}
+
+// WithFairness enables the starvation-avoidance mechanism (§4.3): after
+// budget failed attempts (traversal restarts, failed CASes, or writer
+// validation races), a thread declares impatience, which funnels new
+// acquisitions through an auxiliary fair reader-writer lock until the
+// impatient thread succeeds. Disabled by default, matching the paper's
+// evaluated configuration. budget <= 0 selects the default (64).
+func WithFairness(enabled bool, budget int) Option {
+	return func(o *options) {
+		o.fairness = enabled
+		if budget > 0 {
+			o.starveBudget = budget
+		}
+	}
+}

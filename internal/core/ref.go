@@ -1,0 +1,37 @@
+// Package core implements the paper's contribution: scalable list-based
+// range locks (§4). Acquired ranges live in a linked list sorted by range
+// start; inserting a node with a single CAS acquires the range, and a
+// single fetch-and-add marks it logically deleted on release (wait-free).
+// Traversals unlink marked nodes lazily, Harris-style.
+//
+// Two variants are provided, mirroring the paper:
+//
+//   - Exclusive (§4.1, Listing 1): only disjoint ranges may be held.
+//   - RW (§4.2, Listings 2–3): readers may overlap readers; writers
+//     conflict with everyone. After insertion, readers and writers run a
+//     validation pass that resolves the insert race of Figure 1.
+//
+// Optional features: the empty-list fast path (§4.5), the impatient-
+// counter fairness mechanism (§4.3), and TryLock (an extension).
+//
+// Instead of tagging real pointers, list nodes live in a grow-only arena
+// and are addressed by 64-bit refs encoding (id+1)<<1 | markBit. This
+// preserves the exact CAS/FAA semantics of the pseudo-code in safe Go and
+// doubles as the node-pool allocator of §4.4; recycling is deferred
+// through an epoch-based reclamation domain (internal/ebr).
+package core
+
+// ref addresses a list node: 0 is nil, otherwise (id+1)<<1 with the least
+// significant bit as the logical-deletion mark. Because the mark occupies
+// the LSB, "FAA(&next, 1)" marks a node exactly as in Listing 1 line 52.
+type ref = uint64
+
+// refNil is the null reference (an empty list head).
+const refNil ref = 0
+
+func refOf(id uint64) ref  { return (id + 1) << 1 }
+func refMarked(r ref) bool { return r&1 == 1 }
+func refUnmark(r ref) ref  { return r &^ 1 }
+func refMark(r ref) ref    { return r | 1 }
+func refID(r ref) uint64   { return (r >> 1) - 1 }
+func refIsNil(r ref) bool  { return refUnmark(r) == refNil }

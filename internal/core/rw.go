@@ -1,0 +1,59 @@
+package core
+
+// RW is the reader-writer range lock of §4.2 (Listings 2–3): ranges
+// acquired in shared mode may overlap each other; a range acquired in
+// exclusive mode conflicts with every overlapping range. The insert race
+// between readers and writers that enter at different list positions
+// (Figure 1) is resolved by post-insert validation: readers wait out
+// overlapping writers ahead of them, writers that discover an overlapping
+// reader behind them self-delete and retry (reader preference).
+type RW struct {
+	noCopy noCopy
+	l      list
+}
+
+// NewRW creates a reader-writer range lock in the given domain (nil
+// selects the process-wide default domain).
+func NewRW(dom *Domain, opts ...Option) *RW {
+	if dom == nil {
+		dom = DefaultDomain()
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	r := &RW{}
+	r.l.dom = dom
+	r.l.opts = o
+	return r
+}
+
+// Lock acquires [start, end) in exclusive (writer) mode.
+func (r *RW) Lock(start, end uint64) Guard {
+	return r.l.acquire(start, end, true, false)
+}
+
+// RLock acquires [start, end) in shared (reader) mode.
+func (r *RW) RLock(start, end uint64) Guard {
+	return r.l.acquire(start, end, true, true)
+}
+
+// LockFull acquires the entire range in exclusive mode.
+func (r *RW) LockFull() Guard {
+	return r.l.acquire(0, MaxEnd, true, false)
+}
+
+// RLockFull acquires the entire range in shared mode.
+func (r *RW) RLockFull() Guard {
+	return r.l.acquire(0, MaxEnd, true, true)
+}
+
+// TryLock attempts a non-blocking exclusive acquisition.
+func (r *RW) TryLock(start, end uint64) (Guard, bool) {
+	return r.l.tryAcquire(start, end, true, false)
+}
+
+// TryRLock attempts a non-blocking shared acquisition.
+func (r *RW) TryRLock(start, end uint64) (Guard, bool) {
+	return r.l.tryAcquire(start, end, true, true)
+}

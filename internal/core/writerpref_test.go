@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWriterPrefBasics: semantics are unchanged — only the conflict-
+// resolution policy differs.
+func TestWriterPrefBasics(t *testing.T) {
+	lk := NewRW(NewDomain(16), WithWriterPreference(true))
+	r := lk.RLock(0, 10)
+	r2 := lk.RLock(5, 15) // readers still share
+	acquired := make(chan Guard, 1)
+	go func() { acquired <- lk.Lock(8, 12) }()
+	select {
+	case <-acquired:
+		t.Fatal("writer overlapped held readers")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.Unlock()
+	r2.Unlock()
+	w := <-acquired
+	// With the writer holding, overlapping readers must wait.
+	racq := make(chan Guard, 1)
+	go func() { racq <- lk.RLock(10, 11) }()
+	select {
+	case <-racq:
+		t.Fatal("reader overlapped held writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Unlock()
+	(<-racq).Unlock()
+}
+
+// TestWriterPrefExclusionStress is the reader-writer exclusion stress
+// under the reversed preference scheme.
+func TestWriterPrefExclusionStress(t *testing.T) {
+	const (
+		units      = 48
+		goroutines = 8
+		iters      = 1500
+	)
+	lk := NewRW(NewDomain(64), WithWriterPreference(true))
+	var writers [units]atomic.Int32
+	var readers [units]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(me int32) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(me) * 6151))
+			for i := 0; i < iters; i++ {
+				s := uint64(rng.Intn(units))
+				e := s + 1 + uint64(rng.Intn(units-int(s)))
+				if rng.Intn(100) < 50 {
+					guard := lk.Lock(s, e)
+					for u := s; u < e; u++ {
+						if old := writers[u].Swap(me + 1); old != 0 {
+							t.Errorf("two writers on unit %d", u)
+						}
+						if readers[u].Load() != 0 {
+							t.Errorf("writer overlaps readers on unit %d", u)
+						}
+					}
+					for u := s; u < e; u++ {
+						writers[u].Store(0)
+					}
+					guard.Unlock()
+				} else {
+					guard := lk.RLock(s, e)
+					for u := s; u < e; u++ {
+						readers[u].Add(1)
+						if writers[u].Load() != 0 {
+							t.Errorf("reader overlaps writer on unit %d", u)
+						}
+					}
+					for u := s; u < e; u++ {
+						readers[u].Add(-1)
+					}
+					guard.Unlock()
+				}
+			}
+		}(int32(g))
+	}
+	wg.Wait()
+}
+
+// TestWriterPrefWriterNotStarvedByReaders: under a constant reader storm
+// on an overlapping range, a writer must still get in (with reader
+// preference the writer restarts as long as readers keep arriving; writer
+// preference exists precisely for this pattern).
+func TestWriterPrefWriterNotStarvedByReaders(t *testing.T) {
+	lk := NewRW(NewDomain(64), WithWriterPreference(true))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := lk.RLock(0, 100)
+				r.Unlock()
+			}
+		}(int64(g))
+	}
+	done := make(chan struct{})
+	go func() {
+		w := lk.Lock(40, 60)
+		w.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer starved under reader storm despite writer preference")
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,209 @@
+// Package ebr implements epoch-based memory reclamation (Fraser 2004) for
+// lock-less data structures, as required by the list-based range locks of
+// §4.4: threads traverse list nodes concurrently with threads unlinking
+// them, so an unlinked node may only be recycled once no traversal can
+// still hold a reference to it.
+//
+// The paper's user-space scheme couples per-thread epoch counters with
+// per-thread node pools and a *blocking* barrier that waits for every
+// in-flight operation to finish. A blocking barrier can deadlock in the
+// range-lock setting (the barrier caller may hold a range that a spinning,
+// epoch-active thread is waiting for), so this package implements the
+// standard non-blocking variant: a global epoch, per-slot pinned epochs,
+// and retire lists that become reclaimable two epoch advances after the
+// retiring epoch. When nothing is reclaimable the caller falls back to
+// fresh allocation instead of waiting.
+//
+// Go has no thread-local storage, so "per-thread" state becomes per-slot
+// state: a goroutine leases a Slot for the duration of one operation (or
+// longer) from a Treiber free-list. Values under management are opaque
+// uint64 handles (the range-lock arena addresses nodes by handle, see
+// internal/core).
+package ebr
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/locks"
+)
+
+// gracePeriod is the number of global epoch advances after which a retired
+// value is guaranteed unreachable: a value retired in epoch e is reclaimable
+// once the global epoch reaches e+2 (every operation pinned before the
+// unlink has unpinned by then).
+const gracePeriod = 2
+
+// Domain is an independent reclamation domain. All goroutines operating on
+// one lock-less structure (or family of structures sharing an arena) must
+// use the same Domain.
+type Domain struct {
+	epoch atomic.Uint64 // global epoch, starts at gracePeriod so subtraction never underflows
+	free  atomic.Uint64 // Treiber stack head: (version<<32) | (slot index + 1)
+	slots []slot
+}
+
+type retired struct {
+	val   uint64
+	epoch uint64
+}
+
+type slot struct {
+	_ [8]uint64 // cache-line padding between slots
+
+	// state encodes (pinnedEpoch << 1) | active.
+	state atomic.Uint64
+
+	// nextFree links the slot into the Domain free stack while unleased.
+	nextFree atomic.Uint32
+
+	// limbo holds values retired through this slot, oldest first. It is
+	// accessed only by the goroutine currently leasing the slot.
+	limbo []retired
+}
+
+// Slot is a leased per-operation context. A Slot must be used by one
+// goroutine at a time.
+type Slot struct {
+	d   *Domain
+	idx uint32
+}
+
+// NewDomain creates a reclamation domain with capacity for n concurrently
+// leased slots. n must be at least 1.
+func NewDomain(n int) *Domain {
+	if n < 1 {
+		panic(fmt.Sprintf("ebr: invalid slot count %d", n))
+	}
+	d := &Domain{slots: make([]slot, n)}
+	d.epoch.Store(gracePeriod)
+	// Push every slot onto the free stack.
+	for i := n - 1; i >= 0; i-- {
+		d.pushFree(uint32(i))
+	}
+	return d
+}
+
+func (d *Domain) pushFree(idx uint32) {
+	for {
+		head := d.free.Load()
+		d.slots[idx].nextFree.Store(uint32(head & 0xffffffff))
+		next := (head>>32+1)<<32 | uint64(idx+1)
+		if d.free.CompareAndSwap(head, next) {
+			return
+		}
+	}
+}
+
+func (d *Domain) popFree() (uint32, bool) {
+	for {
+		head := d.free.Load()
+		idxPlus1 := uint32(head & 0xffffffff)
+		if idxPlus1 == 0 {
+			return 0, false
+		}
+		idx := idxPlus1 - 1
+		next := (head>>32+1)<<32 | uint64(d.slots[idx].nextFree.Load())
+		if d.free.CompareAndSwap(head, next) {
+			return idx, true
+		}
+	}
+}
+
+// AcquireSlot leases a slot, waiting politely if all slots are in use.
+// Callers typically cache the slot for the duration of one lock operation.
+func (d *Domain) AcquireSlot() Slot {
+	var b locks.Backoff
+	for {
+		if idx, ok := d.popFree(); ok {
+			return Slot{d: d, idx: idx}
+		}
+		b.Pause()
+	}
+}
+
+// ReleaseSlot returns a leased slot to the domain. The slot must be
+// unpinned. Any values still in its limbo list stay attached to the slot
+// and will be collected by a future lessee.
+func (d *Domain) ReleaseSlot(s Slot) {
+	if s.d != d {
+		panic("ebr: slot released to wrong domain")
+	}
+	d.pushFree(s.idx)
+}
+
+// Epoch returns the current global epoch (useful for tests and stats).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Index returns the slot's dense index in [0, n); callers use it to attach
+// their own per-slot state (e.g. the node pools of internal/core).
+func (s Slot) Index() int { return int(s.idx) }
+
+func (s Slot) slot() *slot { return &s.d.slots[s.idx] }
+
+// Pin marks the slot active at the current global epoch. Every traversal
+// of a protected structure must happen between Pin and Unpin.
+func (s Slot) Pin() {
+	e := s.d.epoch.Load()
+	s.slot().state.Store(e<<1 | 1)
+}
+
+// Unpin marks the slot quiescent.
+func (s Slot) Unpin() {
+	st := s.slot().state.Load()
+	s.slot().state.Store(st &^ 1)
+}
+
+// Retire records that val has been unlinked from the protected structure
+// and may be handed back to the allocator after a grace period. Retire may
+// be called pinned or unpinned.
+func (s Slot) Retire(val uint64) {
+	sl := s.slot()
+	sl.limbo = append(sl.limbo, retired{val: val, epoch: s.d.epoch.Load()})
+	// Nudge the epoch forward periodically so that reclamation keeps pace
+	// with retirement even when Collect is called rarely. (Advancing while
+	// pinned is safe: the pinned slot merely blocks the *next* advance.)
+	if len(sl.limbo)&63 == 0 {
+		s.d.tryAdvance()
+	}
+}
+
+// LimboLen reports how many values are awaiting reclamation on this slot.
+func (s Slot) LimboLen() int { return len(s.slot().limbo) }
+
+// tryAdvance attempts to advance the global epoch by one. The epoch can
+// advance only when every active slot has observed the current epoch.
+func (d *Domain) tryAdvance() {
+	e := d.epoch.Load()
+	for i := range d.slots {
+		st := d.slots[i].state.Load()
+		if st&1 == 1 && st>>1 != e {
+			return // an operation is still running in an older epoch
+		}
+	}
+	d.epoch.CompareAndSwap(e, e+1)
+}
+
+// Collect attempts to reclaim values retired through this slot, appending
+// at most max of them to dst and returning the extended slice. It advances
+// the global epoch opportunistically. Collect never blocks: if no value
+// has cleared its grace period, dst is returned unchanged.
+//
+// The caller must not be pinned (a pinned slot would block the epoch
+// advance it is asking for).
+func (s Slot) Collect(dst []uint64, max int) []uint64 {
+	d := s.d
+	d.tryAdvance()
+	safe := d.epoch.Load() // values retired at epoch <= safe-gracePeriod are free
+	sl := s.slot()
+	n := 0
+	for n < len(sl.limbo) && n < max && sl.limbo[n].epoch+gracePeriod <= safe {
+		dst = append(dst, sl.limbo[n].val)
+		n++
+	}
+	if n > 0 {
+		rest := copy(sl.limbo, sl.limbo[n:])
+		sl.limbo = sl.limbo[:rest]
+	}
+	return dst
+}

@@ -1,0 +1,210 @@
+package lockapi
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const confUnits = 64
+
+// variants under conformance test. pnova-rw is constructed with one
+// segment per unit so range semantics are exact at unit granularity.
+func confVariants() []Locker {
+	return []Locker{
+		NewListEx(nil),
+		NewListRW(nil),
+		NewLustreEx(),
+		NewKernelRW(),
+		NewSongRW(),
+		NewPnovaRW(confUnits, confUnits),
+		NewThakurRW(16),
+		NewRWSem(),
+	}
+}
+
+// exclusiveOnly reports whether the variant serializes readers too.
+func exclusiveOnly(name string) bool {
+	return name == "list-ex" || name == "lustre-ex"
+}
+
+// rangeOblivious reports whether the variant ignores ranges entirely.
+func rangeOblivious(name string) bool { return name == "rwsem" }
+
+// TestConformanceExclusion runs the same stamped-cell exclusion stress
+// against every variant: writers must be alone on every covered unit;
+// readers must never see a writer.
+func TestConformanceExclusion(t *testing.T) {
+	for _, lk := range confVariants() {
+		lk := lk
+		t.Run(lk.Name(), func(t *testing.T) {
+			t.Parallel()
+			var (
+				writers [confUnits]atomic.Int32
+				readers [confUnits]atomic.Int32
+				wg      sync.WaitGroup
+			)
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(me int32) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(me) * 1315423911))
+					for i := 0; i < 1200; i++ {
+						s := uint64(rng.Intn(confUnits))
+						e := s + 1 + uint64(rng.Intn(confUnits-int(s)))
+						write := rng.Intn(100) < 30
+						rel := lk.Acquire(s, e, write)
+						if write {
+							for u := s; u < e; u++ {
+								if old := writers[u].Swap(me + 1); old != 0 {
+									t.Errorf("%s: writers %d and %d overlap on unit %d", lk.Name(), old-1, me, u)
+								}
+								if r := readers[u].Load(); r != 0 {
+									t.Errorf("%s: writer %d overlaps readers on unit %d", lk.Name(), me, u)
+								}
+							}
+							for u := s; u < e; u++ {
+								writers[u].Store(0)
+							}
+						} else {
+							for u := s; u < e; u++ {
+								readers[u].Add(1)
+								if w := writers[u].Load(); w != 0 {
+									t.Errorf("%s: reader %d overlaps writer %d on unit %d", lk.Name(), me, w-1, u)
+								}
+							}
+							for u := s; u < e; u++ {
+								readers[u].Add(-1)
+							}
+						}
+						rel()
+					}
+				}(int32(g))
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestConformanceDisjointParallel verifies that disjoint writers truly run
+// in parallel on range-aware variants: with two goroutines on disjoint
+// ranges rendezvousing inside their critical sections, completion is only
+// possible if both hold their ranges at once.
+func TestConformanceDisjointParallel(t *testing.T) {
+	for _, lk := range confVariants() {
+		lk := lk
+		if rangeOblivious(lk.Name()) {
+			continue
+		}
+		t.Run(lk.Name(), func(t *testing.T) {
+			t.Parallel()
+			var barrier sync.WaitGroup
+			barrier.Add(2)
+			done := make(chan struct{})
+			go func() {
+				rel := lk.Acquire(0, 10, true)
+				barrier.Done()
+				barrier.Wait() // blocks unless the other holder is inside too
+				rel()
+				done <- struct{}{}
+			}()
+			go func() {
+				rel := lk.Acquire(20, 30, true)
+				barrier.Done()
+				barrier.Wait()
+				rel()
+				done <- struct{}{}
+			}()
+			timeout := time.After(5 * time.Second)
+			for i := 0; i < 2; i++ {
+				select {
+				case <-done:
+				case <-timeout:
+					t.Fatalf("%s: disjoint writers did not run in parallel", lk.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceSharedParallel verifies overlapping readers proceed in
+// parallel on reader-writer variants.
+func TestConformanceSharedParallel(t *testing.T) {
+	for _, lk := range confVariants() {
+		lk := lk
+		if exclusiveOnly(lk.Name()) {
+			continue
+		}
+		t.Run(lk.Name(), func(t *testing.T) {
+			t.Parallel()
+			var barrier sync.WaitGroup
+			barrier.Add(2)
+			done := make(chan struct{})
+			for i := 0; i < 2; i++ {
+				go func() {
+					rel := lk.Acquire(0, confUnits, false)
+					barrier.Done()
+					barrier.Wait()
+					rel()
+					done <- struct{}{}
+				}()
+			}
+			timeout := time.After(5 * time.Second)
+			for i := 0; i < 2; i++ {
+				select {
+				case <-done:
+				case <-timeout:
+					t.Fatalf("%s: overlapping readers did not run in parallel", lk.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceFullRange verifies the full-range path conflicts with
+// everything.
+func TestConformanceFullRange(t *testing.T) {
+	for _, lk := range confVariants() {
+		fl, ok := lk.(FullLocker)
+		if !ok {
+			continue
+		}
+		t.Run(lk.Name(), func(t *testing.T) {
+			t.Parallel()
+			rel := fl.AcquireFull(true)
+			acquired := make(chan func(), 1)
+			go func() { acquired <- lk.Acquire(5, 6, true) }()
+			select {
+			case <-acquired:
+				t.Fatalf("%s: range acquired while full range held", lk.Name())
+			case <-time.After(20 * time.Millisecond):
+			}
+			rel()
+			select {
+			case rel2 := <-acquired:
+				rel2()
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s: waiter starved after full-range release", lk.Name())
+			}
+		})
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for name := range Variant {
+		lk, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if lk.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, lk.Name())
+		}
+		rel := lk.Acquire(0, 8, true)
+		rel()
+	}
+	if _, err := New("nope"); err == nil {
+		t.Fatal("New with bogus name succeeded")
+	}
+}

@@ -1,0 +1,253 @@
+// Package lockapi defines the uniform range-lock interface used by the
+// benchmarks (ArrBench, skip lists, the VM subsystem) to drive every lock
+// implementation interchangeably, plus adapters for each variant evaluated
+// in the paper:
+//
+//	list-ex    — exclusive list-based lock (§4.1, internal/core)
+//	list-rw    — reader-writer list-based lock (§4.2, internal/core)
+//	lustre-ex  — exclusive tree-based kernel lock (internal/treelock)
+//	kernel-rw  — reader-writer tree-based kernel lock (internal/treelock)
+//	pnova-rw   — segment-based lock of Kim et al. (internal/seglock)
+//	song-rw    — skip-list + spin lock of Song et al. (internal/skiplock)
+//	rwsem      — plain reader-writer semaphore, ranges ignored (mmap_sem)
+package lockapi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpilock"
+	"repro/internal/rwsem"
+	"repro/internal/seglock"
+	"repro/internal/skiplock"
+	"repro/internal/treelock"
+)
+
+// Locker is the minimal range-lock surface. Acquire blocks until
+// [start, end) is held in the requested mode and returns the release
+// function. Implementations with exclusive-only semantics treat shared
+// requests as exclusive.
+type Locker interface {
+	// Name returns the variant label used in the paper's figures.
+	Name() string
+	// Acquire locks [start, end); write selects exclusive mode.
+	Acquire(start, end uint64, write bool) (release func())
+}
+
+// FullLocker is implemented by variants with a dedicated full-range
+// acquisition path.
+type FullLocker interface {
+	Locker
+	// AcquireFull locks the lock's entire range.
+	AcquireFull(write bool) (release func())
+}
+
+// --- list-based locks (the paper's contribution) ---
+
+type listEx struct{ l *core.Exclusive }
+
+// NewListEx returns the exclusive list-based range lock ("list-ex").
+// The paper's user-space study runs without the fast path; pass opts to
+// change defaults.
+func NewListEx(dom *core.Domain, opts ...core.Option) Locker {
+	return listEx{l: core.NewExclusive(dom, opts...)}
+}
+
+func (a listEx) Name() string { return "list-ex" }
+func (a listEx) Acquire(start, end uint64, _ bool) func() {
+	g := a.l.Lock(start, end)
+	return g.Unlock
+}
+func (a listEx) AcquireFull(_ bool) func() {
+	g := a.l.LockFull()
+	return g.Unlock
+}
+
+type listRW struct{ l *core.RW }
+
+// NewListRW returns the reader-writer list-based range lock ("list-rw").
+func NewListRW(dom *core.Domain, opts ...core.Option) Locker {
+	return listRW{l: core.NewRW(dom, opts...)}
+}
+
+func (a listRW) Name() string { return "list-rw" }
+func (a listRW) Acquire(start, end uint64, write bool) func() {
+	var g core.Guard
+	if write {
+		g = a.l.Lock(start, end)
+	} else {
+		g = a.l.RLock(start, end)
+	}
+	return g.Unlock
+}
+func (a listRW) AcquireFull(write bool) func() {
+	var g core.Guard
+	if write {
+		g = a.l.LockFull()
+	} else {
+		g = a.l.RLockFull()
+	}
+	return g.Unlock
+}
+
+// --- tree-based kernel locks ---
+
+type tree struct {
+	l  *treelock.Lock
+	nm string
+}
+
+// NewLustreEx returns the exclusive tree-based lock ("lustre-ex").
+func NewLustreEx() Locker { return tree{l: treelock.NewExclusive(), nm: "lustre-ex"} }
+
+// NewKernelRW returns the reader-writer tree-based lock ("kernel-rw").
+func NewKernelRW() Locker { return tree{l: treelock.NewRW(), nm: "kernel-rw"} }
+
+// WrapTreeRW adapts an existing tree-based lock — used when the caller
+// needs to attach statistics to the underlying lock first.
+func WrapTreeRW(l *treelock.Lock) FullLocker { return tree{l: l, nm: "kernel-rw"} }
+
+func (a tree) Name() string { return a.nm }
+func (a tree) Acquire(start, end uint64, write bool) func() {
+	var g treelock.Guard
+	if write {
+		g = a.l.Lock(start, end)
+	} else {
+		g = a.l.RLock(start, end)
+	}
+	return g.Unlock
+}
+func (a tree) AcquireFull(write bool) func() {
+	var g treelock.Guard
+	if write {
+		g = a.l.LockFull()
+	} else {
+		g = a.l.RLockFull()
+	}
+	return g.Unlock
+}
+
+// --- segment lock (pNOVA) ---
+
+type seg struct{ l *seglock.Lock }
+
+// NewPnovaRW returns the segment-based lock ("pnova-rw") covering
+// [0, extent) with nsegs segments.
+func NewPnovaRW(extent uint64, nsegs int) Locker {
+	return seg{l: seglock.New(extent, nsegs)}
+}
+
+func (a seg) Name() string { return "pnova-rw" }
+func (a seg) Acquire(start, end uint64, write bool) func() {
+	var g seglock.Guard
+	if write {
+		g = a.l.Lock(start, end)
+	} else {
+		g = a.l.RLock(start, end)
+	}
+	return g.Unlock
+}
+func (a seg) AcquireFull(write bool) func() {
+	var g seglock.Guard
+	if write {
+		g = a.l.LockFull()
+	} else {
+		g = a.l.RLockFull()
+	}
+	return g.Unlock
+}
+
+// --- skip-list lock (Song et al.) ---
+
+type skip struct{ l *skiplock.Lock }
+
+// NewSongRW returns the skip-list-based lock ("song-rw").
+func NewSongRW() Locker { return skip{l: skiplock.New()} }
+
+func (a skip) Name() string { return "song-rw" }
+func (a skip) Acquire(start, end uint64, write bool) func() {
+	var g skiplock.Guard
+	if write {
+		g = a.l.Lock(start, end)
+	} else {
+		g = a.l.RLock(start, end)
+	}
+	return g.Unlock
+}
+func (a skip) AcquireFull(write bool) func() {
+	var g skiplock.Guard
+	if write {
+		g = a.l.LockFull()
+	} else {
+		g = a.l.RLock(0, skiplock.MaxEnd)
+	}
+	return g.Unlock
+}
+
+// --- slot-table lock (Thakur et al.) ---
+
+type mpi struct{ l *mpilock.Lock }
+
+// NewThakurRW returns the slot-table byte-range lock of Thakur et al.
+// ("thakur-rw") with capacity for procs concurrent holders.
+func NewThakurRW(procs int) Locker { return mpi{l: mpilock.New(procs)} }
+
+func (a mpi) Name() string { return "thakur-rw" }
+func (a mpi) Acquire(start, end uint64, write bool) func() {
+	var g mpilock.Guard
+	if write {
+		g = a.l.Lock(start, end)
+	} else {
+		g = a.l.RLock(start, end)
+	}
+	return g.Unlock
+}
+func (a mpi) AcquireFull(write bool) func() {
+	var g mpilock.Guard
+	if write {
+		g = a.l.LockFull()
+	} else {
+		g = a.l.RLockFull()
+	}
+	return g.Unlock
+}
+
+// --- plain reader-writer semaphore (mmap_sem) ---
+
+type sem struct{ s *rwsem.RWSem }
+
+// NewRWSem returns the range-oblivious reader-writer semaphore ("rwsem"):
+// every acquisition locks the whole resource, like mmap_sem.
+func NewRWSem() Locker { return sem{s: new(rwsem.RWSem)} }
+
+func (a sem) Name() string { return "rwsem" }
+func (a sem) Acquire(_, _ uint64, write bool) func() {
+	if write {
+		a.s.Lock()
+		return a.s.Unlock
+	}
+	a.s.RLock()
+	return a.s.RUnlock
+}
+func (a sem) AcquireFull(write bool) func() { return a.Acquire(0, 1, write) }
+
+// Variant names every adapter constructor by figure label.
+var Variant = map[string]func() Locker{
+	"list-ex":   func() Locker { return NewListEx(nil) },
+	"list-rw":   func() Locker { return NewListRW(nil) },
+	"lustre-ex": NewLustreEx,
+	"kernel-rw": NewKernelRW,
+	"song-rw":   NewSongRW,
+	"thakur-rw": func() Locker { return NewThakurRW(64) },
+	"rwsem":     NewRWSem,
+	// pnova-rw needs an extent; benchmark drivers construct it directly.
+}
+
+// New constructs a variant by name, or returns an error listing valid
+// names.
+func New(name string) (Locker, error) {
+	if f, ok := Variant[name]; ok {
+		return f(), nil
+	}
+	return nil, fmt.Errorf("lockapi: unknown variant %q", name)
+}

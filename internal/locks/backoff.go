@@ -1,0 +1,44 @@
+// Package locks provides the low-level spin locks and the fair
+// reader-writer lock used as substrates by the range-lock implementations:
+// a test-and-test-and-set spin lock (the lock the kernel range tree is
+// ported with in the paper's user-space study), a ticket spin lock, and a
+// ticket-based fair reader-writer lock (the auxiliary lock of the fairness
+// mechanism in §4.3).
+//
+// The package also centralizes the polite busy-wait policy ("Pause()" in
+// the paper's pseudo-code): a bounded spin followed by runtime.Gosched, so
+// spinning goroutines do not starve the goroutines they are waiting for.
+package locks
+
+import "runtime"
+
+// spinBeforeYield is the number of busy iterations performed before the
+// waiter yields the processor. On a real CPU each iteration would be an
+// x86 PAUSE; in Go the loop body is empty and the cost is dominated by the
+// atomic re-check done by the caller.
+const spinBeforeYield = 64
+
+// Backoff implements the paper's Pause() with progressively politer
+// waiting. The zero value is ready to use; one Backoff instance tracks one
+// wait episode and must not be shared between goroutines.
+type Backoff struct {
+	spins int
+}
+
+// Pause performs one unit of polite waiting. The first spinBeforeYield
+// calls busy-spin (with procyield-like granularity); subsequent calls yield
+// to the scheduler so that the lock holder — possibly a goroutine on this
+// very P — can run and release the awaited resource.
+func (b *Backoff) Pause() {
+	if b.spins < spinBeforeYield {
+		b.spins++
+		for i := 0; i < 4; i++ {
+			// Empty loop: stand-in for the PAUSE instruction.
+		}
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset re-arms the backoff for a new wait episode.
+func (b *Backoff) Reset() { b.spins = 0 }

@@ -1,0 +1,66 @@
+package locks
+
+import "sync/atomic"
+
+// FairRW is a ticket-based fair (phase-fair-ish, writer-batching) reader-
+// writer spin lock. It is the "auxiliary (fair) reader-writer lock" of the
+// fairness mechanism in §4.3: an impatient thread acquires it for write,
+// draining and blocking regular acquisitions, which hold it for read.
+//
+// The implementation is the classic ticket reader-writer lock (Mellor-
+// Crummey & Scott): a 64-bit word packs reader/writer ticket counters so
+// that requests are served strictly in arrival order.
+//
+// Layout of the ticket word (each field 16 bits):
+//
+//	[ write ticket | read ticket | write serving | read serving ]
+//
+// A reader waits until all writers that arrived before it have completed;
+// a writer waits until all readers and writers before it have completed.
+type FairRW struct {
+	// request: upper 32 bits = next write ticket, lower 32 = next read ticket.
+	request atomic.Uint64
+	// complete: upper 32 bits = completed writers, lower 32 = completed readers.
+	complete atomic.Uint64
+}
+
+const (
+	rwReaderUnit = uint64(1)
+	rwWriterUnit = uint64(1) << 32
+	rwLowMask    = (uint64(1) << 32) - 1
+)
+
+// RLock acquires the lock in shared mode.
+func (l *FairRW) RLock() {
+	ticket := l.request.Add(rwReaderUnit) - rwReaderUnit
+	wantWriters := ticket >> 32 // writers that arrived before us
+	var b Backoff
+	for l.complete.Load()>>32 != wantWriters {
+		b.Pause()
+	}
+}
+
+// RUnlock releases a shared acquisition.
+func (l *FairRW) RUnlock() {
+	l.complete.Add(rwReaderUnit)
+}
+
+// Lock acquires the lock in exclusive mode.
+func (l *FairRW) Lock() {
+	ticket := l.request.Add(rwWriterUnit) - rwWriterUnit
+	wantWriters := ticket >> 32
+	wantReaders := ticket & rwLowMask
+	var b Backoff
+	for {
+		c := l.complete.Load()
+		if c>>32 == wantWriters && c&rwLowMask == wantReaders {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// Unlock releases an exclusive acquisition.
+func (l *FairRW) Unlock() {
+	l.complete.Add(rwWriterUnit)
+}

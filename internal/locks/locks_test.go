@@ -1,0 +1,193 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// exclusionBody hammers a critical section protected by lock/unlock and
+// verifies mutual exclusion with a non-atomic shared counter.
+func exclusionBody(t *testing.T, lock, unlock func()) {
+	t.Helper()
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var (
+		counter int // intentionally non-atomic: the lock must protect it
+		inside  atomic.Int32
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock()
+				if n := inside.Add(1); n != 1 {
+					t.Errorf("mutual exclusion violated: %d goroutines inside", n)
+				}
+				counter++
+				inside.Add(-1)
+				unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, goroutines*iters)
+	}
+}
+
+func TestSpinLockExclusion(t *testing.T) {
+	var l SpinLock
+	exclusionBody(t, l.Lock, l.Unlock)
+}
+
+func TestTicketLockExclusion(t *testing.T) {
+	var l TicketLock
+	exclusionBody(t, l.Lock, l.Unlock)
+}
+
+func TestFairRWExclusion(t *testing.T) {
+	var l FairRW
+	exclusionBody(t, l.Lock, l.Unlock)
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestFairRWReadersShareWritersExclude(t *testing.T) {
+	var (
+		l       FairRW
+		readers atomic.Int32
+		writers atomic.Int32
+		wg      sync.WaitGroup
+	)
+	const n = 6
+	for g := 0; g < n; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.RLock()
+				readers.Add(1)
+				if writers.Load() != 0 {
+					t.Error("reader overlapped a writer")
+				}
+				readers.Add(-1)
+				l.RUnlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Lock()
+				if w := writers.Add(1); w != 1 {
+					t.Errorf("two writers inside: %d", w)
+				}
+				if readers.Load() != 0 {
+					t.Error("writer overlapped a reader")
+				}
+				writers.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFairRWConcurrentReaders checks that readers can actually overlap
+// (i.e. the lock is not accidentally exclusive for readers).
+func TestFairRWConcurrentReaders(t *testing.T) {
+	var l FairRW
+	l.RLock()
+	done := make(chan struct{})
+	go func() {
+		l.RLock() // must not block while another reader holds the lock
+		l.RUnlock()
+		close(done)
+	}()
+	<-done
+	l.RUnlock()
+}
+
+// TestTicketLockFIFO verifies arrival-order service with two waiters.
+func TestTicketLockFIFO(t *testing.T) {
+	var l TicketLock
+	l.Lock()
+
+	order := make(chan int, 2)
+	started := make(chan struct{}, 2)
+
+	go func() {
+		started <- struct{}{}
+		l.Lock()
+		order <- 1
+		l.Unlock()
+	}()
+	<-started
+	// Give waiter 1 a moment to take its ticket before waiter 2 starts.
+	for l.next.Load() != 2 {
+	}
+	go func() {
+		started <- struct{}{}
+		l.Lock()
+		order <- 2
+		l.Unlock()
+	}()
+	<-started
+	for l.next.Load() != 3 {
+	}
+
+	l.Unlock()
+	if first := <-order; first != 1 {
+		t.Fatalf("ticket lock served waiter %d first, want 1", first)
+	}
+	if second := <-order; second != 2 {
+		t.Fatalf("ticket lock served waiter %d second, want 2", second)
+	}
+}
+
+func TestBackoffResets(t *testing.T) {
+	var b Backoff
+	for i := 0; i < spinBeforeYield+8; i++ {
+		b.Pause()
+	}
+	if b.spins != spinBeforeYield {
+		t.Fatalf("spins = %d, want saturation at %d", b.spins, spinBeforeYield)
+	}
+	b.Reset()
+	if b.spins != 0 {
+		t.Fatalf("Reset did not clear spin count")
+	}
+}
+
+func BenchmarkSpinLockUncontended(b *testing.B) {
+	var l SpinLock
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkFairRWReadUncontended(b *testing.B) {
+	var l FairRW
+	for i := 0; i < b.N; i++ {
+		l.RLock()
+		l.RUnlock()
+	}
+}

@@ -1,0 +1,60 @@
+package locks
+
+import "sync/atomic"
+
+// SpinLock is a test-and-test-and-set (TTAS) spin lock with polite backoff.
+// It is the user-space stand-in for the kernel spin lock protecting the
+// range tree in the tree-based range locks (§3, §7.1: "we used a simple
+// test-test-and-set lock to implement a spin lock protecting the range
+// tree"). The zero value is an unlocked lock.
+type SpinLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the spin lock, busy-waiting until it is available.
+func (l *SpinLock) Lock() {
+	var b Backoff
+	for {
+		// Test-and-test-and-set: spin on a plain load first so waiters
+		// do not generate coherence traffic with failed CASes.
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		b.Pause()
+	}
+}
+
+// TryLock attempts to acquire the lock without waiting and reports whether
+// it succeeded.
+func (l *SpinLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the spin lock. It must be called by the goroutine that
+// holds the lock.
+func (l *SpinLock) Unlock() {
+	l.state.Store(0)
+}
+
+// TicketLock is a FIFO spin lock: acquisitions are served in arrival
+// order. It is used where fairness of the underlying mutual exclusion
+// matters (e.g. as an alternative range-tree protector in ablation
+// benchmarks; the kernel's qspinlock is likewise FIFO).
+type TicketLock struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock takes a ticket and waits until it is served.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	var b Backoff
+	for l.serving.Load() != t {
+		b.Pause()
+	}
+}
+
+// Unlock serves the next ticket.
+func (l *TicketLock) Unlock() {
+	l.serving.Add(1)
+}

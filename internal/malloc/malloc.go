@@ -1,0 +1,198 @@
+// Package malloc simulates the GLIBC per-thread arena allocator, the
+// user-space pattern that motivates the paper's speculative mprotect
+// (§1, §5.2): each thread's arena is created by mmapping a large
+// PROT_NONE chunk; the prefix holding live objects is committed with
+// mprotect(PROT_READ|PROT_WRITE) and grows or shrinks at page granularity
+// as the heap top moves. Those grow/shrink calls are exactly the
+// boundary-move mprotects the speculative path executes without the
+// full-range lock.
+//
+// Allocation is a bump pointer with LIFO frees (sufficient for the Metis
+// workloads, which build data structures monotonically and release
+// scratch buffers in stack order). First touches of committed pages go
+// through the simulated page-fault handler once per page, mirroring
+// hardware behaviour via a private "TLB" bitmap.
+package malloc
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// DefaultArenaSize mirrors GLIBC's 64 MiB thread-arena reservation.
+const DefaultArenaSize uint64 = 64 << 20
+
+// growSlack is how many extra pages a grow commits beyond the immediate
+// need, amortizing mprotect traffic (GLIBC pads similarly).
+const growSlack uint64 = 8
+
+// trimThreshold is how many committed-but-unused pages are tolerated
+// before the arena shrinks (cf. M_TRIM_THRESHOLD).
+const trimThreshold uint64 = 32
+
+// Arena is one simulated GLIBC heap arena bound to one goroutine.
+// It is not safe for concurrent use — per-thread by construction.
+type Arena struct {
+	as   *vm.AddressSpace
+	base uint64
+	size uint64
+
+	top       uint64 // bump offset of the next free byte
+	committed uint64 // bytes committed read-write from base
+
+	// tlb tracks pages this "thread" has already faulted in, one bit per
+	// page. Hardware would not trap again on a present page.
+	tlb []uint64
+
+	// Stats.
+	allocs, frees  uint64
+	grows, shrinks uint64
+	faults         uint64
+}
+
+// NewArena reserves a PROT_NONE region of the given size (0 selects
+// DefaultArenaSize) in the address space.
+func NewArena(as *vm.AddressSpace, size uint64) (*Arena, error) {
+	if size == 0 {
+		size = DefaultArenaSize
+	}
+	if size%vm.PageSize != 0 {
+		return nil, fmt.Errorf("malloc: arena size %d not page-aligned", size)
+	}
+	base, err := as.Mmap(size, vm.ProtNone)
+	if err != nil {
+		return nil, err
+	}
+	return &Arena{
+		as:   as,
+		base: base,
+		size: size,
+		tlb:  make([]uint64, (size/vm.PageSize+63)/64),
+	}, nil
+}
+
+// Base returns the arena's base address.
+func (a *Arena) Base() uint64 { return a.base }
+
+// Used returns the number of live bytes.
+func (a *Arena) Used() uint64 { return a.top }
+
+// Committed returns the number of committed (read-write) bytes.
+func (a *Arena) Committed() uint64 { return a.committed }
+
+const allocAlign = 16
+
+// Alloc carves n bytes out of the arena, committing pages and faulting
+// them in as needed, and returns the simulated address.
+func (a *Arena) Alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		n = allocAlign
+	}
+	n = (n + allocAlign - 1) &^ (allocAlign - 1)
+	if a.top+n > a.size {
+		return 0, fmt.Errorf("malloc: arena exhausted (%d used, %d requested, %d reserved)", a.top, n, a.size)
+	}
+	if a.top+n > a.committed {
+		// Grow the committed prefix: mprotect(RW) on the head of the
+		// PROT_NONE remainder — the Figure 2 boundary move.
+		newCommit := a.top + n + growSlack*vm.PageSize
+		if newCommit > a.size {
+			newCommit = a.size
+		}
+		newCommit = pageAlignUp(newCommit)
+		if err := a.as.Mprotect(a.base+a.committed, newCommit-a.committed, vm.ProtRead|vm.ProtWrite); err != nil {
+			return 0, err
+		}
+		a.committed = newCommit
+		a.grows++
+	}
+	addr := a.base + a.top
+	a.top += n
+	a.allocs++
+	if err := a.touch(addr, n); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// Free releases the most recent n bytes (LIFO). When the committed slack
+// beyond the heap top exceeds trimThreshold pages, the tail is returned to
+// PROT_NONE — the shrink boundary move.
+func (a *Arena) Free(n uint64) error {
+	n = (n + allocAlign - 1) &^ (allocAlign - 1)
+	if n > a.top {
+		return fmt.Errorf("malloc: freeing %d bytes with only %d live", n, a.top)
+	}
+	a.top -= n
+	a.frees++
+	usedPages := pageAlignUp(a.top)
+	if a.committed > usedPages+trimThreshold*vm.PageSize {
+		// Keep one page of slack so an immediate re-alloc does not bounce.
+		keep := usedPages + vm.PageSize
+		if err := a.as.Mprotect(a.base+keep, a.committed-keep, vm.ProtNone); err != nil {
+			return err
+		}
+		// The zapped pages will fault again if recommitted.
+		a.clearTLB(a.base+keep, a.committed-keep)
+		a.committed = keep
+		a.shrinks++
+	}
+	return nil
+}
+
+// Touch simulates a memory access to [addr, addr+n), faulting once per
+// page not yet in this thread's TLB.
+func (a *Arena) Touch(addr, n uint64) error { return a.touch(addr, n) }
+
+func (a *Arena) touch(addr, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	first := (addr - a.base) / vm.PageSize
+	last := (addr + n - 1 - a.base) / vm.PageSize
+	for p := first; p <= last; p++ {
+		if a.tlb[p/64]&(1<<(p%64)) != 0 {
+			continue
+		}
+		if err := a.as.PageFault(a.base+p*vm.PageSize, true); err != nil {
+			return fmt.Errorf("malloc: fault at %#x: %w", a.base+p*vm.PageSize, err)
+		}
+		a.tlb[p/64] |= 1 << (p % 64)
+		a.faults++
+	}
+	return nil
+}
+
+func (a *Arena) clearTLB(addr, n uint64) {
+	first := (addr - a.base) / vm.PageSize
+	last := (addr + n - 1 - a.base) / vm.PageSize
+	for p := first; p <= last; p++ {
+		a.tlb[p/64] &^= 1 << (p % 64)
+	}
+}
+
+// Stats reports the arena's operation counters.
+type Stats struct {
+	Allocs, Frees  uint64
+	Grows, Shrinks uint64
+	Faults         uint64
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *Arena) Stats() Stats {
+	return Stats{
+		Allocs: a.allocs, Frees: a.frees,
+		Grows: a.grows, Shrinks: a.shrinks,
+		Faults: a.faults,
+	}
+}
+
+// Destroy unmaps the arena's reservation.
+func (a *Arena) Destroy() error {
+	return a.as.Munmap(a.base, a.size)
+}
+
+func pageAlignUp(v uint64) uint64 {
+	return (v + vm.PageSize - 1) &^ (vm.PageSize - 1)
+}

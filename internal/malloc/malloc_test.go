@@ -1,0 +1,171 @@
+package malloc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func newArena(t *testing.T, kind vm.PolicyKind, size uint64) (*vm.AddressSpace, *Arena) {
+	t.Helper()
+	as := vm.NewAddressSpace(kind, nil, nil)
+	a, err := NewArena(as, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, a
+}
+
+func TestAllocGrowsCommit(t *testing.T) {
+	_, a := newArena(t, vm.ListRefined, 1<<20)
+	if a.Committed() != 0 {
+		t.Fatalf("fresh arena committed %d", a.Committed())
+	}
+	addr, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != a.Base() {
+		t.Fatalf("first alloc at %#x, want base %#x", addr, a.Base())
+	}
+	if a.Committed() == 0 || a.Committed()%vm.PageSize != 0 {
+		t.Fatalf("commit after alloc = %d", a.Committed())
+	}
+	st := a.Stats()
+	if st.Grows != 1 || st.Faults == 0 {
+		t.Fatalf("stats after first alloc: %+v", st)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	_, a := newArena(t, vm.Stock, 1<<20)
+	a1, _ := a.Alloc(1)
+	a2, _ := a.Alloc(1)
+	if a2-a1 != 16 {
+		t.Fatalf("allocations not 16-byte aligned: %#x then %#x", a1, a2)
+	}
+}
+
+func TestFaultOncePerPage(t *testing.T) {
+	as, a := newArena(t, vm.ListRefined, 1<<20)
+	if _, err := a.Alloc(3 * vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	f0 := as.Stats().Faults
+	// Re-touching the same pages must not fault again (TLB hit).
+	if err := a.Touch(a.Base(), 3*vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if as.Stats().Faults != f0 {
+		t.Fatal("re-touch faulted despite TLB")
+	}
+}
+
+func TestFreeShrinksCommit(t *testing.T) {
+	_, a := newArena(t, vm.ListRefined, 4<<20)
+	big := (trimThreshold + 8) * vm.PageSize
+	if _, err := a.Alloc(big); err != nil {
+		t.Fatal(err)
+	}
+	pre := a.Committed()
+	if err := a.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	if a.Committed() >= pre {
+		t.Fatalf("commit did not shrink: %d -> %d", pre, a.Committed())
+	}
+	if a.Stats().Shrinks != 1 {
+		t.Fatalf("shrinks = %d, want 1", a.Stats().Shrinks)
+	}
+	// Reallocate: pages must fault again after the shrink zapped them.
+	if _, err := a.Alloc(big); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	_, a := newArena(t, vm.Stock, 2*vm.PageSize)
+	if _, err := a.Alloc(vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(2 * vm.PageSize); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+}
+
+func TestFreeUnderflow(t *testing.T) {
+	_, a := newArena(t, vm.Stock, 1<<20)
+	a.Alloc(16)
+	if err := a.Free(64); err == nil {
+		t.Fatal("freeing more than live succeeded")
+	}
+}
+
+func TestUnalignedSizeRejected(t *testing.T) {
+	as := vm.NewAddressSpace(vm.Stock, nil, nil)
+	if _, err := NewArena(as, 1000); err == nil {
+		t.Fatal("unaligned arena size accepted")
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	as, a := newArena(t, vm.Stock, 1<<20)
+	if _, err := a.Alloc(vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if n := as.VMACount(); n != 0 {
+		t.Fatalf("VMACount after destroy = %d", n)
+	}
+}
+
+// TestConcurrentArenas is the GLIBC pattern end-to-end: one arena per
+// goroutine over a shared address space, allocating and freeing
+// concurrently under the refined policy. The speculation success rate
+// must match the paper's observation (>99% once warmed up; we accept 90%
+// to absorb startup splits).
+func TestConcurrentArenas(t *testing.T) {
+	as := vm.NewAddressSpace(vm.ListRefined, nil, nil)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := NewArena(as, 4<<20)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 300; i++ {
+				if _, err := a.Alloc(3000); err != nil {
+					errs <- err
+					return
+				}
+				if i%7 == 6 {
+					if err := a.Free(3000 * 4); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- a.Destroy()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := as.Stats()
+	total := st.SpecSucceeded + st.SpecFellBack
+	if total == 0 || st.SpecSucceeded*100/total < 90 {
+		t.Fatalf("speculation success too low: %+v", st)
+	}
+}

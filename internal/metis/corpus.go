@@ -1,0 +1,64 @@
+package metis
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// vocabSize is the number of distinct words in the synthetic corpus.
+// Metis's wc/wr inputs are natural-language-ish files; a Zipf-distributed
+// vocabulary reproduces the skewed key popularity that shapes the hash
+// tables (few hot keys, long tail).
+const vocabSize = 8192
+
+// zipfS and zipfV parametrize the Zipf sampler (mildly skewed).
+const (
+	zipfS = 1.2
+	zipfV = 1.0
+)
+
+// vocabulary builds the word list once; words are 3–11 bytes.
+func vocabulary() []string {
+	words := make([]string, vocabSize)
+	for i := range words {
+		words[i] = "w" + strconv.FormatUint(uint64(i*2654435761), 36)
+	}
+	return words
+}
+
+// GenerateCorpus produces approximately size bytes of space-separated
+// Zipf-distributed words, deterministically from seed. It stands in for
+// the Metis input files (see DESIGN.md substitutions).
+func GenerateCorpus(seed int64, size uint64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, zipfS, zipfV, vocabSize-1)
+	vocab := vocabulary()
+	out := make([]byte, 0, size+16)
+	for uint64(len(out)) < size {
+		w := vocab[zipf.Uint64()]
+		out = append(out, w...)
+		out = append(out, ' ')
+	}
+	return out
+}
+
+// words iterates the space-separated words of buf, calling fn with each
+// word and its byte offset.
+func words(buf []byte, fn func(word []byte, off uint32)) {
+	start := -1
+	for i, b := range buf {
+		if b == ' ' {
+			if start >= 0 {
+				fn(buf[start:i], uint32(start))
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		fn(buf[start:], uint32(start))
+	}
+}

@@ -1,0 +1,420 @@
+// Package metis re-implements the three Metis map-reduce benchmarks the
+// paper uses to stress the VM subsystem (§7.2): wc (word count), wr
+// (inverted index) and wrmem (wr over generated in-memory input). The
+// computation is real map-reduce over a synthetic corpus; what matters for
+// the reproduction is the memory-system traffic it generates, which
+// mirrors Metis + GLIBC faithfully:
+//
+//   - every worker allocates its hash tables from a private GLIBC-style
+//     arena (internal/malloc), so table growth produces the boundary-move
+//     mprotects of §5.2;
+//   - scratch buffers are released in phases, producing shrink mprotects;
+//   - first touches of input and table pages take simulated page faults;
+//   - all of it runs against one shared simulated address space whose
+//     locking policy is the experiment variable.
+package metis
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/malloc"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Workload selects the benchmark.
+type Workload int
+
+// The Metis benchmarks that exercise mprotect (§7.2).
+const (
+	// WC counts word occurrences.
+	WC Workload = iota
+	// WR builds an inverted index (word -> positions).
+	WR
+	// WRMem is WR over input generated into arena memory by each worker.
+	WRMem
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WC:
+		return "wc"
+	case WR:
+		return "wr"
+	case WRMem:
+		return "wrmem"
+	case MM:
+		return "mm"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// ParseWorkload resolves a workload name.
+func ParseWorkload(name string) (Workload, error) {
+	for _, w := range []Workload{WC, WR, WRMem, MM} {
+		if w.String() == name {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("metis: unknown workload %q", name)
+}
+
+// Config parametrizes one run.
+type Config struct {
+	Workload Workload
+	Policy   vm.PolicyKind
+	Workers  int
+	// InputBytes is the corpus size for wc/wr, or the per-run total
+	// generated size for wrmem. Zero selects 8 MiB (scaled-down from the
+	// paper's inputs; see DESIGN.md).
+	InputBytes uint64
+	// ArenaSize is each worker's arena reservation (0 = 64 MiB).
+	ArenaSize uint64
+	Seed      int64
+	// RangeStat/SpinStat attach lock accounting (Figures 7 and 8).
+	RangeStat, SpinStat *stats.LockStat
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	Elapsed time.Duration
+	Words   uint64 // total words processed
+	Unique  uint64 // distinct words found
+	VM      vm.OpStats
+	Arena   malloc.Stats // summed over workers
+}
+
+// entry mirrors one hash-table record: its simulated allocation address
+// plus the real payload used by the computation.
+type entry struct {
+	addr      uint64
+	count     uint64
+	positions []uint32
+	posAddr   uint64 // simulated address of the positions block
+}
+
+// scratchBytes is the per-phase scratch buffer each worker allocates and
+// releases, generating the shrink mprotects Metis produces when map-phase
+// buffers are returned.
+const scratchBytes = 256 << 10
+
+// churnWords is how often (in words) a worker cycles its scratch buffer.
+const churnWords = 8192
+
+// Run executes the configured benchmark and returns its wall time and
+// counters. The address space (and hence the lock under test) is created
+// fresh for each run.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.InputBytes == 0 {
+		cfg.InputBytes = 8 << 20
+	}
+	if cfg.ArenaSize == 0 {
+		cfg.ArenaSize = malloc.DefaultArenaSize
+	}
+
+	as := vm.NewAddressSpace(cfg.Policy, cfg.RangeStat, cfg.SpinStat)
+
+	if cfg.Workload == MM {
+		// The negative control takes a separate, compute-bound path.
+		start := time.Now()
+		res, err := runMM(cfg, as)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Elapsed = time.Since(start)
+		res.VM = as.Stats()
+		return res, nil
+	}
+
+	// Input preparation happens outside the timed section. wc/wr read a
+	// shared corpus through a read-only file mapping; wrmem workers
+	// generate their input into their own arenas inside the timed run.
+	var corpus []byte
+	var inputBase uint64
+	if cfg.Workload != WRMem {
+		corpus = GenerateCorpus(cfg.Seed, cfg.InputBytes)
+		base, err := as.Mmap(uint64(len(corpus)), vm.ProtRead)
+		if err != nil {
+			return Result{}, err
+		}
+		inputBase = base
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		a, err := malloc.NewArena(as, cfg.ArenaSize)
+		if err != nil {
+			return Result{}, err
+		}
+		workers[i] = &worker{
+			id:        i,
+			cfg:       cfg,
+			as:        as,
+			arena:     a,
+			table:     make(map[string]*entry),
+			inputBase: inputBase,
+		}
+	}
+
+	start := time.Now()
+
+	// --- Map phase.
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			var err error
+			if cfg.Workload == WRMem {
+				err = w.mapGenerated()
+			} else {
+				err = w.mapCorpus(segment(corpus, i, cfg.Workers))
+			}
+			if err != nil {
+				errs <- err
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+
+	// --- Reduce phase: hash-partitioned parallel merge; each reducer
+	// allocates its merged table from its own arena.
+	reduced := make([]map[string]uint64, cfg.Workers)
+	for i := range workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make(map[string]uint64)
+			for _, w := range workers {
+				for word, e := range w.table {
+					if int(hashString(word))%cfg.Workers != i {
+						continue
+					}
+					if _, ok := out[word]; !ok {
+						if _, err := workers[i].arena.Alloc(uint64(48 + len(word))); err != nil {
+							errs <- err
+							return
+						}
+					}
+					out[word] += e.count
+				}
+			}
+			reduced[i] = out
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+
+	res := Result{Elapsed: time.Since(start), VM: as.Stats()}
+	for _, w := range workers {
+		res.Words += w.words
+		st := w.arena.Stats()
+		res.Arena.Allocs += st.Allocs
+		res.Arena.Frees += st.Frees
+		res.Arena.Grows += st.Grows
+		res.Arena.Shrinks += st.Shrinks
+		res.Arena.Faults += st.Faults
+	}
+	for _, m := range reduced {
+		res.Unique += uint64(len(m))
+	}
+	return res, nil
+}
+
+var hashSeed = maphash.MakeSeed()
+
+func hashString(s string) uint64 { return maphash.String(hashSeed, s) }
+
+// segment splits buf into worker-count chunks on word boundaries.
+func segment(buf []byte, i, n int) []byte {
+	lo := len(buf) * i / n
+	hi := len(buf) * (i + 1) / n
+	for lo > 0 && lo < len(buf) && buf[lo-1] != ' ' {
+		lo++
+	}
+	for hi > 0 && hi < len(buf) && buf[hi-1] != ' ' {
+		hi++
+	}
+	if lo >= hi {
+		return nil
+	}
+	return buf[lo:hi]
+}
+
+type worker struct {
+	id        int
+	cfg       Config
+	as        *vm.AddressSpace
+	arena     *malloc.Arena
+	table     map[string]*entry
+	inputBase uint64
+	words     uint64
+
+	scratch uint64 // live scratch bytes
+}
+
+// mapCorpus processes one segment of the shared corpus (wc and wr).
+func (w *worker) mapCorpus(seg []byte) error {
+	if err := w.allocScratch(); err != nil {
+		return err
+	}
+	var err error
+	sinceChurn := 0
+	words(seg, func(word []byte, off uint32) {
+		if err != nil {
+			return
+		}
+		// Reading the input faults the shared mapping's pages in (once
+		// per page process-wide; racy dedupe like a hardware TLB refill).
+		if w.inputBase != 0 {
+			addr := w.inputBase + uint64(off)
+			if !w.as.PageTable().Present(addr) {
+				if ferr := w.as.PageFault(addr, false); ferr != nil {
+					err = ferr
+					return
+				}
+			}
+		}
+		if e := w.consume(word, off); e != nil {
+			err = e
+			return
+		}
+		sinceChurn++
+		if sinceChurn >= churnWords {
+			sinceChurn = 0
+			if e := w.churnScratch(); e != nil {
+				err = e
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return w.freeScratch()
+}
+
+// mapGenerated is wrmem's map phase: generate random words into arena
+// memory (faulting each page on first write), then index them.
+func (w *worker) mapGenerated() error {
+	size := w.cfg.InputBytes / uint64(w.cfg.Workers)
+	addr, err := w.arena.Alloc(size)
+	if err != nil {
+		return err
+	}
+	// Generating writes through every page; Alloc already touched them,
+	// but the generation itself is the real work here.
+	rng := rand.New(rand.NewSource(w.cfg.Seed + int64(w.id)))
+	zipf := rand.NewZipf(rng, zipfS, zipfV, vocabSize-1)
+	vocab := vocabulary()
+	buf := make([]byte, 0, size)
+	for uint64(len(buf)) < size {
+		buf = append(buf, vocab[zipf.Uint64()]...)
+		buf = append(buf, ' ')
+	}
+	_ = addr
+	if err := w.allocScratch(); err != nil {
+		return err
+	}
+	var werr error
+	sinceChurn := 0
+	words(buf, func(word []byte, off uint32) {
+		if werr != nil {
+			return
+		}
+		if e := w.consume(word, off); e != nil {
+			werr = e
+			return
+		}
+		sinceChurn++
+		if sinceChurn >= churnWords {
+			sinceChurn = 0
+			if e := w.churnScratch(); e != nil {
+				werr = e
+			}
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return w.freeScratch()
+}
+
+// consume feeds one word into the worker's table, mirroring every real
+// allocation with an arena allocation.
+func (w *worker) consume(word []byte, off uint32) error {
+	w.words++
+	e, ok := w.table[string(word)]
+	if !ok {
+		addr, err := w.arena.Alloc(uint64(48 + len(word)))
+		if err != nil {
+			return err
+		}
+		e = &entry{addr: addr}
+		w.table[string(word)] = e
+	}
+	e.count++
+	if w.cfg.Workload != WC {
+		// Inverted index: append the position, growing the mirrored
+		// positions block geometrically like a realloc.
+		if len(e.positions) == cap(e.positions) {
+			newCap := cap(e.positions) * 2
+			if newCap == 0 {
+				newCap = 4
+			}
+			addr, err := w.arena.Alloc(uint64(8 * newCap))
+			if err != nil {
+				return err
+			}
+			e.posAddr = addr
+			grown := make([]uint32, len(e.positions), newCap)
+			copy(grown, e.positions)
+			e.positions = grown
+		}
+		e.positions = append(e.positions, off)
+	}
+	return nil
+}
+
+func (w *worker) allocScratch() error {
+	if _, err := w.arena.Alloc(scratchBytes); err != nil {
+		return err
+	}
+	w.scratch = scratchBytes
+	return nil
+}
+
+func (w *worker) freeScratch() error {
+	if w.scratch == 0 {
+		return nil
+	}
+	w.scratch = 0
+	return w.arena.Free(scratchBytes)
+}
+
+// churnScratch releases and re-allocates the scratch buffer, producing the
+// shrink/grow mprotect pairs Metis generates between map-phase chunks.
+func (w *worker) churnScratch() error {
+	if err := w.freeScratch(); err != nil {
+		return err
+	}
+	return w.allocScratch()
+}

@@ -1,0 +1,93 @@
+package metis
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/malloc"
+	"repro/internal/vm"
+)
+
+// MM is the matrix-multiply Metis benchmark — the paper's negative
+// control: it allocates its (dense) inputs up front and then only
+// computes, so it exercises mprotect barely at all and "the impact of
+// range locks was negligible" (§7.2). Reproducing the null result is part
+// of reproducing the paper.
+const MM Workload = 3
+
+// mmDim returns the square-matrix dimension for an input budget of n
+// bytes (two input matrices of float64).
+func mmDim(n uint64) int {
+	d := 16
+	for uint64((d+16)*(d+16))*16 <= n {
+		d += 16
+	}
+	return d
+}
+
+// runMM executes the matrix multiply over the shared address space and
+// returns (words processed ~ multiply-adds, unique ~ dimension).
+func runMM(cfg Config, as *vm.AddressSpace) (Result, error) {
+	dim := mmDim(cfg.InputBytes)
+
+	// One arena per worker; the matrices are partitioned row-wise. Each
+	// worker allocates its slice of A, B and C once — a handful of grow
+	// mprotects total, in stark contrast to wc/wr's constant churn.
+	a := make([]float64, dim*dim)
+	bm := make([]float64, dim*dim)
+	c := make([]float64, dim*dim)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range a {
+		a[i] = rng.Float64()
+		bm[i] = rng.Float64()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	rowsPer := (dim + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena, err := malloc.NewArena(as, cfg.ArenaSize)
+			if err != nil {
+				errs <- err
+				return
+			}
+			lo := w * rowsPer
+			hi := lo + rowsPer
+			if hi > dim {
+				hi = dim
+			}
+			if lo >= hi {
+				return
+			}
+			// Mirror the worker's matrix slices as arena allocations
+			// (touched once — the only VM traffic in the whole phase).
+			rows := uint64(hi - lo)
+			if _, err := arena.Alloc(rows * uint64(dim) * 8 * 3); err != nil {
+				errs <- err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				for k := 0; k < dim; k++ {
+					aik := a[i*dim+k]
+					for j := 0; j < dim; j++ {
+						c[i*dim+j] += aik * bm[k*dim+j]
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+
+	return Result{
+		Words:  uint64(dim) * uint64(dim) * uint64(dim),
+		Unique: uint64(dim),
+	}, nil
+}

@@ -1,0 +1,168 @@
+// Package mpilock implements the byte-range lock of Thakur, Ross and
+// Latham ("Implementing Byte-Range Locks Using MPI One-Sided
+// Communication", EuroPVM/MPI 2005), discussed in the paper's related
+// work (§2): a flat table with one slot per process. To acquire a range,
+// a process (1) publishes its desired range in its own slot, then
+// (2) reads a snapshot of every other slot; if no published range
+// conflicts, the lock is held. On conflict the process clears its slot,
+// backs off and retries.
+//
+// Safety follows from publish-before-scan with sequentially consistent
+// atomics: if two conflicting acquisitions both reach their scan, each
+// sees the other's published range and at least one retreats. Liveness is
+// only probabilistic (the original needed MPI-level retry too) —
+// randomized backoff breaks the symmetric-retreat livelock; the paper's
+// §2 notes exactly this weakness, which Aarestad et al.'s tree (and
+// ultimately the kernel lock) were designed to fix.
+package mpilock
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/locks"
+)
+
+// entry is one published range. Entries are immutable once published;
+// slots swing atomically between nil and *entry.
+type entry struct {
+	start, end uint64
+	writer     bool
+}
+
+// Lock is a slot-table range lock for up to a fixed number of concurrent
+// holders ("processes").
+type Lock struct {
+	slots []atomic.Pointer[entry]
+	// free is a Treiber stack of slot indices: (version<<32 | idx+1).
+	free     atomic.Uint64
+	nextFree []atomic.Uint32
+}
+
+// New creates a lock with capacity for procs concurrent acquisitions.
+func New(procs int) *Lock {
+	if procs < 1 {
+		panic("mpilock: need at least one slot")
+	}
+	l := &Lock{
+		slots:    make([]atomic.Pointer[entry], procs),
+		nextFree: make([]atomic.Uint32, procs),
+	}
+	for i := procs - 1; i >= 0; i-- {
+		l.pushFree(uint32(i))
+	}
+	return l
+}
+
+func (l *Lock) pushFree(idx uint32) {
+	for {
+		head := l.free.Load()
+		l.nextFree[idx].Store(uint32(head & 0xffffffff))
+		if l.free.CompareAndSwap(head, (head>>32+1)<<32|uint64(idx+1)) {
+			return
+		}
+	}
+}
+
+func (l *Lock) popFree() (uint32, bool) {
+	for {
+		head := l.free.Load()
+		idxPlus1 := uint32(head & 0xffffffff)
+		if idxPlus1 == 0 {
+			return 0, false
+		}
+		next := l.nextFree[idxPlus1-1].Load()
+		if l.free.CompareAndSwap(head, (head>>32+1)<<32|uint64(next)) {
+			return idxPlus1 - 1, true
+		}
+	}
+}
+
+// Guard is a held range.
+type Guard struct {
+	l   *Lock
+	idx uint32
+}
+
+func (l *Lock) acquire(start, end uint64, writer bool) Guard {
+	if start >= end {
+		panic("mpilock: range lock requires start < end")
+	}
+	// Lease a slot ("process rank").
+	var b locks.Backoff
+	var idx uint32
+	for {
+		var ok bool
+		if idx, ok = l.popFree(); ok {
+			break
+		}
+		b.Pause()
+	}
+
+	e := &entry{start: start, end: end, writer: writer}
+	rng := rand.New(rand.NewSource(int64(idx)*2654435761 + 12345))
+	attempt := 0
+	for {
+		// Step 1: publish the desired range.
+		l.slots[idx].Store(e)
+		// Step 2: snapshot every other slot.
+		conflict := false
+		for i := range l.slots {
+			if i == int(idx) {
+				continue
+			}
+			o := l.slots[i].Load()
+			if o != nil && o.start < end && start < o.end && (o.writer || writer) {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return Guard{l: l, idx: idx}
+		}
+		// Retreat, back off randomly (symmetric retreats would livelock).
+		l.slots[idx].Store(nil)
+		attempt++
+		spins := rng.Intn(1 << min(attempt+4, 12))
+		var bo locks.Backoff
+		for s := 0; s < spins; s++ {
+			bo.Pause()
+		}
+	}
+}
+
+// Lock acquires [start, end) in exclusive mode.
+func (l *Lock) Lock(start, end uint64) Guard { return l.acquire(start, end, true) }
+
+// RLock acquires [start, end) in shared mode.
+func (l *Lock) RLock(start, end uint64) Guard { return l.acquire(start, end, false) }
+
+// LockFull acquires the entire range exclusively.
+func (l *Lock) LockFull() Guard { return l.acquire(0, ^uint64(0), true) }
+
+// RLockFull acquires the entire range in shared mode.
+func (l *Lock) RLockFull() Guard { return l.acquire(0, ^uint64(0), false) }
+
+// Unlock releases the range and returns the slot.
+func (g Guard) Unlock() {
+	g.l.slots[g.idx].Store(nil)
+	g.l.pushFree(g.idx)
+}
+
+// Held counts currently published ranges (tests).
+func (l *Lock) Held() int {
+	n := 0
+	for i := range l.slots {
+		if l.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package mpilock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBasic(t *testing.T) {
+	l := New(4)
+	g := l.Lock(0, 10)
+	g2 := l.Lock(10, 20)
+	if l.Held() != 2 {
+		t.Fatalf("Held = %d, want 2", l.Held())
+	}
+	g.Unlock()
+	g2.Unlock()
+	if l.Held() != 0 {
+		t.Fatalf("Held = %d, want 0", l.Held())
+	}
+}
+
+func TestOverlapBlocks(t *testing.T) {
+	l := New(4)
+	g := l.Lock(10, 20)
+	acquired := make(chan Guard, 1)
+	go func() { acquired <- l.Lock(15, 25) }()
+	select {
+	case <-acquired:
+		t.Fatal("overlapping writers coexisted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Unlock()
+	(<-acquired).Unlock()
+}
+
+func TestReadersShare(t *testing.T) {
+	l := New(4)
+	g1 := l.RLock(0, 100)
+	g2 := l.RLock(50, 150)
+	g1.Unlock()
+	g2.Unlock()
+}
+
+func TestSlotExhaustionWaits(t *testing.T) {
+	l := New(1)
+	g := l.Lock(0, 10)
+	acquired := make(chan Guard, 1)
+	go func() { acquired <- l.Lock(100, 110) }() // disjoint, but no slot free
+	select {
+	case <-acquired:
+		t.Fatal("second holder acquired without a free slot")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Unlock()
+	(<-acquired).Unlock()
+}
+
+// TestExclusionStress: the stamped-cell safety check under symmetric
+// contention, which also exercises the randomized-backoff livelock
+// escape.
+func TestExclusionStress(t *testing.T) {
+	const units = 32
+	l := New(16)
+	var cells [units]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(me int32) {
+			defer wg.Done()
+			for i := 0; i < 1200; i++ {
+				s := uint64((int(me)*7 + i) % units)
+				e := s + 1 + uint64(i%(units-int(s)))
+				guard := l.Lock(s, e)
+				for u := s; u < e; u++ {
+					if old := cells[u].Swap(me + 1); old != 0 {
+						t.Errorf("units %d owned by %d and %d", u, old-1, me)
+					}
+				}
+				for u := s; u < e; u++ {
+					cells[u].Store(0)
+				}
+				guard.Unlock()
+			}
+		}(int32(g))
+	}
+	wg.Wait()
+}
+
+func TestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty range did not panic")
+		}
+	}()
+	New(2).Lock(5, 5)
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

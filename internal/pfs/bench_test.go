@@ -1,0 +1,60 @@
+package pfs
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lockapi"
+)
+
+// benchmark one lock implementation under the pNOVA-style shared-file
+// pattern: parallel writers on private stripes plus random readers.
+func benchSharedFile(b *testing.B, mk LockFactory) {
+	fs := New(mk)
+	f, _ := fs.Create("bench")
+	const stripe = 16384
+	// Pre-extend the file so readers do not hit EOF.
+	f.WriteAt(make([]byte, stripe), 63*stripe)
+
+	var tid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		me := int(tid.Add(1)) - 1
+		rng := rand.New(rand.NewSource(int64(me) * 2654435761))
+		buf := make([]byte, 1024)
+		base := uint64(me%64) * stripe
+		for pb.Next() {
+			if rng.Intn(100) < 50 {
+				f.WriteAt(buf, base+uint64(rng.Intn(stripe-1024)))
+			} else {
+				f.ReadAt(buf, uint64(rng.Intn(63*stripe)))
+			}
+		}
+	})
+}
+
+func BenchmarkSharedFileListRW(b *testing.B) {
+	benchSharedFile(b, nil)
+}
+
+func BenchmarkSharedFileKernelRW(b *testing.B) {
+	benchSharedFile(b, func() lockapi.Locker { return lockapi.NewKernelRW() })
+}
+
+func BenchmarkSharedFilePnovaRW(b *testing.B) {
+	benchSharedFile(b, func() lockapi.Locker { return lockapi.NewPnovaRW(64*16384, 256) })
+}
+
+func BenchmarkAppend(b *testing.B) {
+	fs := New(nil)
+	f, _ := fs.Create("log")
+	rec := make([]byte, 128)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := f.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,326 @@
+// Package pfs is an in-memory parallel file system in the spirit of the
+// paper's motivating context (§1: range locks were conceived so multiple
+// writers could update different parts of one file; §2: pNOVA applies
+// them to per-file I/O on NVM file systems; §8 names parallel file
+// systems as the natural next application).
+//
+// Every file's data plane is mediated by a byte-range lock — pluggable,
+// so the paper's list-based lock can be compared against the tree-based
+// or segment-based ones on identical file workloads:
+//
+//	ReadAt      shared lock on [off, off+len)
+//	WriteAt     exclusive lock on [off, off+len)
+//	Append      atomic reservation + exclusive lock on the reserved tail
+//	Truncate    exclusive lock on [newSize, MaxEnd)
+//
+// File content is stored in 4 KiB blocks inside a sharded block table, so
+// writers to disjoint ranges touch disjoint blocks and really do proceed
+// in parallel once the range lock admits them. The namespace (directory
+// of files) is protected separately by a reader-writer semaphore — names
+// are not ranges.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/lockapi"
+	"repro/internal/locks"
+	"repro/internal/rwsem"
+)
+
+// BlockSize is the content block granularity.
+const BlockSize = 4096
+
+// Errors returned by the file system.
+var (
+	ErrNotExist = errors.New("pfs: file does not exist")
+	ErrExist    = errors.New("pfs: file already exists")
+	ErrClosed   = errors.New("pfs: file system closed")
+)
+
+// LockFactory builds the byte-range lock protecting one file's data.
+type LockFactory func() lockapi.Locker
+
+// DefaultLockFactory uses the paper's reader-writer list-based lock.
+func DefaultLockFactory() lockapi.Locker { return lockapi.NewListRW(nil) }
+
+// FS is an in-memory file system.
+type FS struct {
+	ns     rwsem.RWSem // namespace lock
+	files  map[string]*File
+	mkLock LockFactory
+	closed bool
+}
+
+// New creates an empty file system whose files use locks from mk (nil
+// selects DefaultLockFactory).
+func New(mk LockFactory) *FS {
+	if mk == nil {
+		mk = DefaultLockFactory
+	}
+	return &FS{files: make(map[string]*File), mkLock: mk}
+}
+
+// Create adds an empty file, failing if the name exists.
+func (fs *FS) Create(name string) (*File, error) {
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := fs.files[name]; ok {
+		return nil, ErrExist
+	}
+	f := newFile(name, fs.mkLock())
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.ns.RLock()
+	defer fs.ns.RUnlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	return f, nil
+}
+
+// Remove deletes a file from the namespace. Ongoing operations on open
+// handles complete against the orphaned file.
+func (fs *FS) Remove(name string) error {
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if _, ok := fs.files[name]; !ok {
+		return ErrNotExist
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the current file names (unordered).
+func (fs *FS) List() []string {
+	fs.ns.RLock()
+	defer fs.ns.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close marks the file system closed; subsequent namespace operations fail.
+func (fs *FS) Close() {
+	fs.ns.Lock()
+	fs.closed = true
+	fs.ns.Unlock()
+}
+
+// blockShards must be a power of two.
+const blockShards = 64
+
+type blockShard struct {
+	_      [8]uint64
+	mu     locks.SpinLock
+	blocks map[uint64][]byte // block index -> BlockSize bytes
+}
+
+// File is one file: a sparse block store plus its byte-range lock.
+type File struct {
+	name   string
+	lk     lockapi.Locker
+	size   atomic.Uint64
+	shards [blockShards]blockShard
+}
+
+func newFile(name string, lk lockapi.Locker) *File {
+	f := &File{name: name, lk: lk}
+	for i := range f.shards {
+		f.shards[i].blocks = make(map[uint64][]byte)
+	}
+	return f
+}
+
+// Name returns the file's name at creation time.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current file size (highest written offset).
+func (f *File) Size() uint64 { return f.size.Load() }
+
+func (f *File) shard(block uint64) *blockShard {
+	return &f.shards[block&(blockShards-1)]
+}
+
+// block returns the storage for one block, allocating it if create is set.
+func (f *File) block(idx uint64, create bool) []byte {
+	s := f.shard(idx)
+	s.mu.Lock()
+	b := s.blocks[idx]
+	if b == nil && create {
+		b = make([]byte, BlockSize)
+		s.blocks[idx] = b
+	}
+	s.mu.Unlock()
+	return b
+}
+
+// dropBlocksFrom releases whole blocks at or beyond byte offset off.
+func (f *File) dropBlocksFrom(off uint64) {
+	first := (off + BlockSize - 1) / BlockSize
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		for idx := range s.blocks {
+			if idx >= first {
+				delete(s.blocks, idx)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// growSize raises the size watermark to at least n.
+func (f *File) growSize(n uint64) {
+	for {
+		cur := f.size.Load()
+		if cur >= n || f.size.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// WriteAt writes p at offset off under an exclusive range lock, growing
+// the file as needed. It never fails for valid input; the returned count
+// is always len(p).
+func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	end := off + uint64(len(p))
+	rel := f.lk.Acquire(off, end, true)
+	defer rel()
+	f.writeLocked(p, off)
+	f.growSize(end)
+	return len(p), nil
+}
+
+func (f *File) writeLocked(p []byte, off uint64) {
+	for len(p) > 0 {
+		idx := off / BlockSize
+		bo := off % BlockSize
+		n := copy(f.block(idx, true)[bo:], p)
+		p = p[n:]
+		off += uint64(n)
+	}
+}
+
+// ReadAt reads into p from offset off under a shared range lock. Reads
+// beyond the current size return io.EOF with a short count; holes read as
+// zero bytes.
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	end := off + uint64(len(p))
+	rel := f.lk.Acquire(off, end, false)
+	defer rel()
+	size := f.size.Load()
+	var eof error
+	if end > size {
+		if off >= size {
+			return 0, io.EOF
+		}
+		p = p[:size-off]
+		eof = io.EOF
+	}
+	read := 0
+	for len(p) > 0 {
+		idx := off / BlockSize
+		bo := off % BlockSize
+		var n int
+		if b := f.block(idx, false); b != nil {
+			n = copy(p, b[bo:])
+		} else {
+			// Hole: zero fill.
+			n = len(p)
+			if rem := BlockSize - int(bo); n > rem {
+				n = rem
+			}
+			for i := 0; i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += uint64(n)
+		read += n
+	}
+	return read, eof
+}
+
+// Append atomically reserves the tail of the file for p and writes it
+// under an exclusive lock on just the reserved range: concurrent appends
+// reserve disjoint ranges and proceed in parallel — exactly the
+// shared-file pattern pNOVA optimizes. Returns the offset written.
+func (f *File) Append(p []byte) (uint64, error) {
+	n := uint64(len(p))
+	if n == 0 {
+		return f.size.Load(), nil
+	}
+	// Reserve: the watermark moves first, so each append owns a disjoint
+	// range; readers past the old size see zeros until the write lands,
+	// as with any sparse file.
+	off := f.size.Add(n) - n
+	rel := f.lk.Acquire(off, off+n, true)
+	defer rel()
+	f.writeLocked(p, off)
+	return off, nil
+}
+
+// Truncate shrinks or grows the file to size n, holding the exclusive
+// range [n, MaxEnd) so it cannot race with writes past the new end.
+func (f *File) Truncate(n uint64) {
+	rel := f.lk.Acquire(n, ^uint64(0), true)
+	defer rel()
+	cur := f.size.Load()
+	if n < cur {
+		f.dropBlocksFrom(n)
+		// Clear the partial block tail so regrowth reads zeros.
+		if bo := n % BlockSize; bo != 0 {
+			if b := f.block(n/BlockSize, false); b != nil {
+				for i := bo; i < BlockSize; i++ {
+					b[i] = 0
+				}
+			}
+		}
+		f.size.Store(n)
+		return
+	}
+	f.growSize(n)
+}
+
+// Blocks reports how many blocks are resident (tests/stats).
+func (f *File) Blocks() int {
+	n := 0
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		n += len(s.blocks)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (f *File) String() string {
+	return fmt.Sprintf("pfs.File(%q, %d bytes, %d blocks)", f.name, f.Size(), f.Blocks())
+}

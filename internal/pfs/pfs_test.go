@@ -1,0 +1,309 @@
+package pfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lockapi"
+)
+
+func TestNamespace(t *testing.T) {
+	fs := New(nil)
+	f, err := fs.Create("a")
+	if err != nil || f.Name() != "a" {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := fs.Create("a"); err != ErrExist {
+		t.Fatalf("duplicate Create = %v, want ErrExist", err)
+	}
+	if _, err := fs.Open("b"); err != ErrNotExist {
+		t.Fatalf("Open missing = %v, want ErrNotExist", err)
+	}
+	if got, err := fs.Open("a"); err != nil || got != f {
+		t.Fatalf("Open = %v, %v", got, err)
+	}
+	if names := fs.List(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("List = %v", names)
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a"); err != ErrNotExist {
+		t.Fatalf("double Remove = %v", err)
+	}
+	fs.Close()
+	if _, err := fs.Create("x"); err != ErrClosed {
+		t.Fatalf("Create after Close = %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("f")
+	msg := []byte("hello, range locks")
+	if n, err := f.WriteAt(msg, 100); n != len(msg) || err != nil {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	if f.Size() != 100+uint64(len(msg)) {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	got := make([]byte, len(msg))
+	if n, err := f.ReadAt(got, 100); n != len(msg) || err != nil {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+	// The hole before offset 100 reads as zeros.
+	hole := make([]byte, 100)
+	if _, err := f.ReadAt(hole, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range hole {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("f")
+	f.WriteAt([]byte("abcd"), 0)
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 4 || err != io.EOF {
+		t.Fatalf("short read = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read past EOF = %v", err)
+	}
+}
+
+func TestCrossBlockWrites(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("f")
+	data := make([]byte, 3*BlockSize+123)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	off := uint64(BlockSize - 57) // straddle four blocks
+	f.WriteAt(data, off)
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-block round trip corrupted data")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("f")
+	data := bytes.Repeat([]byte{0xAA}, 2*BlockSize)
+	f.WriteAt(data, 0)
+	f.Truncate(BlockSize / 2)
+	if f.Size() != BlockSize/2 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	// Regrow: the clipped region must read as zeros, not stale bytes.
+	f.Truncate(2 * BlockSize)
+	buf := make([]byte, BlockSize)
+	if _, err := f.ReadAt(buf, BlockSize/2); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("stale byte %d = %#x after truncate regrow", i, b)
+		}
+	}
+	if f.Blocks() > 1 {
+		t.Fatalf("blocks not released: %d", f.Blocks())
+	}
+}
+
+// TestConcurrentDisjointWriters is the original file-locking motivation:
+// many writers stream into disjoint stripes of one file; every stripe
+// must survive intact.
+func TestConcurrentDisjointWriters(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		f    LockFactory
+	}{
+		{"list-rw", nil},
+		{"kernel-rw", func() lockapi.Locker { return lockapi.NewKernelRW() }},
+		{"pnova-rw", func() lockapi.Locker { return lockapi.NewPnovaRW(1<<30, 1024) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			fs := New(mk.f)
+			f, _ := fs.Create("shared")
+			const (
+				writers    = 8
+				stripeSize = 8192
+				rounds     = 60
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					stripe := make([]byte, stripeSize)
+					for r := 0; r < rounds; r++ {
+						for i := range stripe {
+							stripe[i] = byte(w)
+						}
+						f.WriteAt(stripe, uint64(w*stripeSize))
+					}
+				}(w)
+			}
+			wg.Wait()
+			buf := make([]byte, stripeSize)
+			for w := 0; w < writers; w++ {
+				if _, err := f.ReadAt(buf, uint64(w*stripeSize)); err != nil {
+					t.Fatal(err)
+				}
+				for i, b := range buf {
+					if b != byte(w) {
+						t.Fatalf("stripe %d byte %d = %d", w, i, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAppends: every append owns a disjoint reservation; after
+// the storm, each record must be present exactly once and intact.
+func TestConcurrentAppends(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("log")
+	const (
+		writers = 8
+		perW    = 200
+		recSize = 64
+	)
+	offs := make([][]uint64, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := make([]byte, recSize)
+			for i := 0; i < perW; i++ {
+				binary.LittleEndian.PutUint32(rec, uint32(w))
+				binary.LittleEndian.PutUint32(rec[4:], uint32(i))
+				crc := crc32.ChecksumIEEE(rec[:recSize-4])
+				binary.LittleEndian.PutUint32(rec[recSize-4:], crc)
+				off, err := f.Append(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				offs[w] = append(offs[w], off)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Size() != writers*perW*recSize {
+		t.Fatalf("Size = %d, want %d", f.Size(), writers*perW*recSize)
+	}
+	seen := map[uint64]bool{}
+	rec := make([]byte, recSize)
+	for w := range offs {
+		for i, off := range offs[w] {
+			if off%recSize != 0 || seen[off] {
+				t.Fatalf("bad/duplicate reservation %d", off)
+			}
+			seen[off] = true
+			if _, err := f.ReadAt(rec, off); err != nil {
+				t.Fatal(err)
+			}
+			want := binary.LittleEndian.Uint32(rec[recSize-4:])
+			if crc := crc32.ChecksumIEEE(rec[:recSize-4]); crc != want {
+				t.Fatalf("record (w=%d,i=%d) torn: crc %#x != %#x", w, i, crc, want)
+			}
+		}
+	}
+}
+
+// TestRandomOpsAgainstBuffer cross-checks the file against a flat byte
+// slice model via testing/quick-style random sequences (single-threaded:
+// semantics, not races).
+func TestRandomOpsAgainstBuffer(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("m")
+	const span = 4 * BlockSize
+	model := make([]byte, span)
+	modelSize := uint64(0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		off := uint64(rng.Intn(span / 2))
+		n := 1 + rng.Intn(span/2)
+		switch rng.Intn(4) {
+		case 0, 1: // write
+			p := make([]byte, n)
+			rng.Read(p)
+			f.WriteAt(p, off)
+			copy(model[off:], p)
+			if off+uint64(n) > modelSize {
+				modelSize = off + uint64(n)
+			}
+		case 2: // read & compare
+			got := make([]byte, n)
+			rn, _ := f.ReadAt(got, off)
+			wantN := 0
+			if off < modelSize {
+				wantN = int(modelSize - off)
+				if wantN > n {
+					wantN = n
+				}
+			}
+			if rn != wantN {
+				t.Fatalf("step %d: read %d bytes, want %d", i, rn, wantN)
+			}
+			if !bytes.Equal(got[:rn], model[off:off+uint64(rn)]) {
+				t.Fatalf("step %d: read mismatch at %d", i, off)
+			}
+		default: // truncate
+			nsz := uint64(rng.Intn(span))
+			f.Truncate(nsz)
+			if nsz < modelSize {
+				for j := nsz; j < modelSize; j++ {
+					model[j] = 0
+				}
+			}
+			modelSize = nsz
+		}
+		if f.Size() != modelSize {
+			t.Fatalf("step %d: Size = %d, model %d", i, f.Size(), modelSize)
+		}
+	}
+}
+
+// TestQuickHolesZero: any unwritten byte below size reads zero.
+func TestQuickHolesZero(t *testing.T) {
+	check := func(writeOff uint16, probe uint16) bool {
+		fs := New(nil)
+		f, _ := fs.Create("q")
+		f.WriteAt([]byte{1}, uint64(writeOff)+1000)
+		b := []byte{42}
+		n, _ := f.ReadAt(b, uint64(probe))
+		if uint64(probe) >= f.Size() {
+			return n == 0
+		}
+		if uint64(probe) == uint64(writeOff)+1000 {
+			return b[0] == 1
+		}
+		return b[0] == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,474 @@
+// Package rbtree implements an augmented red-black tree keyed by uint64.
+//
+// It is the substrate for two kernel structures the paper's evaluation
+// depends on:
+//
+//   - the range tree inside the kernel's tree-based range lock (§3), which
+//     is an *interval tree*: the augmentation tracks the maximum range end
+//     in each subtree so overlap queries prune whole subtrees; and
+//   - mm_rb, the red-black tree of VMA structures in the simulated virtual
+//     memory subsystem (§5), which needs ordered search (find_vma),
+//     predecessor/successor and in-order iteration.
+//
+// The tree stores one value of type V per node and allows duplicate keys
+// (duplicates order after existing equal keys, preserving FIFO among equal
+// range starts — relevant for lock fairness in treelock). An optional
+// Metric function enables the max-augmentation.
+package rbtree
+
+import "sync/atomic"
+
+const (
+	red   = false
+	black = true
+)
+
+// Node is a tree node exposed so callers can keep handles for O(1)
+// deletion and walk the structure (interval search in treelock).
+type Node[V any] struct {
+	// key is atomic because the VM subsystem updates a VMA's start (= its
+	// key) in place under a refined range lock while concurrent find_vma
+	// traversals, holding only disjoint refined locks, read keys. Order-
+	// preserving in-place updates keep the BST valid; atomicity keeps the
+	// reads untorn. See UpdateKey.
+	key                 atomic.Uint64
+	val                 V
+	left, right, parent *Node[V]
+	color               bool
+
+	// maxAug is max(Metric(val), left.maxAug, right.maxAug) when the tree
+	// has a Metric; unused otherwise.
+	maxAug uint64
+}
+
+// Key returns the node's key.
+func (n *Node[V]) Key() uint64 { return n.key.Load() }
+
+// Value returns the node's stored value.
+func (n *Node[V]) Value() V { return n.val }
+
+// SetValue replaces the stored value. If the tree is augmented and the
+// metric of the value changed, the caller must use Tree.FixAug(n).
+func (n *Node[V]) SetValue(v V) { n.val = v }
+
+// Left returns the left child, or nil.
+func (n *Node[V]) Left() *Node[V] { return n.left }
+
+// Right returns the right child, or nil.
+func (n *Node[V]) Right() *Node[V] { return n.right }
+
+// MaxAug returns the subtree's maximum metric (augmented trees only).
+func (n *Node[V]) MaxAug() uint64 { return n.maxAug }
+
+// Tree is an intrusive red-black tree. The zero value is an empty,
+// unaugmented tree; use New/NewAugmented for clarity.
+type Tree[V any] struct {
+	root *Node[V]
+	len  int
+
+	// Metric, when non-nil, turns the tree into a max-augmented interval
+	// tree: maxAug of every node is maintained across inserts, deletes and
+	// rotations.
+	metric func(V) uint64
+}
+
+// New returns an empty tree without augmentation.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// NewAugmented returns an empty tree whose nodes maintain the maximum of
+// metric over their subtree.
+func NewAugmented[V any](metric func(V) uint64) *Tree[V] {
+	return &Tree[V]{metric: metric}
+}
+
+// Len returns the number of nodes.
+func (t *Tree[V]) Len() int { return t.len }
+
+// Root returns the root node (nil if empty); used by interval searches.
+func (t *Tree[V]) Root() *Node[V] { return t.root }
+
+func (t *Tree[V]) nodeAug(n *Node[V]) uint64 {
+	m := t.metric(n.val)
+	if n.left != nil && n.left.maxAug > m {
+		m = n.left.maxAug
+	}
+	if n.right != nil && n.right.maxAug > m {
+		m = n.right.maxAug
+	}
+	return m
+}
+
+// fixAugUp recomputes maxAug from n to the root, stopping as soon as a
+// node's value is unchanged. Valid after an insertion (the change is
+// monotone along the path); deletions must use fixAugUpFull because a
+// transplanted successor above the start node may be stale even when a
+// lower node's value already matches.
+func (t *Tree[V]) fixAugUp(n *Node[V]) {
+	if t.metric == nil {
+		return
+	}
+	for ; n != nil; n = n.parent {
+		m := t.nodeAug(n)
+		if n.maxAug == m {
+			break
+		}
+		n.maxAug = m
+	}
+}
+
+// fixAugUpFull recomputes maxAug from n all the way to the root.
+func (t *Tree[V]) fixAugUpFull(n *Node[V]) {
+	if t.metric == nil {
+		return
+	}
+	for ; n != nil; n = n.parent {
+		n.maxAug = t.nodeAug(n)
+	}
+}
+
+// FixAug restores augmentation invariants after a caller mutated a node's
+// value in place (e.g. a VMA boundary move that changes the metric).
+func (t *Tree[V]) FixAug(n *Node[V]) { t.fixAugUp(n) }
+
+// UpdateKey changes a node's key in place without rebalancing. The caller
+// must guarantee the new key preserves in-order position (strictly between
+// the neighbours' keys) — exactly the property of a VMA boundary move
+// within its locked window. Safe against concurrent readers: the store is
+// atomic and the structure does not change.
+func (t *Tree[V]) UpdateKey(n *Node[V], key uint64) { n.key.Store(key) }
+
+func (t *Tree[V]) rotateLeft(x *Node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	if t.metric != nil {
+		y.maxAug = x.maxAug // y now covers x's old subtree
+		x.maxAug = t.nodeAug(x)
+	}
+}
+
+func (t *Tree[V]) rotateRight(x *Node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	if t.metric != nil {
+		y.maxAug = x.maxAug
+		x.maxAug = t.nodeAug(x)
+	}
+}
+
+// Insert adds a new node with the given key and value and returns it.
+// Equal keys are placed after existing ones (stable arrival order).
+func (t *Tree[V]) Insert(key uint64, val V) *Node[V] {
+	n := &Node[V]{val: val, color: red}
+	n.key.Store(key)
+	if t.metric != nil {
+		n.maxAug = t.metric(val)
+	}
+	var parent *Node[V]
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		if key < parent.key.Load() {
+			link = &parent.left
+		} else {
+			link = &parent.right
+		}
+	}
+	n.parent = parent
+	*link = n
+	t.len++
+	t.fixAugUp(parent)
+	t.insertFixup(n)
+	return n
+}
+
+func (t *Tree[V]) insertFixup(z *Node[V]) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.color = black
+}
+
+// Min returns the node with the smallest key, or nil.
+func (t *Tree[V]) Min() *Node[V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// Max returns the node with the largest key, or nil.
+func (t *Tree[V]) Max() *Node[V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// Next returns the in-order successor of n, or nil.
+func (t *Tree[V]) Next(n *Node[V]) *Node[V] {
+	if n.right != nil {
+		n = n.right
+		for n.left != nil {
+			n = n.left
+		}
+		return n
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Prev returns the in-order predecessor of n, or nil.
+func (t *Tree[V]) Prev(n *Node[V]) *Node[V] {
+	if n.left != nil {
+		n = n.left
+		for n.right != nil {
+			n = n.right
+		}
+		return n
+	}
+	p := n.parent
+	for p != nil && n == p.left {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Floor returns the last node with key <= k, or nil.
+func (t *Tree[V]) Floor(k uint64) *Node[V] {
+	var best *Node[V]
+	n := t.root
+	for n != nil {
+		if n.key.Load() <= k {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return best
+}
+
+// Ceil returns the first node with key >= k, or nil.
+func (t *Tree[V]) Ceil(k uint64) *Node[V] {
+	var best *Node[V]
+	n := t.root
+	for n != nil {
+		if n.key.Load() >= k {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return best
+}
+
+// Ascend calls fn for every node in key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(*Node[V]) bool) {
+	for n := t.Min(); n != nil; n = t.Next(n) {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// transplant replaces subtree u with subtree v (v may be nil).
+func (t *Tree[V]) transplant(u, v *Node[V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+// Delete removes node z from the tree. z must belong to this tree.
+func (t *Tree[V]) Delete(z *Node[V]) {
+	t.len--
+	var (
+		x          *Node[V] // node that moves into y's old position (may be nil)
+		xParent    *Node[V] // x's parent after the splice (needed when x is nil)
+		y          = z
+		yOrigColor = y.color
+	)
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = z.right
+		for y.left != nil {
+			y = y.left
+		}
+		yOrigColor = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	t.fixAugUpFull(xParent)
+	if yOrigColor == black {
+		t.deleteFixup(x, xParent)
+	}
+	z.left, z.right, z.parent = nil, nil, nil
+}
+
+func (t *Tree[V]) deleteFixup(x, parent *Node[V]) {
+	for x != t.root && (x == nil || x.color == black) {
+		if x == parent.left {
+			w := parent.right
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if (w.left == nil || w.left.color == black) &&
+				(w.right == nil || w.right.color == black) {
+				w.color = red
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if w.right == nil || w.right.color == black {
+				if w.left != nil {
+					w.left.color = black
+				}
+				w.color = red
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.right != nil {
+				w.right.color = black
+			}
+			t.rotateLeft(parent)
+			x = t.root
+		} else {
+			w := parent.left
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if (w.left == nil || w.left.color == black) &&
+				(w.right == nil || w.right.color == black) {
+				w.color = red
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if w.left == nil || w.left.color == black {
+				if w.right != nil {
+					w.right.color = black
+				}
+				w.color = red
+				t.rotateLeft(w)
+				w = parent.left
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.left != nil {
+				w.left.color = black
+			}
+			t.rotateRight(parent)
+			x = t.root
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}

@@ -1,0 +1,274 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkInvariants verifies the red-black properties, the BST ordering, the
+// parent links and (if augmented) the max metric. Returns the black height.
+func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
+	t.Helper()
+	if tr.root == nil {
+		return
+	}
+	if tr.root.color != black {
+		t.Fatal("root is red")
+	}
+	var walk func(n *Node[V], min, max uint64) int
+	walk = func(n *Node[V], min, max uint64) int {
+		if n == nil {
+			return 1
+		}
+		if n.Key() < min || n.Key() > max {
+			t.Fatalf("BST violation: key %d outside [%d,%d]", n.Key(), min, max)
+		}
+		if n.color == red {
+			if (n.left != nil && n.left.color == red) || (n.right != nil && n.right.color == red) {
+				t.Fatal("red node with red child")
+			}
+		}
+		if n.left != nil && n.left.parent != n {
+			t.Fatal("broken parent link (left)")
+		}
+		if n.right != nil && n.right.parent != n {
+			t.Fatal("broken parent link (right)")
+		}
+		if tr.metric != nil {
+			if got, want := n.maxAug, tr.nodeAug(n); got != want {
+				t.Fatalf("augmentation stale at key %d: maxAug=%d want %d", n.Key(), got, want)
+			}
+		}
+		lh := walk(n.left, min, n.Key())
+		rh := walk(n.right, n.Key(), max)
+		if lh != rh {
+			t.Fatalf("black-height mismatch at key %d: %d vs %d", n.Key(), lh, rh)
+		}
+		if n.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	walk(tr.root, 0, ^uint64(0))
+}
+
+func TestInsertDeleteRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	nodes := make(map[*Node[int]]uint64)
+	for i := 0; i < 4000; i++ {
+		if len(nodes) == 0 || rng.Intn(3) != 0 {
+			k := uint64(rng.Intn(500))
+			nodes[tr.Insert(k, i)] = k
+		} else {
+			for n := range nodes {
+				tr.Delete(n)
+				delete(nodes, n)
+				break
+			}
+		}
+		if i%97 == 0 {
+			checkInvariants(t, tr)
+			if tr.Len() != len(nodes) {
+				t.Fatalf("Len=%d, model=%d", tr.Len(), len(nodes))
+			}
+		}
+	}
+	checkInvariants(t, tr)
+}
+
+func TestOrderedIteration(t *testing.T) {
+	tr := New[int]()
+	keys := []uint64{5, 3, 9, 1, 7, 3, 5, 100, 0}
+	for i, k := range keys {
+		tr.Insert(k, i)
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []uint64
+	tr.Ascend(func(n *Node[int]) bool {
+		got = append(got, n.Key())
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	tr := New[int]()
+	for _, k := range []uint64{10, 20, 30} {
+		tr.Insert(k, 0)
+	}
+	cases := []struct {
+		q           uint64
+		floor, ceil int64 // -1 = nil
+	}{
+		{5, -1, 10}, {10, 10, 10}, {15, 10, 20}, {30, 30, 30}, {35, 30, -1},
+	}
+	for _, c := range cases {
+		f := tr.Floor(c.q)
+		if c.floor == -1 && f != nil || c.floor >= 0 && (f == nil || f.Key() != uint64(c.floor)) {
+			t.Errorf("Floor(%d) wrong", c.q)
+		}
+		cl := tr.Ceil(c.q)
+		if c.ceil == -1 && cl != nil || c.ceil >= 0 && (cl == nil || cl.Key() != uint64(c.ceil)) {
+			t.Errorf("Ceil(%d) wrong", c.q)
+		}
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	tr := New[int]()
+	for k := uint64(0); k < 50; k += 2 {
+		tr.Insert(k, 0)
+	}
+	n := tr.Min()
+	prev := uint64(0)
+	count := 1
+	for nx := tr.Next(n); nx != nil; nx = tr.Next(nx) {
+		if nx.Key() <= prev && count > 1 {
+			t.Fatalf("Next not increasing: %d after %d", nx.Key(), prev)
+		}
+		if p := tr.Prev(nx); p == nil || p.Key() != nx.Key()-2 {
+			t.Fatalf("Prev(%d) wrong", nx.Key())
+		}
+		prev = nx.Key()
+		count++
+	}
+	if count != 25 {
+		t.Fatalf("visited %d nodes, want 25", count)
+	}
+	if tr.Max().Key() != 48 {
+		t.Fatalf("Max = %d, want 48", tr.Max().Key())
+	}
+}
+
+type ival struct{ start, end uint64 }
+
+func TestAugmentedInterval(t *testing.T) {
+	tr := NewAugmented[ival](func(v ival) uint64 { return v.end })
+	rng := rand.New(rand.NewSource(7))
+	var model []ival
+	var handles []*Node[ival]
+	for i := 0; i < 2000; i++ {
+		if len(handles) == 0 || rng.Intn(3) != 0 {
+			s := uint64(rng.Intn(1000))
+			iv := ival{s, s + 1 + uint64(rng.Intn(50))}
+			handles = append(handles, tr.Insert(iv.start, iv))
+			model = append(model, iv)
+		} else {
+			j := rng.Intn(len(handles))
+			tr.Delete(handles[j])
+			handles = append(handles[:j], handles[j+1:]...)
+			model = append(model[:j], model[j+1:]...)
+		}
+		if i%59 == 0 {
+			checkInvariants(t, tr)
+			// Cross-check an overlap count against brute force using the
+			// augmented pruning search.
+			qs := uint64(rng.Intn(1000))
+			qe := qs + 1 + uint64(rng.Intn(100))
+			want := 0
+			for _, iv := range model {
+				if iv.start < qe && qs < iv.end {
+					want++
+				}
+			}
+			got := 0
+			var search func(n *Node[ival])
+			search = func(n *Node[ival]) {
+				if n == nil || n.MaxAug() <= qs {
+					return // no range in this subtree ends after qs
+				}
+				search(n.Left())
+				if n.Key() < qe {
+					if iv := n.Value(); iv.start < qe && qs < iv.end {
+						got++
+					}
+					search(n.Right())
+				}
+			}
+			search(tr.Root())
+			if got != want {
+				t.Fatalf("overlap count via augmentation = %d, brute force = %d", got, want)
+			}
+		}
+	}
+}
+
+func TestFixAugAfterInPlaceUpdate(t *testing.T) {
+	tr := NewAugmented[ival](func(v ival) uint64 { return v.end })
+	n1 := tr.Insert(10, ival{10, 20})
+	tr.Insert(5, ival{5, 8})
+	tr.Insert(30, ival{30, 35})
+	n1.SetValue(ival{10, 100})
+	tr.FixAug(n1)
+	checkInvariants(t, tr)
+	if tr.Root().MaxAug() != 100 {
+		t.Fatalf("root maxAug = %d, want 100", tr.Root().MaxAug())
+	}
+}
+
+// TestQuickSequences drives random insert/delete sequences from quick and
+// verifies invariants plus model equality at the end.
+func TestQuickSequences(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := New[uint64]()
+		var live []*Node[uint64]
+		model := map[*Node[uint64]]uint64{}
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				k := uint64(op % 128)
+				n := tr.Insert(k, k)
+				live = append(live, n)
+				model[n] = k
+			} else {
+				i := int(op) % len(live)
+				tr.Delete(live[i])
+				delete(model, live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		checkInvariants(t, tr)
+		count := 0
+		ok := true
+		tr.Ascend(func(n *Node[uint64]) bool {
+			if model[n] != n.Key() {
+				ok = false
+			}
+			count++
+			return true
+		})
+		return ok && count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(3))
+	handles := make([]*Node[int], 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(handles) < 1024 {
+			handles = append(handles, tr.Insert(uint64(rng.Intn(1<<20)), i))
+		} else {
+			j := rng.Intn(len(handles))
+			tr.Delete(handles[j])
+			handles[j] = tr.Insert(uint64(rng.Intn(1<<20)), i)
+		}
+	}
+}

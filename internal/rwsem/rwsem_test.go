@@ -1,0 +1,147 @@
+package rwsem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestWriterExclusion(t *testing.T) {
+	var s RWSem
+	var counter int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Lock()
+				counter++
+				s.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 16000 {
+		t.Fatalf("counter = %d, want 16000", counter)
+	}
+}
+
+func TestReadersShareWritersExclude(t *testing.T) {
+	var (
+		s       RWSem
+		readers atomic.Int32
+		writers atomic.Int32
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < 6; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.RLock()
+				readers.Add(1)
+				if writers.Load() != 0 {
+					t.Error("reader overlapped writer")
+				}
+				readers.Add(-1)
+				s.RUnlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s.Lock()
+				if w := writers.Add(1); w != 1 {
+					t.Errorf("%d writers inside", w)
+				}
+				if readers.Load() != 0 {
+					t.Error("writer overlapped reader")
+				}
+				writers.Add(-1)
+				s.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	var s RWSem
+	s.RLock()
+	done := make(chan struct{})
+	go func() {
+		s.RLock()
+		s.RUnlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second reader blocked behind first")
+	}
+	s.RUnlock()
+}
+
+// TestWriterPreference: once a writer waits, new readers queue behind it.
+func TestWriterPreference(t *testing.T) {
+	var s RWSem
+	s.RLock() // R1 active
+
+	writerGot := make(chan struct{})
+	go func() {
+		s.Lock() // W waits behind R1
+		close(writerGot)
+	}()
+	// Wait for the writer to register.
+	for s.wWait.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	readerGot := make(chan struct{})
+	go func() {
+		s.RLock() // R2 must queue behind W
+		close(readerGot)
+	}()
+	select {
+	case <-readerGot:
+		t.Fatal("reader jumped the waiting writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	s.RUnlock() // R1 leaves; W acquires
+	<-writerGot
+	select {
+	case <-readerGot:
+		t.Fatal("reader overlapped the writer")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Unlock()
+	<-readerGot
+	s.RUnlock()
+}
+
+func TestStatsWaits(t *testing.T) {
+	var s RWSem
+	st := stats.New()
+	s.SetStats(st)
+	s.Lock()
+	done := make(chan struct{})
+	go func() {
+		s.Lock()
+		s.Unlock()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Unlock()
+	<-done
+	if st.Count(stats.Write) != 2 {
+		t.Fatalf("write count = %d, want 2", st.Count(stats.Write))
+	}
+	if st.TotalWait(stats.Write) < 5*time.Millisecond {
+		t.Fatalf("write wait %v, want >= 5ms", st.TotalWait(stats.Write))
+	}
+}

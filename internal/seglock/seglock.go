@@ -1,0 +1,90 @@
+// Package seglock implements the segment-based range lock of Kim et al.
+// (pNOVA, APSys'19), following Quinson & Vernier: the entire range is
+// statically divided into a preset number of segments, each protected by
+// its own reader-writer lock ("pnova-rw" in the paper's evaluation).
+//
+// Acquiring [start, end) acquires the per-segment locks of every covered
+// segment, in ascending order (a global order, so no deadlock). The design
+// has two costs the paper highlights: full-range acquisitions must take
+// every segment lock, and granularity is fixed — too few segments causes
+// false conflicts, too many makes wide acquisitions expensive. It is
+// only applicable when the protected range's extent is known up front.
+package seglock
+
+import "sync"
+
+// Lock is a segment-based range lock over the fixed range [0, Extent).
+type Lock struct {
+	segSize  uint64
+	extent   uint64
+	segments []sync.RWMutex
+}
+
+// New creates a segment lock covering [0, extent) with nsegs segments.
+// extent must be a positive multiple of nsegs.
+func New(extent uint64, nsegs int) *Lock {
+	if nsegs <= 0 || extent == 0 || extent%uint64(nsegs) != 0 {
+		panic("seglock: extent must be a positive multiple of nsegs")
+	}
+	return &Lock{
+		segSize:  extent / uint64(nsegs),
+		extent:   extent,
+		segments: make([]sync.RWMutex, nsegs),
+	}
+}
+
+// Extent returns the covered range's exclusive upper bound.
+func (l *Lock) Extent() uint64 { return l.extent }
+
+// Segments returns the number of segments.
+func (l *Lock) Segments() int { return len(l.segments) }
+
+// Guard is a held range; release with Unlock.
+type Guard struct {
+	l      *Lock
+	lo, hi int // segment index range [lo, hi]
+	writer bool
+}
+
+func (l *Lock) span(start, end uint64) (lo, hi int) {
+	if start >= end || end > l.extent {
+		panic("seglock: range out of bounds")
+	}
+	return int(start / l.segSize), int((end - 1) / l.segSize)
+}
+
+// Lock acquires [start, end) in exclusive mode.
+func (l *Lock) Lock(start, end uint64) Guard {
+	lo, hi := l.span(start, end)
+	for i := lo; i <= hi; i++ {
+		l.segments[i].Lock()
+	}
+	return Guard{l: l, lo: lo, hi: hi, writer: true}
+}
+
+// RLock acquires [start, end) in shared mode.
+func (l *Lock) RLock(start, end uint64) Guard {
+	lo, hi := l.span(start, end)
+	for i := lo; i <= hi; i++ {
+		l.segments[i].RLock()
+	}
+	return Guard{l: l, lo: lo, hi: hi, writer: false}
+}
+
+// LockFull acquires the whole extent in exclusive mode: every segment
+// lock, in order — the expensive case called out in §2.
+func (l *Lock) LockFull() Guard { return l.Lock(0, l.extent) }
+
+// RLockFull acquires the whole extent in shared mode.
+func (l *Lock) RLockFull() Guard { return l.RLock(0, l.extent) }
+
+// Unlock releases all covered segments in reverse acquisition order.
+func (g Guard) Unlock() {
+	for i := g.hi; i >= g.lo; i-- {
+		if g.writer {
+			g.l.segments[i].Unlock()
+		} else {
+			g.l.segments[i].RUnlock()
+		}
+	}
+}

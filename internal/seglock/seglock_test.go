@@ -1,0 +1,112 @@
+package seglock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBasic(t *testing.T) {
+	l := New(256, 16) // 16-byte segments
+	g := l.Lock(0, 16)
+	g2 := l.Lock(16, 32) // next segment: disjoint
+	g.Unlock()
+	g2.Unlock()
+}
+
+func TestFalseSharingWithinSegment(t *testing.T) {
+	// Two disjoint ranges inside the same segment conflict — the
+	// granularity limitation §2 describes.
+	l := New(256, 16)
+	g := l.Lock(0, 4)
+	acquired := make(chan Guard, 1)
+	go func() { acquired <- l.Lock(8, 12) }()
+	select {
+	case <-acquired:
+		t.Fatal("ranges in the same segment did not conflict")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Unlock()
+	(<-acquired).Unlock()
+}
+
+func TestReadersShare(t *testing.T) {
+	l := New(256, 16)
+	g1 := l.RLock(0, 256)
+	g2 := l.RLock(0, 256)
+	g1.Unlock()
+	g2.Unlock()
+}
+
+func TestFullRangeTakesAllSegments(t *testing.T) {
+	l := New(256, 16)
+	g := l.Lock(240, 256) // hold the last segment
+	acquired := make(chan Guard, 1)
+	go func() { acquired <- l.LockFull() }()
+	select {
+	case <-acquired:
+		t.Fatal("full-range lock acquired while a segment was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Unlock()
+	(<-acquired).Unlock()
+}
+
+func TestSpanBoundaries(t *testing.T) {
+	l := New(256, 16)
+	lo, hi := l.span(0, 16)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("span(0,16) = [%d,%d], want [0,0]", lo, hi)
+	}
+	lo, hi = l.span(15, 17)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("span(15,17) = [%d,%d], want [0,1]", lo, hi)
+	}
+	lo, hi = l.span(255, 256)
+	if lo != 15 || hi != 15 {
+		t.Fatalf("span(255,256) = [%d,%d], want [15,15]", lo, hi)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, c := range []struct {
+		extent uint64
+		nsegs  int
+	}{{0, 4}, {100, 0}, {100, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.extent, c.nsegs)
+				}
+			}()
+			New(c.extent, c.nsegs)
+		}()
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	l := New(256, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds range did not panic")
+		}
+	}()
+	l.Lock(250, 300)
+}
+
+func TestNoDeadlockUnderContention(t *testing.T) {
+	l := New(1024, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				s := (g*64 + uint64(i)*13) % 960
+				rel := l.Lock(s, s+64)
+				rel.Unlock()
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkloadConfig parametrizes a Synchrobench-style set workload (§7.1,
+// Figure 4): a prefilled set hammered with a find/insert/remove mix.
+type WorkloadConfig struct {
+	Threads int
+	// KeyRange is the key universe [1, KeyRange]; the paper uses 8M.
+	KeyRange uint64
+	// Prefill is the number of random keys inserted before timing; the
+	// paper uses KeyRange/2 (4M).
+	Prefill uint64
+	// UpdatePct is the percentage of update operations (20 in the paper),
+	// split evenly between inserts and removes.
+	UpdatePct int
+	Duration  time.Duration
+	Seed      int64
+}
+
+// WorkloadResult reports the totals of one run.
+type WorkloadResult struct {
+	Ops        uint64
+	Finds      uint64
+	Inserts    uint64 // attempted inserts
+	Removes    uint64 // attempted removes
+	Throughput float64
+}
+
+// RunWorkload prefills the set and drives the configured mix until the
+// duration elapses.
+func RunWorkload(s Set, cfg WorkloadConfig) WorkloadResult {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 1 << 23 // 8M, as in the paper
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+
+	// Parallel prefill (outside the timed window).
+	var wg sync.WaitGroup
+	fillers := cfg.Threads
+	if fillers > 8 {
+		fillers = 8
+	}
+	per := cfg.Prefill / uint64(fillers)
+	for f := 0; f < fillers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(f)*7907))
+			var inserted uint64
+			for inserted < per {
+				if s.Insert(uint64(rng.Int63n(int64(cfg.KeyRange))) + 1) {
+					inserted++
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+
+	var (
+		stop    atomic.Bool
+		ops     atomic.Uint64
+		finds   atomic.Uint64
+		inserts atomic.Uint64
+		removes atomic.Uint64
+	)
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 31 + int64(th)*15485863))
+			var lOps, lFinds, lIns, lRem uint64
+			for !stop.Load() {
+				key := uint64(rng.Int63n(int64(cfg.KeyRange))) + 1
+				r := rng.Intn(100)
+				switch {
+				case r >= cfg.UpdatePct:
+					s.Contains(key)
+					lFinds++
+				case r%2 == 0:
+					s.Insert(key)
+					lIns++
+				default:
+					s.Remove(key)
+					lRem++
+				}
+				lOps++
+			}
+			ops.Add(lOps)
+			finds.Add(lFinds)
+			inserts.Add(lIns)
+			removes.Add(lRem)
+		}(th)
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return WorkloadResult{
+		Ops:        ops.Load(),
+		Finds:      finds.Load(),
+		Inserts:    inserts.Load(),
+		Removes:    removes.Load(),
+		Throughput: float64(ops.Load()) / elapsed.Seconds(),
+	}
+}

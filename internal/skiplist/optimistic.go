@@ -1,0 +1,152 @@
+package skiplist
+
+// Optimistic is the lazy optimistic skip list of Herlihy et al. [21] —
+// the "orig" baseline of Figure 4. Updates lock each distinct predecessor
+// (and the victim on removal), validate, apply, unlock; searches never
+// lock. Logical deletion (marked) precedes physical unlinking, keeping
+// Contains wait-free and linearizable.
+type Optimistic struct {
+	l list
+}
+
+// NewOptimistic returns an empty optimistic skip list.
+func NewOptimistic() *Optimistic {
+	s := &Optimistic{}
+	s.l.init(0x5ca1ab1e)
+	return s
+}
+
+// Contains reports membership; wait-free.
+func (s *Optimistic) Contains(key uint64) bool {
+	checkKey(key)
+	return s.l.contains(key)
+}
+
+// Len counts the elements (linear, not linearizable; for tests/stats).
+func (s *Optimistic) Len() int { return s.l.length() }
+
+// unlockPreds releases the distinct predecessor locks [0, highest].
+func unlockPreds(preds *[maxLevel]*node, highest int) {
+	var prev *node
+	for l := 0; l <= highest; l++ {
+		if preds[l] != prev {
+			preds[l].mu.Unlock()
+			prev = preds[l]
+		}
+	}
+}
+
+// Insert adds key if absent.
+func (s *Optimistic) Insert(key uint64) bool {
+	checkKey(key)
+	topLevel := s.l.randomLevel()
+	var preds, succs [maxLevel]*node
+	for {
+		lFound := s.l.find(key, &preds, &succs)
+		if lFound != -1 {
+			f := succs[lFound]
+			if !f.marked.Load() {
+				// Key already present (possibly mid-insert: wait until the
+				// inserter finishes so our "false" is linearizable).
+				for !f.fullyLinked.Load() {
+				}
+				return false
+			}
+			// A marked node with our key is being removed: retry.
+			continue
+		}
+
+		// Lock all distinct predecessors bottom-up and validate that each
+		// still links to the observed successor and neither end is marked.
+		valid := true
+		highestLocked := -1
+		var prevPred *node
+		for l := 0; l < topLevel; l++ {
+			pred, succ := preds[l], succs[l]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = l
+				prevPred = pred
+			}
+			if pred.marked.Load() || succ.marked.Load() || pred.next[l].Load() != succ {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue
+		}
+
+		n := newNode(key, topLevel)
+		for l := 0; l < topLevel; l++ {
+			n.next[l].Store(succs[l])
+		}
+		for l := 0; l < topLevel; l++ {
+			preds[l].next[l].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		unlockPreds(&preds, highestLocked)
+		return true
+	}
+}
+
+// Remove deletes key if present.
+func (s *Optimistic) Remove(key uint64) bool {
+	checkKey(key)
+	var preds, succs [maxLevel]*node
+	var victim *node
+	isMarked := false
+	topLevel := -1
+	for {
+		lFound := s.l.find(key, &preds, &succs)
+		if lFound != -1 {
+			victim = succs[lFound]
+		}
+		if !isMarked {
+			// First round: decide whether this node is removable.
+			if lFound == -1 ||
+				!victim.fullyLinked.Load() ||
+				victim.marked.Load() ||
+				victim.topLevel-1 != lFound {
+				return false
+			}
+			topLevel = victim.topLevel
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false // someone else removed it first
+			}
+			victim.marked.Store(true)
+			isMarked = true
+		}
+
+		// Lock predecessors and validate; then physically unlink.
+		valid := true
+		highestLocked := -1
+		var prevPred *node
+		for l := 0; l < topLevel; l++ {
+			pred := preds[l]
+			if pred != prevPred {
+				pred.mu.Lock()
+				highestLocked = l
+				prevPred = pred
+			}
+			if pred.marked.Load() || pred.next[l].Load() != victim {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			unlockPreds(&preds, highestLocked)
+			continue // re-find and retry unlinking
+		}
+
+		for l := topLevel - 1; l >= 0; l-- {
+			preds[l].next[l].Store(victim.next[l].Load())
+		}
+		victim.mu.Unlock()
+		unlockPreds(&preds, highestLocked)
+		return true
+	}
+}

@@ -1,0 +1,142 @@
+package skiplist
+
+import (
+	"repro/internal/lockapi"
+)
+
+// RangeLocked is the paper's §6 skip list: the lazy optimistic structure
+// with the per-node locking protocol replaced by a single range-lock
+// acquisition per update.
+//
+//   - Insert(key) locks [topPred.key, key] — the interval from the
+//     highest-level predecessor (the leftmost node whose pointers the
+//     insert may rewire) to the new key.
+//   - Remove(key) locks [topPred.key, key+1] — one past the key so that
+//     concurrent inserts that would rewire pointers *inside* the victim
+//     node are excluded too.
+//
+// Every predecessor of key at any level has a key in [topPred.key, key],
+// so two updates that could touch the same pointer always have overlapping
+// ranges and serialize; updates in disjoint key intervals run in parallel.
+// Searches remain wait-free. The variant "range-list" of Figure 4 plugs in
+// the paper's list-based lock; "range-lustre" plugs in the kernel's
+// tree-based lock.
+type RangeLocked struct {
+	l  list
+	lk lockapi.Locker
+}
+
+// NewRangeLocked returns an empty skip list synchronized by the given
+// range lock (use lockapi.NewListEx for "range-list", lockapi.NewLustreEx
+// for "range-lustre").
+func NewRangeLocked(lk lockapi.Locker) *RangeLocked {
+	s := &RangeLocked{lk: lk}
+	s.l.init(0xdeadbeef)
+	return s
+}
+
+// Contains reports membership; wait-free.
+func (s *RangeLocked) Contains(key uint64) bool {
+	checkKey(key)
+	return s.l.contains(key)
+}
+
+// Len counts the elements (linear; for tests/stats).
+func (s *RangeLocked) Len() int { return s.l.length() }
+
+// Insert adds key if absent.
+func (s *RangeLocked) Insert(key uint64) bool {
+	checkKey(key)
+	topLevel := s.l.randomLevel()
+	var preds, succs [maxLevel]*node
+	for {
+		lFound := s.l.find(key, &preds, &succs)
+		if lFound != -1 {
+			f := succs[lFound]
+			if !f.marked.Load() {
+				for !f.fullyLinked.Load() {
+				}
+				return false
+			}
+			continue
+		}
+
+		// The range starts at the highest-level predecessor: the leftmost
+		// node whose next pointers this insert may modify.
+		lo := preds[topLevel-1].key
+		rel := s.lk.Acquire(lo, key+1, true)
+
+		// Re-find under the lock and validate that the locked range still
+		// covers every predecessor; a concurrent structural change may
+		// have moved the top predecessor below lo, in which case the lock
+		// is insufficient and the attempt restarts.
+		lFound = s.l.find(key, &preds, &succs)
+		if lFound != -1 {
+			rel()
+			f := succs[lFound]
+			if f.marked.Load() {
+				continue // being removed; retry from scratch
+			}
+			for !f.fullyLinked.Load() {
+			}
+			return false
+		}
+		if preds[topLevel-1].key < lo {
+			rel()
+			continue
+		}
+
+		n := newNode(key, topLevel)
+		for l := 0; l < topLevel; l++ {
+			n.next[l].Store(succs[l])
+		}
+		for l := 0; l < topLevel; l++ {
+			preds[l].next[l].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		rel()
+		return true
+	}
+}
+
+// Remove deletes key if present.
+func (s *RangeLocked) Remove(key uint64) bool {
+	checkKey(key)
+	var preds, succs [maxLevel]*node
+	for {
+		lFound := s.l.find(key, &preds, &succs)
+		if lFound == -1 {
+			return false
+		}
+		victim := succs[lFound]
+		if !victim.fullyLinked.Load() || victim.marked.Load() || victim.topLevel-1 != lFound {
+			if victim.marked.Load() {
+				return false
+			}
+			continue // settle, then retry
+		}
+
+		lo := preds[victim.topLevel-1].key
+		rel := s.lk.Acquire(lo, key+2, true) // key+1 inclusive, per §6
+
+		lFound = s.l.find(key, &preds, &succs)
+		if lFound == -1 || succs[lFound] != victim || victim.marked.Load() {
+			rel()
+			if lFound == -1 || succs[lFound].marked.Load() {
+				return false
+			}
+			continue
+		}
+		if preds[victim.topLevel-1].key < lo {
+			rel()
+			continue
+		}
+
+		victim.marked.Store(true) // logical deletion: searches stop seeing it
+		for l := victim.topLevel - 1; l >= 0; l-- {
+			preds[l].next[l].Store(victim.next[l].Load())
+		}
+		rel()
+		return true
+	}
+}

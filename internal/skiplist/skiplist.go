@@ -1,0 +1,153 @@
+// Package skiplist provides the two concurrent skip-list sets compared in
+// §6/§7.1 of the paper:
+//
+//   - Optimistic: the lazy optimistic skip list of Herlihy, Lev, Luchangco
+//     and Shavit (SIROCCO'07), with one spin lock per node. Updates lock
+//     every predecessor (up to one per level, plus the victim on removal);
+//     searches are wait-free.
+//   - RangeLocked: the paper's new design — the same lazy structure, but
+//     update operations acquire a single *range* on a range lock instead
+//     of per-node locks: inserts lock [topPred.key, key], removals lock
+//     [topPred.key, key+1]. Because every predecessor of a key lies at or
+//     above the top-level predecessor, any two operations that could touch
+//     the same pointer have overlapping ranges and serialize; disjoint
+//     ranges proceed in parallel. Nodes carry no lock, shrinking the
+//     memory footprint.
+//
+// Keys must lie in [1, MaxKey]: 0 and values above MaxKey are reserved for
+// the head and tail sentinels.
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"repro/internal/locks"
+)
+
+// maxLevel bounds the skip list height (2^24 expected elements).
+const maxLevel = 24
+
+// MaxKey is the largest storable key (the tail sentinel sits above it and
+// removal ranges extend one past the key).
+const MaxKey = ^uint64(0) - 3
+
+// Set is the common read/update surface of both skip lists.
+type Set interface {
+	// Insert adds key, reporting false if it was already present.
+	Insert(key uint64) bool
+	// Remove deletes key, reporting false if it was absent.
+	Remove(key uint64) bool
+	// Contains reports whether key is present. Wait-free.
+	Contains(key uint64) bool
+	// Len counts the elements (linear; for tests).
+	Len() int
+}
+
+// node is a skip-list node. mu is the per-node spin lock of the optimistic
+// variant; the range-locked variant never touches it (the §6 design point
+// is precisely that it does not need per-node locks — in a dedicated
+// implementation the field would be absent, saving a word per node).
+type node struct {
+	key         uint64
+	next        []atomic.Pointer[node]
+	mu          locks.SpinLock
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	topLevel    int // number of levels this node occupies (1-based)
+}
+
+func newNode(key uint64, topLevel int) *node {
+	return &node{key: key, next: make([]atomic.Pointer[node], topLevel), topLevel: topLevel}
+}
+
+// list is the shared skeleton: sentinels plus the wait-free search.
+type list struct {
+	head *node
+	tail *node
+	seed atomic.Uint64
+}
+
+func (l *list) init(seedInit uint64) {
+	head := newNode(0, maxLevel)
+	tail := newNode(^uint64(0), maxLevel)
+	tail.fullyLinked.Store(true)
+	for lv := 0; lv < maxLevel; lv++ {
+		head.next[lv].Store(tail)
+	}
+	head.fullyLinked.Store(true)
+	l.head, l.tail = head, tail
+	l.seed.Store(seedInit)
+}
+
+// randomLevel draws a geometric level in [1, maxLevel] (p = 1/2) from a
+// contention-light splitmix64 step on a shared counter.
+func (l *list) randomLevel() int {
+	x := l.seed.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	lvl := 1
+	for x&1 == 1 && lvl < maxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// find locates key's predecessors and successors at every level, returning
+// the highest level at which the key was found (-1 if absent). Wait-free:
+// no locks, no retries.
+func (l *list) find(key uint64, preds, succs *[maxLevel]*node) int {
+	found := -1
+	pred := l.head
+	for lv := maxLevel - 1; lv >= 0; lv-- {
+		cur := pred.next[lv].Load()
+		for cur.key < key {
+			pred = cur
+			cur = pred.next[lv].Load()
+		}
+		if found == -1 && cur.key == key {
+			found = lv
+		}
+		preds[lv] = pred
+		succs[lv] = cur
+	}
+	return found
+}
+
+// contains is the shared wait-free membership test (lazy-list semantics:
+// present iff found, fully linked and not logically deleted).
+func (l *list) contains(key uint64) bool {
+	pred := l.head
+	var cur *node
+	for lv := maxLevel - 1; lv >= 0; lv-- {
+		cur = pred.next[lv].Load()
+		for cur.key < key {
+			pred = cur
+			cur = pred.next[lv].Load()
+		}
+		if cur.key == key {
+			return cur.fullyLinked.Load() && !cur.marked.Load()
+		}
+	}
+	return false
+}
+
+// length counts fully linked, unmarked nodes at the bottom level.
+func (l *list) length() int {
+	n := 0
+	for cur := l.head.next[0].Load(); cur != l.tail; cur = cur.next[0].Load() {
+		if cur.fullyLinked.Load() && !cur.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func checkKey(key uint64) {
+	if key == 0 || key > MaxKey {
+		panic("skiplist: key out of [1, MaxKey]")
+	}
+}

@@ -1,0 +1,116 @@
+package skiplock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBasic(t *testing.T) {
+	l := New()
+	g := l.Lock(0, 10)
+	g2 := l.Lock(10, 20)
+	if l.Held() != 2 {
+		t.Fatalf("Held = %d, want 2", l.Held())
+	}
+	g.Unlock()
+	g2.Unlock()
+	if l.Held() != 0 {
+		t.Fatalf("Held = %d, want 0", l.Held())
+	}
+}
+
+func TestOverlapBlocks(t *testing.T) {
+	l := New()
+	g := l.Lock(10, 20)
+	acquired := make(chan Guard, 1)
+	go func() { acquired <- l.Lock(15, 25) }()
+	select {
+	case <-acquired:
+		t.Fatal("overlapping writers ran in parallel")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Unlock()
+	(<-acquired).Unlock()
+}
+
+func TestReadersShare(t *testing.T) {
+	l := New()
+	g1 := l.RLock(0, 100)
+	g2 := l.RLock(50, 150)
+	g1.Unlock()
+	g2.Unlock()
+}
+
+func TestManyLevelsStress(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s := (g*1000 + uint64(i)*7) % 8000
+				rel := l.Lock(s, s+5)
+				rel.Unlock()
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if l.Held() != 0 {
+		t.Fatalf("Held = %d after drain", l.Held())
+	}
+}
+
+func TestFullRange(t *testing.T) {
+	l := New()
+	g := l.LockFull()
+	acquired := make(chan Guard, 1)
+	go func() { acquired <- l.Lock(1000, 1001) }()
+	select {
+	case <-acquired:
+		t.Fatal("lock acquired while full range held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Unlock()
+	(<-acquired).Unlock()
+}
+
+// TestEqualStartChurn regression-tests the unlink path when many nodes
+// share one start: a release must unlink its node at every level even
+// when taller equal-start neighbours sit between it and its predecessor
+// (previously the level walk overshot and left the node linked at lower
+// levels, leaking a permanent blocker).
+func TestEqualStartChurn(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g := l.LockFull()
+				g.Unlock()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("full-range churn deadlocked")
+	}
+	if l.Held() != 0 {
+		t.Fatalf("Held = %d after drain", l.Held())
+	}
+}
+
+func TestPanicsOnEmptyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty range did not panic")
+		}
+	}()
+	New().Lock(3, 3)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets: bucket i counts
+// waits in [2^i ns, 2^(i+1) ns); bucket 0 additionally absorbs sub-ns
+// (i.e. zero) waits, the last bucket absorbs everything above ~1.15 s.
+const histBuckets = 31
+
+// Histogram is a lock-free log2 latency histogram, the distribution
+// companion to LockStat's averages (the kernel's lock_stat reports
+// min/max/avg; distributions expose the contention tail that averages
+// hide). All methods are nil-safe.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		return 0
+	}
+	b := 63 - leadingZeros64(uint64(ns))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one wait.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed waits, at bucket resolution. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return time.Duration(int64(1) << uint(i+1)) // bucket upper bound
+		}
+	}
+	return time.Duration(int64(1) << histBuckets)
+}
+
+// String renders the non-empty buckets as "[lo,hi): count" lines.
+func (h *Histogram) String() string {
+	if h == nil {
+		return "<nil histogram>"
+	}
+	var b strings.Builder
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo := time.Duration(int64(1) << uint(i))
+		if i == 0 {
+			lo = 0
+		}
+		hi := time.Duration(int64(1) << uint(i+1))
+		fmt.Fprintf(&b, "[%v,%v): %d\n", lo, hi, n)
+	}
+	return b.String()
+}
+
+// histograms extends LockStat with per-kind distributions; attached
+// lazily via WithHistograms.
+type histogramSet struct {
+	hists [numKinds]Histogram
+}
+
+// AttachHistograms enables distribution recording on the stat. Call
+// before sharing the LockStat.
+func (s *LockStat) AttachHistograms() {
+	if s == nil {
+		return
+	}
+	s.hist = &histogramSet{}
+}
+
+// Histogram returns the distribution for kind k, or nil if histograms
+// were not attached.
+func (s *LockStat) Histogram(k Kind) *Histogram {
+	if s == nil || s.hist == nil {
+		return nil
+	}
+	return &s.hist.hists[k]
+}

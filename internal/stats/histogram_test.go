@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10},
+		{time.Second, 29}, {10 * time.Second, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.bucket {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.bucket)
+		}
+	}
+}
+
+func TestLeadingZerosAgainstStdlib(t *testing.T) {
+	f := func(x uint64) bool {
+		got := leadingZeros64(x)
+		want := 0
+		for i := 63; i >= 0; i-- {
+			if x&(1<<uint(i)) != 0 {
+				break
+			}
+			want++
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile nonzero")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Nanosecond) // bucket 3, upper bound 16ns
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if q := h.Quantile(0.5); q > 16*time.Nanosecond {
+		t.Fatalf("p50 = %v, want <= 16ns", q)
+	}
+	if q := h.Quantile(0.99); q < time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 1ms", q)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Quantile(0.9) != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	if !strings.Contains(h.String(), "nil") {
+		t.Fatal("nil histogram String wrong")
+	}
+}
+
+func TestAttachToLockStat(t *testing.T) {
+	s := New()
+	if s.Histogram(Read) != nil {
+		t.Fatal("histogram present before attach")
+	}
+	s.AttachHistograms()
+	s.Record(Read, 100*time.Nanosecond)
+	s.Record(Read, 200*time.Nanosecond)
+	s.Record(Write, time.Microsecond)
+	if got := s.Histogram(Read).Count(); got != 2 {
+		t.Fatalf("read histogram count = %d, want 2", got)
+	}
+	if got := s.Histogram(Write).Count(); got != 1 {
+		t.Fatalf("write histogram count = %d, want 1", got)
+	}
+	if s.Histogram(Spin).Count() != 0 {
+		t.Fatal("spurious spin observations")
+	}
+	if !strings.Contains(s.Histogram(Write).String(), ": 1") {
+		t.Fatalf("String output missing bucket: %q", s.Histogram(Write).String())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Observe(time.Duration(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d, want 80000", h.Count())
+	}
+}

@@ -1,0 +1,137 @@
+// Package stats provides lock_stat-style wait-time accounting, the
+// instrumentation behind Figures 7 and 8 of the paper: average wait time
+// per read/write acquisition of mmap_sem or a range lock, and average wait
+// time on the spin lock protecting the tree-based range lock's range tree.
+//
+// All methods are nil-safe: a nil *LockStat records nothing, so the
+// instrumented code paths pay a single predictable branch when statistics
+// are disabled (the paper likewise enables lock_stat only for dedicated
+// runs because of its probe effect).
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Kind labels what kind of wait is being recorded.
+type Kind int
+
+const (
+	// Read is a shared-mode acquisition of the top-level lock.
+	Read Kind = iota
+	// Write is an exclusive-mode acquisition of the top-level lock.
+	Write
+	// Spin is an acquisition of an internal spin lock (the range-tree
+	// protector in the tree-based range locks).
+	Spin
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Spin:
+		return "spin"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+type counter struct {
+	count  atomic.Int64
+	waitNs atomic.Int64
+	_      [6]uint64 // pad to keep kinds on separate cache lines
+}
+
+// LockStat accumulates wait times for one lock instance (or one lock role
+// within a composite, e.g. "the range lock" vs "its internal spin lock").
+type LockStat struct {
+	counters [numKinds]counter
+	hist     *histogramSet // optional distributions; see AttachHistograms
+}
+
+// New returns an enabled LockStat. Callers wanting statistics off simply
+// pass a nil *LockStat.
+func New() *LockStat { return &LockStat{} }
+
+// Enabled reports whether recording is active.
+func (s *LockStat) Enabled() bool { return s != nil }
+
+// Record adds one acquisition of the given kind with the given wait.
+func (s *LockStat) Record(k Kind, wait time.Duration) {
+	if s == nil {
+		return
+	}
+	c := &s.counters[k]
+	c.count.Add(1)
+	c.waitNs.Add(int64(wait))
+	if s.hist != nil {
+		s.hist.hists[k].Observe(wait)
+	}
+}
+
+// Count returns the number of recorded acquisitions of kind k.
+func (s *LockStat) Count(k Kind) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counters[k].count.Load()
+}
+
+// TotalWait returns the cumulative wait of kind k.
+func (s *LockStat) TotalWait(k Kind) time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.counters[k].waitNs.Load())
+}
+
+// AvgWait returns the mean wait per acquisition of kind k (0 if none).
+func (s *LockStat) AvgWait(k Kind) time.Duration {
+	if s == nil {
+		return 0
+	}
+	n := s.counters[k].count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.counters[k].waitNs.Load() / n)
+}
+
+// Reset zeroes all counters.
+func (s *LockStat) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.counters {
+		s.counters[i].count.Store(0)
+		s.counters[i].waitNs.Store(0)
+	}
+}
+
+// Snapshot is an immutable view of one kind's totals.
+type Snapshot struct {
+	Kind      Kind
+	Count     int64
+	TotalWait time.Duration
+	AvgWait   time.Duration
+}
+
+// Snapshots returns a view of every kind with at least one acquisition.
+func (s *LockStat) Snapshots() []Snapshot {
+	if s == nil {
+		return nil
+	}
+	var out []Snapshot
+	for k := Kind(0); k < numKinds; k++ {
+		if n := s.Count(k); n > 0 {
+			out = append(out, Snapshot{Kind: k, Count: n, TotalWait: s.TotalWait(k), AvgWait: s.AvgWait(k)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var s *LockStat
+	s.Record(Read, time.Second) // must not panic
+	if s.Enabled() {
+		t.Fatal("nil stat reports enabled")
+	}
+	if s.Count(Read) != 0 || s.AvgWait(Write) != 0 || s.TotalWait(Spin) != 0 {
+		t.Fatal("nil stat reports nonzero values")
+	}
+	if s.Snapshots() != nil {
+		t.Fatal("nil stat returns snapshots")
+	}
+	s.Reset()
+}
+
+func TestRecordAndAverages(t *testing.T) {
+	s := New()
+	s.Record(Read, 10*time.Microsecond)
+	s.Record(Read, 30*time.Microsecond)
+	s.Record(Write, 100*time.Microsecond)
+	if got := s.Count(Read); got != 2 {
+		t.Fatalf("Count(Read) = %d, want 2", got)
+	}
+	if got := s.AvgWait(Read); got != 20*time.Microsecond {
+		t.Fatalf("AvgWait(Read) = %v, want 20µs", got)
+	}
+	if got := s.TotalWait(Write); got != 100*time.Microsecond {
+		t.Fatalf("TotalWait(Write) = %v", got)
+	}
+	if got := s.AvgWait(Spin); got != 0 {
+		t.Fatalf("AvgWait(Spin) = %v, want 0", got)
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	s := New()
+	s.Record(Write, time.Millisecond)
+	s.Record(Spin, time.Microsecond)
+	snaps := s.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].Kind != Write || snaps[1].Kind != Spin {
+		t.Fatalf("unexpected snapshot kinds: %+v", snaps)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	s := New()
+	s.Record(Read, time.Second)
+	s.Reset()
+	if s.Count(Read) != 0 || s.TotalWait(Read) != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				s.Record(Read, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(Read); got != 80000 {
+		t.Fatalf("Count(Read) = %d, want 80000", got)
+	}
+	if got := s.TotalWait(Read); got != 80000*time.Nanosecond {
+		t.Fatalf("TotalWait(Read) = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Spin.String() != "spin" {
+		t.Fatal("Kind.String labels wrong")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatal("unknown kind label wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package treelock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBlockingCountModel replays random schedules of acquisitions and
+// releases against a brute-force model of the §3 protocol: a new range
+// counts every present range that blocks it; a release decrements every
+// present range it was blocking; a range runs when its count is zero.
+// After every step, every range the model declares runnable must actually
+// be granted by the lock. Every iteration fully drains, so no spinning
+// waiter goroutines leak across iterations.
+func TestBlockingCountModel(t *testing.T) {
+	type modelRange struct {
+		start, end uint64
+		writer     bool
+		blocked    int // -1 = released
+	}
+	type pending struct {
+		done chan Guard
+		g    *Guard
+	}
+	blocks := func(prev, next modelRange) bool {
+		overlap := prev.start < next.end && next.start < prev.end
+		return overlap && (prev.writer || next.writer)
+	}
+
+	for iter := 0; iter < 30; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter) * 7717))
+		l := NewRW()
+		var model []modelRange
+		var guards []*pending
+
+		settle := func(step string) {
+			t.Helper()
+			for i, p := range guards {
+				if model[i].blocked == 0 && p.g == nil {
+					select {
+					case g := <-p.done:
+						guards[i].g = &g
+					case <-time.After(10 * time.Second):
+						t.Fatalf("iter %d %s: model says [%d,%d) w=%v runnable; lock did not grant",
+							iter, step, model[i].start, model[i].end, model[i].writer)
+					}
+				}
+			}
+		}
+		release := func(i int) {
+			released := model[i]
+			guards[i].g.Unlock()
+			guards[i].g = nil
+			model[i].blocked = -1
+			for j := range model {
+				if j != i && model[j].blocked > 0 && blocks(released, model[j]) {
+					model[j].blocked--
+				}
+			}
+		}
+
+		for op := 0; op < 40; op++ {
+			if rng.Intn(4) == 0 {
+				for i := range guards {
+					if guards[i].g != nil {
+						release(i)
+						break
+					}
+				}
+			} else {
+				s := uint64(rng.Intn(64))
+				e := s + 1 + uint64(rng.Intn(16))
+				writer := rng.Intn(2) == 0
+				m := modelRange{start: s, end: e, writer: writer}
+				for j := range model {
+					if model[j].blocked >= 0 && blocks(model[j], m) {
+						m.blocked++
+					}
+				}
+				p := &pending{done: make(chan Guard, 1)}
+				inTree := l.Held()
+				go func(s, e uint64, w bool) {
+					if w {
+						p.done <- l.Lock(s, e)
+					} else {
+						p.done <- l.RLock(s, e)
+					}
+				}(s, e, writer)
+				// The model assumes arrival order equals insertion order:
+				// wait until the request's node is actually in the tree
+				// (waiters insert before they block) so the next op's
+				// count matches the model's.
+				for deadline := time.Now().Add(10 * time.Second); l.Held() == inTree; {
+					if time.Now().After(deadline) {
+						t.Fatalf("iter %d: request never inserted", iter)
+					}
+					time.Sleep(time.Microsecond)
+				}
+				model = append(model, m)
+				guards = append(guards, p)
+			}
+			settle("step")
+		}
+
+		// Drain completely: releasing every held range unblocks the rest;
+		// repeat until everything has been granted and released.
+		for {
+			progressed := false
+			for i := range guards {
+				if guards[i].g != nil {
+					release(i)
+					progressed = true
+				}
+			}
+			settle("drain")
+			if !progressed {
+				break
+			}
+		}
+		for i := range model {
+			if model[i].blocked > 0 {
+				t.Fatalf("iter %d: range [%d,%d) still blocked by %d after drain",
+					iter, model[i].start, model[i].end, model[i].blocked)
+			}
+		}
+		if held := l.Held(); held != 0 {
+			t.Fatalf("iter %d: %d ranges left in the tree after drain", iter, held)
+		}
+	}
+}

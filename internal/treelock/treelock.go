@@ -1,0 +1,216 @@
+// Package treelock implements the range locks that exist in the Linux
+// kernel today, as described in §3 of the paper: a range tree (built on a
+// red-black interval tree) protected by a spin lock.
+//
+// Protocol (Kara's lib/range_lock, extended by Bueso with reader-writer
+// semantics):
+//
+//	acquire(R): lock the spin lock; count the ranges already in the tree
+//	that block R (all overlaps for the exclusive variant; for the RW
+//	variant overlapping readers do not block a reader); insert R with that
+//	count; unlock; then wait until R's count drops to zero.
+//
+//	release(R): lock the spin lock; remove R; decrement the count of every
+//	remaining overlapping range that R was blocking; unlock.
+//
+// Any range still in the tree at R's release necessarily arrived after R
+// (its earlier blockers had to leave before R could hold), so it counted
+// R and the decrement is balanced.
+//
+// The package provides both the exclusive variant ("lustre-ex" in the
+// paper's user-space study, the Lustre file-system lock) and the
+// reader-writer variant ("kernel-rw", Bueso's patch). Every acquisition —
+// even for disjoint ranges — takes the internal spin lock twice, which is
+// exactly the scalability bottleneck the paper's list-based design
+// removes; the optional stats hook measures that wait (Figure 8).
+package treelock
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/rbtree"
+	"repro/internal/stats"
+)
+
+// MaxEnd is the exclusive upper bound used for full-range acquisitions.
+const MaxEnd = ^uint64(0)
+
+// waiter is one acquired or requested range in the tree.
+type waiter struct {
+	start, end uint64
+	writer     bool
+	blocked    atomic.Int64
+}
+
+// Lock is a tree-based range lock. Use NewExclusive or NewRW.
+type Lock struct {
+	spin locks.SpinLock
+	tree *rbtree.Tree[*waiter]
+
+	// rw selects reader-writer semantics; when false every acquisition is
+	// exclusive regardless of the reader flag (lustre-ex).
+	rw bool
+
+	// rangeStat records read/write waits on the range lock itself
+	// (Figure 7); spinStat records waits on the internal spin lock
+	// (Figure 8). Either may be nil.
+	rangeStat *stats.LockStat
+	spinStat  *stats.LockStat
+}
+
+// Guard is a held range; release it with Unlock.
+type Guard struct {
+	l    *Lock
+	node *rbtree.Node[*waiter]
+}
+
+// NewExclusive creates the exclusive-only variant (lustre-ex).
+func NewExclusive() *Lock {
+	return &Lock{tree: newTree(), rw: false}
+}
+
+// NewRW creates the reader-writer variant (kernel-rw).
+func NewRW() *Lock {
+	return &Lock{tree: newTree(), rw: true}
+}
+
+func newTree() *rbtree.Tree[*waiter] {
+	return rbtree.NewAugmented[*waiter](func(w *waiter) uint64 { return w.end })
+}
+
+// SetStats attaches wait-time accounting: rangeStat for the range lock
+// acquisition waits, spinStat for the internal spin lock. Attach before
+// the lock is shared; either argument may be nil.
+func (l *Lock) SetStats(rangeStat, spinStat *stats.LockStat) {
+	l.rangeStat = rangeStat
+	l.spinStat = spinStat
+}
+
+// lockSpin acquires the internal spin lock, recording the wait if enabled.
+func (l *Lock) lockSpin() {
+	if !l.spinStat.Enabled() {
+		l.spin.Lock()
+		return
+	}
+	if l.spin.TryLock() {
+		l.spinStat.Record(stats.Spin, 0)
+		return
+	}
+	t0 := time.Now()
+	l.spin.Lock()
+	l.spinStat.Record(stats.Spin, time.Since(t0))
+}
+
+// blocks reports whether an existing range prev blocks a new range next
+// under the lock's semantics.
+func (l *Lock) blocks(prev, next *waiter) bool {
+	if !l.rw {
+		return true // exclusive variant: any overlap blocks
+	}
+	return prev.writer || next.writer
+}
+
+// forEachOverlap calls fn for every waiter overlapping [start, end),
+// pruning subtrees via the max-end augmentation. Must run under the spin
+// lock.
+func forEachOverlap(t *rbtree.Tree[*waiter], start, end uint64, fn func(*waiter)) {
+	var walk func(n *rbtree.Node[*waiter])
+	walk = func(n *rbtree.Node[*waiter]) {
+		if n == nil || n.MaxAug() <= start {
+			return // nothing in this subtree ends after start
+		}
+		walk(n.Left())
+		if n.Key() < end {
+			w := n.Value()
+			if w.start < end && start < w.end {
+				fn(w)
+			}
+			walk(n.Right())
+		}
+		// Keys >= end cannot overlap and neither can their right subtrees.
+	}
+	walk(t.Root())
+}
+
+func (l *Lock) acquire(start, end uint64, writer bool) Guard {
+	if start >= end {
+		panic("treelock: range lock requires start < end")
+	}
+	w := &waiter{start: start, end: end, writer: writer}
+
+	l.lockSpin()
+	blocking := int64(0)
+	forEachOverlap(l.tree, start, end, func(prev *waiter) {
+		if l.blocks(prev, w) {
+			blocking++
+		}
+	})
+	// Seed the counter before publishing so releases that race with our
+	// wait only ever see the final value.
+	w.blocked.Store(blocking)
+	node := l.tree.Insert(start, w)
+	l.spin.Unlock()
+
+	if w.blocked.Load() != 0 {
+		kind := stats.Read
+		if writer {
+			kind = stats.Write
+		}
+		var t0 time.Time
+		if l.rangeStat.Enabled() {
+			t0 = time.Now()
+		}
+		var b locks.Backoff
+		for w.blocked.Load() != 0 {
+			b.Pause()
+		}
+		if l.rangeStat.Enabled() {
+			l.rangeStat.Record(kind, time.Since(t0))
+		}
+	} else if l.rangeStat.Enabled() {
+		if writer {
+			l.rangeStat.Record(stats.Write, 0)
+		} else {
+			l.rangeStat.Record(stats.Read, 0)
+		}
+	}
+	return Guard{l: l, node: node}
+}
+
+// Lock acquires [start, end) in exclusive mode.
+func (l *Lock) Lock(start, end uint64) Guard { return l.acquire(start, end, true) }
+
+// RLock acquires [start, end) in shared mode. On the exclusive variant it
+// behaves like Lock.
+func (l *Lock) RLock(start, end uint64) Guard { return l.acquire(start, end, !l.rw) }
+
+// LockFull acquires the entire range in exclusive mode.
+func (l *Lock) LockFull() Guard { return l.acquire(0, MaxEnd, true) }
+
+// RLockFull acquires the entire range in shared mode.
+func (l *Lock) RLockFull() Guard { return l.acquire(0, MaxEnd, !l.rw) }
+
+// Unlock releases the range.
+func (g Guard) Unlock() {
+	l := g.l
+	me := g.node.Value()
+	l.lockSpin()
+	l.tree.Delete(g.node)
+	forEachOverlap(l.tree, me.start, me.end, func(other *waiter) {
+		if l.blocks(me, other) {
+			other.blocked.Add(-1)
+		}
+	})
+	l.spin.Unlock()
+}
+
+// Held reports how many ranges are currently in the tree (held or
+// waiting); used by tests.
+func (l *Lock) Held() int {
+	l.lockSpin()
+	n := l.tree.Len()
+	l.spin.Unlock()
+	return n
+}

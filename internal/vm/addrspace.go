@@ -1,0 +1,308 @@
+package vm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/rbtree"
+	"repro/internal/stats"
+)
+
+// mmapBase is where the simulated mmap region starts (mirrors the mmap
+// area of a 64-bit Linux process sitting below the stack).
+const mmapBase uint64 = 0x7f00_0000_0000
+
+// AddressSpace is the simulated mm_struct: the VMA tree (mm_rb), the page
+// table, the mmap allocation cursor, and the §5.2 sequence number used to
+// validate speculative mprotect operations.
+type AddressSpace struct {
+	pol *policy
+
+	// rb is mm_rb, keyed by VMA start. Structural changes (insert/delete/
+	// rebalance) happen only under the full-range write lock; boundary
+	// moves update keys in place under refined write locks.
+	rb *rbtree.Tree[*VMA]
+
+	pt *PageTable
+
+	// seq is incremented on every release of a full-range write
+	// acquisition; speculative operations use it to detect structural
+	// changes that happened while they dropped the lock (§5.2).
+	seq atomic.Uint64
+
+	// cursor is the next mmap address hint; guarded by the full write lock.
+	cursor uint64
+
+	// brk tracks the program-break heap VMA (see Brk).
+	brk brkState
+
+	// specUnmapPlan enables the §5.2 "speculative find phase" for munmap:
+	// locate the first affected VMA under a read lock before taking the
+	// full write lock, shortening the work done while holding it. See
+	// EnableSpeculativeUnmapPlanning.
+	specUnmapPlan bool
+
+	// Counters for the experiment harness.
+	faults       atomic.Uint64 // page faults taken
+	specOK       atomic.Uint64 // mprotects that completed speculatively
+	specRetries  atomic.Uint64 // speculative validation failures
+	specFallback atomic.Uint64 // mprotects that fell back to the full range
+	unmapHits    atomic.Uint64 // munmaps that reused their read-phase plan
+	unmapMisses  atomic.Uint64 // munmaps that had to re-find under the lock
+}
+
+// NewAddressSpace creates an empty address space under the given policy.
+// rangeStat and spinStat attach lock_stat-style accounting (either may be
+// nil; spinStat only applies to tree-based policies).
+func NewAddressSpace(kind PolicyKind, rangeStat, spinStat *stats.LockStat) *AddressSpace {
+	return &AddressSpace{
+		pol:    newPolicy(kind, rangeStat, spinStat),
+		rb:     rbtree.New[*VMA](),
+		pt:     NewPageTable(),
+		cursor: mmapBase,
+	}
+}
+
+// Policy returns the address space's policy kind.
+func (as *AddressSpace) Policy() PolicyKind { return as.pol.kind }
+
+// fullWrite acquires the full-range write lock; its release bumps the
+// sequence number, exactly as §5.2 prescribes ("incremented every time a
+// range lock acquired for the full range in write mode is released").
+func (as *AddressSpace) fullWrite() func() {
+	rel := as.pol.acquireFull(true)
+	return func() {
+		as.seq.Add(1)
+		rel()
+	}
+}
+
+// findVMA returns the first VMA whose end is greater than addr (Linux
+// find_vma semantics: the returned VMA may start above addr). Callers must
+// hold a lock that orders them against structural mm_rb changes; refined
+// holders may race with in-place boundary moves, which is safe for
+// addresses outside the mover's locked window (see VMA).
+func (as *AddressSpace) findVMA(addr uint64) *VMA {
+	n := as.rb.Floor(addr)
+	if n == nil {
+		if m := as.rb.Min(); m != nil {
+			return m.Value()
+		}
+		return nil
+	}
+	if v := n.Value(); v.End() > addr {
+		return v
+	}
+	if nx := as.rb.Next(n); nx != nil {
+		return nx.Value()
+	}
+	return nil
+}
+
+// prevVMA returns the VMA immediately preceding v in address order, or nil.
+func (as *AddressSpace) prevVMA(v *VMA) *VMA {
+	if p := as.rb.Prev(v.node); p != nil {
+		return p.Value()
+	}
+	return nil
+}
+
+// nextVMA returns the VMA immediately following v in address order, or nil.
+func (as *AddressSpace) nextVMA(v *VMA) *VMA {
+	if n := as.rb.Next(v.node); n != nil {
+		return n.Value()
+	}
+	return nil
+}
+
+// insertVMA creates a VMA and links it into mm_rb. Full write lock only.
+func (as *AddressSpace) insertVMA(start, end uint64, prot Prot) *VMA {
+	v := &VMA{}
+	v.start.Store(start)
+	v.end.Store(end)
+	v.prot.Store(uint32(prot))
+	v.node = as.rb.Insert(start, v)
+	return v
+}
+
+// removeVMA unlinks a VMA from mm_rb. Full write lock only.
+func (as *AddressSpace) removeVMA(v *VMA) {
+	as.rb.Delete(v.node)
+	v.node = nil
+}
+
+// Mmap maps length bytes (rounded up to pages) with the given protection
+// and returns the chosen base address. Like the kernel patch, mapping
+// always takes the full-range write lock (it inserts into mm_rb). A guard
+// page is left between mappings so distinct mmaps never merge — matching
+// the per-arena isolation GLIBC relies on.
+func (as *AddressSpace) Mmap(length uint64, prot Prot) (uint64, error) {
+	if length == 0 {
+		return 0, ErrInval
+	}
+	length = pageAlignUp(length)
+	rel := as.fullWrite()
+	defer rel()
+	addr := as.cursor
+	// Leave a 4-page guard gap: mappings never merge, and the refined
+	// mprotect windows (vma ± 1 page) of neighbouring mappings stay
+	// disjoint, so operations on different arenas truly run in parallel.
+	as.cursor += length + 4*PageSize
+	as.insertVMA(addr, addr+length, prot)
+	return addr, nil
+}
+
+// EnableSpeculativeUnmapPlanning turns on the read-phase planning for
+// Munmap described at the end of §5.2: the expensive find_vma runs under a
+// read range lock; the full write lock is then only held for the
+// modification itself, with a sequence-number check deciding whether the
+// plan is still usable. The paper leaves evaluating this to future work;
+// BenchmarkAblationUnmapPlanning measures it here.
+func (as *AddressSpace) EnableSpeculativeUnmapPlanning() { as.specUnmapPlan = true }
+
+// Munmap removes all mappings overlapping [addr, addr+length), splitting
+// partially covered VMAs. The structural work always happens under the
+// full-range write lock; with speculative planning enabled, the initial
+// VMA lookup happens beforehand under a read lock.
+func (as *AddressSpace) Munmap(addr, length uint64) error {
+	if length == 0 || addr%PageSize != 0 {
+		return ErrInval
+	}
+	start, end := addr, pageAlignUp(addr+length)
+
+	var hint *VMA
+	var hintSeq uint64
+	if as.specUnmapPlan && as.pol.refineMprotect {
+		relR := as.pol.acquire(start, end, false)
+		hint = as.findVMA(start)
+		hintSeq = as.seq.Load()
+		relR()
+	}
+
+	rel := as.fullWrite()
+	defer rel()
+
+	var v *VMA
+	if hint != nil && as.seq.Load() == hintSeq && hint.node != nil &&
+		hint.End() > start {
+		// The plan survived: no structural change happened in between
+		// (boundary moves cannot invalidate "first VMA ending after
+		// start" by more than one neighbour, which the loop tolerates
+		// by re-reading boundaries).
+		v = hint
+		if p := as.prevVMA(v); p != nil && p.End() > start {
+			v = p // a boundary move extended the predecessor into range
+		}
+		as.unmapHits.Add(1)
+	} else {
+		v = as.findVMA(start)
+		if as.specUnmapPlan {
+			as.unmapMisses.Add(1)
+		}
+	}
+	as.unmapLocked(v, start, end)
+	return nil
+}
+
+// unmapLocked removes the mappings overlapping [start, end), starting the
+// walk at v (the first VMA ending after start). Full write lock only.
+func (as *AddressSpace) unmapLocked(v *VMA, start, end uint64) {
+	for v != nil && v.Start() < end {
+		next := as.nextVMA(v)
+		vs, ve := v.Start(), v.End()
+		switch {
+		case start <= vs && ve <= end: // fully covered: drop
+			as.removeVMA(v)
+		case vs < start && end < ve: // interior: split into two
+			as.insertVMA(end, ve, v.Prot())
+			v.end.Store(start)
+		case vs < start: // tail covered: trim end
+			v.end.Store(start)
+		default: // head covered: trim start (key moves right; order kept)
+			v.start.Store(end)
+			as.rb.UpdateKey(v.node, end)
+		}
+		v = next
+	}
+	as.pt.Zap(start, end)
+}
+
+// PageFault handles a fault at addr (§5.3): locate the VMA, check the
+// protection, install the page. Under refined policies the lock covers
+// only the faulting page, in read mode; otherwise the full range, still in
+// read mode (faults never change VMA metadata or mm_rb).
+func (as *AddressSpace) PageFault(addr uint64, write bool) error {
+	var rel func()
+	if as.pol.refineFault {
+		page := pageAlignDown(addr)
+		rel = as.pol.acquire(page, page+PageSize, false)
+	} else {
+		rel = as.pol.acquireFull(false)
+	}
+	defer rel()
+
+	as.faults.Add(1)
+	v := as.findVMA(addr)
+	if v == nil || !v.Contains(addr) {
+		return ErrFault
+	}
+	prot := v.Prot()
+	if prot == ProtNone {
+		return ErrAccess
+	}
+	if write && prot&ProtWrite == 0 {
+		return ErrAccess
+	}
+	if !write && prot&ProtRead == 0 {
+		return ErrAccess
+	}
+	as.pt.Install(addr)
+	return nil
+}
+
+// Regions returns a snapshot of all VMAs in address order, taken under the
+// full-range read lock (used by tests and tools, not benchmarks).
+func (as *AddressSpace) Regions() []Region {
+	rel := as.pol.acquireFull(false)
+	defer rel()
+	out := make([]Region, 0, as.rb.Len())
+	as.rb.Ascend(func(n *rbtree.Node[*VMA]) bool {
+		v := n.Value()
+		out = append(out, Region{Start: v.Start(), End: v.End(), Prot: v.Prot()})
+		return true
+	})
+	return out
+}
+
+// VMACount returns the number of VMAs (full read lock).
+func (as *AddressSpace) VMACount() int {
+	rel := as.pol.acquireFull(false)
+	defer rel()
+	return as.rb.Len()
+}
+
+// PageTable exposes the page table for tests and allocators.
+func (as *AddressSpace) PageTable() *PageTable { return as.pt }
+
+// OpStats reports operation counters for the experiment harness.
+type OpStats struct {
+	Faults        uint64
+	SpecSucceeded uint64 // mprotects completed under a refined lock
+	SpecRetries   uint64 // speculative validation failures (retried)
+	SpecFellBack  uint64 // mprotects that required the full range
+	UnmapPlanHits uint64 // munmap read-phase plans that were reused
+	UnmapPlanMiss uint64 // munmap plans invalidated under the write lock
+	Seq           uint64 // full-range write releases so far
+}
+
+// Stats returns the current operation counters.
+func (as *AddressSpace) Stats() OpStats {
+	return OpStats{
+		Faults:        as.faults.Load(),
+		SpecSucceeded: as.specOK.Load(),
+		SpecRetries:   as.specRetries.Load(),
+		SpecFellBack:  as.specFallback.Load(),
+		UnmapPlanHits: as.unmapHits.Load(),
+		UnmapPlanMiss: as.unmapMisses.Load(),
+		Seq:           as.seq.Load(),
+	}
+}

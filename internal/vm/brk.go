@@ -1,0 +1,70 @@
+package vm
+
+import "sync/atomic"
+
+// brkBase is where the simulated program break region starts (below the
+// mmap area, like a classic process layout).
+const brkBase uint64 = 0x5555_0000_0000
+
+// brkState tracks the heap VMA. Mutated only under the full write lock.
+type brkState struct {
+	end atomic.Uint64 // current break; 0 = heap not yet established
+	vma *VMA
+}
+
+// Brk grows or shrinks the program break by delta bytes (page granularity;
+// the kernel rounds internally, and so do we) and returns the new break.
+// Like the kernel's brk, the operation mutates the heap VMA's extent and
+// may create or delete it — all structural or boundary work on mm_rb, so
+// it runs under the full-range write lock (§5.2 notes brk as one of the
+// operations whose find phase could speculate; see Munmap for the
+// implemented variant of that idea).
+func (as *AddressSpace) Brk(delta int64) (uint64, error) {
+	rel := as.fullWrite()
+	defer rel()
+
+	cur := as.brk.end.Load()
+	if cur == 0 {
+		cur = brkBase
+	}
+	var next uint64
+	if delta >= 0 {
+		next = pageAlignUp(cur + uint64(delta))
+	} else {
+		d := uint64(-delta)
+		if d > cur-brkBase {
+			return 0, ErrInval
+		}
+		next = pageAlignUp(cur - d)
+	}
+	if next > mmapBase {
+		return 0, ErrNoMem // heap ran into the mmap area
+	}
+
+	switch {
+	case next == cur:
+		// No page-granularity change.
+	case as.brk.vma == nil && next > brkBase:
+		as.brk.vma = as.insertVMA(brkBase, next, ProtRead|ProtWrite)
+	case next == brkBase && as.brk.vma != nil:
+		// Heap fully released.
+		as.pt.Zap(brkBase, cur)
+		as.removeVMA(as.brk.vma)
+		as.brk.vma = nil
+	case next > cur:
+		as.brk.vma.end.Store(next)
+	default: // shrink
+		as.pt.Zap(next, cur)
+		as.brk.vma.end.Store(next)
+	}
+	as.brk.end.Store(next)
+	return next, nil
+}
+
+// BrkEnd returns the current program break (for tests).
+func (as *AddressSpace) BrkEnd() uint64 {
+	if e := as.brk.end.Load(); e != 0 {
+		return e
+	}
+	return brkBase
+}

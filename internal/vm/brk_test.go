@@ -1,0 +1,181 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBrkGrowShrink(t *testing.T) {
+	as := newAS(t, ListRefined)
+	base := as.BrkEnd()
+
+	nb, err := as.Brk(3 * int64(pg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != base+3*pg {
+		t.Fatalf("break = %#x, want %#x", nb, base+3*pg)
+	}
+	if n := as.VMACount(); n != 1 {
+		t.Fatalf("VMAs = %d, want 1 (heap)", n)
+	}
+	if err := as.PageFault(base+pg, true); err != nil {
+		t.Fatalf("fault in heap: %v", err)
+	}
+
+	// Shrink by one page: faulted pages above the break must be zapped.
+	if _, err := as.Brk(-int64(pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.PageFault(base+2*pg+8, true); err != ErrFault {
+		t.Fatalf("fault above break = %v, want ErrFault", err)
+	}
+
+	// Release the heap entirely.
+	if _, err := as.Brk(-2 * int64(pg)); err != nil {
+		t.Fatal(err)
+	}
+	if n := as.VMACount(); n != 0 {
+		t.Fatalf("heap VMA not removed: %d VMAs", n)
+	}
+	if as.BrkEnd() != base {
+		t.Fatalf("break = %#x after full release, want %#x", as.BrkEnd(), base)
+	}
+}
+
+func TestBrkUnderflow(t *testing.T) {
+	as := newAS(t, Stock)
+	if _, err := as.Brk(-int64(pg)); err != ErrInval {
+		t.Fatalf("underflow Brk = %v, want ErrInval", err)
+	}
+}
+
+func TestBrkZeroDelta(t *testing.T) {
+	as := newAS(t, Stock)
+	b0, err := as.Brk(0)
+	if err != nil || b0 != as.BrkEnd() {
+		t.Fatalf("Brk(0) = %#x, %v", b0, err)
+	}
+}
+
+func TestBrkConcurrentWithArenas(t *testing.T) {
+	as := newAS(t, ListRefined)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	wg.Add(1)
+	go func() { // heap user
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := as.Brk(int64(pg)); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := as.Brk(-int64(pg) / 2); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ { // mmap users
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a, err := as.Mmap(2*pg, ProtRead|ProtWrite)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := as.PageFault(a, true); err != nil {
+					errs <- err
+					return
+				}
+				if err := as.Munmap(a, 2*pg); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeculativeUnmapPlanning(t *testing.T) {
+	as := newAS(t, ListRefined)
+	as.EnableSpeculativeUnmapPlanning()
+
+	addrs := make([]uint64, 16)
+	for i := range addrs {
+		a, err := as.Mmap(4*pg, ProtRead|ProtWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	for _, a := range addrs {
+		if err := as.Munmap(a, 4*pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := as.Stats()
+	if st.UnmapPlanHits == 0 {
+		t.Fatalf("no unmap plans reused: %+v", st)
+	}
+	if n := as.VMACount(); n != 0 {
+		t.Fatalf("%d VMAs left after unmapping everything", n)
+	}
+
+	// Partial unmaps with the planner still produce correct layouts.
+	a, _ := as.Mmap(10*pg, ProtRead)
+	if err := as.Munmap(a+3*pg, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	regs := as.Regions()
+	if len(regs) != 2 || regs[0].End != a+3*pg || regs[1].Start != a+5*pg {
+		t.Fatalf("hole punch with planner wrong: %+v", regs)
+	}
+}
+
+func TestSpeculativeUnmapPlanningConcurrent(t *testing.T) {
+	as := newAS(t, ListRefined)
+	as.EnableSpeculativeUnmapPlanning()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				a, err := as.Mmap(6*pg, ProtNone)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := as.Mprotect(a, 2*pg, ProtRead|ProtWrite); err != nil {
+					errs <- err
+					return
+				}
+				if err := as.Munmap(a, 6*pg); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := as.VMACount(); n != 0 {
+		t.Fatalf("%d VMAs leaked", n)
+	}
+	st := as.Stats()
+	if st.UnmapPlanHits+st.UnmapPlanMiss == 0 {
+		t.Fatal("planner never consulted")
+	}
+}

@@ -1,0 +1,97 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentArenaPattern runs the GLIBC-arena access pattern — per-
+// goroutine mappings growing and shrinking via boundary-move mprotects
+// interleaved with page faults — under every policy, and checks layout
+// and page-table consistency afterwards. This is the integration stress
+// for the refined locking rules of §5.
+func TestConcurrentArenaPattern(t *testing.T) {
+	const (
+		workers = 8
+		npages  = 32
+		rounds  = 60
+	)
+	for _, kind := range Policies {
+		t.Run(kind.String(), func(t *testing.T) {
+			as := newAS(t, kind)
+			bases := make([]uint64, workers)
+			for i := range bases {
+				b, err := as.Mmap(npages*pg, ProtNone)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bases[i] = b
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base uint64) {
+					defer wg.Done()
+					committed := uint64(0)
+					for r := 0; r < rounds; r++ {
+						// Grow by a few pages.
+						grow := uint64(1 + r%3)
+						if committed+grow > npages {
+							// Shrink back to one page.
+							if err := as.Mprotect(base+pg, (committed-1)*pg, ProtNone); err != nil {
+								errs <- err
+								return
+							}
+							committed = 1
+							continue
+						}
+						if err := as.Mprotect(base+committed*pg, grow*pg, ProtRead|ProtWrite); err != nil {
+							errs <- err
+							return
+						}
+						committed += grow
+						// Touch the freshly committed pages.
+						for p := committed - grow; p < committed; p++ {
+							if err := as.PageFault(base+p*pg+8, true); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+				}(bases[w])
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Layout sanity: regions sorted, non-overlapping, within bounds.
+			regs := as.Regions()
+			for i := 1; i < len(regs); i++ {
+				if regs[i-1].End > regs[i].Start {
+					t.Fatalf("overlapping VMAs: %+v then %+v", regs[i-1], regs[i])
+				}
+			}
+			// Every present page must be inside an rw- VMA.
+			for _, r := range regs {
+				if r.Prot == ProtNone {
+					for a := r.Start; a < r.End; a += pg {
+						if as.PageTable().Present(a) {
+							t.Fatalf("present page %#x inside PROT_NONE region", a)
+						}
+					}
+				}
+			}
+
+			if kind == ListRefined || kind == TreeRefined || kind == ListMprotect {
+				st := as.Stats()
+				total := st.SpecSucceeded + st.SpecFellBack
+				if total == 0 || st.SpecSucceeded*100/total < 90 {
+					t.Fatalf("speculation success too low: %+v (paper reports >99%%)", st)
+				}
+			}
+		})
+	}
+}

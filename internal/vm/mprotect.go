@@ -1,0 +1,195 @@
+package vm
+
+// Mprotect changes the protection of [addr, addr+length) (page-aligned).
+// Under refining policies it uses the speculative protocol of §5.2
+// (Listing 4): take the range lock in read mode for the request range,
+// locate the VMA, snapshot the sequence number and the VMA's boundaries,
+// then re-take the lock in write mode for [vma.start-page, vma.end+page).
+// If validation shows the world changed, retry; if the operation needs a
+// structural mm_rb change (split/merge), fall back to the full-range write
+// lock. Metadata-only cases — whole-VMA protection flips and boundary
+// moves between adjacent VMAs (Figure 2, the GLIBC allocator pattern) —
+// complete under the refined lock, allowing disjoint mprotect and page
+// fault operations to run in parallel.
+func (as *AddressSpace) Mprotect(addr, length uint64, prot Prot) error {
+	if length == 0 || addr%PageSize != 0 {
+		return ErrInval
+	}
+	start, end := addr, pageAlignUp(addr+length)
+
+	speculate := as.pol.refineMprotect
+	for {
+		if !speculate {
+			return as.mprotectFull(start, end, prot)
+		}
+
+		// --- Read phase: find the VMA under a read lock on the request
+		// range (other speculating operations and page faults proceed in
+		// parallel).
+		relR := as.pol.acquire(start, end, false)
+		v := as.findVMA(start)
+		if v == nil || v.Start() > start {
+			relR()
+			return ErrNoMem
+		}
+		if end > v.End() {
+			// Spans multiple VMAs: the general path handles it.
+			relR()
+			speculate = false
+			continue
+		}
+		seq := as.seq.Load()
+		vs, ve := v.Start(), v.End()
+		aStart := vs - PageSize
+		if vs < PageSize {
+			aStart = 0
+		}
+		aEnd := ve + PageSize
+		relR()
+
+		// --- Write phase: lock the VMA plus one page on each side. The
+		// padding serializes us against boundary moves performed by
+		// mprotects on the adjacent VMAs (§5.2).
+		relW := as.pol.acquire(aStart, aEnd, true)
+		if as.seq.Load() != seq || v.Start() != vs || v.End() != ve {
+			// A structural change or a neighbouring boundary move raced
+			// with us between the two phases: retry from scratch.
+			relW()
+			as.specRetries.Add(1)
+			continue
+		}
+
+		done, structural := as.applySpeculative(v, start, end, prot)
+		if structural {
+			relW()
+			as.specFallback.Add(1)
+			speculate = false
+			continue
+		}
+		_ = done
+		relW()
+		as.specOK.Add(1)
+		return nil
+	}
+}
+
+// applySpeculative performs the metadata-only mprotect cases under a
+// refined write lock covering [v.start-page, v.end+page). It returns
+// structural=true when the change requires modifying mm_rb's structure,
+// in which case nothing was modified and the caller must fall back.
+//
+// [start, end) is known to lie within v.
+func (as *AddressSpace) applySpeculative(v *VMA, start, end uint64, prot Prot) (done, structural bool) {
+	vs, ve := v.Start(), v.End()
+	if v.Prot() == prot {
+		return true, false // no-op
+	}
+	switch {
+	case start == vs && end == ve:
+		// Whole-VMA flip. If a neighbour becomes mergeable the kernel
+		// merges eagerly, which deletes an mm_rb node — structural.
+		if p := as.prevVMA(v); p != nil && p.End() == vs && p.Prot() == prot {
+			return false, true
+		}
+		if n := as.nextVMA(v); n != nil && n.Start() == ve && n.Prot() == prot {
+			return false, true
+		}
+		v.prot.Store(uint32(prot))
+	case start == vs:
+		// Head of the VMA. If the previous VMA is adjacent and already has
+		// the target protection, this is the Figure 2 boundary move:
+		// expand prev over [start, end) and shrink v — mm_rb keeps its
+		// shape; only v's key moves (order preserved inside the locked
+		// window).
+		p := as.prevVMA(v)
+		if p == nil || p.End() != vs || p.Prot() != prot {
+			return false, true // would need a split
+		}
+		p.end.Store(end)
+		v.start.Store(end)
+		as.rb.UpdateKey(v.node, end)
+	case end == ve:
+		// Tail of the VMA: mirror image, moving the boundary with next.
+		n := as.nextVMA(v)
+		if n == nil || n.Start() != ve || n.Prot() != prot {
+			return false, true
+		}
+		v.end.Store(start)
+		n.start.Store(start)
+		as.rb.UpdateKey(n.node, start)
+	default:
+		// Interior range: always a double split — structural.
+		return false, true
+	}
+	as.pt.Zap(start, end)
+	return true, false
+}
+
+// mprotectFull is the general path under the full-range write lock: split
+// partially covered VMAs, set the protection, merge newly compatible
+// neighbours, and zap the affected pages. Linux applies changes up to the
+// first gap before returning ENOMEM; for determinism this implementation
+// verifies coverage first and applies all-or-nothing.
+func (as *AddressSpace) mprotectFull(start, end uint64, prot Prot) error {
+	rel := as.fullWrite()
+	defer rel()
+
+	// Coverage check: [start, end) must be fully mapped.
+	pos := start
+	for pos < end {
+		v := as.findVMA(pos)
+		if v == nil || v.Start() > pos {
+			return ErrNoMem
+		}
+		pos = v.End()
+	}
+
+	// Apply, splitting partially covered VMAs.
+	v := as.findVMA(start)
+	for v != nil && v.Start() < end {
+		vs, ve := v.Start(), v.End()
+		if vs < start {
+			// Split off the unaffected head [vs, start): v keeps it; the
+			// affected part becomes a new VMA handled on the next round.
+			mid := as.insertVMA(start, ve, v.Prot())
+			v.end.Store(start)
+			v = mid
+			continue
+		}
+		if ve > end {
+			// Split off the unaffected tail [end, ve).
+			as.insertVMA(end, ve, v.Prot())
+			v.end.Store(end)
+			ve = end
+		}
+		v.prot.Store(uint32(prot))
+		v = as.nextVMA(v)
+	}
+
+	as.mergeAround(start, end)
+	as.pt.Zap(start, end)
+	return nil
+}
+
+// mergeAround coalesces adjacent VMAs with identical protection in the
+// neighbourhood of [start, end) (the merge pass the kernel performs inside
+// mprotect_fixup/vma_merge). Full write lock only.
+func (as *AddressSpace) mergeAround(start, end uint64) {
+	from := start
+	if from >= PageSize {
+		from -= PageSize
+	}
+	v := as.findVMA(from)
+	for v != nil {
+		n := as.nextVMA(v)
+		if n == nil || v.Start() > end {
+			return
+		}
+		if v.End() == n.Start() && v.Prot() == n.Prot() {
+			v.end.Store(n.End())
+			as.removeVMA(n)
+			continue // try to merge further into v
+		}
+		v = n
+	}
+}

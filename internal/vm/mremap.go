@@ -1,0 +1,66 @@
+package vm
+
+// Mremap resizes the mapping at [addr, addr+oldLen), returning its (possibly
+// new) base address. Semantics follow the Linux call closely enough for the
+// workloads here:
+//
+//   - shrink: the tail [addr+newLen, addr+oldLen) is unmapped in place;
+//   - grow in place: possible when the old range is the tail of its VMA
+//     and the following guard gap is free;
+//   - grow by moving: otherwise the mapping is relocated to a fresh
+//     address (MREMAP_MAYMOVE behaviour); old pages are zapped, so the
+//     relocated region faults lazily like a fresh mapping.
+//
+// mremap always restructures mm_rb, so — like mmap and munmap — it runs
+// under the full-range write lock.
+func (as *AddressSpace) Mremap(addr, oldLen, newLen uint64) (uint64, error) {
+	if addr%PageSize != 0 || oldLen == 0 || newLen == 0 {
+		return 0, ErrInval
+	}
+	oldLen = pageAlignUp(oldLen)
+	newLen = pageAlignUp(newLen)
+
+	rel := as.fullWrite()
+	defer rel()
+
+	v := as.findVMA(addr)
+	if v == nil || v.Start() > addr || addr+oldLen > v.End() {
+		return 0, ErrNoMem // old range must lie within a single mapping
+	}
+
+	switch {
+	case newLen == oldLen:
+		return addr, nil
+
+	case newLen < oldLen:
+		as.unmapLocked(v, addr+newLen, addr+oldLen)
+		return addr, nil
+
+	case addr+oldLen == v.End() && as.gapAfter(v) >= newLen-oldLen:
+		// Grow in place: the old range ends exactly at the VMA's end and
+		// the hole behind it is big enough.
+		v.end.Store(addr + newLen)
+		return addr, nil
+
+	default:
+		// Relocate: carve a fresh region, inherit the protection, drop the
+		// old range. Content "moves" by lazy refault (the simulation does
+		// not carry page contents).
+		prot := v.Prot()
+		newAddr := as.cursor
+		as.cursor += newLen + 4*PageSize
+		as.insertVMA(newAddr, newAddr+newLen, prot)
+		as.unmapLocked(v, addr, addr+oldLen)
+		return newAddr, nil
+	}
+}
+
+// gapAfter returns the number of unmapped bytes between v's end and the
+// next mapping (or "infinite" when v is the last VMA). Full lock only.
+func (as *AddressSpace) gapAfter(v *VMA) uint64 {
+	n := as.nextVMA(v)
+	if n == nil {
+		return ^uint64(0) - v.End()
+	}
+	return n.Start() - v.End()
+}

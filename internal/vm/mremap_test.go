@@ -1,0 +1,95 @@
+package vm
+
+import "testing"
+
+func TestMremapShrink(t *testing.T) {
+	as := newAS(t, ListRefined)
+	a, _ := as.Mmap(8*pg, ProtRead|ProtWrite)
+	as.PageFault(a+7*pg, true)
+	got, err := as.Mremap(a, 8*pg, 4*pg)
+	if err != nil || got != a {
+		t.Fatalf("shrink = %#x, %v", got, err)
+	}
+	regs := as.Regions()
+	if len(regs) != 1 || regs[0].End != a+4*pg {
+		t.Fatalf("regions = %+v", regs)
+	}
+	if as.PageTable().Present(a + 7*pg) {
+		t.Fatal("page beyond shrunk end still present")
+	}
+}
+
+func TestMremapGrowInPlace(t *testing.T) {
+	as := newAS(t, Stock)
+	a, _ := as.Mmap(4*pg, ProtRead)
+	// The 4-page guard gap allows up to 4 pages of in-place growth.
+	got, err := as.Mremap(a, 4*pg, 6*pg)
+	if err != nil || got != a {
+		t.Fatalf("grow = %#x, %v", got, err)
+	}
+	regs := as.Regions()
+	if len(regs) != 1 || regs[0].End != a+6*pg {
+		t.Fatalf("regions = %+v", regs)
+	}
+	if err := as.PageFault(a+5*pg, false); err != nil {
+		t.Fatalf("fault in grown region: %v", err)
+	}
+}
+
+func TestMremapMove(t *testing.T) {
+	as := newAS(t, ListRefined)
+	a, _ := as.Mmap(4*pg, ProtRead|ProtWrite)
+	b, _ := as.Mmap(pg, ProtNone) // occupies space right after a's guard
+	as.PageFault(a, true)
+	got, err := as.Mremap(a, 4*pg, 64*pg) // cannot grow in place
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == a {
+		t.Fatal("mapping did not move")
+	}
+	if as.PageTable().Present(a) {
+		t.Fatal("old page still present after move")
+	}
+	if err := as.PageFault(got+63*pg, true); err != nil {
+		t.Fatalf("fault in relocated region: %v", err)
+	}
+	if err := as.PageFault(a, false); err != ErrFault {
+		t.Fatalf("old region still mapped: %v", err)
+	}
+	_ = b
+}
+
+func TestMremapPartialOfVMA(t *testing.T) {
+	as := newAS(t, Stock)
+	a, _ := as.Mmap(8*pg, ProtRead)
+	// Shrinking a middle sub-range splits the VMA.
+	got, err := as.Mremap(a+2*pg, 4*pg, 2*pg)
+	if err != nil || got != a+2*pg {
+		t.Fatalf("partial shrink = %#x, %v", got, err)
+	}
+	regs := as.Regions()
+	if len(regs) != 2 {
+		t.Fatalf("regions = %+v", regs)
+	}
+}
+
+func TestMremapErrors(t *testing.T) {
+	as := newAS(t, Stock)
+	a, _ := as.Mmap(2*pg, ProtRead)
+	if _, err := as.Mremap(a+1, pg, pg); err != ErrInval {
+		t.Fatalf("misaligned = %v", err)
+	}
+	if _, err := as.Mremap(a, 0, pg); err != ErrInval {
+		t.Fatalf("zero oldLen = %v", err)
+	}
+	if _, err := as.Mremap(a, 8*pg, pg); err != ErrNoMem {
+		t.Fatalf("range beyond mapping = %v", err)
+	}
+	if _, err := as.Mremap(a+100*pg, pg, pg); err != ErrNoMem {
+		t.Fatalf("unmapped = %v", err)
+	}
+	if got, err := as.Mremap(a, 2*pg, 2*pg); err != nil || got != a {
+		t.Fatalf("no-op = %#x, %v", got, err)
+	}
+}

@@ -1,0 +1,86 @@
+package vm
+
+import (
+	"repro/internal/locks"
+)
+
+// ptShards is the number of independent page-table shards. Shard locks
+// simulate the kernel's per-PTE/page-table locks, letting parallel page
+// faults install entries without a common point of contention (the range
+// lock is supposed to be the only arbiter, per §5.3).
+const ptShards = 256
+
+type ptShard struct {
+	_     [8]uint64 // padding: one shard per cache line group
+	mu    locks.SpinLock
+	pages map[uint64]struct{} // present page numbers
+}
+
+// PageTable tracks which pages are populated. It stands in for the
+// hardware page table: a fault installs an entry; mprotect and munmap zap
+// entries so later accesses fault again and re-check the VMA metadata.
+type PageTable struct {
+	shards [ptShards]ptShard
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	pt := &PageTable{}
+	for i := range pt.shards {
+		pt.shards[i].pages = make(map[uint64]struct{})
+	}
+	return pt
+}
+
+func (pt *PageTable) shard(page uint64) *ptShard {
+	return &pt.shards[page%ptShards]
+}
+
+// Install marks the page containing addr present, returning true if the
+// page was newly installed.
+func (pt *PageTable) Install(addr uint64) bool {
+	page := addr >> PageShift
+	s := pt.shard(page)
+	s.mu.Lock()
+	_, ok := s.pages[page]
+	if !ok {
+		s.pages[page] = struct{}{}
+	}
+	s.mu.Unlock()
+	return !ok
+}
+
+// Present reports whether the page containing addr is populated.
+func (pt *PageTable) Present(addr uint64) bool {
+	page := addr >> PageShift
+	s := pt.shard(page)
+	s.mu.Lock()
+	_, ok := s.pages[page]
+	s.mu.Unlock()
+	return ok
+}
+
+// Zap removes all entries for pages overlapping [start, end), forcing
+// subsequent accesses to fault.
+func (pt *PageTable) Zap(start, end uint64) {
+	first := pageAlignDown(start) >> PageShift
+	last := (pageAlignUp(end) >> PageShift)
+	for page := first; page < last; page++ {
+		s := pt.shard(page)
+		s.mu.Lock()
+		delete(s.pages, page)
+		s.mu.Unlock()
+	}
+}
+
+// Count returns the number of populated pages (tests and stats).
+func (pt *PageTable) Count() int {
+	n := 0
+	for i := range pt.shards {
+		s := &pt.shards[i]
+		s.mu.Lock()
+		n += len(s.pages)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lockapi"
+	"repro/internal/stats"
+	"repro/internal/treelock"
+)
+
+// PolicyKind selects how the address space is synchronized — the kernel
+// variants compared in Figures 5–8.
+type PolicyKind int
+
+// The evaluated policies.
+const (
+	// Stock uses a blocking reader-writer semaphore (mmap_sem).
+	Stock PolicyKind = iota
+	// TreeFull uses the tree-based range lock, always for the full range.
+	TreeFull
+	// ListFull uses the list-based range lock, always for the full range.
+	ListFull
+	// TreeRefined is TreeFull plus refined page-fault and mprotect ranges.
+	TreeRefined
+	// ListRefined is ListFull plus refined page-fault and mprotect ranges.
+	ListRefined
+	// ListPF refines only the page-fault range (Figure 6 breakdown).
+	ListPF
+	// ListMprotect refines only the mprotect range (Figure 6 breakdown).
+	ListMprotect
+)
+
+// Policies lists every kind in presentation order.
+var Policies = []PolicyKind{Stock, TreeFull, ListFull, TreeRefined, ListRefined, ListPF, ListMprotect}
+
+func (k PolicyKind) String() string {
+	switch k {
+	case Stock:
+		return "stock"
+	case TreeFull:
+		return "tree-full"
+	case ListFull:
+		return "list-full"
+	case TreeRefined:
+		return "tree-refined"
+	case ListRefined:
+		return "list-refined"
+	case ListPF:
+		return "list-pf"
+	case ListMprotect:
+		return "list-mprotect"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// ParsePolicy resolves a policy name as printed in the figures.
+func ParsePolicy(name string) (PolicyKind, error) {
+	for _, k := range Policies {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("vm: unknown policy %q", name)
+}
+
+// policy binds a lock implementation to the refinement switches.
+type policy struct {
+	kind           PolicyKind
+	lk             lockapi.FullLocker
+	refineFault    bool
+	refineMprotect bool
+
+	// rangeStat records the measured acquisition latency of the top-level
+	// lock (Figure 7); spinStat, for tree policies, records the internal
+	// spin lock of the range tree (Figure 8). Either may be nil.
+	rangeStat *stats.LockStat
+	spinStat  *stats.LockStat
+}
+
+// newPolicy builds the lock stack for a kind. spinStat is only used by
+// tree-based kinds.
+func newPolicy(kind PolicyKind, rangeStat, spinStat *stats.LockStat) *policy {
+	p := &policy{kind: kind, rangeStat: rangeStat, spinStat: spinStat}
+	switch kind {
+	case Stock:
+		p.lk = lockapi.NewRWSem().(lockapi.FullLocker)
+	case TreeFull, TreeRefined:
+		tl := treelock.NewRW()
+		tl.SetStats(nil, spinStat) // range waits measured by the wrapper below
+		p.lk = lockapi.WrapTreeRW(tl)
+	case ListFull, ListRefined, ListPF, ListMprotect:
+		// Each address space gets its own domain so benchmarks comparing
+		// several spaces do not share node pools.
+		p.lk = lockapi.NewListRW(core.NewDomain(1024)).(lockapi.FullLocker)
+	default:
+		panic(fmt.Sprintf("vm: bad policy kind %d", kind))
+	}
+	switch kind {
+	case TreeRefined, ListRefined:
+		p.refineFault, p.refineMprotect = true, true
+	case ListPF:
+		p.refineFault = true
+	case ListMprotect:
+		p.refineMprotect = true
+	}
+	return p
+}
+
+// acquire takes [start, end) in the requested mode, recording the
+// measured acquisition latency (the paper's lock_stat wait proxy).
+func (p *policy) acquire(start, end uint64, write bool) func() {
+	if !p.rangeStat.Enabled() {
+		return p.lk.Acquire(start, end, write)
+	}
+	kind := stats.Read
+	if write {
+		kind = stats.Write
+	}
+	t0 := time.Now()
+	rel := p.lk.Acquire(start, end, write)
+	p.rangeStat.Record(kind, time.Since(t0))
+	return rel
+}
+
+// acquireFull takes the entire range.
+func (p *policy) acquireFull(write bool) func() {
+	if !p.rangeStat.Enabled() {
+		return p.lk.AcquireFull(write)
+	}
+	kind := stats.Read
+	if write {
+		kind = stats.Write
+	}
+	t0 := time.Now()
+	rel := p.lk.AcquireFull(write)
+	p.rangeStat.Record(kind, time.Since(t0))
+	return rel
+}

@@ -1,0 +1,83 @@
+// Package vm simulates the Linux virtual-memory subsystem that §5 of the
+// paper modifies: VMA structures kept in a red-black tree (mm_rb), the
+// find_vma lookup, and the mmap / munmap / mprotect / page-fault operations
+// whose synchronization the paper scales.
+//
+// The real kernel serializes all of these with mmap_sem. This simulation
+// reproduces that choreography with a pluggable locking policy so that the
+// paper's kernel variants can be compared in one process:
+//
+//	stock          mmap_sem (blocking rwsem), whole address space
+//	tree-full      tree-based range lock, always the full range
+//	list-full      list-based range lock, always the full range
+//	tree-refined   tree-based lock + refined ranges (§5.2, §5.3)
+//	list-refined   list-based lock + refined ranges
+//	list-pf        list-based, only the page-fault range refined
+//	list-mprotect  list-based, only the mprotect range refined
+//
+// Refinement rules follow the paper exactly: page faults read-lock one
+// page (§5.3); mprotect speculates (§5.2) — read-lock the request range,
+// find the VMA, upgrade to a write lock on [vma.start-page, vma.end+page),
+// validate against a sequence number bumped by every full-range write
+// release, and fall back to a full-range write lock whenever the operation
+// must change the structure of mm_rb (split, merge, map, unmap).
+package vm
+
+import "errors"
+
+// PageSize is the simulated page size (4 KiB, as in the paper's §5.2).
+const PageSize uint64 = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Operation errors, mirroring the kernel's errno results.
+var (
+	// ErrNoMem is returned when a range touches unmapped address space
+	// (mprotect/munmap semantics) or the address space is exhausted.
+	ErrNoMem = errors.New("vm: ENOMEM: address range not fully mapped")
+	// ErrInval is returned for misaligned or empty ranges.
+	ErrInval = errors.New("vm: EINVAL: bad address or length")
+	// ErrFault is returned by PageFault when no VMA maps the address
+	// (SIGSEGV in a real process).
+	ErrFault = errors.New("vm: SIGSEGV: address not mapped")
+	// ErrAccess is returned by PageFault when the VMA's protection
+	// forbids the access.
+	ErrAccess = errors.New("vm: SIGSEGV: protection violation")
+)
+
+// Prot is a VMA protection bitmask.
+type Prot uint32
+
+// Protection bits.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1
+	ProtWrite Prot = 2
+	ProtExec  Prot = 4
+)
+
+func (p Prot) String() string {
+	if p == ProtNone {
+		return "---"
+	}
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// pageAlignDown rounds addr down to a page boundary.
+func pageAlignDown(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// pageAlignUp rounds addr up to a page boundary.
+func pageAlignUp(addr uint64) uint64 {
+	return (addr + PageSize - 1) &^ (PageSize - 1)
+}

@@ -1,0 +1,354 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const pg = PageSize
+
+func newAS(t *testing.T, kind PolicyKind) *AddressSpace {
+	t.Helper()
+	return NewAddressSpace(kind, nil, nil)
+}
+
+func TestMmapBasics(t *testing.T) {
+	as := newAS(t, ListRefined)
+	addr, err := as.Mmap(10*pg, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr%pg != 0 {
+		t.Fatalf("mmap returned unaligned address %#x", addr)
+	}
+	regs := as.Regions()
+	if len(regs) != 1 || regs[0].Start != addr || regs[0].End != addr+10*pg || regs[0].Prot != ProtNone {
+		t.Fatalf("regions after mmap: %+v", regs)
+	}
+	addr2, err := as.Mmap(pg, ProtRead|ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr2 < addr+10*pg {
+		t.Fatalf("second mmap overlaps first: %#x vs %#x", addr2, addr)
+	}
+	if as.VMACount() != 2 {
+		t.Fatalf("VMACount = %d, want 2", as.VMACount())
+	}
+}
+
+func TestMmapRejectsZeroLength(t *testing.T) {
+	as := newAS(t, Stock)
+	if _, err := as.Mmap(0, ProtRead); err != ErrInval {
+		t.Fatalf("Mmap(0) = %v, want ErrInval", err)
+	}
+}
+
+func TestPageFaultSemantics(t *testing.T) {
+	for _, kind := range Policies {
+		t.Run(kind.String(), func(t *testing.T) {
+			as := newAS(t, kind)
+			addr, _ := as.Mmap(4*pg, ProtRead|ProtWrite)
+
+			if err := as.PageFault(addr+5, false); err != nil {
+				t.Fatalf("read fault on rw page: %v", err)
+			}
+			if !as.PageTable().Present(addr + 5) {
+				t.Fatal("page not installed after fault")
+			}
+			if err := as.PageFault(addr+2*pg, true); err != nil {
+				t.Fatalf("write fault on rw page: %v", err)
+			}
+			// Unmapped address.
+			if err := as.PageFault(addr+100*pg, false); err != ErrFault {
+				t.Fatalf("fault on unmapped = %v, want ErrFault", err)
+			}
+			// PROT_NONE region.
+			naddr, _ := as.Mmap(pg, ProtNone)
+			if err := as.PageFault(naddr, false); err != ErrAccess {
+				t.Fatalf("fault on PROT_NONE = %v, want ErrAccess", err)
+			}
+			// Write to read-only region.
+			raddr, _ := as.Mmap(pg, ProtRead)
+			if err := as.PageFault(raddr, true); err != ErrAccess {
+				t.Fatalf("write fault on r-- = %v, want ErrAccess", err)
+			}
+			if err := as.PageFault(raddr, false); err != nil {
+				t.Fatalf("read fault on r-- = %v", err)
+			}
+		})
+	}
+}
+
+func TestMprotectWholeVMA(t *testing.T) {
+	for _, kind := range []PolicyKind{Stock, ListRefined, TreeRefined} {
+		t.Run(kind.String(), func(t *testing.T) {
+			as := newAS(t, kind)
+			addr, _ := as.Mmap(4*pg, ProtNone)
+			if err := as.Mprotect(addr, 4*pg, ProtRead|ProtWrite); err != nil {
+				t.Fatal(err)
+			}
+			regs := as.Regions()
+			if len(regs) != 1 || regs[0].Prot != ProtRead|ProtWrite {
+				t.Fatalf("regions = %+v", regs)
+			}
+		})
+	}
+}
+
+func TestMprotectSplitAndBoundaryMove(t *testing.T) {
+	as := newAS(t, ListRefined)
+	addr, _ := as.Mmap(10*pg, ProtNone)
+
+	// First commit: split [addr, addr+2p) out of the NONE VMA. This is
+	// structural, so it must fall back to the full path.
+	if err := as.Mprotect(addr, 2*pg, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	st := as.Stats()
+	if st.SpecFellBack != 1 {
+		t.Fatalf("first commit should fall back (structural); stats %+v", st)
+	}
+	regs := as.Regions()
+	if len(regs) != 2 {
+		t.Fatalf("want 2 VMAs after split, got %+v", regs)
+	}
+
+	// Grow: mprotect the head of the NONE VMA — the Figure 2 boundary
+	// move, which must succeed speculatively.
+	if err := as.Mprotect(addr+2*pg, 3*pg, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	st = as.Stats()
+	if st.SpecSucceeded == 0 {
+		t.Fatalf("grow did not take the speculative path; stats %+v", st)
+	}
+	regs = as.Regions()
+	if len(regs) != 2 || regs[0].End != addr+5*pg || regs[1].Start != addr+5*pg {
+		t.Fatalf("boundary move wrong: %+v", regs)
+	}
+
+	// Shrink: mprotect the tail of the RW VMA back to NONE.
+	if err := as.Mprotect(addr+4*pg, pg, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	regs = as.Regions()
+	if len(regs) != 2 || regs[0].End != addr+4*pg {
+		t.Fatalf("shrink wrong: %+v", regs)
+	}
+	if fb := as.Stats().SpecFellBack; fb != 1 {
+		t.Fatalf("shrink fell back unexpectedly: %d fallbacks", fb)
+	}
+}
+
+func TestMprotectInteriorSplits(t *testing.T) {
+	as := newAS(t, ListRefined)
+	addr, _ := as.Mmap(10*pg, ProtRead|ProtWrite)
+	if err := as.Mprotect(addr+4*pg, 2*pg, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	regs := as.Regions()
+	if len(regs) != 3 {
+		t.Fatalf("interior mprotect should make 3 VMAs: %+v", regs)
+	}
+	if regs[1].Start != addr+4*pg || regs[1].End != addr+6*pg || regs[1].Prot != ProtRead {
+		t.Fatalf("middle VMA wrong: %+v", regs[1])
+	}
+	// Restore: the middle piece merges back into one VMA.
+	if err := as.Mprotect(addr+4*pg, 2*pg, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	regs = as.Regions()
+	if len(regs) != 1 {
+		t.Fatalf("merge failed: %+v", regs)
+	}
+}
+
+func TestMprotectUnmappedIsNoMem(t *testing.T) {
+	as := newAS(t, ListRefined)
+	addr, _ := as.Mmap(2*pg, ProtRead)
+	if err := as.Mprotect(addr+10*pg, pg, ProtRead); err != ErrNoMem {
+		t.Fatalf("mprotect on unmapped = %v, want ErrNoMem", err)
+	}
+	// Range extending past the mapping (gap inside) is also ENOMEM.
+	if err := as.Mprotect(addr, 20*pg, ProtRead); err != ErrNoMem {
+		t.Fatalf("mprotect over gap = %v, want ErrNoMem", err)
+	}
+	if err := as.Mprotect(addr+1, pg, ProtRead); err != ErrInval {
+		t.Fatalf("misaligned mprotect = %v, want ErrInval", err)
+	}
+}
+
+func TestMprotectZapsPages(t *testing.T) {
+	as := newAS(t, ListRefined)
+	addr, _ := as.Mmap(4*pg, ProtRead|ProtWrite)
+	if err := as.PageFault(addr, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Mprotect(addr, 4*pg, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if as.PageTable().Present(addr) {
+		t.Fatal("page still present after mprotect(PROT_NONE)")
+	}
+	if err := as.PageFault(addr, false); err != ErrAccess {
+		t.Fatalf("fault after PROT_NONE = %v, want ErrAccess", err)
+	}
+}
+
+func TestMunmap(t *testing.T) {
+	as := newAS(t, Stock)
+	addr, _ := as.Mmap(10*pg, ProtRead|ProtWrite)
+	as.PageFault(addr+3*pg, true)
+
+	// Punch a hole in the middle.
+	if err := as.Munmap(addr+3*pg, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	regs := as.Regions()
+	if len(regs) != 2 || regs[0].End != addr+3*pg || regs[1].Start != addr+5*pg {
+		t.Fatalf("hole punch wrong: %+v", regs)
+	}
+	if as.PageTable().Present(addr + 3*pg) {
+		t.Fatal("unmapped page still present")
+	}
+	if err := as.PageFault(addr+3*pg, false); err != ErrFault {
+		t.Fatalf("fault in hole = %v, want ErrFault", err)
+	}
+
+	// Unmap across the remaining pieces.
+	if err := as.Munmap(addr, 10*pg); err != nil {
+		t.Fatal(err)
+	}
+	if n := as.VMACount(); n != 0 {
+		t.Fatalf("VMACount after full unmap = %d", n)
+	}
+}
+
+// refModel is a page-granular reference model of one mapping.
+type refModel struct {
+	base  uint64
+	pages []Prot // prot per page; ProtNone still counts as mapped here
+	valid []bool // mapped?
+}
+
+func (m *refModel) regions() []Region {
+	var out []Region
+	i := 0
+	for i < len(m.pages) {
+		if !m.valid[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(m.pages) && m.valid[j] && m.pages[j] == m.pages[i] {
+			j++
+		}
+		out = append(out, Region{
+			Start: m.base + uint64(i)*pg,
+			End:   m.base + uint64(j)*pg,
+			Prot:  m.pages[i],
+		})
+		i = j
+	}
+	return out
+}
+
+// TestRandomOpsAgainstModel drives random mprotect/munmap sequences on a
+// single mapping and compares the VMA layout against the page-granular
+// reference model, for every policy.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	const npages = 64
+	for _, kind := range Policies {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(kind) + 42))
+			as := newAS(t, kind)
+			base, _ := as.Mmap(npages*pg, ProtNone)
+			m := &refModel{base: base, pages: make([]Prot, npages), valid: make([]bool, npages)}
+			for i := range m.valid {
+				m.valid[i] = true
+			}
+			prots := []Prot{ProtNone, ProtRead, ProtRead | ProtWrite}
+			for i := 0; i < 400; i++ {
+				s := rng.Intn(npages)
+				n := 1 + rng.Intn(npages-s)
+				covered := true
+				for p := s; p < s+n; p++ {
+					if !m.valid[p] {
+						covered = false
+						break
+					}
+				}
+				if rng.Intn(10) == 0 { // occasionally unmap
+					err := as.Munmap(base+uint64(s)*pg, uint64(n)*pg)
+					if err != nil {
+						t.Fatalf("munmap: %v", err)
+					}
+					for p := s; p < s+n; p++ {
+						m.valid[p] = false
+					}
+				} else {
+					prot := prots[rng.Intn(len(prots))]
+					err := as.Mprotect(base+uint64(s)*pg, uint64(n)*pg, prot)
+					if covered && err != nil {
+						t.Fatalf("mprotect covered range: %v", err)
+					}
+					if !covered && err != ErrNoMem {
+						t.Fatalf("mprotect over hole = %v, want ErrNoMem", err)
+					}
+					if covered {
+						for p := s; p < s+n; p++ {
+							m.pages[p] = prot
+						}
+					}
+				}
+				got := as.Regions()
+				want := m.regions()
+				if len(got) != len(want) {
+					t.Fatalf("step %d: regions %+v, want %+v", i, got, want)
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("step %d: region %d = %+v, want %+v", i, j, got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSeqBumpsOnFullWrite(t *testing.T) {
+	as := newAS(t, ListRefined)
+	s0 := as.Stats().Seq
+	as.Mmap(pg, ProtRead) // full write
+	if as.Stats().Seq != s0+1 {
+		t.Fatalf("seq did not bump on mmap")
+	}
+	addr, _ := as.Mmap(4*pg, ProtRead)
+	s1 := as.Stats().Seq
+	// Whole-VMA speculative flip must NOT bump seq.
+	if err := as.Mprotect(addr, 4*pg, ProtRead|ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	if as.Stats().Seq != s1 {
+		t.Fatalf("speculative mprotect bumped seq")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, k := range Policies {
+		got, err := ParsePolicy(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted bogus name")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if (ProtRead|ProtWrite).String() != "rw-" || ProtNone.String() != "---" {
+		t.Fatal("Prot.String labels wrong")
+	}
+}

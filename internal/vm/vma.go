@@ -1,0 +1,56 @@
+package vm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/rbtree"
+)
+
+// VMA describes one distinct contiguous region of the simulated virtual
+// address space: [start, end) with a protection mask.
+//
+// start, end and prot are atomics because refined (speculative) mprotect
+// operations mutate them under a range lock that covers only
+// [start-page, end+page), while find_vma traversals holding disjoint
+// refined locks may read them concurrently. A reader whose address lies
+// outside the writer's locked window reaches the same search decision with
+// the old or new value (boundaries only move within the window), so
+// untorn reads are sufficient; see §5.2 and DESIGN.md §4.6.
+type VMA struct {
+	start atomic.Uint64
+	end   atomic.Uint64
+	prot  atomic.Uint32
+
+	// node is the VMA's position in mm_rb. Only touched under the
+	// full-range write lock (structural changes) except for in-place key
+	// updates during boundary moves.
+	node *rbtree.Node[*VMA]
+}
+
+// Start returns the VMA's inclusive lower bound.
+func (v *VMA) Start() uint64 { return v.start.Load() }
+
+// End returns the VMA's exclusive upper bound.
+func (v *VMA) End() uint64 { return v.end.Load() }
+
+// Prot returns the VMA's protection mask.
+func (v *VMA) Prot() Prot { return Prot(v.prot.Load()) }
+
+// Len returns the VMA's length in bytes.
+func (v *VMA) Len() uint64 { return v.End() - v.Start() }
+
+// Contains reports whether addr falls inside the VMA.
+func (v *VMA) Contains(addr uint64) bool {
+	return v.Start() <= addr && addr < v.End()
+}
+
+func (v *VMA) String() string {
+	return fmt.Sprintf("vma[%#x-%#x %s]", v.Start(), v.End(), v.Prot())
+}
+
+// Region is an immutable snapshot of a VMA, returned by AddressSpace.Regions.
+type Region struct {
+	Start, End uint64
+	Prot       Prot
+}

@@ -1,0 +1,132 @@
+// Package rangelock implements scalable range locks: synchronization
+// objects that grant concurrent threads access to disjoint parts of a
+// shared resource (a file, an address space, a key space), serializing
+// only the operations whose ranges actually overlap.
+//
+// It is a from-scratch Go implementation of
+//
+//	Kogan, Dice, Issa. "Scalable Range Locks for Scalable Address Spaces
+//	and Beyond." EuroSys 2020.
+//
+// Acquired ranges live in a linked list sorted by range start. Acquiring a
+// range inserts a node with a single compare-and-swap; releasing marks the
+// node logically deleted with a single fetch-and-add (wait-free), and
+// later traversals unlink it. There is no lock around the structure — the
+// key advantage over the range locks in the Linux kernel, whose range tree
+// is guarded by a spin lock that serializes even non-overlapping
+// acquisitions.
+//
+// Two lock types are provided:
+//
+//   - Exclusive: only disjoint ranges may be held simultaneously.
+//   - RW: ranges are acquired in shared or exclusive mode; overlapping
+//     shared holders proceed in parallel, exclusive holders conflict with
+//     every overlapping range.
+//
+// Ranges are half-open intervals [start, end) over uint64. Both types
+// offer a full-range acquisition (the whole resource), non-blocking Try
+// variants, an empty-list fast path (on by default), and an optional
+// anti-starvation mechanism (off by default, matching the paper).
+//
+// The internal packages reproduce the paper's complete evaluation: the
+// kernel's tree-based range locks, the pNOVA segment lock, a simulated
+// virtual-memory subsystem with speculative mprotect, Metis-style
+// map-reduce workloads, and range-lock-based skip lists. See DESIGN.md
+// and EXPERIMENTS.md.
+package rangelock
+
+import (
+	"repro/internal/core"
+)
+
+// MaxEnd is the exclusive upper bound of the full range.
+const MaxEnd = core.MaxEnd
+
+// Guard represents one held range. Release it with Unlock (exactly once).
+// The zero Guard is invalid.
+type Guard = core.Guard
+
+// Domain owns the node arena and reclamation state shared by a family of
+// locks. Locks created with a nil domain share the process-wide default.
+// Create dedicated domains to isolate benchmark runs or bound slot
+// contention.
+type Domain = core.Domain
+
+// NewDomain creates an isolated domain serving at most slots concurrent
+// lock operations (a slot is held only for the duration of one
+// acquisition, not while a range is held).
+func NewDomain(slots int) *Domain { return core.NewDomain(slots) }
+
+// Option configures a lock at construction.
+type Option = core.Option
+
+// WithFastPath enables or disables the empty-list fast path (§4.5 of the
+// paper). Enabled by default.
+func WithFastPath(enabled bool) Option { return core.WithFastPath(enabled) }
+
+// WithFairness enables the anti-starvation mechanism (§4.3): a thread
+// whose acquisition keeps getting disrupted declares impatience, briefly
+// funneling new acquisitions through an auxiliary fair reader-writer lock.
+// budget is the number of disruptions tolerated first (<= 0 selects the
+// default of 64). Disabled by default.
+func WithFairness(enabled bool, budget int) Option { return core.WithFairness(enabled, budget) }
+
+// WithWriterPreference makes conflicting writers stay in the lock's list
+// (waiting readers out) while readers back off and retry — the reverse of
+// the default reader preference (§4.2). Useful when writer restarts are
+// the dominant cost. Exclusive locks ignore the option.
+func WithWriterPreference(enabled bool) Option { return core.WithWriterPreference(enabled) }
+
+// Exclusive is a mutual-exclusion range lock: concurrent holders always
+// have pairwise-disjoint ranges.
+type Exclusive struct {
+	lk *core.Exclusive
+}
+
+// NewExclusive creates an exclusive range lock. dom may be nil (default
+// domain).
+func NewExclusive(dom *Domain, opts ...Option) *Exclusive {
+	return &Exclusive{lk: core.NewExclusive(dom, opts...)}
+}
+
+// Lock acquires [start, end), blocking while any overlapping range is
+// held. Requires start < end.
+func (l *Exclusive) Lock(start, end uint64) Guard { return l.lk.Lock(start, end) }
+
+// LockFull acquires the entire range.
+func (l *Exclusive) LockFull() Guard { return l.lk.LockFull() }
+
+// TryLock acquires [start, end) only if no conflicting range is held,
+// reporting success.
+func (l *Exclusive) TryLock(start, end uint64) (Guard, bool) { return l.lk.TryLock(start, end) }
+
+// RW is a reader-writer range lock: overlapping shared (reader) ranges
+// proceed in parallel; an exclusive (writer) range conflicts with every
+// overlapping holder.
+type RW struct {
+	lk *core.RW
+}
+
+// NewRW creates a reader-writer range lock. dom may be nil (default
+// domain).
+func NewRW(dom *Domain, opts ...Option) *RW {
+	return &RW{lk: core.NewRW(dom, opts...)}
+}
+
+// Lock acquires [start, end) in exclusive mode.
+func (l *RW) Lock(start, end uint64) Guard { return l.lk.Lock(start, end) }
+
+// RLock acquires [start, end) in shared mode.
+func (l *RW) RLock(start, end uint64) Guard { return l.lk.RLock(start, end) }
+
+// LockFull acquires the entire range in exclusive mode.
+func (l *RW) LockFull() Guard { return l.lk.LockFull() }
+
+// RLockFull acquires the entire range in shared mode.
+func (l *RW) RLockFull() Guard { return l.lk.RLockFull() }
+
+// TryLock attempts a non-blocking exclusive acquisition.
+func (l *RW) TryLock(start, end uint64) (Guard, bool) { return l.lk.TryLock(start, end) }
+
+// TryRLock attempts a non-blocking shared acquisition.
+func (l *RW) TryRLock(start, end uint64) (Guard, bool) { return l.lk.TryRLock(start, end) }

@@ -1,0 +1,91 @@
+package rangelock_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	rangelock "repro"
+)
+
+func TestExclusivePublicAPI(t *testing.T) {
+	lk := rangelock.NewExclusive(nil)
+	g := lk.Lock(0, 100)
+	if _, ok := lk.TryLock(50, 150); ok {
+		t.Fatal("TryLock succeeded on conflicting range")
+	}
+	g2, ok := lk.TryLock(100, 200)
+	if !ok {
+		t.Fatal("TryLock failed on disjoint range")
+	}
+	g.Unlock()
+	g2.Unlock()
+}
+
+func TestRWPublicAPI(t *testing.T) {
+	lk := rangelock.NewRW(rangelock.NewDomain(64))
+	r1 := lk.RLock(0, 10)
+	r2 := lk.RLock(5, 15)
+	if _, ok := lk.TryLock(0, 5); ok {
+		t.Fatal("writer overlapped readers")
+	}
+	r1.Unlock()
+	r2.Unlock()
+	w := lk.LockFull()
+	if _, ok := lk.TryRLock(1, 2); ok {
+		t.Fatal("reader acquired under a full-range writer")
+	}
+	w.Unlock()
+}
+
+func TestOptionsCompose(t *testing.T) {
+	lk := rangelock.NewRW(nil, rangelock.WithFastPath(false), rangelock.WithFairness(true, 32))
+	g := lk.Lock(0, 1)
+	g.Unlock()
+}
+
+func TestGuardRange(t *testing.T) {
+	lk := rangelock.NewExclusive(nil)
+	g := lk.Lock(7, 21)
+	if s, e := g.Range(); s != 7 || e != 21 {
+		t.Fatalf("Range = [%d,%d)", s, e)
+	}
+	if !g.Held() {
+		t.Fatal("guard not held")
+	}
+	g.Unlock()
+}
+
+// TestFilePattern is the package's motivating scenario: concurrent writers
+// to disjoint regions of one "file" must all proceed.
+func TestFilePattern(t *testing.T) {
+	lk := rangelock.NewRW(nil)
+	file := make([]byte, 1<<16)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := uint64(w * 4096)
+			for i := 0; i < 200; i++ {
+				g := lk.Lock(lo, lo+4096)
+				for b := lo; b < lo+4096; b += 512 {
+					file[b]++
+				}
+				g.Unlock()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("disjoint writers deadlocked")
+	}
+	for w := 0; w < 16; w++ {
+		if file[w*4096] != 200 {
+			t.Fatalf("writer %d lost updates: %d", w, file[w*4096])
+		}
+	}
+}
