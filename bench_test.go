@@ -46,16 +46,25 @@ func fig3Locks(slots int) map[string]func() lockapi.Locker {
 }
 
 // benchArr drives one ArrBench operation per iteration under RunParallel.
+// Locks with per-operation contexts get one leased per worker for the
+// whole run — the paper's per-thread state — so the measured path is
+// acquire/release alone.
 func benchArr(b *testing.B, mk func() lockapi.Locker, variant arrbench.Variant, readPct int) {
 	const slots = arrbench.DefaultSlots
 	lk := mk()
 	full, hasFull := lk.(lockapi.FullLocker)
+	opLk, hasOp := lk.(lockapi.OpLocker)
 	arr := make([]uint64, slots*8) // stride 8 = cache-line padding
 	var tid atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		me := int(tid.Add(1)) - 1
 		rng := rand.New(rand.NewSource(int64(me)*2654435761 + 1))
+		var op lockapi.Op
+		if hasOp {
+			op = opLk.BeginOp()
+			defer opLk.EndOp(op)
+		}
 		for pb.Next() {
 			isRead := rng.Intn(100) < readPct
 			var lo, hi uint64
@@ -82,9 +91,15 @@ func benchArr(b *testing.B, mk func() lockapi.Locker, variant arrbench.Variant, 
 				lo, hi = a, c+1
 			}
 			var rel func()
-			if variant == arrbench.Full && hasFull {
+			var g lockapi.Guard
+			switch {
+			case hasOp && variant == arrbench.Full:
+				g = opLk.AcquireFullOp(op, !isRead)
+			case hasOp:
+				g = opLk.AcquireOp(op, lo, hi, !isRead)
+			case variant == arrbench.Full && hasFull:
 				rel = full.AcquireFull(!isRead)
-			} else {
+			default:
 				rel = lk.Acquire(lo, hi, !isRead)
 			}
 			if isRead {
@@ -98,7 +113,11 @@ func benchArr(b *testing.B, mk func() lockapi.Locker, variant arrbench.Variant, 
 					arr[i*8]++
 				}
 			}
-			rel()
+			if hasOp {
+				opLk.ReleaseOp(op, g)
+			} else {
+				rel()
+			}
 		}
 	})
 }

@@ -1,0 +1,205 @@
+// Command benchjson runs the figure benchmarks and records machine-readable
+// results, seeding the performance trajectory future changes are diffed
+// against.
+//
+// It shells out to `go test -bench`, parses the standard benchmark output
+// (including custom ReportMetric columns), and appends one labelled
+// snapshot to the history kept in BENCH_rangelock.json:
+//
+//	go run ./cmd/benchjson -label "post-sharded-ebr"
+//	go run ./cmd/benchjson -bench 'Fig3|Fig6' -benchtime 2s -out BENCH_rangelock.json
+//
+// Comparing the last two snapshots:
+//
+//	go run ./cmd/benchjson -diff
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one labelled benchmark run.
+type Snapshot struct {
+	Label      string   `json:"label"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	CPU        string   `json:"cpu,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
+}
+
+// File is the on-disk shape of BENCH_rangelock.json.
+type File struct {
+	Description string     `json:"description"`
+	History     []Snapshot `json:"history"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_rangelock.json", "output file (history is appended)")
+		bench     = flag.String("bench", `Fig3Disjoint/reads=[0-9]+/list-(ex|rw)$|Fig6Breakdown`, "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "benchtime passed to go test")
+		label     = flag.String("label", "", "snapshot label (default: timestamp)")
+		pkg       = flag.String("pkg", "./", "package to benchmark")
+		diff      = flag.Bool("diff", false, "compare the last two snapshots in -out and exit")
+	)
+	flag.Parse()
+
+	if *diff {
+		if err := printDiff(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	snap, err := run(*bench, *benchtime, *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	snap.Label = *label
+	if snap.Label == "" {
+		snap.Label = snap.Date
+	}
+
+	var f File
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not parseable: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if f.Description == "" {
+		f.Description = "Benchmark trajectory: ns/op per figure scenario, appended by cmd/benchjson. Diff the last two snapshots with `go run ./cmd/benchjson -diff`."
+	}
+	f.History = append(f.History, snap)
+
+	enc, _ := json.MarshalIndent(&f, "", "  ")
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d results as %q in %s\n", len(snap.Results), snap.Label, *out)
+}
+
+// run executes the benchmarks and parses the output into a snapshot.
+func run(bench, benchtime, pkg string) (Snapshot, error) {
+	snap := Snapshot{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime,
+	}
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	outBuf := &bytes.Buffer{}
+	cmd.Stdout = outBuf
+	fmt.Fprintf(os.Stderr, "benchjson: running go test -bench %q -benchtime %s %s\n", bench, benchtime, pkg)
+	if err := cmd.Run(); err != nil {
+		return snap, fmt.Errorf("go test: %w\n%s", err, outBuf.String())
+	}
+
+	sc := bufio.NewScanner(outBuf)
+	for sc.Scan() {
+		line := sc.Text()
+		os.Stdout.WriteString(line + "\n")
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				snap.Results = append(snap.Results, r)
+			}
+		}
+	}
+	if len(snap.Results) == 0 {
+		return snap, fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	return snap, nil
+}
+
+// parseLine parses one `BenchmarkX-N  iters  123 ns/op  4.5 unit ...` line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+	}
+	return r, r.NsPerOp != 0
+}
+
+// printDiff compares the last two snapshots in the history file.
+func printDiff(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return err
+	}
+	if len(f.History) < 2 {
+		return fmt.Errorf("%s holds %d snapshot(s); need 2 to diff", path, len(f.History))
+	}
+	a, b := f.History[len(f.History)-2], f.History[len(f.History)-1]
+	base := make(map[string]float64, len(a.Results))
+	for _, r := range a.Results {
+		base[r.Name] = r.NsPerOp
+	}
+	fmt.Printf("%-55s %12s %12s %8s\n", "scenario", a.Label, b.Label, "delta")
+	for _, r := range b.Results {
+		old, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-55s %12s %12.1f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%%\n", r.Name, old, r.NsPerOp, (r.NsPerOp-old)/old*100)
+	}
+	return nil
+}

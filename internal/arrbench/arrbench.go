@@ -114,12 +114,20 @@ func Run(cfg Config) Result {
 		units  atomic.Uint64
 	)
 	full, hasFull := cfg.Lock.(lockapi.FullLocker)
+	opLk, hasOp := cfg.Lock.(lockapi.OpLocker)
 
 	for th := 0; th < cfg.Threads; th++ {
 		wg.Add(1)
 		go func(th int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(th)*104729))
+			// One per-operation context per worker — the paper's
+			// per-thread pools — when the lock supports it.
+			var op lockapi.Op
+			if hasOp {
+				op = opLk.BeginOp()
+				defer opLk.EndOp(op)
+			}
 			n := uint64(cfg.Slots)
 			partLo := uint64(th) * n / uint64(cfg.Threads)
 			partHi := uint64(th+1) * n / uint64(cfg.Threads)
@@ -149,9 +157,15 @@ func Run(cfg Config) Result {
 				}
 
 				var rel func()
-				if cfg.Variant == Full && hasFull {
+				var g lockapi.Guard
+				switch {
+				case hasOp && cfg.Variant == Full:
+					g = opLk.AcquireFullOp(op, !isRead)
+				case hasOp:
+					g = opLk.AcquireOp(op, lo, hi, !isRead)
+				case cfg.Variant == Full && hasFull:
 					rel = full.AcquireFull(!isRead)
-				} else {
+				default:
 					rel = cfg.Lock.Acquire(lo, hi, !isRead)
 				}
 				if isRead {
@@ -172,7 +186,11 @@ func Run(cfg Config) Result {
 					}
 					localWrites++
 				}
-				rel()
+				if hasOp {
+					opLk.ReleaseOp(op, g)
+				} else {
+					rel()
+				}
 				localOps++
 
 				// Non-critical section: uniformly random no-op work.

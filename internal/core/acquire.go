@@ -25,7 +25,8 @@ func (g Guard) Range() (start, end uint64) {
 // Unlock releases the range (MutexRangeRelease / RWRangeRelease). On the
 // regular path this is a single fetch-and-add — wait-free; traversing
 // threads unlink and recycle the node lazily. A fast-path acquisition
-// tries the eager empty-list release first (§4.5).
+// tries the eager empty-list release first (§4.5), which needs a
+// reclamation context; use UnlockOp to reuse an already leased one.
 func (g Guard) Unlock() {
 	if g.l == nil {
 		panic("core: Unlock of zero Guard")
@@ -46,11 +47,27 @@ func (g Guard) Unlock() {
 	deleteNode(g.l.dom.arena.node(g.id))
 }
 
+// UnlockOp is Unlock threading an operation context leased from the lock's
+// domain, sparing the fast-path release its internal slot lease.
+func (g Guard) UnlockOp(op Op) {
+	if g.l == nil {
+		panic("core: Unlock of zero Guard")
+	}
+	c := op.ctx(g.l.dom)
+	if g.fast {
+		if g.l.head.CompareAndSwap(refMark(refOf(g.id)), refNil) {
+			c.retire(g.id)
+			return
+		}
+	}
+	deleteNode(g.l.dom.arena.node(g.id))
+}
+
 // acquire implements MutexRangeAcquire / RWRangeAcquire, including the
-// fast path (§4.5) and the fairness slow path (§4.3).
-func (l *list) acquire(start, end uint64, rw, reader bool) Guard {
+// fast path (§4.5) and the fairness slow path (§4.3). The caller owns c
+// and releases it afterwards.
+func (l *list) acquire(c opCtx, start, end uint64, rw, reader bool) Guard {
 	checkRange(start, end)
-	c := l.dom.acquireCtx()
 
 	var haveID bool
 	var id uint64
@@ -63,7 +80,6 @@ func (l *list) acquire(start, end uint64, rw, reader bool) Guard {
 			haveID = true
 			l.initNode(id, start, end, rw && reader)
 			if l.head.CompareAndSwap(refNil, refMark(refOf(id))) {
-				c.release()
 				return Guard{l: l, id: id, fast: true}
 			}
 		}
@@ -97,7 +113,6 @@ func (l *list) acquire(start, end uint64, rw, reader bool) Guard {
 			if fairHeld {
 				l.fair.RUnlock()
 			}
-			c.release()
 			return Guard{l: l, id: id}
 		case insertRace:
 			// Validation failed; the node already deleted itself. Retry
@@ -133,7 +148,6 @@ func (l *list) acquire(start, end uint64, rw, reader bool) Guard {
 		}
 		l.fair.Unlock()
 		l.impatient.Add(-1)
-		c.release()
 		return Guard{l: l, id: id}
 	}
 }
@@ -141,10 +155,10 @@ func (l *list) acquire(start, end uint64, rw, reader bool) Guard {
 // tryAcquire attempts a non-blocking acquisition (extension beyond the
 // paper): it fails instead of waiting whenever a conflicting range is
 // found, but retries internal CAS failures, which indicate contention on
-// the list structure rather than on the range.
-func (l *list) tryAcquire(start, end uint64, rw, reader bool) (Guard, bool) {
+// the list structure rather than on the range. The caller owns c and
+// releases it afterwards.
+func (l *list) tryAcquire(c opCtx, start, end uint64, rw, reader bool) (Guard, bool) {
 	checkRange(start, end)
-	c := l.dom.acquireCtx()
 	id := c.alloc()
 	l.initNode(id, start, end, rw && reader)
 
@@ -152,7 +166,6 @@ func (l *list) tryAcquire(start, end uint64, rw, reader bool) (Guard, bool) {
 		l.drainDeadHead(c)
 		if l.head.Load() == refNil &&
 			l.head.CompareAndSwap(refNil, refMark(refOf(id))) {
-			c.release()
 			return Guard{l: l, id: id, fast: true}, true
 		}
 	}
@@ -161,14 +174,12 @@ func (l *list) tryAcquire(start, end uint64, rw, reader bool) (Guard, bool) {
 	ok, shared := l.tryInsert(c, id, rw)
 	c.slot.Unpin()
 	if ok {
-		c.release()
 		return Guard{l: l, id: id}, true
 	}
 	if !shared {
 		// The node never became visible: recycle it directly.
 		c.give(id)
 	}
-	c.release()
 	return Guard{}, false
 }
 

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestArenaFreeStackVersionTag verifies the ABA defence of the arena free
+// stack: every successful push and pop bumps the version in the upper 32
+// bits of freeHead, so a CAS armed with a stale head word can never
+// succeed — even when the stale word names the same node id that is on
+// top again (the classic A-B-A interleaving).
+func TestArenaFreeStackVersionTag(t *testing.T) {
+	a := newArena()
+	ids := a.allocFresh(nil, 3)
+	idA, idB := ids[0], ids[1]
+
+	a.pushFree(idB)
+	a.pushFree(idA) // stack: A -> B
+	stale := a.freeHead.Load()
+	if stale&0xffffffff != idA+1 {
+		t.Fatalf("top of stack = %d, want %d", stale&0xffffffff-1, idA)
+	}
+
+	// A thread holding `stale` gets preempted; meanwhile A and B are
+	// popped and A is pushed back — the top is A again, exactly the state
+	// an untagged CAS would mistake for "nothing happened".
+	if id, ok := a.popFree(); !ok || id != idA {
+		t.Fatalf("popFree = %d,%v, want %d", id, ok, idA)
+	}
+	if id, ok := a.popFree(); !ok || id != idB {
+		t.Fatalf("popFree = %d,%v, want %d", id, ok, idB)
+	}
+	a.pushFree(idA) // stack: A (B now owned elsewhere)
+
+	cur := a.freeHead.Load()
+	if cur&0xffffffff != idA+1 {
+		t.Fatalf("top of stack = %d, want %d", cur&0xffffffff-1, idA)
+	}
+	if cur == stale {
+		t.Fatal("head word identical after pop/pop/push cycle: version tag not advancing")
+	}
+	// The stale CAS is the exact instruction popFree would issue: swing
+	// head to A's recorded successor (B). With the version tag it must
+	// fail; without it, it would succeed and resurrect B — which another
+	// thread owns — onto the free stack.
+	next := (stale>>32)<<32 | uint64(a.node(idA).next.Load()&0xffffffff)
+	if a.freeHead.CompareAndSwap(stale, next) {
+		t.Fatal("stale CAS succeeded: ABA not prevented")
+	}
+}
+
+// TestArenaFreeStackExclusiveOwnership hammers the free stack from many
+// goroutines: a popped id is exclusively owned until pushed back, so
+// observing the same id held twice means the stack handed it out twice.
+func TestArenaFreeStackExclusiveOwnership(t *testing.T) {
+	a := newArena()
+	const nids = 8
+	ids := a.allocFresh(nil, nids)
+	owned := make([]atomic.Int32, nids)
+	for _, id := range ids {
+		a.pushFree(id)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				id, ok := a.popFree()
+				if !ok {
+					continue
+				}
+				if n := owned[id].Add(1); n != 1 {
+					t.Errorf("id %d popped while already owned (%d holders)", id, n)
+				}
+				owned[id].Add(-1)
+				a.pushFree(id)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -374,10 +374,11 @@ func TestNodeRecycling(t *testing.T) {
 	wg.Wait()
 	// 4 goroutines × 20k ops = 80k nodes if nothing recycled. With pools
 	// of 128 and EBR in play, allocation stays near 128 in normal runs;
-	// under the race detector pins are long and epoch advances stall, so
-	// leave generous headroom while still catching a total recycling
-	// failure (which would allocate the full 80k).
-	if n := dom.arena.next.Load(); n > 40000 {
+	// under the race detector pins are long and epoch advances stall
+	// (measured 25k–45k on a single-CPU box), so leave generous headroom
+	// while still catching a total recycling failure (which would
+	// allocate the full 80k).
+	if n := dom.arena.next.Load(); n > 60000 {
 		t.Fatalf("arena allocated %d nodes for 80k ops: recycling broken", n)
 	}
 }

@@ -66,6 +66,47 @@ func (c opCtx) release() {
 	c.dom.rec.ReleaseSlot(c.slot)
 }
 
+// Op is a leased per-operation context — the paper's per-thread state made
+// explicit. The plain Lock/Unlock entry points lease one internally per
+// call; compound operations that take several ranges (skip-list updates,
+// VM syscalls with a speculative read phase and a write phase) or tight
+// loops issuing many acquisitions can lease one Op and thread it through
+// every *Op method instead, paying the slot lease once.
+//
+// An Op may be held for as long as the caller likes — one per worker
+// goroutine mirrors the paper's per-thread pools exactly — but it serves
+// one goroutine at a time, and a domain can sustain only as many
+// concurrently held Ops as it has slots (more block in BeginOp). The zero
+// Op is invalid.
+type Op struct {
+	c opCtx
+}
+
+// BeginOp leases an operation context from the domain, waiting politely if
+// all slots are in use. Every Op must be returned with End.
+func (d *Domain) BeginOp() Op {
+	return Op{c: d.acquireCtx()}
+}
+
+// End returns the context to the domain. The Op must not be used again.
+func (op Op) End() {
+	if op.c.dom == nil {
+		panic("core: End of zero Op")
+	}
+	op.c.release()
+}
+
+// ctx validates that op belongs to dom and unwraps it.
+func (op Op) ctx(dom *Domain) opCtx {
+	if op.c.dom != dom {
+		if op.c.dom == nil {
+			panic("core: use of zero Op")
+		}
+		panic("core: Op used with a lock from a different domain")
+	}
+	return op.c
+}
+
 // alloc returns a node id ready for initialization. It serves from the
 // slot's active pool; on exhaustion it reclaims retired nodes past their
 // grace period, then the global free stack, and finally carves fresh nodes

@@ -27,18 +27,43 @@ func NewExclusive(dom *Domain, opts ...Option) *Exclusive {
 // Lock acquires exclusive ownership of [start, end), blocking while any
 // overlapping range is held. start must be less than end.
 func (e *Exclusive) Lock(start, end uint64) Guard {
-	return e.l.acquire(start, end, false, false)
+	c := e.l.dom.acquireCtx()
+	defer c.release()
+	return e.l.acquire(c, start, end, false, false)
 }
 
 // LockFull acquires the entire range (the special full-range call).
 func (e *Exclusive) LockFull() Guard {
-	return e.l.acquire(0, MaxEnd, false, false)
+	c := e.l.dom.acquireCtx()
+	defer c.release()
+	return e.l.acquire(c, 0, MaxEnd, false, false)
 }
 
 // TryLock attempts to acquire [start, end) without blocking on range
 // conflicts. It reports whether the range was acquired.
 func (e *Exclusive) TryLock(start, end uint64) (Guard, bool) {
-	return e.l.tryAcquire(start, end, false, false)
+	c := e.l.dom.acquireCtx()
+	defer c.release()
+	return e.l.tryAcquire(c, start, end, false, false)
+}
+
+// Domain returns the domain the lock allocates from.
+func (e *Exclusive) Domain() *Domain { return e.l.dom }
+
+// LockOp is Lock threading an operation context leased with BeginOp from
+// the lock's domain.
+func (e *Exclusive) LockOp(op Op, start, end uint64) Guard {
+	return e.l.acquire(op.ctx(e.l.dom), start, end, false, false)
+}
+
+// LockFullOp is LockFull threading an operation context.
+func (e *Exclusive) LockFullOp(op Op) Guard {
+	return e.l.acquire(op.ctx(e.l.dom), 0, MaxEnd, false, false)
+}
+
+// TryLockOp is TryLock threading an operation context.
+func (e *Exclusive) TryLockOp(op Op, start, end uint64) (Guard, bool) {
+	return e.l.tryAcquire(op.ctx(e.l.dom), start, end, false, false)
 }
 
 // noCopy triggers `go vet -copylocks` on accidental copies.

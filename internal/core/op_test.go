@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestOpReuseAcrossAcquisitions drives several acquisitions through one
+// leased Op — the compound-operation pattern (speculative mprotect,
+// skip-list update retries) the per-operation context exists for.
+func TestOpReuseAcrossAcquisitions(t *testing.T) {
+	dom := NewDomain(8)
+	rw := NewRW(dom)
+	op := dom.BeginOp()
+	defer op.End()
+
+	for i := 0; i < 100; i++ {
+		r := rw.RLockOp(op, 10, 20)
+		w := rw.LockOp(op, 100, 200)
+		if g, ok := rw.TryLockOp(op, 150, 160); ok {
+			g.UnlockOp(op)
+			t.Fatal("TryLockOp succeeded over a held conflicting range")
+		}
+		w.UnlockOp(op)
+		r.UnlockOp(op)
+	}
+	if held := rw.Snapshot(); len(held) != 0 {
+		t.Fatalf("ranges leak after op-threaded unlocks: %v", held)
+	}
+}
+
+// TestOpSingleSlotSuffices proves re-enterability: a domain with exactly
+// one slot can still run a compound operation that acquires and releases
+// several ranges, because the operation leases the slot once instead of
+// once per lock call.
+func TestOpSingleSlotSuffices(t *testing.T) {
+	dom := NewDomain(1)
+	ex := NewExclusive(dom)
+	op := dom.BeginOp()
+	g1 := ex.LockOp(op, 0, 10)
+	g2 := ex.LockOp(op, 10, 20)
+	g3 := ex.LockOp(op, 20, 30)
+	g3.UnlockOp(op)
+	g2.UnlockOp(op)
+	g1.UnlockOp(op)
+	op.End()
+
+	// The slot must be back: a plain Lock (which leases internally) works.
+	g := ex.Lock(5, 6)
+	g.Unlock()
+}
+
+// TestOpWrongDomainPanics: using an Op with a lock from another domain
+// would corrupt the foreign domain's pools; it must panic loudly.
+func TestOpWrongDomainPanics(t *testing.T) {
+	d1, d2 := NewDomain(2), NewDomain(2)
+	ex := NewExclusive(d2)
+	op := d1.BeginOp()
+	defer op.End()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LockOp with an Op from a different domain did not panic")
+		}
+	}()
+	ex.LockOp(op, 0, 1)
+}
+
+// TestOpZeroValuePanics: the zero Op must be rejected, not silently
+// dereference a nil domain.
+func TestOpZeroValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End of zero Op did not panic")
+		}
+	}()
+	var op Op
+	op.End()
+}
+
+// TestOpConcurrentWorkers runs one long-lived Op per worker (the paper's
+// per-thread state) over disjoint and overlapping ranges concurrently.
+func TestOpConcurrentWorkers(t *testing.T) {
+	dom := NewDomain(64)
+	ex := NewExclusive(dom)
+	counters := make([]int, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := dom.BeginOp()
+			defer op.End()
+			for i := 0; i < 2000; i++ {
+				// Alternate between a private range and a shared one.
+				if i&1 == 0 {
+					g := ex.LockOp(op, uint64(w*10), uint64(w*10+10))
+					counters[w]++
+					g.UnlockOp(op)
+				} else {
+					g := ex.LockOp(op, 1000, 1010)
+					counters[w]++
+					g.UnlockOp(op)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, n := range counters {
+		if n != 2000 {
+			t.Fatalf("worker %d completed %d ops, want 2000", w, n)
+		}
+	}
+}
+
+// TestOpFastPathUnlock exercises UnlockOp's eager empty-list release and
+// the fallback when another acquisition converted the fast-path node.
+func TestOpFastPathUnlock(t *testing.T) {
+	dom := NewDomain(4)
+	ex := NewExclusive(dom) // fast path on by default
+	op := dom.BeginOp()
+	defer op.End()
+
+	// Solo acquisition: head CAS succeeds, eager removal path.
+	g := ex.LockOp(op, 0, 100)
+	g.UnlockOp(op)
+
+	// Force the conversion: a second acquisition unmarks the fast-path
+	// head before the first unlock runs.
+	g1 := ex.LockOp(op, 0, 100)
+	done := make(chan Guard)
+	go func() { done <- ex.Lock(200, 300) }()
+	g2 := <-done // regular insert unmarked g1's node
+	g1.UnlockOp(op)
+	g2.Unlock()
+	if held := ex.Snapshot(); len(held) != 0 {
+		t.Fatalf("ranges leak after converted fast-path unlock: %v", held)
+	}
+}

@@ -30,30 +30,76 @@ func NewRW(dom *Domain, opts ...Option) *RW {
 
 // Lock acquires [start, end) in exclusive (writer) mode.
 func (r *RW) Lock(start, end uint64) Guard {
-	return r.l.acquire(start, end, true, false)
+	c := r.l.dom.acquireCtx()
+	defer c.release()
+	return r.l.acquire(c, start, end, true, false)
 }
 
 // RLock acquires [start, end) in shared (reader) mode.
 func (r *RW) RLock(start, end uint64) Guard {
-	return r.l.acquire(start, end, true, true)
+	c := r.l.dom.acquireCtx()
+	defer c.release()
+	return r.l.acquire(c, start, end, true, true)
 }
 
 // LockFull acquires the entire range in exclusive mode.
 func (r *RW) LockFull() Guard {
-	return r.l.acquire(0, MaxEnd, true, false)
+	c := r.l.dom.acquireCtx()
+	defer c.release()
+	return r.l.acquire(c, 0, MaxEnd, true, false)
 }
 
 // RLockFull acquires the entire range in shared mode.
 func (r *RW) RLockFull() Guard {
-	return r.l.acquire(0, MaxEnd, true, true)
+	c := r.l.dom.acquireCtx()
+	defer c.release()
+	return r.l.acquire(c, 0, MaxEnd, true, true)
 }
 
 // TryLock attempts a non-blocking exclusive acquisition.
 func (r *RW) TryLock(start, end uint64) (Guard, bool) {
-	return r.l.tryAcquire(start, end, true, false)
+	c := r.l.dom.acquireCtx()
+	defer c.release()
+	return r.l.tryAcquire(c, start, end, true, false)
 }
 
 // TryRLock attempts a non-blocking shared acquisition.
 func (r *RW) TryRLock(start, end uint64) (Guard, bool) {
-	return r.l.tryAcquire(start, end, true, true)
+	c := r.l.dom.acquireCtx()
+	defer c.release()
+	return r.l.tryAcquire(c, start, end, true, true)
+}
+
+// Domain returns the domain the lock allocates from.
+func (r *RW) Domain() *Domain { return r.l.dom }
+
+// LockOp is Lock threading an operation context leased with BeginOp from
+// the lock's domain.
+func (r *RW) LockOp(op Op, start, end uint64) Guard {
+	return r.l.acquire(op.ctx(r.l.dom), start, end, true, false)
+}
+
+// RLockOp is RLock threading an operation context.
+func (r *RW) RLockOp(op Op, start, end uint64) Guard {
+	return r.l.acquire(op.ctx(r.l.dom), start, end, true, true)
+}
+
+// LockFullOp is LockFull threading an operation context.
+func (r *RW) LockFullOp(op Op) Guard {
+	return r.l.acquire(op.ctx(r.l.dom), 0, MaxEnd, true, false)
+}
+
+// RLockFullOp is RLockFull threading an operation context.
+func (r *RW) RLockFullOp(op Op) Guard {
+	return r.l.acquire(op.ctx(r.l.dom), 0, MaxEnd, true, true)
+}
+
+// TryLockOp is TryLock threading an operation context.
+func (r *RW) TryLockOp(op Op, start, end uint64) (Guard, bool) {
+	return r.l.tryAcquire(op.ctx(r.l.dom), start, end, true, false)
+}
+
+// TryRLockOp is TryRLock threading an operation context.
+func (r *RW) TryRLockOp(op Op, start, end uint64) (Guard, bool) {
+	return r.l.tryAcquire(op.ctx(r.l.dom), start, end, true, true)
 }

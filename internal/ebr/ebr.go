@@ -16,14 +16,35 @@
 //
 // Go has no thread-local storage, so "per-thread" state becomes per-slot
 // state: a goroutine leases a Slot for the duration of one operation (or
-// longer) from a Treiber free-list. Values under management are opaque
-// uint64 handles (the range-lock arena addresses nodes by handle, see
-// internal/core).
+// as long as it likes) and returns it afterwards. Values under management
+// are opaque uint64 handles (the range-lock arena addresses nodes by
+// handle, see internal/core).
+//
+// Two design points keep the lease path off shared cache lines, so that
+// operations on disjoint ranges — which the lock-free list lets proceed in
+// parallel — do not re-serialize on the reclamation layer:
+//
+//   - The free-slot pool is sharded into GOMAXPROCS-sized stripes. Each
+//     stripe holds a one-slot "box" (exchanged with a single atomic RMW —
+//     the common case for a goroutine cycling one slot) plus a Treiber
+//     overflow stack. A goroutine picks its stripe by hashing its stack
+//     address and steals from neighbouring stripes only when its own runs
+//     dry, so concurrent leases touch disjoint words.
+//
+//   - Epoch advancement is incremental: a watermark tracks the highest
+//     slot index ever leased, and tryAdvance scans only [0, watermark)
+//     instead of the domain's full capacity. Because stripes hand out low
+//     indices first, the watermark settles near the peak number of
+//     concurrently leased slots, making an advance attempt O(active), not
+//     O(capacity). Attempts stay amortized (every 64th retire plus each
+//     collect) and race benignly on the final epoch CAS.
 package ebr
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/locks"
 )
@@ -34,13 +55,46 @@ import (
 // unlink has unpinned by then).
 const gracePeriod = 2
 
+// maxStripes bounds the free-pool sharding (and thus the cost of a
+// worst-case steal scan).
+const maxStripes = 64
+
+// stripe is one shard of the free-slot pool, padded so that neighbouring
+// stripes never share a cache line.
+type stripe struct {
+	// box caches one free slot as idx+1 (0 = empty). It is the fast path:
+	// leased with a single Swap, returned with a single CompareAndSwap.
+	box atomic.Uint64
+
+	// stack is the overflow Treiber stack: (version<<32) | (idx+1), linked
+	// through slot.nextFree. The version tag prevents ABA reuse.
+	stack atomic.Uint64
+
+	_ [14]uint64 // pad to 2 cache lines
+}
+
 // Domain is an independent reclamation domain. All goroutines operating on
 // one lock-less structure (or family of structures sharing an arena) must
 // use the same Domain.
 type Domain struct {
 	epoch atomic.Uint64 // global epoch, starts at gracePeriod so subtraction never underflows
-	free  atomic.Uint64 // Treiber stack head: (version<<32) | (slot index + 1)
-	slots []slot
+	_     [7]uint64     // keep the hot epoch word off the advance-state line
+
+	// hi is the watermark: one past the highest slot index ever leased.
+	// Slots at or above hi have never been pinned, so tryAdvance can skip
+	// them entirely.
+	hi atomic.Uint32
+
+	// advAttempts / advScanned count epoch-advance attempts and the total
+	// slot states they examined — the observable proof that advancement
+	// work scales with active slots, not capacity (see AdvanceStats).
+	advAttempts atomic.Uint64
+	advScanned  atomic.Uint64
+	_           [5]uint64
+
+	stripes []stripe
+	mask    uint32 // len(stripes)-1; len is a power of two
+	slots   []slot
 }
 
 type retired struct {
@@ -49,17 +103,22 @@ type retired struct {
 }
 
 type slot struct {
-	_ [8]uint64 // cache-line padding between slots
-
 	// state encodes (pinnedEpoch << 1) | active.
 	state atomic.Uint64
 
-	// nextFree links the slot into the Domain free stack while unleased.
+	// nextFree links the slot into a stripe's overflow stack while unleased.
 	nextFree atomic.Uint32
+
+	// home is the stripe the current lease was issued for; the release
+	// returns the slot there. Written only by the lessee (the lease
+	// transfer through the stripe atomics orders the accesses).
+	home uint32
 
 	// limbo holds values retired through this slot, oldest first. It is
 	// accessed only by the goroutine currently leasing the slot.
 	limbo []retired
+
+	_ [11]uint64 // pad to 2 cache lines
 }
 
 // Slot is a leased per-operation context. A Slot must be used by one
@@ -70,56 +129,142 @@ type Slot struct {
 }
 
 // NewDomain creates a reclamation domain with capacity for n concurrently
-// leased slots. n must be at least 1.
+// leased slots. n must be at least 1. The free pool is sharded across
+// min(GOMAXPROCS, 64) stripes (rounded up to a power of two).
 func NewDomain(n int) *Domain {
+	return NewDomainStripes(n, 0)
+}
+
+// NewDomainStripes is NewDomain with an explicit stripe count (rounded up
+// to a power of two, capped at 64); stripes <= 0 selects the GOMAXPROCS
+// default. Exposed for tests and tools that need a deterministic layout.
+func NewDomainStripes(n, stripes int) *Domain {
 	if n < 1 {
 		panic(fmt.Sprintf("ebr: invalid slot count %d", n))
 	}
-	d := &Domain{slots: make([]slot, n)}
+	if stripes <= 0 {
+		stripes = runtime.GOMAXPROCS(0)
+	}
+	if stripes > maxStripes {
+		stripes = maxStripes
+	}
+	ns := 1
+	for ns < stripes {
+		ns <<= 1
+	}
+	d := &Domain{
+		stripes: make([]stripe, ns),
+		mask:    uint32(ns - 1),
+		slots:   make([]slot, n),
+	}
 	d.epoch.Store(gracePeriod)
-	// Push every slot onto the free stack.
+	// Seed the pool round-robin: slot i belongs to stripe i&mask, boxes get
+	// the lowest indices, overflow stacks are pushed high-to-low so that
+	// low indices surface first. Handing out low indices first is what
+	// keeps the watermark — and with it the advance scan — near the number
+	// of slots actually in circulation.
 	for i := n - 1; i >= 0; i-- {
-		d.pushFree(uint32(i))
+		idx := uint32(i)
+		st := idx & d.mask
+		d.slots[i].home = st
+		if uint32(i) < uint32(ns) {
+			d.stripes[st].box.Store(uint64(idx + 1))
+		} else {
+			d.pushStack(st, idx)
+		}
 	}
 	return d
 }
 
-func (d *Domain) pushFree(idx uint32) {
+// ghash hashes the calling goroutine's identity (approximated by a stack
+// address — distinct goroutines occupy distinct stacks) into a stripe
+// selector. Stability across calls is a performance matter only; any value
+// is correct.
+func ghash() uint32 {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b)))
+	h *= 0x9E3779B97F4A7C15
+	return uint32(h >> 32)
+}
+
+func (d *Domain) pushStack(st, idx uint32) {
+	s := &d.stripes[st]
 	for {
-		head := d.free.Load()
+		head := s.stack.Load()
 		d.slots[idx].nextFree.Store(uint32(head & 0xffffffff))
 		next := (head>>32+1)<<32 | uint64(idx+1)
-		if d.free.CompareAndSwap(head, next) {
+		if s.stack.CompareAndSwap(head, next) {
 			return
 		}
 	}
 }
 
-func (d *Domain) popFree() (uint32, bool) {
+func (d *Domain) popStack(st uint32) (uint32, bool) {
+	s := &d.stripes[st]
 	for {
-		head := d.free.Load()
+		head := s.stack.Load()
 		idxPlus1 := uint32(head & 0xffffffff)
 		if idxPlus1 == 0 {
 			return 0, false
 		}
 		idx := idxPlus1 - 1
 		next := (head>>32+1)<<32 | uint64(d.slots[idx].nextFree.Load())
-		if d.free.CompareAndSwap(head, next) {
+		if s.stack.CompareAndSwap(head, next) {
 			return idx, true
 		}
 	}
 }
 
 // AcquireSlot leases a slot, waiting politely if all slots are in use.
-// Callers typically cache the slot for the duration of one lock operation.
+// Callers typically cache the slot for the duration of one operation (or
+// one worker's lifetime); holding more slots than the domain's capacity
+// concurrently blocks forever.
 func (d *Domain) AcquireSlot() Slot {
+	h := ghash() & d.mask
+	// Fast path: the calling goroutine's own box.
+	if v := d.stripes[h].box.Swap(0); v != 0 {
+		return d.leased(uint32(v-1), h)
+	}
 	var b locks.Backoff
 	for {
-		if idx, ok := d.popFree(); ok {
-			return Slot{d: d, idx: idx}
+		// All boxes first (they hold the lowest indices, preserving the
+		// low-indices-first invariant the watermark depends on), then the
+		// overflow stacks; own stripe first in both sweeps. The own box
+		// must be rechecked each round: a release may land there while we
+		// wait, and skipping it would spin forever on a 1-slot handoff.
+		// Boxes are probed with a read before the Swap so that waiters do
+		// not bounce every stripe's cache line around while spinning.
+		for i := uint32(0); i <= d.mask; i++ {
+			st := (h + i) & d.mask
+			if d.stripes[st].box.Load() != 0 {
+				if v := d.stripes[st].box.Swap(0); v != 0 {
+					return d.leased(uint32(v-1), h)
+				}
+			}
+		}
+		for i := uint32(0); i <= d.mask; i++ {
+			if idx, ok := d.popStack((h + i) & d.mask); ok {
+				return d.leased(idx, h)
+			}
 		}
 		b.Pause()
 	}
+}
+
+// leased finalizes a lease: records the lessee's home stripe and raises the
+// watermark if this slot index has never circulated before.
+func (d *Domain) leased(idx, home uint32) Slot {
+	d.slots[idx].home = home
+	for {
+		h := d.hi.Load()
+		if idx < h {
+			break
+		}
+		if d.hi.CompareAndSwap(h, idx+1) {
+			break
+		}
+	}
+	return Slot{d: d, idx: idx}
 }
 
 // ReleaseSlot returns a leased slot to the domain. The slot must be
@@ -129,11 +274,29 @@ func (d *Domain) ReleaseSlot(s Slot) {
 	if s.d != d {
 		panic("ebr: slot released to wrong domain")
 	}
-	d.pushFree(s.idx)
+	home := d.slots[s.idx].home
+	if !d.stripes[home].box.CompareAndSwap(0, uint64(s.idx+1)) {
+		d.pushStack(home, s.idx)
+	}
 }
 
 // Epoch returns the current global epoch (useful for tests and stats).
 func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Capacity returns the domain's slot capacity.
+func (d *Domain) Capacity() int { return len(d.slots) }
+
+// Watermark returns one past the highest slot index ever leased — the
+// number of slot states an epoch-advance attempt currently examines.
+func (d *Domain) Watermark() int { return int(d.hi.Load()) }
+
+// AdvanceStats reports how many epoch-advance attempts ran and how many
+// slot states they examined in total. The ratio scanned/attempts is the
+// per-attempt scan cost, which stays proportional to the peak number of
+// concurrently leased slots rather than the domain capacity.
+func (d *Domain) AdvanceStats() (attempts, scanned uint64) {
+	return d.advAttempts.Load(), d.advScanned.Load()
+}
 
 // Index returns the slot's dense index in [0, n); callers use it to attach
 // their own per-slot state (e.g. the node pools of internal/core).
@@ -172,16 +335,29 @@ func (s Slot) Retire(val uint64) {
 func (s Slot) LimboLen() int { return len(s.slot().limbo) }
 
 // tryAdvance attempts to advance the global epoch by one. The epoch can
-// advance only when every active slot has observed the current epoch.
+// advance only when every active slot has observed the current epoch; only
+// slots below the lease watermark can ever have been active, so the scan
+// stops there. Concurrent attempts race benignly on the final CAS —
+// deliberately no mutual exclusion, so a preempted attempt cannot stall
+// everyone else's.
 func (d *Domain) tryAdvance() {
 	e := d.epoch.Load()
-	for i := range d.slots {
+	hi := int(d.hi.Load())
+	scanned := 0
+	ok := true
+	for i := 0; i < hi; i++ {
 		st := d.slots[i].state.Load()
+		scanned++
 		if st&1 == 1 && st>>1 != e {
-			return // an operation is still running in an older epoch
+			ok = false // an operation is still running in an older epoch
+			break
 		}
 	}
-	d.epoch.CompareAndSwap(e, e+1)
+	d.advAttempts.Add(1)
+	d.advScanned.Add(uint64(scanned))
+	if ok {
+		d.epoch.CompareAndSwap(e, e+1)
+	}
 }
 
 // Collect attempts to reclaim values retired through this slot, appending

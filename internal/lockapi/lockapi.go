@@ -42,6 +42,35 @@ type FullLocker interface {
 	AcquireFull(write bool) (release func())
 }
 
+// Op is a leased per-operation context (see core.Op): one reclamation slot
+// plus its node pool, reusable across any number of acquisitions.
+type Op = core.Op
+
+// Guard is a held range, released with ReleaseOp.
+type Guard = core.Guard
+
+// OpLocker is implemented by variants whose hot path leases a
+// per-operation context (the list-based locks). Callers that perform
+// several acquisitions per logical operation — or many operations per
+// worker — lease one Op and thread it through, instead of paying one slot
+// lease per lock call; the Acquire/Guard pair also avoids the per-call
+// closure of the plain Locker surface. Ops may be held as long as the
+// caller likes (e.g. one per worker goroutine) but serve one goroutine at
+// a time.
+type OpLocker interface {
+	FullLocker
+	// BeginOp leases an operation context; return it with EndOp.
+	BeginOp() Op
+	// EndOp returns a context leased by BeginOp.
+	EndOp(op Op)
+	// AcquireOp locks [start, end) using op's context.
+	AcquireOp(op Op, start, end uint64, write bool) Guard
+	// AcquireFullOp locks the entire range using op's context.
+	AcquireFullOp(op Op, write bool) Guard
+	// ReleaseOp releases a guard returned by AcquireOp/AcquireFullOp.
+	ReleaseOp(op Op, g Guard)
+}
+
 // --- list-based locks (the paper's contribution) ---
 
 type listEx struct{ l *core.Exclusive }
@@ -62,6 +91,13 @@ func (a listEx) AcquireFull(_ bool) func() {
 	g := a.l.LockFull()
 	return g.Unlock
 }
+func (a listEx) BeginOp() Op { return a.l.Domain().BeginOp() }
+func (a listEx) EndOp(op Op) { op.End() }
+func (a listEx) AcquireOp(op Op, start, end uint64, _ bool) Guard {
+	return a.l.LockOp(op, start, end)
+}
+func (a listEx) AcquireFullOp(op Op, _ bool) Guard { return a.l.LockFullOp(op) }
+func (a listEx) ReleaseOp(op Op, g Guard)          { g.UnlockOp(op) }
 
 type listRW struct{ l *core.RW }
 
@@ -89,6 +125,21 @@ func (a listRW) AcquireFull(write bool) func() {
 	}
 	return g.Unlock
 }
+func (a listRW) BeginOp() Op { return a.l.Domain().BeginOp() }
+func (a listRW) EndOp(op Op) { op.End() }
+func (a listRW) AcquireOp(op Op, start, end uint64, write bool) Guard {
+	if write {
+		return a.l.LockOp(op, start, end)
+	}
+	return a.l.RLockOp(op, start, end)
+}
+func (a listRW) AcquireFullOp(op Op, write bool) Guard {
+	if write {
+		return a.l.LockFullOp(op)
+	}
+	return a.l.RLockFullOp(op)
+}
+func (a listRW) ReleaseOp(op Op, g Guard) { g.UnlockOp(op) }
 
 // --- tree-based kernel locks ---
 

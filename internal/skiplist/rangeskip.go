@@ -24,15 +24,29 @@ import (
 type RangeLocked struct {
 	l  list
 	lk lockapi.Locker
+	ol lockapi.OpLocker // non-nil when lk supports per-operation contexts
 }
 
 // NewRangeLocked returns an empty skip list synchronized by the given
 // range lock (use lockapi.NewListEx for "range-list", lockapi.NewLustreEx
-// for "range-lustre").
+// for "range-lustre"). When the lock supports per-operation contexts, each
+// update leases one context for all its lock acquisitions — an update that
+// races and retries does not go back through the domain's slot pool.
 func NewRangeLocked(lk lockapi.Locker) *RangeLocked {
 	s := &RangeLocked{lk: lk}
+	s.ol, _ = lk.(lockapi.OpLocker)
 	s.l.init(0xdeadbeef)
 	return s
+}
+
+// acquire locks [lo, hi) through the per-op context when the lock supports
+// one. The returned release must be invoked exactly once.
+func (s *RangeLocked) acquire(op lockapi.Op, lo, hi uint64) func() {
+	if s.ol != nil {
+		g := s.ol.AcquireOp(op, lo, hi, true)
+		return func() { s.ol.ReleaseOp(op, g) }
+	}
+	return s.lk.Acquire(lo, hi, true)
 }
 
 // Contains reports membership; wait-free.
@@ -49,6 +63,11 @@ func (s *RangeLocked) Insert(key uint64) bool {
 	checkKey(key)
 	topLevel := s.l.randomLevel()
 	var preds, succs [maxLevel]*node
+	var op lockapi.Op
+	if s.ol != nil {
+		op = s.ol.BeginOp()
+		defer s.ol.EndOp(op)
+	}
 	for {
 		lFound := s.l.find(key, &preds, &succs)
 		if lFound != -1 {
@@ -64,7 +83,7 @@ func (s *RangeLocked) Insert(key uint64) bool {
 		// The range starts at the highest-level predecessor: the leftmost
 		// node whose next pointers this insert may modify.
 		lo := preds[topLevel-1].key
-		rel := s.lk.Acquire(lo, key+1, true)
+		rel := s.acquire(op, lo, key+1)
 
 		// Re-find under the lock and validate that the locked range still
 		// covers every predecessor; a concurrent structural change may
@@ -103,6 +122,11 @@ func (s *RangeLocked) Insert(key uint64) bool {
 func (s *RangeLocked) Remove(key uint64) bool {
 	checkKey(key)
 	var preds, succs [maxLevel]*node
+	var op lockapi.Op
+	if s.ol != nil {
+		op = s.ol.BeginOp()
+		defer s.ol.EndOp(op)
+	}
 	for {
 		lFound := s.l.find(key, &preds, &succs)
 		if lFound == -1 {
@@ -117,7 +141,7 @@ func (s *RangeLocked) Remove(key uint64) bool {
 		}
 
 		lo := preds[victim.topLevel-1].key
-		rel := s.lk.Acquire(lo, key+2, true) // key+1 inclusive, per §6
+		rel := s.acquire(op, lo, key+2) // key+1 inclusive, per §6
 
 		lFound = s.l.find(key, &preds, &succs)
 		if lFound == -1 || succs[lFound] != victim || victim.marked.Load() {

@@ -68,8 +68,8 @@ func (as *AddressSpace) Policy() PolicyKind { return as.pol.kind }
 // fullWrite acquires the full-range write lock; its release bumps the
 // sequence number, exactly as §5.2 prescribes ("incremented every time a
 // range lock acquired for the full range in write mode is released").
-func (as *AddressSpace) fullWrite() func() {
-	rel := as.pol.acquireFull(true)
+func (as *AddressSpace) fullWrite(o vmOp) func() {
+	rel := as.pol.acquireFull(o, true)
 	return func() {
 		as.seq.Add(1)
 		rel()
@@ -140,7 +140,9 @@ func (as *AddressSpace) Mmap(length uint64, prot Prot) (uint64, error) {
 		return 0, ErrInval
 	}
 	length = pageAlignUp(length)
-	rel := as.fullWrite()
+	o := as.pol.begin()
+	defer as.pol.end(o)
+	rel := as.fullWrite(o)
 	defer rel()
 	addr := as.cursor
 	// Leave a 4-page guard gap: mappings never merge, and the refined
@@ -168,17 +170,19 @@ func (as *AddressSpace) Munmap(addr, length uint64) error {
 		return ErrInval
 	}
 	start, end := addr, pageAlignUp(addr+length)
+	o := as.pol.begin()
+	defer as.pol.end(o)
 
 	var hint *VMA
 	var hintSeq uint64
 	if as.specUnmapPlan && as.pol.refineMprotect {
-		relR := as.pol.acquire(start, end, false)
+		relR := as.pol.acquire(o, start, end, false)
 		hint = as.findVMA(start)
 		hintSeq = as.seq.Load()
 		relR()
 	}
 
-	rel := as.fullWrite()
+	rel := as.fullWrite(o)
 	defer rel()
 
 	var v *VMA
@@ -231,12 +235,14 @@ func (as *AddressSpace) unmapLocked(v *VMA, start, end uint64) {
 // only the faulting page, in read mode; otherwise the full range, still in
 // read mode (faults never change VMA metadata or mm_rb).
 func (as *AddressSpace) PageFault(addr uint64, write bool) error {
+	o := as.pol.begin()
+	defer as.pol.end(o)
 	var rel func()
 	if as.pol.refineFault {
 		page := pageAlignDown(addr)
-		rel = as.pol.acquire(page, page+PageSize, false)
+		rel = as.pol.acquire(o, page, page+PageSize, false)
 	} else {
-		rel = as.pol.acquireFull(false)
+		rel = as.pol.acquireFull(o, false)
 	}
 	defer rel()
 
@@ -262,7 +268,9 @@ func (as *AddressSpace) PageFault(addr uint64, write bool) error {
 // Regions returns a snapshot of all VMAs in address order, taken under the
 // full-range read lock (used by tests and tools, not benchmarks).
 func (as *AddressSpace) Regions() []Region {
-	rel := as.pol.acquireFull(false)
+	o := as.pol.begin()
+	defer as.pol.end(o)
+	rel := as.pol.acquireFull(o, false)
 	defer rel()
 	out := make([]Region, 0, as.rb.Len())
 	as.rb.Ascend(func(n *rbtree.Node[*VMA]) bool {
@@ -275,7 +283,9 @@ func (as *AddressSpace) Regions() []Region {
 
 // VMACount returns the number of VMAs (full read lock).
 func (as *AddressSpace) VMACount() int {
-	rel := as.pol.acquireFull(false)
+	o := as.pol.begin()
+	defer as.pol.end(o)
+	rel := as.pol.acquireFull(o, false)
 	defer rel()
 	return as.rb.Len()
 }

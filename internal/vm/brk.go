@@ -20,7 +20,9 @@ type brkState struct {
 // operations whose find phase could speculate; see Munmap for the
 // implemented variant of that idea).
 func (as *AddressSpace) Brk(delta int64) (uint64, error) {
-	rel := as.fullWrite()
+	o := as.pol.begin()
+	defer as.pol.end(o)
+	rel := as.fullWrite(o)
 	defer rel()
 
 	cur := as.brk.end.Load()

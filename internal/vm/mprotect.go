@@ -16,17 +16,19 @@ func (as *AddressSpace) Mprotect(addr, length uint64, prot Prot) error {
 		return ErrInval
 	}
 	start, end := addr, pageAlignUp(addr+length)
+	o := as.pol.begin()
+	defer as.pol.end(o)
 
 	speculate := as.pol.refineMprotect
 	for {
 		if !speculate {
-			return as.mprotectFull(start, end, prot)
+			return as.mprotectFull(o, start, end, prot)
 		}
 
 		// --- Read phase: find the VMA under a read lock on the request
 		// range (other speculating operations and page faults proceed in
 		// parallel).
-		relR := as.pol.acquire(start, end, false)
+		relR := as.pol.acquire(o, start, end, false)
 		v := as.findVMA(start)
 		if v == nil || v.Start() > start {
 			relR()
@@ -50,7 +52,7 @@ func (as *AddressSpace) Mprotect(addr, length uint64, prot Prot) error {
 		// --- Write phase: lock the VMA plus one page on each side. The
 		// padding serializes us against boundary moves performed by
 		// mprotects on the adjacent VMAs (§5.2).
-		relW := as.pol.acquire(aStart, aEnd, true)
+		relW := as.pol.acquire(o, aStart, aEnd, true)
 		if as.seq.Load() != seq || v.Start() != vs || v.End() != ve {
 			// A structural change or a neighbouring boundary move raced
 			// with us between the two phases: retry from scratch.
@@ -130,8 +132,8 @@ func (as *AddressSpace) applySpeculative(v *VMA, start, end uint64, prot Prot) (
 // neighbours, and zap the affected pages. Linux applies changes up to the
 // first gap before returning ENOMEM; for determinism this implementation
 // verifies coverage first and applies all-or-nothing.
-func (as *AddressSpace) mprotectFull(start, end uint64, prot Prot) error {
-	rel := as.fullWrite()
+func (as *AddressSpace) mprotectFull(o vmOp, start, end uint64, prot Prot) error {
+	rel := as.fullWrite(o)
 	defer rel()
 
 	// Coverage check: [start, end) must be fully mapped.

@@ -20,7 +20,9 @@ func (as *AddressSpace) Mremap(addr, oldLen, newLen uint64) (uint64, error) {
 	oldLen = pageAlignUp(oldLen)
 	newLen = pageAlignUp(newLen)
 
-	rel := as.fullWrite()
+	o := as.pol.begin()
+	defer as.pol.end(o)
+	rel := as.fullWrite(o)
 	defer rel()
 
 	v := as.findVMA(addr)

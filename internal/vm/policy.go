@@ -70,6 +70,7 @@ func ParsePolicy(name string) (PolicyKind, error) {
 type policy struct {
 	kind           PolicyKind
 	lk             lockapi.FullLocker
+	olk            lockapi.OpLocker // non-nil when lk supports per-op contexts
 	refineFault    bool
 	refineMprotect bool
 
@@ -106,36 +107,85 @@ func newPolicy(kind PolicyKind, rangeStat, spinStat *stats.LockStat) *policy {
 	case ListMprotect:
 		p.refineMprotect = true
 	}
+	p.olk, _ = p.lk.(lockapi.OpLocker)
 	return p
+}
+
+// vmOp carries one syscall-scoped lock context: VM operations with several
+// acquisitions (the speculative mprotect's read and write phases, munmap's
+// planning read plus the structural write) lease one context up front and
+// thread it through, instead of going back to the domain's slot pool for
+// every lock call. The zero value means the policy's lock has no context
+// support (tree/rwsem policies), in which case acquisitions fall back to
+// the plain path.
+type vmOp struct {
+	op lockapi.Op
+	ok bool
+}
+
+// begin leases a per-operation context when the policy's lock supports
+// one; end returns it.
+func (p *policy) begin() vmOp {
+	if p.olk == nil {
+		return vmOp{}
+	}
+	return vmOp{op: p.olk.BeginOp(), ok: true}
+}
+
+func (p *policy) end(o vmOp) {
+	if o.ok {
+		p.olk.EndOp(o.op)
+	}
 }
 
 // acquire takes [start, end) in the requested mode, recording the
 // measured acquisition latency (the paper's lock_stat wait proxy).
-func (p *policy) acquire(start, end uint64, write bool) func() {
+func (p *policy) acquire(o vmOp, start, end uint64, write bool) func() {
 	if !p.rangeStat.Enabled() {
-		return p.lk.Acquire(start, end, write)
+		return p.lock(o, start, end, write)
 	}
 	kind := stats.Read
 	if write {
 		kind = stats.Write
 	}
 	t0 := time.Now()
-	rel := p.lk.Acquire(start, end, write)
+	rel := p.lock(o, start, end, write)
 	p.rangeStat.Record(kind, time.Since(t0))
 	return rel
 }
 
 // acquireFull takes the entire range.
-func (p *policy) acquireFull(write bool) func() {
+func (p *policy) acquireFull(o vmOp, write bool) func() {
 	if !p.rangeStat.Enabled() {
-		return p.lk.AcquireFull(write)
+		return p.lockFull(o, write)
 	}
 	kind := stats.Read
 	if write {
 		kind = stats.Write
 	}
 	t0 := time.Now()
-	rel := p.lk.AcquireFull(write)
+	rel := p.lockFull(o, write)
 	p.rangeStat.Record(kind, time.Since(t0))
 	return rel
+}
+
+// lock/lockFull keep the closure-valued release so the many defer-based
+// call sites stay uniform across op-aware and plain policies; the op's
+// win here is sharing the slot lease across a syscall's acquisitions,
+// not closure elimination (drivers that need allocation-free releases
+// hold the Guard directly, as bench_test.go and arrbench do).
+func (p *policy) lock(o vmOp, start, end uint64, write bool) func() {
+	if o.ok {
+		g := p.olk.AcquireOp(o.op, start, end, write)
+		return func() { p.olk.ReleaseOp(o.op, g) }
+	}
+	return p.lk.Acquire(start, end, write)
+}
+
+func (p *policy) lockFull(o vmOp, write bool) func() {
+	if o.ok {
+		g := p.olk.AcquireFullOp(o.op, write)
+		return func() { p.olk.ReleaseOp(o.op, g) }
+	}
+	return p.lk.AcquireFull(write)
 }

@@ -53,9 +53,19 @@ type Guard = core.Guard
 type Domain = core.Domain
 
 // NewDomain creates an isolated domain serving at most slots concurrent
-// lock operations (a slot is held only for the duration of one
-// acquisition, not while a range is held).
+// lock operations (a slot is held for the duration of one acquisition or
+// one explicitly leased Op, not while a range is held).
 func NewDomain(slots int) *Domain { return core.NewDomain(slots) }
+
+// Op is a leased per-operation context: one reclamation slot plus the node
+// pool attached to it (the paper's per-thread state made explicit). The
+// plain Lock/Unlock methods lease one internally per call; callers that
+// acquire several ranges per logical operation, or loop over many
+// acquisitions, can lease one Op from the domain with BeginOp and thread
+// it through the *Op method variants to pay the lease once. Return it
+// with End. An Op serves one goroutine at a time, and a domain sustains
+// at most as many concurrently held Ops as it has slots.
+type Op = core.Op
 
 // Option configures a lock at construction.
 type Option = core.Option
@@ -100,6 +110,20 @@ func (l *Exclusive) LockFull() Guard { return l.lk.LockFull() }
 // reporting success.
 func (l *Exclusive) TryLock(start, end uint64) (Guard, bool) { return l.lk.TryLock(start, end) }
 
+// BeginOp leases an operation context from the lock's domain.
+func (l *Exclusive) BeginOp() Op { return l.lk.Domain().BeginOp() }
+
+// LockOp is Lock threading a leased operation context.
+func (l *Exclusive) LockOp(op Op, start, end uint64) Guard { return l.lk.LockOp(op, start, end) }
+
+// LockFullOp is LockFull threading a leased operation context.
+func (l *Exclusive) LockFullOp(op Op) Guard { return l.lk.LockFullOp(op) }
+
+// TryLockOp is TryLock threading a leased operation context.
+func (l *Exclusive) TryLockOp(op Op, start, end uint64) (Guard, bool) {
+	return l.lk.TryLockOp(op, start, end)
+}
+
 // RW is a reader-writer range lock: overlapping shared (reader) ranges
 // proceed in parallel; an exclusive (writer) range conflicts with every
 // overlapping holder.
@@ -130,3 +154,28 @@ func (l *RW) TryLock(start, end uint64) (Guard, bool) { return l.lk.TryLock(star
 
 // TryRLock attempts a non-blocking shared acquisition.
 func (l *RW) TryRLock(start, end uint64) (Guard, bool) { return l.lk.TryRLock(start, end) }
+
+// BeginOp leases an operation context from the lock's domain.
+func (l *RW) BeginOp() Op { return l.lk.Domain().BeginOp() }
+
+// LockOp is Lock threading a leased operation context.
+func (l *RW) LockOp(op Op, start, end uint64) Guard { return l.lk.LockOp(op, start, end) }
+
+// RLockOp is RLock threading a leased operation context.
+func (l *RW) RLockOp(op Op, start, end uint64) Guard { return l.lk.RLockOp(op, start, end) }
+
+// LockFullOp is LockFull threading a leased operation context.
+func (l *RW) LockFullOp(op Op) Guard { return l.lk.LockFullOp(op) }
+
+// RLockFullOp is RLockFull threading a leased operation context.
+func (l *RW) RLockFullOp(op Op) Guard { return l.lk.RLockFullOp(op) }
+
+// TryLockOp is TryLock threading a leased operation context.
+func (l *RW) TryLockOp(op Op, start, end uint64) (Guard, bool) {
+	return l.lk.TryLockOp(op, start, end)
+}
+
+// TryRLockOp is TryRLock threading a leased operation context.
+func (l *RW) TryRLockOp(op Op, start, end uint64) (Guard, bool) {
+	return l.lk.TryRLockOp(op, start, end)
+}
