@@ -1,0 +1,113 @@
+// Command rangeload is a closed-loop load driver for rangestored: it
+// opens -workers connections, keeps -pipeline requests in flight on each,
+// and reports per-operation-class latency (p50/p90/p99/max) — the lens
+// the paper's §8 applications are judged by.
+//
+//	go run ./cmd/rangeload -addr localhost:7420 -mix mixed-scan -duration 10s
+//	go run ./cmd/rangeload -mix append-log -workers 16 -format csv -out run.csv
+//
+// Mixes: read-heavy, write-heavy, append-log, mixed-scan. File and
+// offset hotness are zipf-skewed (-zipf-file / -zipf-off; values <= 1
+// select uniform).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/rangestore"
+	"repro/internal/rangestore/wload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7420", "rangestored address")
+		mixName  = flag.String("mix", "mixed-scan", "workload mix: "+mixNames())
+		workers  = flag.Int("workers", 4, "concurrent connections")
+		pipeline = flag.Int("pipeline", 1, "requests in flight per connection")
+		files    = flag.Int("files", 16, "files in play")
+		fileSize = flag.Uint64("filesize", 1<<20, "pre-populated bytes per file")
+		ioSize   = flag.Int("iosize", 4096, "bytes per read/write/append")
+		duration = flag.Duration("duration", 5*time.Second, "run length (ignored when -ops > 0)")
+		ops      = flag.Int64("ops", 0, "total operation budget; 0 = run for -duration")
+		zipfFile = flag.Float64("zipf-file", 1.2, "zipf skew across files (<= 1: uniform)")
+		zipfOff  = flag.Float64("zipf-off", 1.1, "zipf skew across offsets (<= 1: uniform)")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		format   = flag.String("format", "text", "output format: text, csv, json")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	mix, err := wload.MixByName(*mixName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rangeload:", err)
+		os.Exit(2)
+	}
+	// Fail on bad output options now, not after minutes of load.
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "rangeload: unknown -format %q (text, csv, json)\n", *format)
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rangeload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := wload.Config{
+		Mix:      mix,
+		Files:    *files,
+		FileSize: *fileSize,
+		IOSize:   *ioSize,
+		Workers:  *workers,
+		Pipeline: *pipeline,
+		Ops:      *ops,
+		Duration: *duration,
+		ZipfFile: *zipfFile,
+		ZipfOff:  *zipfOff,
+		Seed:     *seed,
+	}
+
+	rep, err := wload.Run(cfg, func() (*rangestore.Client, error) {
+		return rangestore.Dial(*addr)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rangeload:", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "text":
+		fmt.Fprint(w, rep.String())
+	case "csv":
+		err = rep.WriteCSV(w)
+	case "json":
+		var raw []byte
+		if raw, err = rep.JSON(); err == nil {
+			raw = append(raw, '\n')
+			_, err = w.Write(raw)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rangeload:", err)
+		os.Exit(1)
+	}
+}
+
+func mixNames() string {
+	names := make([]string, len(wload.Mixes))
+	for i, m := range wload.Mixes {
+		names[i] = m.Name
+	}
+	return strings.Join(names, ", ")
+}

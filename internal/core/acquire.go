@@ -26,23 +26,28 @@ func (g Guard) Range() (start, end uint64) {
 // regular path this is a single fetch-and-add — wait-free; traversing
 // threads unlink and recycle the node lazily. A fast-path acquisition
 // tries the eager empty-list release first (§4.5), which needs a
-// reclamation context; use UnlockOp to reuse an already leased one.
+// reclamation context: the slot is leased non-blockingly, so Unlock stays
+// safe even when the caller's own held Ops have exhausted the domain's
+// slots — it simply degrades to the lazy release, which the next
+// acquisition cleans up. Use UnlockOp to reuse an already leased context.
 func (g Guard) Unlock() {
 	if g.l == nil {
 		panic("core: Unlock of zero Guard")
 	}
 	if g.fast {
-		if g.l.head.CompareAndSwap(refMark(refOf(g.id)), refNil) {
-			// Eagerly removed. Other goroutines may still hold the ref
-			// (loaded from head before the CAS), so the node still goes
-			// through a grace period.
-			c := g.l.dom.acquireCtx()
-			c.retire(g.id)
+		if c, ok := g.l.dom.tryAcquireCtx(); ok {
+			if g.l.head.CompareAndSwap(refMark(refOf(g.id)), refNil) {
+				// Eagerly removed. Other goroutines may still hold the ref
+				// (loaded from head before the CAS), so the node still goes
+				// through a grace period.
+				c.retire(g.id)
+				c.release()
+				return
+			}
+			// Another thread converted the fast-path node into a regular
+			// one; fall through to the regular release.
 			c.release()
-			return
 		}
-		// Another thread converted the fast-path node into a regular one;
-		// fall through to the regular release.
 	}
 	deleteNode(g.l.dom.arena.node(g.id))
 }

@@ -62,6 +62,16 @@ func (d *Domain) acquireCtx() opCtx {
 	return opCtx{dom: d, slot: s, idx: s.Index()}
 }
 
+// tryAcquireCtx is acquireCtx without the wait, for paths that have a
+// slot-free fallback and must not block behind the caller's own leases.
+func (d *Domain) tryAcquireCtx() (opCtx, bool) {
+	s, ok := d.rec.TryAcquireSlot()
+	if !ok {
+		return opCtx{}, false
+	}
+	return opCtx{dom: d, slot: s, idx: s.Index()}, true
+}
+
 func (c opCtx) release() {
 	c.dom.rec.ReleaseSlot(c.slot)
 }

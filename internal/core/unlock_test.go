@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestUnlockWithExhaustedSlots: a plain Unlock of a fast-path guard must
+// not block waiting for a reclamation slot when the caller's own held Op
+// has exhausted the domain — it degrades to the lazy release instead.
+func TestUnlockWithExhaustedSlots(t *testing.T) {
+	dom := NewDomain(1) // the Op below holds the only slot
+	lk := NewExclusive(dom)
+	op := dom.BeginOp()
+	defer op.End()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g := lk.LockOp(op, 0, 10)
+		g.Unlock() // plain Unlock, not UnlockOp: needs its own context
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Unlock deadlocked against the caller's own Op lease")
+	}
+
+	// The lazily-released range is actually gone: a fresh acquisition of
+	// the same range succeeds (cleaning up the deferred node on the way).
+	acq := make(chan struct{})
+	go func() {
+		defer close(acq)
+		g := lk.LockOp(op, 0, 10)
+		g.UnlockOp(op)
+	}()
+	select {
+	case <-acq:
+	case <-time.After(10 * time.Second):
+		t.Fatal("range still held after degraded Unlock")
+	}
+}

@@ -251,6 +251,31 @@ func (d *Domain) AcquireSlot() Slot {
 	}
 }
 
+// TryAcquireSlot is AcquireSlot without the wait: one sweep over the
+// boxes and overflow stacks, reporting failure when every slot is leased.
+// For callers that can fall back to a slot-free path instead of blocking
+// (e.g. a release while the caller itself holds the domain's slots).
+func (d *Domain) TryAcquireSlot() (Slot, bool) {
+	h := ghash() & d.mask
+	if v := d.stripes[h].box.Swap(0); v != 0 {
+		return d.leased(uint32(v-1), h), true
+	}
+	for i := uint32(0); i <= d.mask; i++ {
+		st := (h + i) & d.mask
+		if d.stripes[st].box.Load() != 0 {
+			if v := d.stripes[st].box.Swap(0); v != 0 {
+				return d.leased(uint32(v-1), h), true
+			}
+		}
+	}
+	for i := uint32(0); i <= d.mask; i++ {
+		if idx, ok := d.popStack((h + i) & d.mask); ok {
+			return d.leased(idx, h), true
+		}
+	}
+	return Slot{}, false
+}
+
 // leased finalizes a lease: records the lessee's home stripe and raises the
 // watermark if this slot index has never circulated before.
 func (d *Domain) leased(idx, home uint32) Slot {

@@ -71,6 +71,23 @@ type OpLocker interface {
 	ReleaseOp(op Op, g Guard)
 }
 
+// domainHolder is implemented by the Op-capable adapters so callers can
+// check whether two locks lease Op contexts from one domain.
+type domainHolder interface{ lockDomain() *core.Domain }
+
+// SameOpDomain reports whether a and b both support the Op API and lease
+// their contexts from the same domain — i.e. an Op begun on one is valid
+// for acquisitions on the other. False whenever either lacks an Op
+// surface.
+func SameOpDomain(a, b Locker) bool {
+	da, ok := a.(domainHolder)
+	if !ok {
+		return false
+	}
+	db, ok := b.(domainHolder)
+	return ok && da.lockDomain() == db.lockDomain()
+}
+
 // --- list-based locks (the paper's contribution) ---
 
 type listEx struct{ l *core.Exclusive }
@@ -98,6 +115,7 @@ func (a listEx) AcquireOp(op Op, start, end uint64, _ bool) Guard {
 }
 func (a listEx) AcquireFullOp(op Op, _ bool) Guard { return a.l.LockFullOp(op) }
 func (a listEx) ReleaseOp(op Op, g Guard)          { g.UnlockOp(op) }
+func (a listEx) lockDomain() *core.Domain          { return a.l.Domain() }
 
 type listRW struct{ l *core.RW }
 
@@ -140,6 +158,7 @@ func (a listRW) AcquireFullOp(op Op, write bool) Guard {
 	return a.l.RLockFullOp(op)
 }
 func (a listRW) ReleaseOp(op Op, g Guard) { g.UnlockOp(op) }
+func (a listRW) lockDomain() *core.Domain { return a.l.Domain() }
 
 // --- tree-based kernel locks ---
 
@@ -183,13 +202,31 @@ func (a tree) AcquireFull(write bool) func() {
 type seg struct{ l *seglock.Lock }
 
 // NewPnovaRW returns the segment-based lock ("pnova-rw") covering
-// [0, extent) with nsegs segments.
+// [0, extent) with nsegs segments. The segment table is statically sized
+// (the design's limitation §2 calls out), so requests reaching past the
+// extent — open-ended truncates, appends beyond the covered range — are
+// clamped onto the last segment, where they conservatively serialize.
 func NewPnovaRW(extent uint64, nsegs int) Locker {
 	return seg{l: seglock.New(extent, nsegs)}
 }
 
 func (a seg) Name() string { return "pnova-rw" }
+
+// clamp maps [start, end) into the covered extent, folding any wholly
+// out-of-range request onto the extent's final byte.
+func (a seg) clamp(start, end uint64) (uint64, uint64) {
+	ext := a.l.Extent()
+	if end > ext {
+		end = ext
+	}
+	if start >= end {
+		start, end = ext-1, ext
+	}
+	return start, end
+}
+
 func (a seg) Acquire(start, end uint64, write bool) func() {
+	start, end = a.clamp(start, end)
 	var g seglock.Guard
 	if write {
 		g = a.l.Lock(start, end)

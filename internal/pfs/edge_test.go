@@ -1,0 +1,234 @@
+package pfs
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lockapi"
+)
+
+// TestReadAtSpansEOF pins the short-read contract the rangestore server
+// relies on: a read whose range straddles the size watermark returns
+// exactly the bytes below it plus io.EOF, at every block-boundary
+// alignment of the EOF.
+func TestReadAtSpansEOF(t *testing.T) {
+	for _, size := range []uint64{1, 100, BlockSize - 1, BlockSize, BlockSize + 1, 3 * BlockSize} {
+		fs := New(nil)
+		f, _ := fs.Create("f")
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i%251 + 1)
+		}
+		f.WriteAt(data, 0)
+		for _, off := range []uint64{0, size / 2, size - 1} {
+			want := size - off
+			buf := make([]byte, want+2*BlockSize)
+			n, err := f.ReadAt(buf, off)
+			if uint64(n) != want || err != io.EOF {
+				t.Fatalf("size=%d off=%d: ReadAt = %d, %v; want %d, io.EOF", size, off, n, err, want)
+			}
+			if !bytes.Equal(buf[:n], data[off:]) {
+				t.Fatalf("size=%d off=%d: short read returned wrong bytes", size, off)
+			}
+		}
+		// Exactly at EOF and past it: zero bytes + io.EOF.
+		for _, off := range []uint64{size, size + 1, size + BlockSize} {
+			if n, err := f.ReadAt(make([]byte, 8), off); n != 0 || err != io.EOF {
+				t.Fatalf("size=%d off=%d: ReadAt = %d, %v; want 0, io.EOF", size, off, n, err)
+			}
+		}
+	}
+}
+
+// TestTruncateThenReadAt: after a shrink, reads against the old extent
+// observe the new EOF, and reads straddling the new size return only the
+// surviving prefix — including when the cut lands mid-block.
+func TestTruncateThenReadAt(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("f")
+	data := bytes.Repeat([]byte{0x5A}, 2*BlockSize)
+	f.WriteAt(data, 0)
+
+	cut := uint64(BlockSize + 100) // mid-block shrink
+	f.Truncate(cut)
+	buf := make([]byte, 2*BlockSize)
+	n, err := f.ReadAt(buf, 0)
+	if uint64(n) != cut || err != io.EOF {
+		t.Fatalf("read after shrink = %d, %v; want %d, io.EOF", n, err, cut)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] != 0x5A {
+			t.Fatalf("surviving byte %d = %#x", i, buf[i])
+		}
+	}
+	// Reads entirely beyond the new size hit EOF even though blocks
+	// existed there before the truncate.
+	if n, err := f.ReadAt(make([]byte, 16), cut+1); n != 0 || err != io.EOF {
+		t.Fatalf("read past new EOF = %d, %v", n, err)
+	}
+	// Regrow across the cut: the reclaimed region reads as zeros, the
+	// prefix is intact.
+	f.Truncate(2 * BlockSize)
+	if n, err := f.ReadAt(buf, 0); n != 2*BlockSize || err != nil {
+		t.Fatalf("read after regrow = %d, %v", n, err)
+	}
+	for i := 0; i < 2*BlockSize; i++ {
+		want := byte(0)
+		if uint64(i) < cut {
+			want = 0x5A
+		}
+		if buf[i] != want {
+			t.Fatalf("byte %d after regrow = %#x, want %#x", i, buf[i], want)
+		}
+	}
+}
+
+// TestConcurrentAppendOrdering: appends racing from many goroutines
+// reserve disjoint, gapless ranges, and each writer's own appends land at
+// strictly increasing offsets (per-writer program order is preserved by
+// the atomic watermark reservation).
+func TestConcurrentAppendOrdering(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("log")
+	const (
+		writers = 8
+		perW    = 150
+		recSize = 48
+	)
+	offs := make([][]uint64, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := bytes.Repeat([]byte{byte(w + 1)}, recSize)
+			for i := 0; i < perW; i++ {
+				off, err := f.Append(rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				offs[w] = append(offs[w], off)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var all []uint64
+	for w := 0; w < writers; w++ {
+		for i := 1; i < len(offs[w]); i++ {
+			if offs[w][i] <= offs[w][i-1] {
+				t.Fatalf("writer %d: append %d at %d not after append %d at %d",
+					w, i, offs[w][i], i-1, offs[w][i-1])
+			}
+		}
+		all = append(all, offs[w]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, off := range all {
+		if off != uint64(i*recSize) {
+			t.Fatalf("reservation %d at %d: gap or overlap (want %d)", i, off, i*recSize)
+		}
+	}
+	// Every record is intact (no torn interleaving across the stream).
+	rec := make([]byte, recSize)
+	for w := 0; w < writers; w++ {
+		for _, off := range offs[w] {
+			if _, err := f.ReadAt(rec, off); err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range rec {
+				if b != byte(w+1) {
+					t.Fatalf("writer %d record at %d: byte %d = %d", w, off, i, b)
+				}
+			}
+		}
+	}
+}
+
+// TestStat covers the new metadata surface.
+func TestStat(t *testing.T) {
+	fs := New(nil)
+	f, _ := fs.Create("s")
+	if fi := f.Stat(); fi.Name != "s" || fi.Size != 0 || fi.Blocks != 0 {
+		t.Fatalf("empty Stat = %+v", fi)
+	}
+	f.WriteAt(make([]byte, BlockSize+1), 0)
+	fi, err := fs.Stat("s")
+	if err != nil || fi.Size != BlockSize+1 || fi.Blocks != 2 {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	if _, err := fs.Stat("missing"); err != ErrNotExist {
+		t.Fatalf("Stat missing = %v", err)
+	}
+}
+
+// TestOpWithForeignDomains: a factory building each lock in its own
+// private domain is legal; the FS must detect that its probe lock's Ops
+// don't apply to such files and fall back to the per-call path rather
+// than panicking in core.
+func TestOpWithForeignDomains(t *testing.T) {
+	fs := New(func() lockapi.Locker {
+		return lockapi.NewListRW(core.NewDomain(16))
+	})
+	f, _ := fs.Create("f")
+	op := fs.BeginOp()
+	defer op.End()
+	msg := []byte("foreign-domain fallback")
+	if n, err := f.WriteAtOp(op, msg, 0); n != len(msg) || err != nil {
+		t.Fatalf("WriteAtOp = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := f.ReadAtOp(op, got, 0); n != len(msg) || err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("ReadAtOp = %d, %v, %q", n, err, got)
+	}
+	f.TruncateOp(op, 4)
+	if _, err := f.AppendOp(op, msg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpThreadedOps drives every *Op method through a single leased
+// context, for a variant with an Op surface and one without (where the
+// zero-Op fallback must kick in).
+func TestOpThreadedOps(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		f    LockFactory
+	}{
+		{"list-rw", nil},
+		{"kernel-rw", func() lockapi.Locker { return lockapi.NewKernelRW() }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			fs := New(mk.f)
+			f, _ := fs.Create("f")
+			op := fs.BeginOp()
+			defer op.End()
+
+			msg := []byte("threaded through one op")
+			if n, err := f.WriteAtOp(op, msg, 10); n != len(msg) || err != nil {
+				t.Fatalf("WriteAtOp = %d, %v", n, err)
+			}
+			got := make([]byte, len(msg))
+			if n, err := f.ReadAtOp(op, got, 10); n != len(msg) || err != nil || !bytes.Equal(got, msg) {
+				t.Fatalf("ReadAtOp = %d, %v, %q", n, err, got)
+			}
+			off, err := f.AppendOp(op, []byte("x"))
+			if err != nil || off != 10+uint64(len(msg)) {
+				t.Fatalf("AppendOp = %d, %v", off, err)
+			}
+			f.TruncateOp(op, 12)
+			if f.Size() != 12 {
+				t.Fatalf("size after TruncateOp = %d", f.Size())
+			}
+			// The zero Op is always a valid fallback.
+			if n, err := f.ReadAtOp(Op{}, got[:2], 10); n != 2 || err != nil {
+				t.Fatalf("zero-Op ReadAtOp = %d, %v", n, err)
+			}
+		})
+	}
+}

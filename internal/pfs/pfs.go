@@ -52,6 +52,7 @@ type FS struct {
 	ns     rwsem.RWSem // namespace lock
 	files  map[string]*File
 	mkLock LockFactory
+	opSrc  lockapi.OpLocker // probe lock Ops are leased from; nil if unsupported
 	closed bool
 }
 
@@ -61,7 +62,45 @@ func New(mk LockFactory) *FS {
 	if mk == nil {
 		mk = DefaultLockFactory
 	}
-	return &FS{files: make(map[string]*File), mkLock: mk}
+	fs := &FS{files: make(map[string]*File), mkLock: mk}
+	// Probe whether the variant supports leased operation contexts. Ops
+	// are leased from this probe lock's domain; each file checks at
+	// creation time that its own lock shares that domain (stock factories
+	// do: nil-domain list locks share the process default domain) and
+	// falls back to the plain per-call path otherwise.
+	if ol, ok := mk().(lockapi.OpLocker); ok {
+		fs.opSrc = ol
+	}
+	return fs
+}
+
+// Op is a leased per-operation lock context threaded through the *Op
+// file methods: callers issuing many file operations per logical unit of
+// work (a server request batch, a tight benchmark loop) lease one Op and
+// pay the reclamation-slot lease once instead of per call. The zero Op
+// is valid and selects the plain per-call path, as does any Op on a file
+// whose lock variant has no Op surface — so callers can thread an Op
+// unconditionally.
+type Op struct {
+	ol lockapi.OpLocker
+	op lockapi.Op
+}
+
+// BeginOp leases an operation context shared by every file of this FS
+// whose lock supports it. The returned Op serves one goroutine at a time
+// and must be returned with End.
+func (fs *FS) BeginOp() Op {
+	if fs.opSrc == nil {
+		return Op{}
+	}
+	return Op{ol: fs.opSrc, op: fs.opSrc.BeginOp()}
+}
+
+// End returns the context to its domain. The zero Op's End is a no-op.
+func (op Op) End() {
+	if op.ol != nil {
+		op.ol.EndOp(op.op)
+	}
 }
 
 // Create adds an empty file, failing if the name exists.
@@ -74,7 +113,14 @@ func (fs *FS) Create(name string) (*File, error) {
 	if _, ok := fs.files[name]; ok {
 		return nil, ErrExist
 	}
-	f := newFile(name, fs.mkLock())
+	lk := fs.mkLock()
+	f := newFile(name, lk)
+	// The Op fast path is valid only when this file's lock leases from
+	// the same domain as the FS probe lock; otherwise AcquireOp would
+	// panic on the foreign context, so the file opts out up front.
+	if fs.opSrc != nil && lockapi.SameOpDomain(fs.opSrc, lk) {
+		f.opLk = lk.(lockapi.OpLocker)
+	}
 	fs.files[name] = f
 	return f, nil
 }
@@ -91,6 +137,15 @@ func (fs *FS) Open(name string) (*File, error) {
 		return nil, ErrNotExist
 	}
 	return f, nil
+}
+
+// Stat returns metadata for an existing file by name.
+func (fs *FS) Stat(name string) (FileInfo, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return f.Stat(), nil
 }
 
 // Remove deletes a file from the namespace. Ongoing operations on open
@@ -139,6 +194,7 @@ type blockShard struct {
 type File struct {
 	name   string
 	lk     lockapi.Locker
+	opLk   lockapi.OpLocker // non-nil iff lk accepts Ops leased by the owning FS
 	size   atomic.Uint64
 	shards [blockShards]blockShard
 }
@@ -199,16 +255,49 @@ func (f *File) growSize(n uint64) {
 	}
 }
 
+// rangeRel is a held range acquired through lockRange; release with
+// release(). It carries either a plain release closure or an Op-path
+// guard, so the Op-threaded file methods avoid per-call closures when the
+// lock variant supports leased contexts.
+type rangeRel struct {
+	rel func()
+	ol  lockapi.OpLocker
+	op  lockapi.Op
+	g   lockapi.Guard
+}
+
+func (r rangeRel) release() {
+	if r.rel != nil {
+		r.rel()
+		return
+	}
+	r.ol.ReleaseOp(r.op, r.g)
+}
+
+// lockRange acquires [start, end) on the file's lock, through op's leased
+// context when both the op and the lock support it.
+func (f *File) lockRange(op Op, start, end uint64, write bool) rangeRel {
+	if op.ol != nil && f.opLk != nil {
+		return rangeRel{ol: f.opLk, op: op.op, g: f.opLk.AcquireOp(op.op, start, end, write)}
+	}
+	return rangeRel{rel: f.lk.Acquire(start, end, write)}
+}
+
 // WriteAt writes p at offset off under an exclusive range lock, growing
 // the file as needed. It never fails for valid input; the returned count
 // is always len(p).
 func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	return f.WriteAtOp(Op{}, p, off)
+}
+
+// WriteAtOp is WriteAt threading a leased operation context.
+func (f *File) WriteAtOp(op Op, p []byte, off uint64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
 	end := off + uint64(len(p))
-	rel := f.lk.Acquire(off, end, true)
-	defer rel()
+	r := f.lockRange(op, off, end, true)
+	defer r.release()
 	f.writeLocked(p, off)
 	f.growSize(end)
 	return len(p), nil
@@ -228,12 +317,17 @@ func (f *File) writeLocked(p []byte, off uint64) {
 // beyond the current size return io.EOF with a short count; holes read as
 // zero bytes.
 func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	return f.ReadAtOp(Op{}, p, off)
+}
+
+// ReadAtOp is ReadAt threading a leased operation context.
+func (f *File) ReadAtOp(op Op, p []byte, off uint64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
 	end := off + uint64(len(p))
-	rel := f.lk.Acquire(off, end, false)
-	defer rel()
+	r := f.lockRange(op, off, end, false)
+	defer r.release()
 	size := f.size.Load()
 	var eof error
 	if end > size {
@@ -272,6 +366,11 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 // reserve disjoint ranges and proceed in parallel — exactly the
 // shared-file pattern pNOVA optimizes. Returns the offset written.
 func (f *File) Append(p []byte) (uint64, error) {
+	return f.AppendOp(Op{}, p)
+}
+
+// AppendOp is Append threading a leased operation context.
+func (f *File) AppendOp(op Op, p []byte) (uint64, error) {
 	n := uint64(len(p))
 	if n == 0 {
 		return f.size.Load(), nil
@@ -280,8 +379,8 @@ func (f *File) Append(p []byte) (uint64, error) {
 	// range; readers past the old size see zeros until the write lands,
 	// as with any sparse file.
 	off := f.size.Add(n) - n
-	rel := f.lk.Acquire(off, off+n, true)
-	defer rel()
+	r := f.lockRange(op, off, off+n, true)
+	defer r.release()
 	f.writeLocked(p, off)
 	return off, nil
 }
@@ -289,8 +388,13 @@ func (f *File) Append(p []byte) (uint64, error) {
 // Truncate shrinks or grows the file to size n, holding the exclusive
 // range [n, MaxEnd) so it cannot race with writes past the new end.
 func (f *File) Truncate(n uint64) {
-	rel := f.lk.Acquire(n, ^uint64(0), true)
-	defer rel()
+	f.TruncateOp(Op{}, n)
+}
+
+// TruncateOp is Truncate threading a leased operation context.
+func (f *File) TruncateOp(op Op, n uint64) {
+	r := f.lockRange(op, n, ^uint64(0), true)
+	defer r.release()
 	cur := f.size.Load()
 	if n < cur {
 		f.dropBlocksFrom(n)
@@ -306,6 +410,21 @@ func (f *File) Truncate(n uint64) {
 		return
 	}
 	f.growSize(n)
+}
+
+// FileInfo is a point-in-time snapshot of file metadata.
+type FileInfo struct {
+	Name   string
+	Size   uint64
+	Blocks int
+}
+
+// Stat returns the file's metadata without taking the range lock: size is
+// a single atomic watermark and the block count is advisory, so a Stat
+// concurrent with writes sees some consistent recent state, as with any
+// live file system.
+func (f *File) Stat() FileInfo {
+	return FileInfo{Name: f.name, Size: f.size.Load(), Blocks: f.Blocks()}
 }
 
 // Blocks reports how many blocks are resident (tests/stats).

@@ -1,0 +1,177 @@
+package rangestore
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lockapi"
+	"repro/internal/pfs"
+)
+
+// benchExtent is the file span the store benchmark touches: 64 stripes
+// of 16 KiB, matching the pfs shared-file benchmark so the two layers
+// can be diffed (the gap is protocol + server runtime cost).
+const (
+	benchStripe = 16384
+	benchExtent = 64 * benchStripe
+)
+
+// benchVariants are the end-to-end comparison set from the issue: the
+// paper's reader-writer list lock, the kernel tree lock, pNOVA's segment
+// lock and the range-oblivious semaphore baseline.
+var benchVariants = []struct {
+	name string
+	mk   pfs.LockFactory
+}{
+	{"list-rw", nil},
+	{"kernel-rw", func() lockapi.Locker { return lockapi.NewKernelRW() }},
+	{"pnova-rw", func() lockapi.Locker { return lockapi.NewPnovaRW(benchExtent, 256) }},
+	{"rwsem", func() lockapi.Locker { return lockapi.NewRWSem() }},
+}
+
+// BenchmarkStoreServer measures whole request round trips — encode,
+// transport (Pipe), server batch loop, range lock, block copy — per
+// lock variant, under the pNOVA-style shared-file mix: 50% writes into a
+// per-worker stripe, 50% reads at random offsets.
+func BenchmarkStoreServer(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			srv := NewServer(pfs.New(v.mk))
+			defer srv.Close()
+			setup := pipeClient(b, srv)
+			h, err := setup.Open("bench", true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-extend so readers do not spend the run at EOF.
+			if _, err := setup.WriteAt(h, make([]byte, benchStripe), benchExtent-benchStripe); err != nil {
+				b.Fatal(err)
+			}
+
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := int(tid.Add(1)) - 1
+				cl := pipeClient(b, srv)
+				h, err := cl.Open("bench", true)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rng := rand.New(rand.NewSource(int64(me)*2654435761 + 1))
+				buf := make([]byte, 1024)
+				base := uint64(me%64) * benchStripe
+				for pb.Next() {
+					if rng.Intn(100) < 50 {
+						_, err = cl.WriteAt(h, buf, base+uint64(rng.Intn(benchStripe-1024)))
+					} else {
+						_, err = cl.ReadAt(h, buf, uint64(rng.Intn(benchExtent-1024)))
+					}
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreServerPipelined is the same mix driven at pipeline depth
+// 16: the server's batch loop serves each burst under one leased Op, so
+// this isolates what request batching buys over lockstep round trips.
+func BenchmarkStoreServerPipelined(b *testing.B) {
+	const depth = 16
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			srv := NewServer(pfs.New(v.mk))
+			defer srv.Close()
+			setup := pipeClient(b, srv)
+			h, err := setup.Open("bench", true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := setup.WriteAt(h, make([]byte, benchStripe), benchExtent-benchStripe); err != nil {
+				b.Fatal(err)
+			}
+
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := int(tid.Add(1)) - 1
+				cl := pipeClient(b, srv)
+				h, err := cl.Open("bench", true)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rng := rand.New(rand.NewSource(int64(me)*2654435761 + 1))
+				buf := make([]byte, 1024)
+				base := uint64(me%64) * benchStripe
+				var resp Response
+				inflight := 0
+				for pb.Next() {
+					req := Request{Op: OpWrite, Handle: h, Off: base + uint64(rng.Intn(benchStripe-1024)), Data: buf}
+					if rng.Intn(100) >= 50 {
+						req = Request{Op: OpRead, Handle: h, Off: uint64(rng.Intn(benchExtent - 1024)), Length: 1024}
+					}
+					if _, err := cl.Send(&req); err != nil {
+						b.Error(err)
+						return
+					}
+					inflight++
+					if inflight == depth {
+						if err := cl.Flush(); err != nil {
+							b.Error(err)
+							return
+						}
+						for ; inflight > 0; inflight-- {
+							if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+								b.Errorf("recv: %v / %v", err, resp.Err())
+								return
+							}
+						}
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for ; inflight > 0; inflight-- {
+					if err := cl.Recv(&resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreAppendLog: concurrent appenders sharing one log file,
+// the pattern where the list lock's disjoint tail reservations shine.
+func BenchmarkStoreAppendLog(b *testing.B) {
+	for _, v := range benchVariants {
+		b.Run(v.name, func(b *testing.B) {
+			srv := NewServer(pfs.New(v.mk))
+			defer srv.Close()
+			rec := make([]byte, 128)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				cl := pipeClient(b, srv)
+				h, err := cl.Open("log", true)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for pb.Next() {
+					if _, err := cl.Append(h, rec); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

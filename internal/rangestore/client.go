@@ -1,0 +1,157 @@
+package rangestore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client speaks the rangestore protocol over one connection. A Client
+// serves one goroutine at a time; concurrent load comes from many
+// clients (the load generator opens one per worker).
+//
+// The synchronous methods (Open, ReadAt, ...) issue one request and wait
+// for its response. The Send/Flush/Recv triple exposes the pipelined
+// surface: responses arrive in request order, so callers keep any number
+// of requests in flight and match them FIFO.
+type Client struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	seq    uint32
+	reqBuf []byte
+	frame  []byte
+	resp   Response // scratch for synchronous calls
+}
+
+// NewClient wraps an established connection (TCP, net.Pipe, ...).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Dial connects to a rangestore server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send encodes req into the connection buffer, assigning and returning
+// its pipelining sequence number. Call Flush before waiting on Recv.
+func (c *Client) Send(req *Request) (uint32, error) {
+	req.Seq = c.seq
+	c.seq++
+	buf, err := AppendRequest(c.reqBuf[:0], req)
+	if err != nil {
+		return 0, err
+	}
+	c.reqBuf = buf[:0]
+	_, err = c.bw.Write(buf)
+	return req.Seq, err
+}
+
+// Flush pushes buffered requests to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv reads the next response in pipeline order. resp.Data and resp.Msg
+// alias an internal buffer valid until the next Recv.
+func (c *Client) Recv(resp *Response) error {
+	body, err := ReadFrame(c.br, c.frame)
+	if err != nil {
+		return err
+	}
+	c.frame = body[:0]
+	return ParseResponse(body, resp)
+}
+
+// do is the synchronous round trip behind the convenience methods.
+func (c *Client) do(req *Request) (*Response, error) {
+	seq, err := c.Send(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	if err := c.Recv(&c.resp); err != nil {
+		return nil, err
+	}
+	if c.resp.Seq != seq {
+		return nil, fmt.Errorf("rangestore: response seq %d for request %d", c.resp.Seq, seq)
+	}
+	return &c.resp, c.resp.Err()
+}
+
+// Open returns a handle for name; with create, the file is created if
+// missing (open-or-create).
+func (c *Client) Open(name string, create bool) (uint32, error) {
+	var flags uint8
+	if create {
+		flags |= OpenCreate
+	}
+	resp, err := c.do(&Request{Op: OpOpen, Name: name, Flags: flags})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Handle, nil
+}
+
+// ReadAt fills p from offset off of handle h. A read spanning EOF
+// returns the short count and io.EOF, mirroring pfs semantics.
+func (c *Client) ReadAt(h uint32, p []byte, off uint64) (int, error) {
+	if len(p) > MaxData {
+		return 0, ErrTooBig
+	}
+	resp, err := c.do(&Request{Op: OpRead, Handle: h, Off: off, Length: uint32(len(p))})
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, resp.Data)
+	if resp.EOF {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes p at offset off of handle h.
+func (c *Client) WriteAt(h uint32, p []byte, off uint64) (int, error) {
+	resp, err := c.do(&Request{Op: OpWrite, Handle: h, Off: off, Data: p})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// Append appends p to handle h, returning the offset it landed at.
+func (c *Client) Append(h uint32, p []byte) (uint64, error) {
+	resp, err := c.do(&Request{Op: OpAppend, Handle: h, Data: p})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Off, nil
+}
+
+// Truncate sets handle h's size to n.
+func (c *Client) Truncate(h uint32, n uint64) error {
+	_, err := c.do(&Request{Op: OpTruncate, Handle: h, Size: n})
+	return err
+}
+
+// Stat returns handle h's current size and resident block count.
+func (c *Client) Stat(h uint32) (size uint64, blocks uint32, err error) {
+	resp, err := c.do(&Request{Op: OpStat, Handle: h})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Size, resp.Blocks, nil
+}

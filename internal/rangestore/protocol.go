@@ -1,0 +1,390 @@
+// Package rangestore is a concurrent network byte-range store: a server
+// exposing one pfs file system over a compact length-prefixed binary
+// protocol, and a client speaking it. It is the first component in this
+// repository where the paper's range locks are exercised by request
+// traffic instead of a benchmark loop (§8 names parallel file I/O as the
+// natural next application).
+//
+// Wire format — every frame is a 32-bit little-endian body length
+// followed by the body:
+//
+//	request  = op:u8 seq:u32 <op-specific>
+//	response = op:u8 seq:u32 status:u8 <op-specific | error message>
+//
+// Op-specific request payloads:
+//
+//	OPEN      flags:u8 name:bytes
+//	READ      handle:u32 off:u64 length:u32
+//	WRITE     handle:u32 off:u64 data:bytes
+//	APPEND    handle:u32 data:bytes
+//	TRUNCATE  handle:u32 size:u64
+//	STAT      handle:u32
+//
+// Op-specific response payloads (status == StatusOK):
+//
+//	OPEN      handle:u32
+//	READ      eof:u8 data:bytes
+//	WRITE     n:u32
+//	APPEND    off:u64
+//	TRUNCATE  (empty)
+//	STAT      size:u64 blocks:u32
+//
+// seq is a client-chosen pipelining identifier echoed back verbatim; the
+// server answers requests of one connection in arrival order, so clients
+// may keep any number of requests in flight and match responses FIFO.
+package rangestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxData bounds READ lengths and WRITE/APPEND payloads.
+const MaxData = 1 << 20
+
+// MaxOffset bounds request offsets and truncate sizes. Far beyond any
+// realistic file, it exists so off+length arithmetic can never wrap
+// uint64 anywhere downstream (the lock layer panics on inverted ranges,
+// and a panic must not be remotely reachable).
+const MaxOffset = 1 << 62
+
+// maxFrame bounds a whole frame body; the slack over MaxData covers the
+// largest fixed header.
+const maxFrame = MaxData + 64
+
+// OpCode identifies a request type.
+type OpCode uint8
+
+// The protocol operations.
+const (
+	OpOpen OpCode = iota + 1
+	OpRead
+	OpWrite
+	OpAppend
+	OpTruncate
+	OpStat
+	numOps = int(OpStat)
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpOpen:
+		return "OPEN"
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpAppend:
+		return "APPEND"
+	case OpTruncate:
+		return "TRUNCATE"
+	case OpStat:
+		return "STAT"
+	default:
+		return fmt.Sprintf("OpCode(%d)", uint8(o))
+	}
+}
+
+// OpenCreate makes OPEN create the file when it does not exist (open
+// succeeds either way: open-or-create).
+const OpenCreate uint8 = 1 << 0
+
+// Status is the response outcome.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK Status = iota
+	StatusNotExist
+	StatusExist
+	StatusClosed
+	StatusBadHandle
+	StatusBadRequest
+	StatusTooBig
+	StatusError // generic failure; message carried in the response
+)
+
+// Errors a client surfaces for non-OK statuses.
+var (
+	ErrNotExist   = errors.New("rangestore: file does not exist")
+	ErrExist      = errors.New("rangestore: file already exists")
+	ErrClosed     = errors.New("rangestore: store closed")
+	ErrBadHandle  = errors.New("rangestore: invalid file handle")
+	ErrBadRequest = errors.New("rangestore: malformed request")
+	ErrTooBig     = errors.New("rangestore: payload exceeds MaxData")
+)
+
+// Err maps a status to its sentinel error (nil for StatusOK); msg is
+// attached to generic failures.
+func (s Status) Err(msg string) error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusNotExist:
+		return ErrNotExist
+	case StatusExist:
+		return ErrExist
+	case StatusClosed:
+		return ErrClosed
+	case StatusBadHandle:
+		return ErrBadHandle
+	case StatusBadRequest:
+		return ErrBadRequest
+	case StatusTooBig:
+		return ErrTooBig
+	default:
+		return fmt.Errorf("rangestore: remote error: %s", msg)
+	}
+}
+
+// Request is one decoded client request. Data and Name alias the decode
+// buffer and are valid until the next decode into the same buffer.
+type Request struct {
+	Op     OpCode
+	Seq    uint32
+	Handle uint32 // all ops but OPEN
+	Off    uint64 // READ, WRITE
+	Length uint32 // READ
+	Size   uint64 // TRUNCATE
+	Flags  uint8  // OPEN
+	Name   string // OPEN
+	Data   []byte // WRITE, APPEND
+}
+
+// Response is one decoded server response. Data and Msg alias the decode
+// buffer and are valid until the next decode into the same buffer.
+type Response struct {
+	Op     OpCode
+	Seq    uint32
+	Status Status
+	Handle uint32 // OPEN
+	N      uint32 // WRITE
+	Off    uint64 // APPEND
+	Size   uint64 // STAT
+	Blocks uint32 // STAT
+	EOF    bool   // READ
+	Data   []byte // READ
+	Msg    string // non-OK statuses
+}
+
+// Err maps the response status to an error (nil when OK).
+func (r *Response) Err() error { return r.Status.Err(r.Msg) }
+
+// frameHeader reserves the length prefix; finishFrame backfills it.
+func frameHeader(dst []byte) ([]byte, int) {
+	start := len(dst)
+	return append(dst, 0, 0, 0, 0), start
+}
+
+func finishFrame(dst []byte, start int) ([]byte, error) {
+	body := len(dst) - start - 4
+	if body > maxFrame {
+		return dst[:start], ErrTooBig
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(body))
+	return dst, nil
+}
+
+// AppendRequest encodes r as one frame appended to dst.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	dst, start := frameHeader(dst)
+	dst = append(dst, byte(r.Op))
+	dst = binary.LittleEndian.AppendUint32(dst, r.Seq)
+	switch r.Op {
+	case OpOpen:
+		dst = append(dst, r.Flags)
+		dst = append(dst, r.Name...)
+	case OpRead:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Length)
+	case OpWrite:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+		dst = append(dst, r.Data...)
+	case OpAppend:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+		dst = append(dst, r.Data...)
+	case OpTruncate:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Size)
+	case OpStat:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+	default:
+		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendResponse encodes r as one frame appended to dst.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	dst, start := frameHeader(dst)
+	dst = append(dst, byte(r.Op))
+	dst = binary.LittleEndian.AppendUint32(dst, r.Seq)
+	dst = append(dst, byte(r.Status))
+	if r.Status != StatusOK {
+		dst = append(dst, r.Msg...)
+		return finishFrame(dst, start)
+	}
+	switch r.Op {
+	case OpOpen:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+	case OpRead:
+		eof := byte(0)
+		if r.EOF {
+			eof = 1
+		}
+		dst = append(dst, eof)
+		dst = append(dst, r.Data...)
+	case OpWrite:
+		dst = binary.LittleEndian.AppendUint32(dst, r.N)
+	case OpAppend:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+	case OpTruncate:
+	case OpStat:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Size)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Blocks)
+	default:
+		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
+	}
+	return finishFrame(dst, start)
+}
+
+// cursor is a bounds-checked little-endian reader over one frame body.
+type cursor struct {
+	b   []byte
+	err bool
+}
+
+func (c *cursor) u8() uint8 {
+	if len(c.b) < 1 {
+		c.err = true
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if len(c.b) < 4 {
+		c.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if len(c.b) < 8 {
+		c.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+// rest consumes the remainder of the body.
+func (c *cursor) rest() []byte {
+	v := c.b
+	c.b = nil
+	return v
+}
+
+// ParseRequest decodes one frame body into r. r.Name and r.Data alias
+// body.
+func ParseRequest(body []byte, r *Request) error {
+	c := cursor{b: body}
+	*r = Request{Op: OpCode(c.u8()), Seq: c.u32()}
+	switch r.Op {
+	case OpOpen:
+		r.Flags = c.u8()
+		r.Name = string(c.rest())
+	case OpRead:
+		r.Handle = c.u32()
+		r.Off = c.u64()
+		r.Length = c.u32()
+	case OpWrite:
+		r.Handle = c.u32()
+		r.Off = c.u64()
+		r.Data = c.rest()
+	case OpAppend:
+		r.Handle = c.u32()
+		r.Data = c.rest()
+	case OpTruncate:
+		r.Handle = c.u32()
+		r.Size = c.u64()
+	case OpStat:
+		r.Handle = c.u32()
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrBadRequest, uint8(r.Op))
+	}
+	if c.err {
+		return fmt.Errorf("%w: truncated %s frame", ErrBadRequest, r.Op)
+	}
+	return nil
+}
+
+// ParseResponse decodes one frame body into r. r.Data and r.Msg alias
+// body.
+func ParseResponse(body []byte, r *Response) error {
+	c := cursor{b: body}
+	*r = Response{Op: OpCode(c.u8()), Seq: c.u32(), Status: Status(c.u8())}
+	if c.err {
+		return fmt.Errorf("%w: truncated response header", ErrBadRequest)
+	}
+	if r.Status != StatusOK {
+		r.Msg = string(c.rest())
+		return nil
+	}
+	switch r.Op {
+	case OpOpen:
+		r.Handle = c.u32()
+	case OpRead:
+		r.EOF = c.u8() != 0
+		r.Data = c.rest()
+	case OpWrite:
+		r.N = c.u32()
+	case OpAppend:
+		r.Off = c.u64()
+	case OpTruncate:
+	case OpStat:
+		r.Size = c.u64()
+		r.Blocks = c.u32()
+	default:
+		return fmt.Errorf("%w: unknown op %d in response", ErrBadRequest, uint8(r.Op))
+	}
+	if c.err {
+		return fmt.Errorf("%w: truncated %s response", ErrBadRequest, r.Op)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame body from r, reusing buf when
+// it has capacity. It returns the body slice (valid until the next call
+// with the same buf).
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooBig, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

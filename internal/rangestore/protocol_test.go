@@ -1,0 +1,121 @@
+package rangestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpOpen, Flags: OpenCreate, Name: "data/alpha"},
+		{Op: OpOpen, Name: ""},
+		{Op: OpRead, Seq: 7, Handle: 3, Off: 1 << 40, Length: 4096},
+		{Op: OpWrite, Seq: 8, Handle: 0, Off: 12345, Data: []byte("payload")},
+		{Op: OpAppend, Seq: 9, Handle: 2, Data: bytes.Repeat([]byte{0xEE}, 100)},
+		{Op: OpTruncate, Seq: 10, Handle: 1, Size: 777},
+		{Op: OpStat, Seq: 11, Handle: 4},
+	}
+	var buf []byte
+	for i := range reqs {
+		var err error
+		buf, err = AppendRequest(buf, &reqs[i])
+		if err != nil {
+			t.Fatalf("encode %v: %v", reqs[i].Op, err)
+		}
+	}
+	br := bytes.NewReader(buf)
+	for i := range reqs {
+		body, err := ReadFrame(br, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var got Request
+		if err := ParseRequest(body, &got); err != nil {
+			t.Fatalf("parse %d: %v", i, err)
+		}
+		want := reqs[i]
+		if got.Op != want.Op || got.Seq != want.Seq || got.Handle != want.Handle ||
+			got.Off != want.Off || got.Length != want.Length || got.Size != want.Size ||
+			got.Flags != want.Flags || got.Name != want.Name || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("request %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Op: OpOpen, Seq: 1, Handle: 9},
+		{Op: OpRead, Seq: 2, EOF: true, Data: []byte("short tail")},
+		{Op: OpRead, Seq: 3, Data: nil},
+		{Op: OpWrite, Seq: 4, N: 512},
+		{Op: OpAppend, Seq: 5, Off: 1 << 33},
+		{Op: OpTruncate, Seq: 6},
+		{Op: OpStat, Seq: 7, Size: 4096, Blocks: 2},
+		{Op: OpOpen, Seq: 8, Status: StatusNotExist},
+		{Op: OpWrite, Seq: 9, Status: StatusError, Msg: "disk on fire"},
+	}
+	var buf []byte
+	for i := range resps {
+		var err error
+		buf, err = AppendResponse(buf, &resps[i])
+		if err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	br := bytes.NewReader(buf)
+	for i := range resps {
+		body, err := ReadFrame(br, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var got Response
+		if err := ParseResponse(body, &got); err != nil {
+			t.Fatalf("parse %d: %v", i, err)
+		}
+		want := resps[i]
+		if got.Op != want.Op || got.Seq != want.Seq || got.Status != want.Status ||
+			got.Handle != want.Handle || got.N != want.N || got.Off != want.Off ||
+			got.Size != want.Size || got.Blocks != want.Blocks || got.EOF != want.EOF ||
+			got.Msg != want.Msg || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("response %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestParseRejectsTruncatedFrames(t *testing.T) {
+	full, err := AppendRequest(nil, &Request{Op: OpRead, Handle: 1, Off: 2, Length: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := full[4:] // strip length prefix
+	for cut := 0; cut < len(body); cut++ {
+		var r Request
+		if err := ParseRequest(body[:cut], &r); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	var r Request
+	if err := ParseRequest([]byte{99, 0, 0, 0, 0}, &r); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+func TestStatusErrMapping(t *testing.T) {
+	cases := map[Status]error{
+		StatusOK:         nil,
+		StatusNotExist:   ErrNotExist,
+		StatusExist:      ErrExist,
+		StatusClosed:     ErrClosed,
+		StatusBadHandle:  ErrBadHandle,
+		StatusBadRequest: ErrBadRequest,
+		StatusTooBig:     ErrTooBig,
+	}
+	for s, want := range cases {
+		if got := s.Err("x"); got != want {
+			t.Fatalf("status %d: got %v want %v", s, got, want)
+		}
+	}
+	if err := StatusError.Err("boom"); err == nil || err.Error() != "rangestore: remote error: boom" {
+		t.Fatalf("generic error = %v", StatusError.Err("boom"))
+	}
+}

@@ -1,0 +1,360 @@
+package rangestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pfs"
+)
+
+// maxHandles bounds the per-connection handle table.
+const maxHandles = 1 << 16
+
+// defaultMaxBatch is how many pipelined requests one connection serves
+// under a single leased Op before releasing it and flushing responses.
+const defaultMaxBatch = 64
+
+// Server serves one pfs file system over the rangestore protocol. Each
+// connection runs a pipelined request loop: the first request of a batch
+// is read blocking, then every further request already sitting in the
+// connection buffer (up to MaxBatch) is served under the same leased
+// pfs.Op — the request-traffic analogue of the paper's per-thread lock
+// contexts: one reclamation-slot lease pays for the whole batch.
+type Server struct {
+	fs       *pfs.FS
+	maxBatch int
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	listeners map[net.Listener]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	ops [numOps]atomic.Int64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxBatch sets how many pipelined requests are served per Op lease
+// (minimum 1).
+func WithMaxBatch(n int) ServerOption {
+	return func(s *Server) {
+		if n >= 1 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// NewServer wraps fs. The fs's lock variant decides the range-locking
+// behaviour every request experiences.
+func NewServer(fs *pfs.FS, opts ...ServerOption) *Server {
+	s := &Server{
+		fs:        fs,
+		maxBatch:  defaultMaxBatch,
+		conns:     make(map[net.Conn]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Counts returns the number of requests served per operation.
+func (s *Server) Counts() map[string]int64 {
+	out := make(map[string]int64, numOps)
+	for i := range s.ops {
+		if n := s.ops[i].Load(); n > 0 {
+			out[OpCode(i+1).String()] = n
+		}
+	}
+	return out
+}
+
+// Serve accepts connections from l until it is closed, serving each on
+// its own goroutine. It returns nil after Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		l.Close()
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close stops serving: registered connections are closed and in-flight
+// handlers are waited out. Connections served after Close are refused.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// register admits a connection and joins it to the shutdown WaitGroup;
+// the wg.Add happens under the same lock Close takes before wg.Wait, so
+// every admitted handler — Serve-spawned or direct ServeConn — is waited
+// out.
+func (s *Server) register(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) unregister(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// conn is the per-connection state.
+type conn struct {
+	srv     *Server
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	files   []*pfs.File
+	frame   []byte // request decode buffer
+	out     []byte // response encode buffer
+	readBuf []byte // READ payload buffer
+}
+
+// ServeConn serves one established connection until EOF, a protocol
+// error, or Server.Close. It is exported so in-process transports can
+// plug a client straight into the server, as the benchmarks do — use
+// this package's Pipe() for that, not net.Pipe, which is unbuffered and
+// deadlocks a pipelining client against the batching server.
+func (s *Server) ServeConn(c net.Conn) error {
+	if !s.register(c) {
+		c.Close()
+		return ErrClosed
+	}
+	defer s.unregister(c)
+	defer c.Close()
+
+	cn := &conn{
+		srv: s,
+		br:  bufio.NewReaderSize(c, 64<<10),
+		bw:  bufio.NewWriterSize(c, 64<<10),
+	}
+	for {
+		// Blocking read of the batch's first request.
+		body, err := ReadFrame(cn.br, cn.frame)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		cn.frame = body[:0]
+
+		op := s.fs.BeginOp()
+		err = cn.handle(body, op)
+		// Serve whatever is already buffered under the same Op lease, but
+		// never block for more input while holding it.
+		for n := 1; err == nil && n < s.maxBatch; n++ {
+			body, ok, berr := cn.buffered()
+			if berr != nil {
+				err = berr
+				break
+			}
+			if !ok {
+				break
+			}
+			err = cn.handle(body, op)
+		}
+		op.End()
+		// Flush even on a fatal batch error: requests already served get
+		// their responses before the connection dies.
+		if ferr := cn.bw.Flush(); err == nil {
+			err = ferr
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// buffered returns the next frame body only if it can be read without
+// blocking (header and body already sit in the connection buffer). A
+// non-nil error is fatal to the connection: once any frame is malformed
+// the stream can no longer be trusted, so it must not be silently left
+// for the next blocking read to misparse.
+func (cn *conn) buffered() ([]byte, bool, error) {
+	if cn.br.Buffered() < 4 {
+		return nil, false, nil
+	}
+	hdr, err := cn.br.Peek(4)
+	if err != nil {
+		return nil, false, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil, false, fmt.Errorf("%w: frame of %d bytes", ErrTooBig, n)
+	}
+	if cn.br.Buffered() < 4+int(n) {
+		return nil, false, nil
+	}
+	body, err := ReadFrame(cn.br, cn.frame)
+	if err != nil {
+		return nil, false, err
+	}
+	cn.frame = body[:0]
+	return body, true, nil
+}
+
+// handle decodes, executes and answers one request. A decode failure is
+// fatal to the connection (framing can no longer be trusted); execution
+// failures are answered with an error response.
+func (cn *conn) handle(body []byte, op pfs.Op) error {
+	var req Request
+	if err := ParseRequest(body, &req); err != nil {
+		return err
+	}
+	cn.srv.ops[int(req.Op)-1].Add(1)
+	resp := Response{Op: req.Op, Seq: req.Seq}
+	cn.exec(&req, op, &resp)
+	out, err := AppendResponse(cn.out[:0], &resp)
+	if err != nil {
+		return err
+	}
+	cn.out = out[:0]
+	_, err = cn.bw.Write(out)
+	return err
+}
+
+// exec runs one request against the file system, filling resp.
+func (cn *conn) exec(req *Request, op pfs.Op, resp *Response) {
+	// OPEN is the only op without a handle.
+	if req.Op == OpOpen {
+		cn.execOpen(req, resp)
+		return
+	}
+	// Client-controlled offsets are capped well below the uint64 wrap
+	// point: pfs computes off+len and the lock layer panics on inverted
+	// ranges, so unchecked offsets would be a remote crash.
+	if req.Off > MaxOffset || req.Size > MaxOffset {
+		resp.Status = StatusBadRequest
+		return
+	}
+	if req.Handle >= uint32(len(cn.files)) {
+		resp.Status = StatusBadHandle
+		return
+	}
+	f := cn.files[req.Handle]
+	switch req.Op {
+	case OpRead:
+		if req.Length > MaxData {
+			resp.Status = StatusTooBig
+			return
+		}
+		if cap(cn.readBuf) < int(req.Length) {
+			cn.readBuf = make([]byte, req.Length)
+		}
+		buf := cn.readBuf[:req.Length]
+		n, err := f.ReadAtOp(op, buf, req.Off)
+		resp.EOF = err == io.EOF
+		resp.Data = buf[:n]
+	case OpWrite:
+		if len(req.Data) > MaxData {
+			resp.Status = StatusTooBig
+			return
+		}
+		n, _ := f.WriteAtOp(op, req.Data, req.Off)
+		resp.N = uint32(n)
+	case OpAppend:
+		if len(req.Data) > MaxData {
+			resp.Status = StatusTooBig
+			return
+		}
+		off, _ := f.AppendOp(op, req.Data)
+		resp.Off = off
+	case OpTruncate:
+		f.TruncateOp(op, req.Size)
+	case OpStat:
+		fi := f.Stat()
+		resp.Size = fi.Size
+		resp.Blocks = uint32(fi.Blocks)
+	default:
+		resp.Status = StatusBadRequest
+	}
+}
+
+func (cn *conn) execOpen(req *Request, resp *Response) {
+	if len(cn.files) >= maxHandles {
+		resp.Status = StatusError
+		resp.Msg = fmt.Sprintf("handle table full (%d)", maxHandles)
+		return
+	}
+	var f *pfs.File
+	var err error
+	if req.Flags&OpenCreate != 0 {
+		f, err = cn.srv.fs.Create(req.Name)
+		if errors.Is(err, pfs.ErrExist) {
+			f, err = cn.srv.fs.Open(req.Name)
+		}
+	} else {
+		f, err = cn.srv.fs.Open(req.Name)
+	}
+	if err != nil {
+		fillError(resp, err)
+		return
+	}
+	cn.files = append(cn.files, f)
+	resp.Handle = uint32(len(cn.files) - 1)
+}
+
+// fillError maps pfs errors onto wire statuses.
+func fillError(resp *Response, err error) {
+	switch {
+	case errors.Is(err, pfs.ErrNotExist):
+		resp.Status = StatusNotExist
+	case errors.Is(err, pfs.ErrExist):
+		resp.Status = StatusExist
+	case errors.Is(err, pfs.ErrClosed):
+		resp.Status = StatusClosed
+	default:
+		resp.Status = StatusError
+		resp.Msg = err.Error()
+	}
+}

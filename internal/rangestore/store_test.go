@@ -1,0 +1,338 @@
+package rangestore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lockapi"
+	"repro/internal/pfs"
+)
+
+// pipeClient plugs a fresh client straight into srv over the in-process
+// buffered pipe transport.
+func pipeClient(t testing.TB, srv *Server) *Client {
+	t.Helper()
+	c1, c2 := Pipe()
+	go srv.ServeConn(c2)
+	cl := NewClient(c1)
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func newTestServer(t testing.TB, mk pfs.LockFactory, opts ...ServerOption) *Server {
+	t.Helper()
+	srv := NewServer(pfs.New(mk), opts...)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	srv := newTestServer(t, nil)
+	cl := pipeClient(t, srv)
+
+	h, err := cl.Open("f", true)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	msg := []byte("hello over the wire")
+	if n, err := cl.WriteAt(h, msg, 100); n != len(msg) || err != nil {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := cl.ReadAt(h, got, 100); n != len(msg) || err != nil {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q want %q", got, msg)
+	}
+	// Short read + EOF across the end of file.
+	long := make([]byte, 2*len(msg))
+	n, err := cl.ReadAt(h, long, 100)
+	if n != len(msg) || err != io.EOF {
+		t.Fatalf("EOF-spanning read = %d, %v", n, err)
+	}
+	// Append lands at the watermark.
+	off, err := cl.Append(h, []byte("tail"))
+	if err != nil || off != 100+uint64(len(msg)) {
+		t.Fatalf("Append = %d, %v", off, err)
+	}
+	size, _, err := cl.Stat(h)
+	if err != nil || size != off+4 {
+		t.Fatalf("Stat = %d, %v", size, err)
+	}
+	if err := cl.Truncate(h, 10); err != nil {
+		t.Fatal(err)
+	}
+	if size, _, _ = cl.Stat(h); size != 10 {
+		t.Fatalf("size after truncate = %d", size)
+	}
+	// Reopen without create sees the same file; open-or-create is
+	// idempotent.
+	if _, err := cl.Open("f", false); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := cl.Open("f", true); err != nil {
+		t.Fatalf("open-or-create existing: %v", err)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	srv := newTestServer(t, nil)
+	cl := pipeClient(t, srv)
+
+	if _, err := cl.Open("missing", false); err != ErrNotExist {
+		t.Fatalf("Open missing = %v", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := cl.ReadAt(99, buf, 0); err != ErrBadHandle {
+		t.Fatalf("bad handle = %v", err)
+	}
+	// The connection survives error responses.
+	if _, err := cl.Open("f", true); err != nil {
+		t.Fatalf("Open after errors: %v", err)
+	}
+}
+
+// TestPipelinedBatch keeps many requests in flight on one connection and
+// checks responses come back in order with correct payloads.
+func TestPipelinedBatch(t *testing.T) {
+	srv := newTestServer(t, nil)
+	cl := pipeClient(t, srv)
+
+	h, err := cl.Open("p", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 32
+	seqs := make([]uint32, 0, depth)
+	for i := 0; i < depth; i++ {
+		seq, err := cl.Send(&Request{Op: OpAppend, Handle: h, Data: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	offs := map[uint64]bool{}
+	for i := 0; i < depth; i++ {
+		var resp Response
+		if err := cl.Recv(&resp); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.Seq != seqs[i] {
+			t.Fatalf("response %d out of order: seq %d want %d", i, resp.Seq, seqs[i])
+		}
+		if resp.Err() != nil {
+			t.Fatalf("append %d: %v", i, resp.Err())
+		}
+		if offs[resp.Off] {
+			t.Fatalf("duplicate append offset %d", resp.Off)
+		}
+		offs[resp.Off] = true
+	}
+	size, _, err := cl.Stat(h)
+	if err != nil || size != depth {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+	// Each appended byte is intact.
+	got := make([]byte, depth)
+	if _, err := cl.ReadAt(h, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[byte]bool{}
+	for _, b := range got {
+		if seen[b] {
+			t.Fatalf("byte %d appended twice", b)
+		}
+		seen[b] = true
+	}
+}
+
+// TestConcurrentClients drives disjoint stripes of one file from many
+// connections under each lock variant the benchmarks compare.
+func TestConcurrentClients(t *testing.T) {
+	variants := []struct {
+		name string
+		mk   pfs.LockFactory
+	}{
+		{"list-rw", nil},
+		{"kernel-rw", func() lockapi.Locker { return lockapi.NewKernelRW() }},
+		{"pnova-rw", func() lockapi.Locker { return lockapi.NewPnovaRW(1<<30, 1024) }},
+		{"rwsem", func() lockapi.Locker { return lockapi.NewRWSem() }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			srv := newTestServer(t, v.mk)
+			const (
+				workers = 6
+				stripe  = 4096
+				rounds  = 25
+			)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cl := pipeClient(t, srv)
+					h, err := cl.Open("shared", true)
+					if err != nil {
+						errs <- err
+						return
+					}
+					buf := make([]byte, stripe)
+					for i := range buf {
+						buf[i] = byte(w + 1)
+					}
+					for r := 0; r < rounds; r++ {
+						if _, err := cl.WriteAt(h, buf, uint64(w*stripe)); err != nil {
+							errs <- err
+							return
+						}
+						got := make([]byte, stripe)
+						if _, err := cl.ReadAt(h, got, uint64(w*stripe)); err != nil {
+							errs <- err
+							return
+						}
+						for i, b := range got {
+							if b != byte(w+1) {
+								t.Errorf("worker %d: stripe byte %d = %d", w, i, b)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestServeTCP exercises the real network path end to end.
+func TestServeTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	srv := newTestServer(t, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Open("tcp-file", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{7}, 3*pfs.BlockSize)
+	if _, err := cl.WriteAt(h, data, 11); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := cl.ReadAt(h, got, 11); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP round trip corrupted data")
+	}
+	cl.Close()
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if srv.Counts()["WRITE"] != 1 {
+		t.Fatalf("Counts = %v", srv.Counts())
+	}
+}
+
+// TestOffsetOverflowRejected: offsets near the uint64 wrap point must
+// come back as StatusBadRequest, not panic the server (the lock layer
+// panics on inverted ranges, so this is the remote-crash guard).
+func TestOffsetOverflowRejected(t *testing.T) {
+	srv := newTestServer(t, nil)
+	cl := pipeClient(t, srv)
+	h, err := cl.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.WriteAt(h, []byte("abcde"), ^uint64(0)-2); err != ErrBadRequest {
+		t.Fatalf("overflowing WriteAt = %v, want ErrBadRequest", err)
+	}
+	if _, err := cl.ReadAt(h, make([]byte, 8), ^uint64(0)-2); err != ErrBadRequest {
+		t.Fatalf("overflowing ReadAt = %v, want ErrBadRequest", err)
+	}
+	if err := cl.Truncate(h, ^uint64(0)); err != ErrBadRequest {
+		t.Fatalf("overflowing Truncate = %v, want ErrBadRequest", err)
+	}
+	if err := cl.Truncate(h, MaxOffset+1); err != ErrBadRequest {
+		t.Fatalf("Truncate beyond MaxOffset = %v, want ErrBadRequest", err)
+	}
+	// The connection and server survive and still serve valid traffic.
+	if _, err := cl.WriteAt(h, []byte("ok"), 0); err != nil {
+		t.Fatalf("write after rejected requests: %v", err)
+	}
+}
+
+// TestOversizedBufferedFrameKillsConn: a frame whose length field exceeds
+// the protocol maximum must terminate the connection even when it arrives
+// as the second request of a batch (already buffered) — consuming only
+// its header and continuing would desync the stream.
+func TestOversizedBufferedFrameKillsConn(t *testing.T) {
+	srv := newTestServer(t, nil)
+	c1, c2 := Pipe()
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeConn(c2) }()
+	defer c1.Close()
+
+	// One valid OPEN plus a garbage frame claiming 512 MiB, written
+	// back-to-back so the server sees both in one batch.
+	valid, err := AppendRequest(nil, &Request{Op: OpOpen, Flags: OpenCreate, Name: "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := []byte{0, 0, 0, 32, 0, 0, 0, 0, 0} // length 1<<29, then junk
+	if _, err := c1.Write(append(valid, huge...)); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(c1)
+	var resp Response
+	if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+		t.Fatalf("valid request before the bad frame failed: %v / %v", err, resp.Err())
+	}
+	if err := cl.Recv(&resp); err == nil {
+		t.Fatal("connection survived an oversized frame")
+	}
+	select {
+	case err := <-served:
+		if !errors.Is(err, ErrTooBig) {
+			t.Fatalf("ServeConn = %v, want ErrTooBig", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeConn did not terminate on the oversized frame")
+	}
+}
+
+// TestCloseRefusesNewConns: a closed server refuses fresh connections
+// and terminates registered ones.
+func TestCloseRefusesNewConns(t *testing.T) {
+	srv := NewServer(pfs.New(nil))
+	srv.Close()
+	c1, c2 := Pipe()
+	defer c1.Close()
+	if err := srv.ServeConn(c2); err != ErrClosed {
+		t.Fatalf("ServeConn after Close = %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package rangestore
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pipe returns an in-process, full-duplex connection pair for plugging a
+// Client straight into Server.ServeConn without a network stack — the
+// benchmark transport. Unlike net.Pipe it is buffered, modelling a TCP
+// socket's kernel buffers: writes complete without a rendezvous, so a
+// pipelining client and a batching server can both be mid-write without
+// deadlocking (with net.Pipe, two simultaneous writers that are not yet
+// reading stall forever).
+func Pipe() (net.Conn, net.Conn) {
+	ab := newPipeBuf()
+	ba := newPipeBuf()
+	return &pipeConn{r: ba, w: ab}, &pipeConn{r: ab, w: ba}
+}
+
+// pipeBuf is one direction: an unbounded FIFO of bytes with closed-state
+// tracking. Unbounded is safe here because the protocol's framing caps
+// outstanding data at (pipeline depth × maxFrame) per direction.
+type pipeBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+}
+
+func newPipeBuf() *pipeBuf {
+	b := &pipeBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pipeBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *pipeBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 {
+		if b.closed {
+			return 0, io.EOF
+		}
+		b.cond.Wait()
+	}
+	n := copy(p, b.data)
+	rest := len(b.data) - n
+	copy(b.data, b.data[n:])
+	b.data = b.data[:rest]
+	return n, nil
+}
+
+func (b *pipeBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// pipeConn glues a read buffer and a write buffer into a net.Conn.
+// Deadlines are accepted and ignored; nothing in this package sets them.
+type pipeConn struct {
+	r, w      *pipeBuf
+	closeOnce sync.Once
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.r.read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.w.close()
+		c.r.close()
+	})
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() net.Addr              { return pipeAddr{} }
+func (c *pipeConn) RemoteAddr() net.Addr             { return pipeAddr{} }
+func (c *pipeConn) SetDeadline(time.Time) error      { return nil }
+func (c *pipeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *pipeConn) SetWriteDeadline(time.Time) error { return nil }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "rangestore-pipe" }

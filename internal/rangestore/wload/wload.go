@@ -1,0 +1,523 @@
+// Package wload generates rangestore request traffic and measures it the
+// way servers are judged: per-operation-class latency distributions
+// (p50/p90/p99/max), not just aggregate throughput. Workers are
+// closed-loop clients — each keeps a fixed number of requests in flight
+// on its own connection — with zipf-skewed file and offset hotness so a
+// minority of files and blocks absorb most of the traffic, as in real
+// stores.
+package wload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rangestore"
+	"repro/internal/stats"
+)
+
+// Class is an operation class, the unit of latency accounting.
+type Class int
+
+// The operation classes.
+const (
+	ClassRead Class = iota
+	ClassWrite
+	ClassAppend
+	ClassTruncate
+	ClassStat
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassRead:
+		return "read"
+	case ClassWrite:
+		return "write"
+	case ClassAppend:
+		return "append"
+	case ClassTruncate:
+		return "truncate"
+	case ClassStat:
+		return "stat"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Mix is a weighted blend of operation classes.
+type Mix struct {
+	Name    string
+	Weights [numClasses]int
+	// MaxScanBlocks > 1 makes reads span up to that many IO-size blocks
+	// (scan traffic); 0 and 1 mean single-block reads.
+	MaxScanBlocks int
+}
+
+// The canonical mixes. Weights are per-mille-agnostic — only ratios
+// matter.
+var Mixes = []Mix{
+	{Name: "read-heavy", Weights: [numClasses]int{90, 8, 0, 0, 2}},
+	{Name: "write-heavy", Weights: [numClasses]int{24, 70, 0, 4, 2}},
+	{Name: "append-log", Weights: [numClasses]int{10, 0, 86, 2, 2}},
+	{Name: "mixed-scan", Weights: [numClasses]int{50, 25, 10, 5, 10}, MaxScanBlocks: 16},
+}
+
+// MixByName resolves one of the canonical mixes.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	names := make([]string, len(Mixes))
+	for i, m := range Mixes {
+		names[i] = m.Name
+	}
+	return Mix{}, fmt.Errorf("wload: unknown mix %q (have %s)", name, strings.Join(names, ", "))
+}
+
+func (m Mix) total() int {
+	t := 0
+	for _, w := range m.Weights {
+		t += w
+	}
+	return t
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Mix      Mix
+	Files    int           // files in play (default 16)
+	FileSize uint64        // pre-populated size per file (default 1 MiB)
+	IOSize   int           // bytes per read/write/append (default 4096)
+	Workers  int           // concurrent connections (default 4)
+	Pipeline int           // requests in flight per worker (default 1)
+	Ops      int64         // total operations; 0 = run for Duration
+	Duration time.Duration // wall-clock budget when Ops == 0 (default 2s)
+	ZipfFile float64       // zipf s for file choice; <= 1 means uniform
+	ZipfOff  float64       // zipf s for offset blocks; <= 1 means uniform
+	Seed     int64         // base RNG seed (default 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Files <= 0 {
+		c.Files = 16
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 1 << 20
+	}
+	if c.IOSize <= 0 {
+		c.IOSize = 4096
+	}
+	if c.IOSize > rangestore.MaxData {
+		c.IOSize = rangestore.MaxData
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.Ops == 0 && c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = Mixes[0]
+	}
+	return c
+}
+
+// classRec accumulates one class's latency and volume; the histogram is
+// the quantile source.
+type classRec struct {
+	ops   atomic.Int64
+	errs  atomic.Int64
+	bytes atomic.Int64
+	sumNs atomic.Int64
+	maxNs atomic.Int64
+	hist  *stats.Histogram
+}
+
+func (r *classRec) observe(d time.Duration, n int, failed bool) {
+	r.ops.Add(1)
+	r.bytes.Add(int64(n))
+	r.sumNs.Add(int64(d))
+	if failed {
+		r.errs.Add(1)
+	}
+	for {
+		cur := r.maxNs.Load()
+		if int64(d) <= cur || r.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	r.hist.Observe(d)
+}
+
+// ClassReport is the per-class slice of a Report. Latencies are log2-
+// bucket upper bounds from internal/stats histograms, except Max which
+// is exact.
+type ClassReport struct {
+	Class  string  `json:"class"`
+	Ops    int64   `json:"ops"`
+	Errors int64   `json:"errors"`
+	Bytes  int64   `json:"bytes"`
+	MeanNs int64   `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	OpsSec float64 `json:"ops_per_sec"`
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Mix       string        `json:"mix"`
+	Workers   int           `json:"workers"`
+	Pipeline  int           `json:"pipeline"`
+	Files     int           `json:"files"`
+	IOSize    int           `json:"io_size"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	TotalOps  int64         `json:"total_ops"`
+	TotalErrs int64         `json:"total_errors"`
+	OpsSec    float64       `json:"ops_per_sec"`
+	Classes   []ClassReport `json:"classes"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// WriteCSV writes one header plus one row per class.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "mix,class,ops,errors,bytes,ops_per_sec,mean_ns,p50_ns,p90_ns,p99_ns,max_ns"); err != nil {
+		return err
+	}
+	for _, c := range r.Classes {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.1f,%d,%d,%d,%d,%d\n",
+			r.Mix, c.Class, c.Ops, c.Errors, c.Bytes, c.OpsSec, c.MeanNs, c.P50Ns, c.P90Ns, c.P99Ns, c.MaxNs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders a human-readable latency table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mix=%s workers=%d pipeline=%d files=%d iosize=%d elapsed=%v\n",
+		r.Mix, r.Workers, r.Pipeline, r.Files, r.IOSize, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "total: %d ops (%0.f ops/s), %d errors\n", r.TotalOps, r.OpsSec, r.TotalErrs)
+	fmt.Fprintf(&b, "%-9s %10s %10s %9s %9s %9s %9s %9s\n",
+		"class", "ops", "ops/s", "mean", "p50", "p90", "p99", "max")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "%-9s %10d %10.0f %9v %9v %9v %9v %9v\n",
+			c.Class, c.Ops, c.OpsSec,
+			time.Duration(c.MeanNs).Round(time.Microsecond),
+			time.Duration(c.P50Ns), time.Duration(c.P90Ns),
+			time.Duration(c.P99Ns), time.Duration(c.MaxNs))
+	}
+	return b.String()
+}
+
+// Dialer opens one fresh connection to the store under test.
+type Dialer func() (*rangestore.Client, error)
+
+// picker turns a rand source into file/offset choices, zipf-skewed when
+// configured.
+type picker struct {
+	rng      *rand.Rand
+	fileZipf *rand.Zipf
+	offZipf  *rand.Zipf
+	files    int
+	blocks   uint64
+}
+
+func newPicker(cfg Config, seed int64) *picker {
+	rng := rand.New(rand.NewSource(seed))
+	p := &picker{rng: rng, files: cfg.Files, blocks: cfg.FileSize / uint64(cfg.IOSize)}
+	if p.blocks == 0 {
+		p.blocks = 1
+	}
+	if cfg.ZipfFile > 1 && cfg.Files > 1 {
+		p.fileZipf = rand.NewZipf(rng, cfg.ZipfFile, 1, uint64(cfg.Files-1))
+	}
+	if cfg.ZipfOff > 1 && p.blocks > 1 {
+		p.offZipf = rand.NewZipf(rng, cfg.ZipfOff, 1, p.blocks-1)
+	}
+	return p
+}
+
+func (p *picker) file() int {
+	if p.fileZipf != nil {
+		return int(p.fileZipf.Uint64())
+	}
+	return p.rng.Intn(p.files)
+}
+
+func (p *picker) offset(ioSize int) uint64 {
+	var blk uint64
+	if p.offZipf != nil {
+		blk = p.offZipf.Uint64()
+	} else {
+		blk = uint64(p.rng.Int63n(int64(p.blocks)))
+	}
+	return blk * uint64(ioSize)
+}
+
+// fileName names the i'th workload file.
+func fileName(i int) string { return fmt.Sprintf("wload-%04d", i) }
+
+// Run drives the configured workload against the store reached through
+// dial and reports per-class latency. The store is pre-populated with
+// cfg.Files sparse files of cfg.FileSize bytes.
+func Run(cfg Config, dial Dialer) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := populate(cfg, dial); err != nil {
+		return nil, err
+	}
+
+	recs := make([]*classRec, numClasses)
+	for i := range recs {
+		recs[i] = &classRec{hist: stats.NewHistogram()}
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(cfg.Ops) // <= 0 means duration-bound
+	deadline := time.Time{}
+	if cfg.Ops <= 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runWorker(cfg, dial, recs, &remaining, deadline, cfg.Seed+int64(w)*7919); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Mix:      cfg.Mix.Name,
+		Workers:  cfg.Workers,
+		Pipeline: cfg.Pipeline,
+		Files:    cfg.Files,
+		IOSize:   cfg.IOSize,
+		Elapsed:  elapsed,
+	}
+	secs := elapsed.Seconds()
+	for c := Class(0); c < numClasses; c++ {
+		r := recs[c]
+		ops := r.ops.Load()
+		if ops == 0 {
+			continue
+		}
+		cr := ClassReport{
+			Class:  c.String(),
+			Ops:    ops,
+			Errors: r.errs.Load(),
+			Bytes:  r.bytes.Load(),
+			MeanNs: r.sumNs.Load() / ops,
+			P50Ns:  int64(r.hist.Quantile(0.50)),
+			P90Ns:  int64(r.hist.Quantile(0.90)),
+			P99Ns:  int64(r.hist.Quantile(0.99)),
+			MaxNs:  r.maxNs.Load(),
+			OpsSec: float64(ops) / secs,
+		}
+		rep.TotalOps += ops
+		rep.TotalErrs += cr.Errors
+		rep.Classes = append(rep.Classes, cr)
+	}
+	rep.OpsSec = float64(rep.TotalOps) / secs
+	return rep, nil
+}
+
+// populate creates and sparsely extends the workload files.
+func populate(cfg Config, dial Dialer) error {
+	cl, err := dial()
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	one := []byte{0}
+	for i := 0; i < cfg.Files; i++ {
+		h, err := cl.Open(fileName(i), true)
+		if err != nil {
+			return fmt.Errorf("wload: populate %s: %w", fileName(i), err)
+		}
+		if size, _, err := cl.Stat(h); err != nil {
+			return err
+		} else if size < cfg.FileSize {
+			// One byte at the tail extends the watermark; holes read zero.
+			if _, err := cl.WriteAt(h, one, cfg.FileSize-1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// inflightOp tracks one pipelined request from send to response.
+type inflightOp struct {
+	class Class
+	t0    time.Time
+	bytes int
+}
+
+func runWorker(cfg Config, dial Dialer, recs []*classRec, remaining *atomic.Int64, deadline time.Time, seed int64) error {
+	cl, err := dial()
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	handles := make([]uint32, cfg.Files)
+	for i := range handles {
+		h, err := cl.Open(fileName(i), false)
+		if err != nil {
+			return err
+		}
+		handles[i] = h
+	}
+
+	pick := newPicker(cfg, seed)
+	payload := make([]byte, cfg.IOSize)
+	pick.rng.Read(payload)
+
+	// cum turns mix weights into a cumulative table for O(classes) picks.
+	var cum [numClasses]int
+	t := 0
+	for c := 0; c < int(numClasses); c++ {
+		t += cfg.Mix.Weights[c]
+		cum[c] = t
+	}
+	pickClass := func() Class {
+		n := pick.rng.Intn(t)
+		for c := 0; c < int(numClasses); c++ {
+			if n < cum[c] {
+				return Class(c)
+			}
+		}
+		return ClassRead
+	}
+
+	// budget: one token per op when op-bound; time check when
+	// duration-bound (polled cheaply every few ops).
+	opBound := cfg.Ops > 0
+	done := func(sent int64) bool {
+		if opBound {
+			return remaining.Add(-1) < 0
+		}
+		return sent%64 == 0 && time.Now().After(deadline)
+	}
+
+	queue := make([]inflightOp, 0, cfg.Pipeline)
+	var resp rangestore.Response
+
+	// recvOne pops the oldest in-flight request and records its latency.
+	recvOne := func() error {
+		if err := cl.Recv(&resp); err != nil {
+			return err
+		}
+		op := queue[0]
+		queue = queue[1:]
+		err := resp.Err()
+		// A read ending at EOF is service, not failure.
+		failed := err != nil
+		n := op.bytes
+		if resp.Op == rangestore.OpRead {
+			n = len(resp.Data)
+		}
+		recs[op.class].observe(time.Since(op.t0), n, failed)
+		return nil
+	}
+
+	sendOne := func() error {
+		class := pickClass()
+		h := handles[pick.file()]
+		req := rangestore.Request{Handle: h}
+		bytes := 0
+		switch class {
+		case ClassRead:
+			req.Op = rangestore.OpRead
+			req.Off = pick.offset(cfg.IOSize)
+			length := cfg.IOSize
+			if m := cfg.Mix.MaxScanBlocks; m > 1 {
+				length *= 1 + pick.rng.Intn(m)
+				if length > rangestore.MaxData {
+					length = rangestore.MaxData
+				}
+			}
+			req.Length = uint32(length)
+		case ClassWrite:
+			req.Op = rangestore.OpWrite
+			req.Off = pick.offset(cfg.IOSize)
+			req.Data = payload
+			bytes = len(payload)
+		case ClassAppend:
+			req.Op = rangestore.OpAppend
+			req.Data = payload
+			bytes = len(payload)
+		case ClassTruncate:
+			req.Op = rangestore.OpTruncate
+			req.Size = cfg.FileSize/2 + uint64(pick.rng.Int63n(int64(cfg.FileSize/2+1)))
+		case ClassStat:
+			req.Op = rangestore.OpStat
+		}
+		if _, err := cl.Send(&req); err != nil {
+			return err
+		}
+		queue = append(queue, inflightOp{class: class, t0: time.Now(), bytes: bytes})
+		return nil
+	}
+
+	var sent int64
+	for {
+		if done(sent) {
+			break
+		}
+		if err := sendOne(); err != nil {
+			return err
+		}
+		sent++
+		if len(queue) < cfg.Pipeline {
+			continue
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		if err := recvOne(); err != nil {
+			return err
+		}
+	}
+	// Drain.
+	if err := cl.Flush(); err != nil {
+		return err
+	}
+	for len(queue) > 0 {
+		if err := recvOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package wload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/rangestore"
+)
+
+// pipeDialer serves every dialed connection from one in-process server.
+func pipeDialer(t *testing.T, srv *rangestore.Server) Dialer {
+	t.Helper()
+	return func() (*rangestore.Client, error) {
+		c1, c2 := rangestore.Pipe()
+		go srv.ServeConn(c2)
+		return rangestore.NewClient(c1), nil
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, want := range []string{"read-heavy", "write-heavy", "append-log", "mixed-scan"} {
+		m, err := MixByName(want)
+		if err != nil || m.Name != want {
+			t.Fatalf("MixByName(%q) = %+v, %v", want, m, err)
+		}
+		if m.total() == 0 {
+			t.Fatalf("mix %q has zero weight", want)
+		}
+	}
+	if _, err := MixByName("nope"); err == nil || !strings.Contains(err.Error(), "read-heavy") {
+		t.Fatalf("unknown mix error = %v", err)
+	}
+}
+
+// TestRunAllMixes drives each canonical mix op-bounded through the pipe
+// transport and sanity-checks the report shape.
+func TestRunAllMixes(t *testing.T) {
+	for _, mix := range Mixes {
+		t.Run(mix.Name, func(t *testing.T) {
+			srv := rangestore.NewServer(pfs.New(nil))
+			defer srv.Close()
+			cfg := Config{
+				Mix:      mix,
+				Files:    4,
+				FileSize: 64 << 10,
+				IOSize:   1024,
+				Workers:  3,
+				Pipeline: 4,
+				Ops:      600,
+				ZipfFile: 1.2,
+				ZipfOff:  1.1,
+			}
+			rep, err := Run(cfg, pipeDialer(t, srv))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TotalOps != cfg.Ops {
+				t.Fatalf("TotalOps = %d, want %d", rep.TotalOps, cfg.Ops)
+			}
+			if rep.TotalErrs != 0 {
+				t.Fatalf("errors: %d\n%s", rep.TotalErrs, rep)
+			}
+			var gotOps int64
+			seen := map[string]bool{}
+			for _, c := range rep.Classes {
+				gotOps += c.Ops
+				seen[c.Class] = true
+				if c.Ops > 0 && (c.P50Ns == 0 || c.P99Ns < c.P50Ns || c.MeanNs <= 0) {
+					t.Fatalf("degenerate latency for %s: %+v", c.Class, c)
+				}
+			}
+			if gotOps != rep.TotalOps {
+				t.Fatalf("class ops %d != total %d", gotOps, rep.TotalOps)
+			}
+			// Every nonzero-weight class should appear in a 600-op run
+			// (smallest weight is 2/100).
+			for c := Class(0); c < numClasses; c++ {
+				if mix.Weights[c] > 0 && !seen[c.String()] {
+					t.Fatalf("mix %s: class %s missing from report", mix.Name, c)
+				}
+			}
+		})
+	}
+}
+
+func TestRunDurationBound(t *testing.T) {
+	srv := rangestore.NewServer(pfs.New(nil))
+	defer srv.Close()
+	cfg := Config{
+		Mix:      Mixes[0],
+		Files:    2,
+		FileSize: 32 << 10,
+		Workers:  2,
+		Duration: 100 * time.Millisecond,
+	}
+	start := time.Now()
+	rep, err := Run(cfg, pipeDialer(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no ops in duration-bound run")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("duration-bound run took %v", elapsed)
+	}
+}
+
+func TestReportOutputs(t *testing.T) {
+	srv := rangestore.NewServer(pfs.New(nil))
+	defer srv.Close()
+	rep, err := Run(Config{Mix: Mixes[3], Files: 2, FileSize: 16 << 10, Workers: 2, Ops: 200},
+		pipeDialer(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.TotalOps != rep.TotalOps || len(back.Classes) != len(rep.Classes) {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+	var csv bytes.Buffer
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(rep.Classes) {
+		t.Fatalf("CSV rows = %d, want %d\n%s", len(lines), 1+len(rep.Classes), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "mix,class,ops") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(rep.String(), "p99") {
+		t.Fatalf("text report missing p99 column:\n%s", rep)
+	}
+}
+
+// TestZipfSkew: with strong file skew, the hottest file must absorb more
+// traffic than an average one. Observable through per-file append growth.
+func TestZipfSkew(t *testing.T) {
+	fs := pfs.New(nil)
+	srv := rangestore.NewServer(fs)
+	defer srv.Close()
+	cfg := Config{
+		Mix:      Mix{Name: "append-only", Weights: [numClasses]int{0, 0, 100, 0, 0}},
+		Files:    8,
+		FileSize: 1, // appends start near zero
+		IOSize:   64,
+		Workers:  2,
+		Ops:      800,
+		ZipfFile: 2.0,
+	}
+	if _, err := Run(cfg, pipeDialer(t, srv)); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := fs.Stat(fileName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for i := 0; i < cfg.Files; i++ {
+		fi, err := fs.Stat(fileName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size
+	}
+	if hot.Size*uint64(cfg.Files) <= total {
+		t.Fatalf("zipf skew absent: hot file %d bytes of %d total across %d files",
+			hot.Size, total, cfg.Files)
+	}
+}
