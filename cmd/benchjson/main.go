@@ -12,6 +12,12 @@
 // Comparing the last two snapshots:
 //
 //	go run ./cmd/benchjson -diff
+//
+// CI regression gate — run the benchmarks fresh and fail (exit 1) if any
+// scenario matching -scenarios regressed more than -max-regress percent
+// against its most recent committed snapshot (nothing is appended):
+//
+//	go run ./cmd/benchjson -check -scenarios 'Fig3Disjoint' -benchtime 1000x
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -43,6 +50,7 @@ type Snapshot struct {
 	GoVersion  string   `json:"go_version"`
 	CPU        string   `json:"cpu,omitempty"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPUList    string   `json:"cpu_list,omitempty"` // -cpu values the run swept, if set
 	Benchtime  string   `json:"benchtime"`
 	Results    []Result `json:"results"`
 }
@@ -55,12 +63,16 @@ type File struct {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_rangelock.json", "output file (history is appended)")
-		bench     = flag.String("bench", `Fig3Disjoint/reads=[0-9]+/list-(ex|rw)$|Fig6Breakdown`, "benchmark regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "1s", "benchtime passed to go test")
-		label     = flag.String("label", "", "snapshot label (default: timestamp)")
-		pkg       = flag.String("pkg", "./", "package to benchmark")
-		diff      = flag.Bool("diff", false, "compare the last two snapshots in -out and exit")
+		out        = flag.String("out", "BENCH_rangelock.json", "output file (history is appended)")
+		bench      = flag.String("bench", `Fig3Disjoint/reads=[0-9]+/list-(ex|rw)$|Fig6Breakdown`, "benchmark regex passed to go test -bench")
+		benchtime  = flag.String("benchtime", "1s", "benchtime passed to go test")
+		cpu        = flag.String("cpu", "", "cpu list passed to go test -cpu (empty: GOMAXPROCS)")
+		label      = flag.String("label", "", "snapshot label (default: timestamp)")
+		pkg        = flag.String("pkg", "./", "package to benchmark")
+		diff       = flag.Bool("diff", false, "compare the last two snapshots in -out and exit")
+		check      = flag.Bool("check", false, "run fresh and fail on regression vs the committed -out (appends nothing)")
+		scenarios  = flag.String("scenarios", ".", "-check: regex of scenario names that gate")
+		maxRegress = flag.Float64("max-regress", 25, "-check: max tolerated ns/op regression, percent")
 	)
 	flag.Parse()
 
@@ -71,8 +83,15 @@ func main() {
 		}
 		return
 	}
+	if *check {
+		if err := runCheck(*out, *bench, *benchtime, *pkg, *cpu, *scenarios, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
-	snap, err := run(*bench, *benchtime, *pkg)
+	snap, err := run(*bench, *benchtime, *pkg, *cpu)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -104,14 +123,19 @@ func main() {
 }
 
 // run executes the benchmarks and parses the output into a snapshot.
-func run(bench, benchtime, pkg string) (Snapshot, error) {
+func run(bench, benchtime, pkg, cpu string) (Snapshot, error) {
 	snap := Snapshot{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUList:    cpu,
 		Benchtime:  benchtime,
 	}
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, pkg)
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime}
+	if cpu != "" {
+		args = append(args, "-cpu", cpu)
+	}
+	cmd := exec.Command("go", append(args, pkg)...)
 	cmd.Stderr = os.Stderr
 	outBuf := &bytes.Buffer{}
 	cmd.Stdout = outBuf
@@ -128,7 +152,11 @@ func run(bench, benchtime, pkg string) (Snapshot, error) {
 		case strings.HasPrefix(line, "cpu:"):
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseLine(line); ok {
+			// With a multi-value -cpu sweep the proc-count suffix is the
+			// only thing distinguishing the runs, so it stays in the name;
+			// single-proc runs strip it so names stay comparable across
+			// machines with different GOMAXPROCS.
+			if r, ok := parseLine(line, strings.Contains(cpu, ",")); ok {
 				snap.Results = append(snap.Results, r)
 			}
 		}
@@ -139,15 +167,17 @@ func run(bench, benchtime, pkg string) (Snapshot, error) {
 	return snap, nil
 }
 
-// parseLine parses one `BenchmarkX-N  iters  123 ns/op  4.5 unit ...` line.
-func parseLine(line string) (Result, bool) {
+// parseLine parses one `BenchmarkX-N  iters  123 ns/op  4.5 unit ...`
+// line, keeping the trailing -N proc suffix only when keepProcs is set
+// (multi-value -cpu sweeps, where it disambiguates).
+func parseLine(line string, keepProcs bool) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
 		return Result{}, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
 	// Strip the trailing -GOMAXPROCS suffix.
-	if i := strings.LastIndex(name, "-"); i > 0 {
+	if i := strings.LastIndex(name, "-"); i > 0 && !keepProcs {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
 		}
@@ -172,6 +202,82 @@ func parseLine(line string) (Result, bool) {
 		}
 	}
 	return r, r.NsPerOp != 0
+}
+
+// runCheck runs the benchmarks fresh and compares each scenario matching
+// the scenarios regex against its most recent appearance in the committed
+// history, failing on any ns/op regression beyond maxRegress percent.
+// Scenarios without a committed baseline are reported as new and never
+// gate. Nothing is written to the history file.
+func runCheck(path, bench, benchtime, pkg, cpu, scenarios string, maxRegress float64) error {
+	re, err := regexp.Compile(scenarios)
+	if err != nil {
+		return fmt.Errorf("bad -scenarios regex: %w", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("no committed baseline: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return err
+	}
+	if len(f.History) == 0 {
+		return fmt.Errorf("%s holds no snapshots to check against", path)
+	}
+
+	fresh, err := run(bench, benchtime, pkg, cpu)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	matched := 0
+	fmt.Printf("%-55s %12s %12s %8s\n", "scenario", "baseline", "fresh", "delta")
+	for _, r := range fresh.Results {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		matched++
+		base, label, ok := lastSeen(f.History, r.Name)
+		if !ok {
+			fmt.Printf("%-55s %12s %12.1f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := (r.NsPerOp - base) / base * 100
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %.0f%%, baseline %q)",
+					r.Name, base, r.NsPerOp, delta, maxRegress, label))
+		}
+		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%%%s\n", r.Name, base, r.NsPerOp, delta, mark)
+	}
+	if matched == 0 {
+		// A gate that matches nothing checks nothing — renamed benchmarks
+		// or a drifted regex must fail loudly, not pass forever.
+		return fmt.Errorf("no fresh result matched -scenarios %q (ran %d); the gate would check nothing", scenarios, len(fresh.Results))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d scenario(s) regressed past %.0f%%:\n  %s",
+			len(failures), maxRegress, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("check passed: %d scenario(s) matching %q, none regressed past %.0f%%\n", matched, scenarios, maxRegress)
+	return nil
+}
+
+// lastSeen finds name's ns/op in the most recent snapshot that recorded
+// it, along with that snapshot's label.
+func lastSeen(history []Snapshot, name string) (float64, string, bool) {
+	for i := len(history) - 1; i >= 0; i-- {
+		for _, r := range history[i].Results {
+			if r.Name == name {
+				return r.NsPerOp, history[i].Label, true
+			}
+		}
+	}
+	return 0, "", false
 }
 
 // printDiff compares the last two snapshots in the history file.

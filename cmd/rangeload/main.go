@@ -8,7 +8,8 @@
 //
 // Mixes: read-heavy, write-heavy, append-log, mixed-scan. File and
 // offset hotness are zipf-skewed (-zipf-file / -zipf-off; values <= 1
-// select uniform).
+// select uniform). Against a sharded server, pass the matching -shards
+// to see how the zipf skew lands across the server's lock domains.
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		ioSize   = flag.Int("iosize", 4096, "bytes per read/write/append")
 		duration = flag.Duration("duration", 5*time.Second, "run length (ignored when -ops > 0)")
 		ops      = flag.Int64("ops", 0, "total operation budget; 0 = run for -duration")
+		shards   = flag.Int("shards", 0, "server shard count; > 1 reports per-shard request counts (skew)")
 		zipfFile = flag.Float64("zipf-file", 1.2, "zipf skew across files (<= 1: uniform)")
 		zipfOff  = flag.Float64("zipf-off", 1.1, "zipf skew across offsets (<= 1: uniform)")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
@@ -76,6 +78,7 @@ func main() {
 		ZipfFile: *zipfFile,
 		ZipfOff:  *zipfOff,
 		Seed:     *seed,
+		Shards:   *shards,
 	}
 
 	rep, err := wload.Run(cfg, func() (*rangestore.Client, error) {

@@ -3,14 +3,20 @@
 // repository's first component that serves request traffic instead of
 // running a benchmark loop.
 //
-//	go run ./cmd/rangestored -addr :7420 -lock list-rw
+//	go run ./cmd/rangestored -addr :7420 -lock list-rw -shards 8
 //	go run ./cmd/rangestored -lock pnova-rw -extent 1073741824 -segs 1024
 //
-// Drive it with cmd/rangeload. On SIGINT/SIGTERM the server drains and
-// prints how many requests it served per operation.
+// With -shards N the store is split into N lock domains (files hashed by
+// name), so traffic against different files scales with cores instead of
+// contending on one slot table. Drive it with cmd/rangeload. On
+// SIGINT/SIGTERM the server shuts down gracefully — listeners close,
+// in-flight batches answer, connections drain — and prints how many
+// requests it served per operation and per shard; a second signal forces
+// an immediate stop.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -19,7 +25,9 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/lockapi"
 	"repro/internal/pfs"
 	"repro/internal/rangestore"
@@ -29,9 +37,11 @@ func main() {
 	var (
 		addr   = flag.String("addr", ":7420", "TCP listen address")
 		lock   = flag.String("lock", "list-rw", "range-lock variant per file: "+variantNames())
+		shards = flag.Int("shards", 1, "lock domains the store is sharded across (files hashed by name)")
 		extent = flag.Uint64("extent", 1<<30, "pnova-rw: covered byte extent per file")
 		segs   = flag.Int("segs", 1024, "pnova-rw: segments per file")
 		batch  = flag.Int("batch", 64, "max pipelined requests served per lock-context lease")
+		grace  = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget before connections are force-closed")
 	)
 	flag.Parse()
 
@@ -46,18 +56,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rangestored:", err)
 		os.Exit(1)
 	}
-	srv := rangestore.NewServer(pfs.New(mk), rangestore.WithMaxBatch(*batch))
-	fmt.Printf("rangestored: serving on %s (lock=%s batch=%d)\n", l.Addr(), *lock, *batch)
+	store := pfs.NewSharded(*shards, mk)
+	srv := rangestore.NewServerSharded(store, rangestore.WithMaxBatch(*batch))
+	fmt.Printf("rangestored: serving on %s (lock=%s shards=%d batch=%d)\n", l.Addr(), *lock, store.NumShards(), *batch)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
 	select {
 	case s := <-sig:
-		fmt.Printf("rangestored: %v, shutting down\n", s)
-		srv.Close()
+		fmt.Printf("rangestored: %v, draining (up to %v; signal again to force)\n", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		go func() {
+			<-sig
+			cancel() // second signal: force-close immediately
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Printf("rangestored: drain cut short: %v\n", err)
+		}
+		cancel()
 		<-done
 	case err := <-done:
 		if err != nil {
@@ -74,18 +93,34 @@ func main() {
 	for _, op := range ops {
 		fmt.Printf("rangestored: served %-8s %d\n", op, counts[op])
 	}
+	if sc := srv.ShardCounts(); len(sc) > 1 {
+		var total int64
+		for _, n := range sc {
+			total += n
+		}
+		for i, n := range sc {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(n) / float64(total)
+			}
+			fmt.Printf("rangestored: shard %-3d  %d (%.0f%%)\n", i, n, pct)
+		}
+	}
 }
 
-// factory resolves a lock variant name into a per-file LockFactory.
-func factory(name string, extent uint64, segs int) (pfs.LockFactory, error) {
+// factory resolves a lock variant name into a per-file, domain-aware
+// LockFactory. Only the list-based locks carry domain state; the rest
+// ignore the shard's domain but still get per-shard namespaces and
+// block tables.
+func factory(name string, extent uint64, segs int) (pfs.DomainLockFactory, error) {
 	if name == "pnova-rw" {
-		return func() lockapi.Locker { return lockapi.NewPnovaRW(extent, segs) }, nil
+		return func(*core.Domain) lockapi.Locker { return lockapi.NewPnovaRW(extent, segs) }, nil
 	}
 	if _, err := lockapi.New(name); err != nil {
 		return nil, fmt.Errorf("unknown -lock %q; have %s", name, variantNames())
 	}
-	return func() lockapi.Locker {
-		l, _ := lockapi.New(name)
+	return func(dom *core.Domain) lockapi.Locker {
+		l, _ := lockapi.NewInDomain(name, dom)
 		return l
 	}, nil
 }

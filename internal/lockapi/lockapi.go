@@ -339,3 +339,17 @@ func New(name string) (Locker, error) {
 	}
 	return nil, fmt.Errorf("lockapi: unknown variant %q", name)
 }
+
+// NewInDomain constructs a variant by name with its per-operation state
+// (reclamation slots, node pools) in dom. Only the list-based locks keep
+// domain state; every other variant ignores dom, so callers can place
+// any variant behind a domain-sharded store uniformly.
+func NewInDomain(name string, dom *core.Domain) (Locker, error) {
+	switch name {
+	case "list-ex":
+		return NewListEx(dom), nil
+	case "list-rw":
+		return NewListRW(dom), nil
+	}
+	return New(name)
+}

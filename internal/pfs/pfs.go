@@ -26,6 +26,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/lockapi"
 	"repro/internal/locks"
 	"repro/internal/rwsem"
@@ -46,6 +47,32 @@ type LockFactory func() lockapi.Locker
 
 // DefaultLockFactory uses the paper's reader-writer list-based lock.
 func DefaultLockFactory() lockapi.Locker { return lockapi.NewListRW(nil) }
+
+// DomainLockFactory builds a file's byte-range lock with its per-operation
+// state (reclamation slots, node pools) in an explicit domain, so callers
+// can place different files' locks in different domains. Variants without
+// domain state ignore the argument.
+type DomainLockFactory func(dom *core.Domain) lockapi.Locker
+
+// DefaultDomainLockFactory is the reader-writer list-based lock in dom.
+func DefaultDomainLockFactory(dom *core.Domain) lockapi.Locker {
+	return lockapi.NewListRW(dom)
+}
+
+// NewInDomain creates a file system whose files lease all per-operation
+// lock state from dom (nil selects the process-wide default domain; nil
+// mk selects DefaultDomainLockFactory). Two file systems built over
+// distinct domains share no lock state at all — the building block of
+// Sharded.
+func NewInDomain(dom *core.Domain, mk DomainLockFactory) *FS {
+	if mk == nil {
+		mk = DefaultDomainLockFactory
+	}
+	if dom == nil {
+		dom = core.DefaultDomain()
+	}
+	return New(func() lockapi.Locker { return mk(dom) })
+}
 
 // FS is an in-memory file system.
 type FS struct {

@@ -1,0 +1,157 @@
+package pfs
+
+import (
+	"repro/internal/core"
+)
+
+// shardSlots bounds the concurrently leased Ops per shard domain. Batch
+// servers lease one Op per connection per touched shard, so this is the
+// per-shard connection concurrency ceiling, not a request limit.
+const shardSlots = 128
+
+// Sharded is a file system split into N independent shards: each shard
+// has its own core.Domain (slot table, arena, node pools), its own block
+// tables and its own namespace lock, with files placed by a hash of
+// their name. Operations on files in different shards therefore share no
+// lock state whatsoever — the range-lock analogue of per-VMA / per-file
+// sharding: the lock variant decides how disjoint ranges of one file
+// interleave, the shards make disjoint files scale with cores.
+type Sharded struct {
+	shards []*FS
+}
+
+// NewSharded creates a file system of n shards (n < 1 is treated as 1),
+// each with a fresh domain whose locks are built by mk (nil selects
+// DefaultDomainLockFactory).
+func NewSharded(n int, mk DomainLockFactory) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]*FS, n)}
+	for i := range s.shards {
+		s.shards[i] = NewInDomain(core.NewDomain(shardSlots), mk)
+	}
+	return s
+}
+
+// ShardedFrom wraps existing file systems as the shards of one store,
+// in order. It panics on an empty argument list. Useful for tests and
+// for serving a pre-built single FS through the sharded surface.
+func ShardedFrom(fss ...*FS) *Sharded {
+	if len(fss) == 0 {
+		panic("pfs: ShardedFrom of no file systems")
+	}
+	return &Sharded{shards: fss}
+}
+
+// ShardOf places a file name among nshards shards (FNV-1a). Exported so
+// load generators and tests can predict placement without a Sharded.
+func ShardOf(name string, nshards int) int {
+	if nshards <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(nshards))
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardIndex returns the shard owning name.
+func (s *Sharded) ShardIndex(name string) int { return ShardOf(name, len(s.shards)) }
+
+// Shard returns the i'th shard file system.
+func (s *Sharded) Shard(i int) *FS { return s.shards[i] }
+
+// shardFor routes a name to its owning shard.
+func (s *Sharded) shardFor(name string) *FS { return s.shards[s.ShardIndex(name)] }
+
+// Create adds an empty file in the shard owning name.
+func (s *Sharded) Create(name string) (*File, error) { return s.shardFor(name).Create(name) }
+
+// Open returns an existing file from its owning shard.
+func (s *Sharded) Open(name string) (*File, error) { return s.shardFor(name).Open(name) }
+
+// Stat returns metadata for an existing file by name.
+func (s *Sharded) Stat(name string) (FileInfo, error) { return s.shardFor(name).Stat(name) }
+
+// Remove deletes a file from its owning shard's namespace.
+func (s *Sharded) Remove(name string) error { return s.shardFor(name).Remove(name) }
+
+// List returns the file names across all shards (unordered).
+func (s *Sharded) List() []string {
+	var out []string
+	for _, fs := range s.shards {
+		out = append(out, fs.List()...)
+	}
+	return out
+}
+
+// Close closes every shard.
+func (s *Sharded) Close() {
+	for _, fs := range s.shards {
+		fs.Close()
+	}
+}
+
+// ShardedOp threads leased operation contexts through a batch of
+// operations spanning shards, leasing lazily and holding at most ONE
+// shard's context at a time: the first operation against a shard leases
+// its context, further operations on the same shard reuse it, and an
+// operation against a different shard releases the current lease before
+// taking the new one. A batch that touches one shard — the common case
+// under skewed traffic, and the per-connection pattern the rangestore
+// server produces — therefore pays exactly one slot lease however many
+// operations it issues.
+//
+// Holding one lease at a time is what makes cross-shard batches
+// deadlock-free by construction: Domain.BeginOp blocks when a domain's
+// slots are exhausted, so a caller that held shard A's slot while
+// blocking for shard B's would be one half of a hold-and-wait cycle
+// (another caller holding B while waiting on A). A ShardedOp never
+// waits while holding, so every blocked lessee holds nothing and the
+// system always makes progress.
+//
+// A ShardedOp serves one goroutine at a time. End releases the held
+// context (if any), so one ShardedOp can be reused batch after batch
+// (servers keep one per connection).
+type ShardedOp struct {
+	s   *Sharded
+	op  Op
+	cur int // shard op is leased from; -1 when nothing is held
+}
+
+// BeginOp returns an empty per-shard Op source; contexts are leased on
+// first use of each shard. Return it with End after every batch.
+func (s *Sharded) BeginOp() *ShardedOp {
+	return &ShardedOp{s: s, cur: -1}
+}
+
+// Op returns a leased context for shard i, releasing any context held
+// for a different shard first.
+func (so *ShardedOp) Op(i int) Op {
+	if so.cur != i {
+		so.End()
+		so.op = so.s.shards[i].BeginOp()
+		so.cur = i
+	}
+	return so.op
+}
+
+// End releases the held context, if any. The ShardedOp remains valid
+// for further use.
+func (so *ShardedOp) End() {
+	if so.cur >= 0 {
+		so.op.End()
+		so.op = Op{}
+		so.cur = -1
+	}
+}

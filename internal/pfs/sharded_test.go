@@ -1,0 +1,246 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lockapi"
+)
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 64} {
+		for i := 0; i < 200; i++ {
+			name := fmt.Sprintf("file-%04d", i)
+			s := ShardOf(name, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", name, n, s)
+			}
+			if s != ShardOf(name, n) {
+				t.Fatalf("ShardOf(%q, %d) not stable", name, n)
+			}
+		}
+	}
+	if ShardOf("anything", 0) != 0 || ShardOf("anything", 1) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	// 256 sequential names across 8 shards: no shard may be empty and
+	// none may hold more than half the files — a weak bound, but it
+	// catches a broken hash (everything on one shard) immediately.
+	const n, files = 8, 256
+	var counts [n]int
+	for i := 0; i < files; i++ {
+		counts[ShardOf(fmt.Sprintf("wload-%04d", i), n)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d got no files: %v", s, counts)
+		}
+		if c > files/2 {
+			t.Fatalf("shard %d got %d of %d files: %v", s, c, files, counts)
+		}
+	}
+}
+
+func TestShardedNamespace(t *testing.T) {
+	s := NewSharded(4, nil)
+	const files = 32
+	for i := 0; i < files; i++ {
+		if _, err := s.Create(fmt.Sprintf("f%02d", i)); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+	}
+	// Each file opens from its owning shard and from the top-level API.
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		f, err := s.Open(name)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", name, err)
+		}
+		if g, err := s.Shard(s.ShardIndex(name)).Open(name); err != nil || g != f {
+			t.Fatalf("shard-local Open(%s) = %v, %v; want the same file", name, g, err)
+		}
+		// No other shard knows the name.
+		for i := 0; i < s.NumShards(); i++ {
+			if i == s.ShardIndex(name) {
+				continue
+			}
+			if _, err := s.Shard(i).Open(name); err != ErrNotExist {
+				t.Fatalf("foreign shard %d Open(%s) = %v, want ErrNotExist", i, name, err)
+			}
+		}
+	}
+	// List is the union of the shards.
+	names := s.List()
+	if len(names) != files {
+		t.Fatalf("List returned %d names, want %d", len(names), files)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if want := fmt.Sprintf("f%02d", i); name != want {
+			t.Fatalf("List[%d] = %q, want %q", i, name, want)
+		}
+	}
+	if err := s.Remove("f00"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := s.Open("f00"); err != ErrNotExist {
+		t.Fatalf("Open removed = %v", err)
+	}
+	s.Close()
+	if _, err := s.Create("late"); err != ErrClosed {
+		t.Fatalf("Create after Close = %v", err)
+	}
+}
+
+// TestShardedOpLazyLease: a batch touching one shard leases exactly one
+// context, crossing shards swaps the lease, and End resets the set for
+// reuse. Leases are observable through domain slot exhaustion: a 1-slot
+// domain admits one Op, so a second lease against the same shard inside
+// one batch would deadlock if the ShardedOp did not reuse the first,
+// and holding shard 0's slot across the shard 1 operations would
+// deadlock a later batch that needed shard 0 back.
+func TestShardedOpLazyLease(t *testing.T) {
+	doms := []*core.Domain{core.NewDomain(1), core.NewDomain(1)}
+	s := ShardedFrom(
+		NewInDomain(doms[0], nil),
+		NewInDomain(doms[1], nil),
+	)
+	var files []*File
+	for i := 0; files == nil || len(files) < 2; i++ {
+		name := fmt.Sprintf("f%d", i)
+		if ShardOf(name, 2) == len(files)%2 {
+			f, err := s.Create(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+		}
+	}
+
+	sop := s.BeginOp()
+	data := []byte("abc")
+	for round := 0; round < 3; round++ {
+		// Many operations against shard 0 under one batch: one lease,
+		// reused — with a 1-slot domain, a second lease would hang.
+		for i := 0; i < 10; i++ {
+			if _, err := files[0].WriteAtOp(sop.Op(0), data, uint64(i)*8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Crossing to the second shard swaps the lease (shard 0's slot is
+		// released first)...
+		if _, err := files[1].WriteAtOp(sop.Op(1), data, 0); err != nil {
+			t.Fatal(err)
+		}
+		// ...which is provable by crossing back mid-batch: re-leasing
+		// shard 0's only slot hangs unless Op(1) released it.
+		if _, err := files[0].WriteAtOp(sop.Op(0), data, 128); err != nil {
+			t.Fatal(err)
+		}
+		sop.End()
+	}
+	// After End the slots are free again: plain per-call paths proceed.
+	if _, err := files[0].WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedConcurrent hammers disjoint files across shards from many
+// goroutines, each threading a per-worker ShardedOp — the server's
+// access pattern — and verifies the data planes stayed independent.
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded(4, nil)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%02d", w)
+			f, err := s.Create(name)
+			if err != nil {
+				t.Errorf("Create(%s): %v", name, err)
+				return
+			}
+			shard := s.ShardIndex(name)
+			payload := bytes.Repeat([]byte{byte(w + 1)}, 512)
+			sop := s.BeginOp()
+			for r := 0; r < 50; r++ {
+				op := sop.Op(shard)
+				if _, err := f.WriteAtOp(op, payload, uint64(r)*512); err != nil {
+					t.Errorf("WriteAtOp: %v", err)
+					return
+				}
+				got := make([]byte, 512)
+				if _, err := f.ReadAtOp(op, got, uint64(r)*512); err != nil {
+					t.Errorf("ReadAtOp: %v", err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("worker %d round %d: read back wrong bytes", w, r)
+					return
+				}
+				sop.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestForeignDomainFallback: a file whose lock leases from a different
+// domain than the FS probe lock must opt out of the Op fast path
+// (SameOpDomain false) and take the plain per-call path — threading a
+// leased Op through it must neither panic nor race. The factory below
+// gives every lock its own domain, so no file ever matches the probe.
+func TestForeignDomainFallback(t *testing.T) {
+	mk := func() lockapi.Locker {
+		return lockapi.NewListRW(core.NewDomain(8))
+	}
+	fs := New(mk)
+	f, err := fs.Create("foreign")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker threads an Op leased from the probe lock's
+			// domain; the file's foreign lock must ignore it safely.
+			op := fs.BeginOp()
+			defer op.End()
+			payload := bytes.Repeat([]byte{byte(w + 1)}, 256)
+			base := uint64(w) * 4096
+			for r := 0; r < 100; r++ {
+				if _, err := f.WriteAtOp(op, payload, base); err != nil {
+					t.Errorf("WriteAtOp: %v", err)
+					return
+				}
+				got := make([]byte, 256)
+				if _, err := f.ReadAtOp(op, got, base); err != nil {
+					t.Errorf("ReadAtOp: %v", err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("worker %d: read back wrong bytes", w)
+					return
+				}
+				if _, err := f.AppendOp(op, payload[:16]); err != nil {
+					t.Errorf("AppendOp: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,10 +1,13 @@
 package rangestore
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/lockapi"
 	"repro/internal/pfs"
 )
@@ -146,6 +149,125 @@ func BenchmarkStoreServerPipelined(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// shardVariants is benchVariants with domain-aware factories: the list
+// lock places its slot table and arena in each shard's domain; the other
+// variants have no domain state but still get per-shard namespaces and
+// block tables.
+var shardVariants = []struct {
+	name string
+	mk   pfs.DomainLockFactory
+}{
+	{"list-rw", nil},
+	{"kernel-rw", func(*core.Domain) lockapi.Locker { return lockapi.NewKernelRW() }},
+	{"pnova-rw", func(*core.Domain) lockapi.Locker { return lockapi.NewPnovaRW(shardFileExtent, 64) }},
+	{"rwsem", func(*core.Domain) lockapi.Locker { return lockapi.NewRWSem() }},
+}
+
+// The sharded benchmark spreads traffic across many files so the store's
+// name hash spreads it across shards; each file is small, keeping the
+// per-request block work identical to BenchmarkStoreServer.
+const (
+	shardBenchFiles = 64
+	shardFileExtent = 4 * benchStripe
+)
+
+func shardBenchFile(i int) string { return fmt.Sprintf("shard-bench-%02d", i) }
+
+// BenchmarkStoreServerSharded measures multi-core server throughput as a
+// function of the store's shard count: every worker drives its own file
+// at pipeline depth 8, so with one shard the measurement is domain
+// contention (one slot table, one arena, one namespace lock for all
+// files) and with GOMAXPROCS shards the domains match the parallel
+// hardware. The pipelining amortizes transport cost the way PR 2's
+// batching bench does, so the domain's share of each request is what
+// moves the number. Sweep with -cpu=8 to see the separation; shards=1
+// is the old single-domain server.
+func BenchmarkStoreServerSharded(b *testing.B) {
+	const depth = 8
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, v := range shardVariants {
+		seen := map[int]bool{}
+		for _, ns := range shardCounts {
+			if seen[ns] {
+				continue
+			}
+			seen[ns] = true
+			b.Run(fmt.Sprintf("%s/shards=%d", v.name, ns), func(b *testing.B) {
+				store := pfs.NewSharded(ns, v.mk)
+				srv := NewServerSharded(store)
+				defer srv.Close()
+				setup := pipeClient(b, srv)
+				for i := 0; i < shardBenchFiles; i++ {
+					h, err := setup.Open(shardBenchFile(i), true)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Pre-extend so readers do not spend the run at EOF.
+					if _, err := setup.WriteAt(h, make([]byte, 1024), shardFileExtent-1024); err != nil {
+						b.Fatal(err)
+					}
+				}
+
+				var tid atomic.Int64
+				// 4 connections per processor: a server is judged under
+				// more connections than cores, and the oversubscription
+				// multiplies the concurrent batches leasing from — and
+				// the goroutines sweeping — the shared slot table when
+				// there is only one.
+				b.SetParallelism(4)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					me := int(tid.Add(1)) - 1
+					cl := pipeClient(b, srv)
+					h, err := cl.Open(shardBenchFile(me%shardBenchFiles), true)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					rng := rand.New(rand.NewSource(int64(me)*2654435761 + 1))
+					buf := make([]byte, 1024)
+					var resp Response
+					inflight := 0
+					for pb.Next() {
+						off := uint64(rng.Intn(shardFileExtent - 1024))
+						req := Request{Op: OpWrite, Handle: h, Off: off, Data: buf}
+						if rng.Intn(100) >= 50 {
+							req = Request{Op: OpRead, Handle: h, Off: off, Length: 1024}
+						}
+						if _, err := cl.Send(&req); err != nil {
+							b.Error(err)
+							return
+						}
+						inflight++
+						if inflight == depth {
+							if err := cl.Flush(); err != nil {
+								b.Error(err)
+								return
+							}
+							for ; inflight > 0; inflight-- {
+								if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+									b.Errorf("recv: %v / %v", err, resp.Err())
+									return
+								}
+							}
+						}
+					}
+					if err := cl.Flush(); err != nil {
+						b.Error(err)
+						return
+					}
+					for ; inflight > 0; inflight-- {
+						if err := cl.Recv(&resp); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
 	}
 }
 

@@ -2,13 +2,16 @@ package rangestore
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pfs"
 )
@@ -17,26 +20,45 @@ import (
 const maxHandles = 1 << 16
 
 // defaultMaxBatch is how many pipelined requests one connection serves
-// under a single leased Op before releasing it and flushing responses.
+// under a single leased Op set before releasing it and flushing
+// responses.
 const defaultMaxBatch = 64
 
-// Server serves one pfs file system over the rangestore protocol. Each
+// Server serves one pfs store over the rangestore protocol. Each
 // connection runs a pipelined request loop: the first request of a batch
 // is read blocking, then every further request already sitting in the
 // connection buffer (up to MaxBatch) is served under the same leased
-// pfs.Op — the request-traffic analogue of the paper's per-thread lock
-// contexts: one reclamation-slot lease pays for the whole batch.
+// per-shard Op set — the request-traffic analogue of the paper's
+// per-thread lock contexts: one reclamation-slot lease per touched shard
+// pays for the whole batch.
+//
+// The store may be sharded (NewServerSharded): every request is routed
+// to the shard owning its file, so requests against files in different
+// shards share no lock-domain state and scale with cores.
 type Server struct {
-	fs       *pfs.FS
+	store    *pfs.Sharded
 	maxBatch int
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	listeners map[net.Listener]struct{}
 	closed    bool
+	draining  bool
 	wg        sync.WaitGroup
 
-	ops [numOps]atomic.Int64
+	drain atomic.Bool // mirrors draining for lock-free batch-loop checks
+
+	ops      [numOps]atomic.Int64
+	shardOps []shardCount
+}
+
+// shardCount is a cacheline-padded request tally: adjacent shards'
+// counters must not share a line, or the per-request Add would put a
+// contended cacheline back between shards — the very thing the domain
+// sharding removes.
+type shardCount struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 // ServerOption configures a Server.
@@ -52,14 +74,22 @@ func WithMaxBatch(n int) ServerOption {
 	}
 }
 
-// NewServer wraps fs. The fs's lock variant decides the range-locking
-// behaviour every request experiences.
+// NewServer wraps a single-shard store over fs. The fs's lock variant
+// decides the range-locking behaviour every request experiences.
 func NewServer(fs *pfs.FS, opts ...ServerOption) *Server {
+	return NewServerSharded(pfs.ShardedFrom(fs), opts...)
+}
+
+// NewServerSharded wraps a sharded store: requests are routed to the
+// shard owning their file, and each connection's batch loop leases one
+// Op per shard its batch actually touches.
+func NewServerSharded(store *pfs.Sharded, opts ...ServerOption) *Server {
 	s := &Server{
-		fs:        fs,
+		store:     store,
 		maxBatch:  defaultMaxBatch,
 		conns:     make(map[net.Conn]struct{}),
 		listeners: make(map[net.Listener]struct{}),
+		shardOps:  make([]shardCount, store.NumShards()),
 	}
 	for _, o := range opts {
 		o(s)
@@ -78,11 +108,21 @@ func (s *Server) Counts() map[string]int64 {
 	return out
 }
 
+// ShardCounts returns the number of requests routed to each shard, the
+// server-side view of placement skew.
+func (s *Server) ShardCounts() []int64 {
+	out := make([]int64, len(s.shardOps))
+	for i := range s.shardOps {
+		out[i] = s.shardOps[i].n.Load()
+	}
+	return out
+}
+
 // Serve accepts connections from l until it is closed, serving each on
-// its own goroutine. It returns nil after Close.
+// its own goroutine. It returns nil after Close or Shutdown.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		l.Close()
 		return ErrClosed
@@ -99,9 +139,9 @@ func (s *Server) Serve(l net.Listener) error {
 		conn, err := l.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.mu.Unlock()
-			if closed || errors.Is(err, net.ErrClosed) {
+			if stopped || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
@@ -110,8 +150,10 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops serving: registered connections are closed and in-flight
-// handlers are waited out. Connections served after Close are refused.
+// Close stops serving immediately: registered connections are closed and
+// in-flight handlers are waited out. Connections served after Close are
+// refused. For an orderly stop that lets in-flight batches answer first,
+// use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -126,6 +168,45 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown stops the server gracefully: listeners close, new connections
+// are refused, and every established connection answers every request
+// that reached it — the batch it is serving plus any frames already
+// sitting in its read buffer — flushing responses before closing, so no
+// received request dies unanswered. Connections idle in a blocking read
+// are woken via a read deadline. If ctx expires first, remaining
+// connections are force-closed as in Close and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.drain.Store(true)
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		// Wake reads blocked waiting for a batch's first request. Ignored
+		// by conns without deadline support (in-process pipes); those are
+		// covered by the ctx force-close path.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
+}
+
 // register admits a connection and joins it to the shutdown WaitGroup;
 // the wg.Add happens under the same lock Close takes before wg.Wait, so
 // every admitted handler — Serve-spawned or direct ServeConn — is waited
@@ -133,7 +214,7 @@ func (s *Server) Close() error {
 func (s *Server) register(c net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.draining {
 		return false
 	}
 	s.conns[c] = struct{}{}
@@ -154,16 +235,19 @@ type conn struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	files   []*pfs.File
+	shards  []int32 // owning shard per handle, parallel to files
+	sop     *pfs.ShardedOp
 	frame   []byte // request decode buffer
 	out     []byte // response encode buffer
 	readBuf []byte // READ payload buffer
 }
 
 // ServeConn serves one established connection until EOF, a protocol
-// error, or Server.Close. It is exported so in-process transports can
-// plug a client straight into the server, as the benchmarks do — use
-// this package's Pipe() for that, not net.Pipe, which is unbuffered and
-// deadlocks a pipelining client against the batching server.
+// error, or Server.Close/Shutdown. It is exported so in-process
+// transports can plug a client straight into the server, as the
+// benchmarks do — use this package's Pipe() for that, not net.Pipe,
+// which is unbuffered and deadlocks a pipelining client against the
+// batching server.
 func (s *Server) ServeConn(c net.Conn) error {
 	if !s.register(c) {
 		c.Close()
@@ -176,22 +260,43 @@ func (s *Server) ServeConn(c net.Conn) error {
 		srv: s,
 		br:  bufio.NewReaderSize(c, 64<<10),
 		bw:  bufio.NewWriterSize(c, 64<<10),
+		sop: s.store.BeginOp(),
 	}
 	for {
-		// Blocking read of the batch's first request.
-		body, err := ReadFrame(cn.br, cn.frame)
-		if err != nil {
-			if err == io.EOF {
-				return nil
+		// Blocking read of the batch's first request — except while
+		// draining, when only frames that already reached the connection
+		// buffer are served: nothing new is awaited, nothing received is
+		// dropped. (Requests still in a TCP kernel buffer when the drain
+		// deadline fires are the one loss: an expired deadline fails
+		// reads even with data available, so only the client's
+		// retransmit-on-reconnect can recover those.)
+		var body []byte
+		if s.drain.Load() {
+			b, ok, berr := cn.buffered()
+			if berr != nil || !ok {
+				return berr // nil: drained clean
 			}
-			return err
+			body = b
+		} else {
+			b, err := ReadFrame(cn.br, cn.frame)
+			if err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				if s.drain.Load() && isTimeout(err) {
+					// The Shutdown deadline woke this read; loop into the
+					// buffered-only path to answer what already arrived.
+					continue
+				}
+				return err
+			}
+			cn.frame = b[:0]
+			body = b
 		}
-		cn.frame = body[:0]
 
-		op := s.fs.BeginOp()
-		err = cn.handle(body, op)
-		// Serve whatever is already buffered under the same Op lease, but
-		// never block for more input while holding it.
+		err := cn.handle(body)
+		// Serve whatever is already buffered under the same Op leases, but
+		// never block for more input while holding them.
 		for n := 1; err == nil && n < s.maxBatch; n++ {
 			body, ok, berr := cn.buffered()
 			if berr != nil {
@@ -201,9 +306,9 @@ func (s *Server) ServeConn(c net.Conn) error {
 			if !ok {
 				break
 			}
-			err = cn.handle(body, op)
+			err = cn.handle(body)
 		}
-		op.End()
+		cn.sop.End()
 		// Flush even on a fatal batch error: requests already served get
 		// their responses before the connection dies.
 		if ferr := cn.bw.Flush(); err == nil {
@@ -213,6 +318,17 @@ func (s *Server) ServeConn(c net.Conn) error {
 			return err
 		}
 	}
+}
+
+// isTimeout reports whether err is a read-deadline expiry — the only
+// error the drain path may treat as "done waiting" rather than a broken
+// or untrustworthy stream.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // buffered returns the next frame body only if it can be read without
@@ -246,14 +362,14 @@ func (cn *conn) buffered() ([]byte, bool, error) {
 // handle decodes, executes and answers one request. A decode failure is
 // fatal to the connection (framing can no longer be trusted); execution
 // failures are answered with an error response.
-func (cn *conn) handle(body []byte, op pfs.Op) error {
+func (cn *conn) handle(body []byte) error {
 	var req Request
 	if err := ParseRequest(body, &req); err != nil {
 		return err
 	}
 	cn.srv.ops[int(req.Op)-1].Add(1)
 	resp := Response{Op: req.Op, Seq: req.Seq}
-	cn.exec(&req, op, &resp)
+	cn.exec(&req, &resp)
 	out, err := AppendResponse(cn.out[:0], &resp)
 	if err != nil {
 		return err
@@ -263,8 +379,8 @@ func (cn *conn) handle(body []byte, op pfs.Op) error {
 	return err
 }
 
-// exec runs one request against the file system, filling resp.
-func (cn *conn) exec(req *Request, op pfs.Op, resp *Response) {
+// exec runs one request against the owning shard, filling resp.
+func (cn *conn) exec(req *Request, resp *Response) {
 	// OPEN is the only op without a handle.
 	if req.Op == OpOpen {
 		cn.execOpen(req, resp)
@@ -282,6 +398,14 @@ func (cn *conn) exec(req *Request, op pfs.Op, resp *Response) {
 		return
 	}
 	f := cn.files[req.Handle]
+	shard := int(cn.shards[req.Handle])
+	cn.srv.shardOps[shard].n.Add(1)
+	var op pfs.Op
+	if req.Op != OpStat {
+		// STAT is lock-free; everything else runs under the owning
+		// shard's leased context.
+		op = cn.sop.Op(shard)
+	}
 	switch req.Op {
 	case OpRead:
 		if req.Length > MaxData {
@@ -326,21 +450,24 @@ func (cn *conn) execOpen(req *Request, resp *Response) {
 		resp.Msg = fmt.Sprintf("handle table full (%d)", maxHandles)
 		return
 	}
+	shard := cn.srv.store.ShardIndex(req.Name)
+	cn.srv.shardOps[shard].n.Add(1)
 	var f *pfs.File
 	var err error
 	if req.Flags&OpenCreate != 0 {
-		f, err = cn.srv.fs.Create(req.Name)
+		f, err = cn.srv.store.Create(req.Name)
 		if errors.Is(err, pfs.ErrExist) {
-			f, err = cn.srv.fs.Open(req.Name)
+			f, err = cn.srv.store.Open(req.Name)
 		}
 	} else {
-		f, err = cn.srv.fs.Open(req.Name)
+		f, err = cn.srv.store.Open(req.Name)
 	}
 	if err != nil {
 		fillError(resp, err)
 		return
 	}
 	cn.files = append(cn.files, f)
+	cn.shards = append(cn.shards, int32(shard))
 	resp.Handle = uint32(len(cn.files) - 1)
 }
 

@@ -1,0 +1,294 @@
+package rangestore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lockapi"
+	"repro/internal/pfs"
+)
+
+// TestServerSharded drives a 4-shard store from concurrent connections,
+// one file per worker, and checks both data integrity and that the
+// requests actually spread across shards.
+func TestServerSharded(t *testing.T) {
+	store := pfs.NewSharded(4, nil)
+	srv := NewServerSharded(store)
+	defer srv.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := pipeClient(t, srv)
+			name := fmt.Sprintf("shard-file-%02d", w)
+			h, err := cl.Open(name, true)
+			if err != nil {
+				t.Errorf("Open(%s): %v", name, err)
+				return
+			}
+			payload := bytes.Repeat([]byte{byte(w + 1)}, 1024)
+			for r := 0; r < 20; r++ {
+				if _, err := cl.WriteAt(h, payload, uint64(r)*1024); err != nil {
+					t.Errorf("WriteAt: %v", err)
+					return
+				}
+				got := make([]byte, 1024)
+				if _, err := cl.ReadAt(h, got, uint64(r)*1024); err != nil {
+					t.Errorf("ReadAt: %v", err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("worker %d: round-tripped wrong bytes", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	counts := srv.ShardCounts()
+	if len(counts) != 4 {
+		t.Fatalf("ShardCounts len = %d, want 4", len(counts))
+	}
+	var total int64
+	touched := 0
+	for _, n := range counts {
+		total += n
+		if n > 0 {
+			touched++
+		}
+	}
+	// workers * (1 open + 20 writes + 20 reads)
+	if want := int64(workers * 41); total != want {
+		t.Fatalf("shard counts sum to %d, want %d (%v)", total, want, counts)
+	}
+	if touched < 2 {
+		t.Fatalf("all traffic landed on one shard: %v", counts)
+	}
+	// Placement agrees with the exported hash.
+	for w := 0; w < workers; w++ {
+		name := fmt.Sprintf("shard-file-%02d", w)
+		if _, err := store.Shard(pfs.ShardOf(name, 4)).Open(name); err != nil {
+			t.Fatalf("file %s not in its hash shard: %v", name, err)
+		}
+	}
+}
+
+// TestServerShardedBatch sends one pipelined batch touching files in
+// every shard over a single connection, so the batch loop must lease one
+// Op per shard (the per-shard sub-batch path) and answer in order.
+func TestServerShardedBatch(t *testing.T) {
+	store := pfs.NewSharded(4, nil)
+	srv := NewServerSharded(store)
+	defer srv.Close()
+	cl := pipeClient(t, srv)
+
+	const files = 16
+	handles := make([]uint32, files)
+	for i := range handles {
+		h, err := cl.Open(fmt.Sprintf("batch-%02d", i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	// One batch: a write to every file, then a read of every file.
+	for i, h := range handles {
+		if _, err := cl.Send(&Request{Op: OpWrite, Handle: h, Off: 7, Data: []byte{byte(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range handles {
+		if _, err := cl.Send(&Request{Op: OpRead, Handle: h, Off: 7, Length: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	for i := 0; i < files; i++ {
+		if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+			t.Fatalf("write resp %d: %v / %v", i, err, resp.Err())
+		}
+	}
+	for i := 0; i < files; i++ {
+		if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+			t.Fatalf("read resp %d: %v / %v", i, err, resp.Err())
+		}
+		if len(resp.Data) != 1 || resp.Data[0] != byte(i+1) {
+			t.Fatalf("file %d read back %v", i, resp.Data)
+		}
+	}
+}
+
+// TestServerForeignDomainFiles serves traffic against a store whose
+// files lease locks from per-file domains foreign to the FS probe lock:
+// every request must take the plain per-call path without panicking,
+// including under -race with real parallelism (CI runs -cpu=2,8).
+func TestServerForeignDomainFiles(t *testing.T) {
+	mk := func() lockapi.Locker { return lockapi.NewListRW(core.NewDomain(8)) }
+	srv := newTestServer(t, mk)
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := pipeClient(t, srv)
+			h, err := cl.Open("shared-foreign", true)
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			payload := bytes.Repeat([]byte{byte(w + 1)}, 512)
+			base := uint64(w) * 4096
+			for r := 0; r < 30; r++ {
+				if _, err := cl.WriteAt(h, payload, base); err != nil {
+					t.Errorf("WriteAt: %v", err)
+					return
+				}
+				got := make([]byte, 512)
+				if _, err := cl.ReadAt(h, got, base); err != nil {
+					t.Errorf("ReadAt: %v", err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("worker %d read back wrong bytes", w)
+					return
+				}
+				if _, err := cl.Append(h, payload[:8]); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestShutdownDrainsBatch: requests that reach a draining server are
+// still answered in full before the connection closes — including when
+// they span several server batches (depth > MaxBatch), so graceful
+// shutdown neither kills a connection mid-batch nor drops frames that
+// were already buffered behind the first batch.
+func TestShutdownDrainsBatch(t *testing.T) {
+	srv := newTestServer(t, nil, WithMaxBatch(3))
+	cl := pipeClient(t, srv)
+	h, err := cl.Open("drain", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+	// Wait for the drain flag so the batch below is served by an
+	// already-draining server (the interesting interleaving).
+	for !srv.drain.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	const depth = 8
+	for i := 0; i < depth; i++ {
+		if _, err := cl.Send(&Request{Op: OpAppend, Handle: h, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	for i := 0; i < depth; i++ {
+		if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+			t.Fatalf("drained batch resp %d: %v / %v", i, err, resp.Err())
+		}
+	}
+	// After the batch the server closes the connection and Shutdown
+	// completes without force-closing.
+	if err := cl.Recv(&resp); err == nil {
+		t.Fatal("connection stayed open after drain")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	// A drained server refuses fresh connections.
+	c1, c2 := Pipe()
+	defer c1.Close()
+	if err := srv.ServeConn(c2); err != ErrClosed {
+		t.Fatalf("ServeConn after Shutdown = %v", err)
+	}
+}
+
+// TestShutdownWakesIdleTCPConn: over TCP, Shutdown must not wait for an
+// idle connection to send another request — the read deadline wakes it
+// and the drain completes promptly.
+func TestShutdownWakesIdleTCPConn(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	srv := newTestServer(t, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Open("idle", true); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Shutdown of an idle conn took %v", d)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// The drained listener is closed: new dials fail or die immediately.
+	if cl2, err := Dial(l.Addr().String()); err == nil {
+		if _, err := cl2.Open("nope", true); err == nil {
+			t.Fatal("server accepted traffic after Shutdown")
+		}
+		cl2.Close()
+	}
+}
+
+// TestShutdownForceClosesOnDeadline: a connection that cannot be woken
+// (the in-process pipe ignores read deadlines) is force-closed when the
+// context expires, and Shutdown reports the context error.
+func TestShutdownForceClosesOnDeadline(t *testing.T) {
+	srv := newTestServer(t, nil)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Open("stuck", true); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	var resp Response
+	if err := cl.Recv(&resp); err == nil {
+		t.Fatal("force-closed connection still answered")
+	}
+}

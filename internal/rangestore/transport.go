@@ -71,7 +71,9 @@ func (b *pipeBuf) close() {
 }
 
 // pipeConn glues a read buffer and a write buffer into a net.Conn.
-// Deadlines are accepted and ignored; nothing in this package sets them.
+// Deadlines are accepted and ignored — so Server.Shutdown's read
+// deadline cannot wake a pipe conn blocked in Read, and idle pipe conns
+// drain only through Shutdown's ctx force-close path.
 type pipeConn struct {
 	r, w      *pipeBuf
 	closeOnce sync.Once

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/pfs"
 	"repro/internal/rangestore"
 	"repro/internal/stats"
 )
@@ -104,6 +105,7 @@ type Config struct {
 	ZipfFile float64       // zipf s for file choice; <= 1 means uniform
 	ZipfOff  float64       // zipf s for offset blocks; <= 1 means uniform
 	Seed     int64         // base RNG seed (default 1)
+	Shards   int           // server shard count; > 1 adds per-shard request counts
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +194,11 @@ type Report struct {
 	TotalErrs int64         `json:"total_errors"`
 	OpsSec    float64       `json:"ops_per_sec"`
 	Classes   []ClassReport `json:"classes"`
+	// ShardOps is how many requests landed on each server shard (by the
+	// store's name hash) when Config.Shards > 1 — the client-side view of
+	// placement skew. Zipf-skewed file hotness concentrates load on few
+	// shards; this makes that visible next to the latency numbers.
+	ShardOps []int64 `json:"shard_ops,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -217,6 +224,21 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "mix=%s workers=%d pipeline=%d files=%d iosize=%d elapsed=%v\n",
 		r.Mix, r.Workers, r.Pipeline, r.Files, r.IOSize, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "total: %d ops (%0.f ops/s), %d errors\n", r.TotalOps, r.OpsSec, r.TotalErrs)
+	if len(r.ShardOps) > 0 {
+		var total int64
+		for _, n := range r.ShardOps {
+			total += n
+		}
+		b.WriteString("shards:")
+		for i, n := range r.ShardOps {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(n) / float64(total)
+			}
+			fmt.Fprintf(&b, " %d=%d(%.0f%%)", i, n, pct)
+		}
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(&b, "%-9s %10s %10s %9s %9s %9s %9s %9s\n",
 		"class", "ops", "ops/s", "mean", "p50", "p90", "p99", "max")
 	for _, c := range r.Classes {
@@ -290,6 +312,10 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 	for i := range recs {
 		recs[i] = &classRec{hist: stats.NewHistogram()}
 	}
+	var shardOps []atomic.Int64
+	if cfg.Shards > 1 {
+		shardOps = make([]atomic.Int64, cfg.Shards)
+	}
 
 	var remaining atomic.Int64
 	remaining.Store(cfg.Ops) // <= 0 means duration-bound
@@ -305,7 +331,7 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if err := runWorker(cfg, dial, recs, &remaining, deadline, cfg.Seed+int64(w)*7919); err != nil {
+			if err := runWorker(cfg, dial, recs, shardOps, &remaining, deadline, cfg.Seed+int64(w)*7919); err != nil {
 				errs <- err
 			}
 		}(w)
@@ -349,6 +375,12 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 		rep.Classes = append(rep.Classes, cr)
 	}
 	rep.OpsSec = float64(rep.TotalOps) / secs
+	if shardOps != nil {
+		rep.ShardOps = make([]int64, len(shardOps))
+		for i := range shardOps {
+			rep.ShardOps[i] = shardOps[i].Load()
+		}
+	}
 	return rep, nil
 }
 
@@ -384,7 +416,7 @@ type inflightOp struct {
 	bytes int
 }
 
-func runWorker(cfg Config, dial Dialer, recs []*classRec, remaining *atomic.Int64, deadline time.Time, seed int64) error {
+func runWorker(cfg Config, dial Dialer, recs []*classRec, shardOps []atomic.Int64, remaining *atomic.Int64, deadline time.Time, seed int64) error {
 	cl, err := dial()
 	if err != nil {
 		return err
@@ -398,6 +430,15 @@ func runWorker(cfg Config, dial Dialer, recs []*classRec, remaining *atomic.Int6
 			return err
 		}
 		handles[i] = h
+	}
+	// Precompute each file's owning shard (the store's name hash) so the
+	// hot loop's shard accounting is one table lookup.
+	var shardOf []int
+	if shardOps != nil {
+		shardOf = make([]int, cfg.Files)
+		for i := range shardOf {
+			shardOf[i] = pfs.ShardOf(fileName(i), len(shardOps))
+		}
 	}
 
 	pick := newPicker(cfg, seed)
@@ -454,7 +495,11 @@ func runWorker(cfg Config, dial Dialer, recs []*classRec, remaining *atomic.Int6
 
 	sendOne := func() error {
 		class := pickClass()
-		h := handles[pick.file()]
+		fi := pick.file()
+		h := handles[fi]
+		if shardOps != nil {
+			shardOps[shardOf[fi]].Add(1)
+		}
 		req := rangestore.Request{Handle: h}
 		bytes := 0
 		switch class {

@@ -145,6 +145,51 @@ func TestReportOutputs(t *testing.T) {
 	}
 }
 
+// TestShardCounts: against a sharded server, the report's per-shard
+// request counts must cover every operation and agree with the server's
+// own routing tally.
+func TestShardCounts(t *testing.T) {
+	const shards = 4
+	store := pfs.NewSharded(shards, nil)
+	srv := rangestore.NewServerSharded(store)
+	defer srv.Close()
+	cfg := Config{
+		Mix:      Mixes[3],
+		Files:    16,
+		FileSize: 32 << 10,
+		Workers:  3,
+		Pipeline: 2,
+		Ops:      600,
+		Shards:   shards,
+	}
+	rep, err := Run(cfg, pipeDialer(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ShardOps) != shards {
+		t.Fatalf("ShardOps len = %d, want %d", len(rep.ShardOps), shards)
+	}
+	var total int64
+	for _, n := range rep.ShardOps {
+		total += n
+	}
+	if total != rep.TotalOps {
+		t.Fatalf("shard ops sum to %d, want %d", total, rep.TotalOps)
+	}
+	// Client-side placement must agree with the server's routing: the
+	// server also counts opens/populate traffic, so every shard the
+	// client hit must be at least as busy server-side.
+	sc := srv.ShardCounts()
+	for i, n := range rep.ShardOps {
+		if sc[i] < n {
+			t.Fatalf("shard %d: client counted %d, server only %d", i, n, sc[i])
+		}
+	}
+	if !strings.Contains(rep.String(), "shards:") {
+		t.Fatalf("text report missing shard counts:\n%s", rep)
+	}
+}
+
 // TestZipfSkew: with strong file skew, the hottest file must absorb more
 // traffic than an average one. Observable through per-file append growth.
 func TestZipfSkew(t *testing.T) {
