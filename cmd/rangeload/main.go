@@ -9,7 +9,10 @@
 // Mixes: read-heavy, write-heavy, append-log, mixed-scan. File and
 // offset hotness are zipf-skewed (-zipf-file / -zipf-off; values <= 1
 // select uniform). Against a sharded server, pass the matching -shards
-// to see how the zipf skew lands across the server's lock domains.
+// to see how the zipf skew lands across the server's lock domains, and
+// the matching -placement: for "hash" the per-shard report is predicted
+// client-side, for "rendezvous"/"map" it is fetched from the server
+// (prediction is wrong once placement is weighted or dynamic).
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "run length (ignored when -ops > 0)")
 		ops      = flag.Int64("ops", 0, "total operation budget; 0 = run for -duration")
 		shards   = flag.Int("shards", 0, "server shard count; > 1 reports per-shard request counts (skew)")
+		place    = flag.String("placement", "hash", "server placement policy; non-hash fetches shard counts from the server")
 		zipfFile = flag.Float64("zipf-file", 1.2, "zipf skew across files (<= 1: uniform)")
 		zipfOff  = flag.Float64("zipf-off", 1.1, "zipf skew across offsets (<= 1: uniform)")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
@@ -67,18 +71,19 @@ func main() {
 		w = f
 	}
 	cfg := wload.Config{
-		Mix:      mix,
-		Files:    *files,
-		FileSize: *fileSize,
-		IOSize:   *ioSize,
-		Workers:  *workers,
-		Pipeline: *pipeline,
-		Ops:      *ops,
-		Duration: *duration,
-		ZipfFile: *zipfFile,
-		ZipfOff:  *zipfOff,
-		Seed:     *seed,
-		Shards:   *shards,
+		Mix:       mix,
+		Files:     *files,
+		FileSize:  *fileSize,
+		IOSize:    *ioSize,
+		Workers:   *workers,
+		Pipeline:  *pipeline,
+		Ops:       *ops,
+		Duration:  *duration,
+		ZipfFile:  *zipfFile,
+		ZipfOff:   *zipfOff,
+		Seed:      *seed,
+		Shards:    *shards,
+		Placement: *place,
 	}
 
 	rep, err := wload.Run(cfg, func() (*rangestore.Client, error) {

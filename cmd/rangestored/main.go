@@ -5,14 +5,22 @@
 //
 //	go run ./cmd/rangestored -addr :7420 -lock list-rw -shards 8
 //	go run ./cmd/rangestored -lock pnova-rw -extent 1073741824 -segs 1024
+//	go run ./cmd/rangestored -shards 8 -placement map -rebalance 5s -rebalance-topk 4
 //
-// With -shards N the store is split into N lock domains (files hashed by
-// name), so traffic against different files scales with cores instead of
-// contending on one slot table. Drive it with cmd/rangeload. On
-// SIGINT/SIGTERM the server shuts down gracefully — listeners close,
-// in-flight batches answer, connections drain — and prints how many
-// requests it served per operation and per shard; a second signal forces
-// an immediate stop.
+// With -shards N the store is split into N lock domains, so traffic
+// against different files scales with cores instead of contending on
+// one slot table. -placement picks how files map to shards: "hash"
+// (stateless FNV, the default), "rendezvous" (weighted
+// highest-random-weight hashing; shard weights via -weights), or "map"
+// (a versioned name→shard table over the hash). Only "map" supports
+// online migration: with -rebalance > 0 the server periodically moves
+// the hottest files (up to -rebalance-topk per round, chosen by
+// request counts) off overloaded shards while serving, and clients'
+// MIGRATE requests re-home single files on demand. Drive it with
+// cmd/rangeload. On SIGINT/SIGTERM the server shuts down gracefully —
+// listeners close, in-flight batches answer, connections drain — and
+// prints how many requests it served per operation and per shard; a
+// second signal forces an immediate stop.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -35,13 +44,17 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7420", "TCP listen address")
-		lock   = flag.String("lock", "list-rw", "range-lock variant per file: "+variantNames())
-		shards = flag.Int("shards", 1, "lock domains the store is sharded across (files hashed by name)")
-		extent = flag.Uint64("extent", 1<<30, "pnova-rw: covered byte extent per file")
-		segs   = flag.Int("segs", 1024, "pnova-rw: segments per file")
-		batch  = flag.Int("batch", 64, "max pipelined requests served per lock-context lease")
-		grace  = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget before connections are force-closed")
+		addr      = flag.String("addr", ":7420", "TCP listen address")
+		lock      = flag.String("lock", "list-rw", "range-lock variant per file: "+variantNames())
+		shards    = flag.Int("shards", 1, "lock domains the store is sharded across")
+		placement = flag.String("placement", "hash", "file placement policy: hash, rendezvous, map")
+		weights   = flag.String("weights", "", "rendezvous: comma-separated shard weights (default all 1)")
+		rebalance = flag.Duration("rebalance", 0, "auto-migrate hot files this often (map placement only; 0 = off)")
+		topk      = flag.Int("rebalance-topk", 4, "max files migrated per rebalance round")
+		extent    = flag.Uint64("extent", 1<<30, "pnova-rw: covered byte extent per file")
+		segs      = flag.Int("segs", 1024, "pnova-rw: segments per file")
+		batch     = flag.Int("batch", 64, "max pipelined requests served per lock-context lease")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget before connections are force-closed")
 	)
 	flag.Parse()
 
@@ -50,20 +63,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rangestored:", err)
 		os.Exit(2)
 	}
+	w, err := pfs.ParseWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rangestored:", err)
+		os.Exit(2)
+	}
+	place, err := pfs.NewPlacement(*placement, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rangestored:", err)
+		os.Exit(2)
+	}
+	if *rebalance > 0 && place.Name() != "map" {
+		fmt.Fprintf(os.Stderr, "rangestored: -rebalance needs -placement map (have %s)\n", place.Name())
+		os.Exit(2)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rangestored:", err)
 		os.Exit(1)
 	}
-	store := pfs.NewSharded(*shards, mk)
+	store := pfs.NewShardedPlacement(*shards, mk, place)
 	srv := rangestore.NewServerSharded(store, rangestore.WithMaxBatch(*batch))
-	fmt.Printf("rangestored: serving on %s (lock=%s shards=%d batch=%d)\n", l.Addr(), *lock, store.NumShards(), *batch)
+	fmt.Printf("rangestored: serving on %s (lock=%s shards=%d placement=%s batch=%d)\n",
+		l.Addr(), *lock, store.NumShards(), place.Name(), *batch)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
+
+	stopRebalance := make(chan struct{})
+	var migrated atomic.Int64
+	if *rebalance > 0 {
+		go func() {
+			tick := time.NewTicker(*rebalance)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopRebalance:
+					return
+				case <-tick.C:
+					migs, err := srv.Rebalance(*topk)
+					if err != nil {
+						fmt.Printf("rangestored: rebalance: %v\n", err)
+						continue
+					}
+					for _, m := range migs {
+						migrated.Add(1)
+						fmt.Printf("rangestored: rebalanced %v\n", m)
+					}
+				}
+			}
+		}()
+	}
 
 	select {
 	case s := <-sig:
@@ -83,6 +136,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rangestored:", err)
 			os.Exit(1)
 		}
+	}
+	close(stopRebalance)
+	if n := migrated.Load(); n > 0 {
+		fmt.Printf("rangestored: %d file(s) auto-migrated\n", n)
 	}
 	counts := srv.Counts()
 	ops := make([]string, 0, len(counts))

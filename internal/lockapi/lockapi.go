@@ -88,6 +88,17 @@ func SameOpDomain(a, b Locker) bool {
 	return ok && da.lockDomain() == db.lockDomain()
 }
 
+// OpDomain returns the domain l leases Op contexts from, or nil when l
+// has no Op surface. Callers that must route an Op to the right lock at
+// runtime (a store whose files can migrate between domains) cache this
+// pointer and compare, instead of paying a type assertion per call.
+func OpDomain(l Locker) *core.Domain {
+	if d, ok := l.(domainHolder); ok {
+		return d.lockDomain()
+	}
+	return nil
+}
+
 // --- list-based locks (the paper's contribution) ---
 
 type listEx struct{ l *core.Exclusive }

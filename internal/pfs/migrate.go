@@ -1,0 +1,148 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lockapi"
+)
+
+// ErrStaticPlacement is returned by Migrate when the store's placement
+// cannot express a per-file route (only MapPlacement can).
+var ErrStaticPlacement = errors.New("pfs: placement does not support migration (need map placement)")
+
+// Migrate moves name — its blocks, size watermark and lock state — from
+// its current shard to shard dst, while the file is being served. It
+// requires a MapPlacement (the only policy that can route one name
+// independently of the rest).
+//
+// The move runs under a two-shard ShardedOp and preserves the
+// hold-at-most-one lease invariant: the source shard's leased context
+// freezes the file under an exclusive full-range acquisition, the copy
+// into the destination file touches only an unpublished object (no
+// destination lease needed), and the destination shard is touched only
+// through its namespace lock at publish time. While the source is
+// frozen, both namespace entries are swapped and the map entry flips —
+// so at every instant the name resolves to exactly one live file — and
+// a forwarding pointer is left on the old file: operations already in
+// flight against stale handles finish by re-acquiring on the moved file
+// (see File's forwarding loop), so nothing is lost and nothing blocks
+// forever.
+//
+// Concurrent migrations serialize on the store's migration lock.
+func (s *Sharded) Migrate(name string, dst int) error {
+	mp, ok := s.placement.(*MapPlacement)
+	if !ok {
+		return ErrStaticPlacement
+	}
+	if dst < 0 || dst >= len(s.shards) {
+		return fmt.Errorf("pfs: migrate %q to shard %d of %d", name, dst, len(s.shards))
+	}
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+
+	src := s.ShardIndex(name)
+	if src == dst {
+		return nil
+	}
+	srcFS, dstFS := s.shards[src], s.shards[dst]
+	f, err := srcFS.Open(name)
+	if err != nil {
+		return err
+	}
+
+	// Build the destination file up front: its range lock comes from the
+	// destination shard's factory, so its lock state (slots, arena,
+	// pools) lives in the destination domain from birth.
+	nf, err := dstFS.newUnpublished(name)
+	if err != nil {
+		return err
+	}
+
+	// Freeze the source under an exclusive full-range acquisition,
+	// leased through the ShardedOp like any other source-shard work.
+	sop := s.BeginOp()
+	defer sop.End()
+	r := f.lockRange(sop.Op(src), 0, ^uint64(0), true)
+	defer r.release()
+
+	f.copyTo(nf)
+
+	// Publish atomically with respect to namespace lookups: both
+	// namespace locks are held across insert + route flip + delete, so
+	// Open/Create/Remove on either shard see the name in exactly one
+	// place. (Only Migrate ever holds two namespace locks, and
+	// migrations serialize on migMu, so no lock-order cycle exists.)
+	srcFS.ns.Lock()
+	dstFS.ns.Lock()
+	if dstFS.closed {
+		dstFS.ns.Unlock()
+		srcFS.ns.Unlock()
+		return ErrClosed
+	}
+	dstFS.files[name] = nf
+	mp.Set(name, dst) // bumps the placement version: cached routes re-resolve
+	delete(srcFS.files, name)
+	dstFS.ns.Unlock()
+	srcFS.ns.Unlock()
+
+	// Forward stale handles. Set before the full-range lock releases:
+	// every operation blocked on (or arriving at) the old file observes
+	// it once it acquires, and retries on the moved file.
+	f.moved.Store(nf)
+	// The orphan's data is now unreachable — every operation redirects
+	// before touching blocks (data ops check moved under the lock,
+	// Stat/Size/Blocks follow current()) — so drop it rather than keep
+	// a full duplicate alive for as long as stale handles pin the
+	// orphan; the rebalancer specifically picks hot, often large files.
+	f.dropAllBlocks()
+	return nil
+}
+
+// newUnpublished builds a file wired to this FS (lock factory, Op
+// domain) without inserting it into the namespace — Migrate publishes
+// it under the namespace lock once the copy is complete.
+func (fs *FS) newUnpublished(name string) (*File, error) {
+	fs.ns.RLock()
+	defer fs.ns.RUnlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	lk := fs.mkLock()
+	f := newFile(name, lk)
+	if fs.opSrc != nil && lockapi.SameOpDomain(fs.opSrc, lk) {
+		f.opLk = lk.(lockapi.OpLocker)
+		f.opDom = fs.opDom
+	}
+	return f, nil
+}
+
+// dropAllBlocks releases every resident block. Only valid on a
+// migration orphan whose forwarding pointer is already published: no
+// code path reads or writes an orphan's blocks after that.
+func (f *File) dropAllBlocks() {
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		s.blocks = make(map[uint64][]byte)
+		s.mu.Unlock()
+	}
+}
+
+// copyTo clones f's resident blocks and size watermark into nf. The
+// caller must hold f's full range exclusively and own nf privately, so
+// only the per-block spinlocks (shared with lock-free Stat readers) are
+// needed.
+func (f *File) copyTo(nf *File) {
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		for idx, b := range s.blocks {
+			nb := make([]byte, BlockSize)
+			copy(nb, b)
+			nf.shards[i].blocks[idx] = nb
+		}
+		s.mu.Unlock()
+	}
+	nf.size.Store(f.size.Load())
+}

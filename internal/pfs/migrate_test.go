@@ -1,0 +1,457 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestMigrateBasic(t *testing.T) {
+	mp := NewMapPlacement(nil)
+	s := NewShardedPlacement(4, nil, mp)
+	const name = "hot-file"
+	f, err := s.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 3*BlockSize/2)
+	if _, err := f.WriteAt(payload, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	src := s.ShardIndex(name)
+	dst := (src + 1) % 4
+	v0 := s.PlacementVersion()
+	if err := s.Migrate(name, dst); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if s.PlacementVersion() == v0 {
+		t.Fatal("placement version did not move")
+	}
+	if got := s.ShardIndex(name); got != dst {
+		t.Fatalf("ShardIndex after migrate = %d, want %d", got, dst)
+	}
+	// The namespace swapped: the destination shard owns the name, the
+	// source no longer knows it.
+	if _, err := s.Shard(dst).Open(name); err != nil {
+		t.Fatalf("dst shard Open: %v", err)
+	}
+	if _, err := s.Shard(src).Open(name); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("src shard Open = %v, want ErrNotExist", err)
+	}
+	// Content survived the move.
+	nf, err := s.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := nf.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("content lost in migration")
+	}
+	if nf.Size() != f.Size() {
+		t.Fatalf("sizes diverge: live %d, stale handle %d", nf.Size(), f.Size())
+	}
+	// Migrating to the shard the file is already on is a no-op.
+	if err := s.Migrate(name, dst); err != nil {
+		t.Fatalf("same-shard Migrate: %v", err)
+	}
+}
+
+// TestMigrateStaleHandle: a handle opened before the migration keeps
+// working — reads see the moved content, writes and appends land on the
+// live file where fresh handles observe them.
+func TestMigrateStaleHandle(t *testing.T) {
+	mp := NewMapPlacement(nil)
+	s := NewShardedPlacement(4, nil, mp)
+	const name = "stale"
+	stale, err := s.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.WriteAt([]byte("before"), 0); err != nil {
+		t.Fatal(err)
+	}
+	dst := (s.ShardIndex(name) + 2) % 4
+	if err := s.Migrate(name, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write through the stale handle, threading an Op leased for the old
+	// shard — the forwarding path must drop it rather than panic on the
+	// foreign domain.
+	sop := s.BeginOp()
+	if _, err := stale.WriteAtOp(sop.Op((dst+3)%4), []byte("after"), 16); err != nil {
+		t.Fatal(err)
+	}
+	sop.End()
+	off, err := stale.Append([]byte("tail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := s.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live == stale {
+		t.Fatal("Open after migrate returned the stale file")
+	}
+	buf := make([]byte, 5)
+	if _, err := live.ReadAt(buf, 16); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "after" {
+		t.Fatalf("stale-handle write lost: %q", buf)
+	}
+	if _, err := live.ReadAt(buf[:4], off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[:4]) != "tail" {
+		t.Fatalf("stale-handle append lost: %q", buf[:4])
+	}
+	// Reads through the stale handle see the live content.
+	if _, err := stale.ReadAt(buf, 16); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "after" {
+		t.Fatalf("stale-handle read of live content: %q", buf)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	// Static placements cannot migrate.
+	s := NewSharded(4, nil)
+	if _, err := s.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Migrate("f", 1); !errors.Is(err, ErrStaticPlacement) {
+		t.Fatalf("Migrate on hash placement = %v", err)
+	}
+	// Unknown names and out-of-range shards fail cleanly.
+	m := NewShardedPlacement(4, nil, NewMapPlacement(nil))
+	if err := m.Migrate("ghost", 1); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Migrate of missing file = %v", err)
+	}
+	if _, err := m.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Migrate("f", 4); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	if err := m.Migrate("f", -1); err == nil {
+		t.Fatal("negative destination accepted")
+	}
+}
+
+// TestMigrateRemoveRace: removing a file serializes with migration, so
+// the name cannot resurrect from a half-moved copy.
+func TestMigrateRemoveRace(t *testing.T) {
+	mp := NewMapPlacement(nil)
+	s := NewShardedPlacement(4, nil, mp)
+	for round := 0; round < 20; round++ {
+		name := fmt.Sprintf("rr-%02d", round)
+		if _, err := s.Create(name); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for d := 0; d < 4; d++ {
+				s.Migrate(name, d) // ErrNotExist once removed: fine
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			s.Remove(name)
+		}()
+		wg.Wait()
+		// However the race resolved, the name must be gone from every
+		// shard (Remove ran; Migrate must not have resurrected it) —
+		// unless Remove lost by running before a migration landed the
+		// file elsewhere... which cannot happen, because both hold the
+		// migration lock. So: gone, everywhere.
+		if _, err := s.Open(name); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("round %d: %q survived Remove: %v", round, name, err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := s.Shard(i).Open(name); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("round %d: %q resurrected on shard %d", round, name, i)
+			}
+		}
+	}
+}
+
+// TestRemoveDropsPin: a removed file's shard-map pin dies with it, so
+// recreating the name places by the fallback hash, not the dead file's
+// route.
+func TestRemoveDropsPin(t *testing.T) {
+	mp := NewMapPlacement(nil)
+	s := NewShardedPlacement(4, nil, mp)
+	const name = "pinned"
+	if _, err := s.Create(name); err != nil {
+		t.Fatal(err)
+	}
+	dst := (ShardOf(name, 4) + 1) % 4
+	if err := s.Migrate(name, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if pins := mp.Pinned(); len(pins) != 0 {
+		t.Fatalf("pins survive Remove: %v", pins)
+	}
+	if _, err := s.Create(name); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.ShardIndex(name), ShardOf(name, 4); got != want {
+		t.Fatalf("recreated file placed at %d, want fallback %d", got, want)
+	}
+}
+
+// TestOpenCreateDuringMigration races namespace operations against a
+// migration churn on the same names: Open must never spuriously
+// not-exist and Create must never split-brain a name into two shards.
+func TestOpenCreateDuringMigration(t *testing.T) {
+	mp := NewMapPlacement(nil)
+	s := NewShardedPlacement(4, nil, mp)
+	const name = "ns-race"
+	if _, err := s.Create(name); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 200; i++ {
+			if err := s.Migrate(name, i%4); err != nil {
+				t.Errorf("Migrate: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Open(name); err != nil {
+					t.Errorf("Open during migration: %v", err)
+					return
+				}
+				if _, err := s.Create(name); !errors.Is(err, ErrExist) {
+					t.Errorf("Create during migration = %v, want ErrExist", err)
+					return
+				}
+				if _, err := s.Stat(name); err != nil {
+					t.Errorf("Stat during migration: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Exactly one shard holds the name.
+	holders := 0
+	for i := 0; i < 4; i++ {
+		if _, err := s.Shard(i).Open(name); err == nil {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("%d shards hold %q after the churn", holders, name)
+	}
+}
+
+// TestMigrateUnderLoad is the migration race test: readers and writers
+// hammer one file through stale handles (never re-resolving) while it
+// ping-pongs across all shards, and appenders do the same to a second
+// migrating file. Every write must be observable at its range and every
+// append at its returned offset once the dust settles. Run under -race.
+func TestMigrateUnderLoad(t *testing.T) {
+	mp := NewMapPlacement(nil)
+	s := NewShardedPlacement(4, nil, mp)
+	const (
+		hot     = "hot"
+		hotLog  = "hot-log"
+		writers = 4
+		readers = 2
+		appends = 120
+		span    = 2048
+	)
+	f, err := s.Create(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := s.Create(hotLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Every load goroutine checks in after its first operation, so the
+	// migrator provably races against live traffic.
+	var ready sync.WaitGroup
+	ready.Add(writers + 2)
+
+	// The migrator ping-pongs both files across the shards, then stops
+	// the load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		ready.Wait()
+		for i := 0; i < 60; i++ {
+			if err := s.Migrate(hot, i%4); err != nil {
+				t.Errorf("Migrate(%s): %v", hot, err)
+				return
+			}
+			if err := s.Migrate(hotLog, (i+2)%4); err != nil {
+				t.Errorf("Migrate(%s): %v", hotLog, err)
+				return
+			}
+		}
+	}()
+
+	// Writers: constant per-worker pattern into a fixed disjoint range,
+	// through the stale handle, threading an Op leased for whatever
+	// shard the placement names right now (racy on purpose — exactly the
+	// server's exposure between version check and execution).
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var once sync.Once
+			defer once.Do(ready.Done)
+			payload := bytes.Repeat([]byte{byte(w + 1)}, span)
+			base := uint64(1<<20) + uint64(w)*span
+			sop := s.BeginOp()
+			defer sop.End()
+			for {
+				op := sop.Op(s.ShardIndex(hot))
+				if _, err := f.WriteAtOp(op, payload, base); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				sop.End()
+				once.Do(ready.Done)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+
+	// Readers: a worker's range is all-zero before its first write and
+	// all-pattern after — the range lock makes each write atomic, so any
+	// mix of the two bytes is a lost-atomicity bug.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]byte, span)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := (r + i) % writers
+				base := uint64(1<<20) + uint64(w)*span
+				n, err := f.ReadAt(buf, base)
+				if err != nil && err != io.EOF {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				for j := 0; j < n; j++ {
+					if buf[j] != 0 && buf[j] != byte(w+1) {
+						t.Errorf("reader %d: byte %d of worker %d range = %#x", r, j, w, buf[j])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Appenders: fixed record count, each verified later at its returned
+	// offset.
+	type landed struct {
+		off uint64
+		rec []byte
+	}
+	appendLog := make([][]landed, 2)
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			var once sync.Once
+			defer once.Do(ready.Done)
+			for i := 0; i < appends; i++ {
+				rec := bytes.Repeat([]byte{byte(0xA0 + a)}, 64)
+				off, err := lg.Append(rec)
+				if err != nil {
+					t.Errorf("appender %d: %v", a, err)
+					return
+				}
+				appendLog[a] = append(appendLog[a], landed{off, rec})
+				once.Do(ready.Done)
+			}
+		}(a)
+	}
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Settle: verify through fresh handles.
+	live, err := s.Open(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, span)
+	for w := 0; w < writers; w++ {
+		base := uint64(1<<20) + uint64(w)*span
+		if _, err := live.ReadAt(buf, base); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		for j, b := range buf {
+			if b != byte(w+1) {
+				t.Fatalf("writer %d range byte %d = %#x after settle", w, j, b)
+			}
+		}
+	}
+	liveLog, err := s.Open(hotLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, lands := range appendLog {
+		for i, l := range lands {
+			got := make([]byte, len(l.rec))
+			if _, err := liveLog.ReadAt(got, l.off); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, l.rec) {
+				t.Fatalf("appender %d record %d at %d corrupted", a, i, l.off)
+			}
+		}
+	}
+}

@@ -80,6 +80,7 @@ type FS struct {
 	files  map[string]*File
 	mkLock LockFactory
 	opSrc  lockapi.OpLocker // probe lock Ops are leased from; nil if unsupported
+	opDom  *core.Domain     // the probe lock's domain
 	closed bool
 }
 
@@ -97,6 +98,7 @@ func New(mk LockFactory) *FS {
 	// falls back to the plain per-call path otherwise.
 	if ol, ok := mk().(lockapi.OpLocker); ok {
 		fs.opSrc = ol
+		fs.opDom = lockapi.OpDomain(ol)
 	}
 	return fs
 }
@@ -109,8 +111,9 @@ func New(mk LockFactory) *FS {
 // whose lock variant has no Op surface — so callers can thread an Op
 // unconditionally.
 type Op struct {
-	ol lockapi.OpLocker
-	op lockapi.Op
+	ol  lockapi.OpLocker
+	op  lockapi.Op
+	dom *core.Domain // the domain op was leased from; guards cross-domain use
 }
 
 // BeginOp leases an operation context shared by every file of this FS
@@ -120,7 +123,7 @@ func (fs *FS) BeginOp() Op {
 	if fs.opSrc == nil {
 		return Op{}
 	}
-	return Op{ol: fs.opSrc, op: fs.opSrc.BeginOp()}
+	return Op{ol: fs.opSrc, op: fs.opSrc.BeginOp(), dom: fs.opDom}
 }
 
 // End returns the context to its domain. The zero Op's End is a no-op.
@@ -147,6 +150,7 @@ func (fs *FS) Create(name string) (*File, error) {
 	// panic on the foreign context, so the file opts out up front.
 	if fs.opSrc != nil && lockapi.SameOpDomain(fs.opSrc, lk) {
 		f.opLk = lk.(lockapi.OpLocker)
+		f.opDom = fs.opDom
 	}
 	fs.files[name] = f
 	return f, nil
@@ -221,7 +225,9 @@ type blockShard struct {
 type File struct {
 	name   string
 	lk     lockapi.Locker
-	opLk   lockapi.OpLocker // non-nil iff lk accepts Ops leased by the owning FS
+	opLk   lockapi.OpLocker // non-nil iff lk accepts leased Ops
+	opDom  *core.Domain     // the domain opLk leases from; Ops from others fall back
+	moved  atomic.Pointer[File]
 	size   atomic.Uint64
 	shards [blockShards]blockShard
 }
@@ -237,8 +243,22 @@ func newFile(name string, lk lockapi.Locker) *File {
 // Name returns the file's name at creation time.
 func (f *File) Name() string { return f.name }
 
+// current follows migration forwarding to the file's live incarnation:
+// after Sharded.Migrate moves a file to another shard, the orphaned
+// original points at the copy, so stale handles keep observing (and,
+// through the forwarding loop in each operation, mutating) live state.
+func (f *File) current() *File {
+	for {
+		nf := f.moved.Load()
+		if nf == nil {
+			return f
+		}
+		f = nf
+	}
+}
+
 // Size returns the current file size (highest written offset).
-func (f *File) Size() uint64 { return f.size.Load() }
+func (f *File) Size() uint64 { return f.current().size.Load() }
 
 func (f *File) shard(block uint64) *blockShard {
 	return &f.shards[block&(blockShards-1)]
@@ -302,12 +322,37 @@ func (r rangeRel) release() {
 }
 
 // lockRange acquires [start, end) on the file's lock, through op's leased
-// context when both the op and the lock support it.
+// context when the op and the lock lease from the same domain. The
+// domain comparison is what makes dynamic placement safe: a caller can
+// hold a handle whose file has migrated to another shard and thread an
+// Op leased for either shard — a mismatched pair silently takes the
+// plain per-call path instead of panicking on a foreign context.
 func (f *File) lockRange(op Op, start, end uint64, write bool) rangeRel {
-	if op.ol != nil && f.opLk != nil {
+	if op.ol != nil && f.opLk != nil && op.dom == f.opDom {
 		return rangeRel{ol: f.opLk, op: op.op, g: f.opLk.AcquireOp(op.op, start, end, write)}
 	}
 	return rangeRel{rel: f.lk.Acquire(start, end, write)}
+}
+
+// lockResolved is lockRange following migration forwarding: a file can
+// move to another shard while the caller waits for the range, in which
+// case the acquisition lands on a frozen orphan — Migrate sets the
+// forwarding pointer before it releases its full-range freeze, so the
+// check under the held lock is race-free. The held range is then
+// released and re-acquired on the moved file (lockRange's domain check
+// routes the op: foreign to the new shard it falls back to the plain
+// path, matching again after a ping-pong it rides the fast path).
+// Returns the live file and the held range.
+func (f *File) lockResolved(op Op, start, end uint64, write bool) (*File, rangeRel) {
+	for {
+		r := f.lockRange(op, start, end, write)
+		nf := f.moved.Load()
+		if nf == nil {
+			return f, r
+		}
+		r.release()
+		f = nf
+	}
 }
 
 // WriteAt writes p at offset off under an exclusive range lock, growing
@@ -323,7 +368,7 @@ func (f *File) WriteAtOp(op Op, p []byte, off uint64) (int, error) {
 		return 0, nil
 	}
 	end := off + uint64(len(p))
-	r := f.lockRange(op, off, end, true)
+	f, r := f.lockResolved(op, off, end, true)
 	defer r.release()
 	f.writeLocked(p, off)
 	f.growSize(end)
@@ -353,7 +398,7 @@ func (f *File) ReadAtOp(op Op, p []byte, off uint64) (int, error) {
 		return 0, nil
 	}
 	end := off + uint64(len(p))
-	r := f.lockRange(op, off, end, false)
+	f, r := f.lockResolved(op, off, end, false)
 	defer r.release()
 	size := f.size.Load()
 	var eof error
@@ -400,16 +445,30 @@ func (f *File) Append(p []byte) (uint64, error) {
 func (f *File) AppendOp(op Op, p []byte) (uint64, error) {
 	n := uint64(len(p))
 	if n == 0 {
-		return f.size.Load(), nil
+		return f.current().size.Load(), nil
 	}
-	// Reserve: the watermark moves first, so each append owns a disjoint
-	// range; readers past the old size see zeros until the write lands,
-	// as with any sparse file.
-	off := f.size.Add(n) - n
-	r := f.lockRange(op, off, off+n, true)
-	defer r.release()
-	f.writeLocked(p, off)
-	return off, nil
+	for {
+		// Reserve: the watermark moves first, so each append owns a disjoint
+		// range; readers past the old size see zeros until the write lands,
+		// as with any sparse file.
+		off := f.size.Add(n) - n
+		r := f.lockRange(op, off, off+n, true)
+		nf := f.moved.Load()
+		if nf == nil {
+			f.writeLocked(p, off)
+			r.release()
+			return off, nil
+		}
+		// The file moved while we waited: the reservation belongs to the
+		// orphaned copy, so restart on the moved file — reservation and
+		// write must land on the same watermark, or two appends could be
+		// granted overlapping ranges. If the migration copy caught the
+		// abandoned reservation in the watermark, the moved file keeps a
+		// zero-filled gap there, like any sparse hole; nothing is lost or
+		// written twice.
+		r.release()
+		f = nf
+	}
 }
 
 // Truncate shrinks or grows the file to size n, holding the exclusive
@@ -420,7 +479,7 @@ func (f *File) Truncate(n uint64) {
 
 // TruncateOp is Truncate threading a leased operation context.
 func (f *File) TruncateOp(op Op, n uint64) {
-	r := f.lockRange(op, n, ^uint64(0), true)
+	f, r := f.lockResolved(op, n, ^uint64(0), true)
 	defer r.release()
 	cur := f.size.Load()
 	if n < cur {
@@ -449,13 +508,16 @@ type FileInfo struct {
 // Stat returns the file's metadata without taking the range lock: size is
 // a single atomic watermark and the block count is advisory, so a Stat
 // concurrent with writes sees some consistent recent state, as with any
-// live file system.
+// live file system. It follows migration forwarding, so a stale handle
+// stats the live file, not the frozen orphan.
 func (f *File) Stat() FileInfo {
+	f = f.current()
 	return FileInfo{Name: f.name, Size: f.size.Load(), Blocks: f.Blocks()}
 }
 
 // Blocks reports how many blocks are resident (tests/stats).
 func (f *File) Blocks() int {
+	f = f.current()
 	n := 0
 	for i := range f.shards {
 		s := &f.shards[i]

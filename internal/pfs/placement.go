@@ -1,0 +1,242 @@
+package pfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Placement decides which shard owns a file name. It is the pluggable
+// policy behind Sharded: the store asks it on every namespace resolution
+// (open, create, handle re-resolution), so implementations must be safe
+// for concurrent use and cheap on the read path.
+//
+// Version is how dynamic placements publish changes: it returns a
+// counter that increases whenever any name's shard can have changed.
+// Static placements (pure functions of the name) return 0 forever, so
+// version checks against them compile down to a compare-with-zero and
+// routing stays exactly as cheap as the stateless hash was. Callers that
+// cache a name→shard resolution (the server's per-connection handle
+// table) remember the version they resolved under and re-resolve when it
+// moves.
+type Placement interface {
+	// Name identifies the policy ("hash", "rendezvous", "map").
+	Name() string
+	// Place maps name to a shard in [0, nshards). It must be stable for
+	// a given (name, nshards) between Version changes.
+	Place(name string, nshards int) int
+	// Version is the current placement generation; 0 forever for static
+	// placements.
+	Version() uint64
+}
+
+// HashPlacement is the stateless FNV-1a placement ShardOf implements —
+// the default, and the zero-cost baseline the other policies are
+// measured against.
+type HashPlacement struct{}
+
+// Name implements Placement.
+func (HashPlacement) Name() string { return "hash" }
+
+// Place implements Placement via ShardOf.
+func (HashPlacement) Place(name string, nshards int) int { return ShardOf(name, nshards) }
+
+// Version implements Placement; hash placement never changes.
+func (HashPlacement) Version() uint64 { return 0 }
+
+// RendezvousPlacement is weighted rendezvous (highest-random-weight)
+// hashing: every (name, shard) pair gets an independent pseudo-random
+// score and the name goes to the shard with the highest weighted score.
+// Unlike modulo hashing, changing one shard's weight only moves names
+// into or out of that shard, and uneven weights let heterogeneous shards
+// take proportionally uneven shares of the namespace.
+type RendezvousPlacement struct {
+	weights []float64
+}
+
+// NewRendezvous builds a weighted rendezvous placement. weights[i] is
+// shard i's relative capacity; missing entries (or a nil slice) default
+// to 1, non-positive entries make a shard ineligible for new names.
+func NewRendezvous(weights []float64) *RendezvousPlacement {
+	return &RendezvousPlacement{weights: append([]float64(nil), weights...)}
+}
+
+// Name implements Placement.
+func (p *RendezvousPlacement) Name() string { return "rendezvous" }
+
+// Version implements Placement; rendezvous placement is static.
+func (p *RendezvousPlacement) Version() uint64 { return 0 }
+
+// Place implements Placement: the classic weighted-rendezvous score
+// -w/ln(u) with u drawn per (name, shard) from a 64-bit mix of the
+// name hash and the shard index.
+func (p *RendezvousPlacement) Place(name string, nshards int) int {
+	if nshards <= 1 {
+		return 0
+	}
+	h := fnv64(name)
+	best, bestScore := -1, math.Inf(-1)
+	for i := 0; i < nshards; i++ {
+		w := 1.0
+		if i < len(p.weights) {
+			w = p.weights[i]
+		}
+		if !(w > 0) { // also catches NaN
+			continue
+		}
+		// splitmix64 over the name hash xor the shard index gives an
+		// independent draw per pair.
+		x := h ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		// u in (0, 1]: never exactly 0, so ln(u) is finite.
+		u := (float64(x>>11) + 1) / (1 << 53)
+		score := -w / math.Log(u)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		// Every shard was weighted ineligible — a misconfiguration, but
+		// routing everything to shard 0 (the likely "disabled" shard)
+		// would silently defeat sharding; fall back to the plain hash.
+		return ShardOf(name, nshards)
+	}
+	return best
+}
+
+// ParseWeights parses a comma-separated weight list ("1,1,2.5") for
+// NewRendezvous; an empty string yields nil (all shards weight 1).
+func ParseWeights(s string) ([]float64, error) {
+	if s = strings.TrimSpace(s); s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("pfs: bad weight %q", p)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// MapPlacement is an explicit, versioned name→shard table over a
+// fallback placement: names without an entry place by the fallback
+// (default hash, so an empty map behaves exactly like HashPlacement),
+// names with one go where the table says. It is the only placement that
+// supports online migration — Sharded.Migrate moves a file's data and
+// lock state, then flips its entry here, bumping the version so cached
+// routes (server handle tables) re-resolve.
+type MapPlacement struct {
+	fallback Placement
+	ver      atomic.Uint64
+	mu       sync.RWMutex
+	m        map[string]int
+}
+
+// NewMapPlacement builds an empty shard map over fallback (nil selects
+// HashPlacement).
+func NewMapPlacement(fallback Placement) *MapPlacement {
+	if fallback == nil {
+		fallback = HashPlacement{}
+	}
+	return &MapPlacement{fallback: fallback, m: make(map[string]int)}
+}
+
+// Name implements Placement.
+func (p *MapPlacement) Name() string { return "map" }
+
+// Version implements Placement: it increases on every Set.
+func (p *MapPlacement) Version() uint64 { return p.ver.Load() }
+
+// Place implements Placement: the table entry when present and in
+// range, the fallback otherwise.
+func (p *MapPlacement) Place(name string, nshards int) int {
+	p.mu.RLock()
+	s, ok := p.m[name]
+	p.mu.RUnlock()
+	if ok && s >= 0 && s < nshards {
+		return s
+	}
+	return p.fallback.Place(name, nshards)
+}
+
+// Set pins name to shard and bumps the version. On a live Sharded store
+// do not call this directly — Sharded.Migrate moves the file's data and
+// lock state first, then calls Set; flipping the route without moving
+// the file would send requests to a shard that does not hold it.
+func (p *MapPlacement) Set(name string, shard int) {
+	p.mu.Lock()
+	p.m[name] = shard
+	p.ver.Add(1)
+	p.mu.Unlock()
+}
+
+// Delete drops name's pin, if any, so a later file of the same name
+// places by the fallback again; the version bumps when an entry was
+// actually removed. Sharded.Remove calls this so a removed-then-
+// recreated name does not inherit its dead predecessor's route (and so
+// the table does not grow monotonically under namespace churn).
+func (p *MapPlacement) Delete(name string) {
+	p.mu.Lock()
+	if _, ok := p.m[name]; ok {
+		delete(p.m, name)
+		p.ver.Add(1)
+	}
+	p.mu.Unlock()
+}
+
+// Pinned returns a copy of the explicit entries (debugging/tests).
+func (p *MapPlacement) Pinned() map[string]int {
+	p.mu.RLock()
+	out := make(map[string]int, len(p.m))
+	for k, v := range p.m {
+		out[k] = v
+	}
+	p.mu.RUnlock()
+	return out
+}
+
+// String renders the pinned entries deterministically.
+func (p *MapPlacement) String() string {
+	pins := p.Pinned()
+	names := make([]string, 0, len(pins))
+	for n := range pins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("map{")
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, pins[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// NewPlacement builds a placement by policy name: "hash" (or ""),
+// "rendezvous" (weights optional), or "map" (weights ignored).
+func NewPlacement(policy string, weights []float64) (Placement, error) {
+	switch policy {
+	case "", "hash":
+		return HashPlacement{}, nil
+	case "rendezvous":
+		return NewRendezvous(weights), nil
+	case "map":
+		return NewMapPlacement(nil), nil
+	}
+	return nil, fmt.Errorf("pfs: unknown placement %q (hash, rendezvous, map)", policy)
+}

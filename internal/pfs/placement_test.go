@@ -1,0 +1,163 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHashPlacementMatchesShardOf(t *testing.T) {
+	p := HashPlacement{}
+	if p.Name() != "hash" || p.Version() != 0 {
+		t.Fatalf("hash placement identity: %q v%d", p.Name(), p.Version())
+	}
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("f-%03d", i)
+		if p.Place(name, 8) != ShardOf(name, 8) {
+			t.Fatalf("Place(%q) != ShardOf", name)
+		}
+	}
+}
+
+func TestRendezvousStableAndSpreads(t *testing.T) {
+	p := NewRendezvous(nil)
+	const n, files = 8, 512
+	var counts [n]int
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("rdv-%04d", i)
+		s := p.Place(name, n)
+		if s < 0 || s >= n {
+			t.Fatalf("Place(%q) = %d out of range", name, s)
+		}
+		if s != p.Place(name, n) {
+			t.Fatalf("Place(%q) not stable", name)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d got no files: %v", s, counts)
+		}
+		if c > files/2 {
+			t.Fatalf("shard %d got %d of %d files: %v", s, c, files, counts)
+		}
+	}
+	if p.Place("anything", 1) != 0 || p.Place("anything", 0) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+}
+
+// TestRendezvousWeights: a zero-weight shard takes nothing, and a shard
+// with double weight takes roughly double the uniform share.
+func TestRendezvousWeights(t *testing.T) {
+	const n, files = 4, 4000
+	p := NewRendezvous([]float64{1, 2, 1, 0})
+	var counts [n]int
+	for i := 0; i < files; i++ {
+		counts[p.Place(fmt.Sprintf("w-%05d", i), n)]++
+	}
+	if counts[3] != 0 {
+		t.Fatalf("zero-weight shard took %d files: %v", counts[3], counts)
+	}
+	// Shares among eligible shards should be ~1:2:1 (25%, 50%, 25% of
+	// files). Allow wide slack — this is a statistical property.
+	if counts[1] < counts[0] || counts[1] < counts[2] {
+		t.Fatalf("double-weight shard is not the biggest: %v", counts)
+	}
+	if lo, hi := files/8, files/2; counts[0] < lo || counts[2] < lo || counts[1] > hi+files/8 {
+		t.Fatalf("weighted shares far from 1:2:1: %v", counts)
+	}
+}
+
+// TestRendezvousMinimalDisruption: adding a shard moves names only into
+// the new shard, never between old ones — the property modulo hashing
+// lacks.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	p := NewRendezvous(nil)
+	const files = 500
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("md-%04d", i)
+		before := p.Place(name, 8)
+		after := p.Place(name, 9)
+		if after != before && after != 8 {
+			t.Fatalf("%q moved %d -> %d when shard 8 was added", name, before, after)
+		}
+	}
+}
+
+func TestMapPlacement(t *testing.T) {
+	p := NewMapPlacement(nil)
+	if p.Version() != 0 {
+		t.Fatalf("fresh map version = %d", p.Version())
+	}
+	// Empty map behaves like the hash.
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("m-%03d", i)
+		if p.Place(name, 8) != ShardOf(name, 8) {
+			t.Fatalf("empty map diverges from hash for %q", name)
+		}
+	}
+	p.Set("m-000", 5)
+	if v := p.Version(); v != 1 {
+		t.Fatalf("version after Set = %d", v)
+	}
+	if s := p.Place("m-000", 8); s != 5 {
+		t.Fatalf("pinned placement = %d, want 5", s)
+	}
+	// An entry out of range for this shard count falls back to the hash.
+	if s := p.Place("m-000", 4); s != ShardOf("m-000", 4) {
+		t.Fatalf("out-of-range pin placed at %d", s)
+	}
+	if pins := p.Pinned(); len(pins) != 1 || pins["m-000"] != 5 {
+		t.Fatalf("Pinned = %v", pins)
+	}
+	// Delete drops the pin (version bumps) and is a no-op for strangers.
+	p.Delete("m-000")
+	if v := p.Version(); v != 2 {
+		t.Fatalf("version after Delete = %d", v)
+	}
+	if s := p.Place("m-000", 8); s != ShardOf("m-000", 8) {
+		t.Fatalf("deleted pin still routes to %d", s)
+	}
+	p.Delete("never-pinned")
+	if v := p.Version(); v != 2 {
+		t.Fatalf("no-op Delete bumped version to %d", v)
+	}
+}
+
+func TestNewPlacementAndWeights(t *testing.T) {
+	for _, policy := range []string{"", "hash", "rendezvous", "map"} {
+		if _, err := NewPlacement(policy, nil); err != nil {
+			t.Fatalf("NewPlacement(%q): %v", policy, err)
+		}
+	}
+	if _, err := NewPlacement("nope", nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	w, err := ParseWeights(" 1, 2.5 ,0.5")
+	if err != nil || len(w) != 3 || w[1] != 2.5 {
+		t.Fatalf("ParseWeights = %v, %v", w, err)
+	}
+	if w, err := ParseWeights(""); err != nil || w != nil {
+		t.Fatalf("empty weights = %v, %v", w, err)
+	}
+	if _, err := ParseWeights("1,x"); err == nil {
+		t.Fatal("bad weight accepted")
+	}
+	if _, err := ParseWeights("2x3,1"); err == nil {
+		t.Fatal("weight with trailing garbage accepted")
+	}
+	for _, bad := range []string{"NaN,1", "1,Inf"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Fatalf("non-finite weight %q accepted", bad)
+		}
+	}
+	// All shards weighted ineligible: fall back to the hash rather than
+	// silently routing everything to shard 0.
+	dead := NewRendezvous([]float64{0, 0, 0, 0})
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("dead-%02d", i)
+		if got, want := dead.Place(name, 4), ShardOf(name, 4); got != want {
+			t.Fatalf("all-ineligible Place(%q) = %d, want hash %d", name, got, want)
+		}
+	}
+}

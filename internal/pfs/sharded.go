@@ -1,6 +1,8 @@
 package pfs
 
 import (
+	"sync"
+
 	"repro/internal/core"
 )
 
@@ -11,23 +13,37 @@ const shardSlots = 128
 
 // Sharded is a file system split into N independent shards: each shard
 // has its own core.Domain (slot table, arena, node pools), its own block
-// tables and its own namespace lock, with files placed by a hash of
-// their name. Operations on files in different shards therefore share no
-// lock state whatsoever — the range-lock analogue of per-VMA / per-file
-// sharding: the lock variant decides how disjoint ranges of one file
-// interleave, the shards make disjoint files scale with cores.
+// tables and its own namespace lock, with files placed by a pluggable
+// Placement policy (default: FNV hash of the name). Operations on files
+// in different shards therefore share no lock state whatsoever — the
+// range-lock analogue of per-VMA / per-file sharding: the lock variant
+// decides how disjoint ranges of one file interleave, the shards make
+// disjoint files scale with cores. With a MapPlacement, Migrate moves a
+// hot file's data and lock state between shards while it is being
+// served.
 type Sharded struct {
-	shards []*FS
+	shards    []*FS
+	placement Placement
+	migMu     sync.Mutex // serializes Migrate/Remove so a route never dangles
 }
 
 // NewSharded creates a file system of n shards (n < 1 is treated as 1),
 // each with a fresh domain whose locks are built by mk (nil selects
-// DefaultDomainLockFactory).
+// DefaultDomainLockFactory), placed by the default hash.
 func NewSharded(n int, mk DomainLockFactory) *Sharded {
+	return NewShardedPlacement(n, mk, nil)
+}
+
+// NewShardedPlacement is NewSharded with an explicit placement policy
+// (nil selects HashPlacement).
+func NewShardedPlacement(n int, mk DomainLockFactory, p Placement) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{shards: make([]*FS, n)}
+	if p == nil {
+		p = HashPlacement{}
+	}
+	s := &Sharded{shards: make([]*FS, n), placement: p}
 	for i := range s.shards {
 		s.shards[i] = NewInDomain(core.NewDomain(shardSlots), mk)
 	}
@@ -35,21 +51,20 @@ func NewSharded(n int, mk DomainLockFactory) *Sharded {
 }
 
 // ShardedFrom wraps existing file systems as the shards of one store,
-// in order. It panics on an empty argument list. Useful for tests and
-// for serving a pre-built single FS through the sharded surface.
+// in order, placed by the default hash. It panics on an empty argument
+// list. Useful for tests and for serving a pre-built single FS through
+// the sharded surface.
 func ShardedFrom(fss ...*FS) *Sharded {
 	if len(fss) == 0 {
 		panic("pfs: ShardedFrom of no file systems")
 	}
-	return &Sharded{shards: fss}
+	return &Sharded{shards: fss, placement: HashPlacement{}}
 }
 
-// ShardOf places a file name among nshards shards (FNV-1a). Exported so
-// load generators and tests can predict placement without a Sharded.
-func ShardOf(name string, nshards int) int {
-	if nshards <= 1 {
-		return 0
-	}
+// fnv64 is the FNV-1a fold over a file name that every stateless
+// placement derives from — one definition, so hash and rendezvous
+// placement can never silently diverge on how a name is digested.
+func fnv64(name string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -59,14 +74,33 @@ func ShardOf(name string, nshards int) int {
 		h ^= uint64(name[i])
 		h *= prime64
 	}
-	return int(h % uint64(nshards))
+	return h
+}
+
+// ShardOf places a file name among nshards shards (FNV-1a). Exported so
+// load generators and tests can predict placement without a Sharded.
+func ShardOf(name string, nshards int) int {
+	if nshards <= 1 {
+		return 0
+	}
+	return int(fnv64(name) % uint64(nshards))
 }
 
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// ShardIndex returns the shard owning name.
-func (s *Sharded) ShardIndex(name string) int { return ShardOf(name, len(s.shards)) }
+// Placement returns the store's placement policy.
+func (s *Sharded) Placement() Placement { return s.placement }
+
+// PlacementVersion is the current placement generation (see
+// Placement.Version): callers caching name→shard resolutions re-resolve
+// when it moves. Constant 0 for static placements.
+func (s *Sharded) PlacementVersion() uint64 { return s.placement.Version() }
+
+// ShardIndex returns the shard owning name under the current placement.
+func (s *Sharded) ShardIndex(name string) int {
+	return s.placement.Place(name, len(s.shards))
+}
 
 // Shard returns the i'th shard file system.
 func (s *Sharded) Shard(i int) *FS { return s.shards[i] }
@@ -74,17 +108,74 @@ func (s *Sharded) Shard(i int) *FS { return s.shards[i] }
 // shardFor routes a name to its owning shard.
 func (s *Sharded) shardFor(name string) *FS { return s.shards[s.ShardIndex(name)] }
 
-// Create adds an empty file in the shard owning name.
-func (s *Sharded) Create(name string) (*File, error) { return s.shardFor(name).Create(name) }
+// Create adds an empty file in the shard owning name. It holds the
+// migration lock: resolving the shard and inserting the name are two
+// steps, and a migration flipping this very name between them would
+// let Create insert a duplicate into the shard the name just left.
+// Serializing with Migrate (which holds the lock for its whole
+// critical section) closes that window; creation is a namespace op,
+// rare next to data traffic, so the store-wide lock does not matter.
+//
+// Do not call Create, Remove or Migrate while holding a leased context
+// (ShardedOp.Op) of this store: Migrate leases a slot while holding
+// the migration lock, so a caller blocking here with a slot held is
+// half of a hold-and-wait cycle. Release the lease first (the server
+// does exactly this in its OPEN+create and MIGRATE paths).
+func (s *Sharded) Create(name string) (*File, error) {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return s.shardFor(name).Create(name)
+}
 
 // Open returns an existing file from its owning shard.
-func (s *Sharded) Open(name string) (*File, error) { return s.shardFor(name).Open(name) }
+func (s *Sharded) Open(name string) (*File, error) {
+	f, _, err := s.Resolve(name)
+	return f, err
+}
+
+// Resolve returns an existing file together with the shard it was
+// found on, under a placement snapshot that stayed stable across the
+// lookup: resolving the shard and searching its namespace are two
+// steps, and a migration flipping the name between them would yield a
+// spurious not-exist (or a stale shard attribution). Any flip bumps
+// the placement version, so a version unchanged around the lookup
+// proves the answer consistent; otherwise retry (migrations are rare
+// and the loop settles as soon as one isn't mid-flight).
+func (s *Sharded) Resolve(name string) (*File, int, error) {
+	for {
+		v := s.placement.Version()
+		i := s.placement.Place(name, len(s.shards))
+		f, err := s.shards[i].Open(name)
+		if s.placement.Version() == v {
+			return f, i, err
+		}
+	}
+}
 
 // Stat returns metadata for an existing file by name.
-func (s *Sharded) Stat(name string) (FileInfo, error) { return s.shardFor(name).Stat(name) }
+func (s *Sharded) Stat(name string) (FileInfo, error) {
+	f, _, err := s.Resolve(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return f.Stat(), nil
+}
 
-// Remove deletes a file from its owning shard's namespace.
-func (s *Sharded) Remove(name string) error { return s.shardFor(name).Remove(name) }
+// Remove deletes a file from its owning shard's namespace. It holds the
+// migration lock so a concurrent Migrate cannot resurrect the name from
+// its half-moved copy, and drops the name's placement pin so a later
+// file of the same name places by the fallback again.
+func (s *Sharded) Remove(name string) error {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	err := s.shardFor(name).Remove(name)
+	if err == nil {
+		if mp, ok := s.placement.(*MapPlacement); ok {
+			mp.Delete(name)
+		}
+	}
+	return err
+}
 
 // List returns the file names across all shards (unordered).
 func (s *Sharded) List() []string {

@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lockapi"
 	"repro/internal/pfs"
+	"repro/internal/stats"
 )
 
 // benchExtent is the file span the store benchmark touches: 64 stripes
@@ -268,6 +270,172 @@ func BenchmarkStoreServerSharded(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// BenchmarkStorePlacement measures how the placement policy handles a
+// zipf-hot namespace (s=2: the hottest of 32 files absorbs ~60% of the
+// traffic). hash and rendezvous place statelessly — whatever shard the
+// hot names land on stays hot. map-rebalance primes the same skewed
+// traffic, lets the rebalancer migrate the hottest files apart
+// (measure-then-move), and then measures steady state. Reported next to
+// ns/op: the max/min per-shard request skew over the measured phase and
+// the p99 burst latency — the numbers the placement layer exists to
+// move. Sweep with -cpu=8; the interesting read is map-rebalance's
+// skew-max-min against hash's.
+func BenchmarkStorePlacement(b *testing.B) {
+	const (
+		depth      = 8
+		placeFiles = 32
+		nshards    = 8
+		fileExtent = 16 * 4096
+		primeOps   = 4096
+	)
+	placements := []struct {
+		name      string
+		make      func() pfs.Placement
+		rebalance bool
+	}{
+		{"hash", func() pfs.Placement { return pfs.HashPlacement{} }, false},
+		{"rendezvous", func() pfs.Placement { return pfs.NewRendezvous(nil) }, false},
+		{"map-rebalance", func() pfs.Placement { return pfs.NewMapPlacement(nil) }, true},
+	}
+	placeFile := func(i int) string { return fmt.Sprintf("place-%02d", i) }
+	for _, pl := range placements {
+		b.Run("placement="+pl.name, func(b *testing.B) {
+			store := pfs.NewShardedPlacement(nshards, nil, pl.make())
+			srv := NewServerSharded(store)
+			defer srv.Close()
+			setup := pipeClient(b, srv)
+			handles := make([]uint32, placeFiles)
+			for i := range handles {
+				h, err := setup.Open(placeFile(i), true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles[i] = h
+				if _, err := setup.WriteAt(h, make([]byte, 1024), fileExtent-1024); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Prime: the same zipf-skewed mix the measurement runs, so
+			// the tally the rebalancer acts on matches the steady state.
+			primeRng := rand.New(rand.NewSource(42))
+			primeZipf := rand.NewZipf(primeRng, 2, 1, placeFiles-1)
+			buf := make([]byte, 1024)
+			var resp Response
+			for sent, inflight := 0, 0; sent < primeOps || inflight > 0; {
+				if sent < primeOps && inflight < 64 {
+					h := handles[primeZipf.Uint64()]
+					off := uint64(primeRng.Intn(fileExtent - 1024))
+					req := Request{Op: OpWrite, Handle: h, Off: off, Data: buf}
+					if primeRng.Intn(100) >= 50 {
+						req = Request{Op: OpRead, Handle: h, Off: off, Length: 1024}
+					}
+					if _, err := setup.Send(&req); err != nil {
+						b.Fatal(err)
+					}
+					sent++
+					inflight++
+					continue
+				}
+				if err := setup.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				if err := setup.Recv(&resp); err != nil || resp.Err() != nil {
+					b.Fatalf("prime recv: %v / %v", err, resp.Err())
+				}
+				inflight--
+			}
+			if pl.rebalance {
+				if _, err := srv.Rebalance(4); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Measure a clean phase: the skew metric must describe the
+			// (possibly rebalanced) steady state, not the priming.
+			srv.resetCounters()
+			hist := stats.NewHistogram()
+
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := int(tid.Add(1)) - 1
+				cl := pipeClient(b, srv)
+				handles := make([]uint32, placeFiles)
+				for i := range handles {
+					h, err := cl.Open(placeFile(i), false)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					handles[i] = h
+				}
+				rng := rand.New(rand.NewSource(int64(me)*6364136223846793005 + 1442695040888963407))
+				zipf := rand.NewZipf(rng, 2, 1, placeFiles-1)
+				buf := make([]byte, 1024)
+				var resp Response
+				inflight := 0
+				t0 := time.Now()
+				for pb.Next() {
+					h := handles[zipf.Uint64()]
+					off := uint64(rng.Intn(fileExtent - 1024))
+					req := Request{Op: OpWrite, Handle: h, Off: off, Data: buf}
+					if rng.Intn(100) >= 50 {
+						req = Request{Op: OpRead, Handle: h, Off: off, Length: 1024}
+					}
+					if inflight == 0 {
+						t0 = time.Now()
+					}
+					if _, err := cl.Send(&req); err != nil {
+						b.Error(err)
+						return
+					}
+					inflight++
+					if inflight == depth {
+						if err := cl.Flush(); err != nil {
+							b.Error(err)
+							return
+						}
+						for ; inflight > 0; inflight-- {
+							if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+								b.Errorf("recv: %v / %v", err, resp.Err())
+								return
+							}
+						}
+						hist.Observe(time.Since(t0))
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for ; inflight > 0; inflight-- {
+					if err := cl.Recv(&resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			counts := srv.ShardCounts()
+			minC, maxC := counts[0], counts[0]
+			for _, n := range counts[1:] {
+				if n < minC {
+					minC = n
+				}
+				if n > maxC {
+					maxC = n
+				}
+			}
+			if minC < 1 {
+				minC = 1
+			}
+			b.ReportMetric(float64(maxC)/float64(minC), "skew-max-min")
+			if hist.Count() > 0 {
+				b.ReportMetric(float64(hist.Quantile(0.99).Nanoseconds())/depth, "p99-ns/req")
+			}
+		})
 	}
 }
 

@@ -155,3 +155,22 @@ func (c *Client) Stat(h uint32) (size uint64, blocks uint32, err error) {
 	}
 	return resp.Size, resp.Blocks, nil
 }
+
+// Migrate asks the server to re-home name onto shard dst (map placement
+// only; handles — this client's and everyone else's — re-resolve on
+// their next request).
+func (c *Client) Migrate(name string, dst int) error {
+	_, err := c.do(&Request{Op: OpMigrate, Name: name, Dst: uint32(dst)})
+	return err
+}
+
+// ShardCounts returns the server's per-shard request tally — the
+// authoritative placement-skew view once placement is dynamic and
+// client-side prediction no longer holds.
+func (c *Client) ShardCounts() ([]int64, error) {
+	resp, err := c.do(&Request{Op: OpShards})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Shards, nil
+}

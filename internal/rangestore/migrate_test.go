@@ -1,0 +1,434 @@
+package rangestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+// mapServer builds a server over a map-placed sharded store.
+func mapServer(t testing.TB, shards int) (*Server, *pfs.Sharded) {
+	t.Helper()
+	store := pfs.NewShardedPlacement(shards, nil, pfs.NewMapPlacement(nil))
+	srv := NewServerSharded(store)
+	t.Cleanup(func() { srv.Close() })
+	return srv, store
+}
+
+// TestServedMigrateStaleHandle: a handle opened before a MIGRATE keeps
+// working across it — the server re-resolves the stale route on the
+// next request, post-migration traffic is attributed to the new shard,
+// and the data written through the old route is visible through the new
+// one.
+func TestServedMigrateStaleHandle(t *testing.T) {
+	srv, store := mapServer(t, 4)
+	cl := pipeClient(t, srv)
+
+	const name = "served-hot"
+	h, err := cl.Open(name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := []byte("written before the move")
+	if _, err := cl.WriteAt(h, before, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	src := store.ShardIndex(name)
+	dst := (src + 1) % 4
+	// Migrate over a second connection, as an operator would.
+	admin := pipeClient(t, srv)
+	if err := admin.Migrate(name, dst); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if _, err := store.Shard(dst).Open(name); err != nil {
+		t.Fatalf("file not on destination shard: %v", err)
+	}
+	if _, err := store.Shard(src).Open(name); !errors.Is(err, pfs.ErrNotExist) {
+		t.Fatalf("file still on source shard: %v", err)
+	}
+
+	// The stale handle serves reads of the moved content...
+	got := make([]byte, len(before))
+	if _, err := cl.ReadAt(h, got, 64); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, before) {
+		t.Fatalf("read through stale handle = %q", got)
+	}
+	// ...and writes through it land on the live file, attributed to the
+	// destination shard.
+	preCounts := srv.ShardCounts()
+	after := []byte("written after the move")
+	if _, err := cl.WriteAt(h, after, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ReadAt(h, got[:len(after)], 4096); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(after)], after) {
+		t.Fatalf("post-migration write = %q", got[:len(after)])
+	}
+	postCounts := srv.ShardCounts()
+	if postCounts[dst] != preCounts[dst]+2 {
+		t.Fatalf("post-migration requests not attributed to shard %d: %v -> %v", dst, preCounts, postCounts)
+	}
+	if postCounts[src] != preCounts[src] {
+		t.Fatalf("post-migration requests still hit shard %d: %v -> %v", src, preCounts, postCounts)
+	}
+	// A fresh open sees everything.
+	cl2 := pipeClient(t, srv)
+	h2, err := cl2.Open(name, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.ReadAt(h2, got, 64); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, before) {
+		t.Fatalf("fresh handle read = %q", got)
+	}
+}
+
+// TestServedMigrateErrors: static placements refuse MIGRATE, and a
+// destination beyond the shard count is a bad request.
+func TestServedMigrateErrors(t *testing.T) {
+	hashSrv := NewServerSharded(pfs.NewSharded(4, nil))
+	defer hashSrv.Close()
+	cl := pipeClient(t, hashSrv)
+	if _, err := cl.Open("f", true); err != nil {
+		t.Fatal(err)
+	}
+	err := cl.Migrate("f", 1)
+	if err == nil || !strings.Contains(err.Error(), "placement") {
+		t.Fatalf("MIGRATE on hash placement = %v", err)
+	}
+
+	srv, _ := mapServer(t, 4)
+	cl2 := pipeClient(t, srv)
+	if _, err := cl2.Open("f", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Migrate("f", 4); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("MIGRATE to shard 4 of 4 = %v", err)
+	}
+	if err := cl2.Migrate("ghost", 1); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("MIGRATE of missing file = %v", err)
+	}
+}
+
+// TestMigrateMidBatch: a pipelined batch that interleaves data ops and
+// MIGRATEs on one connection must complete — the batch loop returns its
+// shard lease before Migrate takes its own (hold-at-most-one), and the
+// answers come back in order.
+func TestMigrateMidBatch(t *testing.T) {
+	srv, store := mapServer(t, 4)
+	cl := pipeClient(t, srv)
+	const name = "batched"
+	h, err := cl.Open(name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		if _, err := cl.Send(&Request{Op: OpWrite, Handle: h, Off: uint64(i) * 64, Data: []byte{byte(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Send(&Request{Op: OpMigrate, Name: name, Dst: uint32(i % 4)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Send(&Request{Op: OpRead, Handle: h, Off: uint64(i) * 64, Length: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < 3; j++ {
+			if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+				t.Fatalf("round %d resp %d: %v / %v", i, j, err, resp.Err())
+			}
+		}
+		if len(resp.Data) != 1 || resp.Data[0] != byte(i+1) {
+			t.Fatalf("round %d read back %v across the migration", i, resp.Data)
+		}
+	}
+	if got := store.ShardIndex(name); got != (rounds-1)%4 {
+		t.Fatalf("final shard = %d, want %d", got, (rounds-1)%4)
+	}
+}
+
+// TestClientShardCounts: the SHARDS op reports the server-side tally.
+func TestClientShardCounts(t *testing.T) {
+	srv, _ := mapServer(t, 4)
+	cl := pipeClient(t, srv)
+	h, err := cl.Open("sc", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.WriteAt(h, []byte("x"), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := cl.ShardCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 4 {
+		t.Fatalf("ShardCounts len = %d", len(counts))
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	// 1 open + 5 writes (the SHARDS op itself is not shard-routed).
+	if total != 6 {
+		t.Fatalf("counts sum to %d, want 6: %v", total, counts)
+	}
+	want := srv.ShardCounts()
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Fatalf("wire counts %v != server counts %v", counts, want)
+		}
+	}
+}
+
+// TestServedMigrateUnderLoad races concurrent served READ/WRITE/APPEND
+// traffic against repeated migrations of the same files over the admin
+// surface. Run under -race (CI: -cpu=2,8).
+func TestServedMigrateUnderLoad(t *testing.T) {
+	srv, _ := mapServer(t, 4)
+	const (
+		hot     = "served-load"
+		hotLog  = "served-load-log"
+		workers = 4
+		span    = 1024
+	)
+	setup := pipeClient(t, srv)
+	if _, err := setup.Open(hot, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Open(hotLog, true); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	ready.Add(workers)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		admin := pipeClient(t, srv)
+		ready.Wait()
+		for i := 0; i < 40; i++ {
+			if err := admin.Migrate(hot, i%4); err != nil {
+				t.Errorf("Migrate(%s): %v", hot, err)
+				return
+			}
+			if err := admin.Migrate(hotLog, (i+2)%4); err != nil {
+				t.Errorf("Migrate(%s): %v", hotLog, err)
+				return
+			}
+		}
+	}()
+
+	type landed struct {
+		off uint64
+		rec []byte
+	}
+	appendLog := make([][]landed, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var once sync.Once
+			defer once.Do(ready.Done)
+			cl := pipeClient(t, srv)
+			h, err := cl.Open(hot, false)
+			if err != nil {
+				t.Errorf("worker %d open: %v", w, err)
+				return
+			}
+			lh, err := cl.Open(hotLog, false)
+			if err != nil {
+				t.Errorf("worker %d open log: %v", w, err)
+				return
+			}
+			payload := bytes.Repeat([]byte{byte(w + 1)}, span)
+			base := uint64(1<<20) + uint64(w)*span
+			buf := make([]byte, span)
+			rec := bytes.Repeat([]byte{byte(0xB0 + w)}, 48)
+			for i := 0; ; i++ {
+				if _, err := cl.WriteAt(h, payload, base); err != nil {
+					t.Errorf("worker %d write: %v", w, err)
+					return
+				}
+				n, err := cl.ReadAt(h, buf, base)
+				if err != nil && err != io.EOF {
+					t.Errorf("worker %d read: %v", w, err)
+					return
+				}
+				for j := 0; j < n; j++ {
+					if buf[j] != byte(w+1) {
+						t.Errorf("worker %d read back byte %d = %#x", w, j, buf[j])
+						return
+					}
+				}
+				off, err := cl.Append(lh, rec)
+				if err != nil {
+					t.Errorf("worker %d append: %v", w, err)
+					return
+				}
+				appendLog[w] = append(appendLog[w], landed{off, rec})
+				once.Do(ready.Done)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Verify over a fresh connection.
+	cl := pipeClient(t, srv)
+	h, err := cl.Open(hot, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, span)
+	for w := 0; w < workers; w++ {
+		base := uint64(1<<20) + uint64(w)*span
+		if _, err := cl.ReadAt(h, buf, base); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		for j, b := range buf {
+			if b != byte(w+1) {
+				t.Fatalf("worker %d range byte %d = %#x after settle", w, j, b)
+			}
+		}
+	}
+	lh, err := cl.Open(hotLog, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, lands := range appendLog {
+		for i, l := range lands {
+			got := make([]byte, len(l.rec))
+			if _, err := cl.ReadAt(lh, got, l.off); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, l.rec) {
+				t.Fatalf("worker %d record %d at offset %d corrupted", w, i, l.off)
+			}
+		}
+	}
+}
+
+// TestRebalance: skewed traffic, then Rebalance moves the hottest files
+// off the overloaded shard and the placement follows.
+func TestRebalance(t *testing.T) {
+	srv, store := mapServer(t, 4)
+	cl := pipeClient(t, srv)
+
+	// Two hot files co-located on one shard (found by probing the hash
+	// fallback) plus cold ones elsewhere: moving one hot file off the
+	// shared shard is a strict improvement, so the rebalancer must act.
+	hotA, hotB := colocatedPair(t, 4)
+	names := []string{hotA, hotB, "reb-cold-0", "reb-cold-1"}
+	handles := make([]uint32, len(names))
+	for i := range names {
+		h, err := cl.Open(names[i], true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	one := []byte{1}
+	for i := 0; i < 400; i++ {
+		if _, err := cl.WriteAt(handles[0], one, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := cl.WriteAt(handles[1], one, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	migs, err := srv.Rebalance(2)
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if len(migs) == 0 {
+		t.Fatalf("no migrations for a %v tally", srv.ShardCounts())
+	}
+	if migs[0].Name != hotA {
+		t.Fatalf("hottest file %q not moved first: %v", hotA, migs)
+	}
+	for _, m := range migs {
+		if got := store.ShardIndex(m.Name); got != m.To {
+			t.Fatalf("%v: placement says shard %d", m, got)
+		}
+		if _, err := store.Shard(m.To).Open(m.Name); err != nil {
+			t.Fatalf("%v: not resident on destination: %v", m, err)
+		}
+	}
+	// Traffic keeps working through the old handles.
+	for i := range handles {
+		if _, err := cl.WriteAt(handles[i], one, 0); err != nil {
+			t.Fatalf("post-rebalance write %d: %v", i, err)
+		}
+	}
+
+	// A static store refuses once a move is warranted.
+	hashSrv := NewServerSharded(pfs.NewSharded(4, nil))
+	defer hashSrv.Close()
+	hcl := pipeClient(t, hashSrv)
+	for i, name := range []string{hotA, hotB} {
+		hh, err := hcl.Open(name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 100*(2-i); j++ {
+			if _, err := hcl.WriteAt(hh, one, uint64(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := hashSrv.Rebalance(1); !errors.Is(err, pfs.ErrStaticPlacement) {
+		t.Fatalf("Rebalance on hash store = %v", err)
+	}
+}
+
+// colocatedPair probes names until two land on the same shard under the
+// FNV hash (the map placement's fallback for unpinned names).
+func colocatedPair(t *testing.T, shards int) (string, string) {
+	t.Helper()
+	byShard := make(map[int]string)
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("reb-hot-%02d", i)
+		s := pfs.ShardOf(name, shards)
+		if prev, ok := byShard[s]; ok {
+			return prev, name
+		}
+		byShard[s] = name
+	}
+	t.Fatal("no colocated pair in 64 probes")
+	return "", ""
+}

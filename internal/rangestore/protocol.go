@@ -19,6 +19,8 @@
 //	APPEND    handle:u32 data:bytes
 //	TRUNCATE  handle:u32 size:u64
 //	STAT      handle:u32
+//	MIGRATE   dst:u32 name:bytes
+//	SHARDS    (empty)
 //
 // Op-specific response payloads (status == StatusOK):
 //
@@ -28,6 +30,15 @@
 //	APPEND    off:u64
 //	TRUNCATE  (empty)
 //	STAT      size:u64 blocks:u32
+//	MIGRATE   (empty)
+//	SHARDS    n:u32 count:u64 ×n
+//
+// MIGRATE and SHARDS are the placement admin surface: MIGRATE re-homes
+// a file onto shard dst (map placement only — the server refuses it
+// under static placements), SHARDS returns the per-shard request tally
+// so load generators can report server-observed placement skew instead
+// of predicting it client-side (a prediction that dynamic placement
+// invalidates).
 //
 // seq is a client-chosen pipelining identifier echoed back verbatim; the
 // server answers requests of one connection in arrival order, so clients
@@ -65,7 +76,9 @@ const (
 	OpAppend
 	OpTruncate
 	OpStat
-	numOps = int(OpStat)
+	OpMigrate
+	OpShards
+	numOps = int(OpShards)
 )
 
 func (o OpCode) String() string {
@@ -82,6 +95,10 @@ func (o OpCode) String() string {
 		return "TRUNCATE"
 	case OpStat:
 		return "STAT"
+	case OpMigrate:
+		return "MIGRATE"
+	case OpShards:
+		return "SHARDS"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -144,12 +161,13 @@ func (s Status) Err(msg string) error {
 type Request struct {
 	Op     OpCode
 	Seq    uint32
-	Handle uint32 // all ops but OPEN
+	Handle uint32 // all handle ops
 	Off    uint64 // READ, WRITE
 	Length uint32 // READ
 	Size   uint64 // TRUNCATE
 	Flags  uint8  // OPEN
-	Name   string // OPEN
+	Dst    uint32 // MIGRATE: destination shard
+	Name   string // OPEN, MIGRATE
 	Data   []byte // WRITE, APPEND
 }
 
@@ -159,14 +177,15 @@ type Response struct {
 	Op     OpCode
 	Seq    uint32
 	Status Status
-	Handle uint32 // OPEN
-	N      uint32 // WRITE
-	Off    uint64 // APPEND
-	Size   uint64 // STAT
-	Blocks uint32 // STAT
-	EOF    bool   // READ
-	Data   []byte // READ
-	Msg    string // non-OK statuses
+	Handle uint32  // OPEN
+	N      uint32  // WRITE
+	Off    uint64  // APPEND
+	Size   uint64  // STAT
+	Blocks uint32  // STAT
+	EOF    bool    // READ
+	Data   []byte  // READ
+	Shards []int64 // SHARDS: per-shard request counts (allocated, not aliased)
+	Msg    string  // non-OK statuses
 }
 
 // Err maps the response status to an error (nil when OK).
@@ -212,6 +231,10 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, r.Size)
 	case OpStat:
 		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+	case OpMigrate:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Dst)
+		dst = append(dst, r.Name...)
+	case OpShards:
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -246,6 +269,12 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	case OpStat:
 		dst = binary.LittleEndian.AppendUint64(dst, r.Size)
 		dst = binary.LittleEndian.AppendUint32(dst, r.Blocks)
+	case OpMigrate:
+	case OpShards:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Shards)))
+		for _, n := range r.Shards {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(n))
+		}
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -320,6 +349,10 @@ func ParseRequest(body []byte, r *Request) error {
 		r.Size = c.u64()
 	case OpStat:
 		r.Handle = c.u32()
+	case OpMigrate:
+		r.Dst = c.u32()
+		r.Name = string(c.rest())
+	case OpShards:
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrBadRequest, uint8(r.Op))
 	}
@@ -355,6 +388,16 @@ func ParseResponse(body []byte, r *Response) error {
 	case OpStat:
 		r.Size = c.u64()
 		r.Blocks = c.u32()
+	case OpMigrate:
+	case OpShards:
+		n := c.u32()
+		if uint64(n)*8 > uint64(len(c.b)) {
+			return fmt.Errorf("%w: truncated SHARDS response", ErrBadRequest)
+		}
+		r.Shards = make([]int64, n)
+		for i := range r.Shards {
+			r.Shards[i] = int64(c.u64())
+		}
 	default:
 		return fmt.Errorf("%w: unknown op %d in response", ErrBadRequest, uint8(r.Op))
 	}

@@ -14,6 +14,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpAppend, Seq: 9, Handle: 2, Data: bytes.Repeat([]byte{0xEE}, 100)},
 		{Op: OpTruncate, Seq: 10, Handle: 1, Size: 777},
 		{Op: OpStat, Seq: 11, Handle: 4},
+		{Op: OpMigrate, Seq: 12, Dst: 3, Name: "hot/file"},
+		{Op: OpShards, Seq: 13},
 	}
 	var buf []byte
 	for i := range reqs {
@@ -36,7 +38,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		want := reqs[i]
 		if got.Op != want.Op || got.Seq != want.Seq || got.Handle != want.Handle ||
 			got.Off != want.Off || got.Length != want.Length || got.Size != want.Size ||
-			got.Flags != want.Flags || got.Name != want.Name || !bytes.Equal(got.Data, want.Data) {
+			got.Flags != want.Flags || got.Dst != want.Dst || got.Name != want.Name ||
+			!bytes.Equal(got.Data, want.Data) {
 			t.Fatalf("request %d: got %+v want %+v", i, got, want)
 		}
 	}
@@ -53,6 +56,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Op: OpStat, Seq: 7, Size: 4096, Blocks: 2},
 		{Op: OpOpen, Seq: 8, Status: StatusNotExist},
 		{Op: OpWrite, Seq: 9, Status: StatusError, Msg: "disk on fire"},
+		{Op: OpMigrate, Seq: 10},
+		{Op: OpShards, Seq: 11, Shards: []int64{12, 0, 99, 1 << 40}},
+		{Op: OpShards, Seq: 12, Shards: []int64{}},
 	}
 	var buf []byte
 	for i := range resps {
@@ -76,8 +82,14 @@ func TestResponseRoundTrip(t *testing.T) {
 		if got.Op != want.Op || got.Seq != want.Seq || got.Status != want.Status ||
 			got.Handle != want.Handle || got.N != want.N || got.Off != want.Off ||
 			got.Size != want.Size || got.Blocks != want.Blocks || got.EOF != want.EOF ||
-			got.Msg != want.Msg || !bytes.Equal(got.Data, want.Data) {
+			got.Msg != want.Msg || !bytes.Equal(got.Data, want.Data) ||
+			len(got.Shards) != len(want.Shards) {
 			t.Fatalf("response %d: got %+v want %+v", i, got, want)
+		}
+		for j := range want.Shards {
+			if got.Shards[j] != want.Shards[j] {
+				t.Fatalf("response %d shard %d: got %d want %d", i, j, got.Shards[j], want.Shards[j])
+			}
 		}
 	}
 }

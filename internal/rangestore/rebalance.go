@@ -1,0 +1,116 @@
+package rangestore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/pfs"
+)
+
+// Migration records one file move performed by Rebalance.
+type Migration struct {
+	Name     string `json:"name"`
+	From, To int
+	Ops      int64 // requests the file had absorbed when it was chosen
+}
+
+func (m Migration) String() string {
+	return fmt.Sprintf("%s: shard %d -> %d (%d ops)", m.Name, m.From, m.To, m.Ops)
+}
+
+// Rebalance migrates up to k of the hottest files (by requests served,
+// FileCounts) off their shards onto the least-loaded ones, driven by
+// the same ShardCounts tally the skew reports come from. Each call
+// judges the traffic since the previous call — per-round deltas, not
+// lifetime totals — so a periodic rebalancer follows the workload's
+// current hot set instead of its history, and a formerly-hot file
+// stops being re-blamed for load it absorbed on a shard it already
+// left. A file moves only when the move strictly improves the spread —
+// its shard carried more of the round's load than the emptiest shard
+// would even after absorbing the file — so a store whose recent
+// traffic is balanced performs no migrations. Requires map placement
+// (pfs.ErrStaticPlacement otherwise). Safe to call while the store is
+// serving: each move is an online pfs migration.
+//
+// This is the measure-then-move loop closed: the counters say where
+// zipf-hot traffic landed, Rebalance moves the files it blames, and the
+// flipped shard map makes every connection's handle table re-resolve.
+func (s *Server) Rebalance(k int) ([]Migration, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	s.rebMu.Lock()
+	defer s.rebMu.Unlock()
+	curShard := s.ShardCounts()
+	curFile := s.FileCounts()
+	load := deltaShards(curShard, s.rebPrevShard)
+	type hot struct {
+		name string
+		ops  int64
+	}
+	files := make([]hot, 0, len(curFile))
+	for name, n := range curFile {
+		if d := n - s.rebPrevFile[name]; d > 0 {
+			files = append(files, hot{name, d})
+		}
+	}
+	s.rebPrevShard = curShard
+	s.rebPrevFile = curFile
+	if len(load) < 2 {
+		return nil, nil
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].ops != files[j].ops {
+			return files[i].ops > files[j].ops
+		}
+		return files[i].name < files[j].name // deterministic on ties
+	})
+
+	var out []Migration
+	for _, f := range files {
+		if len(out) >= k {
+			break
+		}
+		src := s.store.ShardIndex(f.name)
+		dst := 0
+		for i := range load {
+			if load[i] < load[dst] {
+				dst = i
+			}
+		}
+		// Move only if it improves: source stays heavier than the
+		// destination becomes, i.e. the file is not just sloshing.
+		if src == dst || load[src] <= load[dst]+f.ops {
+			continue
+		}
+		if err := s.store.Migrate(f.name, dst); err != nil {
+			if errors.Is(err, pfs.ErrStaticPlacement) {
+				return out, err
+			}
+			// A file can disappear between tally and move; skip it.
+			continue
+		}
+		load[src] -= f.ops
+		load[dst] += f.ops
+		out = append(out, Migration{Name: f.name, From: src, To: dst, Ops: f.ops})
+	}
+	return out, nil
+}
+
+// deltaShards returns cur-prev per shard, clamped at zero (a counter
+// reset mid-round would otherwise go negative).
+func deltaShards(cur, prev []int64) []int64 {
+	out := make([]int64, len(cur))
+	for i := range cur {
+		d := cur[i]
+		if i < len(prev) {
+			d -= prev[i]
+		}
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+	}
+	return out
+}

@@ -50,6 +50,13 @@ type Server struct {
 
 	ops      [numOps]atomic.Int64
 	shardOps []shardCount
+	fileOps  sync.Map // file name -> *atomic.Int64 requests served (rebalancer input)
+
+	// Rebalance judges per-round deltas: snapshots of the counters at
+	// the previous call, guarded by rebMu (one rebalancer at a time).
+	rebMu        sync.Mutex
+	rebPrevShard []int64
+	rebPrevFile  map[string]int64
 }
 
 // shardCount is a cacheline-padded request tally: adjacent shards'
@@ -116,6 +123,38 @@ func (s *Server) ShardCounts() []int64 {
 		out[i] = s.shardOps[i].n.Load()
 	}
 	return out
+}
+
+// FileCounts returns the number of requests served per file name — the
+// per-file refinement of ShardCounts that tells the rebalancer which
+// files make a shard hot.
+func (s *Server) FileCounts() map[string]int64 {
+	out := make(map[string]int64)
+	s.fileOps.Range(func(k, v any) bool {
+		if n := v.(*atomic.Int64).Load(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
+	return out
+}
+
+// resetCounters zeroes the per-shard and per-file request tallies and
+// the rebalancer's round snapshots (benchmarks isolate a measurement
+// phase with it). Not transactional against in-flight adds; the
+// tallies are advisory.
+func (s *Server) resetCounters() {
+	s.rebMu.Lock()
+	s.rebPrevShard = nil
+	s.rebPrevFile = nil
+	s.rebMu.Unlock()
+	for i := range s.shardOps {
+		s.shardOps[i].n.Store(0)
+	}
+	s.fileOps.Range(func(k, v any) bool {
+		v.(*atomic.Int64).Store(0)
+		return true
+	})
 }
 
 // Serve accepts connections from l until it is closed, serving each on
@@ -229,13 +268,23 @@ func (s *Server) unregister(c net.Conn) {
 	s.wg.Done()
 }
 
-// conn is the per-connection state.
+// conn is the per-connection state. The handle table caches each open
+// file's object, owning shard and per-file counter, stamped with the
+// placement version it was resolved under: when the store's placement
+// moves (a migration flipped a shard-map entry), the stamp goes stale
+// and the next request through the handle re-resolves instead of
+// hitting the old shard. Static placements never bump the version, so
+// the check stays a compare-of-equal-integers and hash-placed serving
+// pays nothing for the indirection.
 type conn struct {
 	srv     *Server
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	files   []*pfs.File
-	shards  []int32 // owning shard per handle, parallel to files
+	shards  []int32         // owning shard per handle, parallel to files
+	names   []string        // file name per handle (re-resolution key)
+	vers    []uint64        // placement version each handle resolved under
+	cnt     []*atomic.Int64 // per-file request counter per handle
 	sop     *pfs.ShardedOp
 	frame   []byte // request decode buffer
 	out     []byte // response encode buffer
@@ -381,9 +430,27 @@ func (cn *conn) handle(body []byte) error {
 
 // exec runs one request against the owning shard, filling resp.
 func (cn *conn) exec(req *Request, resp *Response) {
-	// OPEN is the only op without a handle.
-	if req.Op == OpOpen {
+	// OPEN, MIGRATE and SHARDS carry no handle.
+	switch req.Op {
+	case OpOpen:
 		cn.execOpen(req, resp)
+		return
+	case OpMigrate:
+		if req.Dst >= uint32(cn.srv.store.NumShards()) {
+			resp.Status = StatusBadRequest
+			return
+		}
+		// Migrate leases the source shard's context through its own
+		// ShardedOp, so the batch's lease must be returned first —
+		// holding one slot while Migrate blocks for another is the
+		// hold-and-wait cycle the one-lease-at-a-time rule forbids.
+		cn.sop.End()
+		if err := cn.srv.store.Migrate(req.Name, int(req.Dst)); err != nil {
+			fillError(resp, err)
+		}
+		return
+	case OpShards:
+		resp.Shards = cn.srv.ShardCounts()
 		return
 	}
 	// Client-controlled offsets are capped well below the uint64 wrap
@@ -397,9 +464,29 @@ func (cn *conn) exec(req *Request, resp *Response) {
 		resp.Status = StatusBadHandle
 		return
 	}
+	if v := cn.srv.store.PlacementVersion(); cn.vers[req.Handle] != v {
+		// The placement moved since this handle resolved: re-route by
+		// name so the request executes on the live file under the right
+		// shard's lease, not against the migrated-away copy. (A move
+		// that lands between this check and execution is still safe —
+		// the file's own forwarding redirects — but re-resolving keeps
+		// the shard accounting honest and the fast path on the right
+		// domain.) Resolve returns the file and its shard from one
+		// placement-consistent lookup; the version is read before it so
+		// a flip during it only causes one more harmless re-resolution.
+		f, shard, err := cn.srv.store.Resolve(cn.names[req.Handle])
+		if err != nil {
+			fillError(resp, err)
+			return
+		}
+		cn.files[req.Handle] = f
+		cn.shards[req.Handle] = int32(shard)
+		cn.vers[req.Handle] = v
+	}
 	f := cn.files[req.Handle]
 	shard := int(cn.shards[req.Handle])
 	cn.srv.shardOps[shard].n.Add(1)
+	cn.cnt[req.Handle].Add(1)
 	var op pfs.Op
 	if req.Op != OpStat {
 		// STAT is lock-free; everything else runs under the owning
@@ -450,11 +537,21 @@ func (cn *conn) execOpen(req *Request, resp *Response) {
 		resp.Msg = fmt.Sprintf("handle table full (%d)", maxHandles)
 		return
 	}
+	// The version is read before resolving, so a migration landing
+	// mid-open leaves the handle conservatively stale (next request
+	// re-resolves), never wrongly fresh.
+	ver := cn.srv.store.PlacementVersion()
 	shard := cn.srv.store.ShardIndex(req.Name)
 	cn.srv.shardOps[shard].n.Add(1)
 	var f *pfs.File
 	var err error
 	if req.Flags&OpenCreate != 0 {
+		// Create serializes on the store's migration lock, and Migrate
+		// holds that lock while leasing a slot — so the batch's slot
+		// lease must be returned first, or 128 connections blocked here
+		// while holding slots would complete Migrate's hold-and-wait
+		// cycle (same rule as the OpMigrate case).
+		cn.sop.End()
 		f, err = cn.srv.store.Create(req.Name)
 		if errors.Is(err, pfs.ErrExist) {
 			f, err = cn.srv.store.Open(req.Name)
@@ -466,8 +563,13 @@ func (cn *conn) execOpen(req *Request, resp *Response) {
 		fillError(resp, err)
 		return
 	}
+	c, _ := cn.srv.fileOps.LoadOrStore(req.Name, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
 	cn.files = append(cn.files, f)
 	cn.shards = append(cn.shards, int32(shard))
+	cn.names = append(cn.names, req.Name)
+	cn.vers = append(cn.vers, ver)
+	cn.cnt = append(cn.cnt, c.(*atomic.Int64))
 	resp.Handle = uint32(len(cn.files) - 1)
 }
 

@@ -106,6 +106,13 @@ type Config struct {
 	ZipfOff  float64       // zipf s for offset blocks; <= 1 means uniform
 	Seed     int64         // base RNG seed (default 1)
 	Shards   int           // server shard count; > 1 adds per-shard request counts
+	// Placement names the server's placement policy. For "hash" (or
+	// empty) the per-shard counts are predicted client-side from the
+	// exported pfs.ShardOf, as before. For any other policy — placement
+	// is dynamic or at least not the client's hash — prediction is
+	// wrong, so the counts are fetched from the server (SHARDS op)
+	// before and after the run and reported as the delta.
+	Placement string
 }
 
 func (c Config) withDefaults() Config {
@@ -194,11 +201,16 @@ type Report struct {
 	TotalErrs int64         `json:"total_errors"`
 	OpsSec    float64       `json:"ops_per_sec"`
 	Classes   []ClassReport `json:"classes"`
-	// ShardOps is how many requests landed on each server shard (by the
-	// store's name hash) when Config.Shards > 1 — the client-side view of
-	// placement skew. Zipf-skewed file hotness concentrates load on few
-	// shards; this makes that visible next to the latency numbers.
-	ShardOps []int64 `json:"shard_ops,omitempty"`
+	// ShardOps is how many requests landed on each server shard when
+	// Config.Shards > 1 — the placement-skew view next to the latency
+	// numbers. ShardSource says where the numbers came from:
+	// "predicted" (client-side pfs.ShardOf, exact for hash placement,
+	// counts only the measured ops) or "server" (SHARDS-op delta across
+	// the run, authoritative under any placement, includes the workers'
+	// opens).
+	ShardOps    []int64 `json:"shard_ops,omitempty"`
+	ShardSource string  `json:"shard_source,omitempty"`
+	Placement   string  `json:"placement,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -236,6 +248,13 @@ func (r *Report) String() string {
 				pct = 100 * float64(n) / float64(total)
 			}
 			fmt.Fprintf(&b, " %d=%d(%.0f%%)", i, n, pct)
+		}
+		if r.ShardSource != "" {
+			fmt.Fprintf(&b, " [%s", r.ShardSource)
+			if r.Placement != "" {
+				fmt.Fprintf(&b, ", %s placement", r.Placement)
+			}
+			b.WriteByte(']')
 		}
 		b.WriteByte('\n')
 	}
@@ -312,9 +331,21 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 	for i := range recs {
 		recs[i] = &classRec{hist: stats.NewHistogram()}
 	}
+	// Client-side shard prediction only holds for hash placement; under
+	// any other policy the server's own tally is the truth, snapshotted
+	// around the run.
+	predicted := cfg.Placement == "" || cfg.Placement == "hash"
 	var shardOps []atomic.Int64
+	var baseCounts []int64
 	if cfg.Shards > 1 {
-		shardOps = make([]atomic.Int64, cfg.Shards)
+		if predicted {
+			shardOps = make([]atomic.Int64, cfg.Shards)
+		} else {
+			var err error
+			if baseCounts, err = serverShardCounts(dial); err != nil {
+				return nil, fmt.Errorf("wload: server shard counts: %w", err)
+			}
+		}
 	}
 
 	var remaining atomic.Int64
@@ -375,13 +406,42 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 		rep.Classes = append(rep.Classes, cr)
 	}
 	rep.OpsSec = float64(rep.TotalOps) / secs
-	if shardOps != nil {
+	rep.Placement = cfg.Placement
+	switch {
+	case shardOps != nil:
 		rep.ShardOps = make([]int64, len(shardOps))
 		for i := range shardOps {
 			rep.ShardOps[i] = shardOps[i].Load()
 		}
+		rep.ShardSource = "predicted"
+	case baseCounts != nil:
+		// The measured run is complete; losing the closing skew
+		// snapshot (server draining, transient dial failure) must not
+		// throw its latency data away — degrade to a report without
+		// shard counts instead.
+		end, err := serverShardCounts(dial)
+		if err != nil || len(end) != len(baseCounts) {
+			rep.ShardSource = "server (final snapshot unavailable)"
+			break
+		}
+		rep.ShardOps = make([]int64, len(end))
+		for i := range end {
+			rep.ShardOps[i] = end[i] - baseCounts[i]
+		}
+		rep.ShardSource = "server"
 	}
 	return rep, nil
+}
+
+// serverShardCounts fetches the server's per-shard request tally over a
+// fresh connection.
+func serverShardCounts(dial Dialer) ([]int64, error) {
+	cl, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	return cl.ShardCounts()
 }
 
 // populate creates and sparsely extends the workload files.

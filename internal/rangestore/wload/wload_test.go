@@ -190,6 +190,50 @@ func TestShardCounts(t *testing.T) {
 	}
 }
 
+// TestShardCountsServerReported: under a non-hash placement the report
+// must carry the server's own tally (delta across the run), since
+// client-side ShardOf prediction no longer describes where requests
+// land.
+func TestShardCountsServerReported(t *testing.T) {
+	const shards = 4
+	store := pfs.NewShardedPlacement(shards, nil, pfs.NewMapPlacement(nil))
+	srv := rangestore.NewServerSharded(store)
+	defer srv.Close()
+	cfg := Config{
+		Mix:       Mixes[0],
+		Files:     8,
+		FileSize:  32 << 10,
+		Workers:   3,
+		Pipeline:  2,
+		Ops:       500,
+		Shards:    shards,
+		Placement: "map",
+	}
+	rep, err := Run(cfg, pipeDialer(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShardSource != "server" {
+		t.Fatalf("ShardSource = %q, want server", rep.ShardSource)
+	}
+	if len(rep.ShardOps) != shards {
+		t.Fatalf("ShardOps len = %d", len(rep.ShardOps))
+	}
+	var total int64
+	for _, n := range rep.ShardOps {
+		total += n
+	}
+	// The server tallies every routed request: the measured ops plus
+	// each worker's per-file opens.
+	want := rep.TotalOps + int64(cfg.Workers*cfg.Files)
+	if total != want {
+		t.Fatalf("server-reported shard ops sum to %d, want %d (%v)", total, want, rep.ShardOps)
+	}
+	if !strings.Contains(rep.String(), "[server, map placement]") {
+		t.Fatalf("text report missing shard source:\n%s", rep)
+	}
+}
+
 // TestZipfSkew: with strong file skew, the hottest file must absorb more
 // traffic than an average one. Observable through per-file append growth.
 func TestZipfSkew(t *testing.T) {
