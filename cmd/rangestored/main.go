@@ -6,6 +6,16 @@
 //	go run ./cmd/rangestored -addr :7420 -lock list-rw -shards 8
 //	go run ./cmd/rangestored -lock pnova-rw -extent 1073741824 -segs 1024
 //	go run ./cmd/rangestored -shards 8 -placement map -rebalance 5s -rebalance-topk 4
+//	go run ./cmd/rangestored -shards 8 -wal /var/lib/rangestored -fsync batch
+//
+// With -wal DIR every mutation is journaled to a per-shard write-ahead
+// log in DIR and replayed on the next boot: kill the server mid-load
+// and restart it, and every acknowledged write is still there. -fsync
+// picks the durability point — "batch" (default) group-commits one
+// fsync per pipelined batch before its responses flush, "always"
+// fsyncs every record, "off" journals without fsync (recovery then
+// replays whatever the OS kept). Logs self-compact: past -ckpt-bytes a
+// shard snapshots its state and truncates its log.
 //
 // With -shards N the store is split into N lock domains, so traffic
 // against different files scales with cores instead of contending on
@@ -55,6 +65,9 @@ func main() {
 		segs      = flag.Int("segs", 1024, "pnova-rw: segments per file")
 		batch     = flag.Int("batch", 64, "max pipelined requests served per lock-context lease")
 		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget before connections are force-closed")
+		walDir    = flag.String("wal", "", "write-ahead log directory: journal mutations per shard and recover on boot (empty = RAM only)")
+		fsync     = flag.String("fsync", "batch", "WAL fsync policy: batch (one fsync per pipelined batch), always (per record), off")
+		ckptBytes = flag.Int64("ckpt-bytes", rangestore.DefaultCheckpointBytes, "per-shard log size that triggers a checkpoint/compaction")
 	)
 	flag.Parse()
 
@@ -83,8 +96,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rangestored:", err)
 		os.Exit(1)
 	}
-	store := pfs.NewShardedPlacement(*shards, mk, place)
-	srv := rangestore.NewServerSharded(store, rangestore.WithMaxBatch(*batch))
+	opts := []rangestore.ServerOption{rangestore.WithMaxBatch(*batch)}
+	var store *pfs.Sharded
+	var journal *rangestore.Journal
+	if *walDir != "" {
+		mode, err := pfs.ParseSyncMode(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rangestored:", err)
+			os.Exit(2)
+		}
+		dir, err := pfs.OpenOSDir(*walDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rangestored:", err)
+			os.Exit(1)
+		}
+		var stats pfs.RecoverStats
+		store, journal, stats, err = rangestore.Recover(dir, rangestore.RecoverConfig{
+			Shards:          *shards,
+			Lock:            mk,
+			Placement:       place,
+			Sync:            mode,
+			CheckpointBytes: *ckptBytes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rangestored: recover:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rangestored: wal=%s fsync=%s: %v\n", *walDir, mode, stats)
+		opts = append(opts, rangestore.WithJournal(journal), rangestore.WithRecovered(stats))
+	} else {
+		store = pfs.NewShardedPlacement(*shards, mk, place)
+	}
+	srv := rangestore.NewServerSharded(store, opts...)
 	fmt.Printf("rangestored: serving on %s (lock=%s shards=%d placement=%s batch=%d)\n",
 		l.Addr(), *lock, store.NumShards(), place.Name(), *batch)
 
@@ -138,6 +181,13 @@ func main() {
 		}
 	}
 	close(stopRebalance)
+	if journal != nil {
+		// The drain already committed every answered batch; this syncs
+		// any unacknowledged tail and closes the log files.
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rangestored: wal close:", err)
+		}
+	}
 	if n := migrated.Load(); n > 0 {
 		fmt.Printf("rangestored: %d file(s) auto-migrated\n", n)
 	}

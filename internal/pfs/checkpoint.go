@@ -1,0 +1,195 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+)
+
+// Checkpoint file layout — one per shard, written atomically via
+// .ckpt.tmp + rename:
+//
+//	header = magic:"PFSCKP1\n" shard:u32 gen:u64 lsnFloor:u64 nfiles:u32
+//	file   = len:u32 crc:u32 body        (same framing as WAL records)
+//	body   = nameLen:u16 name snapshot
+//
+//	snapshot = size:u64 nblocks:u32 (blockIdx:u64 block:BlockSize)…
+//
+// lsnFloor is the global LSN read at log rotation: every record with
+// LSN ≤ floor is reflected in the snapshot (records are logged after
+// their mutation applies, and rotation happens before the snapshot is
+// taken), so recovery replays only records above it. The snapshot
+// encoding is shared with MIGRATE records, which carry the migrating
+// file's full state so the source shard's checkpoint may forget it.
+
+const ckptHdrLen = 8 + 4 + 8 + 8 + 4
+
+// AppendFileSnapshot encodes f's state in the snapshot format MIGRATE
+// records carry — the journal layer calls it from the MigrateWith emit
+// hook, where the file is frozen and the snapshot therefore exact.
+func AppendFileSnapshot(dst []byte, f *File) []byte {
+	return appendFileSnapshot(dst, f)
+}
+
+// appendFileSnapshot encodes f's resident blocks and size watermark.
+// Blocks are copied under their spinlocks, so each block is internally
+// consistent; a mutation concurrent with the snapshot is in the log and
+// replay makes the file whole. For a frozen file (migration) the
+// snapshot is exact.
+func appendFileSnapshot(dst []byte, f *File) []byte {
+	dst = le64(dst, f.size.Load())
+	npos := len(dst)
+	dst = le32(dst, 0) // nblocks backfilled
+	n := uint32(0)
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		for idx, b := range s.blocks {
+			dst = le64(dst, idx)
+			dst = append(dst, b...)
+			n++
+		}
+		s.mu.Unlock()
+	}
+	putLE32(dst[npos:], n)
+	return dst
+}
+
+// applyFileSnapshot replaces f's state with the snapshot in b. The
+// caller owns f exclusively (recovery replay).
+func applyFileSnapshot(f *File, b []byte) error {
+	c := cur{b: b}
+	size := c.u64()
+	n := int(c.u32())
+	if c.err || size > maxWalOffset {
+		return errTorn
+	}
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		s.blocks = make(map[uint64][]byte)
+		s.mu.Unlock()
+	}
+	for i := 0; i < n; i++ {
+		idx := c.u64()
+		blk := c.take(BlockSize)
+		if c.err {
+			return errTorn
+		}
+		nb := make([]byte, BlockSize)
+		copy(nb, blk)
+		s := f.shard(idx)
+		s.mu.Lock()
+		s.blocks[idx] = nb
+		s.mu.Unlock()
+	}
+	if len(c.b) != 0 {
+		return errTorn
+	}
+	f.size.Store(size)
+	return nil
+}
+
+// writeCheckpoint snapshots every file of fs into shard's checkpoint,
+// atomically replacing the previous one.
+func writeCheckpoint(d Dir, shard int, gen, floor uint64, fs *FS) error {
+	names := fs.List()
+	buf := make([]byte, 0, ckptHdrLen+len(names)*(walFrameHdr+64))
+	buf = append(buf, ckptMagic...)
+	buf = le32(buf, uint32(shard))
+	buf = le64(buf, gen)
+	buf = le64(buf, floor)
+	nfiles := uint32(0)
+	npos := len(buf) // nfiles backfilled: a file can vanish mid-iteration
+	buf = le32(buf, 0)
+	for _, name := range names {
+		f, err := fs.Open(name)
+		if err != nil {
+			continue // removed since List; its absence is the truth
+		}
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		buf = le16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		buf = appendFileSnapshot(buf, f)
+		body := buf[start+walFrameHdr:]
+		putLE32(buf[start:], uint32(len(body)))
+		putLE32(buf[start+4:], crc32.ChecksumIEEE(body))
+		nfiles++
+	}
+	putLE32(buf[npos:], nfiles)
+
+	base := shardBase(shard)
+	cf, err := d.Create(base + ckptTmpSufx)
+	if err != nil {
+		return err
+	}
+	if _, err := cf.Write(buf); err == nil {
+		err = cf.Sync()
+	}
+	if cerr := cf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := d.Rename(base+ckptTmpSufx, base+ckptSuffix); err != nil {
+		return err
+	}
+	return d.Sync()
+}
+
+// ckptFile is one file recovered from a checkpoint; Snapshot is the
+// raw snapshot bytes, applied to a fresh file via applyFileSnapshot.
+type ckptFile struct {
+	Name     string
+	Snapshot []byte
+}
+
+// readCheckpoint loads shard's checkpoint; an absent checkpoint is an
+// empty one (fresh shard or never checkpointed). A malformed checkpoint
+// is an error: checkpoints are written atomically (tmp + rename), so
+// unlike a log tail, a visible-but-corrupt one means real damage the
+// operator must see rather than silently serve over.
+func readCheckpoint(d Dir, shard int) (files []ckptFile, gen, floor uint64, err error) {
+	content, err := d.ReadFile(shardBase(shard) + ckptSuffix)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, err
+	}
+	if len(content) < ckptHdrLen || string(content[:8]) != ckptMagic {
+		return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: bad header", shard)
+	}
+	if got := int(le32get(content[8:])); got != shard {
+		return nil, 0, 0, fmt.Errorf("pfs: checkpoint of shard %d found in shard %d's slot", got, shard)
+	}
+	gen = le64get(content[12:])
+	floor = le64get(content[20:])
+	nfiles := int(le32get(content[28:]))
+	b := content[ckptHdrLen:]
+	for i := 0; i < nfiles; i++ {
+		if len(b) < walFrameHdr {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: truncated at file %d/%d", shard, i, nfiles)
+		}
+		ln := int(le32get(b))
+		if ln > maxWalRecord || walFrameHdr+ln > len(b) {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: truncated at file %d/%d", shard, i, nfiles)
+		}
+		body := b[walFrameHdr : walFrameHdr+ln]
+		if crc32.ChecksumIEEE(body) != le32get(b[4:]) {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: file %d/%d fails CRC", shard, i, nfiles)
+		}
+		c := cur{b: body}
+		name := string(c.take(int(c.u16())))
+		snap := c.rest()
+		if c.err {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: file %d/%d malformed", shard, i, nfiles)
+		}
+		files = append(files, ckptFile{Name: name, Snapshot: snap})
+		b = b[walFrameHdr+ln:]
+	}
+	return files, gen, floor, nil
+}

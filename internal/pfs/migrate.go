@@ -31,6 +31,18 @@ var ErrStaticPlacement = errors.New("pfs: placement does not support migration (
 //
 // Concurrent migrations serialize on the store's migration lock.
 func (s *Sharded) Migrate(name string, dst int) error {
+	return s.MigrateWith(name, dst, nil)
+}
+
+// MigrateWith is Migrate with a journaling hook: emit (if non-nil) is
+// called with the frozen source file after the copy completes and
+// before the namespace flip publishes the move. The file's full range
+// is held exclusively at that point, so emit observes (and may record —
+// the WAL journals a MIGRATE record carrying the file's snapshot here)
+// a stable, complete pre-flip state, and no same-file mutation can be
+// journaled between emit and the flip. An emit error aborts the
+// migration with the source untouched.
+func (s *Sharded) MigrateWith(name string, dst int, emit func(f *File) error) error {
 	mp, ok := s.placement.(*MapPlacement)
 	if !ok {
 		return ErrStaticPlacement
@@ -67,6 +79,12 @@ func (s *Sharded) Migrate(name string, dst int) error {
 	defer r.release()
 
 	f.copyTo(nf)
+
+	if emit != nil {
+		if err := emit(f); err != nil {
+			return fmt.Errorf("pfs: migrate %q: journal: %w", name, err)
+		}
+	}
 
 	// Publish atomically with respect to namespace lookups: both
 	// namespace locks are held across insert + route flip + delete, so
@@ -109,7 +127,7 @@ func (fs *FS) newUnpublished(name string) (*File, error) {
 		return nil, ErrClosed
 	}
 	lk := fs.mkLock()
-	f := newFile(name, lk)
+	f := newFile(fs, name, lk)
 	if fs.opSrc != nil && lockapi.SameOpDomain(fs.opSrc, lk) {
 		f.opLk = lk.(lockapi.OpLocker)
 		f.opDom = fs.opDom

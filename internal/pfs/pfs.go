@@ -82,6 +82,15 @@ type FS struct {
 	opSrc  lockapi.OpLocker // probe lock Ops are leased from; nil if unsupported
 	opDom  *core.Domain     // the probe lock's domain
 	closed bool
+
+	// jhook, when set (RecoverSharded wires it to the shard's WAL),
+	// journals every mutation. It is invoked while the mutation's
+	// range lock (or, for Create, the namespace lock) is still held,
+	// so the log order of conflicting operations equals their apply
+	// order — released-lock journaling could log an overwritten write
+	// after its overwriter and replay the loser on recovery. Set
+	// before the file system serves; never changed while it does.
+	jhook func(*Record)
 }
 
 // New creates an empty file system whose files use locks from mk (nil
@@ -144,7 +153,7 @@ func (fs *FS) Create(name string) (*File, error) {
 		return nil, ErrExist
 	}
 	lk := fs.mkLock()
-	f := newFile(name, lk)
+	f := newFile(fs, name, lk)
 	// The Op fast path is valid only when this file's lock leases from
 	// the same domain as the FS probe lock; otherwise AcquireOp would
 	// panic on the foreign context, so the file opts out up front.
@@ -153,6 +162,11 @@ func (fs *FS) Create(name string) (*File, error) {
 		f.opDom = fs.opDom
 	}
 	fs.files[name] = f
+	if fs.jhook != nil {
+		// Under the namespace lock: an empty file's only durable trace
+		// is this record, and the lock orders it against a re-create.
+		fs.jhook(&Record{Kind: RecCreate, Name: name})
+	}
 	return f, nil
 }
 
@@ -224,6 +238,7 @@ type blockShard struct {
 // File is one file: a sparse block store plus its byte-range lock.
 type File struct {
 	name   string
+	fs     *FS // owning file system; its journal hook logs this file's mutations
 	lk     lockapi.Locker
 	opLk   lockapi.OpLocker // non-nil iff lk accepts leased Ops
 	opDom  *core.Domain     // the domain opLk leases from; Ops from others fall back
@@ -232,12 +247,25 @@ type File struct {
 	shards [blockShards]blockShard
 }
 
-func newFile(name string, lk lockapi.Locker) *File {
-	f := &File{name: name, lk: lk}
+func newFile(fs *FS, name string, lk lockapi.Locker) *File {
+	f := &File{name: name, fs: fs, lk: lk}
 	for i := range f.shards {
 		f.shards[i].blocks = make(map[uint64][]byte)
 	}
 	return f
+}
+
+// journal logs one applied mutation through the owning FS's hook. The
+// caller must still hold the range that serialized the mutation, so
+// conflicting operations append in apply order; after a migration the
+// live file belongs to the destination FS and journals to its shard's
+// log automatically. Append errors are sticky in the WAL and surface
+// at commit time, which is what gates acknowledgements.
+func (f *File) journal(rec *Record) {
+	if h := f.fs.jhook; h != nil {
+		rec.Name = f.name
+		h(rec)
+	}
 }
 
 // Name returns the file's name at creation time.
@@ -372,6 +400,7 @@ func (f *File) WriteAtOp(op Op, p []byte, off uint64) (int, error) {
 	defer r.release()
 	f.writeLocked(p, off)
 	f.growSize(end)
+	f.journal(&Record{Kind: RecWrite, Off: off, Data: p})
 	return len(p), nil
 }
 
@@ -379,10 +408,29 @@ func (f *File) writeLocked(p []byte, off uint64) {
 	for len(p) > 0 {
 		idx := off / BlockSize
 		bo := off % BlockSize
-		n := copy(f.block(idx, true)[bo:], p)
+		n := f.writeBlock(idx, bo, p)
 		p = p[n:]
 		off += uint64(n)
 	}
+}
+
+// writeBlock copies what fits of p into block idx at offset bo under
+// the block-shard spinlock. Overlap with other writers is excluded by
+// the range lock; the spinlock is for whole-block readers that hold no
+// range — checkpoint snapshots copy every block's bytes under it, so a
+// snapshot taken while writers run sees each block torn only at record
+// boundaries the WAL replay repairs, never mid-byte.
+func (f *File) writeBlock(idx, bo uint64, p []byte) int {
+	s := f.shard(idx)
+	s.mu.Lock()
+	b := s.blocks[idx]
+	if b == nil {
+		b = make([]byte, BlockSize)
+		s.blocks[idx] = b
+	}
+	n := copy(b[bo:], p)
+	s.mu.Unlock()
+	return n
 }
 
 // ReadAt reads into p from offset off under a shared range lock. Reads
@@ -456,6 +504,9 @@ func (f *File) AppendOp(op Op, p []byte) (uint64, error) {
 		nf := f.moved.Load()
 		if nf == nil {
 			f.writeLocked(p, off)
+			// The record carries the offset the reservation landed at,
+			// so replay is a deterministic WriteAt however appends raced.
+			f.journal(&Record{Kind: RecAppend, Off: off, Data: p})
 			r.release()
 			return off, nil
 		}
@@ -481,16 +532,21 @@ func (f *File) Truncate(n uint64) {
 func (f *File) TruncateOp(op Op, n uint64) {
 	f, r := f.lockResolved(op, n, ^uint64(0), true)
 	defer r.release()
+	defer f.journal(&Record{Kind: RecTruncate, Size: n})
 	cur := f.size.Load()
 	if n < cur {
 		f.dropBlocksFrom(n)
-		// Clear the partial block tail so regrowth reads zeros.
+		// Clear the partial block tail so regrowth reads zeros; under
+		// the spinlock, like all content writes (see writeBlock).
 		if bo := n % BlockSize; bo != 0 {
-			if b := f.block(n/BlockSize, false); b != nil {
+			s := f.shard(n / BlockSize)
+			s.mu.Lock()
+			if b := s.blocks[n/BlockSize]; b != nil {
 				for i := bo; i < BlockSize; i++ {
 					b[i] = 0
 				}
 			}
+			s.mu.Unlock()
 		}
 		f.size.Store(n)
 		return

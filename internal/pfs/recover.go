@@ -1,0 +1,291 @@
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RecoverStats describes what RecoverSharded found and rebuilt.
+type RecoverStats struct {
+	Shards     int    // shards scanned
+	Files      int    // files in the recovered store
+	FromCkpt   int    // files whose base state came from a checkpoint
+	Records    int    // log records replayed
+	Migrations int    // MIGRATE records among them
+	TornBytes  int    // trailing log bytes discarded as torn or corrupt
+	MaxLSN     uint64 // highest LSN seen; the reopened WALs continue above it
+}
+
+func (s RecoverStats) String() string {
+	return fmt.Sprintf("recovered %d file(s) across %d shard(s): %d from checkpoints, %d record(s) replayed (%d migration(s)), %d torn byte(s) dropped, lsn=%d",
+		s.Files, s.Shards, s.FromCkpt, s.Records, s.Migrations, s.TornBytes, s.MaxLSN)
+}
+
+// shardScan is one shard's durable state as found on disk.
+type shardScan struct {
+	ckpt  []ckptFile
+	floor uint64
+	gen   uint64 // max generation across checkpoint and logs
+	recs  []Record
+	torn  int
+	err   error
+}
+
+// nameState accumulates one file's timeline across shard logs.
+type nameState struct {
+	base      []byte // checkpoint snapshot, nil if none
+	baseShard int
+	floor     uint64
+	hasBase   bool
+	recs      []Record
+}
+
+// RecoverSharded rebuilds a sharded store from the WAL directory d and
+// returns it together with one reopened WAL per shard, ready to
+// journal. An empty directory recovers an empty store — this is also
+// how a WAL-backed store boots the first time.
+//
+// Each shard's checkpoint and log(s) are scanned in parallel; torn or
+// CRC-failing log tails are truncated (within one log a record's LSN
+// must exceed its predecessor's, so a tail that resynchronized on
+// garbage is cut too). Then each file's timeline is merged across
+// shards: base state from the checkpoint holding it (the one with the
+// highest LSN floor, if a migration raced a checkpoint into leaving two),
+// then every record above that floor in global LSN order — the shared
+// LSN counter is what makes records for one file totally ordered even
+// when migrations scattered them across shard logs. MIGRATE records
+// re-drive the ownership flip: each one re-homes the file and installs
+// the full snapshot it carries, so a crash anywhere around a migration
+// recovers the file on exactly one shard — the destination when the
+// record was durable, the source when it was not — never both, never
+// neither. Files are replayed grouped by their final shard, in
+// parallel across shards.
+//
+// Recovery ends by compacting: the rebuilt state is checkpointed and
+// every shard starts a fresh log, so a crash loop cannot accrete
+// unbounded replay work. When a file's final shard disagrees with
+// place's answer, the pin is recorded in place, which must then be a
+// *MapPlacement — recovering a migration-bearing log into a static
+// placement is refused rather than silently mis-routed.
+func RecoverSharded(d Dir, nshards int, mk DomainLockFactory, place Placement) (*Sharded, []*WAL, RecoverStats, error) {
+	var stats RecoverStats
+	if nshards < 1 {
+		nshards = 1
+	}
+	if place == nil {
+		place = HashPlacement{}
+	}
+	store := NewShardedPlacement(nshards, mk, place)
+	stats.Shards = nshards
+
+	// Parallel scan: checkpoint plus both log incarnations per shard
+	// (.log.new survives a crash mid-checkpoint; its records have
+	// higher LSNs than the .log it was about to replace).
+	scans := make([]shardScan, nshards)
+	var wg sync.WaitGroup
+	for i := 0; i < nshards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := &scans[i]
+			sc.ckpt, sc.gen, sc.floor, sc.err = readCheckpoint(d, i)
+			if sc.err != nil {
+				return
+			}
+			base := shardBase(i)
+			for _, name := range []string{base + logSuffix, base + logNewSuffx} {
+				recs, gen, torn, err := readShardLog(d, name, i)
+				if err != nil {
+					sc.err = err
+					return
+				}
+				sc.recs = append(sc.recs, recs...)
+				sc.torn += torn
+				if gen > sc.gen {
+					sc.gen = gen
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range scans {
+		if scans[i].err != nil {
+			return nil, nil, stats, scans[i].err
+		}
+	}
+
+	// Merge into per-name timelines.
+	names := make(map[string]*nameState)
+	state := func(name string) *nameState {
+		ns, ok := names[name]
+		if !ok {
+			ns = &nameState{baseShard: -1}
+			names[name] = ns
+		}
+		return ns
+	}
+	for i := range scans {
+		sc := &scans[i]
+		stats.TornBytes += sc.torn
+		for _, cf := range sc.ckpt {
+			ns := state(cf.Name)
+			// Two checkpoints can hold one name when a migration raced a
+			// checkpoint; the higher floor is the newer truth (the barrier
+			// argument in WAL.Checkpoint makes floors comparable).
+			if !ns.hasBase || sc.floor > ns.floor ||
+				(sc.floor == ns.floor && i > ns.baseShard) {
+				ns.base, ns.baseShard, ns.floor, ns.hasBase = cf.Snapshot, i, sc.floor, true
+			}
+		}
+		for _, rec := range sc.recs {
+			if rec.LSN > stats.MaxLSN {
+				stats.MaxLSN = rec.LSN
+			}
+			state(rec.Name).recs = append(state(rec.Name).recs, rec)
+		}
+	}
+
+	// Resolve each file's final shard and group the replay work.
+	type job struct {
+		name string
+		ns   *nameState
+	}
+	perShard := make([][]job, nshards)
+	mp, _ := place.(*MapPlacement)
+	for name, ns := range names {
+		sort.Slice(ns.recs, func(a, b int) bool { return ns.recs[a].LSN < ns.recs[b].LSN })
+		// Drop records the base checkpoint already reflects.
+		cut := sort.Search(len(ns.recs), func(i int) bool { return ns.recs[i].LSN > ns.floor })
+		ns.recs = ns.recs[cut:]
+		if !ns.hasBase && len(ns.recs) == 0 {
+			continue
+		}
+		shard := ns.baseShard
+		if shard < 0 {
+			// No checkpoint: the file is born where its first record says.
+			shard = int(ns.recs[0].Shard)
+			if shard >= nshards {
+				shard = place.Place(name, nshards)
+			}
+		}
+		for _, rec := range ns.recs {
+			if rec.Kind == RecMigrate && int(rec.Dst) < nshards {
+				shard = int(rec.Dst)
+			}
+		}
+		if shard != place.Place(name, nshards) {
+			if mp == nil {
+				return nil, nil, stats, fmt.Errorf("pfs: recovering %q onto shard %d needs a map placement (have %s)", name, shard, place.Name())
+			}
+			mp.Set(name, shard)
+		}
+		perShard[shard] = append(perShard[shard], job{name, ns})
+	}
+
+	// Replay, parallel across final shards (each touches only its own
+	// shard's namespace and domain).
+	errs := make([]error, nshards)
+	for i := 0; i < nshards; i++ {
+		if len(perShard[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fs := store.Shard(i)
+			for _, jb := range perShard[i] {
+				f, err := fs.Create(jb.name)
+				if err != nil {
+					errs[i] = fmt.Errorf("pfs: recover %q: %w", jb.name, err)
+					return
+				}
+				if jb.ns.hasBase {
+					if err := applyFileSnapshot(f, jb.ns.base); err != nil {
+						errs[i] = fmt.Errorf("pfs: recover %q: checkpoint snapshot: %w", jb.name, err)
+						return
+					}
+				}
+				for _, rec := range jb.ns.recs {
+					switch rec.Kind {
+					case RecCreate:
+						// Presence is the whole effect.
+					case RecWrite, RecAppend:
+						f.WriteAt(rec.Data, rec.Off)
+					case RecTruncate:
+						f.Truncate(rec.Size)
+					case RecMigrate:
+						if int(rec.Dst) < nshards {
+							if err := applyFileSnapshot(f, rec.Data); err != nil {
+								errs[i] = fmt.Errorf("pfs: recover %q: migration snapshot at lsn %d: %w", jb.name, rec.LSN, err)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, stats, err
+		}
+	}
+
+	for _, ns := range names {
+		stats.Records += len(ns.recs)
+		for _, rec := range ns.recs {
+			if rec.Kind == RecMigrate {
+				stats.Migrations++
+			}
+		}
+		if ns.hasBase {
+			stats.FromCkpt++
+		}
+	}
+	stats.Files = len(names)
+
+	// Compact: checkpoint the rebuilt state and restart every shard's
+	// log, so the next recovery replays nothing that this one already
+	// absorbed. Checkpoints land before the logs truncate; a crash in
+	// between leaves old records filtered out by the new floors.
+	lsn := &atomic.Uint64{}
+	lsn.Store(stats.MaxLSN)
+	for i := 0; i < nshards; i++ {
+		if err := writeCheckpoint(d, i, scans[i].gen+1, stats.MaxLSN, store.Shard(i)); err != nil {
+			return nil, nil, stats, err
+		}
+	}
+	wals := make([]*WAL, nshards)
+	for i := 0; i < nshards; i++ {
+		w, err := newWAL(d, i, scans[i].gen+1, lsn)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		wals[i] = w
+		base := shardBase(i)
+		if err := d.Remove(base + logNewSuffx); err != nil {
+			return nil, nil, stats, err
+		}
+		if err := d.Remove(base + ckptTmpSufx); err != nil {
+			return nil, nil, stats, err
+		}
+	}
+	if err := d.Sync(); err != nil {
+		return nil, nil, stats, err
+	}
+	// Wire the journal hooks last, after the replay above: from here on
+	// every mutation of shard i journals to wals[i], from inside the
+	// operation while its range (or namespace) lock is held — see
+	// FS.jhook. Append errors are sticky in the WAL; commit gates acks.
+	for i := range wals {
+		w := wals[i]
+		store.Shard(i).jhook = func(rec *Record) {
+			rec.PVer = place.Version()
+			w.Append(rec)
+		}
+	}
+	return store, wals, stats, nil
+}

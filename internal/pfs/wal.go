@@ -1,0 +1,644 @@
+// Per-shard write-ahead logging for the sharded store.
+//
+// Each shard of a pfs.Sharded journals its mutations to its own
+// append-only log file, so the log layer scales exactly like the data
+// plane: shards share no log state, no log mutex, no fsync queue. A
+// record is length-prefixed and CRC32-framed, stamped with the global
+// log sequence number (LSN), the shard that wrote it and the placement
+// version it executed under:
+//
+//	frame  = len:u32 crc:u32 body          (crc = CRC32-IEEE of body)
+//	body   = kind:u8 lsn:u64 shard:u32 pver:u64 nameLen:u16 name <kind-specific>
+//
+//	CREATE    (nothing)
+//	WRITE     off:u64 data…
+//	APPEND    off:u64 data…                (the offset the append landed at)
+//	TRUNCATE  size:u64
+//	MIGRATE   dst:u32 snapshot…            (full file snapshot, see checkpoint.go)
+//
+// The LSN is drawn from one atomic counter shared by every shard's WAL,
+// which is what lets recovery order one file's records across shard
+// logs after migrations; within a single log LSNs are strictly
+// increasing (assignment and buffer append happen under the WAL mutex),
+// and the scanner treats a non-increasing LSN as corruption.
+//
+// Commit is a leader-based group commit: appenders buffer under the
+// mutex, and whoever finds no flush in progress writes and fsyncs the
+// whole buffer for everyone waiting — one fsync amortizes across a
+// pipelined batch and across concurrently committing connections.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"sync"
+	"sync/atomic"
+)
+
+// SyncMode says when the journal fsyncs.
+type SyncMode uint8
+
+const (
+	// SyncOff never fsyncs: records reach the OS on commit, a crash
+	// loses anything the OS had not flushed. Acks imply nothing.
+	SyncOff SyncMode = iota
+	// SyncBatch fsyncs once per committed batch (the group-commit
+	// default): an acknowledged request is durable.
+	SyncBatch
+	// SyncAlways fsyncs every record as it is logged: same ack
+	// guarantee as SyncBatch, but even unacknowledged work is bounded
+	// to the single record in flight.
+	SyncAlways
+)
+
+// ParseSyncMode maps the -fsync flag values onto a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "off":
+		return SyncOff, nil
+	case "batch":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("pfs: unknown fsync mode %q (off, batch, always)", s)
+}
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOff:
+		return "off"
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("SyncMode(%d)", uint8(m))
+}
+
+// RecKind identifies a WAL record type.
+type RecKind uint8
+
+// The journaled mutations.
+const (
+	RecCreate RecKind = iota + 1
+	RecWrite
+	RecAppend
+	RecTruncate
+	RecMigrate
+)
+
+func (k RecKind) String() string {
+	switch k {
+	case RecCreate:
+		return "CREATE"
+	case RecWrite:
+		return "WRITE"
+	case RecAppend:
+		return "APPEND"
+	case RecTruncate:
+		return "TRUNCATE"
+	case RecMigrate:
+		return "MIGRATE"
+	default:
+		return fmt.Sprintf("RecKind(%d)", uint8(k))
+	}
+}
+
+// Record is one journaled mutation.
+type Record struct {
+	Kind  RecKind
+	LSN   uint64
+	Shard uint32 // shard whose log carries the record
+	PVer  uint64 // placement version the mutation executed under
+	Name  string
+	Off   uint64 // WRITE, APPEND
+	Size  uint64 // TRUNCATE
+	Dst   uint32 // MIGRATE: destination shard
+	Data  []byte // WRITE/APPEND payload; MIGRATE file snapshot
+}
+
+// maxWalRecord is a sanity bound on one record's frame; real records
+// are bounded by the server's request cap and by file snapshot sizes.
+const maxWalRecord = 1 << 30
+
+// maxWalOffset bounds replayed offsets and sizes so off+len arithmetic
+// can never wrap uint64 downstream (the lock layer panics on inverted
+// ranges, and a corrupt or hostile log must not be able to reach that).
+const maxWalOffset = 1 << 62
+
+const walFrameHdr = 8 // len + crc
+
+// appendRecord encodes r as one CRC-framed record appended to dst.
+func appendRecord(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // len + crc backfilled
+	dst = append(dst, byte(r.Kind))
+	dst = le64(dst, r.LSN)
+	dst = le32(dst, r.Shard)
+	dst = le64(dst, r.PVer)
+	dst = le16(dst, uint16(len(r.Name)))
+	dst = append(dst, r.Name...)
+	switch r.Kind {
+	case RecCreate:
+	case RecWrite, RecAppend:
+		dst = le64(dst, r.Off)
+		dst = append(dst, r.Data...)
+	case RecTruncate:
+		dst = le64(dst, r.Size)
+	case RecMigrate:
+		dst = le32(dst, r.Dst)
+		dst = append(dst, r.Data...)
+	default:
+		panic(fmt.Sprintf("pfs: encode of unknown record kind %d", r.Kind))
+	}
+	body := dst[start+walFrameHdr:]
+	putLE32(dst[start:], uint32(len(body)))
+	putLE32(dst[start+4:], crc32.ChecksumIEEE(body))
+	return dst
+}
+
+// decodeRecord decodes the first record framed in b, returning it and
+// the number of bytes consumed. Any framing, CRC or bounds violation
+// returns an error: the caller treats it as the torn tail and stops.
+// rec.Data aliases b.
+func decodeRecord(b []byte) (rec Record, n int, err error) {
+	if len(b) < walFrameHdr {
+		return rec, 0, errTorn
+	}
+	ln := int(le32get(b))
+	if ln > maxWalRecord || walFrameHdr+ln > len(b) {
+		return rec, 0, errTorn
+	}
+	body := b[walFrameHdr : walFrameHdr+ln]
+	if crc32.ChecksumIEEE(body) != le32get(b[4:]) {
+		return rec, 0, errTorn
+	}
+	c := cur{b: body}
+	rec.Kind = RecKind(c.u8())
+	rec.LSN = c.u64()
+	rec.Shard = c.u32()
+	rec.PVer = c.u64()
+	rec.Name = string(c.take(int(c.u16())))
+	switch rec.Kind {
+	case RecCreate:
+	case RecWrite, RecAppend:
+		rec.Off = c.u64()
+		rec.Data = c.rest()
+		if rec.Off > maxWalOffset || uint64(len(rec.Data)) > maxWalOffset {
+			return rec, 0, errTorn
+		}
+	case RecTruncate:
+		rec.Size = c.u64()
+		if rec.Size > maxWalOffset {
+			return rec, 0, errTorn
+		}
+	case RecMigrate:
+		rec.Dst = c.u32()
+		rec.Data = c.rest()
+	default:
+		return rec, 0, errTorn
+	}
+	if c.err || len(c.b) != 0 {
+		return rec, 0, errTorn
+	}
+	return rec, walFrameHdr + ln, nil
+}
+
+var errTorn = errors.New("pfs: torn or corrupt WAL record")
+
+// Log file layout: a fixed header, then records.
+const (
+	walMagic    = "PFSWAL1\n"
+	ckptMagic   = "PFSCKP1\n"
+	walHdrLen   = 8 + 4 + 8 // magic, shard, generation
+	logSuffix   = ".log"
+	logNewSuffx = ".log.new"
+	ckptSuffix  = ".ckpt"
+	ckptTmpSufx = ".ckpt.tmp"
+)
+
+func shardBase(shard int) string { return fmt.Sprintf("shard-%03d", shard) }
+
+func appendWalHeader(dst []byte, shard int, gen uint64) []byte {
+	dst = append(dst, walMagic...)
+	dst = le32(dst, uint32(shard))
+	dst = le64(dst, gen)
+	return dst
+}
+
+// scanLog validates content as shard's log and returns the records of
+// its longest valid prefix plus how many trailing bytes were discarded
+// as torn. A missing or headerless log scans as empty (a crash can cut
+// a freshly created log anywhere, including inside the header); a log
+// carrying another shard's header is an error — that is not a crash
+// artifact but a misassembled directory.
+func scanLog(content []byte, shard int) (recs []Record, gen uint64, torn int, err error) {
+	if len(content) < walHdrLen || string(content[:8]) != walMagic {
+		return nil, 0, len(content), nil
+	}
+	if got := int(le32get(content[8:])); got != shard {
+		return nil, 0, 0, fmt.Errorf("pfs: log of shard %d found in shard %d's slot", got, shard)
+	}
+	gen = le64get(content[12:])
+	b := content[walHdrLen:]
+	lastLSN := uint64(0)
+	for len(b) > 0 {
+		rec, n, derr := decodeRecord(b)
+		if derr != nil || rec.LSN <= lastLSN {
+			// Torn or corrupt tail: everything from here on is
+			// untrustworthy (a duplicated or re-ordered LSN means the
+			// frame boundary resynchronized on garbage).
+			return recs, gen, len(b), nil
+		}
+		lastLSN = rec.LSN
+		recs = append(recs, rec)
+		b = b[n:]
+	}
+	return recs, gen, 0, nil
+}
+
+// WAL is one shard's write-ahead log. Appends buffer under the mutex;
+// Commit makes a logical prefix durable via leader-based group commit.
+// A WAL is created only by recovery (RecoverSharded), which is also
+// what replays it — see recover.go.
+type WAL struct {
+	dir   Dir
+	shard int
+	lsn   *atomic.Uint64 // shared across the store's shards
+
+	mu        sync.Mutex
+	flushed   sync.Cond // broadcast when a flush round completes
+	f         LogFile
+	gen       uint64
+	rotating  bool   // a .log.new is the active file; FinishRotate pending
+	buf []byte // encoded records not yet written
+	// appendEnd is the logical end of buf, monotone across rotations.
+	// Written under mu; atomic so AppendEnd can report the frontier
+	// without the mutex (commit gates read it once per request).
+	appendEnd atomic.Int64
+	writeEnd  int64 // logical end of what reached the file
+	syncEnd   int64  // logical end of what fsync covered
+	sinceCkpt int64  // bytes appended since the last rotation
+	flushing  bool
+	err       error // sticky I/O error; the WAL refuses further work
+}
+
+func newWAL(dir Dir, shard int, gen uint64, lsn *atomic.Uint64) (*WAL, error) {
+	w := &WAL{dir: dir, shard: shard, gen: gen, lsn: lsn}
+	w.flushed.L = &w.mu
+	f, err := dir.Create(shardBase(shard) + logSuffix)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(appendWalHeader(nil, shard, gen)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.f = f
+	return w, nil
+}
+
+// Shard returns the shard this log belongs to.
+func (w *WAL) Shard() int { return w.shard }
+
+// Append assigns r the next global LSN and buffers it; it returns the
+// logical end offset to pass to Commit. r.Data is copied.
+func (w *WAL) Append(r *Record) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	r.LSN = w.lsn.Add(1)
+	r.Shard = uint32(w.shard)
+	before := len(w.buf)
+	w.buf = appendRecord(w.buf, r)
+	n := int64(len(w.buf) - before)
+	end := w.appendEnd.Add(n)
+	w.sinceCkpt += n
+	return end, nil
+}
+
+// Commit makes the log durable up to logical offset end: it returns
+// once end is written to the file and — when sync is set — fsynced.
+// Concurrent commits coalesce: one leader writes and syncs the whole
+// buffer, everyone whose end it covers returns without touching the
+// file. An I/O error is sticky and fails all pending and future work.
+func (w *WAL) Commit(end int64, sync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		if w.writeEnd >= end && (!sync || w.syncEnd >= end) {
+			return nil
+		}
+		if w.flushing {
+			w.flushed.Wait()
+			continue
+		}
+		w.flushRound(sync)
+	}
+}
+
+// flushRound writes the current buffer (and optionally fsyncs) with the
+// mutex dropped, then publishes the new durable frontier. Caller holds
+// w.mu with w.flushing false; returns with w.mu held.
+func (w *WAL) flushRound(sync bool) {
+	w.flushing = true
+	buf := w.buf
+	w.buf = nil
+	target := w.appendEnd.Load()
+	f := w.f
+	w.mu.Unlock()
+	var err error
+	if len(buf) > 0 {
+		_, err = f.Write(buf)
+	}
+	if err == nil && sync {
+		err = f.Sync()
+	}
+	w.mu.Lock()
+	if err != nil {
+		w.err = err
+	} else {
+		w.writeEnd = target
+		if sync {
+			w.syncEnd = target
+		}
+	}
+	w.flushing = false
+	w.flushed.Broadcast()
+}
+
+// AppendEnd returns the current logical append frontier — everything
+// this WAL has been handed so far, including records the pfs journal
+// hooks appended from inside operations. Callers snapshot it after
+// their request executes and pass it to Commit: committing to a
+// frontier read *now* would also wait out other connections\' future
+// appends, a convoy the precise end avoids.
+func (w *WAL) AppendEnd() int64 { return w.appendEnd.Load() }
+
+// CommitAll is Commit(AppendEnd()): the shutdown/teardown path, where
+// waiting out every appended record is the point.
+func (w *WAL) CommitAll(sync bool) error {
+	return w.Commit(w.appendEnd.Load(), sync)
+}
+
+// SinceCheckpoint returns how many log bytes have accumulated since the
+// last checkpoint rotation — the size trigger for the next one.
+func (w *WAL) SinceCheckpoint() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sinceCkpt
+}
+
+// Checkpoint snapshots fs — which must be the shard file system this
+// WAL journals — and truncates the log, bounding recovery work:
+//
+//  1. Rotate: flush + fsync the current log, then switch appends to a
+//     fresh .log.new of the next generation. Every record in the old
+//     log was appended — and therefore applied, records are logged
+//     after their mutation applies — before this point, so the
+//     snapshot about to be taken covers them all.
+//  2. Snapshot every file (blocks + size watermark) into .ckpt.tmp,
+//     fsync it, rename over .ckpt, fsync the directory. The checkpoint
+//     carries the LSN floor read at rotation: recovery replays only
+//     records above it.
+//  3. Rename .log.new over .log (the old log's records are all in the
+//     checkpoint now) and fsync the directory.
+//
+// A crash anywhere in between leaves a combination recovery handles:
+// records are replayed over whichever checkpoint generation survived,
+// from whichever of .log/.log.new exist, merged by LSN (see
+// recover.go). Mutations concurrent with the snapshot land in the new
+// log and replay idempotently over whatever slice of them the snapshot
+// caught. One checkpoint runs at a time per shard (the journal layer
+// guards this); appends stay live throughout.
+func (w *WAL) Checkpoint(fs *FS) error {
+	w.mu.Lock()
+	for w.flushing {
+		w.flushed.Wait()
+	}
+	if w.err != nil {
+		w.mu.Unlock()
+		return w.err
+	}
+	if w.rotating {
+		w.mu.Unlock()
+		return fmt.Errorf("pfs: shard %d checkpoint already in progress", w.shard)
+	}
+	// Flush + sync the old log inline (nobody else can be flushing).
+	w.flushRound(true)
+	if w.err != nil {
+		w.mu.Unlock()
+		return w.err
+	}
+	floor := w.lsn.Load()
+	gen := w.gen + 1
+	base := shardBase(w.shard)
+	nf, err := w.dir.Create(base + logNewSuffx)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := nf.Write(appendWalHeader(nil, w.shard, gen)); err == nil {
+		err = nf.Sync()
+	}
+	if err == nil {
+		// The .log.new NAME must be durable before any record lands in
+		// it: a synced record in an unreachable file is lost all the
+		// same, and records committed from here on are acknowledged.
+		err = w.dir.Sync()
+	}
+	if err != nil {
+		nf.Close()
+		w.mu.Unlock()
+		return err
+	}
+	old := w.f
+	w.f = nf
+	w.gen = gen
+	w.rotating = true
+	w.sinceCkpt = 0
+	w.mu.Unlock()
+	old.Close()
+
+	if err := writeCheckpoint(w.dir, w.shard, gen, floor, fs); err != nil {
+		return w.fail(err)
+	}
+	// The old log is now redundant; promote the new one into its name.
+	if err := w.dir.Rename(base+logNewSuffx, base+logSuffix); err != nil {
+		return w.fail(err)
+	}
+	if err := w.dir.Sync(); err != nil {
+		return w.fail(err)
+	}
+	w.mu.Lock()
+	w.rotating = false
+	w.mu.Unlock()
+	return nil
+}
+
+// CheckpointShard checkpoints shard i's file system into w under the
+// store's migration lock. The lock is what keeps checkpoint membership
+// and migration coherent: a MIGRATE record is appended and committed
+// inside Migrate's critical section, before the namespace flip, so a
+// checkpoint serialized against that section either ran before it
+// (file still in the source's namespace, snapshotted there) or after
+// (flip complete: the destination's listing sees the file, and the
+// source's may forget it — its state is durable in the destination's
+// log). Unserialized, a checkpoint could read its LSN floor and list
+// the namespace *around* the flip, producing a checkpoint whose floor
+// covers the MIGRATE record while holding the file on neither side —
+// and the subsequent log truncation would drop the only copy.
+//
+// The price is that creates and migrations stall while a checkpoint
+// runs; both are namespace-rate events, checkpoints are size-rate, so
+// the store-wide lock does not show up in the data plane. Lock order
+// is migMu → WAL mutex in both this path and Migrate's journal hook,
+// so no cycle exists.
+func (s *Sharded) CheckpointShard(w *WAL, i int) error {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return w.Checkpoint(s.shards[i])
+}
+
+// fail records a sticky error from the checkpoint path.
+func (w *WAL) fail(err error) error {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// Close flushes and fsyncs outstanding records and closes the file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	for w.flushing {
+		w.flushed.Wait()
+	}
+	if w.err == nil {
+		w.flushRound(true)
+	}
+	err := w.err
+	f := w.f
+	w.f = nil
+	w.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// readShardLog reads and scans one shard's log file; absent files scan
+// as empty.
+func readShardLog(d Dir, name string, shard int) (recs []Record, gen uint64, torn int, err error) {
+	content, err := d.ReadFile(name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, err
+	}
+	return scanLog(content, shard)
+}
+
+// Little-endian helpers shared by the WAL and checkpoint codecs.
+
+func le16(dst []byte, v uint16) []byte { return append(dst, byte(v), byte(v>>8)) }
+
+func le32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func putLE32(dst []byte, v uint32) {
+	dst[0], dst[1], dst[2], dst[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func le32get(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64get(b []byte) uint64 {
+	return uint64(le32get(b)) | uint64(le32get(b[4:]))<<32
+}
+
+// cur is a bounds-checked reader over one record body.
+type cur struct {
+	b   []byte
+	err bool
+}
+
+func (c *cur) u8() uint8 {
+	if len(c.b) < 1 {
+		c.err = true
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cur) u16() uint16 {
+	if len(c.b) < 2 {
+		c.err = true
+		return 0
+	}
+	v := uint16(c.b[0]) | uint16(c.b[1])<<8
+	c.b = c.b[2:]
+	return v
+}
+
+func (c *cur) u32() uint32 {
+	if len(c.b) < 4 {
+		c.err = true
+		return 0
+	}
+	v := le32get(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cur) u64() uint64 {
+	if len(c.b) < 8 {
+		c.err = true
+		return 0
+	}
+	v := le64get(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *cur) take(n int) []byte {
+	if n < 0 || len(c.b) < n {
+		c.err = true
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cur) rest() []byte {
+	v := c.b
+	c.b = nil
+	return v
+}

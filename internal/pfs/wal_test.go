@@ -1,0 +1,499 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// walRecordEqual compares everything but the payload aliasing.
+func walRecordEqual(a, b Record) bool {
+	return a.Kind == b.Kind && a.LSN == b.LSN && a.Shard == b.Shard &&
+		a.PVer == b.PVer && a.Name == b.Name && a.Off == b.Off &&
+		a.Size == b.Size && a.Dst == b.Dst && bytes.Equal(a.Data, b.Data)
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: RecCreate, LSN: 1, Shard: 3, PVer: 7, Name: "a"},
+		{Kind: RecWrite, LSN: 2, Shard: 0, PVer: 0, Name: "file-b", Off: 4097, Data: []byte("hello")},
+		{Kind: RecAppend, LSN: 3, Shard: 1, Name: "log", Off: 1 << 40, Data: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Kind: RecTruncate, LSN: 4, Shard: 2, Name: "t", Size: 123456},
+		{Kind: RecMigrate, LSN: 5, Shard: 1, PVer: 9, Name: "hot", Dst: 1, Data: []byte{1, 2, 3}},
+	}
+	var buf []byte
+	for i := range recs {
+		buf = appendRecord(buf, &recs[i])
+	}
+	b := buf
+	for i := range recs {
+		got, n, err := decodeRecord(b)
+		if err != nil {
+			t.Fatalf("decode record %d: %v", i, err)
+		}
+		if !walRecordEqual(got, recs[i]) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, recs[i])
+		}
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		t.Fatalf("%d bytes left after decoding all records", len(b))
+	}
+}
+
+// buildLog assembles a valid shard log image.
+func buildLog(shard int, gen uint64, recs ...Record) []byte {
+	buf := appendWalHeader(nil, shard, gen)
+	for i := range recs {
+		buf = appendRecord(buf, &recs[i])
+	}
+	return buf
+}
+
+func TestWALScanStopsAtTorn(t *testing.T) {
+	recs := []Record{
+		{Kind: RecWrite, LSN: 1, Name: "f", Off: 0, Data: []byte("one")},
+		{Kind: RecWrite, LSN: 2, Name: "f", Off: 8, Data: []byte("two")},
+		{Kind: RecWrite, LSN: 3, Name: "f", Off: 16, Data: []byte("three")},
+	}
+	full := buildLog(0, 1, recs...)
+
+	// Every truncation point decodes the longest valid record prefix.
+	for cut := 0; cut <= len(full); cut++ {
+		got, _, torn, err := scanLog(full[:cut], 0)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantRecs := 0
+		pos := walHdrLen
+		if cut < walHdrLen {
+			pos = cut // headerless: scans as empty, all torn
+		}
+		for wantRecs < len(recs) {
+			_, n, derr := decodeRecord(full[pos:cut])
+			if derr != nil {
+				break
+			}
+			pos += n
+			wantRecs++
+		}
+		if len(got) != wantRecs {
+			t.Fatalf("cut %d: got %d records, want %d", cut, len(got), wantRecs)
+		}
+		if cut >= walHdrLen && torn != cut-pos {
+			t.Fatalf("cut %d: torn %d, want %d", cut, torn, cut-pos)
+		}
+	}
+
+	// A flipped bit mid-log stops the scan there, keeping the prefix.
+	for bit := walHdrLen; bit < len(full); bit += 7 {
+		mut := append([]byte(nil), full...)
+		mut[bit] ^= 0x10
+		got, _, _, err := scanLog(mut, 0)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if len(got) > len(recs) {
+			t.Fatalf("bit %d: scan invented records", bit)
+		}
+		// Records before the flipped byte's frame must survive intact.
+		for i, rec := range got {
+			if rec.LSN == uint64(i+1) && rec.Name == "f" {
+				continue
+			}
+			t.Fatalf("bit %d: surviving record %d corrupted: %+v", bit, i, rec)
+		}
+	}
+
+	// A duplicated tail (record re-appended) violates LSN monotonicity
+	// and is cut.
+	dup := append(append([]byte(nil), full...), full[walHdrLen:]...)
+	got, _, torn, err := scanLog(dup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("duplicated tail: got %d records, want %d", len(got), len(recs))
+	}
+	if torn == 0 {
+		t.Fatal("duplicated tail not reported as torn")
+	}
+
+	// Wrong shard in the header is corruption, not a crash artifact.
+	if _, _, _, err := scanLog(buildLog(5, 1, recs[0]), 0); err == nil {
+		t.Fatal("foreign shard header accepted")
+	}
+}
+
+func TestWALGroupCommit(t *testing.T) {
+	d := NewMemDir()
+	_, wals, _, err := RecoverSharded(d, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wals[0]
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				end, err := w.Append(&Record{Kind: RecWrite, Name: fmt.Sprintf("w%d", g), Off: uint64(i), Data: []byte{byte(g)}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.Commit(end, true); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Everything committed is synced: a clean-cut crash loses nothing.
+	content, err := d.CrashCopy(nil).ReadFile(shardBase(0) + logSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn, err := scanLog(content, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("%d torn bytes after synced commits", torn)
+	}
+	if len(recs) != workers*per {
+		t.Fatalf("recovered %d records, want %d", len(recs), workers*per)
+	}
+	seen := make(map[uint64]bool, len(recs))
+	last := uint64(0)
+	for _, rec := range recs {
+		if seen[rec.LSN] {
+			t.Fatalf("duplicate LSN %d", rec.LSN)
+		}
+		seen[rec.LSN] = true
+		if rec.LSN <= last {
+			t.Fatalf("LSN %d out of order after %d", rec.LSN, last)
+		}
+		last = rec.LSN
+	}
+}
+
+// syncWALs commits everything the journal hooks appended so far — a
+// recovered store journals its own mutations (RecoverSharded wires the
+// hooks), so tests only need the durability point.
+func syncWALs(t *testing.T, wals []*WAL) {
+	t.Helper()
+	for _, w := range wals {
+		if err := w.CommitAll(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRecoverRoundTrip(t *testing.T) {
+	d := NewMemDir()
+	store, wals, stats, err := RecoverSharded(d, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 0 || stats.Records != 0 {
+		t.Fatalf("fresh recovery found state: %+v", stats)
+	}
+	type want struct {
+		name string
+		data []byte
+		size uint64
+	}
+	var wants []want
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("rt-%d", i)
+		f, err := store.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{byte('A' + i)}, 100+i*BlockSize/2)
+		f.WriteAt(payload, uint64(i*37))
+		if i%2 == 0 {
+			f.Append([]byte("tail"))
+		}
+		if i == 3 {
+			f.Truncate(50)
+		}
+		buf := make([]byte, f.Size())
+		f.ReadAt(buf, 0)
+		wants = append(wants, want{name, buf, f.Size()})
+	}
+	syncWALs(t, wals)
+
+	store2, _, stats2, err := RecoverSharded(d.CrashCopy(nil), 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Files != len(wants) {
+		t.Fatalf("recovered %d files, want %d (%v)", stats2.Files, len(wants), stats2)
+	}
+	for _, w := range wants {
+		f, err := store2.Open(w.name)
+		if err != nil {
+			t.Fatalf("open %q after recovery: %v", w.name, err)
+		}
+		if f.Size() != w.size {
+			t.Fatalf("%q: size %d, want %d", w.name, f.Size(), w.size)
+		}
+		got := make([]byte, w.size)
+		f.ReadAt(got, 0)
+		if !bytes.Equal(got, w.data) {
+			t.Fatalf("%q: content diverged after recovery", w.name)
+		}
+	}
+}
+
+func TestWALCheckpointCompacts(t *testing.T) {
+	d := NewMemDir()
+	store, wals, _, err := RecoverSharded(d, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.Create("ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xCD}, 1024)
+	for i := 0; i < 32; i++ {
+		f.WriteAt(payload, uint64(i)*512)
+	}
+	syncWALs(t, wals)
+	pre := wals[0].SinceCheckpoint()
+	if pre == 0 {
+		t.Fatal("no log growth recorded")
+	}
+	if err := store.CheckpointShard(wals[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := wals[0].SinceCheckpoint(); got >= pre {
+		t.Fatalf("checkpoint did not reset log growth: %d >= %d", got, pre)
+	}
+
+	// Post-checkpoint mutations land in the fresh log and recovery
+	// layers them over the snapshot.
+	f.WriteAt([]byte("after"), 40)
+	syncWALs(t, wals)
+
+	store2, _, stats, err := RecoverSharded(d.CrashCopy(nil), 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FromCkpt != 1 {
+		t.Fatalf("file not recovered from checkpoint: %+v", stats)
+	}
+	if stats.Records != 1 {
+		t.Fatalf("checkpointed records replayed again: %+v", stats)
+	}
+	f2, err := store2.Open("ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, f.Size())
+	f.ReadAt(want, 0)
+	got := make([]byte, f2.Size())
+	f2.ReadAt(got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("checkpoint + tail replay diverged from live state")
+	}
+}
+
+// TestRecoverMidCheckpointWindows rebuilds the on-disk states a crash
+// can leave between the checkpoint protocol's steps and checks each
+// recovers the full state: (a) old ckpt + old log + new log, (b) new
+// ckpt + stale old log + new log, (c) after completion.
+func TestRecoverMidCheckpointWindows(t *testing.T) {
+	base := shardBase(0)
+	older := Record{Kind: RecWrite, LSN: 1, Name: "w", Off: 0, Data: []byte("old!")}
+	newer := Record{Kind: RecWrite, LSN: 9, Name: "w", Off: 4, Data: []byte("new!")}
+	oldLog := buildLog(0, 1, older)
+	newLog := buildLog(0, 2, newer)
+
+	// The gen-2 checkpoint reflects everything up to LSN 5 (i.e. the
+	// old log's record, already applied as "old!").
+	mkCkpt := func(t *testing.T, d *MemDir, floor uint64, content []byte) {
+		t.Helper()
+		fs := New(nil)
+		f, err := fs.Create("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(content, 0)
+		if err := writeCheckpoint(d, 0, 2, floor, fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put := func(t *testing.T, d *MemDir, name string, content []byte) {
+		t.Helper()
+		f, err := d.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(content)
+		f.Sync()
+	}
+
+	cases := []struct {
+		name  string
+		setup func(t *testing.T, d *MemDir)
+	}{
+		{"before-ckpt-rename", func(t *testing.T, d *MemDir) {
+			put(t, d, base+logSuffix, oldLog)
+			put(t, d, base+logNewSuffx, newLog)
+		}},
+		{"after-ckpt-before-promote", func(t *testing.T, d *MemDir) {
+			put(t, d, base+logSuffix, oldLog)
+			put(t, d, base+logNewSuffx, newLog)
+			mkCkpt(t, d, 5, []byte("old!"))
+		}},
+		{"complete", func(t *testing.T, d *MemDir) {
+			put(t, d, base+logSuffix, newLog)
+			mkCkpt(t, d, 5, []byte("old!"))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewMemDir()
+			tc.setup(t, d)
+			d.Sync()
+			store, _, _, err := RecoverSharded(d, 1, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := store.Open("w")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 8)
+			f.ReadAt(got, 0)
+			if string(got) != "old!new!" {
+				t.Fatalf("recovered %q, want %q", got, "old!new!")
+			}
+		})
+	}
+}
+
+func TestRecoverMigrateAcrossShardLogs(t *testing.T) {
+	// File written on shard src, migrated to dst with a snapshot
+	// record in dst's log, then written again on dst: recovery must
+	// land it on dst, pinned, with all three layers of content.
+	const n = 4
+	name := "hot-file"
+	place := NewMapPlacement(nil)
+	src := place.Place(name, n)
+	dst := (src + 1) % n
+
+	pre := []byte("pre-migration ")
+	post := []byte("post")
+	snapFS := New(nil)
+	sf, err := snapFS.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.WriteAt(pre, 0)
+
+	d := NewMemDir()
+	put := func(nm string, content []byte) {
+		f, _ := d.Create(nm)
+		f.Write(content)
+		f.Sync()
+	}
+	put(shardBase(src)+logSuffix, buildLog(src, 1,
+		Record{Kind: RecCreate, LSN: 1, Shard: uint32(src), Name: name},
+		Record{Kind: RecWrite, LSN: 2, Shard: uint32(src), Name: name, Off: 0, Data: pre},
+	))
+	put(shardBase(dst)+logSuffix, buildLog(dst, 1,
+		Record{Kind: RecMigrate, LSN: 3, Shard: uint32(dst), Name: name, Dst: uint32(dst), Data: AppendFileSnapshot(nil, sf)},
+		Record{Kind: RecWrite, LSN: 4, Shard: uint32(dst), Name: name, Off: uint64(len(pre)), Data: post},
+	))
+	d.Sync()
+
+	store, _, stats, err := RecoverSharded(d, n, nil, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Migrations != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if got := store.ShardIndex(name); got != dst {
+		t.Fatalf("placement routes to %d, want %d", got, dst)
+	}
+	if _, err := store.Shard(src).Open(name); err == nil {
+		t.Fatal("file recovered on source shard too")
+	}
+	f, err := store.Shard(dst).Open(name)
+	if err != nil {
+		t.Fatalf("file not on destination: %v", err)
+	}
+	want := append(append([]byte(nil), pre...), post...)
+	got := make([]byte, len(want))
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered %q, want %q", got, want)
+	}
+
+	// The same logs under a static placement are refused: the pin
+	// cannot be expressed.
+	if _, _, _, err := RecoverSharded(d, n, nil, HashPlacement{}); err == nil {
+		t.Fatal("migration-bearing log recovered into a static placement")
+	}
+}
+
+func TestMemDirCrashSemantics(t *testing.T) {
+	d := NewMemDir()
+	f, err := d.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable"))
+	f.Sync()
+	d.Sync()
+	f.Write([]byte(" volatile"))
+
+	// Un-synced names vanish, un-synced tails are cut.
+	g, _ := d.Create("ghost")
+	g.Write([]byte("never synced"))
+	g.Sync() // file data synced, but the name never was
+
+	crash := d.CrashCopy(nil)
+	if _, err := crash.ReadFile("ghost"); err == nil {
+		t.Fatal("un-synced name survived the crash")
+	}
+	got, err := crash.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("crash kept %q, want %q", got, "durable")
+	}
+
+	// With an rng, any prefix of the tail may survive — never more.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 32; i++ {
+		got, err := d.CrashCopy(rng).ReadFile("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) < len("durable") || len(got) > len("durable volatile") {
+			t.Fatalf("crash kept %d bytes", len(got))
+		}
+		if string(got[:7]) != "durable" {
+			t.Fatalf("synced prefix corrupted: %q", got)
+		}
+	}
+
+	// The live dir is unaffected.
+	live, _ := d.ReadFile("f")
+	if string(live) != "durable volatile" {
+		t.Fatalf("live view lost data: %q", live)
+	}
+}

@@ -1,0 +1,253 @@
+package pfs
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Dir is the flat durable directory the write-ahead log lives in. It is
+// the narrow waist between the WAL and the host: production uses OSDir
+// (a real directory, real fsync), tests use MemDir, whose CrashCopy
+// discards everything a power cut would — un-synced file tails and
+// un-synced namespace changes — so crash recovery can be exercised
+// in-process, deterministically, with injected torn writes.
+//
+// Durability contract (matching POSIX): bytes written to a LogFile are
+// durable only after its Sync returns; Create/Rename/Remove are durable
+// only after the directory's Sync returns. A crash may preserve any
+// prefix of un-synced writes, including a torn final record.
+type Dir interface {
+	// Create makes (or truncates) a file open for appending.
+	Create(name string) (LogFile, error)
+	// ReadFile returns a file's full contents; fs.ErrNotExist if absent.
+	ReadFile(name string) ([]byte, error)
+	// List returns the current file names (unordered).
+	List() ([]string, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file; removing an absent file is not an error.
+	Remove(name string) error
+	// Sync makes preceding namespace changes durable.
+	Sync() error
+}
+
+// LogFile is one append-only log or checkpoint file.
+type LogFile interface {
+	Write(p []byte) (int, error)
+	// Sync makes preceding writes durable.
+	Sync() error
+	Close() error
+}
+
+// OSDir is Dir over a real directory.
+type OSDir struct{ path string }
+
+// OpenOSDir opens (creating if needed) path as a WAL directory.
+func OpenOSDir(path string) (*OSDir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	return &OSDir{path: path}, nil
+}
+
+// Path returns the underlying directory path.
+func (d *OSDir) Path() string { return d.path }
+
+func (d *OSDir) join(name string) string { return filepath.Join(d.path, filepath.Base(name)) }
+
+// Create implements Dir.
+func (d *OSDir) Create(name string) (LogFile, error) {
+	return os.OpenFile(d.join(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// ReadFile implements Dir.
+func (d *OSDir) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(d.join(name))
+}
+
+// List implements Dir.
+func (d *OSDir) List() ([]string, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// Rename implements Dir.
+func (d *OSDir) Rename(oldname, newname string) error {
+	return os.Rename(d.join(oldname), d.join(newname))
+}
+
+// Remove implements Dir.
+func (d *OSDir) Remove(name string) error {
+	err := os.Remove(d.join(name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Sync implements Dir: fsync the directory itself, which is what makes
+// renames and creates durable on POSIX file systems.
+func (d *OSDir) Sync() error {
+	f, err := os.Open(d.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// memFile is one MemDir file: its bytes plus the high-water mark of what
+// Sync has made "durable". The pointer is shared between the live and
+// durable namespace views, mirroring how an inode outlives directory
+// entries: data synced through any name survives a crash under whatever
+// name the durable namespace maps to it.
+type memFile struct {
+	mu     sync.Mutex
+	data   []byte
+	synced int
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.data = append(f.data, p...)
+	f.mu.Unlock()
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.mu.Lock()
+	f.synced = len(f.data)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+// MemDir is an in-memory Dir with crash semantics: it tracks which bytes
+// and which namespace entries have been made durable by Sync calls, and
+// CrashCopy materializes the directory a power cut would leave behind.
+// It exists so the kill-and-replay tests can crash a live server without
+// killing the test process.
+type MemDir struct {
+	mu      sync.Mutex
+	live    map[string]*memFile
+	durable map[string]*memFile
+}
+
+// NewMemDir returns an empty in-memory WAL directory.
+func NewMemDir() *MemDir {
+	return &MemDir{live: make(map[string]*memFile), durable: make(map[string]*memFile)}
+}
+
+// Create implements Dir. The new name is durable only after Sync.
+func (d *MemDir) Create(name string) (LogFile, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &memFile{}
+	d.live[name] = f
+	return f, nil
+}
+
+// ReadFile implements Dir.
+func (d *MemDir) ReadFile(name string) ([]byte, error) {
+	d.mu.Lock()
+	f, ok := d.live[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("memdir: %s: %w", name, fs.ErrNotExist)
+	}
+	f.mu.Lock()
+	out := append([]byte(nil), f.data...)
+	f.mu.Unlock()
+	return out, nil
+}
+
+// List implements Dir.
+func (d *MemDir) List() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.live))
+	for name := range d.live {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Rename implements Dir.
+func (d *MemDir) Rename(oldname, newname string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.live[oldname]
+	if !ok {
+		return fmt.Errorf("memdir: rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	d.live[newname] = f
+	delete(d.live, oldname)
+	return nil
+}
+
+// Remove implements Dir.
+func (d *MemDir) Remove(name string) error {
+	d.mu.Lock()
+	delete(d.live, name)
+	d.mu.Unlock()
+	return nil
+}
+
+// Sync implements Dir: the current namespace becomes the durable one.
+func (d *MemDir) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.durable = make(map[string]*memFile, len(d.live))
+	for name, f := range d.live {
+		d.durable[name] = f
+	}
+	return nil
+}
+
+// CrashCopy returns the directory a crash at this instant would leave
+// behind: the durable namespace only, each file cut back to its synced
+// length. With a non-nil rng, part of the un-synced tail may survive —
+// any prefix of it, occasionally with a flipped bit — modelling the torn
+// final sector a real power cut produces; recovery must treat all of it
+// as untrustworthy. The copy is fully independent of the live MemDir,
+// which keeps working (useful for crashing at a precise point while the
+// "process" runs on).
+func (d *MemDir) CrashCopy(rng *rand.Rand) *MemDir {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := NewMemDir()
+	for name, f := range d.durable {
+		f.mu.Lock()
+		keep := f.synced
+		if rng != nil && len(f.data) > keep {
+			keep += rng.Intn(len(f.data) - f.synced + 1)
+		}
+		data := append([]byte(nil), f.data[:keep]...)
+		if rng != nil && keep > f.synced && rng.Intn(4) == 0 {
+			// Torn sector: flip one bit somewhere in the un-synced tail.
+			i := f.synced + rng.Intn(keep-f.synced)
+			data[i] ^= 1 << uint(rng.Intn(8))
+		}
+		f.mu.Unlock()
+		nf := &memFile{data: data, synced: len(data)}
+		out.live[name] = nf
+		out.durable[name] = nf
+	}
+	return out
+}

@@ -439,6 +439,84 @@ func BenchmarkStorePlacement(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreWAL prices durability per request: the append-log mix
+// (per-worker files, pipelined appends at depth 8) against a RAM-only
+// store and WAL-backed stores at each fsync policy. "off" isolates the
+// journal's encode+write overhead, "batch" adds one group-commit fsync
+// per pipelined batch (the production default: what a durable ack
+// costs), "always" fsyncs every record — the upper bound batching is
+// amortizing away. Runs on a real directory so the fsyncs are real.
+func BenchmarkStoreWAL(b *testing.B) {
+	const depth = 8
+	for _, mode := range []string{"ram", "off", "batch", "always"} {
+		b.Run("fsync="+mode, func(b *testing.B) {
+			var srv *Server
+			if mode == "ram" {
+				srv = NewServerSharded(pfs.NewSharded(4, nil))
+			} else {
+				sm, err := pfs.ParseSyncMode(mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dir, err := pfs.OpenOSDir(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				store, j, _, err := Recover(dir, RecoverConfig{Shards: 4, Sync: sm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer j.Close()
+				srv = NewServerSharded(store, WithJournal(j))
+			}
+			defer srv.Close()
+			rec := make([]byte, 128)
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := int(tid.Add(1)) - 1
+				cl := pipeClient(b, srv)
+				h, err := cl.Open(fmt.Sprintf("wal-bench-%02d", me), true)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				var resp Response
+				inflight := 0
+				for pb.Next() {
+					if _, err := cl.Send(&Request{Op: OpAppend, Handle: h, Data: rec}); err != nil {
+						b.Error(err)
+						return
+					}
+					inflight++
+					if inflight == depth {
+						if err := cl.Flush(); err != nil {
+							b.Error(err)
+							return
+						}
+						for ; inflight > 0; inflight-- {
+							if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+								b.Errorf("recv: %v / %v", err, resp.Err())
+								return
+							}
+						}
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for ; inflight > 0; inflight-- {
+					if err := cl.Recv(&resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkStoreAppendLog: concurrent appenders sharing one log file,
 // the pattern where the list lock's disjoint tail reservations shine.
 func BenchmarkStoreAppendLog(b *testing.B) {

@@ -164,6 +164,17 @@ func (c *Client) Migrate(name string, dst int) error {
 	return err
 }
 
+// Recovered returns what the server's boot-time WAL replay rebuilt
+// (zero values, with WAL false, when the server runs without a
+// journal). Servers predating protocol v2 answer ErrBadRequest.
+func (c *Client) Recovered() (RecoveredInfo, error) {
+	resp, err := c.do(&Request{Op: OpRecovered})
+	if err != nil {
+		return RecoveredInfo{}, err
+	}
+	return resp.Recovered, nil
+}
+
 // ShardCounts returns the server's per-shard request tally — the
 // authoritative placement-skew view once placement is dynamic and
 // client-side prediction no longer holds.

@@ -1,0 +1,357 @@
+package rangestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// The crash-and-replay torture harness: a mixed workload runs against a
+// WAL-backed in-process server, the server is hard-stopped at a random
+// point mid-batch (Close, no drain), the WAL directory is crash-cut at
+// its durable frontier (with randomly torn, occasionally bit-flipped
+// un-synced tails), and recovery is checked against a shadow model:
+//
+//   - every acknowledged request must be present, and
+//   - the recovered file must equal the shadow after some prefix of
+//     the issued request stream at least as long as the acked prefix —
+//     a crash may keep un-acked suffix work, but never reorder, drop
+//     from the middle, or invent.
+//
+// Each worker drives its own file over its own pipelined connection, so
+// the per-file request stream is totally ordered and the prefix
+// property is exact.
+
+// tortureOp is one issued request, enough to replay against the shadow.
+type tortureOp struct {
+	kind byte // 'w' write, 'a' append, 't' truncate, 'r' read
+	off  uint64
+	size uint64 // truncate target
+	data []byte
+}
+
+// shadowApply applies op to the shadow byte image, mirroring pfs
+// semantics: sparse growth zero-fills, truncate cuts or zero-extends,
+// appends land at the current size watermark.
+func shadowApply(state []byte, op tortureOp) []byte {
+	switch op.kind {
+	case 'w':
+		end := op.off + uint64(len(op.data))
+		for uint64(len(state)) < end {
+			state = append(state, 0)
+		}
+		copy(state[op.off:end], op.data)
+	case 'a':
+		state = append(state, op.data...)
+	case 't':
+		for uint64(len(state)) < op.size {
+			state = append(state, 0)
+		}
+		state = state[:op.size]
+	}
+	return state
+}
+
+// tortureWorker drives one file with a pipelined mixed workload until
+// the connection dies under it. ops is the issued stream; acked counts
+// responses received (FIFO order makes that a prefix) and is atomic so
+// the killer can read it at the crash instant: an ack observed before
+// the crash copy was durably committed before it, so the snapshot of
+// the counter is a sound floor for what recovery must reproduce.
+type tortureWorker struct {
+	ops    []tortureOp
+	acked  atomic.Int64
+	opened bool
+}
+
+func (tw *tortureWorker) run(srv *Server, name string, seed int64) {
+	const (
+		depth  = 4
+		extent = 16 << 10
+		maxLen = 256
+	)
+	c1, c2 := Pipe()
+	go srv.ServeConn(c2)
+	cl := NewClient(c1)
+	defer cl.Close()
+	h, err := cl.Open(name, true)
+	if err != nil {
+		// The kill can land before this worker's goroutine ever ran —
+		// in a 5–45 ms round the scheduler may not get to everyone.
+		// Nothing was issued, so nothing is owed.
+		return
+	}
+	tw.opened = true
+	rng := rand.New(rand.NewSource(seed))
+	var resp Response
+	inflight := 0
+	for i := 0; i < 4096; i++ {
+		var op tortureOp
+		var req Request
+		switch p := rng.Intn(100); {
+		case p < 40:
+			data := bytes.Repeat([]byte{byte(seed) ^ byte(i)}, 1+rng.Intn(maxLen))
+			op = tortureOp{kind: 'w', off: uint64(rng.Intn(extent)), data: data}
+			req = Request{Op: OpWrite, Handle: h, Off: op.off, Data: data}
+		case p < 70:
+			data := bytes.Repeat([]byte{0x80 | byte(i)}, 1+rng.Intn(maxLen))
+			op = tortureOp{kind: 'a', data: data}
+			req = Request{Op: OpAppend, Handle: h, Data: data}
+		case p < 80:
+			op = tortureOp{kind: 't', size: uint64(rng.Intn(extent))}
+			req = Request{Op: OpTruncate, Handle: h, Size: op.size}
+		default:
+			op = tortureOp{kind: 'r'}
+			req = Request{Op: OpRead, Handle: h, Off: uint64(rng.Intn(extent)), Length: 128}
+		}
+		tw.ops = append(tw.ops, op)
+		if _, err := cl.Send(&req); err != nil {
+			return
+		}
+		inflight++
+		if inflight == depth {
+			if err := cl.Flush(); err != nil {
+				return
+			}
+			for ; inflight > 0; inflight-- {
+				if err := cl.Recv(&resp); err != nil || resp.Status != StatusOK {
+					return
+				}
+				tw.acked.Add(1)
+			}
+		}
+	}
+	cl.Flush()
+	for ; inflight > 0; inflight-- {
+		if err := cl.Recv(&resp); err != nil || resp.Status != StatusOK {
+			return
+		}
+		tw.acked.Add(1)
+	}
+}
+
+func TestCrashReplayTorture(t *testing.T) {
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		round := round
+		// Most rounds run the batch-fsync journal, where an ack is a
+		// durability promise recovery must honor. Every third round runs
+		// fsync=off: nothing is synced, so the crash copy tears large
+		// un-synced tails — the scanner's torn-prefix handling under
+		// full load — and the only promise left is the prefix property.
+		mode := pfs.SyncBatch
+		if round%3 == 2 {
+			mode = pfs.SyncOff
+		}
+		t.Run(fmt.Sprintf("seed=%d,fsync=%s", round, mode), func(t *testing.T) {
+			seed := int64(round)*2654435761 + 99
+			rng := rand.New(rand.NewSource(seed))
+			d := pfs.NewMemDir()
+			store, j, _, err := Recover(d, RecoverConfig{
+				Shards:    4,
+				Placement: pfs.NewMapPlacement(nil),
+				Sync:      mode,
+				// Tiny threshold: checkpoints and log rotations race the
+				// kill for real.
+				CheckpointBytes: 16 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := NewServerSharded(store, WithJournal(j))
+
+			const nworkers = 4
+			workers := make([]*tortureWorker, nworkers)
+			var wg sync.WaitGroup
+			for w := 0; w < nworkers; w++ {
+				workers[w] = &tortureWorker{}
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					workers[w].run(srv, fmt.Sprintf("torture-%d-%d", round, w), seed+int64(w))
+				}(w)
+			}
+			// The crash: the WAL directory is snapshotted while the
+			// server is still serving — mid-batch, mid-commit, possibly
+			// mid-checkpoint — with the un-synced tails randomly torn.
+			// The acked floors are read first: an ack counted here was
+			// durable before the snapshot (commit happens before the
+			// response flushes), so the snapshot can only contain more.
+			time.Sleep(time.Duration(5+rng.Intn(40)) * time.Millisecond)
+			ackedAt := make([]int, nworkers)
+			for w := range workers {
+				if mode != pfs.SyncOff {
+					ackedAt[w] = int(workers[w].acked.Load())
+				}
+				// fsync=off promises nothing for acks; the floor stays 0
+				// and only the prefix property is enforced.
+			}
+			crashed := d.CrashCopy(rng)
+			srv.Close()
+			wg.Wait()
+			store2, _, stats, err := Recover(crashed, RecoverConfig{
+				Shards:    4,
+				Placement: pfs.NewMapPlacement(nil),
+				Sync:      mode,
+			})
+			if err != nil {
+				t.Fatalf("recovery after crash: %v", err)
+			}
+			totalAcked := 0
+			for w, tw := range workers {
+				acked := ackedAt[w]
+				totalAcked += acked
+				name := fmt.Sprintf("torture-%d-%d", round, w)
+				f, err := store2.Open(name)
+				if errors.Is(err, pfs.ErrNotExist) {
+					if acked > 0 {
+						t.Fatalf("worker %d: %d acked ops but file did not recover", w, acked)
+					}
+					continue // a create unacked at the crash may be lost
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, f.Size())
+				f.ReadAt(got, 0)
+
+				// Find the prefix of the issued stream the recovered
+				// state corresponds to; it must be ≥ the acked prefix.
+				var state []byte
+				matched := -1
+				for k := 0; k <= len(tw.ops); k++ {
+					if k >= acked && uint64(len(state)) == f.Size() && bytes.Equal(state, got) {
+						matched = k
+						break
+					}
+					if k < len(tw.ops) {
+						state = shadowApply(state, tw.ops[k])
+					}
+				}
+				if matched < 0 {
+					t.Fatalf("worker %d: recovered state (size %d) matches no prefix ≥ %d acked of %d issued ops",
+						w, f.Size(), acked, len(tw.ops))
+				}
+			}
+			if testing.Verbose() {
+				t.Logf("round %d: %d acked ops, recovery %v", round, totalAcked, stats)
+			}
+		})
+	}
+}
+
+// TestMigrationCrashOneOwner kills the store around Sharded.Migrate's
+// dangerous window — after the freeze+copy, before the namespace flip —
+// and asserts replay leaves the file served by exactly one shard with
+// intact contents: the source while the MIGRATE record is not yet
+// durable, the destination from the instant it is.
+func TestMigrationCrashOneOwner(t *testing.T) {
+	const name = "mig-crash"
+	content := bytes.Repeat([]byte("owner!"), 700) // spans two blocks
+
+	setup := func(t *testing.T) (*pfs.MemDir, *Server, *pfs.Sharded, *Journal, int, int) {
+		d := pfs.NewMemDir()
+		srv, store, j, _ := walServer(t, d, RecoverConfig{
+			Shards: 2, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+		})
+		cl := pipeClient(t, srv)
+		h, err := cl.Open(name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.WriteAt(h, content, 0); err != nil {
+			t.Fatal(err)
+		}
+		src := store.ShardIndex(name)
+		return d, srv, store, j, src, 1 - src
+	}
+
+	verify := func(t *testing.T, crashed *pfs.MemDir, wantShard int) {
+		t.Helper()
+		store2, _, _, err := Recover(crashed, RecoverConfig{
+			Shards: 2, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := 0
+		for i := 0; i < 2; i++ {
+			if _, err := store2.Shard(i).Open(name); err == nil {
+				owners++
+				if i != wantShard {
+					t.Fatalf("file recovered on shard %d, want %d", i, wantShard)
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("file recovered on %d shards, want exactly 1", owners)
+		}
+		if got := store2.ShardIndex(name); got != wantShard {
+			t.Fatalf("placement routes to %d, want %d", got, wantShard)
+		}
+		f, err := store2.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(content))
+		f.ReadAt(got, 0)
+		if f.Size() != uint64(len(content)) || !bytes.Equal(got, content) {
+			t.Fatal("recovered contents diverged")
+		}
+	}
+
+	t.Run("record-not-durable", func(t *testing.T) {
+		d, _, store, j, src, dst := setup(t)
+		var crashed *pfs.MemDir
+		err := store.MigrateWith(name, dst, func(f *pfs.File) error {
+			// The record is appended but never committed: the crash
+			// hits between freeze/copy and durability, so the move
+			// must roll back to the source on replay.
+			if _, err := j.appendMigrate(dst, name, f); err != nil {
+				return err
+			}
+			crashed = d.CrashCopy(nil)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, crashed, src)
+	})
+
+	t.Run("record-durable-before-flip", func(t *testing.T) {
+		d, _, store, j, _, dst := setup(t)
+		var crashed *pfs.MemDir
+		err := store.MigrateWith(name, dst, func(f *pfs.File) error {
+			// The journal's real emit path: record durable. The crash
+			// hits after durability but still before the map flip —
+			// replay must land the file on the destination.
+			if err := j.LogMigrate(dst, name, f); err != nil {
+				return err
+			}
+			crashed = d.CrashCopy(nil)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, crashed, dst)
+	})
+
+	t.Run("after-flip", func(t *testing.T) {
+		d, srv, _, _, src, dst := setup(t)
+		cl := pipeClient(t, srv)
+		if err := cl.Migrate(name, dst); err != nil {
+			t.Fatal(err)
+		}
+		_ = src
+		verify(t, d.CrashCopy(nil), dst)
+	})
+}

@@ -1,0 +1,196 @@
+// Write-ahead journaling for the served store: the durability layer
+// between the server's request loop and pfs's per-shard WALs.
+//
+// Every mutation the server executes (WRITE, APPEND, TRUNCATE,
+// MIGRATE, and OPEN when it creates) is journaled to the owning
+// shard's log by pfs itself — the journal hooks wired by recovery run
+// inside each operation while its range lock is held, so conflicting
+// operations log in exactly the order they applied. The server's part
+// is the acknowledgement gate: each connection marks the shards its
+// batch touched and commits them — one group-commit fsync per
+// pipelined batch under the default SyncBatch mode — before flushing
+// responses, so an acknowledged request is durable and a response that
+// cannot be made durable is never sent (the connection dies with the
+// batch unflushed instead). Recovery (rangestore.Recover) replays the
+// logs back into a store and returns a journal ready to serve — see
+// pfs.RecoverSharded for the replay semantics.
+package rangestore
+
+import (
+	"sync"
+
+	"repro/internal/pfs"
+)
+
+// DefaultCheckpointBytes is the per-shard log size that triggers a
+// checkpoint when RecoverConfig leaves it zero.
+const DefaultCheckpointBytes = 64 << 20
+
+// RecoverConfig configures Recover.
+type RecoverConfig struct {
+	Shards    int                   // lock domains (min 1)
+	Lock      pfs.DomainLockFactory // nil: default list-rw
+	Placement pfs.Placement         // nil: hash; must be map if the log holds migrations
+	Sync      pfs.SyncMode          // fsync policy for the reopened journal
+	// CheckpointBytes is the per-shard log size that triggers a
+	// checkpoint/compaction (0: DefaultCheckpointBytes).
+	CheckpointBytes int64
+}
+
+// Recover rebuilds the store from the WAL directory d (an empty
+// directory boots an empty store), compacts it, and returns the store,
+// a journal the server should be configured with (WithJournal), and
+// what recovery found.
+func Recover(d pfs.Dir, cfg RecoverConfig) (*pfs.Sharded, *Journal, pfs.RecoverStats, error) {
+	store, wals, stats, err := pfs.RecoverSharded(d, cfg.Shards, cfg.Lock, cfg.Placement)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	ckptBytes := cfg.CheckpointBytes
+	if ckptBytes <= 0 {
+		ckptBytes = DefaultCheckpointBytes
+	}
+	j := &Journal{
+		mode:      cfg.Sync,
+		store:     store,
+		wals:      wals,
+		ckptBytes: ckptBytes,
+		ckptMu:    make([]sync.Mutex, len(wals)),
+	}
+	return store, j, stats, nil
+}
+
+// Journal owns the store's per-shard WALs on behalf of one server.
+type Journal struct {
+	mode      pfs.SyncMode
+	store     *pfs.Sharded
+	wals      []*pfs.WAL
+	ckptBytes int64
+	ckptMu    []sync.Mutex // per-shard: one checkpoint at a time
+}
+
+// Mode returns the journal's fsync policy.
+func (j *Journal) Mode() pfs.SyncMode { return j.mode }
+
+// Begin returns a per-connection batch tracker. It serves one goroutine
+// at a time (the connection's request loop) and is reused batch after
+// batch.
+func (j *Journal) Begin() *journalConn {
+	return &journalConn{j: j, end: make([]int64, len(j.wals))}
+}
+
+// journalConn tracks which shards' WALs a connection's current batch
+// appended to (the records themselves are appended by the pfs journal
+// hooks, inside the operations) and up to which frontier, so Commit
+// waits for exactly those records — committing to a frontier read at
+// commit time would also wait out other connections' later appends, a
+// convoy the per-batch snapshot avoids.
+type journalConn struct {
+	j    *Journal
+	end  []int64 // per-shard commit frontier; 0 = clean this batch
+	list []int   // dirty shards, in first-touch order
+}
+
+// touch marks shard's WAL as carrying records of the current batch,
+// snapshotting its append frontier (the request's record is already
+// appended, so the frontier covers it). Under SyncAlways the records
+// logged so far are made durable immediately (one fsync per request
+// instead of per batch).
+func (jc *journalConn) touch(shard int) error {
+	end := jc.j.wals[shard].AppendEnd()
+	if jc.end[shard] == 0 {
+		jc.list = append(jc.list, shard)
+	}
+	if end > jc.end[shard] {
+		jc.end[shard] = end
+	}
+	if jc.j.mode == pfs.SyncAlways {
+		return jc.j.wals[shard].Commit(end, true)
+	}
+	return nil
+}
+
+// Commit makes the batch's records durable (per the journal's sync
+// mode) and fires any size-triggered checkpoints — only the shards
+// this batch dirtied are examined, so the per-batch cost does not grow
+// with the store's shard count. The server calls it after every batch,
+// before flushing responses; on error the responses must not be
+// flushed — the mutations exist in memory but their durability cannot
+// be promised.
+func (jc *journalConn) Commit() error {
+	var first error
+	for _, shard := range jc.list {
+		end := jc.end[shard]
+		jc.end[shard] = 0
+		if err := jc.j.wals[shard].Commit(end, jc.j.mode != pfs.SyncOff); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		if jc.j.wals[shard].SinceCheckpoint() >= jc.j.ckptBytes {
+			if err := jc.j.checkpoint(shard); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	jc.list = jc.list[:0]
+	return first
+}
+
+// checkpoint runs one shard's checkpoint inline on the triggering
+// connection; concurrent triggers skip rather than queue behind it.
+// The checkpoint itself runs under the store's migration lock — see
+// pfs.(*Sharded).CheckpointShard for why membership and migration
+// must serialize.
+func (j *Journal) checkpoint(shard int) error {
+	if !j.ckptMu[shard].TryLock() {
+		return nil
+	}
+	defer j.ckptMu[shard].Unlock()
+	if j.wals[shard].SinceCheckpoint() < j.ckptBytes {
+		return nil // a racing commit already checkpointed
+	}
+	return j.store.CheckpointShard(j.wals[shard], shard)
+}
+
+// LogMigrate journals a MIGRATE record carrying f's full snapshot to
+// the destination shard's log and makes it durable before returning.
+// It is called from pfs.MigrateWith's emit hook, where f is frozen
+// under its full-range lock: the record is on disk before the
+// namespace flip publishes the move, so a crash at any point leaves
+// the file recoverable on exactly one shard — the destination once
+// this returns, the source before. The eager sync (skipped only under
+// SyncOff) is what lets the source shard's next checkpoint forget the
+// file: its entire state already lives in the destination's log.
+func (j *Journal) LogMigrate(dst int, name string, f *pfs.File) error {
+	end, err := j.appendMigrate(dst, name, f)
+	if err != nil {
+		return err
+	}
+	return j.wals[dst].Commit(end, j.mode != pfs.SyncOff)
+}
+
+// appendMigrate is LogMigrate without the commit — split out so crash
+// tests can tear the journal between the append and its durability.
+func (j *Journal) appendMigrate(dst int, name string, f *pfs.File) (int64, error) {
+	rec := &pfs.Record{
+		Kind: pfs.RecMigrate,
+		Name: name,
+		Dst:  uint32(dst),
+		PVer: j.store.PlacementVersion(),
+		Data: pfs.AppendFileSnapshot(nil, f),
+	}
+	return j.wals[dst].Append(rec)
+}
+
+// Close flushes and fsyncs every shard's log and closes the files.
+func (j *Journal) Close() error {
+	var first error
+	for _, w := range j.wals {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

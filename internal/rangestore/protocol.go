@@ -21,6 +21,7 @@
 //	STAT      handle:u32
 //	MIGRATE   dst:u32 name:bytes
 //	SHARDS    (empty)
+//	RECOVERED (empty)
 //
 // Op-specific response payloads (status == StatusOK):
 //
@@ -32,6 +33,7 @@
 //	STAT      size:u64 blocks:u32
 //	MIGRATE   (empty)
 //	SHARDS    n:u32 count:u64 ×n
+//	RECOVERED wal:u8 shards:u32 files:u32 fromckpt:u32 migrations:u32 records:u64 torn:u64 maxlsn:u64
 //
 // MIGRATE and SHARDS are the placement admin surface: MIGRATE re-homes
 // a file onto shard dst (map placement only — the server refuses it
@@ -39,6 +41,13 @@
 // so load generators can report server-observed placement skew instead
 // of predicting it client-side (a prediction that dynamic placement
 // invalidates).
+//
+// RECOVERED (protocol v2, added with the write-ahead log) reports what
+// the server's boot-time recovery replayed: whether a WAL is attached
+// at all, and the file/record/migration/torn-byte counts of the replay.
+// A v1 server answers it with a bad-request status, which v2 clients
+// surface as ErrBadRequest — the version bump is observable without a
+// handshake.
 //
 // seq is a client-chosen pipelining identifier echoed back verbatim; the
 // server answers requests of one connection in arrival order, so clients
@@ -78,7 +87,8 @@ const (
 	OpStat
 	OpMigrate
 	OpShards
-	numOps = int(OpShards)
+	OpRecovered
+	numOps = int(OpRecovered)
 )
 
 func (o OpCode) String() string {
@@ -99,6 +109,8 @@ func (o OpCode) String() string {
 		return "MIGRATE"
 	case OpShards:
 		return "SHARDS"
+	case OpRecovered:
+		return "RECOVERED"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -171,21 +183,36 @@ type Request struct {
 	Data   []byte // WRITE, APPEND
 }
 
+// RecoveredInfo is the RECOVERED response: what the server's boot-time
+// WAL replay rebuilt. WAL is false when the server runs without a
+// journal (the remaining fields are then zero).
+type RecoveredInfo struct {
+	WAL        bool
+	Shards     uint32
+	Files      uint32
+	FromCkpt   uint32 // files whose base state came from a checkpoint
+	Migrations uint32
+	Records    uint64
+	TornBytes  uint64
+	MaxLSN     uint64
+}
+
 // Response is one decoded server response. Data and Msg alias the decode
 // buffer and are valid until the next decode into the same buffer.
 type Response struct {
-	Op     OpCode
-	Seq    uint32
-	Status Status
-	Handle uint32  // OPEN
-	N      uint32  // WRITE
-	Off    uint64  // APPEND
-	Size   uint64  // STAT
-	Blocks uint32  // STAT
-	EOF    bool    // READ
-	Data   []byte  // READ
-	Shards []int64 // SHARDS: per-shard request counts (allocated, not aliased)
-	Msg    string  // non-OK statuses
+	Op        OpCode
+	Seq       uint32
+	Status    Status
+	Handle    uint32        // OPEN
+	N         uint32        // WRITE
+	Off       uint64        // APPEND
+	Size      uint64        // STAT
+	Blocks    uint32        // STAT
+	EOF       bool          // READ
+	Data      []byte        // READ
+	Shards    []int64       // SHARDS: per-shard request counts (allocated, not aliased)
+	Recovered RecoveredInfo // RECOVERED
+	Msg       string        // non-OK statuses
 }
 
 // Err maps the response status to an error (nil when OK).
@@ -234,7 +261,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	case OpMigrate:
 		dst = binary.LittleEndian.AppendUint32(dst, r.Dst)
 		dst = append(dst, r.Name...)
-	case OpShards:
+	case OpShards, OpRecovered:
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -275,6 +302,19 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		for _, n := range r.Shards {
 			dst = binary.LittleEndian.AppendUint64(dst, uint64(n))
 		}
+	case OpRecovered:
+		wal := byte(0)
+		if r.Recovered.WAL {
+			wal = 1
+		}
+		dst = append(dst, wal)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Recovered.Shards)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Recovered.Files)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Recovered.FromCkpt)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Recovered.Migrations)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Recovered.Records)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Recovered.TornBytes)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Recovered.MaxLSN)
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -352,7 +392,7 @@ func ParseRequest(body []byte, r *Request) error {
 	case OpMigrate:
 		r.Dst = c.u32()
 		r.Name = string(c.rest())
-	case OpShards:
+	case OpShards, OpRecovered:
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrBadRequest, uint8(r.Op))
 	}
@@ -398,6 +438,15 @@ func ParseResponse(body []byte, r *Response) error {
 		for i := range r.Shards {
 			r.Shards[i] = int64(c.u64())
 		}
+	case OpRecovered:
+		r.Recovered.WAL = c.u8() != 0
+		r.Recovered.Shards = c.u32()
+		r.Recovered.Files = c.u32()
+		r.Recovered.FromCkpt = c.u32()
+		r.Recovered.Migrations = c.u32()
+		r.Recovered.Records = c.u64()
+		r.Recovered.TornBytes = c.u64()
+		r.Recovered.MaxLSN = c.u64()
 	default:
 		return fmt.Errorf("%w: unknown op %d in response", ErrBadRequest, uint8(r.Op))
 	}

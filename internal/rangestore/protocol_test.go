@@ -16,6 +16,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpStat, Seq: 11, Handle: 4},
 		{Op: OpMigrate, Seq: 12, Dst: 3, Name: "hot/file"},
 		{Op: OpShards, Seq: 13},
+		{Op: OpRecovered, Seq: 14},
 	}
 	var buf []byte
 	for i := range reqs {
@@ -59,6 +60,11 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Op: OpMigrate, Seq: 10},
 		{Op: OpShards, Seq: 11, Shards: []int64{12, 0, 99, 1 << 40}},
 		{Op: OpShards, Seq: 12, Shards: []int64{}},
+		{Op: OpRecovered, Seq: 13, Recovered: RecoveredInfo{
+			WAL: true, Shards: 8, Files: 1234, FromCkpt: 1000,
+			Migrations: 3, Records: 1 << 33, TornBytes: 77, MaxLSN: 1 << 40,
+		}},
+		{Op: OpRecovered, Seq: 14},
 	}
 	var buf []byte
 	for i := range resps {
@@ -83,7 +89,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			got.Handle != want.Handle || got.N != want.N || got.Off != want.Off ||
 			got.Size != want.Size || got.Blocks != want.Blocks || got.EOF != want.EOF ||
 			got.Msg != want.Msg || !bytes.Equal(got.Data, want.Data) ||
-			len(got.Shards) != len(want.Shards) {
+			len(got.Shards) != len(want.Shards) || got.Recovered != want.Recovered {
 			t.Fatalf("response %d: got %+v want %+v", i, got, want)
 		}
 		for j := range want.Shards {

@@ -8,11 +8,39 @@ import (
 	"repro/internal/pfs"
 )
 
+// Rebalance smoothing knobs (see WithRebalancePolicy).
+const (
+	// defaultRebalanceAlpha is the EWMA smoothing factor over per-round
+	// deltas: 0.5 means a one-round spike contributes half its weight,
+	// then a quarter, and so on — two calm rounds mostly forget it.
+	defaultRebalanceAlpha = 0.5
+	// defaultRebalanceHysteresis is the minimum improvement a move must
+	// buy, as a fraction of the round's total traffic: moves that would
+	// shave less than 1% of the round are churn, not balancing.
+	defaultRebalanceHysteresis = 0.01
+)
+
+// WithRebalancePolicy overrides the rebalancer's smoothing: alpha in
+// (0, 1] is the EWMA factor applied to per-round traffic deltas (1
+// reproduces the unsmoothed per-round behaviour), hysteresis >= 0 is
+// the fraction of a round's total traffic a move must improve the
+// spread by before it is worth performing.
+func WithRebalancePolicy(alpha, hysteresis float64) ServerOption {
+	return func(s *Server) {
+		if alpha > 0 && alpha <= 1 {
+			s.rebAlpha = alpha
+		}
+		if hysteresis >= 0 {
+			s.rebHyst = hysteresis
+		}
+	}
+}
+
 // Migration records one file move performed by Rebalance.
 type Migration struct {
 	Name     string `json:"name"`
 	From, To int
-	Ops      int64 // requests the file had absorbed when it was chosen
+	Ops      int64 // smoothed per-round requests the file was charged with
 }
 
 func (m Migration) String() string {
@@ -26,12 +54,20 @@ func (m Migration) String() string {
 // lifetime totals — so a periodic rebalancer follows the workload's
 // current hot set instead of its history, and a formerly-hot file
 // stops being re-blamed for load it absorbed on a shard it already
-// left. A file moves only when the move strictly improves the spread —
-// its shard carried more of the round's load than the emptiest shard
-// would even after absorbing the file — so a store whose recent
-// traffic is balanced performs no migrations. Requires map placement
-// (pfs.ErrStaticPlacement otherwise). Safe to call while the store is
-// serving: each move is an online pfs migration.
+// left.
+//
+// Two mechanisms keep a single noisy round from triggering a move the
+// next round would undo. The deltas are smoothed by an EWMA (factor
+// alpha, default 0.5): a one-round burst is discounted against the
+// rounds before it, so sustained skew moves files and measurement
+// noise does not. And a hysteresis margin demands that the move
+// actually pay: the source's smoothed load must exceed the
+// destination's even after the destination absorbs the file, by more
+// than a fraction (default 1%) of the round's raw traffic. A store
+// whose recent traffic is balanced — or only twitching — performs no
+// migrations. Requires map placement (pfs.ErrStaticPlacement
+// otherwise). Safe to call while the store is serving: each move is an
+// online pfs migration, journaled when the server has a WAL.
 //
 // This is the measure-then-move loop closed: the counters say where
 // zipf-hot traffic landed, Rebalance moves the files it blames, and the
@@ -44,21 +80,71 @@ func (s *Server) Rebalance(k int) ([]Migration, error) {
 	defer s.rebMu.Unlock()
 	curShard := s.ShardCounts()
 	curFile := s.FileCounts()
-	load := deltaShards(curShard, s.rebPrevShard)
-	type hot struct {
-		name string
-		ops  int64
+	delta := deltaShards(curShard, s.rebPrevShard)
+	var total float64
+	for _, d := range delta {
+		total += float64(d)
 	}
-	files := make([]hot, 0, len(curFile))
-	for name, n := range curFile {
-		if d := n - s.rebPrevFile[name]; d > 0 {
-			files = append(files, hot{name, d})
+
+	// Fold this round into the EWMAs. Files absent this round decay
+	// toward zero and are dropped once negligible, so the map tracks
+	// the live hot set, not every name ever served.
+	alpha := s.rebAlpha
+	if s.rebEWShard == nil {
+		s.rebEWShard = make([]float64, len(delta))
+		for i, d := range delta {
+			s.rebEWShard[i] = float64(d)
+		}
+	} else {
+		for i, d := range delta {
+			s.rebEWShard[i] = alpha*float64(d) + (1-alpha)*s.rebEWShard[i]
+		}
+	}
+	if s.rebEWFile == nil {
+		s.rebEWFile = make(map[string]float64)
+		for name, n := range curFile {
+			if d := n - s.rebPrevFile[name]; d > 0 {
+				s.rebEWFile[name] = float64(d)
+			}
+		}
+	} else {
+		for name, ew := range s.rebEWFile {
+			d := curFile[name] - s.rebPrevFile[name]
+			ew = alpha*float64(d) + (1-alpha)*ew
+			if ew < 0.5 {
+				delete(s.rebEWFile, name)
+			} else {
+				s.rebEWFile[name] = ew
+			}
+		}
+		for name, n := range curFile {
+			if _, ok := s.rebEWFile[name]; ok {
+				continue
+			}
+			// Admit a newcomer only above the same threshold decay
+			// evicts at, or trickle-traffic files would be dropped and
+			// re-added every round and the map would never shed them.
+			if d := n - s.rebPrevFile[name]; d > 0 {
+				if ew := alpha * float64(d); ew >= 0.5 {
+					s.rebEWFile[name] = ew
+				}
+			}
 		}
 	}
 	s.rebPrevShard = curShard
 	s.rebPrevFile = curFile
+
+	load := append([]float64(nil), s.rebEWShard...)
 	if len(load) < 2 {
 		return nil, nil
+	}
+	type hot struct {
+		name string
+		ops  float64
+	}
+	files := make([]hot, 0, len(s.rebEWFile))
+	for name, ew := range s.rebEWFile {
+		files = append(files, hot{name, ew})
 	}
 	sort.Slice(files, func(i, j int) bool {
 		if files[i].ops != files[j].ops {
@@ -66,6 +152,7 @@ func (s *Server) Rebalance(k int) ([]Migration, error) {
 		}
 		return files[i].name < files[j].name // deterministic on ties
 	})
+	margin := s.rebHyst * total
 
 	var out []Migration
 	for _, f := range files {
@@ -79,12 +166,14 @@ func (s *Server) Rebalance(k int) ([]Migration, error) {
 				dst = i
 			}
 		}
-		// Move only if it improves: source stays heavier than the
-		// destination becomes, i.e. the file is not just sloshing.
-		if src == dst || load[src] <= load[dst]+f.ops {
+		// Move only if it pays past the hysteresis margin: the source
+		// stays heavier than the destination becomes, by more than a
+		// noise-sized slice of the round — i.e. the file is not just
+		// sloshing.
+		if src == dst || load[src] <= load[dst]+f.ops+margin {
 			continue
 		}
-		if err := s.store.Migrate(f.name, dst); err != nil {
+		if err := s.migrate(f.name, dst); err != nil {
 			if errors.Is(err, pfs.ErrStaticPlacement) {
 				return out, err
 			}
@@ -93,7 +182,7 @@ func (s *Server) Rebalance(k int) ([]Migration, error) {
 		}
 		load[src] -= f.ops
 		load[dst] += f.ops
-		out = append(out, Migration{Name: f.name, From: src, To: dst, Ops: f.ops})
+		out = append(out, Migration{Name: f.name, From: src, To: dst, Ops: int64(f.ops)})
 	}
 	return out, nil
 }

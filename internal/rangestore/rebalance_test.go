@@ -1,0 +1,154 @@
+package rangestore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pfs"
+)
+
+// rebBump charges n requests to name on shard, as served traffic would.
+func rebBump(srv *Server, shard int, name string, n int64) {
+	srv.shardOps[shard].n.Add(n)
+	c, _ := srv.fileOps.LoadOrStore(name, new(atomic.Int64))
+	c.(*atomic.Int64).Add(n)
+}
+
+// nameOnShard probes for a name the placement fallback puts on shard.
+func nameOnShard(t *testing.T, store interface{ ShardIndex(string) int }, shard int, tag string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		n := fmt.Sprintf("%s-%d", tag, i)
+		if store.ShardIndex(n) == shard {
+			return n
+		}
+	}
+	t.Fatalf("no name found on shard %d", shard)
+	return ""
+}
+
+// TestRebalanceSmoothing: a single noisy round no longer triggers a
+// move — the EWMA discounts it against the calm rounds before — while
+// the same imbalance sustained over several rounds still does, and a
+// persistent but sub-hysteresis imbalance never does.
+func TestRebalanceSmoothing(t *testing.T) {
+	srv, store := mapServer(t, 2)
+	// Shard 0 carries a small file a and a big file c; shard 1 carries
+	// b. All exist so a warranted move can actually execute.
+	a := nameOnShard(t, store, 0, "smooth-a")
+	c := nameOnShard(t, store, 0, "smooth-c")
+	b := nameOnShard(t, store, 1, "smooth-b")
+	for _, n := range []string{a, c, b} {
+		if _, err := store.Create(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round := func(na, nc, nb int64) []Migration {
+		t.Helper()
+		rebBump(srv, 0, a, na)
+		rebBump(srv, 0, c, nc)
+		rebBump(srv, 1, b, nb)
+		migs, err := srv.Rebalance(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return migs
+	}
+
+	// Calm, balanced rounds: never a move.
+	for i := 0; i < 3; i++ {
+		if migs := round(100, 800, 900); len(migs) != 0 {
+			t.Fatalf("balanced round %d migrated %v", i, migs)
+		}
+	}
+
+	// One noisy round: c bursts +150, tilting the raw deltas to
+	// [1050, 900]. The unsmoothed greedy would move a (1050 > 900+100);
+	// the EWMA sees [975, 900] and a move that cannot pay.
+	if migs := round(100, 950, 900); len(migs) != 0 {
+		t.Fatalf("single noisy round triggered %v", migs)
+	}
+	// The next calm round must not move either (no echo of the burst).
+	if migs := round(100, 800, 900); len(migs) != 0 {
+		t.Fatalf("round after the noise migrated %v", migs)
+	}
+
+	// The same tilt sustained: the EWMA converges onto it and the move
+	// becomes real. It must pick a — the small file whose departure
+	// pays — not the big one.
+	moved := false
+	for i := 0; i < 6; i++ {
+		migs := round(100, 950, 900)
+		if len(migs) > 0 {
+			if migs[0].Name != a || migs[0].To != 1 {
+				t.Fatalf("sustained skew moved %v, want %s to shard 1", migs, a)
+			}
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("sustained skew never triggered a move")
+	}
+
+	// A persistent imbalance below the hysteresis margin is churn, not
+	// skew: moving a (4 ops) would improve [504, 496] by 4 — a strict
+	// improvement the unsmoothed greedy would take every round — but
+	// 4 < 1% of the round's 1000 ops, so it must never move.
+	srv2, store2 := mapServer(t, 2)
+	a2 := nameOnShard(t, store2, 0, "hyst-a")
+	c2 := nameOnShard(t, store2, 0, "hyst-c")
+	b2 := nameOnShard(t, store2, 1, "hyst-b")
+	for _, n := range []string{a2, c2, b2} {
+		if _, err := store2.Create(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		rebBump(srv2, 0, a2, 4)
+		rebBump(srv2, 0, c2, 500)
+		rebBump(srv2, 1, b2, 496)
+		migs, err := srv2.Rebalance(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(migs) != 0 {
+			t.Fatalf("sub-hysteresis imbalance migrated %v on round %d", migs, i)
+		}
+	}
+}
+
+// TestRebalancePolicyOverride: alpha=1 + zero hysteresis reproduces the
+// old per-round greedy, so the knob really is the smoothing.
+func TestRebalancePolicyOverride(t *testing.T) {
+	store := pfs.NewShardedPlacement(2, nil, pfs.NewMapPlacement(nil))
+	srv := NewServerSharded(store, WithRebalancePolicy(1, 0))
+	t.Cleanup(func() { srv.Close() })
+	a := nameOnShard(t, store, 0, "raw-a")
+	c := nameOnShard(t, store, 0, "raw-c")
+	b := nameOnShard(t, store, 1, "raw-b")
+	for _, n := range []string{a, c, b} {
+		if _, err := store.Create(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Balanced history, then the same single noisy round that
+	// smoothing suppressed: with alpha=1 and no margin it moves.
+	rebBump(srv, 0, a, 100)
+	rebBump(srv, 0, c, 800)
+	rebBump(srv, 1, b, 900)
+	if migs, err := srv.Rebalance(1); err != nil || len(migs) != 0 {
+		t.Fatalf("balanced round: %v, %v", migs, err)
+	}
+	rebBump(srv, 0, a, 100)
+	rebBump(srv, 0, c, 950)
+	rebBump(srv, 1, b, 900)
+	migs, err := srv.Rebalance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(migs) != 1 || migs[0].Name != a {
+		t.Fatalf("unsmoothed policy did not move on the noisy round: %v", migs)
+	}
+}

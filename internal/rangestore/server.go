@@ -39,6 +39,13 @@ type Server struct {
 	store    *pfs.Sharded
 	maxBatch int
 
+	// journal, when set, write-ahead logs every mutation and is
+	// committed per batch before responses flush — an acknowledged
+	// request is durable (per the journal's sync mode). recovered is
+	// what boot-time replay rebuilt, served by the RECOVERED op.
+	journal   *Journal
+	recovered pfs.RecoverStats
+
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	listeners map[net.Listener]struct{}
@@ -54,9 +61,16 @@ type Server struct {
 
 	// Rebalance judges per-round deltas: snapshots of the counters at
 	// the previous call, guarded by rebMu (one rebalancer at a time).
+	// The deltas feed EWMAs (rebEWShard/rebEWFile) so one noisy round
+	// cannot trigger a move the next round would undo; rebAlpha and
+	// rebHyst are the smoothing factor and hysteresis margin.
 	rebMu        sync.Mutex
 	rebPrevShard []int64
 	rebPrevFile  map[string]int64
+	rebEWShard   []float64
+	rebEWFile    map[string]float64
+	rebAlpha     float64
+	rebHyst      float64
 }
 
 // shardCount is a cacheline-padded request tally: adjacent shards'
@@ -81,6 +95,19 @@ func WithMaxBatch(n int) ServerOption {
 	}
 }
 
+// WithJournal attaches a write-ahead journal (from Recover): every
+// mutating request is logged to its shard's WAL and committed before
+// its response flushes.
+func WithJournal(j *Journal) ServerOption {
+	return func(s *Server) { s.journal = j }
+}
+
+// WithRecovered records what boot-time recovery replayed, for the
+// RECOVERED protocol op.
+func WithRecovered(st pfs.RecoverStats) ServerOption {
+	return func(s *Server) { s.recovered = st }
+}
+
 // NewServer wraps a single-shard store over fs. The fs's lock variant
 // decides the range-locking behaviour every request experiences.
 func NewServer(fs *pfs.FS, opts ...ServerOption) *Server {
@@ -97,6 +124,8 @@ func NewServerSharded(store *pfs.Sharded, opts ...ServerOption) *Server {
 		conns:     make(map[net.Conn]struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		shardOps:  make([]shardCount, store.NumShards()),
+		rebAlpha:  defaultRebalanceAlpha,
+		rebHyst:   defaultRebalanceHysteresis,
 	}
 	for _, o := range opts {
 		o(s)
@@ -147,6 +176,8 @@ func (s *Server) resetCounters() {
 	s.rebMu.Lock()
 	s.rebPrevShard = nil
 	s.rebPrevFile = nil
+	s.rebEWShard = nil
+	s.rebEWFile = nil
 	s.rebMu.Unlock()
 	for i := range s.shardOps {
 		s.shardOps[i].n.Store(0)
@@ -286,9 +317,10 @@ type conn struct {
 	vers    []uint64        // placement version each handle resolved under
 	cnt     []*atomic.Int64 // per-file request counter per handle
 	sop     *pfs.ShardedOp
-	frame   []byte // request decode buffer
-	out     []byte // response encode buffer
-	readBuf []byte // READ payload buffer
+	jc      *journalConn // per-batch WAL tracker; nil without a journal
+	frame   []byte       // request decode buffer
+	out     []byte       // response encode buffer
+	readBuf []byte       // READ payload buffer
 }
 
 // ServeConn serves one established connection until EOF, a protocol
@@ -310,6 +342,9 @@ func (s *Server) ServeConn(c net.Conn) error {
 		br:  bufio.NewReaderSize(c, 64<<10),
 		bw:  bufio.NewWriterSize(c, 64<<10),
 		sop: s.store.BeginOp(),
+	}
+	if s.journal != nil {
+		cn.jc = s.journal.Begin()
 	}
 	for {
 		// Blocking read of the batch's first request — except while
@@ -358,6 +393,18 @@ func (s *Server) ServeConn(c net.Conn) error {
 			err = cn.handle(body)
 		}
 		cn.sop.End()
+		// Commit the batch's WAL records before any response escapes: an
+		// acknowledged request must be durable, so if the commit fails
+		// the batch's responses are dropped and the connection dies —
+		// the client sees a broken connection, not a false ack.
+		if cn.jc != nil {
+			if jerr := cn.jc.Commit(); jerr != nil {
+				if err == nil {
+					err = jerr
+				}
+				return err
+			}
+		}
 		// Flush even on a fatal batch error: requests already served get
 		// their responses before the connection dies.
 		if ferr := cn.bw.Flush(); err == nil {
@@ -418,51 +465,82 @@ func (cn *conn) handle(body []byte) error {
 	}
 	cn.srv.ops[int(req.Op)-1].Add(1)
 	resp := Response{Op: req.Op, Seq: req.Seq}
-	cn.exec(&req, &resp)
+	if err := cn.exec(&req, &resp); err != nil {
+		// Journal append failure: the mutation applied but can never be
+		// made durable, so its response must not be sent. Fatal to the
+		// connection.
+		return err
+	}
 	out, err := AppendResponse(cn.out[:0], &resp)
 	if err != nil {
 		return err
 	}
 	cn.out = out[:0]
+	if cn.jc != nil && cn.bw.Available() < len(out) {
+		// This response will overflow the write buffer, so bufio is
+		// about to push earlier responses (and possibly this one) to
+		// the wire before the batch-end commit. Commit first: no ack
+		// may escape ahead of its record's durability. The current
+		// request's record is already appended (pfs journals inside
+		// the operation), so this commit covers it too.
+		if err := cn.jc.Commit(); err != nil {
+			return err
+		}
+	}
 	_, err = cn.bw.Write(out)
 	return err
 }
 
-// exec runs one request against the owning shard, filling resp.
-func (cn *conn) exec(req *Request, resp *Response) {
-	// OPEN, MIGRATE and SHARDS carry no handle.
+// exec runs one request against the owning shard, filling resp. A
+// non-nil error is a journal failure, fatal to the connection (the
+// mutation applied but cannot be made durable, so it must not be
+// acknowledged); everything else is reported through resp.
+func (cn *conn) exec(req *Request, resp *Response) error {
+	// OPEN, MIGRATE, SHARDS and RECOVERED carry no handle.
 	switch req.Op {
 	case OpOpen:
-		cn.execOpen(req, resp)
-		return
+		return cn.execOpen(req, resp)
 	case OpMigrate:
 		if req.Dst >= uint32(cn.srv.store.NumShards()) {
 			resp.Status = StatusBadRequest
-			return
+			return nil
 		}
 		// Migrate leases the source shard's context through its own
 		// ShardedOp, so the batch's lease must be returned first —
 		// holding one slot while Migrate blocks for another is the
 		// hold-and-wait cycle the one-lease-at-a-time rule forbids.
 		cn.sop.End()
-		if err := cn.srv.store.Migrate(req.Name, int(req.Dst)); err != nil {
+		if err := cn.srv.migrate(req.Name, int(req.Dst)); err != nil {
 			fillError(resp, err)
 		}
-		return
+		return nil
 	case OpShards:
 		resp.Shards = cn.srv.ShardCounts()
-		return
+		return nil
+	case OpRecovered:
+		st := cn.srv.recovered
+		resp.Recovered = RecoveredInfo{
+			WAL:        cn.srv.journal != nil,
+			Shards:     uint32(st.Shards),
+			Files:      uint32(st.Files),
+			FromCkpt:   uint32(st.FromCkpt),
+			Migrations: uint32(st.Migrations),
+			Records:    uint64(st.Records),
+			TornBytes:  uint64(st.TornBytes),
+			MaxLSN:     st.MaxLSN,
+		}
+		return nil
 	}
 	// Client-controlled offsets are capped well below the uint64 wrap
 	// point: pfs computes off+len and the lock layer panics on inverted
 	// ranges, so unchecked offsets would be a remote crash.
 	if req.Off > MaxOffset || req.Size > MaxOffset {
 		resp.Status = StatusBadRequest
-		return
+		return nil
 	}
 	if req.Handle >= uint32(len(cn.files)) {
 		resp.Status = StatusBadHandle
-		return
+		return nil
 	}
 	if v := cn.srv.store.PlacementVersion(); cn.vers[req.Handle] != v {
 		// The placement moved since this handle resolved: re-route by
@@ -477,7 +555,7 @@ func (cn *conn) exec(req *Request, resp *Response) {
 		f, shard, err := cn.srv.store.Resolve(cn.names[req.Handle])
 		if err != nil {
 			fillError(resp, err)
-			return
+			return nil
 		}
 		cn.files[req.Handle] = f
 		cn.shards[req.Handle] = int32(shard)
@@ -497,7 +575,7 @@ func (cn *conn) exec(req *Request, resp *Response) {
 	case OpRead:
 		if req.Length > MaxData {
 			resp.Status = StatusTooBig
-			return
+			return nil
 		}
 		if cap(cn.readBuf) < int(req.Length) {
 			cn.readBuf = make([]byte, req.Length)
@@ -509,19 +587,28 @@ func (cn *conn) exec(req *Request, resp *Response) {
 	case OpWrite:
 		if len(req.Data) > MaxData {
 			resp.Status = StatusTooBig
-			return
+			return nil
 		}
 		n, _ := f.WriteAtOp(op, req.Data, req.Off)
 		resp.N = uint32(n)
+		if cn.jc != nil && n > 0 {
+			return cn.touchJournal(req.Handle, shard)
+		}
 	case OpAppend:
 		if len(req.Data) > MaxData {
 			resp.Status = StatusTooBig
-			return
+			return nil
 		}
 		off, _ := f.AppendOp(op, req.Data)
 		resp.Off = off
+		if cn.jc != nil && len(req.Data) > 0 {
+			return cn.touchJournal(req.Handle, shard)
+		}
 	case OpTruncate:
 		f.TruncateOp(op, req.Size)
+		if cn.jc != nil {
+			return cn.touchJournal(req.Handle, shard)
+		}
 	case OpStat:
 		fi := f.Stat()
 		resp.Size = fi.Size
@@ -529,13 +616,48 @@ func (cn *conn) exec(req *Request, resp *Response) {
 	default:
 		resp.Status = StatusBadRequest
 	}
+	return nil
 }
 
-func (cn *conn) execOpen(req *Request, resp *Response) {
+// touchJournal marks the shards whose WAL this request's record can
+// have landed in, for the batch commit that gates its response.
+// Normally that is the handle's shard. If the file migrated while the
+// request was in flight, the forwarded operation journaled to the
+// destination shard's log instead — and any such move bumped the
+// placement version before publishing its forwarding pointer, so a
+// version still matching the handle's stamp proves the record went to
+// the expected shard, and a moved one re-resolves to cover the
+// destination too (over-marking just commits an extra WAL, harmless).
+func (cn *conn) touchJournal(handle uint32, shard int) error {
+	if err := cn.jc.touch(shard); err != nil {
+		return err
+	}
+	if cn.srv.store.PlacementVersion() != cn.vers[handle] {
+		if _, s2, err := cn.srv.store.Resolve(cn.names[handle]); err == nil && s2 != shard {
+			return cn.jc.touch(s2)
+		}
+	}
+	return nil
+}
+
+// migrate re-homes a file, journaling the move when a WAL is attached:
+// the MIGRATE record (carrying the file's frozen snapshot) is durable
+// before the namespace flip publishes the move, so a crash leaves the
+// file on exactly one shard.
+func (s *Server) migrate(name string, dst int) error {
+	if s.journal == nil {
+		return s.store.Migrate(name, dst)
+	}
+	return s.store.MigrateWith(name, dst, func(f *pfs.File) error {
+		return s.journal.LogMigrate(dst, name, f)
+	})
+}
+
+func (cn *conn) execOpen(req *Request, resp *Response) error {
 	if len(cn.files) >= maxHandles {
 		resp.Status = StatusError
 		resp.Msg = fmt.Sprintf("handle table full (%d)", maxHandles)
-		return
+		return nil
 	}
 	// The version is read before resolving, so a migration landing
 	// mid-open leaves the handle conservatively stale (next request
@@ -545,6 +667,7 @@ func (cn *conn) execOpen(req *Request, resp *Response) {
 	cn.srv.shardOps[shard].n.Add(1)
 	var f *pfs.File
 	var err error
+	created := false
 	if req.Flags&OpenCreate != 0 {
 		// Create serializes on the store's migration lock, and Migrate
 		// holds that lock while leasing a slot — so the batch's slot
@@ -553,6 +676,7 @@ func (cn *conn) execOpen(req *Request, resp *Response) {
 		// cycle (same rule as the OpMigrate case).
 		cn.sop.End()
 		f, err = cn.srv.store.Create(req.Name)
+		created = err == nil
 		if errors.Is(err, pfs.ErrExist) {
 			f, err = cn.srv.store.Open(req.Name)
 		}
@@ -561,7 +685,15 @@ func (cn *conn) execOpen(req *Request, resp *Response) {
 	}
 	if err != nil {
 		fillError(resp, err)
-		return
+		return nil
+	}
+	if cn.jc != nil && created {
+		// The CREATE record was journaled by pfs under the namespace
+		// lock; only a new name creates, and new names cannot be
+		// mid-migration, so the shard computed above is where it went.
+		if err := cn.jc.touch(shard); err != nil {
+			return err
+		}
 	}
 	c, _ := cn.srv.fileOps.LoadOrStore(req.Name, new(atomic.Int64))
 	c.(*atomic.Int64).Add(1)
@@ -571,6 +703,7 @@ func (cn *conn) execOpen(req *Request, resp *Response) {
 	cn.vers = append(cn.vers, ver)
 	cn.cnt = append(cn.cnt, c.(*atomic.Int64))
 	resp.Handle = uint32(len(cn.files) - 1)
+	return nil
 }
 
 // fillError maps pfs errors onto wire statuses.
