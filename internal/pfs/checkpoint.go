@@ -104,6 +104,12 @@ func writeCheckpoint(d Dir, shard int, gen, floor uint64, fs *FS) error {
 	npos := len(buf) // nfiles backfilled: a file can vanish mid-iteration
 	buf = le32(buf, 0)
 	for _, name := range names {
+		if len(name) > maxWalName {
+			// Unreachable through pfs (Create caps names at MaxName),
+			// but never truncate: a wrong u16 length would make this
+			// checkpoint restore the wrong name or fail to parse.
+			return errNameTooLong(name)
+		}
 		f, err := fs.Open(name)
 		if err != nil {
 			continue // removed since List; its absence is the truth

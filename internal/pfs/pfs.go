@@ -35,11 +35,20 @@ import (
 // BlockSize is the content block granularity.
 const BlockSize = 4096
 
+// MaxName bounds a file name's length in bytes. Names are journaled
+// into WAL records and checkpoints with a u16 length prefix, so the
+// encoding's hard ceiling is 64 KiB - 1; the API cap is far tighter so
+// a name can never come close to it — an over-long name silently
+// truncated in the log would desynchronize the decoder and cost every
+// record behind it on recovery.
+const MaxName = 4096
+
 // Errors returned by the file system.
 var (
-	ErrNotExist = errors.New("pfs: file does not exist")
-	ErrExist    = errors.New("pfs: file already exists")
-	ErrClosed   = errors.New("pfs: file system closed")
+	ErrNotExist    = errors.New("pfs: file does not exist")
+	ErrExist       = errors.New("pfs: file already exists")
+	ErrClosed      = errors.New("pfs: file system closed")
+	ErrNameTooLong = errors.New("pfs: file name exceeds MaxName")
 )
 
 // LockFactory builds the byte-range lock protecting one file's data.
@@ -142,8 +151,13 @@ func (op Op) End() {
 	}
 }
 
-// Create adds an empty file, failing if the name exists.
+// Create adds an empty file, failing if the name exists or exceeds
+// MaxName (names are journaled with a bounded length prefix, so the
+// namespace is where over-long ones must be stopped).
 func (fs *FS) Create(name string) (*File, error) {
+	if len(name) > MaxName {
+		return nil, ErrNameTooLong
+	}
 	fs.ns.Lock()
 	defer fs.ns.Unlock()
 	if fs.closed {

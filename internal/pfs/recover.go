@@ -80,6 +80,31 @@ func RecoverSharded(d Dir, nshards int, mk DomainLockFactory, place Placement) (
 	store := NewShardedPlacement(nshards, mk, place)
 	stats.Shards = nshards
 
+	// The directory is the source of truth for how many shards the
+	// store durably has: recovering with fewer would silently drop
+	// every file whose only state lives in a higher shard's checkpoint
+	// or log (and mis-replay migrations targeting it), so a shrunk
+	// -shards is refused rather than partially honored. The refusal
+	// keys on actual *state*, not file existence — recovery itself
+	// leaves an empty log and checkpoint behind for every shard it was
+	// booted with, so one start with an oversized shard count must not
+	// ratchet the directory to it forever.
+	dirNames, err := d.List()
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	for _, name := range dirNames {
+		shard, ok := shardFileIndex(name)
+		if !ok || shard < nshards {
+			continue
+		}
+		if shardFileHoldsState(d, name, shard) {
+			return nil, nil, stats, fmt.Errorf(
+				"pfs: WAL directory holds state for shard %d (%s) but recovery was asked for %d shard(s); restart with at least %d shards",
+				shard, name, nshards, shard+1)
+		}
+	}
+
 	// Parallel scan: checkpoint plus both log incarnations per shard
 	// (.log.new survives a crash mid-checkpoint; its records have
 	// higher LSNs than the .log it was about to replace).
@@ -164,14 +189,14 @@ func RecoverSharded(d Dir, nshards int, mk DomainLockFactory, place Placement) (
 		}
 		shard := ns.baseShard
 		if shard < 0 {
-			// No checkpoint: the file is born where its first record says.
+			// No checkpoint: the file is born where its first record
+			// says. Always in range: records are stamped with the log's
+			// own shard (scanLog cuts mismatches) and only shards below
+			// nshards are scanned (higher ones refuse recovery above).
 			shard = int(ns.recs[0].Shard)
-			if shard >= nshards {
-				shard = place.Place(name, nshards)
-			}
 		}
 		for _, rec := range ns.recs {
-			if rec.Kind == RecMigrate && int(rec.Dst) < nshards {
+			if rec.Kind == RecMigrate {
 				shard = int(rec.Dst)
 			}
 		}
@@ -216,11 +241,9 @@ func RecoverSharded(d Dir, nshards int, mk DomainLockFactory, place Placement) (
 					case RecTruncate:
 						f.Truncate(rec.Size)
 					case RecMigrate:
-						if int(rec.Dst) < nshards {
-							if err := applyFileSnapshot(f, rec.Data); err != nil {
-								errs[i] = fmt.Errorf("pfs: recover %q: migration snapshot at lsn %d: %w", jb.name, rec.LSN, err)
-								return
-							}
+						if err := applyFileSnapshot(f, rec.Data); err != nil {
+							errs[i] = fmt.Errorf("pfs: recover %q: migration snapshot at lsn %d: %w", jb.name, rec.LSN, err)
+							return
 						}
 					}
 				}

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -131,8 +133,27 @@ const maxWalOffset = 1 << 62
 
 const walFrameHdr = 8 // len + crc
 
-// appendRecord encodes r as one CRC-framed record appended to dst.
-func appendRecord(dst []byte, r *Record) []byte {
+// maxWalName is the encoder's hard ceiling on a record's name: the
+// frame carries nameLen as u16. pfs.Create enforces the much tighter
+// MaxName at the API boundary, so hitting this is a caller bug — but
+// it must be an error, never a silent truncation: a truncated length
+// desynchronizes the decoder and a CRC-valid record then either trips
+// the torn-tail cut (discarding every acknowledged record behind it)
+// or replays garbage offsets parsed out of name bytes.
+const maxWalName = 1<<16 - 1
+
+// errNameTooLong reports a record whose name cannot be framed.
+func errNameTooLong(name string) error {
+	return fmt.Errorf("%w: %d byte record name (encoder limit %d)", ErrNameTooLong, len(name), maxWalName)
+}
+
+// appendRecord encodes r as one CRC-framed record appended to dst. A
+// name too long for the u16 length prefix is an error; dst is returned
+// unextended.
+func appendRecord(dst []byte, r *Record) ([]byte, error) {
+	if len(r.Name) > maxWalName {
+		return dst, errNameTooLong(r.Name)
+	}
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // len + crc backfilled
 	dst = append(dst, byte(r.Kind))
@@ -157,7 +178,7 @@ func appendRecord(dst []byte, r *Record) []byte {
 	body := dst[start+walFrameHdr:]
 	putLE32(dst[start:], uint32(len(body)))
 	putLE32(dst[start+4:], crc32.ChecksumIEEE(body))
-	return dst
+	return dst, nil
 }
 
 // decodeRecord decodes the first record framed in b, returning it and
@@ -209,6 +230,10 @@ func decodeRecord(b []byte) (rec Record, n int, err error) {
 
 var errTorn = errors.New("pfs: torn or corrupt WAL record")
 
+// ErrWALClosed is the sticky error a closed WAL returns from Append,
+// Commit and Checkpoint.
+var ErrWALClosed = errors.New("pfs: WAL closed")
+
 // Log file layout: a fixed header, then records.
 const (
 	walMagic    = "PFSWAL1\n"
@@ -221,6 +246,25 @@ const (
 )
 
 func shardBase(shard int) string { return fmt.Sprintf("shard-%03d", shard) }
+
+// shardFileIndex parses the shard index out of a WAL-directory file
+// name (shard-NNN.log, .log.new, .ckpt, .ckpt.tmp); ok is false for
+// names the WAL layer does not own.
+func shardFileIndex(name string) (shard int, ok bool) {
+	rest, found := strings.CutPrefix(name, "shard-")
+	if !found {
+		return 0, false
+	}
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest[:dot])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
 
 func appendWalHeader(dst []byte, shard int, gen uint64) []byte {
 	dst = append(dst, walMagic...)
@@ -247,10 +291,15 @@ func scanLog(content []byte, shard int) (recs []Record, gen uint64, torn int, er
 	lastLSN := uint64(0)
 	for len(b) > 0 {
 		rec, n, derr := decodeRecord(b)
-		if derr != nil || rec.LSN <= lastLSN {
+		if derr != nil || rec.LSN <= lastLSN || int(rec.Shard) != shard ||
+			(rec.Kind == RecMigrate && rec.Dst != rec.Shard) {
 			// Torn or corrupt tail: everything from here on is
-			// untrustworthy (a duplicated or re-ordered LSN means the
-			// frame boundary resynchronized on garbage).
+			// untrustworthy. A duplicated or re-ordered LSN means the
+			// frame boundary resynchronized on garbage; a record stamped
+			// with another shard — or a MIGRATE not targeting the very
+			// shard whose log carries it, when migrations journal only
+			// to their destination's log — cannot have been written by
+			// this WAL at all.
 			return recs, gen, len(b), nil
 		}
 		lastLSN = rec.LSN
@@ -319,7 +368,17 @@ func (w *WAL) Append(r *Record) (int64, error) {
 	r.LSN = w.lsn.Add(1)
 	r.Shard = uint32(w.shard)
 	before := len(w.buf)
-	w.buf = appendRecord(w.buf, r)
+	buf, err := appendRecord(w.buf, r)
+	if err != nil {
+		// The mutation already applied but can never be journaled, so
+		// durability is broken for good: make the error sticky so the
+		// commit gate refuses the ack instead of silently dropping the
+		// record. (Unreachable through pfs: Create caps names at
+		// MaxName, far below the encoder limit.)
+		w.err = err
+		return 0, err
+	}
+	w.buf = buf
 	n := int64(len(w.buf) - before)
 	end := w.appendEnd.Add(n)
 	w.sinceCkpt += n
@@ -523,10 +582,18 @@ func (w *WAL) fail(err error) error {
 }
 
 // Close flushes and fsyncs outstanding records and closes the file.
+// The WAL is left with a sticky ErrWALClosed, so a racing or late
+// Append/Commit fails cleanly instead of buffering records no flush
+// will ever cover (or dereferencing the closed file). Closing twice is
+// a no-op.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	for w.flushing {
 		w.flushed.Wait()
+	}
+	if errors.Is(w.err, ErrWALClosed) {
+		w.mu.Unlock()
+		return nil
 	}
 	if w.err == nil {
 		w.flushRound(true)
@@ -534,6 +601,9 @@ func (w *WAL) Close() error {
 	err := w.err
 	f := w.f
 	w.f = nil
+	if w.err == nil {
+		w.err = ErrWALClosed
+	}
 	w.mu.Unlock()
 	if f != nil {
 		if cerr := f.Close(); err == nil {
@@ -541,6 +611,27 @@ func (w *WAL) Close() error {
 		}
 	}
 	return err
+}
+
+// shardFileHoldsState reports whether a WAL-directory file belonging
+// to shard carries durable user state — any checkpointed file or any
+// log record. Recovery consults it for shards beyond the configured
+// count: empty logs and checkpoints are exactly what a previous boot
+// with a larger shard count left behind, and must not wedge a smaller
+// restart. An unreadable or foreign file counts as state: refusing
+// loudly beats guessing.
+func shardFileHoldsState(d Dir, name string, shard int) bool {
+	switch {
+	case strings.HasSuffix(name, ckptTmpSufx):
+		return false // pre-rename scratch, never durable state
+	case strings.HasSuffix(name, ckptSuffix):
+		files, _, _, err := readCheckpoint(d, shard)
+		return err != nil || len(files) > 0
+	case strings.HasSuffix(name, logSuffix), strings.HasSuffix(name, logNewSuffx):
+		recs, _, _, err := readShardLog(d, name, shard)
+		return err != nil || len(recs) > 0
+	}
+	return true
 }
 
 // readShardLog reads and scans one shard's log file; absent files scan

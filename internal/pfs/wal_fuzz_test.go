@@ -24,7 +24,10 @@ func fuzzPrefix() ([]byte, []Record) {
 // half-parsed).
 func FuzzWALReplay(f *testing.F) {
 	prefix, _ := fuzzPrefix()
-	extra := appendRecord(nil, &Record{Kind: RecWrite, LSN: 4, Shard: 0, Name: "f", Off: 0, Data: []byte("x")})
+	extra, err := appendRecord(nil, &Record{Kind: RecWrite, LSN: 4, Shard: 0, Name: "f", Off: 0, Data: []byte("x")})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add([]byte{})                            // clean log
 	f.Add(extra)                               // valid continuation
 	f.Add(extra[:len(extra)-1])                // torn tail
@@ -55,7 +58,10 @@ func FuzzWALReplay(f *testing.F) {
 				t.Fatalf("record %d: LSN %d not increasing", i, recs[i].LSN)
 			}
 			lastLSN = recs[i].LSN
-			reenc = appendRecord(reenc, &recs[i])
+			var encErr error
+			if reenc, encErr = appendRecord(reenc, &recs[i]); encErr != nil {
+				t.Fatalf("record %d accepted by the scan but refuses to re-encode: %v", i, encErr)
+			}
 		}
 		if len(reenc) != len(content)-torn || !bytes.Equal(reenc, content[:len(reenc)]) {
 			t.Fatalf("scan accepted %d records but they re-encode to %d bytes; content %d, torn %d",

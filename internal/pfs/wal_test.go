@@ -2,8 +2,10 @@ package pfs
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -25,7 +27,10 @@ func TestWALRecordRoundTrip(t *testing.T) {
 	}
 	var buf []byte
 	for i := range recs {
-		buf = appendRecord(buf, &recs[i])
+		var err error
+		if buf, err = appendRecord(buf, &recs[i]); err != nil {
+			t.Fatalf("encode record %d: %v", i, err)
+		}
 	}
 	b := buf
 	for i := range recs {
@@ -47,7 +52,10 @@ func TestWALRecordRoundTrip(t *testing.T) {
 func buildLog(shard int, gen uint64, recs ...Record) []byte {
 	buf := appendWalHeader(nil, shard, gen)
 	for i := range recs {
-		buf = appendRecord(buf, &recs[i])
+		var err error
+		if buf, err = appendRecord(buf, &recs[i]); err != nil {
+			panic(err)
+		}
 	}
 	return buf
 }
@@ -445,6 +453,125 @@ func TestRecoverMigrateAcrossShardLogs(t *testing.T) {
 	// cannot be expressed.
 	if _, _, _, err := RecoverSharded(d, n, nil, HashPlacement{}); err == nil {
 		t.Fatal("migration-bearing log recovered into a static placement")
+	}
+}
+
+// TestNameLengthLimits: names are journaled with a u16 length prefix,
+// so over-long ones must be refused loudly at every layer — a silently
+// truncated length desynchronizes the decoder and costs every record
+// behind it on recovery.
+func TestNameLengthLimits(t *testing.T) {
+	fs := New(nil)
+	if _, err := fs.Create(strings.Repeat("n", MaxName+1)); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("Create(MaxName+1) = %v, want ErrNameTooLong", err)
+	}
+	if _, err := fs.Create(strings.Repeat("n", MaxName)); err != nil {
+		t.Fatalf("Create(MaxName): %v", err)
+	}
+
+	// The encoder itself refuses rather than truncates, and the WAL
+	// makes the failure sticky: the record can never be made durable,
+	// so the commit gate must refuse acknowledgements from here on.
+	d := NewMemDir()
+	_, wals, _, err := RecoverSharded(d, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wals[0]
+	if _, err := w.Append(&Record{Kind: RecCreate, Name: strings.Repeat("x", maxWalName+1)}); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("Append(over-long name) = %v, want ErrNameTooLong", err)
+	}
+	if err := w.CommitAll(true); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("Commit after refused append = %v, want sticky ErrNameTooLong", err)
+	}
+
+	// writeCheckpoint refuses too (the FS here is assembled by hand —
+	// pfs.Create would never let the name in).
+	long := New(nil)
+	long.files[strings.Repeat("c", maxWalName+1)] = newFile(long, "c", long.mkLock())
+	if err := writeCheckpoint(NewMemDir(), 0, 1, 0, long); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("writeCheckpoint(over-long name) = %v, want ErrNameTooLong", err)
+	}
+}
+
+// TestWALCloseSticky: a closed WAL fails Append/Commit/Checkpoint with
+// ErrWALClosed instead of buffering records no flush will cover (or
+// panicking on the nil file in a later flush round).
+func TestWALCloseSticky(t *testing.T) {
+	d := NewMemDir()
+	store, wals, _, err := RecoverSharded(d, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wals[0]
+	end, err := w.Append(&Record{Kind: RecCreate, Name: "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close = %v, want idempotent nil", err)
+	}
+	if _, err := w.Append(&Record{Kind: RecCreate, Name: "g"}); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("Append after Close = %v, want ErrWALClosed", err)
+	}
+	if err := w.CommitAll(true); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("Commit after Close = %v, want ErrWALClosed", err)
+	}
+	if err := store.CheckpointShard(w, 0); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("Checkpoint after Close = %v, want ErrWALClosed", err)
+	}
+}
+
+// TestRecoverRefusesFewerShards: restarting with a smaller -shards
+// than the WAL directory holds state for must refuse to boot — a
+// partial recovery would silently drop every file living only in a
+// higher shard's checkpoint or log. But the refusal keys on state,
+// not file existence: recovery leaves empty logs and checkpoints
+// behind for every shard it booted with, and one start with an
+// oversized shard count must not wedge all smaller restarts.
+func TestRecoverRefusesFewerShards(t *testing.T) {
+	d := NewMemDir()
+	store, wals, _, err := RecoverSharded(d, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the file onto the top shard directly, so shrinking below it
+	// is guaranteed to exclude its only durable state.
+	if _, err := store.Shard(3).Create("shrink-me"); err != nil {
+		t.Fatal(err)
+	}
+	syncWALs(t, wals)
+	crashed := d.CrashCopy(nil)
+	if _, _, _, err := RecoverSharded(crashed, 2, nil, nil); err == nil {
+		t.Fatal("recovery with fewer shards than the directory holds state for was accepted")
+	}
+	// The matching shard count still recovers everything (map
+	// placement: the file lives off its hash shard and needs the pin).
+	store2, _, stats, err := RecoverSharded(crashed, 4, nil, NewMapPlacement(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 1 {
+		t.Fatalf("recovered %d files, want 1 (%v)", stats.Files, stats)
+	}
+	if _, err := store2.Open("shrink-me"); err != nil {
+		t.Fatal(err)
+	}
+
+	// No ratchet: a boot with an oversized shard count writes empty
+	// higher-shard logs/checkpoints, which a smaller restart ignores.
+	big := NewMemDir()
+	if _, _, _, err := RecoverSharded(big, 8, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := RecoverSharded(big.CrashCopy(nil), 2, nil, nil); err != nil {
+		t.Fatalf("empty higher-shard files wedged a smaller restart: %v", err)
 	}
 }
 

@@ -18,6 +18,7 @@ package rangestore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pfs"
 )
@@ -67,6 +68,12 @@ type Journal struct {
 	wals      []*pfs.WAL
 	ckptBytes int64
 	ckptMu    []sync.Mutex // per-shard: one checkpoint at a time
+
+	// ckptErr is the latest background checkpoint failure, surfaced by
+	// every batch Commit until a later checkpoint succeeds and clears
+	// it. An atomic pointer so the healthy path — every batch of every
+	// connection — is one load, not a store-wide mutex.
+	ckptErr atomic.Pointer[error]
 }
 
 // Mode returns the journal's fsync policy.
@@ -111,14 +118,14 @@ func (jc *journalConn) touch(shard int) error {
 }
 
 // Commit makes the batch's records durable (per the journal's sync
-// mode) and fires any size-triggered checkpoints — only the shards
+// mode) and triggers any size-triggered checkpoints — only the shards
 // this batch dirtied are examined, so the per-batch cost does not grow
 // with the store's shard count. The server calls it after every batch,
 // before flushing responses; on error the responses must not be
 // flushed — the mutations exist in memory but their durability cannot
 // be promised.
 func (jc *journalConn) Commit() error {
-	var first error
+	first := jc.j.checkpointErr()
 	for _, shard := range jc.list {
 		end := jc.end[shard]
 		jc.end[shard] = 0
@@ -129,29 +136,69 @@ func (jc *journalConn) Commit() error {
 			continue
 		}
 		if jc.j.wals[shard].SinceCheckpoint() >= jc.j.ckptBytes {
-			if err := jc.j.checkpoint(shard); err != nil && first == nil {
-				first = err
-			}
+			jc.j.triggerCheckpoint(shard)
 		}
 	}
 	jc.list = jc.list[:0]
 	return first
 }
 
-// checkpoint runs one shard's checkpoint inline on the triggering
-// connection; concurrent triggers skip rather than queue behind it.
-// The checkpoint itself runs under the store's migration lock — see
-// pfs.(*Sharded).CheckpointShard for why membership and migration
-// must serialize.
-func (j *Journal) checkpoint(shard int) error {
+// triggerCheckpoint starts shard's checkpoint on a background
+// goroutine: a checkpoint snapshots the whole shard under the store's
+// migration lock — far too long a stall to run inline on a serving
+// connection's batch commit, where it would also hold every create and
+// migration store-wide behind that connection's round-trip. At most
+// one runs per shard (the TryLock is taken before the spawn, so a
+// trigger observed by WaitCheckpoints is already holding it);
+// concurrent triggers skip rather than queue. A failure is recorded
+// and surfaced by every subsequent batch Commit, which kills those
+// connections just as an inline failure would have — a journal that
+// cannot bound its recovery work must not keep acknowledging quietly.
+// The record is not permanent, though: the failed shard's log kept
+// growing, so its next qualifying commit re-triggers, and a
+// checkpoint that then succeeds clears the error — a transient disk
+// hiccup costs the connections that observed it, never the process.
+func (j *Journal) triggerCheckpoint(shard int) {
 	if !j.ckptMu[shard].TryLock() {
-		return nil
+		return // one already in flight
 	}
-	defer j.ckptMu[shard].Unlock()
-	if j.wals[shard].SinceCheckpoint() < j.ckptBytes {
-		return nil // a racing commit already checkpointed
+	go func() {
+		defer j.ckptMu[shard].Unlock()
+		if j.wals[shard].SinceCheckpoint() < j.ckptBytes {
+			return // a racing trigger's checkpoint already ran
+		}
+		if err := j.store.CheckpointShard(j.wals[shard], shard); err != nil {
+			j.ckptErr.Store(&err)
+		} else {
+			// Clearing unconditionally can hide another shard's failure
+			// stored a moment ago, but only until that shard's next
+			// trigger re-records it; durability is never at stake —
+			// checkpoints only bound recovery work.
+			j.ckptErr.Store(nil)
+		}
+	}()
+}
+
+// checkpointErr returns the recorded background checkpoint failure,
+// nil while checkpoints are healthy.
+func (j *Journal) checkpointErr() error {
+	if p := j.ckptErr.Load(); p != nil {
+		return *p
 	}
-	return j.store.CheckpointShard(j.wals[shard], shard)
+	return nil
+}
+
+// WaitCheckpoints blocks until no background checkpoint is in flight.
+// Crash tests use it to take deterministic directory snapshots; any
+// checkpoint triggered by a request acknowledged before the call is
+// either finished or holds its shard's ckptMu, so locking through each
+// mutex observes it.
+func (j *Journal) WaitCheckpoints() {
+	for i := range j.ckptMu {
+		j.ckptMu[i].Lock()
+		//lint:ignore SA2001 lock/unlock is the wait
+		j.ckptMu[i].Unlock()
+	}
 }
 
 // LogMigrate journals a MIGRATE record carrying f's full snapshot to
@@ -184,8 +231,12 @@ func (j *Journal) appendMigrate(dst int, name string, f *pfs.File) (int64, error
 	return j.wals[dst].Append(rec)
 }
 
-// Close flushes and fsyncs every shard's log and closes the files.
+// Close waits out any in-flight background checkpoint, then flushes,
+// fsyncs and closes every shard's log. The WALs are left with a sticky
+// closed error, so stragglers fail their commits instead of panicking
+// on a closed file.
 func (j *Journal) Close() error {
+	j.WaitCheckpoints()
 	var first error
 	for _, w := range j.wals {
 		if err := w.Close(); err != nil && first == nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/pfs"
@@ -126,7 +127,7 @@ func TestJournalServeRecoverServe(t *testing.T) {
 // recovers and verifies the final state — checkpoint + live log tail.
 func TestJournalCheckpointUnderTraffic(t *testing.T) {
 	d := pfs.NewMemDir()
-	srv, _, _, _ := walServer(t, d, RecoverConfig{
+	srv, _, j, _ := walServer(t, d, RecoverConfig{
 		Shards: 2, Sync: pfs.SyncBatch, CheckpointBytes: 8 << 10,
 	})
 	cl := pipeClient(t, srv)
@@ -147,6 +148,9 @@ func TestJournalCheckpointUnderTraffic(t *testing.T) {
 		}
 		payload[0] = byte(round) // vary content so replay order matters
 	}
+	// Checkpoints run on background goroutines; wait them out so the
+	// crash snapshot deterministically contains at least one.
+	j.WaitCheckpoints()
 
 	store2, _, stats, err := pfs.RecoverSharded(d.CrashCopy(nil), 2, nil, nil)
 	if err != nil {
@@ -166,6 +170,41 @@ func TestJournalCheckpointUnderTraffic(t *testing.T) {
 		if fi.Size != wantSize {
 			t.Fatalf("%s: size %d, want %d", name, fi.Size, wantSize)
 		}
+	}
+}
+
+// TestServerRejectsLongNames: OPEN/MIGRATE names past pfs.MaxName are
+// refused at the protocol boundary — names are journaled with a
+// bounded length prefix, and an over-long one reaching the WAL encoder
+// would otherwise poison the journal (see pfs.ErrNameTooLong).
+func TestServerRejectsLongNames(t *testing.T) {
+	d := pfs.NewMemDir()
+	srv, _, _, _ := walServer(t, d, RecoverConfig{
+		Shards: 2, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+	})
+	cl := pipeClient(t, srv)
+	long := strings.Repeat("n", pfs.MaxName+1)
+	if _, err := cl.Open(long, true); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("OPEN with %d-byte name = %v, want ErrBadRequest", len(long), err)
+	}
+	if err := cl.Migrate(long, 1); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("MIGRATE with %d-byte name = %v, want ErrBadRequest", len(long), err)
+	}
+	// At the cap the name serves, journals and recovers normally.
+	capped := strings.Repeat("n", pfs.MaxName)
+	h, err := cl.Open(capped, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.WriteAt(h, []byte("fits"), 0); err != nil {
+		t.Fatal(err)
+	}
+	store2, _, _, err := pfs.RecoverSharded(d.CrashCopy(nil), 2, nil, pfs.NewMapPlacement(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store2.Open(capped); err != nil {
+		t.Fatalf("max-length name lost across recovery: %v", err)
 	}
 }
 

@@ -35,6 +35,10 @@
 //	SHARDS    n:u32 count:u64 ×n
 //	RECOVERED wal:u8 shards:u32 files:u32 fromckpt:u32 migrations:u32 records:u64 torn:u64 maxlsn:u64
 //
+// OPEN and MIGRATE names are limited to pfs.MaxName (4 KiB) bytes —
+// names are journaled to the write-ahead log with a bounded length
+// prefix — and longer ones are answered with StatusBadRequest.
+//
 // MIGRATE and SHARDS are the placement admin surface: MIGRATE re-homes
 // a file onto shard dst (map placement only — the server refuses it
 // under static placements), SHARDS returns the per-shard request tally

@@ -501,7 +501,7 @@ func (cn *conn) exec(req *Request, resp *Response) error {
 	case OpOpen:
 		return cn.execOpen(req, resp)
 	case OpMigrate:
-		if req.Dst >= uint32(cn.srv.store.NumShards()) {
+		if req.Dst >= uint32(cn.srv.store.NumShards()) || len(req.Name) > pfs.MaxName {
 			resp.Status = StatusBadRequest
 			return nil
 		}
@@ -659,6 +659,14 @@ func (cn *conn) execOpen(req *Request, resp *Response) error {
 		resp.Msg = fmt.Sprintf("handle table full (%d)", maxHandles)
 		return nil
 	}
+	// Names are client-controlled up to the frame cap but are journaled
+	// with a bounded length prefix; pfs.Create enforces the same limit,
+	// this check just refuses over-long names at the protocol boundary
+	// with a proper status instead of a create error.
+	if len(req.Name) > pfs.MaxName {
+		resp.Status = StatusBadRequest
+		return nil
+	}
 	// The version is read before resolving, so a migration landing
 	// mid-open leaves the handle conservatively stale (next request
 	// re-resolves), never wrongly fresh.
@@ -715,6 +723,8 @@ func fillError(resp *Response, err error) {
 		resp.Status = StatusExist
 	case errors.Is(err, pfs.ErrClosed):
 		resp.Status = StatusClosed
+	case errors.Is(err, pfs.ErrNameTooLong):
+		resp.Status = StatusBadRequest
 	default:
 		resp.Status = StatusError
 		resp.Msg = err.Error()
