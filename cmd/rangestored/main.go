@@ -7,6 +7,8 @@
 //	go run ./cmd/rangestored -lock pnova-rw -extent 1073741824 -segs 1024
 //	go run ./cmd/rangestored -shards 8 -placement map -rebalance 5s -rebalance-topk 4
 //	go run ./cmd/rangestored -shards 8 -wal /var/lib/rangestored -fsync batch
+//	go run ./cmd/rangestored -addr :7421 -shards 8 -placement map \
+//	    -wal /var/lib/rangestored-f -follow leader:7420
 //
 // With -wal DIR every mutation is journaled to a per-shard write-ahead
 // log in DIR and replayed on the next boot: kill the server mid-load
@@ -16,6 +18,16 @@
 // fsyncs every record, "off" journals without fsync (recovery then
 // replays whatever the OS kept). Logs self-compact: past -ckpt-bytes a
 // shard snapshots its state and truncates its log.
+//
+// With -follow ADDR the server runs as a live follower of the leader at
+// ADDR (requires -wal and -placement map): it pulls committed WAL
+// records per shard, applies and re-journals them locally, and serves
+// read-only traffic — writes are answered with a redirect naming the
+// leader (-advertise overrides the advertised address when clients
+// cannot reach the leader at the -follow one). A PROMOTE request flips
+// it into a writable leader after the replication streams drain; the
+// client library's FailoverClient does the redial-and-retry dance
+// automatically.
 //
 // With -shards N the store is split into N lock domains, so traffic
 // against different files scales with cores instead of contending on
@@ -68,6 +80,9 @@ func main() {
 		walDir    = flag.String("wal", "", "write-ahead log directory: journal mutations per shard and recover on boot (empty = RAM only)")
 		fsync     = flag.String("fsync", "batch", "WAL fsync policy: batch (one fsync per pipelined batch), always (per record), off")
 		ckptBytes = flag.Int64("ckpt-bytes", rangestore.DefaultCheckpointBytes, "per-shard log size that triggers a checkpoint/compaction")
+		follow    = flag.String("follow", "", "run as a live follower of the leader at this address (requires -wal and -placement map)")
+		advertise = flag.String("advertise", "", "leader address told to redirected clients (default: the -follow address)")
+		ackWait   = flag.Duration("repl-ack-timeout", rangestore.DefaultReplAckTimeout, "leader: max wait for a follower's ack before a batch commit fails and the follower is dropped")
 	)
 	flag.Parse()
 
@@ -90,6 +105,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rangestored: -rebalance needs -placement map (have %s)\n", place.Name())
 		os.Exit(2)
 	}
+	if *follow != "" {
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "rangestored: -follow needs -wal (the follower journals what it applies)")
+			os.Exit(2)
+		}
+		if place.Name() != "map" {
+			fmt.Fprintf(os.Stderr, "rangestored: -follow needs -placement map (have %s)\n", place.Name())
+			os.Exit(2)
+		}
+		if *rebalance > 0 {
+			fmt.Fprintln(os.Stderr, "rangestored: -follow and -rebalance are mutually exclusive (a follower obeys the leader's placement)")
+			os.Exit(2)
+		}
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -99,6 +128,7 @@ func main() {
 	opts := []rangestore.ServerOption{rangestore.WithMaxBatch(*batch)}
 	var store *pfs.Sharded
 	var journal *rangestore.Journal
+	var stats pfs.RecoverStats
 	if *walDir != "" {
 		mode, err := pfs.ParseSyncMode(*fsync)
 		if err != nil {
@@ -110,13 +140,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rangestored:", err)
 			os.Exit(1)
 		}
-		var stats pfs.RecoverStats
 		store, journal, stats, err = rangestore.Recover(dir, rangestore.RecoverConfig{
 			Shards:          *shards,
 			Lock:            mk,
 			Placement:       place,
 			Sync:            mode,
 			CheckpointBytes: *ckptBytes,
+			ReplAckTimeout:  *ackWait,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rangestored: recover:", err)
@@ -127,9 +157,30 @@ func main() {
 	} else {
 		store = pfs.NewShardedPlacement(*shards, mk, place)
 	}
+	var replica *rangestore.Replica
+	if *follow != "" {
+		leaderAddr := *follow
+		rep, err := rangestore.StartReplica(store, journal, stats, func() (net.Conn, error) {
+			return net.DialTimeout("tcp", leaderAddr, 5*time.Second)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rangestored: follow:", err)
+			os.Exit(1)
+		}
+		replica = rep
+		adv := *advertise
+		if adv == "" {
+			adv = leaderAddr
+		}
+		opts = append(opts, rangestore.WithFollower(replica, adv))
+	}
 	srv := rangestore.NewServerSharded(store, opts...)
-	fmt.Printf("rangestored: serving on %s (lock=%s shards=%d placement=%s batch=%d)\n",
-		l.Addr(), *lock, store.NumShards(), place.Name(), *batch)
+	role := "leader"
+	if replica != nil {
+		role = "follower of " + *follow
+	}
+	fmt.Printf("rangestored: serving on %s (lock=%s shards=%d placement=%s batch=%d role=%s)\n",
+		l.Addr(), *lock, store.NumShards(), place.Name(), *batch, role)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -181,6 +232,11 @@ func main() {
 		}
 	}
 	close(stopRebalance)
+	if replica != nil {
+		// Sever the replication streams before the journal goes away; a
+		// stream mid-apply finishes its batch first (Stop drains).
+		replica.Stop()
+	}
 	if journal != nil {
 		// The drain already committed every answered batch; this syncs
 		// any unacknowledged tail and closes the log files.

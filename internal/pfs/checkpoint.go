@@ -56,6 +56,18 @@ func appendFileSnapshot(dst []byte, f *File) []byte {
 	return dst
 }
 
+// ApplySnapshot replaces f's state with the snapshot in b (the format
+// MIGRATE records and checkpoints carry), under an exclusive full-range
+// lock so it is consistent against concurrently served reads — the
+// path a replica uses to install leader snapshots on a live store. The
+// lock follows migration forwarding, so the bytes land on the file's
+// live incarnation.
+func (f *File) ApplySnapshot(b []byte) error {
+	f, r := f.lockResolved(Op{}, 0, ^uint64(0), true)
+	defer r.release()
+	return applyFileSnapshot(f, b)
+}
+
 // applyFileSnapshot replaces f's state with the snapshot in b. The
 // caller owns f exclusively (recovery replay).
 func applyFileSnapshot(f *File, b []byte) error {
@@ -146,11 +158,25 @@ func writeCheckpoint(d Dir, shard int, gen, floor uint64, fs *FS) error {
 	return d.Sync()
 }
 
-// ckptFile is one file recovered from a checkpoint; Snapshot is the
-// raw snapshot bytes, applied to a fresh file via applyFileSnapshot.
-type ckptFile struct {
+// CheckpointFile is one file recovered from a checkpoint; Snapshot is
+// the raw snapshot bytes, applied via File.ApplySnapshot (or, inside
+// recovery, applyFileSnapshot).
+type CheckpointFile struct {
 	Name     string
 	Snapshot []byte
+}
+
+// ckptFile is the historical internal name; recovery still uses it.
+type ckptFile = CheckpointFile
+
+// ReadCheckpoint loads shard's checkpoint from d: the files it holds
+// and the LSN floor they reflect. An absent checkpoint is an empty one
+// with floor 0. The replication layer reads it to bootstrap a cold
+// follower; callers must serialize against checkpoint writes (the
+// journal's per-shard checkpoint mutex).
+func ReadCheckpoint(d Dir, shard int) ([]CheckpointFile, uint64, error) {
+	files, _, floor, err := readCheckpoint(d, shard)
+	return files, floor, err
 }
 
 // readCheckpoint loads shard's checkpoint; an absent checkpoint is an

@@ -98,9 +98,20 @@ type FS struct {
 	// so the log order of conflicting operations equals their apply
 	// order — released-lock journaling could log an overwritten write
 	// after its overwriter and replay the loser on recovery. Set
-	// before the file system serves; never changed while it does.
+	// before the file system serves writes; never changed while it
+	// does (a replica swaps it only across a promotion barrier that
+	// orders the store's first writes after the swap).
 	jhook func(*Record)
 }
+
+// SetJournalHook installs (nil: removes) the journal hook. A replica
+// removes the recovery-wired hooks while it applies the leader's
+// stream — streamed records are journaled verbatim via AppendPrepared,
+// not re-journaled with fresh LSNs — and rewires them on promotion.
+// Callers must not change the hook while the store serves writes; the
+// replica's promotion path publishes the swap through the server's
+// leader flag before any write is accepted.
+func (fs *FS) SetJournalHook(h func(*Record)) { fs.jhook = h }
 
 // New creates an empty file system whose files use locks from mk (nil
 // selects DefaultLockFactory).

@@ -283,7 +283,7 @@ func RecoverSharded(d Dir, nshards int, mk DomainLockFactory, place Placement) (
 	}
 	wals := make([]*WAL, nshards)
 	for i := 0; i < nshards; i++ {
-		w, err := newWAL(d, i, scans[i].gen+1, lsn)
+		w, err := newWAL(d, i, scans[i].gen+1, lsn, stats.MaxLSN)
 		if err != nil {
 			return nil, nil, stats, err
 		}
@@ -304,11 +304,19 @@ func RecoverSharded(d Dir, nshards int, mk DomainLockFactory, place Placement) (
 	// operation while its range (or namespace) lock is held — see
 	// FS.jhook. Append errors are sticky in the WAL; commit gates acks.
 	for i := range wals {
-		w := wals[i]
-		store.Shard(i).jhook = func(rec *Record) {
-			rec.PVer = place.Version()
-			w.Append(rec)
-		}
+		store.Shard(i).jhook = JournalHook(wals[i], place)
 	}
 	return store, wals, stats, nil
+}
+
+// JournalHook builds the hook RecoverSharded wires into each shard:
+// stamp the record with the current placement version and append it to
+// the shard's WAL. Exported so a promoted replica — which unwires the
+// hooks while it applies a leader's stream — can rewire them when it
+// takes over as leader.
+func JournalHook(w *WAL, place Placement) func(*Record) {
+	return func(rec *Record) {
+		rec.PVer = place.Version()
+		w.Append(rec)
+	}
 }

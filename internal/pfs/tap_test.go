@@ -1,0 +1,165 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func tapWAL(t *testing.T) *WAL {
+	t.Helper()
+	_, wals, _, err := RecoverSharded(NewMemDir(), 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wals[0]
+}
+
+func TestWALTapStreamsCommittedRecords(t *testing.T) {
+	w := tapWAL(t)
+	tap, err := w.Tap(1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+	for i := 0; i < 3; i++ {
+		rec := &Record{Kind: RecWrite, Name: "f", Off: uint64(i) * 10, Data: []byte{byte(i), byte(i)}}
+		end, err := w.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(end, true); err != nil {
+			t.Fatal(err)
+		}
+		b, err := tap.Next(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := DecodeRecord(b)
+		if err != nil || n != len(b) {
+			t.Fatalf("tap delivered %d bytes, decoded %d: %v", len(b), n, err)
+		}
+		if got.LSN != rec.LSN || got.Off != rec.Off || !bytes.Equal(got.Data, rec.Data) {
+			t.Fatalf("tap record = %+v, want %+v", got, rec)
+		}
+	}
+}
+
+// TestWALTapHoldsUnsyncedBytes: a synced tap must not leak bytes a crash
+// could take back — written-but-unsynced records stay pending until the
+// fsync that covers them.
+func TestWALTapHoldsUnsyncedBytes(t *testing.T) {
+	w := tapWAL(t)
+	tap, err := w.Tap(1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+	rec := &Record{Kind: RecWrite, Name: "f", Off: 5, Data: []byte("unsynced")}
+	end, err := w.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end, false); err != nil { // written, not fsynced
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := tap.Next(nil)
+		got <- b
+	}()
+	select {
+	case <-got:
+		t.Fatal("unsynced bytes delivered to a synced tap")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := w.Commit(end, true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		dec, n, err := DecodeRecord(b)
+		if err != nil || n != len(b) || dec.LSN != rec.LSN {
+			t.Fatalf("post-sync delivery wrong: %d bytes, %v", len(b), err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("synced bytes never delivered")
+	}
+}
+
+func TestWALTapLagDetaches(t *testing.T) {
+	w := tapWAL(t)
+	tap, err := w.Tap(8, true) // absurdly small backlog
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+	end, err := w.Append(&Record{Kind: RecWrite, Name: "f", Data: make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tap.Next(nil); !errors.Is(err, ErrTapLagged) {
+		t.Fatalf("overflowed tap returned %v, want ErrTapLagged", err)
+	}
+}
+
+func TestAppendPreparedGuards(t *testing.T) {
+	w := tapWAL(t)
+	end, err := w.Append(&Record{Kind: RecCreate, Name: "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end, true); err != nil {
+		t.Fatal(err)
+	}
+	last := w.LastLSN()
+	if _, err := w.AppendPrepared(&Record{Kind: RecWrite, Shard: 1, LSN: last + 1, Name: "f"}); err == nil {
+		t.Fatal("foreign-shard record accepted")
+	}
+	if _, err := w.AppendPrepared(&Record{Kind: RecWrite, Shard: 0, LSN: last, Name: "f"}); err == nil {
+		t.Fatal("stale-LSN record accepted")
+	}
+	// A refused prepared record is a validation error, not log damage:
+	// the WAL keeps working.
+	end, err = w.AppendPrepared(&Record{Kind: RecWrite, Shard: 0, LSN: last + 5, Name: "f", Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end, true); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastLSN() != last+5 {
+		t.Fatalf("LastLSN = %d, want %d", w.LastLSN(), last+5)
+	}
+	// Locally assigned LSNs continue above the highest replicated one.
+	rec := &Record{Kind: RecWrite, Name: "f", Data: []byte("y")}
+	if _, err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.LSN <= last+5 {
+		t.Fatalf("local append LSN %d did not outrun replicated %d", rec.LSN, last+5)
+	}
+}
+
+func TestSetLastLSNKeepsGlobalMonotonic(t *testing.T) {
+	w := tapWAL(t)
+	r1 := &Record{Kind: RecCreate, Name: "a"}
+	if _, err := w.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	w.SetLastLSN(0) // a re-bootstrapping follower may lower the shard mark
+	if w.LastLSN() != 0 {
+		t.Fatalf("LastLSN = %d after reset", w.LastLSN())
+	}
+	r2 := &Record{Kind: RecCreate, Name: "b"}
+	if _, err := w.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.LSN <= r1.LSN {
+		t.Fatalf("global LSN counter went backwards: %d after %d", r2.LSN, r1.LSN)
+	}
+}

@@ -230,6 +230,27 @@ func decodeRecord(b []byte) (rec Record, n int, err error) {
 
 var errTorn = errors.New("pfs: torn or corrupt WAL record")
 
+// ErrTornRecord is the exported face of a framing/CRC failure, for
+// callers decoding records outside the WAL itself (the replication
+// stream re-verifies every shipped frame with DecodeRecord).
+var ErrTornRecord = errTorn
+
+// DecodeRecord decodes the first CRC-framed record in b, returning it
+// and the bytes consumed. An incomplete frame (more bytes needed) and a
+// corrupt one both return ErrTornRecord — stream consumers that can
+// tell "short" from "broken" should check len(b) against the frame
+// length themselves. rec.Data aliases b.
+func DecodeRecord(b []byte) (rec Record, n int, err error) {
+	return decodeRecord(b)
+}
+
+// EncodeRecord appends r as one CRC-framed record to dst — the exact
+// bytes Append would have buffered. The replication path uses it to
+// re-frame backfill records read from a scanned log.
+func EncodeRecord(dst []byte, r *Record) ([]byte, error) {
+	return appendRecord(dst, r)
+}
+
 // ErrWALClosed is the sticky error a closed WAL returns from Append,
 // Commit and Checkpoint.
 var ErrWALClosed = errors.New("pfs: WAL closed")
@@ -318,6 +339,12 @@ type WAL struct {
 	shard int
 	lsn   *atomic.Uint64 // shared across the store's shards
 
+	// lastLSN is the highest LSN this shard's log carries — the
+	// per-shard high-water mark, as opposed to the store-global counter
+	// above. Checkpoints use it as their floor (everything in this log
+	// is ≤ it at rotation) and replication sessions resume from it.
+	lastLSN atomic.Uint64
+
 	mu        sync.Mutex
 	flushed   sync.Cond // broadcast when a flush round completes
 	f         LogFile
@@ -333,10 +360,25 @@ type WAL struct {
 	sinceCkpt int64  // bytes appended since the last rotation
 	flushing  bool
 	err       error // sticky I/O error; the WAL refuses further work
+	// lost marks a hole below the frontier: an append was refused, so a
+	// mutation applied without its record ever entering the log. Commit
+	// must then fail even for ends the durable frontier covers — unlike
+	// the close/flush-error cases, where coverage implies durability.
+	lost bool
+
+	// Replication taps. tapPend holds flushed-but-undelivered bytes;
+	// tapStart is the logical offset of tapPend[0]. Chunks are handed to
+	// taps only once the durable frontier covers them, so a follower can
+	// never hold a record the leader could still lose.
+	taps      []*WALTap
+	tapPend   []byte
+	tapStart  int64
+	tapSynced bool // deliver only fsync-covered bytes (false under SyncOff)
 }
 
-func newWAL(dir Dir, shard int, gen uint64, lsn *atomic.Uint64) (*WAL, error) {
+func newWAL(dir Dir, shard int, gen uint64, lsn *atomic.Uint64, last uint64) (*WAL, error) {
 	w := &WAL{dir: dir, shard: shard, gen: gen, lsn: lsn}
+	w.lastLSN.Store(last)
 	w.flushed.L = &w.mu
 	f, err := dir.Create(shardBase(shard) + logSuffix)
 	if err != nil {
@@ -367,6 +409,7 @@ func (w *WAL) Append(r *Record) (int64, error) {
 	}
 	r.LSN = w.lsn.Add(1)
 	r.Shard = uint32(w.shard)
+	w.lastLSN.Store(r.LSN)
 	before := len(w.buf)
 	buf, err := appendRecord(w.buf, r)
 	if err != nil {
@@ -376,6 +419,8 @@ func (w *WAL) Append(r *Record) (int64, error) {
 		// record. (Unreachable through pfs: Create caps names at
 		// MaxName, far below the encoder limit.)
 		w.err = err
+		w.lost = true
+		w.failTaps(err)
 		return 0, err
 	}
 	w.buf = buf
@@ -390,15 +435,29 @@ func (w *WAL) Append(r *Record) (int64, error) {
 // Concurrent commits coalesce: one leader writes and syncs the whole
 // buffer, everyone whose end it covers returns without touching the
 // file. An I/O error is sticky and fails all pending and future work.
+//
+// The durable-frontier check runs before the sticky-error check on
+// purpose: a server shutting down under traffic closes the journal
+// while late batch commits race in, and Close's final flush may already
+// have made such a batch's records durable. Reporting ErrWALClosed for
+// a frontier the log actually covers would make the server drop an ack
+// for a write that recovery will replay — a spurious failure the
+// opposite order avoids. A frontier the final flush did not cover still
+// fails with the sticky error, which is the honest answer.
+//
+// The one exception is a refused append (w.lost): the log then has a
+// hole below the frontier — a mutation applied whose record never
+// entered the buffer — and no coverage can promise its durability, so
+// every commit fails.
 func (w *WAL) Commit(end int64, sync bool) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for {
+		if !w.lost && w.writeEnd >= end && (!sync || w.syncEnd >= end) {
+			return nil
+		}
 		if w.err != nil {
 			return w.err
-		}
-		if w.writeEnd >= end && (!sync || w.syncEnd >= end) {
-			return nil
 		}
 		if w.flushing {
 			w.flushed.Wait()
@@ -428,14 +487,62 @@ func (w *WAL) flushRound(sync bool) {
 	w.mu.Lock()
 	if err != nil {
 		w.err = err
+		w.failTaps(err)
 	} else {
 		w.writeEnd = target
 		if sync {
 			w.syncEnd = target
 		}
+		w.feedTaps(buf)
 	}
 	w.flushing = false
 	w.flushed.Broadcast()
+}
+
+// feedTaps hands newly durable log bytes to every registered tap.
+// Called under w.mu from flushRound's success path with the bytes it
+// just wrote; the durable frontier (syncEnd, or writeEnd for unsynced
+// journals) decides how much of the pending run ships. Round targets
+// land on record boundaries, so in practice the whole run ships at
+// once; the frontier arithmetic keeps the invariant honest anyway.
+func (w *WAL) feedTaps(wrote []byte) {
+	if len(w.taps) == 0 {
+		return
+	}
+	if len(wrote) > 0 {
+		w.tapPend = append(w.tapPend, wrote...)
+	}
+	frontier := w.syncEnd
+	if !w.tapSynced {
+		frontier = w.writeEnd
+	}
+	n := frontier - w.tapStart
+	if n <= 0 {
+		return
+	}
+	chunk := w.tapPend[:n]
+	live := w.taps[:0]
+	for _, t := range w.taps {
+		if t.feed(chunk) {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(w.taps); i++ {
+		w.taps[i] = nil
+	}
+	w.taps = live
+	w.tapPend = w.tapPend[n:]
+	w.tapStart = frontier
+}
+
+// failTaps wakes and detaches every tap with err. Called under w.mu.
+func (w *WAL) failTaps(err error) {
+	for i, t := range w.taps {
+		t.fail(err)
+		w.taps[i] = nil
+	}
+	w.taps = w.taps[:0]
+	w.tapPend = nil
 }
 
 // AppendEnd returns the current logical append frontier — everything
@@ -450,6 +557,188 @@ func (w *WAL) AppendEnd() int64 { return w.appendEnd.Load() }
 // waiting out every appended record is the point.
 func (w *WAL) CommitAll(sync bool) error {
 	return w.Commit(w.appendEnd.Load(), sync)
+}
+
+// LastLSN returns the highest LSN this shard's log carries — the
+// per-shard replication/checkpoint high-water mark.
+func (w *WAL) LastLSN() uint64 { return w.lastLSN.Load() }
+
+// SetLastLSN resets the shard's high-water mark to lsn and raises the
+// store-global counter to at least lsn. A replica calls it after a
+// snapshot bootstrap: the shard's state now reflects the leader's
+// checkpoint floor, and subsequently streamed records continue above
+// it. The mark may move down (a restarted follower re-bootstraps below
+// its stale local maximum); the global counter only ever moves up, so
+// post-promote appends always outrun everything ever replicated.
+func (w *WAL) SetLastLSN(lsn uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lastLSN.Store(lsn)
+	for {
+		cur := w.lsn.Load()
+		if cur >= lsn || w.lsn.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// AppendPrepared buffers a record that already carries its LSN — a
+// leader-assigned record a replica journals verbatim so its own log
+// stays recoverable. The record must belong to this shard and extend
+// the log (LSN above the high-water mark); the store-global counter is
+// raised to cover it. Returns the logical end offset for Commit, like
+// Append.
+func (w *WAL) AppendPrepared(r *Record) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if int(r.Shard) != w.shard {
+		return 0, fmt.Errorf("pfs: prepared record for shard %d appended to shard %d's log", r.Shard, w.shard)
+	}
+	if last := w.lastLSN.Load(); r.LSN <= last {
+		return 0, fmt.Errorf("pfs: prepared record lsn %d does not extend shard %d's log (at %d)", r.LSN, w.shard, last)
+	}
+	before := len(w.buf)
+	buf, err := appendRecord(w.buf, r)
+	if err != nil {
+		w.err = err
+		w.lost = true
+		w.failTaps(err)
+		return 0, err
+	}
+	w.buf = buf
+	w.lastLSN.Store(r.LSN)
+	for {
+		cur := w.lsn.Load()
+		if cur >= r.LSN || w.lsn.CompareAndSwap(cur, r.LSN) {
+			break
+		}
+	}
+	n := int64(len(w.buf) - before)
+	end := w.appendEnd.Add(n)
+	w.sinceCkpt += n
+	return end, nil
+}
+
+// WALTap is a subscription to one shard's durable log suffix: every
+// byte that becomes durable after registration is delivered, in order,
+// exactly once. The buffer is bounded — a consumer that falls more than
+// max bytes behind is detached with ErrTapLagged rather than allowed to
+// wedge the log's memory (the replication session then reconnects and
+// resumes from its acked LSN). Taps fail with the WAL's sticky error
+// when the log dies or closes, after the final flush's bytes are
+// delivered.
+type WALTap struct {
+	w   *WAL
+	max int
+
+	mu   sync.Mutex
+	cond sync.Cond
+	buf  []byte
+	err  error
+}
+
+// ErrTapLagged detaches a tap whose consumer fell too far behind.
+var ErrTapLagged = errors.New("pfs: WAL tap overflowed (consumer too slow)")
+
+// ErrTapClosed is the error a tap's Next returns after Close.
+var ErrTapClosed = errors.New("pfs: WAL tap closed")
+
+// Tap registers a subscription delivering every byte that becomes
+// durable from now on. max bounds the undelivered backlog; synced
+// selects the durable frontier (fsync-covered bytes — pass false only
+// for SyncOff journals, where nothing is ever fsynced). The
+// registration point is exact: any in-flight flush is waited out, so
+// the caller can pair the tap with a read of the log file and miss
+// nothing in between.
+func (w *WAL) Tap(max int, synced bool) (*WALTap, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.flushing {
+		w.flushed.Wait()
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+	t := &WALTap{w: w, max: max}
+	t.cond.L = &t.mu
+	if len(w.taps) == 0 {
+		w.tapSynced = synced
+		w.tapStart = w.writeEnd
+		w.tapPend = nil
+	}
+	w.taps = append(w.taps, t)
+	return t, nil
+}
+
+// feed appends b to the tap's buffer, detaching the tap (returns false)
+// on overflow or when it is already dead. Called under w.mu; t.mu nests
+// inside it and is never held while taking w.mu, so no cycle exists.
+func (t *WALTap) feed(b []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return false
+	}
+	if len(t.buf)+len(b) > t.max {
+		t.err = ErrTapLagged
+		t.cond.Broadcast()
+		return false
+	}
+	t.buf = append(t.buf, b...)
+	t.cond.Broadcast()
+	return true
+}
+
+// fail wakes the consumer with a terminal error. Delivered bytes stay
+// readable: Next drains the buffer before reporting the error.
+func (t *WALTap) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// Next blocks until log bytes are available and returns them appended
+// to dst. After a failure it first drains what was already delivered,
+// then returns the terminal error.
+func (t *WALTap) Next(dst []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.buf) == 0 {
+		if t.err != nil {
+			return dst, t.err
+		}
+		t.cond.Wait()
+	}
+	dst = append(dst, t.buf...)
+	t.buf = t.buf[:0]
+	return dst, nil
+}
+
+// Close detaches the tap: Next returns ErrTapClosed (after draining)
+// and the WAL stops buffering for it.
+func (t *WALTap) Close() {
+	t.fail(ErrTapClosed)
+	t.w.removeTap(t)
+}
+
+func (w *WAL) removeTap(t *WALTap) {
+	w.mu.Lock()
+	for i, o := range w.taps {
+		if o == t {
+			w.taps = append(w.taps[:i], w.taps[i+1:]...)
+			break
+		}
+	}
+	if len(w.taps) == 0 {
+		w.tapPend = nil
+	}
+	w.mu.Unlock()
 }
 
 // SinceCheckpoint returns how many log bytes have accumulated since the
@@ -501,7 +790,17 @@ func (w *WAL) Checkpoint(fs *FS) error {
 		w.mu.Unlock()
 		return w.err
 	}
-	floor := w.lsn.Load()
+	// The floor is this shard's high-water mark, not the global counter:
+	// every record in the rotated log is ≤ it (strictly increasing LSNs
+	// within one log), and every record in any *other* shard's log for a
+	// file this snapshot holds is older still — the file is here, so any
+	// cross-shard records predate the MIGRATE that brought it, which is
+	// itself ≤ the mark (checkpoints and migrations serialize on the
+	// store's migration lock). A global floor would be equivalent on a
+	// leader but wrong on a replica, where a lagging shard's global
+	// counter runs ahead of what the shard has applied and a global
+	// floor would filter out records journaled after this checkpoint.
+	floor := w.lastLSN.Load()
 	gen := w.gen + 1
 	base := shardBase(w.shard)
 	nf, err := w.dir.Create(base + logNewSuffx)
@@ -577,6 +876,7 @@ func (w *WAL) fail(err error) error {
 	if w.err == nil {
 		w.err = err
 	}
+	w.failTaps(err)
 	w.mu.Unlock()
 	return err
 }
@@ -604,6 +904,10 @@ func (w *WAL) Close() error {
 	if w.err == nil {
 		w.err = ErrWALClosed
 	}
+	// Taps learn of the close only after the final flush above fed them
+	// its bytes: a replication session sees the log's complete durable
+	// suffix, then the terminal error.
+	w.failTaps(ErrWALClosed)
 	w.mu.Unlock()
 	if f != nil {
 		if cerr := f.Close(); err == nil {
@@ -632,6 +936,17 @@ func shardFileHoldsState(d Dir, name string, shard int) bool {
 		return err != nil || len(recs) > 0
 	}
 	return true
+}
+
+// ReadLogRecords reads and scans shard's active log in d, returning
+// its valid records. The replication layer uses it to backfill a
+// follower from the log tail the leader still has on disk; callers
+// must serialize against checkpoint rotation (the journal's per-shard
+// checkpoint mutex) or the active log may be mid-swap. Record Data
+// aliases the read buffer.
+func ReadLogRecords(d Dir, shard int) ([]Record, error) {
+	recs, _, _, err := readShardLog(d, shardBase(shard)+logSuffix, shard)
+	return recs, err
 }
 
 // readShardLog reads and scans one shard's log file; absent files scan

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
 
 // Client speaks the rangestore protocol over one connection. A Client
@@ -23,6 +24,11 @@ type Client struct {
 	reqBuf []byte
 	frame  []byte
 	resp   Response // scratch for synchronous calls
+
+	// opTimeout, when set, bounds each synchronous round trip with a
+	// read deadline — a dead server fails the call instead of hanging
+	// it forever. Zero (the default) means block indefinitely.
+	opTimeout time.Duration
 }
 
 // NewClient wraps an established connection (TCP, net.Pipe, ...).
@@ -42,6 +48,24 @@ func Dial(addr string) (*Client, error) {
 	}
 	return NewClient(conn), nil
 }
+
+// DialTimeout is Dial with a connect deadline — the failover path uses
+// it so one dead address costs a bounded wait, not a kernel-default
+// TCP timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// SetOpTimeout bounds every subsequent synchronous round trip (Open,
+// ReadAt, ...) with a read deadline: if the server does not answer
+// within d the call fails with a timeout error and the connection is
+// no longer usable (the response may arrive later and desynchronize
+// the pipeline — redial). Zero restores blocking behaviour.
+func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout = d }
 
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -82,6 +106,10 @@ func (c *Client) do(req *Request) (*Response, error) {
 	}
 	if err := c.Flush(); err != nil {
 		return nil, err
+	}
+	if c.opTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opTimeout))
+		defer c.conn.SetReadDeadline(time.Time{})
 	}
 	if err := c.Recv(&c.resp); err != nil {
 		return nil, err
@@ -184,4 +212,12 @@ func (c *Client) ShardCounts() ([]int64, error) {
 		return nil, err
 	}
 	return resp.Shards, nil
+}
+
+// Promote asks a follower to become the leader: its replication
+// streams drain and subsequent writes are accepted locally. A server
+// that is not a follower answers ErrBadRequest.
+func (c *Client) Promote() error {
+	_, err := c.do(&Request{Op: OpPromote})
+	return err
 }

@@ -314,7 +314,7 @@ func TestMigrationCrashOneOwner(t *testing.T) {
 			// The record is appended but never committed: the crash
 			// hits between freeze/copy and durability, so the move
 			// must roll back to the source on replay.
-			if _, err := j.appendMigrate(dst, name, f); err != nil {
+			if _, _, err := j.appendMigrate(dst, name, f); err != nil {
 				return err
 			}
 			crashed = d.CrashCopy(nil)
@@ -333,7 +333,7 @@ func TestMigrationCrashOneOwner(t *testing.T) {
 			// The journal's real emit path: record durable. The crash
 			// hits after durability but still before the map flip —
 			// replay must land the file on the destination.
-			if err := j.LogMigrate(dst, name, f); err != nil {
+			if _, err := j.LogMigrate(dst, name, f); err != nil {
 				return err
 			}
 			crashed = d.CrashCopy(nil)

@@ -1,0 +1,272 @@
+// FailoverClient: a synchronous client that survives the death of its
+// server. On any connection failure it redials — preferring the leader
+// address a StatusNotLeader response named, otherwise cycling its
+// configured addresses — with bounded exponential backoff, re-opens
+// every handle by name, and retries the interrupted call.
+//
+// The price of retrying writes is at-least-once execution: a write
+// whose response was lost may have applied, and the retry applies it
+// again. WriteAt with a fixed offset and payload is idempotent, so
+// failover workloads built on it (like wload's) see exactly-once
+// *effects*; Append is not idempotent across retries and callers who
+// mix it with failover must tolerate duplicates.
+package rangestore
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// Failover retry pacing.
+const (
+	failoverBackoffMin  = 10 * time.Millisecond
+	failoverBackoffMax  = 1 * time.Second
+	defaultFailoverWait = 30 * time.Second
+	defaultDialTimeout  = 2 * time.Second
+)
+
+// FailoverConfig configures a FailoverClient.
+type FailoverConfig struct {
+	// Addrs are the candidate servers (leader and followers), tried in
+	// rotation when no leader hint is known.
+	Addrs []string
+	// Dial connects to one address (nil: DialTimeout with a 2 s cap).
+	// Tests inject in-process transports and fault wrappers here.
+	Dial func(addr string) (*Client, error)
+	// MaxWait bounds one call's total retry budget, connection attempts
+	// included (0: 30 s). When it runs out the last error surfaces.
+	MaxWait time.Duration
+	// OpTimeout is applied to every connection via SetOpTimeout (0:
+	// block indefinitely — then only connection death triggers
+	// failover, not a hung server).
+	OpTimeout time.Duration
+}
+
+// fcHandle is one client-side handle: the re-open key plus the server
+// handle it currently maps to.
+type fcHandle struct {
+	name   string
+	create bool
+	remote uint32
+}
+
+// FailoverClient issues synchronous calls against whichever configured
+// server currently accepts them. Handles are client-side and stable
+// across failover; they are re-opened by name on every new connection.
+// Like Client, it serves one goroutine at a time.
+type FailoverClient struct {
+	cfg     FailoverConfig
+	c       *Client
+	hint    string // leader address learned from StatusNotLeader
+	next    int    // rotation cursor over cfg.Addrs
+	handles []fcHandle
+}
+
+// NewFailoverClient returns a client over cfg. No connection is made
+// until the first call.
+func NewFailoverClient(cfg FailoverConfig) (*FailoverClient, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("rangestore: failover client needs at least one address")
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (*Client, error) { return DialTimeout(addr, defaultDialTimeout) }
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = defaultFailoverWait
+	}
+	return &FailoverClient{cfg: cfg}, nil
+}
+
+// Close drops the current connection, if any.
+func (fc *FailoverClient) Close() error {
+	if fc.c != nil {
+		err := fc.c.Close()
+		fc.c = nil
+		return err
+	}
+	return nil
+}
+
+// semantic reports whether err is a definitive answer from a healthy
+// server — retrying elsewhere cannot change it.
+func semantic(err error) bool {
+	return errors.Is(err, ErrNotExist) || errors.Is(err, ErrExist) ||
+		errors.Is(err, ErrBadHandle) || errors.Is(err, ErrBadRequest) ||
+		errors.Is(err, ErrTooBig)
+}
+
+// pickAddr returns the next address to try: the leader hint once (it is
+// consumed — a wrong or dead hint must not be retried forever), then
+// the configured rotation.
+func (fc *FailoverClient) pickAddr() string {
+	if fc.hint != "" {
+		a := fc.hint
+		fc.hint = ""
+		return a
+	}
+	a := fc.cfg.Addrs[fc.next%len(fc.cfg.Addrs)]
+	fc.next++
+	return a
+}
+
+// connect dials until a server accepts and every handle re-opens, or
+// the deadline passes.
+func (fc *FailoverClient) connect(deadline time.Time) error {
+	backoff := failoverBackoffMin
+	var lastErr error = ErrClosed
+	for {
+		addr := fc.pickAddr()
+		c, err := fc.cfg.Dial(addr)
+		if err == nil {
+			if fc.cfg.OpTimeout > 0 {
+				c.SetOpTimeout(fc.cfg.OpTimeout)
+			}
+			if err = fc.reopen(c); err == nil {
+				fc.c = c
+				return nil
+			}
+			c.Close()
+		}
+		lastErr = err
+		var nl *NotLeaderError
+		if errors.As(err, &nl) && nl.Leader != "" {
+			fc.hint = nl.Leader
+		}
+		if !time.Now().Add(backoff).Before(deadline) {
+			return lastErr
+		}
+		time.Sleep(backoff)
+		backoff = min(backoff*2, failoverBackoffMax)
+	}
+}
+
+// reopen rebuilds the handle table on a fresh connection.
+func (fc *FailoverClient) reopen(c *Client) error {
+	for i := range fc.handles {
+		h, err := c.Open(fc.handles[i].name, fc.handles[i].create)
+		if err != nil {
+			return err
+		}
+		fc.handles[i].remote = h
+	}
+	return nil
+}
+
+// retry runs op against the current connection, reconnecting and
+// retrying on transport errors until MaxWait runs out. Semantic errors
+// (not-exist, too-big, ...) surface immediately.
+func (fc *FailoverClient) retry(op func(c *Client) error) error {
+	deadline := time.Now().Add(fc.cfg.MaxWait)
+	backoff := failoverBackoffMin
+	for {
+		if fc.c == nil {
+			if err := fc.connect(deadline); err != nil {
+				return err
+			}
+		}
+		err := op(fc.c)
+		if err == nil {
+			return nil
+		}
+		if semantic(err) {
+			return err
+		}
+		var nl *NotLeaderError
+		if errors.As(err, &nl) {
+			fc.hint = nl.Leader
+		}
+		// Anything else — broken pipe, timeout, store closed mid-
+		// shutdown — condemns the connection: the pipeline may be
+		// desynchronized, so the only safe continuation is a redial.
+		fc.c.Close()
+		fc.c = nil
+		if !time.Now().Add(backoff).Before(deadline) {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff = min(backoff*2, failoverBackoffMax)
+	}
+}
+
+// Open returns a stable client-side handle for name, created if asked.
+func (fc *FailoverClient) Open(name string, create bool) (uint32, error) {
+	var remote uint32
+	err := fc.retry(func(c *Client) error {
+		h, err := c.Open(name, create)
+		remote = h
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	fc.handles = append(fc.handles, fcHandle{name: name, create: create, remote: remote})
+	return uint32(len(fc.handles) - 1), nil
+}
+
+// ReadAt fills p from offset off of handle h.
+func (fc *FailoverClient) ReadAt(h uint32, p []byte, off uint64) (int, error) {
+	if int(h) >= len(fc.handles) {
+		return 0, ErrBadHandle
+	}
+	var n int
+	var eof bool
+	err := fc.retry(func(c *Client) error {
+		m, err := c.ReadAt(fc.handles[h].remote, p, off)
+		if err == io.EOF {
+			n, eof = m, true
+			return nil
+		}
+		n = m
+		return err
+	})
+	if err != nil {
+		return n, err
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes p at offset off of handle h. Retried writes are
+// at-least-once; fixed-offset writes are idempotent.
+func (fc *FailoverClient) WriteAt(h uint32, p []byte, off uint64) (int, error) {
+	if int(h) >= len(fc.handles) {
+		return 0, ErrBadHandle
+	}
+	var n int
+	err := fc.retry(func(c *Client) error {
+		m, err := c.WriteAt(fc.handles[h].remote, p, off)
+		n = m
+		return err
+	})
+	return n, err
+}
+
+// Truncate sets handle h's size to size. At-least-once but idempotent.
+func (fc *FailoverClient) Truncate(h uint32, size uint64) error {
+	if int(h) >= len(fc.handles) {
+		return ErrBadHandle
+	}
+	return fc.retry(func(c *Client) error { return c.Truncate(fc.handles[h].remote, size) })
+}
+
+// Stat returns handle h's size and resident block count.
+func (fc *FailoverClient) Stat(h uint32) (size uint64, blocks uint32, err error) {
+	if int(h) >= len(fc.handles) {
+		return 0, 0, ErrBadHandle
+	}
+	err = fc.retry(func(c *Client) error {
+		s, b, err := c.Stat(fc.handles[h].remote)
+		size, blocks = s, b
+		return err
+	})
+	return size, blocks, err
+}
+
+// Promote asks whichever server currently answers to promote itself —
+// the failover test's coordinator aims it at the surviving follower.
+func (fc *FailoverClient) Promote() error {
+	return fc.retry(func(c *Client) error { return c.Promote() })
+}

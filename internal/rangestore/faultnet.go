@@ -1,0 +1,131 @@
+// Fault injection for replication links: a net.Conn wrapper that
+// drops, duplicates, delays and severs length-prefixed frames on its
+// write side, deterministically from a seed.
+//
+// The wrapper is frame-aware on purpose: protocol-level faults (a lost
+// record frame, a duplicated ack) are what the replication layer's
+// LSN chaining and dedup must survive, and tearing the byte stream
+// mid-frame would only test the framing layer's (already fatal)
+// response to garbage. Bytes that do not parse as frames fail open and
+// pass through untouched.
+package rangestore
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes a fault-injected link. Probabilities are
+// per frame in [0, 1]; zero values inject nothing.
+type FaultConfig struct {
+	Seed       int64         // RNG seed; same seed, same fault schedule
+	Drop       float64       // probability a frame vanishes
+	Dup        float64       // probability a frame is delivered twice
+	Delay      float64       // probability a frame is held back (reordering)
+	MaxDelay   time.Duration // upper bound for the hold-back
+	SeverAfter int           // hard-close the link after this many frames (0: never)
+	// SkipFirst exempts the first N frames from the schedule — it lets a
+	// test protect the FOLLOW handshake and snapshot bootstrap while
+	// tormenting the steady-state stream behind them.
+	SkipFirst int
+}
+
+// FaultWrap wraps c's write side with cfg's fault schedule. Reads pass
+// through untouched — wrap the end whose outgoing traffic should
+// suffer (the leader's end to torment the record stream, the
+// follower's to torment acks).
+func FaultWrap(c net.Conn, cfg FaultConfig) net.Conn {
+	return &faultConn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+type faultConn struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	buf     []byte // partial-frame accumulator
+	sent    int
+	severed bool
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.severed {
+		return 0, io.ErrClosedPipe
+	}
+	f.buf = append(f.buf, p...)
+	off := 0
+	for {
+		if len(f.buf)-off < 4 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(f.buf[off:])
+		if n > maxReplFrame {
+			// Not frame traffic; fail open with everything buffered.
+			if _, err := f.Conn.Write(f.buf[off:]); err != nil {
+				return 0, err
+			}
+			off = len(f.buf)
+			break
+		}
+		if len(f.buf)-off < 4+int(n) {
+			break
+		}
+		frame := append([]byte(nil), f.buf[off:off+4+int(n)]...)
+		off += 4 + int(n)
+		if err := f.deliver(frame); err != nil {
+			return 0, err
+		}
+	}
+	f.buf = append(f.buf[:0], f.buf[off:]...)
+	return len(p), nil
+}
+
+// deliver applies the fault schedule to one frame. Called under mu, so
+// frames (including delayed ones, which retake the lock) never
+// interleave partially on the underlying conn.
+func (f *faultConn) deliver(frame []byte) error {
+	f.sent++
+	if f.cfg.SeverAfter > 0 && f.sent > f.cfg.SeverAfter {
+		f.severed = true
+		f.Conn.Close()
+		return io.ErrClosedPipe
+	}
+	if f.sent <= f.cfg.SkipFirst {
+		_, err := f.Conn.Write(frame)
+		return err
+	}
+	if f.rng.Float64() < f.cfg.Drop {
+		return nil
+	}
+	dup := f.rng.Float64() < f.cfg.Dup
+	if f.cfg.MaxDelay > 0 && f.rng.Float64() < f.cfg.Delay {
+		d := time.Duration(f.rng.Int63n(int64(f.cfg.MaxDelay)) + 1)
+		time.AfterFunc(d, func() {
+			f.mu.Lock()
+			if !f.severed {
+				f.Conn.Write(frame)
+				if dup {
+					f.Conn.Write(frame)
+				}
+			}
+			f.mu.Unlock()
+		})
+		return nil
+	}
+	if _, err := f.Conn.Write(frame); err != nil {
+		return err
+	}
+	if dup {
+		if _, err := f.Conn.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -17,8 +17,10 @@
 package rangestore
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pfs"
 )
@@ -26,6 +28,10 @@ import (
 // DefaultCheckpointBytes is the per-shard log size that triggers a
 // checkpoint when RecoverConfig leaves it zero.
 const DefaultCheckpointBytes = 64 << 20
+
+// DefaultReplAckTimeout bounds how long a batch commit waits for a
+// follower's acknowledgement when RecoverConfig leaves it zero.
+const DefaultReplAckTimeout = 10 * time.Second
 
 // RecoverConfig configures Recover.
 type RecoverConfig struct {
@@ -36,6 +42,13 @@ type RecoverConfig struct {
 	// CheckpointBytes is the per-shard log size that triggers a
 	// checkpoint/compaction (0: DefaultCheckpointBytes).
 	CheckpointBytes int64
+	// ReplAckTimeout bounds how long a batch commit waits for a
+	// follower acknowledgement once a follower has attached to the
+	// shard (0: DefaultReplAckTimeout). On expiry the commit fails and
+	// the connection dies unflushed — the semi-sync promise ("acked ⇒
+	// on the follower") is kept by refusing the ack, not by dropping
+	// the follower.
+	ReplAckTimeout time.Duration
 }
 
 // Recover rebuilds the store from the WAL directory d (an empty
@@ -51,12 +64,22 @@ func Recover(d pfs.Dir, cfg RecoverConfig) (*pfs.Sharded, *Journal, pfs.RecoverS
 	if ckptBytes <= 0 {
 		ckptBytes = DefaultCheckpointBytes
 	}
+	ackTimeout := cfg.ReplAckTimeout
+	if ackTimeout <= 0 {
+		ackTimeout = DefaultReplAckTimeout
+	}
 	j := &Journal{
-		mode:      cfg.Sync,
-		store:     store,
-		wals:      wals,
-		ckptBytes: ckptBytes,
-		ckptMu:    make([]sync.Mutex, len(wals)),
+		mode:       cfg.Sync,
+		store:      store,
+		dir:        d,
+		wals:       wals,
+		ckptBytes:  ckptBytes,
+		ckptMu:     make([]sync.Mutex, len(wals)),
+		gates:      make([]replGate, len(wals)),
+		ackTimeout: ackTimeout,
+	}
+	for i := range j.gates {
+		j.gates[i].cond.L = &j.gates[i].mu
 	}
 	return store, j, stats, nil
 }
@@ -65,9 +88,17 @@ func Recover(d pfs.Dir, cfg RecoverConfig) (*pfs.Sharded, *Journal, pfs.RecoverS
 type Journal struct {
 	mode      pfs.SyncMode
 	store     *pfs.Sharded
+	dir       pfs.Dir
 	wals      []*pfs.WAL
 	ckptBytes int64
 	ckptMu    []sync.Mutex // per-shard: one checkpoint at a time
+
+	// gates implement the semi-sync replication contract: once a
+	// follower has attached to a shard, a batch commit touching it also
+	// waits (bounded by ackTimeout) for the follower to acknowledge the
+	// batch's highest LSN before responses flush.
+	gates      []replGate
+	ackTimeout time.Duration
 
 	// ckptErr is the latest background checkpoint failure, surfaced by
 	// every batch Commit until a later checkpoint succeeds and clears
@@ -83,7 +114,77 @@ func (j *Journal) Mode() pfs.SyncMode { return j.mode }
 // at a time (the connection's request loop) and is reused batch after
 // batch.
 func (j *Journal) Begin() *journalConn {
-	return &journalConn{j: j, end: make([]int64, len(j.wals))}
+	return &journalConn{
+		j:   j,
+		end: make([]int64, len(j.wals)),
+		lsn: make([]uint64, len(j.wals)),
+	}
+}
+
+// replGate is one shard's semi-sync acknowledgement gate. required
+// flips (stickily) when the first follower attaches; acked is the
+// highest LSN any follower has confirmed applied and durable.
+type replGate struct {
+	mu       sync.Mutex
+	cond     sync.Cond
+	required bool
+	acked    uint64
+}
+
+// replRequire arms shard's gate: commits touching the shard now wait
+// for follower acknowledgements. Sticky by design — a follower that
+// detaches leaves the gate armed, so a leader cannot silently fall back
+// to acking writes its follower will never see; the follower must
+// reconnect (or the operator restart the leader without replication).
+func (j *Journal) replRequire(shard int) {
+	g := &j.gates[shard]
+	g.mu.Lock()
+	g.required = true
+	g.mu.Unlock()
+}
+
+// replAck records a follower acknowledgement for shard and wakes any
+// batch commits waiting on it. Acks carry the follower's applied-and-
+// durable frontier, so they only move forward; a stale ack (reordered
+// by the network) is ignored.
+func (j *Journal) replAck(shard int, lsn uint64) {
+	g := &j.gates[shard]
+	g.mu.Lock()
+	if lsn > g.acked {
+		g.acked = lsn
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// replWait blocks until a follower has acknowledged lsn on shard, the
+// gate is unarmed (no follower ever attached), or the journal's ack
+// timeout expires — the timeout is an error: the caller must not flush
+// acknowledgements it cannot honor.
+func (j *Journal) replWait(shard int, lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	g := &j.gates[shard]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.required || g.acked >= lsn {
+		return nil
+	}
+	deadline := time.Now().Add(j.ackTimeout)
+	timer := time.AfterFunc(j.ackTimeout, func() {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
+	defer timer.Stop()
+	for g.acked < lsn {
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("rangestore: shard %d: no follower ack for lsn %d within %v", shard, lsn, j.ackTimeout)
+		}
+		g.cond.Wait()
+	}
+	return nil
 }
 
 // journalConn tracks which shards' WALs a connection's current batch
@@ -94,8 +195,9 @@ func (j *Journal) Begin() *journalConn {
 // convoy the per-batch snapshot avoids.
 type journalConn struct {
 	j    *Journal
-	end  []int64 // per-shard commit frontier; 0 = clean this batch
-	list []int   // dirty shards, in first-touch order
+	end  []int64  // per-shard commit frontier; 0 = clean this batch
+	lsn  []uint64 // per-shard highest LSN the batch may have appended
+	list []int    // dirty shards, in first-touch order
 }
 
 // touch marks shard's WAL as carrying records of the current batch,
@@ -110,6 +212,12 @@ func (jc *journalConn) touch(shard int) error {
 	}
 	if end > jc.end[shard] {
 		jc.end[shard] = end
+	}
+	// The LSN frontier over-covers the same way the byte frontier does:
+	// it may include other connections' records, which only makes the
+	// replication wait stricter, never weaker.
+	if lsn := jc.j.wals[shard].LastLSN(); lsn > jc.lsn[shard] {
+		jc.lsn[shard] = lsn
 	}
 	if jc.j.mode == pfs.SyncAlways {
 		return jc.j.wals[shard].Commit(end, true)
@@ -128,8 +236,19 @@ func (jc *journalConn) Commit() error {
 	first := jc.j.checkpointErr()
 	for _, shard := range jc.list {
 		end := jc.end[shard]
+		lsn := jc.lsn[shard]
 		jc.end[shard] = 0
+		jc.lsn[shard] = 0
 		if err := jc.j.wals[shard].Commit(end, jc.j.mode != pfs.SyncOff); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		// Local durability first, then the follower's: the ack gate
+		// waits only on records already on the leader's disk, so a
+		// follower can never hold an LSN the leader would lose.
+		if err := jc.j.replWait(shard, lsn); err != nil {
 			if first == nil {
 				first = err
 			}
@@ -209,18 +328,23 @@ func (j *Journal) WaitCheckpoints() {
 // the file recoverable on exactly one shard — the destination once
 // this returns, the source before. The eager sync (skipped only under
 // SyncOff) is what lets the source shard's next checkpoint forget the
-// file: its entire state already lives in the destination's log.
-func (j *Journal) LogMigrate(dst int, name string, f *pfs.File) error {
-	end, err := j.appendMigrate(dst, name, f)
+// file: its entire state already lives in the destination's log. The
+// returned LSN is the record's, so the server can gate the migration's
+// acknowledgement on follower replication after the store lock drops.
+func (j *Journal) LogMigrate(dst int, name string, f *pfs.File) (uint64, error) {
+	end, lsn, err := j.appendMigrate(dst, name, f)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return j.wals[dst].Commit(end, j.mode != pfs.SyncOff)
+	if err := j.wals[dst].Commit(end, j.mode != pfs.SyncOff); err != nil {
+		return 0, err
+	}
+	return lsn, nil
 }
 
 // appendMigrate is LogMigrate without the commit — split out so crash
 // tests can tear the journal between the append and its durability.
-func (j *Journal) appendMigrate(dst int, name string, f *pfs.File) (int64, error) {
+func (j *Journal) appendMigrate(dst int, name string, f *pfs.File) (int64, uint64, error) {
 	rec := &pfs.Record{
 		Kind: pfs.RecMigrate,
 		Name: name,
@@ -228,7 +352,58 @@ func (j *Journal) appendMigrate(dst int, name string, f *pfs.File) (int64, error
 		PVer: j.store.PlacementVersion(),
 		Data: pfs.AppendFileSnapshot(nil, f),
 	}
-	return j.wals[dst].Append(rec)
+	end, err := j.wals[dst].Append(rec)
+	return end, rec.LSN, err
+}
+
+// commitShard makes shard's log durable up to end per the journal's
+// sync mode — the follower's apply loop uses it to commit a replicated
+// batch before acknowledging it.
+func (j *Journal) commitShard(shard int, end int64) error {
+	return j.wals[shard].Commit(end, j.mode != pfs.SyncOff)
+}
+
+// attachTap prepares shard for streaming to a follower: it flushes the
+// log so disk and tap line up, attaches a live tap at the durable
+// frontier, and reads the checkpoint and log the follower's bootstrap
+// and backfill come from. The shard's checkpoint mutex serializes
+// against compaction, so (checkpoint, log, tap) are one consistent cut:
+// every committed record is in exactly the checkpoint or the log, and
+// every later one reaches the tap. Records flushed between the tap
+// attach and the log read can appear in both — the streaming layer
+// dedups by LSN. The caller owns the returned tap and must Close it.
+func (j *Journal) attachTap(shard, tapMax int) (tap *pfs.WALTap, files []pfs.CheckpointFile, floor uint64, recs []pfs.Record, err error) {
+	j.ckptMu[shard].Lock()
+	defer j.ckptMu[shard].Unlock()
+	w := j.wals[shard]
+	if err := w.CommitAll(j.mode != pfs.SyncOff); err != nil {
+		return nil, nil, 0, nil, err
+	}
+	tap, err = w.Tap(tapMax, j.mode != pfs.SyncOff)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	files, floor, err = pfs.ReadCheckpoint(j.dir, shard)
+	if err == nil {
+		recs, err = pfs.ReadLogRecords(j.dir, shard)
+	}
+	if err != nil {
+		tap.Close()
+		return nil, nil, 0, nil, err
+	}
+	return tap, files, floor, recs, nil
+}
+
+// resetShard re-floors shard after a follower bootstrap: the snapshot
+// installed everything up to floor, so the WAL's high-water mark moves
+// there and a fresh checkpoint makes the bootstrap durable — without
+// it, a follower crash right after bootstrap would recover from a log
+// that never held the snapshotted records.
+func (j *Journal) resetShard(shard int, floor uint64) error {
+	j.ckptMu[shard].Lock()
+	defer j.ckptMu[shard].Unlock()
+	j.wals[shard].SetLastLSN(floor)
+	return j.store.CheckpointShard(j.wals[shard], shard)
 }
 
 // Close waits out any in-flight background checkpoint, then flushes,

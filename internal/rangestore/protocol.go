@@ -22,6 +22,8 @@
 //	MIGRATE   dst:u32 name:bytes
 //	SHARDS    (empty)
 //	RECOVERED (empty)
+//	FOLLOW    shard:u32 fromlsn:u64 flags:u8
+//	PROMOTE   (empty)
 //
 // Op-specific response payloads (status == StatusOK):
 //
@@ -34,6 +36,8 @@
 //	MIGRATE   (empty)
 //	SHARDS    n:u32 count:u64 ×n
 //	RECOVERED wal:u8 shards:u32 files:u32 fromckpt:u32 migrations:u32 records:u64 torn:u64 maxlsn:u64
+//	FOLLOW    snap:u8 floor:u64 nfiles:u32
+//	PROMOTE   (empty)
 //
 // OPEN and MIGRATE names are limited to pfs.MaxName (4 KiB) bytes —
 // names are journaled to the write-ahead log with a bounded length
@@ -52,6 +56,27 @@
 // A v1 server answers it with a bad-request status, which v2 clients
 // surface as ErrBadRequest — the version bump is observable without a
 // handshake.
+//
+// FOLLOW and PROMOTE (protocol v3) are the replication surface. FOLLOW
+// converts the connection into a one-shard replication stream: the
+// follower names the shard and the LSN it already holds (fromlsn = its
+// last applied record, 0 when cold; FollowReset forces a snapshot
+// bootstrap regardless). The leader answers with snap=1 when the
+// follower must bootstrap from the leader's checkpoint — fromlsn lies
+// below the checkpoint floor, or a reset was requested — followed by
+// nfiles snapshot frames, then the record stream. After the FOLLOW
+// response the connection leaves request/response framing: the leader
+// sends length-prefixed replication frames (see repl.go for the frame
+// kinds) and concurrently reads ACK frames from the follower, until
+// either side closes. Each ACK carries the highest LSN the follower has
+// both applied and made durable; the leader releases commits waiting on
+// that shard up to it. PROMOTE flips a follower into a writable leader
+// after its apply queue drains; on a server that is not a follower it
+// is answered with StatusBadRequest.
+//
+// Writes sent to a follower are answered with StatusNotLeader; the
+// message carries the leader's advertised address so clients can
+// redirect without out-of-band discovery.
 //
 // seq is a client-chosen pipelining identifier echoed back verbatim; the
 // server answers requests of one connection in arrival order, so clients
@@ -92,7 +117,9 @@ const (
 	OpMigrate
 	OpShards
 	OpRecovered
-	numOps = int(OpRecovered)
+	OpFollow
+	OpPromote
+	numOps = int(OpPromote)
 )
 
 func (o OpCode) String() string {
@@ -115,6 +142,10 @@ func (o OpCode) String() string {
 		return "SHARDS"
 	case OpRecovered:
 		return "RECOVERED"
+	case OpFollow:
+		return "FOLLOW"
+	case OpPromote:
+		return "PROMOTE"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -123,6 +154,12 @@ func (o OpCode) String() string {
 // OpenCreate makes OPEN create the file when it does not exist (open
 // succeeds either way: open-or-create).
 const OpenCreate uint8 = 1 << 0
+
+// FollowReset makes FOLLOW bootstrap from the leader's checkpoint even
+// when fromlsn would allow log tailing. A restarted follower sends it:
+// its on-disk state may hold files the leader has since removed, and
+// only a snapshot wipe re-converges them.
+const FollowReset uint8 = 1 << 0
 
 // Status is the response outcome.
 type Status uint8
@@ -136,7 +173,8 @@ const (
 	StatusBadHandle
 	StatusBadRequest
 	StatusTooBig
-	StatusError // generic failure; message carried in the response
+	StatusError    // generic failure; message carried in the response
+	StatusNotLeader // mutation sent to a follower; message carries the leader address
 )
 
 // Errors a client surfaces for non-OK statuses.
@@ -149,8 +187,24 @@ var (
 	ErrTooBig     = errors.New("rangestore: payload exceeds MaxData")
 )
 
+// NotLeaderError is the error for StatusNotLeader: the server is a
+// replication follower and refuses mutations. Leader is the leader's
+// advertised address ("" when the follower does not know one); failover
+// clients extract it with errors.As and redial.
+type NotLeaderError struct {
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "rangestore: not the leader"
+	}
+	return "rangestore: not the leader (leader at " + e.Leader + ")"
+}
+
 // Err maps a status to its sentinel error (nil for StatusOK); msg is
-// attached to generic failures.
+// attached to generic failures and carries the leader address for
+// StatusNotLeader.
 func (s Status) Err(msg string) error {
 	switch s {
 	case StatusOK:
@@ -167,6 +221,8 @@ func (s Status) Err(msg string) error {
 		return ErrBadRequest
 	case StatusTooBig:
 		return ErrTooBig
+	case StatusNotLeader:
+		return &NotLeaderError{Leader: msg}
 	default:
 		return fmt.Errorf("rangestore: remote error: %s", msg)
 	}
@@ -178,11 +234,11 @@ type Request struct {
 	Op     OpCode
 	Seq    uint32
 	Handle uint32 // all handle ops
-	Off    uint64 // READ, WRITE
+	Off    uint64 // READ, WRITE; FOLLOW: fromlsn
 	Length uint32 // READ
 	Size   uint64 // TRUNCATE
-	Flags  uint8  // OPEN
-	Dst    uint32 // MIGRATE: destination shard
+	Flags  uint8  // OPEN, FOLLOW
+	Dst    uint32 // MIGRATE: destination shard; FOLLOW: shard
 	Name   string // OPEN, MIGRATE
 	Data   []byte // WRITE, APPEND
 }
@@ -208,11 +264,11 @@ type Response struct {
 	Seq       uint32
 	Status    Status
 	Handle    uint32        // OPEN
-	N         uint32        // WRITE
-	Off       uint64        // APPEND
+	N         uint32        // WRITE; FOLLOW: snapshot file count
+	Off       uint64        // APPEND; FOLLOW: checkpoint floor
 	Size      uint64        // STAT
 	Blocks    uint32        // STAT
-	EOF       bool          // READ
+	EOF       bool          // READ; FOLLOW: snapshot bootstrap follows
 	Data      []byte        // READ
 	Shards    []int64       // SHARDS: per-shard request counts (allocated, not aliased)
 	Recovered RecoveredInfo // RECOVERED
@@ -265,7 +321,11 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	case OpMigrate:
 		dst = binary.LittleEndian.AppendUint32(dst, r.Dst)
 		dst = append(dst, r.Name...)
-	case OpShards, OpRecovered:
+	case OpFollow:
+		dst = binary.LittleEndian.AppendUint32(dst, r.Dst)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+		dst = append(dst, r.Flags)
+	case OpShards, OpRecovered, OpPromote:
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -319,6 +379,15 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, r.Recovered.Records)
 		dst = binary.LittleEndian.AppendUint64(dst, r.Recovered.TornBytes)
 		dst = binary.LittleEndian.AppendUint64(dst, r.Recovered.MaxLSN)
+	case OpFollow:
+		snap := byte(0)
+		if r.EOF {
+			snap = 1
+		}
+		dst = append(dst, snap)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+		dst = binary.LittleEndian.AppendUint32(dst, r.N)
+	case OpPromote:
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -396,7 +465,11 @@ func ParseRequest(body []byte, r *Request) error {
 	case OpMigrate:
 		r.Dst = c.u32()
 		r.Name = string(c.rest())
-	case OpShards, OpRecovered:
+	case OpFollow:
+		r.Dst = c.u32()
+		r.Off = c.u64()
+		r.Flags = c.u8()
+	case OpShards, OpRecovered, OpPromote:
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrBadRequest, uint8(r.Op))
 	}
@@ -451,6 +524,11 @@ func ParseResponse(body []byte, r *Response) error {
 		r.Recovered.Records = c.u64()
 		r.Recovered.TornBytes = c.u64()
 		r.Recovered.MaxLSN = c.u64()
+	case OpFollow:
+		r.EOF = c.u8() != 0
+		r.Off = c.u64()
+		r.N = c.u32()
+	case OpPromote:
 	default:
 		return fmt.Errorf("%w: unknown op %d in response", ErrBadRequest, uint8(r.Op))
 	}
@@ -464,12 +542,19 @@ func ParseResponse(body []byte, r *Response) error {
 // it has capacity. It returns the body slice (valid until the next call
 // with the same buf).
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	return ReadFrameMax(r, buf, maxFrame)
+}
+
+// ReadFrameMax is ReadFrame with a caller-chosen frame-size cap. The
+// replication stream uses it: snapshot and MIGRATE frames carry whole
+// file images, which outgrow the request/response cap by design.
+func ReadFrameMax(r io.Reader, buf []byte, max int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxFrame {
+	if uint64(n) > uint64(max) {
 		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooBig, n)
 	}
 	if cap(buf) < int(n) {

@@ -2,6 +2,7 @@ package rangestore
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -17,6 +18,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpMigrate, Seq: 12, Dst: 3, Name: "hot/file"},
 		{Op: OpShards, Seq: 13},
 		{Op: OpRecovered, Seq: 14},
+		{Op: OpFollow, Seq: 15, Dst: 5, Off: 1 << 42, Flags: FollowReset},
+		{Op: OpFollow, Seq: 16, Dst: 0, Off: 0},
+		{Op: OpPromote, Seq: 17},
 	}
 	var buf []byte
 	for i := range reqs {
@@ -65,6 +69,10 @@ func TestResponseRoundTrip(t *testing.T) {
 			Migrations: 3, Records: 1 << 33, TornBytes: 77, MaxLSN: 1 << 40,
 		}},
 		{Op: OpRecovered, Seq: 14},
+		{Op: OpFollow, Seq: 15, EOF: true, Off: 1 << 41, N: 12},
+		{Op: OpFollow, Seq: 16},
+		{Op: OpPromote, Seq: 17},
+		{Op: OpWrite, Seq: 18, Status: StatusNotLeader, Msg: "10.0.0.1:7420"},
 	}
 	var buf []byte
 	for i := range resps {
@@ -135,5 +143,10 @@ func TestStatusErrMapping(t *testing.T) {
 	}
 	if err := StatusError.Err("boom"); err == nil || err.Error() != "rangestore: remote error: boom" {
 		t.Fatalf("generic error = %v", StatusError.Err("boom"))
+	}
+	var nl *NotLeaderError
+	err := StatusNotLeader.Err("lead:7420")
+	if !errors.As(err, &nl) || nl.Leader != "lead:7420" {
+		t.Fatalf("not-leader error = %#v", err)
 	}
 }

@@ -1,0 +1,250 @@
+// Leader-side WAL replication: the FOLLOW session.
+//
+// A FOLLOW request converts its connection into a one-shard replication
+// stream. After the FOLLOW response the request/response protocol ends
+// and the connection carries length-prefixed replication frames:
+//
+//	frame = len:u32 body               (little-endian, like the protocol)
+//	body  = kind:u8 <kind-specific>
+//
+//	repSnapFile  nameLen:u16 name snapshot      (leader → follower)
+//	repRec       prevlsn:u64 record             (leader → follower)
+//	repAck       lsn:u64                        (follower → leader)
+//
+// A repRec's record field is a raw WAL record frame — the exact
+// len/crc/body bytes the leader's log holds — so the follower re-runs
+// the CRC and can journal the bytes verbatim. prevlsn is the LSN of the
+// record the leader streamed immediately before this one (the stream's
+// resume point for the first): a follower seeing prevlsn above its own
+// applied frontier knows frames were lost and reconnects, seeing a
+// record at or below it knows the frame is a duplicate and skips it.
+// Gap detection needs the chain because shard LSNs are sparse — the
+// store-global counter interleaves shards, so consecutive records of
+// one shard have non-consecutive LSNs.
+//
+// The session is semi-synchronous: the moment a follower attaches to a
+// shard, batch commits touching that shard wait (bounded by the
+// journal's ack timeout) for a repAck covering their records before
+// responses flush. Acks are sent after the follower has applied AND
+// committed the records to its own log, so an acknowledged write
+// survives the death of either node.
+package rangestore
+
+import (
+	"encoding/binary"
+
+	"repro/internal/pfs"
+)
+
+// Replication stream frame kinds.
+const (
+	repSnapFile = 1
+	repRec      = 2
+	repAck      = 3
+)
+
+// maxReplFrame bounds replication stream frames: a whole-file snapshot
+// or MIGRATE record (up to pfs's 1 GiB record cap) plus header slack.
+const maxReplFrame = 1<<30 + 96
+
+// defaultTapMax bounds the per-follower undelivered log backlog; a
+// follower lagging further is detached (it reconnects and resumes from
+// its acked LSN, which may then require a snapshot bootstrap).
+const defaultTapMax = 64 << 20
+
+// appendSnapFrame encodes one checkpoint file for bootstrap.
+func appendSnapFrame(dst []byte, name string, snap []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+2+len(name)+len(snap)))
+	dst = append(dst, repSnapFile)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	dst = append(dst, snap...)
+	return dst
+}
+
+// appendRecFrame encodes one raw WAL record frame with its chain link.
+func appendRecFrame(dst []byte, prevLSN uint64, raw []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+8+len(raw)))
+	dst = append(dst, repRec)
+	dst = binary.LittleEndian.AppendUint64(dst, prevLSN)
+	dst = append(dst, raw...)
+	return dst
+}
+
+// appendAckFrame encodes the follower's applied-and-durable frontier.
+func appendAckFrame(dst []byte, lsn uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 9)
+	dst = append(dst, repAck)
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	return dst
+}
+
+// hijackFollow winds down the batch machinery (leases, pending commits,
+// buffered responses) and hands the connection to serveFollow, never to
+// return to request/response service.
+func (cn *conn) hijackFollow(body []byte) error {
+	if cn.srv.drain.Load() {
+		// A draining server is going away; a replication stream that
+		// never ends would wedge the shutdown.
+		return ErrClosed
+	}
+	cn.sop.End()
+	if cn.jc != nil {
+		if err := cn.jc.Commit(); err != nil {
+			return err
+		}
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return err
+	}
+	return cn.srv.serveFollow(cn, body)
+}
+
+// answer encodes and flushes one response — the FOLLOW handshake runs
+// outside the batch loop's write path.
+func (cn *conn) answer(resp *Response) error {
+	out, err := AppendResponse(cn.out[:0], resp)
+	if err != nil {
+		return err
+	}
+	cn.out = out[:0]
+	if _, err := cn.bw.Write(out); err != nil {
+		return err
+	}
+	return cn.bw.Flush()
+}
+
+// serveFollow runs one shard's replication stream until either side
+// dies. The sequence — arm the ack gate, cut (checkpoint, log, tap)
+// atomically under the shard's checkpoint mutex, bootstrap, backfill,
+// tail — guarantees every record the leader ever acknowledges is either
+// in what was sent or will reach the tap.
+func (s *Server) serveFollow(cn *conn, body []byte) error {
+	var req Request
+	if err := ParseRequest(body, &req); err != nil {
+		return err
+	}
+	s.ops[int(OpFollow)-1].Add(1)
+	resp := Response{Op: OpFollow, Seq: req.Seq}
+	shard := int(req.Dst)
+	if s.journal == nil || shard >= s.store.NumShards() {
+		resp.Status = StatusBadRequest
+		return cn.answer(&resp)
+	}
+	// Arm the gate before the response escapes: once the follower hears
+	// success, every leader ack from that instant on waits for it.
+	s.journal.replRequire(shard)
+	tap, files, floor, recs, err := s.journal.attachTap(shard, defaultTapMax)
+	if err != nil {
+		fillError(&resp, err)
+		return cn.answer(&resp)
+	}
+	defer tap.Close()
+
+	// The follower bootstraps from the checkpoint when it asks for
+	// records the log no longer holds (checkpointed away below floor)
+	// or explicitly requests a reset (its local state may be stale in
+	// ways log replay cannot fix, e.g. files the leader removed).
+	snap := req.Flags&FollowReset != 0 || req.Off < floor
+	lastSent := req.Off
+	if snap {
+		lastSent = floor
+		resp.N = uint32(len(files))
+	}
+	resp.EOF = snap
+	resp.Off = floor
+	if err := cn.answer(&resp); err != nil {
+		return err
+	}
+
+	out := cn.out[:0]
+	if snap {
+		for _, cf := range files {
+			out = appendSnapFrame(out[:0], cf.Name, cf.Snapshot)
+			if _, err := cn.bw.Write(out); err != nil {
+				return err
+			}
+		}
+	}
+	// Backfill committed records above the resume point from the log
+	// read under the attach cut; the tap then carries everything later.
+	// Records seen on both sides of the cut are deduped by LSN here and
+	// by the follower again (frames in flight during a reconnect).
+	var raw []byte
+	for i := range recs {
+		rec := &recs[i]
+		if rec.LSN <= lastSent {
+			continue
+		}
+		if raw, err = pfs.EncodeRecord(raw[:0], rec); err != nil {
+			return err
+		}
+		out = appendRecFrame(out[:0], lastSent, raw)
+		if _, err := cn.bw.Write(out); err != nil {
+			return err
+		}
+		lastSent = rec.LSN
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return err
+	}
+
+	// Ack pump. It owns the read half; on any read failure it kills the
+	// connection and the tap so the streaming loop below wakes too —
+	// without the tap close, a quiet shard would leave this session
+	// blocked in Next forever after the follower vanished.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var abuf []byte
+		for {
+			b, err := ReadFrameMax(cn.br, abuf, 64)
+			if err != nil {
+				break
+			}
+			abuf = b[:0]
+			if len(b) == 9 && b[0] == repAck {
+				s.journal.replAck(shard, binary.LittleEndian.Uint64(b[1:]))
+			}
+		}
+		cn.nc.Close()
+		tap.Close()
+	}()
+	defer func() {
+		cn.nc.Close()
+		<-done
+	}()
+
+	// Tail the tap: it delivers the shard's durable log suffix as raw
+	// record frames, re-cut on record boundaries here (a flush round
+	// always ends on one, but a lagged consumer may get several rounds
+	// fused). Only records above lastSent ship — the tap attach point
+	// and the log read overlap by design.
+	var buf []byte
+	for {
+		b, err := tap.Next(buf)
+		if err != nil {
+			return err
+		}
+		buf = b
+		off := 0
+		for off < len(buf) {
+			rec, n, derr := pfs.DecodeRecord(buf[off:])
+			if derr != nil {
+				break // incomplete frame: need the next delivery
+			}
+			if rec.LSN > lastSent {
+				out = appendRecFrame(out[:0], lastSent, buf[off:off+n])
+				if _, err := cn.bw.Write(out); err != nil {
+					return err
+				}
+				lastSent = rec.LSN
+			}
+			off += n
+		}
+		buf = append(buf[:0], buf[off:]...)
+		if err := cn.bw.Flush(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,525 @@
+// Follower-side WAL replication: Replica pulls committed records from a
+// leader and applies them to a live local store.
+//
+// One goroutine per shard dials the leader, FOLLOWs its shard, and
+// applies the stream: snapshot frames install checkpoint files wholesale
+// (after wiping the shard — stale local files the leader has since
+// removed cannot be fixed by log replay), record frames run through the
+// same mutations recovery replays, and every applied batch is journaled
+// to the follower's own WAL (verbatim, leader-assigned LSNs) and
+// committed before it is acknowledged — so an acked record survives a
+// follower crash too, and a restart resumes from a recoverable state.
+//
+// Cross-shard ordering is the one place per-shard streams are not
+// enough: a migration's effects live in the destination shard's stream,
+// while the file's older records sit in the source's, and the two
+// streams race on the follower. Per-name apply floors close it — a
+// snapshot or MIGRATE install raises the name's floor to its LSN, and
+// any straggler record at or below the floor is skipped (its effect is
+// already inside the installed image, exactly like recovery's
+// floor-cut).
+package rangestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// Replica reconnect pacing.
+const (
+	replicaBackoffMin = 10 * time.Millisecond
+	replicaBackoffMax = 1 * time.Second
+)
+
+// Replica keeps a local store in sync with a leader. Build the store
+// and journal with Recover (the follower journals what it applies),
+// then StartReplica, then serve the store read-only via a Server with
+// WithFollower.
+type Replica struct {
+	store *pfs.Sharded
+	j     *Journal
+	mp    *pfs.MapPlacement
+	dial  func() (net.Conn, error)
+
+	last      []uint64 // per-shard applied LSN; owned by that shard's loop
+	needReset []bool   // force snapshot bootstrap on next attach
+
+	fmu    sync.Mutex
+	floors map[string]uint64 // per-name apply floor
+
+	mu       sync.Mutex
+	cond     sync.Cond
+	conns    map[net.Conn]struct{}
+	attached []bool
+	stopped  bool
+	promoted bool
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartReplica begins pulling from the leader reached by dial, one
+// stream per shard of store. j must be the journal Recover returned for
+// store; stats tells the replica whether it restarted over existing
+// state (then every shard's first attach demands a snapshot bootstrap —
+// local state may contain files the leader has since dropped). The
+// store must use a MapPlacement: replicated creates and migrations pin
+// names to the leader's chosen shards.
+func StartReplica(store *pfs.Sharded, j *Journal, stats pfs.RecoverStats, dial func() (net.Conn, error)) (*Replica, error) {
+	mp, ok := store.Placement().(*pfs.MapPlacement)
+	if !ok {
+		return nil, errors.New("rangestore: replica requires a map placement")
+	}
+	if j == nil {
+		return nil, errors.New("rangestore: replica requires a journal")
+	}
+	r := &Replica{
+		store:     store,
+		j:         j,
+		mp:        mp,
+		dial:      dial,
+		last:      make([]uint64, store.NumShards()),
+		needReset: make([]bool, store.NumShards()),
+		floors:    make(map[string]uint64),
+		conns:     make(map[net.Conn]struct{}),
+		attached:  make([]bool, store.NumShards()),
+		stopCh:    make(chan struct{}),
+	}
+	r.cond.L = &r.mu
+	restarted := stats.Files > 0 || stats.MaxLSN > 0 || stats.Records > 0
+	for i := 0; i < store.NumShards(); i++ {
+		// The replica journals leader records itself; the local hooks
+		// would double-journal every replayed mutation (with wrong,
+		// locally assigned LSNs). Promote rewires them.
+		store.Shard(i).SetJournalHook(nil)
+		r.needReset[i] = restarted
+	}
+	r.wg.Add(store.NumShards())
+	for i := 0; i < store.NumShards(); i++ {
+		go r.run(i)
+	}
+	return r, nil
+}
+
+// stopping reports whether Stop or Promote has been called.
+func (r *Replica) stopping() bool {
+	select {
+	case <-r.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until the replica stops, whichever is first.
+func (r *Replica) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.stopCh:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// track registers a live connection so Stop/Promote can sever it (the
+// stream loop blocks in reads; only a close wakes it). Returns false
+// when the replica is already stopping — the caller must drop the conn.
+func (r *Replica) track(nc net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return false
+	}
+	r.conns[nc] = struct{}{}
+	return true
+}
+
+func (r *Replica) untrack(nc net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, nc)
+	r.mu.Unlock()
+}
+
+// run is shard's pull loop: dial, stream, reconnect with bounded
+// exponential backoff for as long as the replica lives.
+func (r *Replica) run(shard int) {
+	defer r.wg.Done()
+	backoff := replicaBackoffMin
+	for !r.stopping() {
+		nc, err := r.dial()
+		if err != nil {
+			if !r.sleep(backoff) {
+				return
+			}
+			backoff = min(backoff*2, replicaBackoffMax)
+			continue
+		}
+		if !r.track(nc) {
+			nc.Close()
+			return
+		}
+		progressed := r.stream(shard, nc)
+		nc.Close()
+		r.untrack(nc)
+		if progressed {
+			backoff = replicaBackoffMin
+		} else {
+			backoff = min(backoff*2, replicaBackoffMax)
+		}
+		if !r.sleep(backoff) {
+			return
+		}
+	}
+}
+
+// markAttached records that shard completed a FOLLOW handshake (and
+// bootstrap, when one ran) — the signal WaitAttached watches.
+func (r *Replica) markAttached(shard int) {
+	r.mu.Lock()
+	r.attached[shard] = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// WaitAttached blocks until every shard's stream has attached to the
+// leader at least once, or d elapses.
+func (r *Replica) WaitAttached(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		all := true
+		for _, a := range r.attached {
+			all = all && a
+		}
+		if all {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return errors.New("rangestore: replica attach timed out")
+		}
+		t := time.AfterFunc(remain, func() {
+			r.mu.Lock()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		})
+		r.cond.Wait()
+		t.Stop()
+	}
+}
+
+// stream runs one FOLLOW session for shard over nc; it returns whether
+// the session made progress (handshake completed), which resets the
+// reconnect backoff.
+func (r *Replica) stream(shard int, nc net.Conn) bool {
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+
+	req := Request{Op: OpFollow, Dst: uint32(shard), Off: r.last[shard]}
+	if r.needReset[shard] {
+		req.Flags = FollowReset
+	}
+	buf, err := AppendRequest(nil, &req)
+	if err != nil {
+		return false
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return false
+	}
+	if err := bw.Flush(); err != nil {
+		return false
+	}
+	body, err := ReadFrame(br, nil)
+	if err != nil {
+		return false
+	}
+	var resp Response
+	if err := ParseResponse(body, &resp); err != nil || resp.Op != OpFollow || resp.Err() != nil {
+		return false
+	}
+
+	if resp.EOF {
+		// Snapshot bootstrap: wipe, install the checkpoint image, and
+		// persist the cut — resetShard floors the local WAL at the
+		// leader's checkpoint floor and writes a local checkpoint, so a
+		// follower crash right here recovers to this exact state.
+		if !r.bootstrap(shard, br, resp.Off, int(resp.N)) {
+			return false
+		}
+		r.last[shard] = resp.Off
+		r.needReset[shard] = false
+	}
+	r.markAttached(shard)
+
+	// The attach itself must be acknowledged: after a snapshot bootstrap
+	// the shard provably holds everything at or below the floor, and on
+	// a plain resume the previous session's tail may be applied and
+	// journaled with its ack lost in the reconnect. Either way the
+	// leader's gate can be waiting on an LSN this stream will never
+	// carry again — acking the applied frontier now is the only thing
+	// that unblocks it. Committed first: an ack promises durability.
+	if err := r.j.wals[shard].CommitAll(r.j.mode != pfs.SyncOff); err != nil {
+		return true
+	}
+	var frame []byte
+	ack := appendAckFrame(nil, r.last[shard])
+	if _, err := bw.Write(ack); err != nil {
+		return true
+	}
+	if err := bw.Flush(); err != nil {
+		return true
+	}
+	frame = ack[:0]
+
+	// Apply loop. Records are applied and journaled one by one, but
+	// committed and acknowledged per network batch: while more frames
+	// sit in the read buffer, the fsync and the ack wait. Duplicates
+	// (stream overlap after a reconnect) are skipped, but still reach
+	// the batch boundary below — a batch ending in duplicates must
+	// re-ack the frontier, or a leader resending a record whose ack was
+	// lost would wait on a confirmation that never comes.
+	var pendEnd int64
+	for {
+		b, err := ReadFrameMax(br, frame, maxReplFrame)
+		if err != nil {
+			return true
+		}
+		frame = b[:0]
+		if len(b) < 1 || b[0] != repRec {
+			return true // unknown frame: stream out of sync, reconnect
+		}
+		if len(b) < 9 {
+			return true
+		}
+		prev := binary.LittleEndian.Uint64(b[1:])
+		raw := b[9:]
+		rec, n, err := pfs.DecodeRecord(raw)
+		if err != nil || n != len(raw) {
+			return true // corrupt or trailing garbage: reconnect re-syncs
+		}
+		if int(rec.Shard) != shard {
+			return true
+		}
+		if rec.LSN > r.last[shard] {
+			if prev != r.last[shard] {
+				// Gap: the chain link names a record this replica never
+				// applied. Reconnect resumes from last, which re-streams
+				// the missing span.
+				return true
+			}
+			if err := r.applyRecord(&rec); err != nil {
+				// Divergence the log cannot fix; force a snapshot rebuild.
+				r.needReset[shard] = true
+				return true
+			}
+			end, err := r.j.wals[shard].AppendPrepared(&rec)
+			if err != nil {
+				return true
+			}
+			pendEnd = end
+			r.last[shard] = rec.LSN
+		}
+		if br.Buffered() > 0 {
+			continue
+		}
+		if pendEnd != 0 {
+			if err := r.j.commitShard(shard, pendEnd); err != nil {
+				return true
+			}
+			pendEnd = 0
+		}
+		ack := appendAckFrame(frame[:0], r.last[shard])
+		frame = ack[:0]
+		if _, err := bw.Write(ack); err != nil {
+			return true
+		}
+		if err := bw.Flush(); err != nil {
+			return true
+		}
+	}
+}
+
+// bootstrap wipes shard and installs the leader's checkpoint image.
+func (r *Replica) bootstrap(shard int, br *bufio.Reader, floor uint64, nfiles int) bool {
+	fs := r.store.Shard(shard)
+	for _, name := range fs.List() {
+		fs.Remove(name)
+		r.mp.Delete(name)
+		r.fmu.Lock()
+		delete(r.floors, name)
+		r.fmu.Unlock()
+	}
+	var frame []byte
+	for i := 0; i < nfiles; i++ {
+		b, err := ReadFrameMax(br, frame, maxReplFrame)
+		if err != nil {
+			return false
+		}
+		frame = b[:0]
+		if len(b) < 3 || b[0] != repSnapFile {
+			return false
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[1:]))
+		if 3+nameLen > len(b) {
+			return false
+		}
+		name := string(b[3 : 3+nameLen])
+		f, err := r.createIn(shard, name)
+		if err != nil {
+			return false
+		}
+		if err := f.ApplySnapshot(b[3+nameLen:]); err != nil {
+			return false
+		}
+		r.setFloor(name, floor)
+	}
+	return r.j.resetShard(shard, floor) == nil
+}
+
+// createIn opens-or-creates name pinned to shard — the follower obeys
+// the leader's placement, not its own hash.
+func (r *Replica) createIn(shard int, name string) (*pfs.File, error) {
+	if r.store.ShardIndex(name) != shard {
+		r.mp.Set(name, shard)
+	}
+	f, err := r.store.Create(name)
+	if errors.Is(err, pfs.ErrExist) {
+		f, err = r.store.Open(name)
+	}
+	return f, err
+}
+
+func (r *Replica) floor(name string) uint64 {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	return r.floors[name]
+}
+
+func (r *Replica) setFloor(name string, lsn uint64) {
+	r.fmu.Lock()
+	if lsn > r.floors[name] {
+		r.floors[name] = lsn
+	}
+	r.fmu.Unlock()
+}
+
+// applyRecord replays one leader record against the local store — the
+// live-traffic analogue of recovery's replay, with the per-name floor
+// standing in for recovery's global ordering.
+func (r *Replica) applyRecord(rec *pfs.Record) error {
+	if rec.Kind != pfs.RecMigrate && rec.LSN <= r.floor(rec.Name) {
+		return nil // already inside an installed snapshot image
+	}
+	switch rec.Kind {
+	case pfs.RecCreate:
+		_, err := r.createIn(int(rec.Shard), rec.Name)
+		return err
+	case pfs.RecWrite, pfs.RecAppend:
+		f, err := r.store.Open(rec.Name)
+		if err != nil {
+			return err
+		}
+		_, err = f.WriteAt(rec.Data, rec.Off)
+		return err
+	case pfs.RecTruncate:
+		f, err := r.store.Open(rec.Name)
+		if err != nil {
+			return err
+		}
+		f.Truncate(rec.Size)
+		return nil
+	case pfs.RecMigrate:
+		if rec.LSN <= r.floor(rec.Name) {
+			return nil
+		}
+		dst := int(rec.Dst)
+		f, cur, err := r.store.Resolve(rec.Name)
+		switch {
+		case errors.Is(err, pfs.ErrNotExist):
+			// The create may still be in flight on the source shard's
+			// stream; the snapshot carries the full state regardless.
+			if f, err = r.createIn(dst, rec.Name); err != nil {
+				return err
+			}
+		case err != nil:
+			return err
+		case cur != dst:
+			if err := r.store.Migrate(rec.Name, dst); err != nil {
+				return err
+			}
+			if f, err = r.store.Open(rec.Name); err != nil {
+				return err
+			}
+		}
+		if err := f.ApplySnapshot(rec.Data); err != nil {
+			return err
+		}
+		r.setFloor(rec.Name, rec.LSN)
+		return nil
+	default:
+		return fmt.Errorf("rangestore: replica: unknown record kind %d", rec.Kind)
+	}
+}
+
+// halt severs every stream and waits the loops out. Shared by Stop and
+// Promote; idempotent.
+func (r *Replica) halt() {
+	r.mu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		close(r.stopCh)
+	}
+	for nc := range r.conns {
+		nc.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Stop severs the streams and stops the replica without promoting it —
+// teardown, not failover.
+func (r *Replica) Stop() {
+	r.halt()
+}
+
+// Promote flips the replica into a writable store: streams are severed
+// and drained (every record already received is applied, journaled and
+// committed), and the store's journal hooks are rewired so subsequent
+// local mutations write ahead to the local WAL. The caller makes the
+// server writable only after Promote returns (WithFollower's server
+// does this in its PROMOTE handler). Idempotent.
+func (r *Replica) Promote() error {
+	r.halt()
+	r.mu.Lock()
+	already := r.promoted
+	r.promoted = true
+	r.mu.Unlock()
+	if already {
+		return nil
+	}
+	var first error
+	for i := 0; i < r.store.NumShards(); i++ {
+		// The stream loops commit per batch; a loop killed between
+		// journaling and committing leaves a tail this sweep makes
+		// durable. Applied-but-unjournaled records cannot exist (the
+		// loop journals before advancing), so after this the local log
+		// covers everything the store holds.
+		if err := r.j.wals[i].CommitAll(r.j.mode != pfs.SyncOff); err != nil && first == nil {
+			first = err
+		}
+	}
+	place := r.store.Placement()
+	for i := 0; i < r.store.NumShards(); i++ {
+		r.store.Shard(i).SetJournalHook(pfs.JournalHook(r.j.wals[i], place))
+	}
+	return first
+}

@@ -46,6 +46,14 @@ type Server struct {
 	journal   *Journal
 	recovered pfs.RecoverStats
 
+	// notLeader, when set, answers mutations with StatusNotLeader
+	// carrying leaderAddr — the follower role. replica is the
+	// replication pull loop feeding this server's store; PROMOTE drains
+	// it and clears notLeader, flipping the server writable.
+	notLeader  atomic.Bool
+	leaderAddr string
+	replica    *Replica
+
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	listeners map[net.Listener]struct{}
@@ -106,6 +114,19 @@ func WithJournal(j *Journal) ServerOption {
 // RECOVERED protocol op.
 func WithRecovered(st pfs.RecoverStats) ServerOption {
 	return func(s *Server) { s.recovered = st }
+}
+
+// WithFollower makes the server a replication follower: mutations are
+// refused with StatusNotLeader carrying leaderAddr, reads are served
+// from the replicated store, and PROMOTE flips it writable by draining
+// r. The caller starts r (StartReplica) against the same store and
+// journal this server was built with.
+func WithFollower(r *Replica, leaderAddr string) ServerOption {
+	return func(s *Server) {
+		s.replica = r
+		s.leaderAddr = leaderAddr
+		s.notLeader.Store(true)
+	}
 }
 
 // NewServer wraps a single-shard store over fs. The fs's lock variant
@@ -309,6 +330,7 @@ func (s *Server) unregister(c net.Conn) {
 // pays nothing for the indirection.
 type conn struct {
 	srv     *Server
+	nc      net.Conn // raw connection; the FOLLOW hijack closes it to kill the stream
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	files   []*pfs.File
@@ -339,6 +361,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 
 	cn := &conn{
 		srv: s,
+		nc:  c,
 		br:  bufio.NewReaderSize(c, 64<<10),
 		bw:  bufio.NewWriterSize(c, 64<<10),
 		sop: s.store.BeginOp(),
@@ -378,6 +401,13 @@ func (s *Server) ServeConn(c net.Conn) error {
 			body = b
 		}
 
+		// FOLLOW converts the connection into a replication stream: the
+		// batch machinery is wound down (leases returned, pending records
+		// committed, pending responses flushed) and the connection never
+		// returns to request/response service.
+		if len(body) > 0 && OpCode(body[0]) == OpFollow {
+			return cn.hijackFollow(body)
+		}
 		err := cn.handle(body)
 		// Serve whatever is already buffered under the same Op leases, but
 		// never block for more input while holding them.
@@ -389,6 +419,9 @@ func (s *Server) ServeConn(c net.Conn) error {
 			}
 			if !ok {
 				break
+			}
+			if len(body) > 0 && OpCode(body[0]) == OpFollow {
+				return cn.hijackFollow(body)
 			}
 			err = cn.handle(body)
 		}
@@ -496,6 +529,17 @@ func (cn *conn) handle(body []byte) error {
 // mutation applied but cannot be made durable, so it must not be
 // acknowledged); everything else is reported through resp.
 func (cn *conn) exec(req *Request, resp *Response) error {
+	// A follower refuses mutations outright, pointing at the leader.
+	// OPEN is handled in execOpen — its open-or-create flavor is only a
+	// mutation when the file is actually missing.
+	if cn.srv.notLeader.Load() {
+		switch req.Op {
+		case OpWrite, OpAppend, OpTruncate, OpMigrate:
+			resp.Status = StatusNotLeader
+			resp.Msg = cn.srv.leaderAddr
+			return nil
+		}
+	}
 	// OPEN, MIGRATE, SHARDS and RECOVERED carry no handle.
 	switch req.Op {
 	case OpOpen:
@@ -529,6 +573,20 @@ func (cn *conn) exec(req *Request, resp *Response) error {
 			TornBytes:  uint64(st.TornBytes),
 			MaxLSN:     st.MaxLSN,
 		}
+		return nil
+	case OpPromote:
+		if cn.srv.replica == nil {
+			resp.Status = StatusBadRequest
+			return nil
+		}
+		if err := cn.srv.replica.Promote(); err != nil {
+			fillError(resp, err)
+			return nil
+		}
+		// Writable only after Promote returns: the apply queue is
+		// drained and the journal hooks rewired, so every write from
+		// here on journals locally.
+		cn.srv.notLeader.Store(false)
 		return nil
 	}
 	// Client-controlled offsets are capped well below the uint64 wrap
@@ -648,9 +706,19 @@ func (s *Server) migrate(name string, dst int) error {
 	if s.journal == nil {
 		return s.store.Migrate(name, dst)
 	}
-	return s.store.MigrateWith(name, dst, func(f *pfs.File) error {
-		return s.journal.LogMigrate(dst, name, f)
+	var lsn uint64
+	err := s.store.MigrateWith(name, dst, func(f *pfs.File) error {
+		l, err := s.journal.LogMigrate(dst, name, f)
+		lsn = l
+		return err
 	})
+	if err != nil {
+		return err
+	}
+	// The record is durable locally; what remains is the follower's
+	// copy, waited for outside the store's migration lock so a slow
+	// follower stalls only this request, not every create and move.
+	return s.journal.replWait(dst, lsn)
 }
 
 func (cn *conn) execOpen(req *Request, resp *Response) error {
@@ -676,7 +744,17 @@ func (cn *conn) execOpen(req *Request, resp *Response) error {
 	var f *pfs.File
 	var err error
 	created := false
-	if req.Flags&OpenCreate != 0 {
+	switch {
+	case req.Flags&OpenCreate != 0 && cn.srv.notLeader.Load():
+		// Open-or-create on a follower serves the open half; only an
+		// actual create is a mutation the leader must perform.
+		f, err = cn.srv.store.Open(req.Name)
+		if errors.Is(err, pfs.ErrNotExist) {
+			resp.Status = StatusNotLeader
+			resp.Msg = cn.srv.leaderAddr
+			return nil
+		}
+	case req.Flags&OpenCreate != 0:
 		// Create serializes on the store's migration lock, and Migrate
 		// holds that lock while leasing a slot — so the batch's slot
 		// lease must be returned first, or 128 connections blocked here
@@ -688,7 +766,7 @@ func (cn *conn) execOpen(req *Request, resp *Response) error {
 		if errors.Is(err, pfs.ErrExist) {
 			f, err = cn.srv.store.Open(req.Name)
 		}
-	} else {
+	default:
 		f, err = cn.srv.store.Open(req.Name)
 	}
 	if err != nil {

@@ -1,0 +1,215 @@
+// Kill-the-leader scenario: workers write deterministic payloads
+// through rangestore.FailoverClient, a coordinator murders the leader
+// after a configured number of acknowledged writes and promotes the
+// follower, and a verification pass proves every acknowledged write is
+// readable from the survivor.
+//
+// The payload for (worker, write index) is a pure function of the
+// seed, so verification regenerates expected bytes instead of keeping
+// them — the scenario's memory stays O(1) in write count.
+package wload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rangestore"
+)
+
+// FailoverConfig drives RunFailover.
+type FailoverConfig struct {
+	// Addrs are the candidate servers, leader first, handed to every
+	// FailoverClient.
+	Addrs []string
+	// Dial connects to one address; tests inject in-process transports
+	// (and fault wrappers) here. Nil uses the client default.
+	Dial func(addr string) (*rangestore.Client, error)
+
+	Workers int // concurrent writers, one file each (default 4)
+	Writes  int // writes per worker (default 128)
+	IOSize  int // bytes per write (default 1024)
+
+	// KillAfter fires the kill once this many writes (across all
+	// workers) have been acknowledged (default: a quarter of the total).
+	KillAfter int
+	// Kill stops the leader. Required.
+	Kill func()
+	// Promote flips the follower to writable; retried until it succeeds
+	// or MaxWait runs out. Required.
+	Promote func() error
+
+	// MaxWait bounds each client call's retry budget and the promote
+	// retry loop (default 30 s) — it must cover the failover window.
+	MaxWait time.Duration
+	Seed    int64 // payload/schedule seed (default 1)
+}
+
+// FailoverReport summarizes one scenario run.
+type FailoverReport struct {
+	Acked           int64 // writes acknowledged over the whole run
+	AckedBeforeKill int64 // writes acknowledged before the kill fired
+	Verified        int   // writes read back and byte-compared on the survivor
+}
+
+func (cfg *FailoverConfig) withDefaults() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Writes <= 0 {
+		cfg.Writes = 128
+	}
+	if cfg.IOSize <= 0 {
+		cfg.IOSize = 1024
+	}
+	if cfg.KillAfter <= 0 {
+		cfg.KillAfter = cfg.Workers * cfg.Writes / 4
+		if cfg.KillAfter == 0 {
+			cfg.KillAfter = 1
+		}
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 30 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+}
+
+func failoverFileName(w int) string { return fmt.Sprintf("wfail-%02d", w) }
+
+// failoverPayload regenerates the bytes worker w's i-th write carries.
+func failoverPayload(seed int64, w, i, size int) []byte {
+	p := make([]byte, size)
+	rand.New(rand.NewSource(seed ^ int64(w)<<32 ^ int64(i))).Read(p)
+	return p
+}
+
+// RunFailover runs the scenario and verifies it. The returned error is
+// non-nil if any worker failed, promotion never succeeded, or any
+// acknowledged write did not read back intact from the survivor.
+func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
+	cfg.withDefaults()
+	if cfg.Kill == nil || cfg.Promote == nil {
+		return nil, fmt.Errorf("wload: RunFailover needs Kill and Promote hooks")
+	}
+
+	newClient := func() (*rangestore.FailoverClient, error) {
+		return rangestore.NewFailoverClient(rangestore.FailoverConfig{
+			Addrs:   cfg.Addrs,
+			Dial:    cfg.Dial,
+			MaxWait: cfg.MaxWait,
+		})
+	}
+
+	var (
+		rep      FailoverReport
+		acked    atomic.Int64
+		before   atomic.Int64    // writes acked while the leader still lived
+		killed   atomic.Bool     // set before Kill runs; gates the before-kill tally
+		killCh   = make(chan struct{}) // closed when KillAfter is reached
+		killOnce sync.Once
+	)
+
+	// Coordinator: wait for the threshold, kill the leader, promote the
+	// follower with retry — the workers stall in their failover backoff
+	// until promotion lands.
+	var promoteErr error
+	var coord sync.WaitGroup
+	coord.Add(1)
+	go func() {
+		defer coord.Done()
+		<-killCh
+		killed.Store(true)
+		cfg.Kill()
+		deadline := time.Now().Add(cfg.MaxWait)
+		for {
+			if promoteErr = cfg.Promote(); promoteErr == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fc, err := newClient()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer fc.Close()
+			h, err := fc.Open(failoverFileName(w), true)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := 0; i < cfg.Writes; i++ {
+				p := failoverPayload(cfg.Seed, w, i, cfg.IOSize)
+				if _, err := fc.WriteAt(h, p, uint64(i)*uint64(cfg.IOSize)); err != nil {
+					errs[w] = fmt.Errorf("wload: worker %d write %d: %w", w, i, err)
+					return
+				}
+				if !killed.Load() {
+					before.Add(1)
+				}
+				if acked.Add(1) >= int64(cfg.KillAfter) {
+					killOnce.Do(func() { close(killCh) })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// A run too short to reach the threshold must not leave the
+	// coordinator waiting forever.
+	killOnce.Do(func() { close(killCh) })
+	coord.Wait()
+	rep.Acked = acked.Load()
+	rep.AckedBeforeKill = before.Load()
+
+	for w := range errs {
+		if errs[w] != nil {
+			return &rep, errs[w]
+		}
+	}
+	if promoteErr != nil {
+		return &rep, fmt.Errorf("wload: promote never succeeded: %w", promoteErr)
+	}
+
+	// Verification: every acknowledged write — which, the workers having
+	// finished, is every write — must read back intact from whichever
+	// node still answers (the promoted follower).
+	vc, err := newClient()
+	if err != nil {
+		return &rep, err
+	}
+	defer vc.Close()
+	buf := make([]byte, cfg.IOSize)
+	for w := 0; w < cfg.Workers; w++ {
+		h, err := vc.Open(failoverFileName(w), false)
+		if err != nil {
+			return &rep, fmt.Errorf("wload: verify open %s: %w", failoverFileName(w), err)
+		}
+		for i := 0; i < cfg.Writes; i++ {
+			n, err := vc.ReadAt(h, buf, uint64(i)*uint64(cfg.IOSize))
+			if err != nil && n != cfg.IOSize {
+				return &rep, fmt.Errorf("wload: verify read %s write %d: %w", failoverFileName(w), i, err)
+			}
+			if want := failoverPayload(cfg.Seed, w, i, cfg.IOSize); !bytes.Equal(buf[:n], want) {
+				return &rep, fmt.Errorf("wload: worker %d write %d corrupt after failover", w, i)
+			}
+			rep.Verified++
+		}
+	}
+	return &rep, nil
+}

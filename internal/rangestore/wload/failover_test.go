@@ -1,0 +1,104 @@
+package wload
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/rangestore"
+)
+
+// TestRunFailoverKillsLeader is the acceptance scenario: leader and
+// follower both journal with -fsync batch semantics, the replication
+// link suffers drops, duplicates and reordering, the leader is killed
+// mid-run, the follower is promoted — and every acknowledged write must
+// be readable, intact, from the survivor.
+func TestRunFailoverKillsLeader(t *testing.T) {
+	dL, dF := pfs.NewMemDir(), pfs.NewMemDir()
+	storeL, jL, statsL, err := rangestore.Recover(dL, rangestore.RecoverConfig{
+		Shards: 4, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+		ReplAckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvL := rangestore.NewServerSharded(storeL, rangestore.WithJournal(jL), rangestore.WithRecovered(statsL))
+	defer srvL.Close()
+
+	storeF, jF, statsF, err := rangestore.Recover(dF, rangestore.RecoverConfig{
+		Shards: 4, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amu sync.Mutex
+	var attempt int
+	rep, err := rangestore.StartReplica(storeF, jF, statsF, func() (net.Conn, error) {
+		c1, c2 := rangestore.Pipe()
+		amu.Lock()
+		attempt++
+		seed := int64(attempt) // fresh fault schedule per reconnect
+		amu.Unlock()
+		go srvL.ServeConn(rangestore.FaultWrap(c2, rangestore.FaultConfig{
+			Seed: seed, Drop: 0.02, Dup: 0.03, Delay: 0.05,
+			MaxDelay: time.Millisecond, SkipFirst: 8,
+		}))
+		return c1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+	srvF := rangestore.NewServerSharded(storeF,
+		rangestore.WithJournal(jF), rangestore.WithRecovered(statsF),
+		rangestore.WithFollower(rep, "leader"))
+	defer srvF.Close()
+	if err := rep.WaitAttached(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	dial := func(addr string) (*rangestore.Client, error) {
+		srv := srvL
+		if addr == "follower" {
+			srv = srvF
+		}
+		c1, c2 := rangestore.Pipe()
+		go srv.ServeConn(c2)
+		return rangestore.NewClient(c1), nil
+	}
+	promoter, err := rangestore.NewFailoverClient(rangestore.FailoverConfig{
+		Addrs: []string{"follower"}, Dial: dial, MaxWait: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoter.Close()
+
+	const workers, writes = 4, 40
+	report, err := RunFailover(FailoverConfig{
+		Addrs:     []string{"leader", "follower"},
+		Dial:      dial,
+		Workers:   workers,
+		Writes:    writes,
+		IOSize:    1024,
+		KillAfter: workers * writes / 4,
+		Kill:      func() { srvL.Close() },
+		Promote:   func() error { return promoter.Promote() },
+		MaxWait:   30 * time.Second,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("failover scenario: %v (report %+v)", err, report)
+	}
+	if report.Acked != int64(workers*writes) {
+		t.Fatalf("acked %d writes, want %d", report.Acked, workers*writes)
+	}
+	if report.Verified != workers*writes {
+		t.Fatalf("verified %d writes on the survivor, want %d", report.Verified, workers*writes)
+	}
+	if report.AckedBeforeKill == 0 {
+		t.Fatal("the kill fired before any write was acknowledged")
+	}
+}

@@ -113,6 +113,13 @@ type Config struct {
 	// wrong, so the counts are fetched from the server (SHARDS op)
 	// before and after the run and reported as the delta.
 	Placement string
+	// Redial makes workers survive connection loss: in-flight requests
+	// are counted as errors, the connection is re-dialed with bounded
+	// exponential backoff, handles re-open by name, and the workload
+	// continues — the load-generator view of a server restart or
+	// failover. Off, any connection error aborts the run (the strict
+	// default benchmarks want).
+	Redial bool
 }
 
 func (c Config) withDefaults() Config {
@@ -481,7 +488,9 @@ func runWorker(cfg Config, dial Dialer, recs []*classRec, shardOps []atomic.Int6
 	if err != nil {
 		return err
 	}
-	defer cl.Close()
+	// cl is rebound on redial; the closure closes whichever connection
+	// is live at return.
+	defer func() { cl.Close() }()
 
 	handles := make([]uint32, cfg.Files)
 	for i := range handles {
@@ -596,32 +605,86 @@ func runWorker(cfg Config, dial Dialer, recs []*classRec, shardOps []atomic.Int6
 		return nil
 	}
 
+	// reconnect charges the queue's in-flight requests as errors (their
+	// responses died with the connection) and re-dials with bounded
+	// backoff, re-opening every handle by name. Returns the original
+	// error when redial is off or reconnection gives out.
+	reconnect := func(cause error) error {
+		if !cfg.Redial {
+			return cause
+		}
+		for _, op := range queue {
+			recs[op.class].observe(time.Since(op.t0), 0, true)
+		}
+		queue = queue[:0]
+		cl.Close()
+		backoff := 10 * time.Millisecond
+		limit := time.Now().Add(10 * time.Second)
+		if !opBound && deadline.Before(limit) {
+			limit = deadline
+		}
+		for {
+			c2, err := dial()
+			if err == nil {
+				ok := true
+				for i := range handles {
+					h, err := c2.Open(fileName(i), false)
+					if err != nil {
+						c2.Close()
+						ok = false
+						break
+					}
+					handles[i] = h
+				}
+				if ok {
+					cl = c2
+					return nil
+				}
+			}
+			if time.Now().Add(backoff).After(limit) {
+				return cause
+			}
+			time.Sleep(backoff)
+			backoff = min(backoff*2, 500*time.Millisecond)
+		}
+	}
+
 	var sent int64
 	for {
 		if done(sent) {
 			break
 		}
 		if err := sendOne(); err != nil {
-			return err
+			if err = reconnect(err); err != nil {
+				return err
+			}
+			continue
 		}
 		sent++
 		if len(queue) < cfg.Pipeline {
 			continue
 		}
 		if err := cl.Flush(); err != nil {
-			return err
+			if err = reconnect(err); err != nil {
+				return err
+			}
+			continue
 		}
 		if err := recvOne(); err != nil {
-			return err
+			if err = reconnect(err); err != nil {
+				return err
+			}
 		}
 	}
 	// Drain.
 	if err := cl.Flush(); err != nil {
-		return err
+		return reconnect(err)
 	}
 	for len(queue) > 0 {
 		if err := recvOne(); err != nil {
-			return err
+			// The lost responses were charged by reconnect; nothing left
+			// to drain on the fresh connection.
+			return reconnect(err)
 		}
 	}
 	return nil

@@ -3,7 +3,9 @@ package wload
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -231,6 +233,55 @@ func TestShardCountsServerReported(t *testing.T) {
 	}
 	if !strings.Contains(rep.String(), "[server, map placement]") {
 		t.Fatalf("text report missing shard source:\n%s", rep)
+	}
+}
+
+// TestRunRedial: every live connection is cut mid-run. With Redial the
+// workers charge the lost in-flight requests as errors, reconnect, and
+// finish the run; without it the first cut aborts the run.
+func TestRunRedial(t *testing.T) {
+	for _, redial := range []bool{true, false} {
+		name := "redial=off"
+		if redial {
+			name = "redial=on"
+		}
+		t.Run(name, func(t *testing.T) {
+			srv := rangestore.NewServer(pfs.New(nil))
+			defer srv.Close()
+			var mu sync.Mutex
+			var conns []net.Conn
+			dial := func() (*rangestore.Client, error) {
+				c1, c2 := rangestore.Pipe()
+				mu.Lock()
+				conns = append(conns, c1)
+				mu.Unlock()
+				go srv.ServeConn(c2)
+				return rangestore.NewClient(c1), nil
+			}
+			go func() {
+				time.Sleep(150 * time.Millisecond)
+				mu.Lock()
+				for _, c := range conns {
+					c.Close()
+				}
+				mu.Unlock()
+			}()
+			rep, err := Run(Config{
+				Mix: Mixes[1], Files: 4, FileSize: 32 << 10, IOSize: 512,
+				Workers: 3, Pipeline: 4, Duration: 400 * time.Millisecond,
+				Redial: redial,
+			}, dial)
+			if redial {
+				if err != nil {
+					t.Fatalf("redial run failed: %v", err)
+				}
+				if rep.TotalOps == 0 {
+					t.Fatal("no ops completed across the sever")
+				}
+			} else if err == nil {
+				t.Fatal("run without redial survived a severed connection")
+			}
+		})
 	}
 }
 
