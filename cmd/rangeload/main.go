@@ -43,10 +43,14 @@ func main() {
 		zipfFile = flag.Float64("zipf-file", 1.2, "zipf skew across files (<= 1: uniform)")
 		zipfOff  = flag.Float64("zipf-off", 1.1, "zipf skew across offsets (<= 1: uniform)")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
-		format   = flag.String("format", "text", "output format: text, csv, json")
+		format   = flag.String("format", "text", "output format: text, csv, json (json includes the full per-class latency histograms)")
+		report   = flag.String("report", "", "alias for -format")
 		out      = flag.String("out", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	if *report != "" {
+		*format = *report
+	}
 
 	mix, err := wload.MixByName(*mixName)
 	if err != nil {

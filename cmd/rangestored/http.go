@@ -1,0 +1,103 @@
+// The opt-in -http endpoint. Three things hang off it, all read-only:
+//
+//	/metrics        the server's obs registry in Prometheus text format
+//	/healthz        a small JSON document: role, recovery summary, and
+//	                replication state (lag on the leader, applied
+//	                frontier work on the follower)
+//	/debug/pprof/*  net/http/pprof, for profiling the live server
+//
+// The endpoint binds its own listener so operational scrapes never
+// contend with the data-plane protocol port, and it is off unless
+// -http is given — the store itself has no HTTP dependency.
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/rangestore"
+)
+
+// health is the /healthz response document. Lag fields are summed over
+// shards and only meaningful in the role that produces them (lag on the
+// leader, applied/reconnects on the follower); the rest are zero.
+type health struct {
+	Role           string            `json:"role"`
+	Shards         int64             `json:"shards"`
+	WAL            bool              `json:"wal"`
+	Recovered      *pfs.RecoverStats `json:"recovered,omitempty"`
+	LagRecords     int64             `json:"repl_lag_records"`
+	LagBytes       int64             `json:"repl_lag_bytes"`
+	FollowStreams  int64             `json:"repl_follow_streams"`
+	AppliedRecords int64             `json:"repl_applied_records"`
+	Reconnects     int64             `json:"repl_reconnects"`
+}
+
+// startHTTP serves the observability endpoint on addr until the process
+// exits. It returns the bound listener so main can report the actual
+// address (addr may carry port 0 in tests).
+func startHTTP(addr string, srv *rangestore.Server, shards int, walEnabled bool, stats pfs.RecoverStats, log *obs.Logger) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := srv.MetricsRegistry()
+		if reg == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := health{Role: "leader", Shards: int64(shards), WAL: walEnabled}
+		if walEnabled {
+			h.Recovered = &stats
+		}
+		if reg := srv.MetricsRegistry(); reg != nil {
+			snap := reg.Snapshot()
+			if snap.Value("rs_role_follower") == 1 {
+				h.Role = "follower"
+			}
+			for i := range snap.Entries {
+				e := &snap.Entries[i]
+				switch e.Name {
+				case "repl_lag_records":
+					h.LagRecords += e.Value
+				case "repl_lag_bytes":
+					h.LagBytes += e.Value
+				case "repl_follow_streams":
+					h.FollowStreams = e.Value
+				case "repl_applied_records_total":
+					h.AppliedRecords = e.Value
+				case "repl_reconnects_total":
+					h.Reconnects = e.Value
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(&h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			// Listener closed at shutdown lands here; anything else is
+			// worth a line.
+			log.Debug("http endpoint stopped", "addr", ln.Addr(), "err", err)
+		}
+	}()
+	return ln, nil
+}

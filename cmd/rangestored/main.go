@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lockapi"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/rangestore"
 )
@@ -83,8 +84,18 @@ func main() {
 		follow    = flag.String("follow", "", "run as a live follower of the leader at this address (requires -wal and -placement map)")
 		advertise = flag.String("advertise", "", "leader address told to redirected clients (default: the -follow address)")
 		ackWait   = flag.Duration("repl-ack-timeout", rangestore.DefaultReplAckTimeout, "leader: max wait for a follower's ack before a batch commit fails and the follower is dropped")
+		httpAddr  = flag.String("http", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof on this address (empty = off)")
+		traceSlow = flag.Duration("trace-slow", -1, "log a structured per-op breakdown of any batch at least this slow (0 = every batch, negative = off)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rangestored:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	mk, err := factory(*lock, *extent, *segs)
 	if err != nil {
@@ -125,7 +136,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rangestored:", err)
 		os.Exit(1)
 	}
-	opts := []rangestore.ServerOption{rangestore.WithMaxBatch(*batch)}
+	opts := []rangestore.ServerOption{
+		rangestore.WithMaxBatch(*batch),
+		rangestore.WithLogger(logger),
+		rangestore.WithSlowTrace(*traceSlow),
+	}
 	var store *pfs.Sharded
 	var journal *rangestore.Journal
 	var stats pfs.RecoverStats
@@ -181,6 +196,15 @@ func main() {
 	}
 	fmt.Printf("rangestored: serving on %s (lock=%s shards=%d placement=%s batch=%d role=%s)\n",
 		l.Addr(), *lock, store.NumShards(), place.Name(), *batch, role)
+	if *httpAddr != "" {
+		hl, err := startHTTP(*httpAddr, srv, store.NumShards(), *walDir != "", stats, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rangestored: -http:", err)
+			os.Exit(1)
+		}
+		defer hl.Close()
+		fmt.Printf("rangestored: observability on http://%s (/metrics /healthz /debug/pprof)\n", hl.Addr())
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,163 @@
+// Leveled key=value logging. One Logger instance is shared across the
+// server, replica, and failover client so every line carries the same
+// stable keys (shard=, conn=, role=) and a grep over a mixed log can
+// follow one shard or one connection across components. With() binds
+// fields once per component (role=follower, conn=N) so hot-path call
+// sites pay only for the line they emit; a nil *Logger discards
+// everything, which is the default for library users who construct a
+// Server without one.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// The levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int32(l))
+	}
+}
+
+// ParseLevel resolves a flag value into a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (have debug, info, warn, error)", s)
+}
+
+// Logger writes timestamped, leveled key=value lines. Loggers derived
+// with With share one writer and mutex, so lines from every component
+// interleave whole. All methods are nil-safe: a nil *Logger drops
+// everything without formatting it.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	min    Level
+	prefix string // pre-rendered " k=v k=v" bound by With
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min}
+}
+
+// With returns a logger that prepends the given key-value pairs to
+// every line. The fields are rendered once, here, not per line.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(l.prefix)
+	appendKV(&b, kv)
+	return &Logger{mu: l.mu, w: l.w, min: l.min, prefix: b.String()}
+}
+
+// Enabled reports whether lines at lv would be written — the guard for
+// call sites that would otherwise build expensive arguments.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.min
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(lv.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	b.WriteString(l.prefix)
+	appendKV(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendKV renders alternating key, value pairs as " k=v". A trailing
+// odd value is rendered under the key "!MISSING" rather than dropped.
+func appendKV(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		if s, ok := kv[i].(string); ok {
+			b.WriteString(s)
+		} else {
+			b.WriteString(fmt.Sprint(kv[i]))
+		}
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(formatValue(kv[i+1]))
+		} else {
+			// Key without value: re-render the stray as the value.
+			b.WriteString("!MISSING")
+		}
+	}
+}
+
+// formatValue renders one value; strings with spaces or '=' are quoted
+// so lines stay machine-splittable on whitespace.
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		if strings.ContainsAny(x, " =\"\n") || x == "" {
+			return strconv.Quote(x)
+		}
+		return x
+	case time.Duration:
+		return x.String()
+	case error:
+		return strconv.Quote(x.Error())
+	case fmt.Stringer:
+		return formatValue(x.String())
+	default:
+		return fmt.Sprint(v)
+	}
+}

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 6 {
+		t.Fatalf("Load = %d, want 6", got)
+	}
+	var nilC *Counter
+	nilC.Add(1) // must not panic
+	nilC.Inc()
+	if nilC.Load() != 0 {
+		t.Fatal("nil counter loads non-zero")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Load() != 0 {
+		t.Fatal("nil gauge loads non-zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {-5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1023, 9}, {1024, 10}, {1 << 40, NumHistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		h.Observe(c.v)
+	}
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", got, len(cases))
+	}
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.ObserveDuration(time.Second)
+	if nilH.Count() != 0 {
+		t.Fatal("nil histogram counts non-zero")
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	var h Histogram
+	// 90 observations in [2^4, 2^5), 10 in [2^10, 2^11).
+	for i := 0; i < 90; i++ {
+		h.Observe(20)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	s := h.snapshot()
+	if got := s.Count(); got != 100 {
+		t.Fatalf("snapshot Count = %d, want 100", got)
+	}
+	if got := s.Quantile(0.5); got != HistBucketBound(4) {
+		t.Errorf("p50 = %d, want %d", got, HistBucketBound(4))
+	}
+	if got := s.Quantile(0.99); got != HistBucketBound(10) {
+		t.Errorf("p99 = %d, want %d", got, HistBucketBound(10))
+	}
+	wantMean := (90*int64(20) + 10*int64(1500)) / 100
+	if got := s.Mean(); got != wantMean {
+		t.Errorf("Mean = %d, want %d", got, wantMean)
+	}
+}
+
+func TestRegistryReRegisterReturnsSame(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(`x_total{op="read"}`)
+	b := r.Counter(`x_total{op="read"}`)
+	if a != b {
+		t.Fatal("re-registering the same series returned a different counter")
+	}
+	if r.Counter(`x_total{op="write"}`) == a {
+		t.Fatal("different labels returned the same counter")
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_gauge").Set(7)
+	r.Histogram("c_ns").Observe(100)
+	r.GaugeFunc("d_func", func() int64 { return 42 })
+	s := r.Snapshot()
+	if len(s.Entries) != 4 {
+		t.Fatalf("got %d entries, want 4", len(s.Entries))
+	}
+	for i := 1; i < len(s.Entries); i++ {
+		if s.Entries[i-1].Full() > s.Entries[i].Full() {
+			t.Fatalf("snapshot not sorted: %q > %q", s.Entries[i-1].Full(), s.Entries[i].Full())
+		}
+	}
+	if got := s.Value("b_total"); got != 2 {
+		t.Errorf("b_total = %d, want 2", got)
+	}
+	if got := s.Value("d_func"); got != 42 {
+		t.Errorf("d_func = %d, want 42", got)
+	}
+	if h := s.HistOf("c_ns"); h == nil || h.Count() != 1 {
+		t.Errorf("c_ns histogram missing or wrong count: %+v", h)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{op="read"}`).Add(3)
+	r.Counter(`req_total{op="write"}`).Add(1)
+	r.Gauge("depth").Set(5)
+	r.Histogram("lat_ns").Observe(100) // bucket 6, bound 128
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`req_total{op="read"} 3`,
+		`req_total{op="write"} 1`,
+		"depth 5",
+		`lat_ns_bucket{le="128"} 1`,
+		`lat_ns_bucket{le="+Inf"} 1`,
+		"lat_ns_sum 100",
+		"lat_ns_count 1",
+		"# TYPE req_total counter",
+		"# TYPE lat_ns histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("exposition contains NaN:\n%s", out)
+	}
+}
+
+// TestSnapshotMonotoneUnderLoad is the registry's race test: writers
+// hammer every metric type while readers snapshot, asserting the
+// per-series monotonicity the package comment promises. Run it with
+// -race -cpu=2,8.
+func TestSnapshotMonotoneUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("w_total")
+	g := r.Gauge("w_gauge")
+	h := r.Histogram("w_ns")
+	r.CounterFunc("w_func", c.Load)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add(1)
+				g.Set(int64(i))
+				h.Observe(int64(i%4096 + 1))
+			}
+		}(w)
+	}
+
+	var lastCount, lastHist int64
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := r.Snapshot()
+		n := s.Value("w_total")
+		if n < lastCount {
+			t.Errorf("counter went backwards: %d -> %d", lastCount, n)
+			break
+		}
+		lastCount = n
+		hs := s.HistOf("w_ns")
+		if hc := hs.Count(); hc < lastHist {
+			t.Errorf("histogram count went backwards: %d -> %d", lastHist, hc)
+			break
+		} else {
+			lastHist = hc
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: every cross-word relation must now hold exactly.
+	s := r.Snapshot()
+	if s.Value("w_total") != s.Value("w_func") {
+		t.Errorf("quiesced counter %d != func view %d", s.Value("w_total"), s.Value("w_func"))
+	}
+	if hs := s.HistOf("w_ns"); hs.Count() == 0 || hs.Sum == 0 {
+		t.Errorf("histogram lost observations: count=%d sum=%d", hs.Count(), hs.Sum)
+	}
+}
+
+// TestRegistryConcurrentRegister races registration itself: many
+// goroutines asking for overlapping names must converge on one metric
+// per name.
+func TestRegistryConcurrentRegister(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter(fmt.Sprintf("c_%d_total", i%10)).Inc()
+				r.Histogram(fmt.Sprintf("h_%d_ns", i%10)).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if len(s.Entries) != 20 {
+		t.Fatalf("got %d series, want 20", len(s.Entries))
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Value(fmt.Sprintf("c_%d_total", i)); got != 80 {
+			t.Errorf("c_%d_total = %d, want 80", i, got)
+		}
+	}
+}
+
+func TestLoggerOutput(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("hidden", "k", 1)
+	l.Info("visible", "shard", 3, "msg", "two words")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug line leaked through info-level logger")
+	}
+	if !strings.Contains(out, "INFO visible shard=3") {
+		t.Errorf("line missing expected content: %q", out)
+	}
+	if !strings.Contains(out, `msg="two words"`) {
+		t.Errorf("multi-word value not quoted: %q", out)
+	}
+
+	buf.Reset()
+	l.With("role", "follower").Warn("late", "lsn", 9)
+	if !strings.Contains(buf.String(), "WARN late role=follower lsn=9") {
+		t.Errorf("With prefix missing: %q", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing", "k", "v")
+	l.Error("nothing")
+	if l.With("a", 1) != nil {
+		t.Fatal("nil.With should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SyncMode says when the journal fsyncs.
@@ -345,21 +346,23 @@ type WAL struct {
 	// is ≤ it at rotation) and replication sessions resume from it.
 	lastLSN atomic.Uint64
 
-	mu        sync.Mutex
-	flushed   sync.Cond // broadcast when a flush round completes
-	f         LogFile
-	gen       uint64
-	rotating  bool   // a .log.new is the active file; FinishRotate pending
-	buf []byte // encoded records not yet written
+	mu       sync.Mutex
+	flushed  sync.Cond // broadcast when a flush round completes
+	f        LogFile
+	gen      uint64
+	rotating bool   // a .log.new is the active file; FinishRotate pending
+	buf      []byte // encoded records not yet written
 	// appendEnd is the logical end of buf, monotone across rotations.
 	// Written under mu; atomic so AppendEnd can report the frontier
 	// without the mutex (commit gates read it once per request).
 	appendEnd atomic.Int64
 	writeEnd  int64 // logical end of what reached the file
-	syncEnd   int64  // logical end of what fsync covered
-	sinceCkpt int64  // bytes appended since the last rotation
+	syncEnd   int64 // logical end of what fsync covered
+	sinceCkpt int64 // bytes appended since the last rotation
+	pendRecs  int64 // records in buf — one flush round's group-commit batch
 	flushing  bool
-	err       error // sticky I/O error; the WAL refuses further work
+	m         *WALMetrics // observation hooks; nil = unmetered (see wal_metrics.go)
+	err       error       // sticky I/O error; the WAL refuses further work
 	// lost marks a hole below the frontier: an append was refused, so a
 	// mutation applied without its record ever entering the log. Commit
 	// must then fail even for ends the durable frontier covers — unlike
@@ -427,6 +430,7 @@ func (w *WAL) Append(r *Record) (int64, error) {
 	n := int64(len(w.buf) - before)
 	end := w.appendEnd.Add(n)
 	w.sinceCkpt += n
+	w.pendRecs++
 	return end, nil
 }
 
@@ -474,15 +478,32 @@ func (w *WAL) flushRound(sync bool) {
 	w.flushing = true
 	buf := w.buf
 	w.buf = nil
+	recs := w.pendRecs
+	w.pendRecs = 0
 	target := w.appendEnd.Load()
 	f := w.f
+	m := w.m
 	w.mu.Unlock()
 	var err error
 	if len(buf) > 0 {
 		_, err = f.Write(buf)
 	}
 	if err == nil && sync {
-		err = f.Sync()
+		if m == nil {
+			err = f.Sync()
+		} else {
+			start := time.Now()
+			err = f.Sync()
+			m.Fsyncs.Add(1)
+			m.FsyncNs.ObserveDuration(time.Since(start))
+		}
+	}
+	if m != nil && recs > 0 {
+		// One flush round is one group commit: every record buffered
+		// since the last round rides a single write (and fsync).
+		m.BatchRecords.Observe(recs)
+		m.BatchBytes.Observe(int64(len(buf)))
+		m.FlushedBytes.Add(int64(len(buf)))
 	}
 	w.mu.Lock()
 	if err != nil {
@@ -619,6 +640,7 @@ func (w *WAL) AppendPrepared(r *Record) (int64, error) {
 	n := int64(len(w.buf) - before)
 	end := w.appendEnd.Add(n)
 	w.sinceCkpt += n
+	w.pendRecs++
 	return end, nil
 }
 
@@ -771,7 +793,10 @@ func (w *WAL) SinceCheckpoint() int64 {
 // log and replay idempotently over whatever slice of them the snapshot
 // caught. One checkpoint runs at a time per shard (the journal layer
 // guards this); appends stay live throughout.
-func (w *WAL) Checkpoint(fs *FS) error {
+//
+// The exported Checkpoint (wal_metrics.go) wraps this with duration
+// and outcome observation.
+func (w *WAL) runCheckpoint(fs *FS) error {
 	w.mu.Lock()
 	for w.flushing {
 		w.flushed.Wait()

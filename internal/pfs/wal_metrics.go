@@ -1,0 +1,67 @@
+// WAL observation hooks. The WAL reports into a WALMetrics — a bundle
+// of nil-safe obs handles — instead of owning a registry, so the
+// journal layer decides naming and labeling and an unmetered WAL pays
+// a single pointer check per flush round. The bundle is shared across
+// shard WALs on purpose: fsync latency and group-commit batch size are
+// store-wide distributions (obs histograms are concurrent-safe), while
+// per-shard positions (buffered bytes, checkpoint backlog, frontiers)
+// are exposed as gauge funcs over each WAL's own accessors.
+package pfs
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WALMetrics is the set of observation hooks a WAL reports into. Any
+// field may be nil (obs methods on nil receivers no-op); a nil
+// *WALMetrics disables even the timing reads around fsync.
+type WALMetrics struct {
+	FsyncNs        *obs.Histogram // latency of each group-commit fsync
+	Fsyncs         *obs.Counter   // fsync calls issued by flush rounds
+	BatchRecords   *obs.Histogram // records per flush round (group-commit batch size)
+	BatchBytes     *obs.Histogram // bytes per flush round
+	FlushedBytes   *obs.Counter   // total log bytes written
+	CheckpointNs   *obs.Histogram // wall time of each successful checkpoint
+	Checkpoints    *obs.Counter   // checkpoints completed
+	CheckpointErrs *obs.Counter   // checkpoints failed (incl. already-in-progress refusals)
+}
+
+// SetMetrics installs (or clears) the WAL's observation hooks. Safe
+// against concurrent log traffic; metric continuity across a swap is
+// the caller's problem.
+func (w *WAL) SetMetrics(m *WALMetrics) {
+	w.mu.Lock()
+	w.m = m
+	w.mu.Unlock()
+}
+
+// BufferedBytes returns how many appended bytes have not yet reached
+// the log file — the group-commit buffer depth a scrape-time gauge
+// reports.
+func (w *WAL) BufferedBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendEnd.Load() - w.writeEnd
+}
+
+// Checkpoint snapshots fs and truncates the log (see runCheckpoint for
+// the full protocol), observing duration and outcome.
+func (w *WAL) Checkpoint(fs *FS) error {
+	w.mu.Lock()
+	m := w.m
+	w.mu.Unlock()
+	if m == nil {
+		return w.runCheckpoint(fs)
+	}
+	start := time.Now()
+	err := w.runCheckpoint(fs)
+	if err != nil {
+		m.CheckpointErrs.Add(1)
+		return err
+	}
+	m.Checkpoints.Add(1)
+	m.CheckpointNs.ObserveDuration(time.Since(start))
+	return nil
+}

@@ -273,6 +273,88 @@ func BenchmarkStoreServerSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreServerMetricsOverhead is the acceptance gate for the
+// obs layer: the same pipelined sharded-server loop as
+// BenchmarkStoreServerSharded, with the default-on metrics against a
+// WithoutMetrics baseline. The delta must stay within ~5%.
+func BenchmarkStoreServerMetricsOverhead(b *testing.B) {
+	const depth = 8
+	for _, mode := range []struct {
+		name string
+		opts []ServerOption
+	}{
+		{"metrics", nil},
+		{"baseline", []ServerOption{WithoutMetrics()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			store := pfs.NewSharded(4, nil)
+			srv := NewServerSharded(store, mode.opts...)
+			defer srv.Close()
+			setup := pipeClient(b, srv)
+			for i := 0; i < shardBenchFiles; i++ {
+				h, err := setup.Open(shardBenchFile(i), true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := setup.WriteAt(h, make([]byte, 1024), shardFileExtent-1024); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			var tid atomic.Int64
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := int(tid.Add(1)) - 1
+				cl := pipeClient(b, srv)
+				h, err := cl.Open(shardBenchFile(me%shardBenchFiles), true)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rng := rand.New(rand.NewSource(int64(me)*2654435761 + 1))
+				buf := make([]byte, 1024)
+				var resp Response
+				inflight := 0
+				for pb.Next() {
+					off := uint64(rng.Intn(shardFileExtent - 1024))
+					req := Request{Op: OpWrite, Handle: h, Off: off, Data: buf}
+					if rng.Intn(100) >= 50 {
+						req = Request{Op: OpRead, Handle: h, Off: off, Length: 1024}
+					}
+					if _, err := cl.Send(&req); err != nil {
+						b.Error(err)
+						return
+					}
+					inflight++
+					if inflight == depth {
+						if err := cl.Flush(); err != nil {
+							b.Error(err)
+							return
+						}
+						for ; inflight > 0; inflight-- {
+							if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+								b.Errorf("recv: %v / %v", err, resp.Err())
+								return
+							}
+						}
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for ; inflight > 0; inflight-- {
+					if err := cl.Recv(&resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkStorePlacement measures how the placement policy handles a
 // zipf-hot namespace (s=2: the hottest of 32 files absorbs ~60% of the
 // traffic). hash and rendezvous place statelessly — whatever shard the

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client speaks the rangestore protocol over one connection. A Client
@@ -220,4 +222,19 @@ func (c *Client) ShardCounts() ([]int64, error) {
 func (c *Client) Promote() error {
 	_, err := c.do(&Request{Op: OpPromote})
 	return err
+}
+
+// Stats fetches the server's metrics snapshot (protocol v4's STATS op).
+// A server running without metrics answers an empty snapshot; servers
+// predating the op answer ErrBadRequest. The snapshot is a fresh copy —
+// it stays valid across subsequent calls.
+func (c *Client) Stats() (*obs.Snapshot, error) {
+	resp, err := c.do(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return &obs.Snapshot{}, nil
+	}
+	return resp.Stats, nil
 }

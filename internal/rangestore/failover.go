@@ -16,6 +16,8 @@ import (
 	"errors"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Failover retry pacing.
@@ -41,6 +43,10 @@ type FailoverConfig struct {
 	// block indefinitely — then only connection death triggers
 	// failover, not a hung server).
 	OpTimeout time.Duration
+	// Logger, when set, records failover events (dial failures,
+	// condemned connections, leader hints) with the same key scheme the
+	// server and replica use. Nil discards.
+	Logger *obs.Logger
 }
 
 // fcHandle is one client-side handle: the re-open key plus the server
@@ -61,6 +67,7 @@ type FailoverClient struct {
 	hint    string // leader address learned from StatusNotLeader
 	next    int    // rotation cursor over cfg.Addrs
 	handles []fcHandle
+	log     *obs.Logger
 }
 
 // NewFailoverClient returns a client over cfg. No connection is made
@@ -75,7 +82,7 @@ func NewFailoverClient(cfg FailoverConfig) (*FailoverClient, error) {
 	if cfg.MaxWait <= 0 {
 		cfg.MaxWait = defaultFailoverWait
 	}
-	return &FailoverClient{cfg: cfg}, nil
+	return &FailoverClient{cfg: cfg, log: cfg.Logger.With("role", "client")}, nil
 }
 
 // Close drops the current connection, if any.
@@ -124,14 +131,17 @@ func (fc *FailoverClient) connect(deadline time.Time) error {
 			}
 			if err = fc.reopen(c); err == nil {
 				fc.c = c
+				fc.log.Info("connected", "addr", addr, "handles", len(fc.handles))
 				return nil
 			}
 			c.Close()
 		}
 		lastErr = err
+		fc.log.Debug("connect failed", "addr", addr, "err", err)
 		var nl *NotLeaderError
 		if errors.As(err, &nl) && nl.Leader != "" {
 			fc.hint = nl.Leader
+			fc.log.Info("leader hint", "addr", addr, "leader", nl.Leader)
 		}
 		if !time.Now().Add(backoff).Before(deadline) {
 			return lastErr
@@ -179,6 +189,7 @@ func (fc *FailoverClient) retry(op func(c *Client) error) error {
 		// Anything else — broken pipe, timeout, store closed mid-
 		// shutdown — condemns the connection: the pipeline may be
 		// desynchronized, so the only safe continuation is a redial.
+		fc.log.Info("connection condemned", "err", err)
 		fc.c.Close()
 		fc.c = nil
 		if !time.Now().Add(backoff).Before(deadline) {

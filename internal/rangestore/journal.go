@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -105,6 +106,12 @@ type Journal struct {
 	// it. An atomic pointer so the healthy path — every batch of every
 	// connection — is one load, not a store-wide mutex.
 	ckptErr atomic.Pointer[error]
+
+	// Observation hooks, wired by setMetrics (metrics.go); nil-safe.
+	// ackWaitNs doubles as the "is this journal metered" switch for the
+	// timing reads around replication waits.
+	ackWaitNs   *obs.Histogram
+	ackTimeouts *obs.Counter
 }
 
 // Mode returns the journal's fsync policy.
@@ -129,6 +136,12 @@ type replGate struct {
 	cond     sync.Cond
 	required bool
 	acked    uint64
+	// ackedEnd is the shard's log byte offset at the moment the follower
+	// last caught up completely (acked reached the shard frontier) — the
+	// baseline the repl_lag_bytes gauge subtracts from the live append
+	// end. Between full drains it holds still, making the gauge an upper
+	// bound that is exact at 0, matching repl_lag_records' contract.
+	ackedEnd int64
 }
 
 // replRequire arms shard's gate: commits touching the shard now wait
@@ -149,9 +162,16 @@ func (j *Journal) replRequire(shard int) {
 // by the network) is ignored.
 func (j *Journal) replAck(shard int, lsn uint64) {
 	g := &j.gates[shard]
+	w := j.wals[shard]
 	g.mu.Lock()
 	if lsn > g.acked {
 		g.acked = lsn
+		if lsn >= w.LastLSN() {
+			// Fully drained: re-baseline the byte-lag gauge at the live
+			// append end. (The frontier reads are atomics; ordering with
+			// a racing append only shifts when the gauge next reads 0.)
+			g.ackedEnd = w.AppendEnd()
+		}
 		g.cond.Broadcast()
 	}
 	g.mu.Unlock()
@@ -171,6 +191,10 @@ func (j *Journal) replWait(shard int, lsn uint64) error {
 	if !g.required || g.acked >= lsn {
 		return nil
 	}
+	var start time.Time
+	if j.ackWaitNs != nil {
+		start = time.Now()
+	}
 	deadline := time.Now().Add(j.ackTimeout)
 	timer := time.AfterFunc(j.ackTimeout, func() {
 		g.mu.Lock()
@@ -180,9 +204,13 @@ func (j *Journal) replWait(shard int, lsn uint64) error {
 	defer timer.Stop()
 	for g.acked < lsn {
 		if !time.Now().Before(deadline) {
+			j.ackTimeouts.Add(1)
 			return fmt.Errorf("rangestore: shard %d: no follower ack for lsn %d within %v", shard, lsn, j.ackTimeout)
 		}
 		g.cond.Wait()
+	}
+	if j.ackWaitNs != nil {
+		j.ackWaitNs.ObserveDuration(time.Since(start))
 	}
 	return nil
 }

@@ -24,6 +24,7 @@
 //	RECOVERED (empty)
 //	FOLLOW    shard:u32 fromlsn:u64 flags:u8
 //	PROMOTE   (empty)
+//	STATS     (empty)
 //
 // Op-specific response payloads (status == StatusOK):
 //
@@ -38,6 +39,7 @@
 //	RECOVERED wal:u8 shards:u32 files:u32 fromckpt:u32 migrations:u32 records:u64 torn:u64 maxlsn:u64
 //	FOLLOW    snap:u8 floor:u64 nfiles:u32
 //	PROMOTE   (empty)
+//	STATS     n:u32 entry ×n                (see stats_wire.go for the entry layout)
 //
 // OPEN and MIGRATE names are limited to pfs.MaxName (4 KiB) bytes —
 // names are journaled to the write-ahead log with a bounded length
@@ -74,6 +76,13 @@
 // after its apply queue drains; on a server that is not a follower it
 // is answered with StatusBadRequest.
 //
+// STATS (protocol v4) returns the server's metrics registry as a typed
+// snapshot — every counter, gauge and histogram the live server tracks
+// (request rates, WAL group-commit and fsync behaviour, replication
+// lag), encoded per stats_wire.go. A server running without metrics
+// answers with an empty snapshot; older servers answer StatusBadRequest,
+// which clients surface as ErrBadRequest.
+//
 // Writes sent to a follower are answered with StatusNotLeader; the
 // message carries the leader's advertised address so clients can
 // redirect without out-of-band discovery.
@@ -88,6 +97,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // MaxData bounds READ lengths and WRITE/APPEND payloads.
@@ -119,7 +130,8 @@ const (
 	OpRecovered
 	OpFollow
 	OpPromote
-	numOps = int(OpPromote)
+	OpStats
+	numOps = int(OpStats)
 )
 
 func (o OpCode) String() string {
@@ -146,6 +158,8 @@ func (o OpCode) String() string {
 		return "FOLLOW"
 	case OpPromote:
 		return "PROMOTE"
+	case OpStats:
+		return "STATS"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -173,9 +187,34 @@ const (
 	StatusBadHandle
 	StatusBadRequest
 	StatusTooBig
-	StatusError    // generic failure; message carried in the response
+	StatusError     // generic failure; message carried in the response
 	StatusNotLeader // mutation sent to a follower; message carries the leader address
 )
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotExist:
+		return "NotExist"
+	case StatusExist:
+		return "Exist"
+	case StatusClosed:
+		return "Closed"
+	case StatusBadHandle:
+		return "BadHandle"
+	case StatusBadRequest:
+		return "BadRequest"
+	case StatusTooBig:
+		return "TooBig"
+	case StatusError:
+		return "Error"
+	case StatusNotLeader:
+		return "NotLeader"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
 
 // Errors a client surfaces for non-OK statuses.
 var (
@@ -272,6 +311,7 @@ type Response struct {
 	Data      []byte        // READ
 	Shards    []int64       // SHARDS: per-shard request counts (allocated, not aliased)
 	Recovered RecoveredInfo // RECOVERED
+	Stats     *obs.Snapshot // STATS: metrics snapshot (allocated, not aliased)
 	Msg       string        // non-OK statuses
 }
 
@@ -325,7 +365,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint32(dst, r.Dst)
 		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
 		dst = append(dst, r.Flags)
-	case OpShards, OpRecovered, OpPromote:
+	case OpShards, OpRecovered, OpPromote, OpStats:
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -388,6 +428,8 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
 		dst = binary.LittleEndian.AppendUint32(dst, r.N)
 	case OpPromote:
+	case OpStats:
+		dst = appendStats(dst, r.Stats)
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -410,6 +452,16 @@ func (c *cursor) u8() uint8 {
 	return v
 }
 
+func (c *cursor) u16() uint16 {
+	if len(c.b) < 2 {
+		c.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b)
+	c.b = c.b[2:]
+	return v
+}
+
 func (c *cursor) u32() uint32 {
 	if len(c.b) < 4 {
 		c.err = true
@@ -427,6 +479,17 @@ func (c *cursor) u64() uint64 {
 	}
 	v := binary.LittleEndian.Uint64(c.b)
 	c.b = c.b[8:]
+	return v
+}
+
+// take consumes exactly n bytes (aliasing the frame body).
+func (c *cursor) take(n int) []byte {
+	if n < 0 || len(c.b) < n {
+		c.err = true
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
 	return v
 }
 
@@ -469,7 +532,7 @@ func ParseRequest(body []byte, r *Request) error {
 		r.Dst = c.u32()
 		r.Off = c.u64()
 		r.Flags = c.u8()
-	case OpShards, OpRecovered, OpPromote:
+	case OpShards, OpRecovered, OpPromote, OpStats:
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrBadRequest, uint8(r.Op))
 	}
@@ -529,6 +592,8 @@ func ParseResponse(body []byte, r *Response) error {
 		r.Off = c.u64()
 		r.N = c.u32()
 	case OpPromote:
+	case OpStats:
+		r.Stats = parseStats(&c)
 	default:
 		return fmt.Errorf("%w: unknown op %d in response", ErrBadRequest, uint8(r.Op))
 	}

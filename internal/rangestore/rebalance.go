@@ -182,6 +182,10 @@ func (s *Server) Rebalance(k int) ([]Migration, error) {
 		}
 		load[src] -= f.ops
 		load[dst] += f.ops
+		if m := s.metrics; m != nil {
+			m.rebalanceMoves.Add(1)
+		}
+		s.logger.Info("rebalanced", "file", f.name, "from", src, "to", dst)
 		out = append(out, Migration{Name: f.name, From: src, To: dst, Ops: int64(f.ops)})
 	}
 	return out, nil

@@ -140,6 +140,11 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 		return cn.answer(&resp)
 	}
 	defer tap.Close()
+	if m := s.metrics; m != nil {
+		m.followStreams.Add(1)
+		defer m.followStreams.Add(-1)
+	}
+	s.logger.Info("follower attached", "conn", cn.id, "shard", shard, "fromlsn", req.Off, "role", "leader")
 
 	// The follower bootstraps from the checkpoint when it asks for
 	// records the log no longer holds (checkpointed away below floor)
@@ -150,6 +155,9 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 	if snap {
 		lastSent = floor
 		resp.N = uint32(len(files))
+		if m := s.metrics; m != nil {
+			m.snapshotsServed.Add(1)
+		}
 	}
 	resp.EOF = snap
 	resp.Off = floor

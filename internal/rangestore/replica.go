@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -62,7 +64,32 @@ type Replica struct {
 	promoted bool
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+
+	// Observation hooks, wired by the owning server. setMetrics and
+	// setLogger run in NewServerSharded — after StartReplica's pull
+	// loops are already live — so both publish atomically.
+	obsp atomic.Pointer[replicaObs]
+	logp atomic.Pointer[obs.Logger]
 }
+
+// replicaObs bundles the follower-side counters so they publish as one
+// pointer swap.
+type replicaObs struct {
+	reconnects   *obs.Counter
+	bootstraps   *obs.Counter
+	applied      *obs.Counter
+	appliedBytes *obs.Counter
+}
+
+// setLogger publishes the logger the pull loops report through.
+func (r *Replica) setLogger(l *obs.Logger) {
+	if l != nil {
+		r.logp.Store(l.With("role", "follower"))
+	}
+}
+
+// logger returns the current logger (nil discards, per obs.Logger).
+func (r *Replica) logger() *obs.Logger { return r.logp.Load() }
 
 // StartReplica begins pulling from the leader reached by dial, one
 // stream per shard of store. j must be the journal Recover returned for
@@ -152,16 +179,27 @@ func (r *Replica) untrack(nc net.Conn) {
 // exponential backoff for as long as the replica lives.
 func (r *Replica) run(shard int) {
 	defer r.wg.Done()
+	log := r.logger
 	backoff := replicaBackoffMin
+	connected := false
 	for !r.stopping() {
+		if connected {
+			// Not the first attach attempt: whatever follows is a
+			// reconnect, whether the last session died or never dialed.
+			if o := r.obsp.Load(); o != nil {
+				o.reconnects.Add(1)
+			}
+		}
 		nc, err := r.dial()
 		if err != nil {
+			log().Debug("leader dial failed", "shard", shard, "err", err)
 			if !r.sleep(backoff) {
 				return
 			}
 			backoff = min(backoff*2, replicaBackoffMax)
 			continue
 		}
+		connected = true
 		if !r.track(nc) {
 			nc.Close()
 			return
@@ -169,6 +207,9 @@ func (r *Replica) run(shard int) {
 		progressed := r.stream(shard, nc)
 		nc.Close()
 		r.untrack(nc)
+		if !r.stopping() {
+			log().Info("replication stream ended", "shard", shard, "lsn", r.last[shard], "progressed", progressed)
+		}
 		if progressed {
 			backoff = replicaBackoffMin
 		} else {
@@ -255,6 +296,10 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 		if !r.bootstrap(shard, br, resp.Off, int(resp.N)) {
 			return false
 		}
+		if o := r.obsp.Load(); o != nil {
+			o.bootstraps.Add(1)
+		}
+		r.logger().Info("snapshot bootstrap installed", "shard", shard, "floor", resp.Off, "files", resp.N)
 		r.last[shard] = resp.Off
 		r.needReset[shard] = false
 	}
@@ -324,6 +369,10 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 			end, err := r.j.wals[shard].AppendPrepared(&rec)
 			if err != nil {
 				return true
+			}
+			if o := r.obsp.Load(); o != nil {
+				o.applied.Add(1)
+				o.appliedBytes.Add(int64(len(raw)))
 			}
 			pendEnd = end
 			r.last[shard] = rec.LSN

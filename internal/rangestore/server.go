@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -66,6 +67,16 @@ type Server struct {
 	ops      [numOps]atomic.Int64
 	shardOps []shardCount
 	fileOps  sync.Map // file name -> *atomic.Int64 requests served (rebalancer input)
+
+	// metrics is the obs wiring (metrics.go); nil only under
+	// WithoutMetrics. logger receives structured server logs; nil
+	// discards. slowTrace arms the slow-batch tracer (trace.go) when
+	// non-negative; connSeq numbers connections for log correlation.
+	metrics   *serverMetrics
+	noMetrics bool
+	logger    *obs.Logger
+	slowTrace time.Duration
+	connSeq   atomic.Int64
 
 	// Rebalance judges per-round deltas: snapshots of the counters at
 	// the previous call, guarded by rebMu (one rebalancer at a time).
@@ -147,9 +158,19 @@ func NewServerSharded(store *pfs.Sharded, opts ...ServerOption) *Server {
 		shardOps:  make([]shardCount, store.NumShards()),
 		rebAlpha:  defaultRebalanceAlpha,
 		rebHyst:   defaultRebalanceHysteresis,
+		slowTrace: -1,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.noMetrics {
+		s.metrics = nil
+	} else if s.metrics == nil {
+		s.metrics = &serverMetrics{reg: obs.NewRegistry()}
+	}
+	s.wireMetrics()
+	if s.replica != nil {
+		s.replica.setLogger(s.logger)
 	}
 	return s
 }
@@ -330,7 +351,10 @@ func (s *Server) unregister(c net.Conn) {
 // pays nothing for the indirection.
 type conn struct {
 	srv     *Server
-	nc      net.Conn // raw connection; the FOLLOW hijack closes it to kill the stream
+	id      int64       // server-unique, for log correlation (conn=N)
+	nreq    uint64      // requests served, drives latency sampling
+	tr      *batchTrace // non-nil while slow-batch tracing is armed
+	nc      net.Conn    // raw connection; the FOLLOW hijack closes it to kill the stream
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	files   []*pfs.File
@@ -359,12 +383,22 @@ func (s *Server) ServeConn(c net.Conn) error {
 	defer s.unregister(c)
 	defer c.Close()
 
+	m := s.metrics
+	if m != nil {
+		m.conns.Add(1)
+		m.openConns.Add(1)
+		defer m.openConns.Add(-1)
+	}
 	cn := &conn{
 		srv: s,
+		id:  s.connSeq.Add(1),
 		nc:  c,
 		br:  bufio.NewReaderSize(c, 64<<10),
 		bw:  bufio.NewWriterSize(c, 64<<10),
 		sop: s.store.BeginOp(),
+	}
+	if s.slowTrace >= 0 && s.logger != nil {
+		cn.tr = &batchTrace{}
 	}
 	if s.journal != nil {
 		cn.jc = s.journal.Begin()
@@ -408,10 +442,17 @@ func (s *Server) ServeConn(c net.Conn) error {
 		if len(body) > 0 && OpCode(body[0]) == OpFollow {
 			return cn.hijackFollow(body)
 		}
+		if cn.tr != nil {
+			cn.tr.beginBatch()
+		}
+		if m != nil {
+			m.inflight.Add(1)
+		}
+		served := 1
 		err := cn.handle(body)
 		// Serve whatever is already buffered under the same Op leases, but
 		// never block for more input while holding them.
-		for n := 1; err == nil && n < s.maxBatch; n++ {
+		for ; err == nil && served < s.maxBatch; served++ {
 			body, ok, berr := cn.buffered()
 			if berr != nil {
 				err = berr
@@ -421,6 +462,9 @@ func (s *Server) ServeConn(c net.Conn) error {
 				break
 			}
 			if len(body) > 0 && OpCode(body[0]) == OpFollow {
+				if m != nil {
+					m.inflight.Add(-1)
+				}
 				return cn.hijackFollow(body)
 			}
 			err = cn.handle(body)
@@ -431,7 +475,19 @@ func (s *Server) ServeConn(c net.Conn) error {
 		// the batch's responses are dropped and the connection dies —
 		// the client sees a broken connection, not a false ack.
 		if cn.jc != nil {
-			if jerr := cn.jc.Commit(); jerr != nil {
+			var jstart time.Time
+			if cn.tr != nil {
+				jstart = time.Now()
+			}
+			jerr := cn.jc.Commit()
+			if cn.tr != nil {
+				cn.tr.journal = time.Since(jstart)
+			}
+			if jerr != nil {
+				s.logger.Warn("batch commit failed", "conn", cn.id, "err", jerr)
+				if m != nil {
+					m.inflight.Add(-1)
+				}
 				if err == nil {
 					err = jerr
 				}
@@ -440,8 +496,25 @@ func (s *Server) ServeConn(c net.Conn) error {
 		}
 		// Flush even on a fatal batch error: requests already served get
 		// their responses before the connection dies.
-		if ferr := cn.bw.Flush(); err == nil {
+		var fstart time.Time
+		if cn.tr != nil {
+			fstart = time.Now()
+		}
+		ferr := cn.bw.Flush()
+		if cn.tr != nil {
+			cn.tr.flush = time.Since(fstart)
+		}
+		if err == nil {
 			err = ferr
+		}
+		if m != nil {
+			m.inflight.Add(-1)
+			m.batchSize.Observe(int64(served))
+		}
+		if cn.tr != nil {
+			if total := time.Since(cn.tr.start); total >= s.slowTrace {
+				cn.emitTrace(total)
+			}
 		}
 		if err != nil {
 			return err
@@ -492,17 +565,45 @@ func (cn *conn) buffered() ([]byte, bool, error) {
 // fatal to the connection (framing can no longer be trusted); execution
 // failures are answered with an error response.
 func (cn *conn) handle(body []byte) error {
+	m := cn.srv.metrics
+	// Latency is sampled 1-in-16 per connection: two clock reads plus a
+	// shared histogram word per request would alone blow the ≤5%
+	// overhead budget, and a 1/16 systematic sample of a closed-loop
+	// stream preserves the distribution. Counts and byte volumes stay
+	// exact. Tracing, when armed, times every request.
+	sampled := cn.tr != nil || (m != nil && cn.nreq&latencySampleMask == 0)
+	cn.nreq++
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
 	var req Request
 	if err := ParseRequest(body, &req); err != nil {
 		return err
 	}
+	var t *opTrace
+	if cn.tr != nil {
+		t = &opTrace{op: req.Op, seq: req.Seq, shard: -1, decode: time.Since(start)}
+		cn.tr.cur = t
+	}
 	cn.srv.ops[int(req.Op)-1].Add(1)
 	resp := Response{Op: req.Op, Seq: req.Seq}
+	var execStart time.Time
+	if t != nil {
+		execStart = time.Now()
+	}
 	if err := cn.exec(&req, &resp); err != nil {
 		// Journal append failure: the mutation applied but can never be
 		// made durable, so its response must not be sent. Fatal to the
 		// connection.
 		return err
+	}
+	var encStart time.Time
+	if t != nil {
+		// exec filled t.lock through tr.cur; apply is the rest of it.
+		t.apply = time.Since(execStart) - t.lock
+		t.status = resp.Status
+		encStart = time.Now()
 	}
 	out, err := AppendResponse(cn.out[:0], &resp)
 	if err != nil {
@@ -521,6 +622,23 @@ func (cn *conn) handle(body []byte) error {
 		}
 	}
 	_, err = cn.bw.Write(out)
+	if t != nil {
+		t.encode = time.Since(encStart)
+		cn.tr.ops = append(cn.tr.ops, *t)
+		cn.tr.cur = nil
+	}
+	if m != nil {
+		i := int(req.Op) - 1
+		if sampled {
+			m.reqNs[i].ObserveDuration(time.Since(start))
+		}
+		switch req.Op {
+		case OpRead:
+			m.dataBytes[i].Add(int64(len(resp.Data)))
+		case OpWrite, OpAppend:
+			m.dataBytes[i].Add(int64(len(req.Data)))
+		}
+	}
 	return err
 }
 
@@ -587,6 +705,10 @@ func (cn *conn) exec(req *Request, resp *Response) error {
 		// drained and the journal hooks rewired, so every write from
 		// here on journals locally.
 		cn.srv.notLeader.Store(false)
+		cn.srv.logger.Info("promoted to leader", "conn", cn.id, "role", "leader")
+		return nil
+	case OpStats:
+		resp.Stats = cn.srv.statsSnapshot()
 		return nil
 	}
 	// Client-controlled offsets are capped well below the uint64 wrap
@@ -627,7 +749,14 @@ func (cn *conn) exec(req *Request, resp *Response) error {
 	if req.Op != OpStat {
 		// STAT is lock-free; everything else runs under the owning
 		// shard's leased context.
-		op = cn.sop.Op(shard)
+		if t := cn.trCur(); t != nil {
+			t.shard = int32(shard)
+			lockStart := time.Now()
+			op = cn.sop.Op(shard)
+			t.lock = time.Since(lockStart)
+		} else {
+			op = cn.sop.Op(shard)
+		}
 	}
 	switch req.Op {
 	case OpRead:
@@ -704,7 +833,13 @@ func (cn *conn) touchJournal(handle uint32, shard int) error {
 // file on exactly one shard.
 func (s *Server) migrate(name string, dst int) error {
 	if s.journal == nil {
-		return s.store.Migrate(name, dst)
+		err := s.store.Migrate(name, dst)
+		if err == nil {
+			if m := s.metrics; m != nil {
+				m.migrations.Add(1)
+			}
+		}
+		return err
 	}
 	var lsn uint64
 	err := s.store.MigrateWith(name, dst, func(f *pfs.File) error {
@@ -714,6 +849,9 @@ func (s *Server) migrate(name string, dst int) error {
 	})
 	if err != nil {
 		return err
+	}
+	if m := s.metrics; m != nil {
+		m.migrations.Add(1)
 	}
 	// The record is durable locally; what remains is the follower's
 	// copy, waited for outside the store's migration lock so a slow

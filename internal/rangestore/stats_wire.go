@@ -1,0 +1,83 @@
+// Wire codec for the STATS response: an obs.Snapshot as a typed,
+// compact binary payload.
+//
+//	stats  = n:u32 entry ×n
+//	entry  = kind:u8 nameLen:u16 name labelsLen:u16 labels <kind-specific>
+//	counter/gauge  value:i64
+//	histogram      sum:i64 nbuckets:u8 count:u64 ×nbuckets
+//
+// The bucket count is carried per entry so a snapshot survives a
+// histogram resolution change on either side: a decoder keeps the
+// buckets both sides know about and drops (encoder-side) or zeroes
+// (decoder-side) the rest — quantiles degrade, nothing misparses.
+package rangestore
+
+import (
+	"encoding/binary"
+
+	"repro/internal/obs"
+)
+
+// maxStatsEntries caps a decoded snapshot. Entries are ≥ 6 bytes on the
+// wire, so this also keeps a hostile frame from ballooning memory.
+const maxStatsEntries = 1 << 16
+
+// appendStats encodes snap (nil encodes as empty).
+func appendStats(dst []byte, snap *obs.Snapshot) []byte {
+	if snap == nil {
+		return binary.LittleEndian.AppendUint32(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(snap.Entries)))
+	for i := range snap.Entries {
+		e := &snap.Entries[i]
+		dst = append(dst, byte(e.Kind))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Name)))
+		dst = append(dst, e.Name...)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Labels)))
+		dst = append(dst, e.Labels...)
+		if e.Kind == obs.KindHistogram && e.Hist != nil {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Hist.Sum))
+			dst = append(dst, byte(obs.NumHistBuckets))
+			for _, b := range e.Hist.Buckets {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(b))
+			}
+		} else {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Value))
+		}
+	}
+	return dst
+}
+
+// parseStats decodes a snapshot from c; on malformed input it flags
+// c.err (the caller turns that into ErrBadRequest) and returns nil.
+func parseStats(c *cursor) *obs.Snapshot {
+	n := c.u32()
+	if c.err || n > maxStatsEntries {
+		c.err = true
+		return nil
+	}
+	snap := &obs.Snapshot{Entries: make([]obs.Entry, 0, n)}
+	for i := uint32(0); i < n && !c.err; i++ {
+		e := obs.Entry{Kind: obs.Kind(c.u8())}
+		e.Name = string(c.take(int(c.u16())))
+		e.Labels = string(c.take(int(c.u16())))
+		if e.Kind == obs.KindHistogram {
+			h := &obs.HistSnapshot{Sum: int64(c.u64())}
+			nb := int(c.u8())
+			for b := 0; b < nb; b++ {
+				v := int64(c.u64())
+				if b < obs.NumHistBuckets {
+					h.Buckets[b] = v
+				}
+			}
+			e.Hist = h
+		} else {
+			e.Value = int64(c.u64())
+		}
+		snap.Entries = append(snap.Entries, e)
+	}
+	if c.err {
+		return nil
+	}
+	return snap
+}

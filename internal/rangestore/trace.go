@@ -1,0 +1,91 @@
+// Slow-batch tracing: a structured per-op breakdown of any pipelined
+// batch whose total service time reaches the server's -trace-slow
+// threshold.
+//
+// The batch is the unit because the batch is the unit of cost: one Op
+// lease covers it, one journal group commit makes it durable, one
+// bufio flush answers it. A slow batch logs one summary line —
+//
+//	slow-batch conn=7 ops=12 total=18ms journal=15ms flush=90µs
+//
+// followed by one line per op with its own stages:
+//
+//	slow-op conn=7 seq=41 op=write shard=3 status=OK decode=1µs lock=2ms apply=40µs encode=1µs
+//
+// decode is request parsing, lock is the wait to lease the owning
+// shard's context (the paper's lock-wait, live), apply is execution
+// against the store, encode is response marshalling into the write
+// buffer; journal covers the batch's WAL group commit including any
+// follower ack wait, and flush the response write-back. Stage
+// timestamps are collected only while tracing is armed, so an unarmed
+// server pays one nil check per request.
+package rangestore
+
+import "time"
+
+// opTrace is one request's stage breakdown.
+type opTrace struct {
+	op     OpCode
+	seq    uint32
+	shard  int32 // -1: no shard involved
+	status Status
+	decode time.Duration
+	lock   time.Duration
+	apply  time.Duration
+	encode time.Duration
+}
+
+// batchTrace accumulates one batch's breakdown; it lives on the conn
+// and is reset per batch.
+type batchTrace struct {
+	start   time.Time
+	ops     []opTrace
+	cur     *opTrace // op being handled; exec fills lock/shard through it
+	journal time.Duration
+	flush   time.Duration
+}
+
+// trCur returns the op currently being traced, nil when tracing is off
+// or no op is in flight — exec's lock-wait split keys on it.
+func (cn *conn) trCur() *opTrace {
+	if cn.tr == nil {
+		return nil
+	}
+	return cn.tr.cur
+}
+
+// beginBatch resets the trace for a new batch.
+func (tr *batchTrace) beginBatch() {
+	tr.start = time.Now()
+	tr.ops = tr.ops[:0]
+	tr.cur = nil
+	tr.journal = 0
+	tr.flush = 0
+}
+
+// emit logs the batch breakdown when it crossed the threshold.
+func (cn *conn) emitTrace(total time.Duration) {
+	tr := cn.tr
+	log := cn.srv.logger
+	log.Info("slow-batch",
+		"conn", cn.id,
+		"ops", len(tr.ops),
+		"total", total,
+		"journal", tr.journal,
+		"flush", tr.flush,
+	)
+	for i := range tr.ops {
+		t := &tr.ops[i]
+		log.Info("slow-op",
+			"conn", cn.id,
+			"seq", t.seq,
+			"op", opLabel(t.op),
+			"shard", t.shard,
+			"status", t.status.String(),
+			"decode", t.decode,
+			"lock", t.lock,
+			"apply", t.apply,
+			"encode", t.encode,
+		)
+	}
+}

@@ -1,0 +1,85 @@
+package rangestore
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+)
+
+// syncBuffer lets the test read what the server's logger wrote after
+// the connection goroutines are done.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSlowTraceEmitsBreakdown drives a server with -trace-slow=0
+// semantics (every batch traced) and checks the structured breakdown
+// lines come out with their stage keys.
+func TestSlowTraceEmitsBreakdown(t *testing.T) {
+	var out syncBuffer
+	srv := NewServerSharded(pfs.NewSharded(2, nil),
+		WithLogger(obs.NewLogger(&out, obs.LevelInfo)),
+		WithSlowTrace(0))
+	defer srv.Close()
+
+	cl := pipeClient(t, srv)
+	h, err := cl.Open("traced", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.WriteAt(h, []byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 7)
+	if _, err := cl.ReadAt(h, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	srv.Close() // drain so every trace line is flushed
+
+	log := out.String()
+	if !strings.Contains(log, "slow-batch") {
+		t.Fatalf("no slow-batch line at -trace-slow=0:\n%s", log)
+	}
+	for _, key := range []string{"slow-op", "op=write", "op=read", "decode=", "lock=", "apply=", "encode=", "journal=", "flush=", "shard=", "status=OK"} {
+		if !strings.Contains(log, key) {
+			t.Errorf("trace output missing %q:\n%s", key, log)
+		}
+	}
+}
+
+// TestSlowTraceOffByDefault: a server without WithSlowTrace must log no
+// per-batch lines even with a logger attached.
+func TestSlowTraceOffByDefault(t *testing.T) {
+	var out syncBuffer
+	srv := NewServerSharded(pfs.NewSharded(2, nil),
+		WithLogger(obs.NewLogger(&out, obs.LevelInfo)))
+	defer srv.Close()
+
+	cl := pipeClient(t, srv)
+	if _, err := cl.Open("quiet", true); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	srv.Close()
+	if log := out.String(); strings.Contains(log, "slow-batch") {
+		t.Fatalf("tracing fired without being armed:\n%s", log)
+	}
+}

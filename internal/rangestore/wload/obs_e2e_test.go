@@ -1,0 +1,177 @@
+package wload
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/rangestore"
+)
+
+// TestMetricsUnderReplicatedLoad is the observability acceptance
+// scenario end to end: a leader/follower pair under a wload write burst
+// must expose non-zero fsync-latency, group-commit batch-size and
+// follower-lag series through the STATS op, the burst's report must
+// carry full latency histograms, and once the load stops the follower
+// lag must drain to exactly 0.
+func TestMetricsUnderReplicatedLoad(t *testing.T) {
+	dL, dF := pfs.NewMemDir(), pfs.NewMemDir()
+	storeL, jL, statsL, err := rangestore.Recover(dL, rangestore.RecoverConfig{
+		Shards: 2, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+		ReplAckTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvL := rangestore.NewServerSharded(storeL,
+		rangestore.WithJournal(jL), rangestore.WithRecovered(statsL))
+	defer srvL.Close()
+
+	storeF, jF, statsF, err := rangestore.Recover(dF, rangestore.RecoverConfig{
+		Shards: 2, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rangestore.StartReplica(storeF, jF, statsF, func() (net.Conn, error) {
+		c1, c2 := rangestore.Pipe()
+		go srvL.ServeConn(c2)
+		return c1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+	srvF := rangestore.NewServerSharded(storeF,
+		rangestore.WithJournal(jF), rangestore.WithRecovered(statsF),
+		rangestore.WithFollower(rep, "leader"))
+	defer srvF.Close()
+	if err := rep.WaitAttached(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	dialLeader := func() (*rangestore.Client, error) {
+		c1, c2 := rangestore.Pipe()
+		go srvL.ServeConn(c2)
+		return rangestore.NewClient(c1), nil
+	}
+
+	mix, err := MixByName("write-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(Config{
+		Mix: mix, Files: 4, FileSize: 64 << 10, IOSize: 1024,
+		Workers: 2, Pipeline: 4, Ops: 400, Seed: 11,
+	}, dialLeader)
+	if err != nil {
+		t.Fatalf("wload burst: %v", err)
+	}
+	if report.TotalErrs != 0 {
+		t.Fatalf("burst saw %d errors", report.TotalErrs)
+	}
+	// Satellite check: the JSON report carries the full distribution,
+	// consistent with the op count it summarizes.
+	for _, c := range report.Classes {
+		if len(c.Hist) == 0 {
+			t.Errorf("class %s: report has no histogram buckets", c.Class)
+		}
+		var n int64
+		for _, b := range c.Hist {
+			n += b.Count
+		}
+		if n != c.Ops {
+			t.Errorf("class %s: histogram holds %d ops, report says %d", c.Class, n, c.Ops)
+		}
+	}
+
+	cl, err := dialLeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := snap.HistOf("wal_fsync_ns"); h.Count() == 0 {
+		t.Error("wal_fsync_ns saw no observations under SyncBatch load")
+	}
+	if h := snap.HistOf("wal_commit_batch_records"); h.Count() == 0 {
+		t.Error("wal_commit_batch_records saw no observations")
+	}
+	if got := snap.Value(`rs_requests_total{op="write"}`); got == 0 {
+		t.Error("rs_requests_total{op=write} is zero after a write burst")
+	}
+	// The lag series must exist per shard (value may already be 0).
+	lagSeries := 0
+	for i := range snap.Entries {
+		if snap.Entries[i].Name == "repl_lag_records" {
+			lagSeries++
+		}
+	}
+	if lagSeries != 2 {
+		t.Errorf("got %d repl_lag_records series, want one per shard (2)", lagSeries)
+	}
+
+	// Load has stopped; semi-sync commits already waited for acks, so
+	// the lag must drain to exactly 0 (the bound is exact at 0).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err = cl.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lagRecs, lagBytes int64
+		for i := range snap.Entries {
+			switch snap.Entries[i].Name {
+			case "repl_lag_records":
+				lagRecs += snap.Entries[i].Value
+			case "repl_lag_bytes":
+				lagBytes += snap.Entries[i].Value
+			}
+		}
+		if lagRecs == 0 && lagBytes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower lag never drained: %d records, %d bytes outstanding",
+				lagRecs, lagBytes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The follower's own STATS must show it applied the stream.
+	clF := func() *rangestore.Client {
+		c1, c2 := rangestore.Pipe()
+		go srvF.ServeConn(c2)
+		return rangestore.NewClient(c1)
+	}()
+	defer clF.Close()
+	snapF, err := clF.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snapF.Value("repl_applied_records_total"); got == 0 {
+		t.Error("follower applied no records according to its own metrics")
+	}
+	if got := snapF.Value("rs_role_follower"); got != 1 {
+		t.Errorf("rs_role_follower = %d on the follower, want 1", got)
+	}
+
+	// And the leader's registry renders cleanly for the scrape path.
+	var sb strings.Builder
+	if err := srvL.MetricsRegistry().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"wal_fsync_ns_count", "repl_lag_records", "rs_requests_total"} {
+		if !strings.Contains(sb.String(), series) {
+			t.Errorf("prometheus exposition missing %s", series)
+		}
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("prometheus exposition contains NaN")
+	}
+}

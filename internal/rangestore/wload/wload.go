@@ -182,18 +182,40 @@ func (r *classRec) observe(d time.Duration, n int, failed bool) {
 
 // ClassReport is the per-class slice of a Report. Latencies are log2-
 // bucket upper bounds from internal/stats histograms, except Max which
-// is exact.
+// is exact. Hist is the full latency distribution the quantiles were
+// cut from — sparse (empty buckets omitted), each bucket counting
+// observations in [LeNs/2, LeNs) nanoseconds.
 type ClassReport struct {
-	Class  string  `json:"class"`
-	Ops    int64   `json:"ops"`
-	Errors int64   `json:"errors"`
-	Bytes  int64   `json:"bytes"`
-	MeanNs int64   `json:"mean_ns"`
-	P50Ns  int64   `json:"p50_ns"`
-	P90Ns  int64   `json:"p90_ns"`
-	P99Ns  int64   `json:"p99_ns"`
-	MaxNs  int64   `json:"max_ns"`
-	OpsSec float64 `json:"ops_per_sec"`
+	Class  string       `json:"class"`
+	Ops    int64        `json:"ops"`
+	Errors int64        `json:"errors"`
+	Bytes  int64        `json:"bytes"`
+	MeanNs int64        `json:"mean_ns"`
+	P50Ns  int64        `json:"p50_ns"`
+	P90Ns  int64        `json:"p90_ns"`
+	P99Ns  int64        `json:"p99_ns"`
+	MaxNs  int64        `json:"max_ns"`
+	OpsSec float64      `json:"ops_per_sec"`
+	Hist   []HistBucket `json:"hist,omitempty"`
+}
+
+// HistBucket is one non-empty latency bucket: Count observations below
+// the exclusive upper bound LeNs (and at or above LeNs/2).
+type HistBucket struct {
+	LeNs  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// histBuckets flattens a stats histogram into the report's sparse form.
+func histBuckets(h *stats.Histogram) []HistBucket {
+	counts := h.Buckets()
+	var out []HistBucket
+	for i, n := range counts {
+		if n > 0 {
+			out = append(out, HistBucket{LeNs: stats.BucketBound(i), Count: n})
+		}
+	}
+	return out
 }
 
 // Report is the outcome of one Run.
@@ -407,6 +429,7 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 			P99Ns:  int64(r.hist.Quantile(0.99)),
 			MaxNs:  r.maxNs.Load(),
 			OpsSec: float64(ops) / secs,
+			Hist:   histBuckets(r.hist),
 		}
 		rep.TotalOps += ops
 		rep.TotalErrs += cr.Errors

@@ -91,6 +91,29 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(int64(1) << histBuckets)
 }
 
+// NumBuckets is the histogram's bucket count, for callers exporting the
+// raw distribution (see Buckets).
+const NumBuckets = histBuckets
+
+// BucketBound returns bucket i's exclusive upper bound in nanoseconds:
+// bucket i counts observations in [2^i, 2^(i+1)) ns.
+func BucketBound(i int) int64 { return int64(1) << uint(i+1) }
+
+// Buckets returns a copy of the per-bucket counts (index i counts
+// observations in [2^i ns, 2^(i+1) ns)), nil for a nil histogram. The
+// copy is a point-in-time read per bucket, not an atomic snapshot of
+// the whole histogram — concurrent observers may land between reads.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, histBuckets)
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // String renders the non-empty buckets as "[lo,hi): count" lines.
 func (h *Histogram) String() string {
 	if h == nil {
