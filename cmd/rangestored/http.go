@@ -35,6 +35,10 @@ type health struct {
 	FollowStreams  int64             `json:"repl_follow_streams"`
 	AppliedRecords int64             `json:"repl_applied_records"`
 	Reconnects     int64             `json:"repl_reconnects"`
+	QuorumSize     int64             `json:"repl_quorum_size"`
+	Followers      int64             `json:"repl_followers"`
+	Epoch          int64             `json:"repl_epoch"`
+	Elections      int64             `json:"elections_total"`
 }
 
 // startHTTP serves the observability endpoint on addr until the process
@@ -74,6 +78,14 @@ func startHTTP(addr string, srv *rangestore.Server, shards int, walEnabled bool,
 					h.AppliedRecords = e.Value
 				case "repl_reconnects_total":
 					h.Reconnects = e.Value
+				case "repl_quorum_size":
+					h.QuorumSize = e.Value
+				case "repl_followers":
+					h.Followers = e.Value
+				case "repl_epoch":
+					h.Epoch = e.Value
+				case "elections_total":
+					h.Elections = e.Value
 				}
 			}
 		}

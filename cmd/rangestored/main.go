@@ -84,6 +84,10 @@ func main() {
 		follow    = flag.String("follow", "", "run as a live follower of the leader at this address (requires -wal and -placement map)")
 		advertise = flag.String("advertise", "", "leader address told to redirected clients (default: the -follow address)")
 		ackWait   = flag.Duration("repl-ack-timeout", rangestore.DefaultReplAckTimeout, "leader: max wait for a follower's ack before a batch commit fails and the follower is dropped")
+		nodeID    = flag.String("node-id", "", "this node's advertised address, as it appears in -peers")
+		peers     = flag.String("peers", "", "comma-separated cluster addresses (this node included): commits need a majority and followers elect a new leader on silence (requires -wal and -node-id)")
+		electWait = flag.Duration("election-timeout", 2*time.Second, "follower: leader silence that triggers an election (needs -peers)")
+		heartbeat = flag.Duration("repl-heartbeat", 500*time.Millisecond, "leader: heartbeat interval on idle replication streams (the followers' liveness signal)")
 		httpAddr  = flag.String("http", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof on this address (empty = off)")
 		traceSlow = flag.Duration("trace-slow", -1, "log a structured per-op breakdown of any batch at least this slow (0 = every batch, negative = off)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
@@ -130,6 +134,30 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "rangestored: -peers needs -wal (quorum commits and epochs live in the journal)")
+			os.Exit(2)
+		}
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "rangestored: -peers needs -node-id (this node's own address in the list)")
+			os.Exit(2)
+		}
+		self := false
+		for _, p := range peerList {
+			self = self || p == *nodeID
+		}
+		if !self {
+			fmt.Fprintf(os.Stderr, "rangestored: -node-id %s does not appear in -peers %s\n", *nodeID, *peers)
+			os.Exit(2)
+		}
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -172,12 +200,23 @@ func main() {
 	} else {
 		store = pfs.NewShardedPlacement(*shards, mk, place)
 	}
+	opts = append(opts, rangestore.WithReplHeartbeat(*heartbeat))
+	if len(peerList) >= 2 && *follow == "" {
+		// Booting as the leader of a declared cluster: every commit
+		// needs a majority of it, even before any follower attaches.
+		journal.SetClusterSize(len(peerList))
+	}
 	var replica *rangestore.Replica
+	var leaderRef *rangestore.LeaderRef
 	if *follow != "" {
-		leaderAddr := *follow
+		leaderRef = rangestore.NewLeaderRef(*follow)
+		var ropts []rangestore.ReplicaOption
+		if *nodeID != "" {
+			ropts = append(ropts, rangestore.WithReplicaID(*nodeID))
+		}
 		rep, err := rangestore.StartReplica(store, journal, stats, func() (net.Conn, error) {
-			return net.DialTimeout("tcp", leaderAddr, 5*time.Second)
-		})
+			return net.DialTimeout("tcp", leaderRef.Load(), 5*time.Second)
+		}, ropts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rangestored: follow:", err)
 			os.Exit(1)
@@ -185,11 +224,30 @@ func main() {
 		replica = rep
 		adv := *advertise
 		if adv == "" {
-			adv = leaderAddr
+			adv = *follow
 		}
 		opts = append(opts, rangestore.WithFollower(replica, adv))
 	}
 	srv := rangestore.NewServerSharded(store, opts...)
+	var elector *rangestore.Elector
+	if replica != nil && len(peerList) >= 2 {
+		elector, err = rangestore.StartElector(srv, rangestore.ElectorConfig{
+			Self:  *nodeID,
+			Peers: peerList,
+			Dial: func(addr string) (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 5*time.Second)
+			},
+			Timeout: *electWait,
+			Leader:  leaderRef,
+			Logger:  logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rangestored: elector:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rangestored: elector armed (self=%s peers=%d election-timeout=%v)\n",
+			*nodeID, len(peerList), *electWait)
+	}
 	role := "leader"
 	if replica != nil {
 		role = "follower of " + *follow
@@ -256,6 +314,9 @@ func main() {
 		}
 	}
 	close(stopRebalance)
+	if elector != nil {
+		elector.Stop()
+	}
 	if replica != nil {
 		// Sever the replication streams before the journal goes away; a
 		// stream mid-apply finishes its batch first (Stop drains).

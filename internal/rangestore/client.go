@@ -238,3 +238,33 @@ func (c *Client) Stats() (*obs.Snapshot, error) {
 	}
 	return resp.Stats, nil
 }
+
+// State probes the server's election view (protocol v5): role, epoch,
+// replica freshness, per-shard durable frontier, and the leader address
+// it believes in. Cheap and read-only — elections and health checks
+// poll it.
+func (c *Client) State() (*StateInfo, error) {
+	resp, err := c.do(&Request{Op: OpState})
+	if err != nil {
+		return nil, err
+	}
+	if resp.State == nil {
+		return nil, fmt.Errorf("%w: STATE response missing payload", ErrBadRequest)
+	}
+	return resp.State, nil
+}
+
+// RequestVote asks the server to grant candidate the given epoch
+// (protocol v5). The grant is durable on the voter before the response;
+// the returned LSNs are the voter's committed frontier, the candidate's
+// catch-up sources.
+func (c *Client) RequestVote(epoch uint64, candidate string) (*VoteInfo, error) {
+	resp, err := c.do(&Request{Op: OpVote, Epoch: epoch, Name: candidate})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Vote == nil {
+		return nil, fmt.Errorf("%w: VOTE response missing payload", ErrBadRequest)
+	}
+	return resp.Vote, nil
+}

@@ -1,0 +1,417 @@
+package rangestore
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LeaderRef is a shared, atomically updated leader address. The
+// replica's dial closure reads it before every connection attempt and
+// the elector rewrites it when a new leader is discovered or elected,
+// so streams re-point without restarting the replica.
+type LeaderRef struct{ p atomic.Value }
+
+// NewLeaderRef returns a LeaderRef holding addr.
+func NewLeaderRef(addr string) *LeaderRef {
+	r := &LeaderRef{}
+	r.p.Store(addr)
+	return r
+}
+
+// Load returns the current leader address.
+func (r *LeaderRef) Load() string { return r.p.Load().(string) }
+
+// Store publishes a new leader address.
+func (r *LeaderRef) Store(addr string) { r.p.Store(addr) }
+
+// ElectorConfig parameterizes an Elector.
+type ElectorConfig struct {
+	// Self is this node's advertised address; it must appear in Peers.
+	Self string
+	// Peers is the full cluster membership, self included. Majority is
+	// len(Peers)/2+1.
+	Peers []string
+	// Dial opens a connection to a peer address. The elector wraps the
+	// conn in a Client for STATE/VOTE probes and hands raw conns to
+	// Replica.Fetch for post-win catch-up.
+	Dial func(addr string) (net.Conn, error)
+	// Timeout is the leader-silence threshold: no frame from the
+	// leader for this long starts an election round. The elector ticks
+	// at roughly a third of it, jittered to break symmetric races.
+	Timeout time.Duration
+	// OpTimeout bounds each probe round trip; defaults to Timeout.
+	OpTimeout time.Duration
+	// Leader, when set, is rewritten whenever the elector learns of a
+	// new leader (discovered or self).
+	Leader *LeaderRef
+	// Logger receives election logs; nil is silent.
+	Logger *obs.Logger
+}
+
+// Elector watches the replica's leader stream and runs epoch-stamped
+// elections when it goes silent. The protocol is vote-then-catch-up:
+// a candidate that wins a majority of votes pulls any records its
+// voters hold beyond its own frontier (per shard, from the voter with
+// the highest durable LSN) before promoting, so every quorum-acked
+// write survives the failover. Votes are granted at most once per
+// epoch and epochs persist across crashes, so two leaders can never
+// hold the same epoch; a deposed leader's stale acks are fenced by the
+// epoch number they carry.
+type Elector struct {
+	srv    *Server
+	cfg    ElectorConfig
+	rng    *rand.Rand
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	// loseStreak counts consecutive rounds where this node deferred to
+	// a better-placed peer and still no leader appeared; after a few
+	// such rounds it stands anyway so a crashed front-runner cannot
+	// wedge the cluster.
+	loseStreak int
+}
+
+// peerState is one probe result.
+type peerState struct {
+	addr string
+	st   *StateInfo
+}
+
+// StartElector attaches an election loop to a follower server. The
+// server must have been built WithFollower (it needs the replica to
+// measure leader liveness and to catch up after a win) and WithJournal
+// (epochs and durable frontiers live there).
+func StartElector(srv *Server, cfg ElectorConfig) (*Elector, error) {
+	if srv.replica == nil || srv.journal == nil {
+		return nil, errors.New("rangestore: elector needs a follower with a journal")
+	}
+	if cfg.Dial == nil || cfg.Self == "" || len(cfg.Peers) == 0 {
+		return nil, errors.New("rangestore: elector config incomplete")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = cfg.Timeout
+	}
+	seed := int64(0)
+	for _, c := range cfg.Self {
+		seed = seed*131 + int64(c)
+	}
+	e := &Elector{
+		srv:    srv,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed ^ time.Now().UnixNano())),
+		stopCh: make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e, nil
+}
+
+// Stop halts the election loop. It does not undo a promotion.
+func (e *Elector) Stop() {
+	close(e.stopCh)
+	e.wg.Wait()
+}
+
+func (e *Elector) logger() *obs.Logger {
+	return e.cfg.Logger
+}
+
+func (e *Elector) run() {
+	defer e.wg.Done()
+	for {
+		base := e.cfg.Timeout / 3
+		d := base + time.Duration(e.rng.Int63n(int64(base)+1))
+		select {
+		case <-e.stopCh:
+			return
+		case <-time.After(d):
+		}
+		if !e.srv.notLeader.Load() {
+			e.loseStreak = 0
+			continue // we are the leader
+		}
+		if time.Since(e.srv.replica.LastContact()) < e.cfg.Timeout {
+			e.loseStreak = 0
+			continue // leader stream is live
+		}
+		e.round()
+	}
+}
+
+// round runs one election attempt: probe the cluster, re-point to a
+// live leader if one exists, otherwise stand for election if this node
+// is the best-placed fresh candidate.
+func (e *Elector) round() {
+	j := e.srv.journal
+	states := e.probe()
+
+	// A live leader at our epoch or later wins outright: adopt it.
+	for _, ps := range states {
+		if ps.st.Leader && ps.st.Epoch >= j.Epoch() {
+			if ps.st.Epoch > j.Epoch() {
+				if _, err := j.AdvanceEpoch(ps.st.Epoch); err != nil {
+					e.logger().Warn("epoch adoption failed", "err", err)
+				}
+			}
+			e.pointAt(ps.addr)
+			e.loseStreak = 0
+			e.logger().Info("re-pointed to live leader", "leader", ps.addr, "epoch", ps.st.Epoch)
+			return
+		}
+	}
+
+	if !e.srv.replica.Fresh() {
+		// A stale replica (detached, mid-snapshot) must not lead; its
+		// voters would have to backfill everything. Wait for the
+		// streams to converge or for a fresh peer to stand.
+		return
+	}
+
+	own, err := j.DurableLSNs()
+	if err != nil {
+		e.logger().Warn("election: durable frontier unavailable", "err", err)
+		return
+	}
+	if !e.shouldStand(own, states) {
+		e.loseStreak++
+		return
+	}
+
+	maxEpoch := j.Epoch()
+	for _, ps := range states {
+		if ps.st.Epoch > maxEpoch {
+			maxEpoch = ps.st.Epoch
+		}
+	}
+	e.stand(maxEpoch+1, own, states)
+}
+
+// probe asks every peer (self excluded) for its STATE in parallel.
+// Unreachable peers are simply absent from the result.
+func (e *Elector) probe() []peerState {
+	var mu sync.Mutex
+	var out []peerState
+	var wg sync.WaitGroup
+	for _, addr := range e.cfg.Peers {
+		if addr == e.cfg.Self {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			st, err := e.stateOf(addr)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, peerState{addr: addr, st: st})
+			mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+	return out
+}
+
+func (e *Elector) stateOf(addr string) (*StateInfo, error) {
+	nc, err := e.cfg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(nc)
+	defer c.Close()
+	c.SetOpTimeout(e.cfg.OpTimeout)
+	return c.State()
+}
+
+// shouldStand decides whether this node is the cluster's best fresh
+// candidate: highest durable LSN sum, lowest address on ties. After a
+// few deferring rounds with still no leader it stands regardless — the
+// front-runner may itself be dead.
+func (e *Elector) shouldStand(own []uint64, states []peerState) bool {
+	if e.loseStreak >= 3 {
+		return true
+	}
+	mine := lsnSum(own)
+	for _, ps := range states {
+		if !ps.st.Fresh {
+			continue
+		}
+		theirs := lsnSum(ps.st.LSNs)
+		if theirs > mine || (theirs == mine && ps.addr < e.cfg.Self) {
+			return false
+		}
+	}
+	return true
+}
+
+// stand runs one candidacy at epoch: persist the epoch (the self-vote
+// — a node that voted for itself can never grant the same epoch to
+// another candidate, even across a crash), gather votes, and on a
+// majority catch up from the voters and promote.
+func (e *Elector) stand(epoch uint64, own []uint64, states []peerState) {
+	j := e.srv.journal
+	granted, err := j.AdvanceEpoch(epoch)
+	if err != nil {
+		e.logger().Warn("election: cannot persist epoch", "epoch", epoch, "err", err)
+		return
+	}
+	if !granted {
+		return // a concurrent round moved the epoch past ours
+	}
+	e.logger().Info("standing for election", "epoch", epoch)
+
+	var mu sync.Mutex
+	votes := []voteRes{}
+	var wg sync.WaitGroup
+	for _, addr := range e.cfg.Peers {
+		if addr == e.cfg.Self {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			v, err := e.voteOf(addr, epoch)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			votes = append(votes, voteRes{addr: addr, v: v})
+			mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+
+	got := 1 // self-vote
+	for _, vr := range votes {
+		if vr.v.Granted {
+			got++
+		}
+		if vr.v.Epoch > epoch {
+			// Someone is running a later round; ours is already lost.
+			if _, err := j.AdvanceEpoch(vr.v.Epoch); err != nil {
+				e.logger().Warn("epoch adoption failed", "err", err)
+			}
+		}
+	}
+	need := len(e.cfg.Peers)/2 + 1
+	if got < need {
+		e.logger().Info("election lost", "epoch", epoch, "votes", got, "need", need)
+		e.loseStreak = 0 // we stood; the streak tracks deferrals only
+		return
+	}
+	if j.Epoch() > epoch {
+		return // deposed between counting and promoting
+	}
+	e.logger().Info("election won", "epoch", epoch, "votes", got, "need", need)
+
+	// Catch up before serving: a voter may hold quorum-acked records
+	// past our frontier. Per shard, pull from the granting voter with
+	// the highest durable LSN. Voter shard logs are gap-free prefixes
+	// of the old leader's, so replaying a voter's tail lands exactly
+	// on ours. halt() first — Fetch owns the connection slot the
+	// stream loops would otherwise race for.
+	e.srv.replica.halt()
+	if !e.catchUp(epoch, own, votes) {
+		// Without catch-up promotion would serve a truncated history.
+		// The replica is halted; this node sits out until restarted.
+		e.logger().Error("election: catch-up failed; refusing promotion", "epoch", epoch)
+		return
+	}
+	if err := e.srv.promoteSelf(epoch, e.cfg.Self, len(e.cfg.Peers)); err != nil {
+		e.logger().Error("election: promotion failed", "epoch", epoch, "err", err)
+		return
+	}
+	if e.cfg.Leader != nil {
+		e.cfg.Leader.Store(e.cfg.Self)
+	}
+	e.loseStreak = 0
+}
+
+// voteRes pairs a vote response with the voter it came from — the
+// winner fetches missing records from granting voters.
+type voteRes struct {
+	addr string
+	v    *VoteInfo
+}
+
+// catchUp pulls every shard where some granting voter's durable LSN
+// exceeds ours, retrying across voters. Returns false if any lagging
+// shard could not be filled.
+func (e *Elector) catchUp(epoch uint64, own []uint64, votes []voteRes) bool {
+	for shard := range own {
+		// Voters sorted by how far ahead they are, best first.
+		var srcs []voteRes
+		for _, vr := range votes {
+			if vr.v.Granted && shard < len(vr.v.LSNs) && vr.v.LSNs[shard] > own[shard] {
+				srcs = append(srcs, voteRes{addr: vr.addr, v: vr.v})
+			}
+		}
+		if len(srcs) == 0 {
+			continue
+		}
+		for i := 1; i < len(srcs); i++ {
+			for k := i; k > 0 && srcs[k].v.LSNs[shard] > srcs[k-1].v.LSNs[shard]; k-- {
+				srcs[k], srcs[k-1] = srcs[k-1], srcs[k]
+			}
+		}
+		ok := false
+		for _, src := range srcs {
+			if err := e.fetchFrom(src.addr, shard); err != nil {
+				e.logger().Warn("election: catch-up fetch failed", "shard", shard, "from", src.addr, "err", err)
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Elector) fetchFrom(addr string, shard int) error {
+	nc, err := e.cfg.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	return e.srv.replica.Fetch(shard, nc, e.cfg.OpTimeout)
+}
+
+func (e *Elector) voteOf(addr string, epoch uint64) (*VoteInfo, error) {
+	nc, err := e.cfg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(nc)
+	defer c.Close()
+	c.SetOpTimeout(e.cfg.OpTimeout)
+	return c.RequestVote(epoch, e.cfg.Self)
+}
+
+// pointAt publishes addr as the leader for both the redirect path and
+// the replica's dial loop.
+func (e *Elector) pointAt(addr string) {
+	e.srv.setLeaderAddr(addr)
+	if e.cfg.Leader != nil {
+		e.cfg.Leader.Store(addr)
+	}
+}
+
+func lsnSum(ls []uint64) uint64 {
+	var s uint64
+	for _, l := range ls {
+		s += l
+	}
+	return s
+}

@@ -1,0 +1,270 @@
+package rangestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+// stallConn throttles a conn's write side: the first budget bytes pass
+// through, then every write blocks until release closes (or the test
+// ends). It freezes a leader mid-snapshot so tests can observe a
+// follower stuck in bootstrap.
+type stallConn struct {
+	net.Conn
+	mu      sync.Mutex
+	budget  int
+	release <-chan struct{}
+}
+
+func (c *stallConn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		c.mu.Lock()
+		b := c.budget
+		c.mu.Unlock()
+		if b == 0 {
+			<-c.release
+			n, err := c.Conn.Write(p[written:])
+			return written + n, err
+		}
+		n := len(p) - written
+		if n > b {
+			n = b
+		}
+		m, err := c.Conn.Write(p[written : written+n])
+		written += m
+		c.mu.Lock()
+		c.budget -= m
+		c.mu.Unlock()
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// snapshotLeader boots a single-shard leader whose every record has
+// been checkpointed (CheckpointBytes: 1), so any cold follower must
+// take the snapshot path; returns the leader and the content a correct
+// follower must converge to.
+func snapshotLeader(t *testing.T) (*Server, map[string][]byte, *Client) {
+	t.Helper()
+	dL := pfs.NewMemDir()
+	srvL, _, jL, _ := walServer(t, dL, RecoverConfig{
+		Shards: 1, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+		CheckpointBytes: 1, ReplAckTimeout: 2 * time.Second,
+	})
+	clL := pipeClient(t, srvL)
+	want := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("snap-%d", i)
+		h, err := clL.Open(name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{byte(i + 1)}, 8<<10)
+		if _, err := clL.WriteAt(h, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = data
+	}
+	jL.WaitCheckpoints()
+	if _, floor, err := pfs.ReadCheckpoint(dL, 0); err != nil || floor == 0 {
+		t.Fatalf("no checkpoint floor (err %v); snapshot path not armed", err)
+	}
+	return srvL, want, clL
+}
+
+// booting reports whether any shard of r is mid-snapshot-bootstrap.
+func booting(r *Replica) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.booting {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPromoteRefusedMidBootstrap: a follower whose snapshot install is
+// still in flight must refuse promotion with ErrNotReady — both on the
+// Replica API and through the server's PROMOTE op — and accept it once
+// the bootstrap completes.
+func TestPromoteRefusedMidBootstrap(t *testing.T) {
+	srvL, want, _ := snapshotLeader(t)
+
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	free := func() { releaseOnce.Do(func() { close(release) }) }
+	t.Cleanup(free)
+
+	dF := pfs.NewMemDir()
+	storeF, jF, statsF, err := Recover(dF, RecoverConfig{
+		Shards: 1, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is ~48 KiB; 1 KiB of budget delivers the FOLLOW
+	// response (so bootstrap begins) but starves the file payload.
+	rep, err := StartReplica(storeF, jF, statsF, func() (net.Conn, error) {
+		c1, c2 := Pipe()
+		go srvL.ServeConn(&stallConn{Conn: c2, budget: 1024, release: release})
+		return c1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+	srvF := NewServerSharded(storeF, WithJournal(jF), WithRecovered(statsF),
+		WithFollower(rep, "leader"))
+	defer srvF.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !booting(rep) {
+		if !time.Now().Before(deadline) {
+			t.Fatal("follower never entered snapshot bootstrap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := rep.Promote(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Promote mid-bootstrap: err %v, want ErrNotReady", err)
+	}
+	clF := pipeClient(t, srvF)
+	if err := clF.Promote(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("PROMOTE op mid-bootstrap: err %v, want ErrNotReady", err)
+	}
+
+	// Unfreeze: the bootstrap finishes and the same promotion lands.
+	free()
+	if err := rep.WaitAttached(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := clF.Promote(); err != nil {
+		t.Fatalf("PROMOTE after bootstrap: %v", err)
+	}
+	for name, data := range want {
+		if got := readFull(t, storeF, name); !bytes.Equal(got, data) {
+			t.Fatalf("%s diverged after promote: %d bytes, want %d", name, len(got), len(data))
+		}
+	}
+}
+
+// TestFollowerRestartMidSnapshot: a follower killed mid-snapshot and
+// restarted from its crash-surviving state discards the truncated
+// install and re-requests the snapshot cleanly — it converges to the
+// leader's exact contents and tracks new writes.
+func TestFollowerRestartMidSnapshot(t *testing.T) {
+	srvL, want, clL := snapshotLeader(t)
+
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	var stall atomic.Bool
+	stall.Store(true)
+	dial := func() (net.Conn, error) {
+		c1, c2 := Pipe()
+		var lc net.Conn = c2
+		if stall.Load() {
+			lc = &stallConn{Conn: c2, budget: 1024, release: release}
+		}
+		go srvL.ServeConn(lc)
+		return c1, nil
+	}
+
+	dF := pfs.NewMemDir()
+	storeF, jF, statsF, err := Recover(dF, RecoverConfig{
+		Shards: 1, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := StartReplica(storeF, jF, statsF, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !booting(rep) {
+		if !time.Now().Before(deadline) {
+			t.Fatal("follower never entered snapshot bootstrap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Crash the follower mid-install: stop it and keep only what its
+	// directory had synced — a truncated, partial bootstrap.
+	rep.Stop()
+	jF.Close()
+	snap := dF.CrashCopy(nil)
+
+	// Restart over the wreckage with a healthy link.
+	stall.Store(false)
+	storeF2, jF2, statsF2, err := Recover(snap, RecoverConfig{
+		Shards: 1, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+	})
+	if err != nil {
+		t.Fatalf("recover over truncated bootstrap: %v", err)
+	}
+	rep2, err := StartReplica(storeF2, jF2, statsF2, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Stop()
+	defer jF2.Close()
+	if err := rep2.WaitAttached(5 * time.Second); err != nil {
+		t.Fatalf("re-requested bootstrap never attached: %v", err)
+	}
+
+	// One acked write per file orders the snapshot against our reads
+	// and proves the stream tracks past the re-install.
+	for name := range want {
+		h, err := clL.Open(name, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clL.WriteAt(h, []byte{0xAB}, uint64(len(want[name]))); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = append(want[name], 0xAB)
+	}
+	for name, data := range want {
+		if got := readFull(t, storeF2, name); !bytes.Equal(got, data) {
+			t.Fatalf("%s after restart mid-snapshot: %d bytes, want %d", name, len(got), len(data))
+		}
+	}
+}
+
+// TestFailoverClientClusterUnavailable: when every address stays dead
+// past MaxWait, the client surfaces a typed ClusterUnavailableError
+// wrapping the last transport error, with the attempt count.
+func TestFailoverClientClusterUnavailable(t *testing.T) {
+	dead := errors.New("connection refused")
+	fc, err := NewFailoverClient(FailoverConfig{
+		Addrs:   []string{"a", "b"},
+		Dial:    func(addr string) (*Client, error) { return nil, dead },
+		MaxWait: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fc.Open("nope", true)
+	var cu *ClusterUnavailableError
+	if !errors.As(err, &cu) {
+		t.Fatalf("err %v, want *ClusterUnavailableError", err)
+	}
+	if cu.Attempts == 0 {
+		t.Fatal("ClusterUnavailableError carries no attempt count")
+	}
+	if !errors.Is(err, dead) {
+		t.Fatalf("err %v does not wrap the last dial error", err)
+	}
+}

@@ -14,7 +14,9 @@ package rangestore
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"repro/internal/obs"
@@ -37,7 +39,8 @@ type FailoverConfig struct {
 	// Tests inject in-process transports and fault wrappers here.
 	Dial func(addr string) (*Client, error)
 	// MaxWait bounds one call's total retry budget, connection attempts
-	// included (0: 30 s). When it runs out the last error surfaces.
+	// included (0: 30 s). When it runs out the call fails with a
+	// *ClusterUnavailableError wrapping the last transport error.
 	MaxWait time.Duration
 	// OpTimeout is applied to every connection via SetOpTimeout (0:
 	// block indefinitely — then only connection death triggers
@@ -95,6 +98,34 @@ func (fc *FailoverClient) Close() error {
 	return nil
 }
 
+// ClusterUnavailableError reports that a call exhausted its MaxWait
+// retry budget without finding a server that would take it — every
+// configured address was down, unreachable, or redirecting in circles.
+// Callers distinguish it from semantic errors with errors.As and decide
+// whether to give up or re-issue with a fresh budget.
+type ClusterUnavailableError struct {
+	// Attempts is how many connection or call attempts were burned.
+	Attempts int
+	// LastErr is the final underlying error.
+	LastErr error
+}
+
+func (e *ClusterUnavailableError) Error() string {
+	return fmt.Sprintf("rangestore: cluster unavailable after %d attempts: %v", e.Attempts, e.LastErr)
+}
+
+func (e *ClusterUnavailableError) Unwrap() error { return e.LastErr }
+
+// jitter spreads a backoff sleep over [d/2, d): clients condemned by
+// the same leader death would otherwise redial in lockstep and hammer
+// the next candidate together.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)/2))
+}
+
 // semantic reports whether err is a definitive answer from a healthy
 // server — retrying elsewhere cannot change it.
 func semantic(err error) bool {
@@ -118,12 +149,14 @@ func (fc *FailoverClient) pickAddr() string {
 }
 
 // connect dials until a server accepts and every handle re-opens, or
-// the deadline passes.
-func (fc *FailoverClient) connect(deadline time.Time) error {
+// the deadline passes. attempts counts every dial across the whole
+// call, so the exhaustion error can report the real work burned.
+func (fc *FailoverClient) connect(deadline time.Time, attempts *int) error {
 	backoff := failoverBackoffMin
 	var lastErr error = ErrClosed
 	for {
 		addr := fc.pickAddr()
+		*attempts++
 		c, err := fc.cfg.Dial(addr)
 		if err == nil {
 			if fc.cfg.OpTimeout > 0 {
@@ -144,9 +177,9 @@ func (fc *FailoverClient) connect(deadline time.Time) error {
 			fc.log.Info("leader hint", "addr", addr, "leader", nl.Leader)
 		}
 		if !time.Now().Add(backoff).Before(deadline) {
-			return lastErr
+			return &ClusterUnavailableError{Attempts: *attempts, LastErr: lastErr}
 		}
-		time.Sleep(backoff)
+		time.Sleep(jitter(backoff))
 		backoff = min(backoff*2, failoverBackoffMax)
 	}
 }
@@ -169,12 +202,14 @@ func (fc *FailoverClient) reopen(c *Client) error {
 func (fc *FailoverClient) retry(op func(c *Client) error) error {
 	deadline := time.Now().Add(fc.cfg.MaxWait)
 	backoff := failoverBackoffMin
+	attempts := 0
 	for {
 		if fc.c == nil {
-			if err := fc.connect(deadline); err != nil {
+			if err := fc.connect(deadline, &attempts); err != nil {
 				return err
 			}
 		}
+		attempts++
 		err := op(fc.c)
 		if err == nil {
 			return nil
@@ -193,9 +228,9 @@ func (fc *FailoverClient) retry(op func(c *Client) error) error {
 		fc.c.Close()
 		fc.c = nil
 		if !time.Now().Add(backoff).Before(deadline) {
-			return err
+			return &ClusterUnavailableError{Attempts: attempts, LastErr: err}
 		}
-		time.Sleep(backoff)
+		time.Sleep(jitter(backoff))
 		backoff = min(backoff*2, failoverBackoffMax)
 	}
 }

@@ -17,7 +17,9 @@
 package rangestore
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +84,11 @@ func Recover(d pfs.Dir, cfg RecoverConfig) (*pfs.Sharded, *Journal, pfs.RecoverS
 	for i := range j.gates {
 		j.gates[i].cond.L = &j.gates[i].mu
 	}
+	epoch, err := readEpoch(d)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	j.epoch.Store(epoch)
 	return store, j, stats, nil
 }
 
@@ -94,12 +101,26 @@ type Journal struct {
 	ckptBytes int64
 	ckptMu    []sync.Mutex // per-shard: one checkpoint at a time
 
-	// gates implement the semi-sync replication contract: once a
-	// follower has attached to a shard, a batch commit touching it also
-	// waits (bounded by ackTimeout) for the follower to acknowledge the
-	// batch's highest LSN before responses flush.
+	// gates implement the replication commit contract: once followers
+	// have registered on a shard (or a cluster size is configured), a
+	// batch commit touching it also waits (bounded by ackTimeout) for a
+	// strict majority of the cluster — leader included — to hold the
+	// batch's highest LSN durably before responses flush.
 	gates      []replGate
 	ackTimeout time.Duration
+
+	// cluster is the configured total node count (leader included), set
+	// on leaders via SetClusterSize. Zero derives the cluster from
+	// registered followers instead, which keeps the original two-node
+	// semi-sync behaviour for a leader with a single -follow peer.
+	cluster atomic.Int32
+
+	// epoch is the node's election epoch: the highest epoch it has ever
+	// acknowledged, voted for, or led under. Reads are lock-free (acks
+	// stamp it per frame); advancement persists to the WAL directory
+	// before publishing, so a restart cannot forget a vote.
+	epoch   atomic.Uint64
+	epochMu sync.Mutex // serializes epoch persistence
 
 	// ckptErr is the latest background checkpoint failure, surfaced by
 	// every batch Commit until a later checkpoint succeeds and clears
@@ -128,45 +149,105 @@ func (j *Journal) Begin() *journalConn {
 	}
 }
 
-// replGate is one shard's semi-sync acknowledgement gate. required
-// flips (stickily) when the first follower attaches; acked is the
-// highest LSN any follower has confirmed applied and durable.
+// replGate is one shard's replication acknowledgement gate. members
+// maps each registered follower's node id to its acked applied-and-
+// durable LSN frontier. Membership is sticky by design — a follower
+// that detaches keeps its (stale) entry, so a leader cannot silently
+// fall back to acking writes a majority will never see; the follower
+// must reconnect (or the operator restart the leader without
+// replication). Commits need acks from a strict majority of the
+// effective cluster — max(configured size, 1 + registered followers) —
+// counting the leader's own disk as one holder, so with one registered
+// follower and no configured size this is exactly the original
+// semi-sync gate.
 type replGate struct {
-	mu       sync.Mutex
-	cond     sync.Cond
-	required bool
-	acked    uint64
-	// ackedEnd is the shard's log byte offset at the moment the follower
-	// last caught up completely (acked reached the shard frontier) — the
-	// baseline the repl_lag_bytes gauge subtracts from the live append
-	// end. Between full drains it holds still, making the gauge an upper
-	// bound that is exact at 0, matching repl_lag_records' contract.
+	mu      sync.Mutex
+	cond    sync.Cond
+	members map[string]uint64
+	// ackedEnd is the shard's log byte offset at the moment the quorum
+	// last caught up completely (the quorum frontier reached the shard
+	// frontier) — the baseline the repl_lag_bytes gauge subtracts from
+	// the live append end. Between full drains it holds still, making
+	// the gauge an upper bound that is exact at 0, matching
+	// repl_lag_records' contract.
 	ackedEnd int64
 }
 
-// replRequire arms shard's gate: commits touching the shard now wait
-// for follower acknowledgements. Sticky by design — a follower that
-// detaches leaves the gate armed, so a leader cannot silently fall back
-// to acking writes its follower will never see; the follower must
-// reconnect (or the operator restart the leader without replication).
-func (j *Journal) replRequire(shard int) {
+// need returns how many follower acks a commit requires (gate held):
+// majority of the effective cluster, minus the leader's own copy.
+// Zero means the gate is unarmed.
+func (g *replGate) need(cluster int) int {
+	size := 1 + len(g.members)
+	if cluster > size {
+		size = cluster
+	}
+	return size / 2
+}
+
+// ackCount returns how many registered followers hold lsn (gate held).
+func (g *replGate) ackCount(lsn uint64) int {
+	n := 0
+	for _, l := range g.members {
+		if l >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// quorumAcked returns the highest LSN a majority of the cluster holds
+// durably (gate held): the need-th largest follower frontier, or the
+// shard's full frontier sentinel (^0) when the gate is unarmed.
+func (g *replGate) quorumAcked(cluster int) uint64 {
+	need := g.need(cluster)
+	if need == 0 {
+		return ^uint64(0)
+	}
+	if len(g.members) < need {
+		return 0
+	}
+	// Selection over a handful of followers; no ordering index kept.
+	var fr []uint64
+	for _, l := range g.members {
+		fr = append(fr, l)
+	}
+	for i := 1; i < len(fr); i++ {
+		for k := i; k > 0 && fr[k] > fr[k-1]; k-- {
+			fr[k], fr[k-1] = fr[k-1], fr[k]
+		}
+	}
+	return fr[need-1]
+}
+
+// replRequire registers follower id on shard's gate and arms it:
+// commits touching the shard now wait for majority acknowledgement.
+func (j *Journal) replRequire(shard int, id string) {
 	g := &j.gates[shard]
 	g.mu.Lock()
-	g.required = true
+	if g.members == nil {
+		g.members = make(map[string]uint64)
+	}
+	if _, ok := g.members[id]; !ok {
+		g.members[id] = 0
+	}
 	g.mu.Unlock()
 }
 
-// replAck records a follower acknowledgement for shard and wakes any
+// replAck records follower id's acknowledgement for shard and wakes any
 // batch commits waiting on it. Acks carry the follower's applied-and-
 // durable frontier, so they only move forward; a stale ack (reordered
 // by the network) is ignored.
-func (j *Journal) replAck(shard int, lsn uint64) {
+func (j *Journal) replAck(shard int, id string, lsn uint64) {
 	g := &j.gates[shard]
 	w := j.wals[shard]
+	cluster := int(j.cluster.Load())
 	g.mu.Lock()
-	if lsn > g.acked {
-		g.acked = lsn
-		if lsn >= w.LastLSN() {
+	if g.members == nil {
+		g.members = make(map[string]uint64)
+	}
+	if lsn > g.members[id] {
+		g.members[id] = lsn
+		if g.quorumAcked(cluster) >= w.LastLSN() {
 			// Fully drained: re-baseline the byte-lag gauge at the live
 			// append end. (The frontier reads are atomics; ordering with
 			// a racing append only shifts when the gauge next reads 0.)
@@ -177,18 +258,21 @@ func (j *Journal) replAck(shard int, lsn uint64) {
 	g.mu.Unlock()
 }
 
-// replWait blocks until a follower has acknowledged lsn on shard, the
-// gate is unarmed (no follower ever attached), or the journal's ack
-// timeout expires — the timeout is an error: the caller must not flush
-// acknowledgements it cannot honor.
+// replWait blocks until a majority of the cluster has acknowledged lsn
+// on shard, the gate is unarmed (no follower registered and no cluster
+// size configured), or the journal's ack timeout expires — the timeout
+// is an error: the caller must not flush acknowledgements it cannot
+// honor. A dead minority never delays the wait (the majority's acks
+// release it); only a lost majority runs out the timeout.
 func (j *Journal) replWait(shard int, lsn uint64) error {
 	if lsn == 0 {
 		return nil
 	}
 	g := &j.gates[shard]
+	cluster := int(j.cluster.Load())
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if !g.required || g.acked >= lsn {
+	if g.ackCount(lsn) >= g.need(cluster) {
 		return nil
 	}
 	var start time.Time
@@ -202,10 +286,11 @@ func (j *Journal) replWait(shard int, lsn uint64) error {
 		g.mu.Unlock()
 	})
 	defer timer.Stop()
-	for g.acked < lsn {
+	for g.ackCount(lsn) < g.need(cluster) {
 		if !time.Now().Before(deadline) {
 			j.ackTimeouts.Add(1)
-			return fmt.Errorf("rangestore: shard %d: no follower ack for lsn %d within %v", shard, lsn, j.ackTimeout)
+			return fmt.Errorf("rangestore: shard %d: no ack quorum for lsn %d within %v (%d/%d follower acks)",
+				shard, lsn, j.ackTimeout, g.ackCount(lsn), g.need(cluster))
 		}
 		g.cond.Wait()
 	}
@@ -213,6 +298,149 @@ func (j *Journal) replWait(shard int, lsn uint64) error {
 		j.ackWaitNs.ObserveDuration(time.Since(start))
 	}
 	return nil
+}
+
+// SetClusterSize declares the replication cluster's total node count,
+// leader included. With n ≥ 2, every batch commit must be held by a
+// strict majority (n/2+1 nodes, counting the leader's own disk) before
+// it is acknowledged — even while no follower is attached, so a leader
+// that cannot reach a quorum refuses writes instead of quietly
+// diverging. Zero (the default) derives the cluster from registered
+// followers. Waiters are woken to re-evaluate against the new size.
+func (j *Journal) SetClusterSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	j.cluster.Store(int32(n))
+	for i := range j.gates {
+		g := &j.gates[i]
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// ClusterSize returns the configured cluster size (0 when derived from
+// registered followers).
+func (j *Journal) ClusterSize() int { return int(j.cluster.Load()) }
+
+// QuorumInfo reports the effective replication quorum for health
+// surfaces: the effective cluster size, the majority threshold, and the
+// number of distinct registered followers (union across shards — a
+// follower attaches per shard under one node id).
+func (j *Journal) QuorumInfo() (size, quorum, followers int) {
+	ids := make(map[string]struct{})
+	for i := range j.gates {
+		g := &j.gates[i]
+		g.mu.Lock()
+		for id := range g.members {
+			ids[id] = struct{}{}
+		}
+		g.mu.Unlock()
+	}
+	followers = len(ids)
+	size = 1 + followers
+	if c := int(j.cluster.Load()); c > size {
+		size = c
+	}
+	return size, size/2 + 1, followers
+}
+
+// epochFileName is the WAL-directory file holding the node's persisted
+// election epoch: 8 bytes little-endian plus a CRC32, written via a
+// synced temp file and rename so it is either the old promise or the
+// new one, never torn. The name carries no "shard-" prefix, so
+// recovery's directory scan ignores it.
+const epochFileName = "epoch"
+
+func writeEpoch(d pfs.Dir, e uint64) error {
+	var buf [12]byte
+	binary.LittleEndian.PutUint64(buf[:8], e)
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf[:8]))
+	f, err := d.Create(epochFileName + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := d.Rename(epochFileName+".tmp", epochFileName); err != nil {
+		return err
+	}
+	return d.Sync()
+}
+
+// readEpoch loads the persisted epoch; a directory that never held one
+// starts at 0. A present-but-corrupt file is an error — a node that
+// cannot prove what it promised must not vote.
+func readEpoch(d pfs.Dir) (uint64, error) {
+	names, err := d.List()
+	if err != nil {
+		return 0, err
+	}
+	found := false
+	for _, n := range names {
+		if n == epochFileName {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, nil
+	}
+	b, err := d.ReadFile(epochFileName)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 12 || crc32.ChecksumIEEE(b[:8]) != binary.LittleEndian.Uint32(b[8:]) {
+		return 0, fmt.Errorf("rangestore: corrupt epoch file (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[:8]), nil
+}
+
+// Epoch returns the node's current election epoch.
+func (j *Journal) Epoch() uint64 { return j.epoch.Load() }
+
+// AdvanceEpoch durably raises the node's epoch to e, returning true
+// only when e is strictly greater than every epoch the node has seen.
+// The persist-then-publish order makes the promise crash-proof: once a
+// node has granted (or adopted) epoch e, no restart lets it ack or vote
+// under anything lower.
+func (j *Journal) AdvanceEpoch(e uint64) (bool, error) {
+	j.epochMu.Lock()
+	defer j.epochMu.Unlock()
+	if e <= j.epoch.Load() {
+		return false, nil
+	}
+	if err := writeEpoch(j.dir, e); err != nil {
+		return false, err
+	}
+	j.epoch.Store(e)
+	return true, nil
+}
+
+// DurableLSNs commits every shard's log and returns the per-shard LSN
+// frontier — the durable holdings a STATE probe or VOTE response
+// reports. The commit first matters for votes: a granted LSN claim is a
+// catch-up source contract, so it must be on disk before it is spoken.
+func (j *Journal) DurableLSNs() ([]uint64, error) {
+	lsns := make([]uint64, len(j.wals))
+	var first error
+	for i, w := range j.wals {
+		if err := w.CommitAll(j.mode != pfs.SyncOff); err != nil && first == nil {
+			first = err
+		}
+		lsns[i] = w.LastLSN()
+	}
+	return lsns, first
 }
 
 // journalConn tracks which shards' WALs a connection's current batch

@@ -57,6 +57,7 @@ type serverMetrics struct {
 
 	snapshotsServed *obs.Counter // FOLLOW sessions bootstrapped from checkpoint
 	followStreams   *obs.Gauge   // live leader-side replication streams
+	elections       *obs.Counter // elections this node has won (promoteSelf)
 }
 
 // WithMetrics has the server record into reg — the option cmd/rangestored
@@ -129,6 +130,7 @@ func (s *Server) wireMetrics() {
 	m.rebalanceMoves = reg.Counter("rs_rebalance_moves_total")
 	m.snapshotsServed = reg.Counter("repl_snapshots_served_total")
 	m.followStreams = reg.Gauge("repl_follow_streams")
+	m.elections = reg.Counter("elections_total")
 	reg.GaugeFunc("rs_placement_version", func() int64 {
 		return int64(s.store.PlacementVersion())
 	})
@@ -173,6 +175,10 @@ func opLabel(op OpCode) string {
 		return "promote"
 	case OpStats:
 		return "stats"
+	case OpState:
+		return "state"
+	case OpVote:
+		return "vote"
 	default:
 		return "unknown"
 	}
@@ -214,21 +220,30 @@ func (j *Journal) setMetrics(reg *obs.Registry) {
 		reg.GaugeFunc("wal_buffered_bytes"+shard, w.BufferedBytes)
 		reg.GaugeFunc("wal_since_checkpoint_bytes"+shard, w.SinceCheckpoint)
 		reg.GaugeFunc("wal_last_lsn"+shard, func() int64 { return int64(w.LastLSN()) })
-		reg.GaugeFunc("repl_lag_records"+shard, func() int64 { return lagRecords(w, g) })
-		reg.GaugeFunc("repl_lag_bytes"+shard, func() int64 { return lagBytes(w, g) })
+		reg.GaugeFunc("repl_lag_records"+shard, func() int64 { return lagRecords(w, g, int(j.cluster.Load())) })
+		reg.GaugeFunc("repl_lag_bytes"+shard, func() int64 { return lagBytes(w, g, int(j.cluster.Load())) })
 	}
+	reg.GaugeFunc("repl_quorum_size", func() int64 {
+		size, _, _ := j.QuorumInfo()
+		return int64(size)
+	})
+	reg.GaugeFunc("repl_followers", func() int64 {
+		_, _, followers := j.QuorumInfo()
+		return int64(followers)
+	})
+	reg.GaugeFunc("repl_epoch", func() int64 { return int64(j.Epoch()) })
 }
 
 // lagRecords is the leader's view of one shard's replication debt in
-// LSN units: shard frontier minus acked frontier while a follower is
-// (or ever was) attached, 0 otherwise. An upper bound except at 0 —
-// see the package comment.
-func lagRecords(w *pfs.WAL, g *replGate) int64 {
+// LSN units: shard frontier minus the quorum-acked frontier while the
+// gate is armed (a follower registered or a cluster size configured),
+// 0 otherwise. An upper bound except at 0 — see the package comment.
+func lagRecords(w *pfs.WAL, g *replGate, cluster int) int64 {
 	g.mu.Lock()
-	required, acked := g.required, g.acked
+	acked := g.quorumAcked(cluster)
 	g.mu.Unlock()
-	if !required {
-		return 0
+	if acked == ^uint64(0) {
+		return 0 // unarmed
 	}
 	last := w.LastLSN()
 	if last <= acked {
@@ -238,12 +253,13 @@ func lagRecords(w *pfs.WAL, g *replGate) int64 {
 }
 
 // lagBytes is the byte-unit companion: log bytes appended past the
-// point where the follower last fully caught up.
-func lagBytes(w *pfs.WAL, g *replGate) int64 {
+// point where the quorum last fully caught up.
+func lagBytes(w *pfs.WAL, g *replGate, cluster int) int64 {
 	g.mu.Lock()
-	required, ackedEnd := g.required, g.ackedEnd
+	armed := g.need(cluster) > 0
+	ackedEnd := g.ackedEnd
 	g.mu.Unlock()
-	if !required {
+	if !armed {
 		return 0
 	}
 	if end := w.AppendEnd(); end > ackedEnd {

@@ -22,9 +22,11 @@
 //	MIGRATE   dst:u32 name:bytes
 //	SHARDS    (empty)
 //	RECOVERED (empty)
-//	FOLLOW    shard:u32 fromlsn:u64 flags:u8
+//	FOLLOW    shard:u32 fromlsn:u64 flags:u8 epoch:u64 node:bytes
 //	PROMOTE   (empty)
 //	STATS     (empty)
+//	STATE     (empty)
+//	VOTE      epoch:u64 candidate:bytes
 //
 // Op-specific response payloads (status == StatusOK):
 //
@@ -37,9 +39,11 @@
 //	MIGRATE   (empty)
 //	SHARDS    n:u32 count:u64 ×n
 //	RECOVERED wal:u8 shards:u32 files:u32 fromckpt:u32 migrations:u32 records:u64 torn:u64 maxlsn:u64
-//	FOLLOW    snap:u8 floor:u64 nfiles:u32
+//	FOLLOW    snap:u8 floor:u64 nfiles:u32 epoch:u64
 //	PROMOTE   (empty)
 //	STATS     n:u32 entry ×n                (see stats_wire.go for the entry layout)
+//	STATE     leader:u8 fresh:u8 epoch:u64 n:u32 lsn:u64 ×n leaderaddr:bytes
+//	VOTE      granted:u8 fresh:u8 epoch:u64 n:u32 lsn:u64 ×n
 //
 // OPEN and MIGRATE names are limited to pfs.MaxName (4 KiB) bytes —
 // names are journaled to the write-ahead log with a bounded length
@@ -82,6 +86,24 @@
 // lag), encoded per stats_wire.go. A server running without metrics
 // answers with an empty snapshot; older servers answer StatusBadRequest,
 // which clients surface as ErrBadRequest.
+//
+// STATE and VOTE (protocol v5) are the election surface. STATE is a
+// cheap read-only probe: role, election epoch, whether the node's
+// replica is fresh (fully attached, no pending snapshot reset), the
+// per-shard durable LSN frontier, and the leader address the node
+// believes in. VOTE carries a candidate's epoch and identity; the
+// server grants iff the epoch exceeds every epoch it has ever seen
+// (granting persists the promise — a restart cannot forget it), and the
+// response reports the voter's per-shard durable LSN frontier so the
+// winner can catch up from the most advanced granting voter before
+// serving writes. FOLLOW requests additionally carry the follower's
+// node id (its advertised address — the ack-quorum membership key) and
+// epoch; the response carries the leader's epoch, which the follower
+// adopts and stamps into every ack, so a deposed leader recognizes its
+// own staleness from the first ack it receives. FollowFetch turns a
+// FOLLOW session into a finite catch-up read: snapshot and backfill up
+// to the current frontier, terminated by an end-of-stream frame, with
+// no ack gate armed — the election winner's pre-promotion data pull.
 //
 // Writes sent to a follower are answered with StatusNotLeader; the
 // message carries the leader's advertised address so clients can
@@ -131,7 +153,9 @@ const (
 	OpFollow
 	OpPromote
 	OpStats
-	numOps = int(OpStats)
+	OpState
+	OpVote
+	numOps = int(OpVote)
 )
 
 func (o OpCode) String() string {
@@ -160,6 +184,10 @@ func (o OpCode) String() string {
 		return "PROMOTE"
 	case OpStats:
 		return "STATS"
+	case OpState:
+		return "STATE"
+	case OpVote:
+		return "VOTE"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -175,6 +203,14 @@ const OpenCreate uint8 = 1 << 0
 // only a snapshot wipe re-converges them.
 const FollowReset uint8 = 1 << 0
 
+// FollowFetch makes FOLLOW a finite catch-up read: the server streams
+// the snapshot (if needed) and records up to its current frontier, then
+// sends an end-of-stream frame and returns the connection to
+// request/response framing being closed. No ack gate is armed and no
+// acks are read — an election winner uses it to pull records it is
+// missing from the most advanced voter before promoting itself.
+const FollowFetch uint8 = 1 << 1
+
 // Status is the response outcome.
 type Status uint8
 
@@ -189,6 +225,7 @@ const (
 	StatusTooBig
 	StatusError     // generic failure; message carried in the response
 	StatusNotLeader // mutation sent to a follower; message carries the leader address
+	StatusNotReady  // PROMOTE refused: snapshot bootstrap in flight, state would be partial
 )
 
 func (s Status) String() string {
@@ -211,6 +248,8 @@ func (s Status) String() string {
 		return "Error"
 	case StatusNotLeader:
 		return "NotLeader"
+	case StatusNotReady:
+		return "NotReady"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -224,6 +263,7 @@ var (
 	ErrBadHandle  = errors.New("rangestore: invalid file handle")
 	ErrBadRequest = errors.New("rangestore: malformed request")
 	ErrTooBig     = errors.New("rangestore: payload exceeds MaxData")
+	ErrNotReady   = errors.New("rangestore: follower not ready (snapshot bootstrap in flight)")
 )
 
 // NotLeaderError is the error for StatusNotLeader: the server is a
@@ -262,6 +302,8 @@ func (s Status) Err(msg string) error {
 		return ErrTooBig
 	case StatusNotLeader:
 		return &NotLeaderError{Leader: msg}
+	case StatusNotReady:
+		return ErrNotReady
 	default:
 		return fmt.Errorf("rangestore: remote error: %s", msg)
 	}
@@ -278,7 +320,8 @@ type Request struct {
 	Size   uint64 // TRUNCATE
 	Flags  uint8  // OPEN, FOLLOW
 	Dst    uint32 // MIGRATE: destination shard; FOLLOW: shard
-	Name   string // OPEN, MIGRATE
+	Epoch  uint64 // FOLLOW: follower's epoch; VOTE: candidate's epoch
+	Name   string // OPEN, MIGRATE; FOLLOW: follower node id; VOTE: candidate id
 	Data   []byte // WRITE, APPEND
 }
 
@@ -296,6 +339,33 @@ type RecoveredInfo struct {
 	MaxLSN     uint64
 }
 
+// StateInfo is the STATE response: one node's view of the election.
+// LSNs is the per-shard durable LSN frontier (what the node's journal
+// holds); Leader is true when the node serves writes; Fresh is true
+// when its replica is fully attached with no pending snapshot reset
+// (or it has no replica at all); Addr is the leader address it believes
+// in ("" when unknown or when it is the leader itself).
+type StateInfo struct {
+	Leader bool
+	Fresh  bool
+	Epoch  uint64
+	LSNs   []uint64
+	Addr   string
+}
+
+// VoteInfo is the VOTE response. Granted reports whether the voter
+// accepted the candidate's epoch (a durable promise — the voter will
+// never grant that epoch again, nor ack a lower-epoch leader). Epoch is
+// the voter's epoch after the request (≥ the candidate's when granted);
+// LSNs is the voter's per-shard durable frontier, committed before
+// encoding, so a winning candidate can catch up from its voters.
+type VoteInfo struct {
+	Granted bool
+	Fresh   bool
+	Epoch   uint64
+	LSNs    []uint64
+}
+
 // Response is one decoded server response. Data and Msg alias the decode
 // buffer and are valid until the next decode into the same buffer.
 type Response struct {
@@ -308,10 +378,13 @@ type Response struct {
 	Size      uint64        // STAT
 	Blocks    uint32        // STAT
 	EOF       bool          // READ; FOLLOW: snapshot bootstrap follows
+	Epoch     uint64        // FOLLOW: leader's epoch
 	Data      []byte        // READ
 	Shards    []int64       // SHARDS: per-shard request counts (allocated, not aliased)
 	Recovered RecoveredInfo // RECOVERED
 	Stats     *obs.Snapshot // STATS: metrics snapshot (allocated, not aliased)
+	State     *StateInfo    // STATE (allocated, not aliased)
+	Vote      *VoteInfo     // VOTE (allocated, not aliased)
 	Msg       string        // non-OK statuses
 }
 
@@ -365,7 +438,12 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint32(dst, r.Dst)
 		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
 		dst = append(dst, r.Flags)
-	case OpShards, OpRecovered, OpPromote, OpStats:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Epoch)
+		dst = append(dst, r.Name...)
+	case OpVote:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Epoch)
+		dst = append(dst, r.Name...)
+	case OpShards, OpRecovered, OpPromote, OpStats, OpState:
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
@@ -427,13 +505,44 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = append(dst, snap)
 		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
 		dst = binary.LittleEndian.AppendUint32(dst, r.N)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Epoch)
 	case OpPromote:
 	case OpStats:
 		dst = appendStats(dst, r.Stats)
+	case OpState:
+		st := r.State
+		if st == nil {
+			st = &StateInfo{}
+		}
+		dst = append(dst, b2u8(st.Leader), b2u8(st.Fresh))
+		dst = binary.LittleEndian.AppendUint64(dst, st.Epoch)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.LSNs)))
+		for _, l := range st.LSNs {
+			dst = binary.LittleEndian.AppendUint64(dst, l)
+		}
+		dst = append(dst, st.Addr...)
+	case OpVote:
+		v := r.Vote
+		if v == nil {
+			v = &VoteInfo{}
+		}
+		dst = append(dst, b2u8(v.Granted), b2u8(v.Fresh))
+		dst = binary.LittleEndian.AppendUint64(dst, v.Epoch)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.LSNs)))
+		for _, l := range v.LSNs {
+			dst = binary.LittleEndian.AppendUint64(dst, l)
+		}
 	default:
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
 	return finishFrame(dst, start)
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // cursor is a bounds-checked little-endian reader over one frame body.
@@ -532,7 +641,12 @@ func ParseRequest(body []byte, r *Request) error {
 		r.Dst = c.u32()
 		r.Off = c.u64()
 		r.Flags = c.u8()
-	case OpShards, OpRecovered, OpPromote, OpStats:
+		r.Epoch = c.u64()
+		r.Name = string(c.rest())
+	case OpVote:
+		r.Epoch = c.u64()
+		r.Name = string(c.rest())
+	case OpShards, OpRecovered, OpPromote, OpStats, OpState:
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrBadRequest, uint8(r.Op))
 	}
@@ -591,9 +705,19 @@ func ParseResponse(body []byte, r *Response) error {
 		r.EOF = c.u8() != 0
 		r.Off = c.u64()
 		r.N = c.u32()
+		r.Epoch = c.u64()
 	case OpPromote:
 	case OpStats:
 		r.Stats = parseStats(&c)
+	case OpState:
+		st := &StateInfo{Leader: c.u8() != 0, Fresh: c.u8() != 0, Epoch: c.u64()}
+		st.LSNs = parseLSNs(&c)
+		st.Addr = string(c.rest())
+		r.State = st
+	case OpVote:
+		v := &VoteInfo{Granted: c.u8() != 0, Fresh: c.u8() != 0, Epoch: c.u64()}
+		v.LSNs = parseLSNs(&c)
+		r.Vote = v
 	default:
 		return fmt.Errorf("%w: unknown op %d in response", ErrBadRequest, uint8(r.Op))
 	}
@@ -601,6 +725,22 @@ func ParseResponse(body []byte, r *Response) error {
 		return fmt.Errorf("%w: truncated %s response", ErrBadRequest, r.Op)
 	}
 	return nil
+}
+
+// parseLSNs decodes a u32-counted list of u64 LSNs, bounds-checked
+// against the remaining body so a corrupt count cannot drive a huge
+// allocation.
+func parseLSNs(c *cursor) []uint64 {
+	n := c.u32()
+	if uint64(n)*8 > uint64(len(c.b)) {
+		c.err = true
+		return nil
+	}
+	lsns := make([]uint64, n)
+	for i := range lsns {
+		lsns[i] = c.u64()
+	}
+	return lsns
 }
 
 // ReadFrame reads one length-prefixed frame body from r, reusing buf when

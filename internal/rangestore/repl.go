@@ -9,7 +9,9 @@
 //
 //	repSnapFile  nameLen:u16 name snapshot      (leader → follower)
 //	repRec       prevlsn:u64 record             (leader → follower)
-//	repAck       lsn:u64                        (follower → leader)
+//	repAck       lsn:u64 epoch:u64              (follower → leader)
+//	repHeartbeat epoch:u64                      (leader → follower)
+//	repEnd       lsn:u64                        (leader → follower, FollowFetch only)
 //
 // A repRec's record field is a raw WAL record frame — the exact
 // len/crc/body bytes the leader's log holds — so the follower re-runs
@@ -24,24 +26,41 @@
 //
 // The session is semi-synchronous: the moment a follower attaches to a
 // shard, batch commits touching that shard wait (bounded by the
-// journal's ack timeout) for a repAck covering their records before
-// responses flush. Acks are sent after the follower has applied AND
-// committed the records to its own log, so an acknowledged write
-// survives the death of either node.
+// journal's ack timeout) for repAcks from a majority of the cluster
+// covering their records before responses flush. Acks are sent after
+// the follower has applied AND committed the records to its own log, so
+// an acknowledged write survives the death of a minority of nodes.
+//
+// Epoch fencing: every ack carries the epoch the follower is acking
+// under (adopted from the FOLLOW response, raised by votes it grants).
+// A leader that sees an ack or a FOLLOW request stamped with a later
+// epoch has been deposed — it steps down to read-only on the spot, so a
+// network that delivers a stale leader's frames late can never count
+// them toward a commit under the new regime. Heartbeat frames push the
+// leader's epoch (and liveness) to followers between records; a
+// follower whose own epoch has moved past the session's severs it.
 package rangestore
 
 import (
 	"encoding/binary"
+	"sync"
+	"time"
 
 	"repro/internal/pfs"
 )
 
 // Replication stream frame kinds.
 const (
-	repSnapFile = 1
-	repRec      = 2
-	repAck      = 3
+	repSnapFile  = 1
+	repRec       = 2
+	repAck       = 3
+	repHeartbeat = 4
+	repEnd       = 5
 )
+
+// defaultReplHeartbeat is the leader→follower heartbeat period when the
+// server option leaves it zero: the lease followers base elections on.
+const defaultReplHeartbeat = 500 * time.Millisecond
 
 // maxReplFrame bounds replication stream frames: a whole-file snapshot
 // or MIGRATE record (up to pfs's 1 GiB record cap) plus header slack.
@@ -71,10 +90,28 @@ func appendRecFrame(dst []byte, prevLSN uint64, raw []byte) []byte {
 	return dst
 }
 
-// appendAckFrame encodes the follower's applied-and-durable frontier.
-func appendAckFrame(dst []byte, lsn uint64) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, 9)
+// appendAckFrame encodes the follower's applied-and-durable frontier,
+// stamped with the epoch it acks under.
+func appendAckFrame(dst []byte, lsn, epoch uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 17)
 	dst = append(dst, repAck)
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	return dst
+}
+
+// appendHeartbeatFrame encodes a leader liveness beacon with its epoch.
+func appendHeartbeatFrame(dst []byte, epoch uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 9)
+	dst = append(dst, repHeartbeat)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	return dst
+}
+
+// appendEndFrame terminates a FollowFetch stream at the frontier lsn.
+func appendEndFrame(dst []byte, lsn uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 9)
+	dst = append(dst, repEnd)
 	dst = binary.LittleEndian.AppendUint64(dst, lsn)
 	return dst
 }
@@ -118,7 +155,9 @@ func (cn *conn) answer(resp *Response) error {
 // dies. The sequence — arm the ack gate, cut (checkpoint, log, tap)
 // atomically under the shard's checkpoint mutex, bootstrap, backfill,
 // tail — guarantees every record the leader ever acknowledges is either
-// in what was sent or will reach the tap.
+// in what was sent or will reach the tap. A FollowFetch session skips
+// the gate and the tail: it streams the durable cut and terminates with
+// an end frame — the election winner's read-only catch-up pull.
 func (s *Server) serveFollow(cn *conn, body []byte) error {
 	var req Request
 	if err := ParseRequest(body, &req); err != nil {
@@ -131,20 +170,40 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 		resp.Status = StatusBadRequest
 		return cn.answer(&resp)
 	}
-	// Arm the gate before the response escapes: once the follower hears
-	// success, every leader ack from that instant on waits for it.
-	s.journal.replRequire(shard)
+	fetch := req.Flags&FollowFetch != 0
+	if req.Epoch > s.journal.Epoch() {
+		// The requester has promised a later epoch than we have seen: if
+		// we thought we were the leader, we no longer are. Adopt the
+		// epoch either way so it propagates.
+		s.stepDown(req.Epoch, "")
+	}
+	if !fetch {
+		if s.notLeader.Load() {
+			// Only the leader arms ack gates; a follower serves fetches
+			// (reads of its durable cut) but never a live session.
+			resp.Status = StatusNotLeader
+			resp.Msg = s.LeaderAddr()
+			return cn.answer(&resp)
+		}
+		// Arm the gate before the response escapes: once the follower
+		// hears success, every leader ack from that instant on waits
+		// for it.
+		s.journal.replRequire(shard, req.Name)
+	}
 	tap, files, floor, recs, err := s.journal.attachTap(shard, defaultTapMax)
 	if err != nil {
 		fillError(&resp, err)
 		return cn.answer(&resp)
 	}
 	defer tap.Close()
+	epoch := s.journal.Epoch()
+	resp.Epoch = epoch
 	if m := s.metrics; m != nil {
 		m.followStreams.Add(1)
 		defer m.followStreams.Add(-1)
 	}
-	s.logger.Info("follower attached", "conn", cn.id, "shard", shard, "fromlsn", req.Off, "role", "leader")
+	s.logger.Info("follower attached", "conn", cn.id, "shard", shard, "fromlsn", req.Off,
+		"node", req.Name, "epoch", epoch, "fetch", fetch, "role", "leader")
 
 	// The follower bootstraps from the checkpoint when it asks for
 	// records the log no longer holds (checkpointed away below floor)
@@ -193,6 +252,15 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 		}
 		lastSent = rec.LSN
 	}
+	if fetch {
+		// Finite catch-up: everything durable at the attach cut has been
+		// sent; mark the frontier and return the connection to die.
+		out = appendEndFrame(out[:0], lastSent)
+		if _, err := cn.bw.Write(out); err != nil {
+			return err
+		}
+		return cn.bw.Flush()
+	}
 	if err := cn.bw.Flush(); err != nil {
 		return err
 	}
@@ -200,7 +268,9 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 	// Ack pump. It owns the read half; on any read failure it kills the
 	// connection and the tap so the streaming loop below wakes too —
 	// without the tap close, a quiet shard would leave this session
-	// blocked in Next forever after the follower vanished.
+	// blocked in Next forever after the follower vanished. Acks stamped
+	// with a later epoch mean a new leader has been elected: step down
+	// and kill the session instead of counting them.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -211,8 +281,16 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 				break
 			}
 			abuf = b[:0]
-			if len(b) == 9 && b[0] == repAck {
-				s.journal.replAck(shard, binary.LittleEndian.Uint64(b[1:]))
+			if len(b) == 17 && b[0] == repAck {
+				lsn := binary.LittleEndian.Uint64(b[1:9])
+				ae := binary.LittleEndian.Uint64(b[9:17])
+				if ae > epoch {
+					s.stepDown(ae, "")
+					break
+				}
+				if ae == epoch {
+					s.journal.replAck(shard, req.Name, lsn)
+				}
 			}
 		}
 		cn.nc.Close()
@@ -221,6 +299,45 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 	defer func() {
 		cn.nc.Close()
 		<-done
+	}()
+
+	// Heartbeats share the write half with the tail loop below (wmu):
+	// they carry the leader's epoch and liveness between records, the
+	// lease followers base election timeouts on. A deposed leader's
+	// heartbeater kills the session instead of beating under a dead
+	// epoch.
+	var wmu sync.Mutex
+	hb := s.replHeartbeat
+	if hb <= 0 {
+		hb = defaultReplHeartbeat
+	}
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		var hout []byte
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+			}
+			if s.notLeader.Load() {
+				cn.nc.Close()
+				return
+			}
+			hout = appendHeartbeatFrame(hout[:0], s.journal.Epoch())
+			wmu.Lock()
+			_, werr := cn.bw.Write(hout)
+			if werr == nil {
+				werr = cn.bw.Flush()
+			}
+			wmu.Unlock()
+			if werr != nil {
+				return
+			}
+		}
 	}()
 
 	// Tail the tap: it delivers the shard's durable log suffix as raw
@@ -236,6 +353,7 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 		}
 		buf = b
 		off := 0
+		wmu.Lock()
 		for off < len(buf) {
 			rec, n, derr := pfs.DecodeRecord(buf[off:])
 			if derr != nil {
@@ -244,6 +362,7 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 			if rec.LSN > lastSent {
 				out = appendRecFrame(out[:0], lastSent, buf[off:off+n])
 				if _, err := cn.bw.Write(out); err != nil {
+					wmu.Unlock()
 					return err
 				}
 				lastSent = rec.LSN
@@ -252,7 +371,9 @@ func (s *Server) serveFollow(cn *conn, body []byte) error {
 		}
 		buf = append(buf[:0], buf[off:]...)
 		if err := cn.bw.Flush(); err != nil {
+			wmu.Unlock()
 			return err
 		}
+		wmu.Unlock()
 	}
 }

@@ -49,21 +49,28 @@ type Replica struct {
 	j     *Journal
 	mp    *pfs.MapPlacement
 	dial  func() (net.Conn, error)
+	id    string // node id registered in the leader's ack quorum
 
 	last      []uint64 // per-shard applied LSN; owned by that shard's loop
-	needReset []bool   // force snapshot bootstrap on next attach
+	needReset []bool   // force snapshot bootstrap on next attach (writes under mu; the shard loop reads its own slot)
+
+	// lastContact is when any stream last heard from the leader
+	// (handshake, record, or heartbeat) — the lease the elector watches.
+	lastContact atomic.Int64
 
 	fmu    sync.Mutex
 	floors map[string]uint64 // per-name apply floor
 
-	mu       sync.Mutex
-	cond     sync.Cond
-	conns    map[net.Conn]struct{}
-	attached []bool
-	stopped  bool
-	promoted bool
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	cond      sync.Cond
+	conns     map[net.Conn]struct{}
+	attached  []bool
+	booting   []bool // per-shard: snapshot bootstrap in flight
+	promoting bool   // Promote committed to running; refuses new bootstraps
+	stopped   bool
+	promoted  bool
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
 
 	// Observation hooks, wired by the owning server. setMetrics and
 	// setLogger run in NewServerSharded — after StartReplica's pull
@@ -91,6 +98,17 @@ func (r *Replica) setLogger(l *obs.Logger) {
 // logger returns the current logger (nil discards, per obs.Logger).
 func (r *Replica) logger() *obs.Logger { return r.logp.Load() }
 
+// ReplicaOption configures StartReplica.
+type ReplicaOption func(*Replica)
+
+// WithReplicaID sets the node id the replica registers under in the
+// leader's ack quorum — its advertised address, shared with the
+// elector. Required for clusters with more than one follower: anonymous
+// followers collapse into a single quorum member.
+func WithReplicaID(id string) ReplicaOption {
+	return func(r *Replica) { r.id = id }
+}
+
 // StartReplica begins pulling from the leader reached by dial, one
 // stream per shard of store. j must be the journal Recover returned for
 // store; stats tells the replica whether it restarted over existing
@@ -98,7 +116,7 @@ func (r *Replica) logger() *obs.Logger { return r.logp.Load() }
 // local state may contain files the leader has since dropped). The
 // store must use a MapPlacement: replicated creates and migrations pin
 // names to the leader's chosen shards.
-func StartReplica(store *pfs.Sharded, j *Journal, stats pfs.RecoverStats, dial func() (net.Conn, error)) (*Replica, error) {
+func StartReplica(store *pfs.Sharded, j *Journal, stats pfs.RecoverStats, dial func() (net.Conn, error), opts ...ReplicaOption) (*Replica, error) {
 	mp, ok := store.Placement().(*pfs.MapPlacement)
 	if !ok {
 		return nil, errors.New("rangestore: replica requires a map placement")
@@ -116,9 +134,14 @@ func StartReplica(store *pfs.Sharded, j *Journal, stats pfs.RecoverStats, dial f
 		floors:    make(map[string]uint64),
 		conns:     make(map[net.Conn]struct{}),
 		attached:  make([]bool, store.NumShards()),
+		booting:   make([]bool, store.NumShards()),
 		stopCh:    make(chan struct{}),
 	}
+	for _, o := range opts {
+		o(r)
+	}
 	r.cond.L = &r.mu
+	r.touchContact()
 	restarted := stats.Files > 0 || stats.MaxLSN > 0 || stats.Records > 0
 	for i := 0; i < store.NumShards(); i++ {
 		// The replica journals leader records itself; the local hooks
@@ -230,6 +253,64 @@ func (r *Replica) markAttached(shard int) {
 	r.mu.Unlock()
 }
 
+// touchContact stamps now as the last time a leader was heard from.
+func (r *Replica) touchContact() { r.lastContact.Store(time.Now().UnixNano()) }
+
+// LastContact returns when any stream last heard from the leader — the
+// lease the elector's timeout runs against.
+func (r *Replica) LastContact() time.Time { return time.Unix(0, r.lastContact.Load()) }
+
+// setNeedReset flips shard's pending-snapshot flag under mu so Fresh
+// can read it from other goroutines; the shard's own loop reads its
+// slot without the lock (it is the only writer's goroutine).
+func (r *Replica) setNeedReset(shard int, v bool) {
+	r.mu.Lock()
+	r.needReset[shard] = v
+	r.mu.Unlock()
+}
+
+// beginBootstrap claims shard's bootstrap slot; it refuses when a
+// promotion has been committed to — a snapshot wipe must never race a
+// promotion, or the new leader would serve a half-installed shard.
+func (r *Replica) beginBootstrap(shard int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoting || r.stopped {
+		return false
+	}
+	r.booting[shard] = true
+	return true
+}
+
+func (r *Replica) endBootstrap(shard int) {
+	r.mu.Lock()
+	r.booting[shard] = false
+	r.mu.Unlock()
+}
+
+// Fresh reports whether the replica is election-grade: every shard
+// attached at least once, no shard owed a snapshot wipe, no bootstrap
+// in flight. Only fresh replicas stand as candidates. A non-fresh
+// replica is still a safe catch-up source — its WAL durably holds
+// everything it ever acked — it just must not lead until its own state
+// converges.
+func (r *Replica) Fresh() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted {
+		return true
+	}
+	if r.stopped {
+		return false
+	}
+	for i := range r.attached {
+		if !r.attached[i] || r.needReset[i] || r.booting[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // WaitAttached blocks until every shard's stream has attached to the
 // leader at least once, or d elapses.
 func (r *Replica) WaitAttached(d time.Duration) error {
@@ -265,7 +346,7 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 	br := bufio.NewReaderSize(nc, 64<<10)
 	bw := bufio.NewWriterSize(nc, 64<<10)
 
-	req := Request{Op: OpFollow, Dst: uint32(shard), Off: r.last[shard]}
+	req := Request{Op: OpFollow, Dst: uint32(shard), Off: r.last[shard], Epoch: r.j.Epoch(), Name: r.id}
 	if r.needReset[shard] {
 		req.Flags = FollowReset
 	}
@@ -287,13 +368,33 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 	if err := ParseResponse(body, &resp); err != nil || resp.Op != OpFollow || resp.Err() != nil {
 		return false
 	}
+	// Epoch handshake: never follow a leader behind an epoch this node
+	// has promised (its acks would resurrect a deposed regime); adopt a
+	// later one so the new epoch propagates through the cluster.
+	sessE := resp.Epoch
+	if sessE < r.j.Epoch() {
+		return false
+	}
+	if sessE > r.j.Epoch() {
+		if _, err := r.j.AdvanceEpoch(sessE); err != nil {
+			return false
+		}
+	}
+	r.touchContact()
 
 	if resp.EOF {
 		// Snapshot bootstrap: wipe, install the checkpoint image, and
 		// persist the cut — resetShard floors the local WAL at the
 		// leader's checkpoint floor and writes a local checkpoint, so a
-		// follower crash right here recovers to this exact state.
-		if !r.bootstrap(shard, br, resp.Off, int(resp.N)) {
+		// follower crash right here recovers to this exact state. The
+		// begin/end pair fences promotion: a half-installed shard must
+		// never be promoted.
+		if !r.beginBootstrap(shard) {
+			return false
+		}
+		ok := r.bootstrap(shard, br, resp.Off, int(resp.N))
+		r.endBootstrap(shard)
+		if !ok {
 			return false
 		}
 		if o := r.obsp.Load(); o != nil {
@@ -301,7 +402,7 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 		}
 		r.logger().Info("snapshot bootstrap installed", "shard", shard, "floor", resp.Off, "files", resp.N)
 		r.last[shard] = resp.Off
-		r.needReset[shard] = false
+		r.setNeedReset(shard, false)
 	}
 	r.markAttached(shard)
 
@@ -316,7 +417,7 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 		return true
 	}
 	var frame []byte
-	ack := appendAckFrame(nil, r.last[shard])
+	ack := appendAckFrame(nil, r.last[shard], sessE)
 	if _, err := bw.Write(ack); err != nil {
 		return true
 	}
@@ -331,7 +432,10 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 	// (stream overlap after a reconnect) are skipped, but still reach
 	// the batch boundary below — a batch ending in duplicates must
 	// re-ack the frontier, or a leader resending a record whose ack was
-	// lost would wait on a confirmation that never comes.
+	// lost would wait on a confirmation that never comes. Heartbeats
+	// refresh the lease and carry the leader's epoch; the moment this
+	// node's own epoch moves past the session's (it granted a vote), the
+	// stream severs — acking a deposed leader is how splits happen.
 	var pendEnd int64
 	for {
 		b, err := ReadFrameMax(br, frame, maxReplFrame)
@@ -339,43 +443,50 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 			return true
 		}
 		frame = b[:0]
-		if len(b) < 1 || b[0] != repRec {
-			return true // unknown frame: stream out of sync, reconnect
-		}
-		if len(b) < 9 {
-			return true
-		}
-		prev := binary.LittleEndian.Uint64(b[1:])
-		raw := b[9:]
-		rec, n, err := pfs.DecodeRecord(raw)
-		if err != nil || n != len(raw) {
-			return true // corrupt or trailing garbage: reconnect re-syncs
-		}
-		if int(rec.Shard) != shard {
-			return true
-		}
-		if rec.LSN > r.last[shard] {
-			if prev != r.last[shard] {
-				// Gap: the chain link names a record this replica never
-				// applied. Reconnect resumes from last, which re-streams
-				// the missing span.
+		r.touchContact()
+		if len(b) == 9 && b[0] == repHeartbeat {
+			if he := binary.LittleEndian.Uint64(b[1:]); he > sessE {
+				if _, err := r.j.AdvanceEpoch(he); err != nil {
+					return true
+				}
+				sessE = he
+			}
+		} else {
+			if len(b) < 9 || b[0] != repRec {
+				return true // unknown frame: stream out of sync, reconnect
+			}
+			prev := binary.LittleEndian.Uint64(b[1:])
+			raw := b[9:]
+			rec, n, err := pfs.DecodeRecord(raw)
+			if err != nil || n != len(raw) {
+				return true // corrupt or trailing garbage: reconnect re-syncs
+			}
+			if int(rec.Shard) != shard {
 				return true
 			}
-			if err := r.applyRecord(&rec); err != nil {
-				// Divergence the log cannot fix; force a snapshot rebuild.
-				r.needReset[shard] = true
-				return true
+			if rec.LSN > r.last[shard] {
+				if prev != r.last[shard] {
+					// Gap: the chain link names a record this replica never
+					// applied. Reconnect resumes from last, which re-streams
+					// the missing span.
+					return true
+				}
+				if err := r.applyRecord(&rec); err != nil {
+					// Divergence the log cannot fix; force a snapshot rebuild.
+					r.setNeedReset(shard, true)
+					return true
+				}
+				end, err := r.j.wals[shard].AppendPrepared(&rec)
+				if err != nil {
+					return true
+				}
+				if o := r.obsp.Load(); o != nil {
+					o.applied.Add(1)
+					o.appliedBytes.Add(int64(len(raw)))
+				}
+				pendEnd = end
+				r.last[shard] = rec.LSN
 			}
-			end, err := r.j.wals[shard].AppendPrepared(&rec)
-			if err != nil {
-				return true
-			}
-			if o := r.obsp.Load(); o != nil {
-				o.applied.Add(1)
-				o.appliedBytes.Add(int64(len(raw)))
-			}
-			pendEnd = end
-			r.last[shard] = rec.LSN
 		}
 		if br.Buffered() > 0 {
 			continue
@@ -386,7 +497,10 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 			}
 			pendEnd = 0
 		}
-		ack := appendAckFrame(frame[:0], r.last[shard])
+		if r.j.Epoch() > sessE {
+			return true // promised a later epoch: stop acking this leader
+		}
+		ack := appendAckFrame(frame[:0], r.last[shard], sessE)
 		frame = ack[:0]
 		if _, err := bw.Write(ack); err != nil {
 			return true
@@ -394,6 +508,109 @@ func (r *Replica) stream(shard int, nc net.Conn) bool {
 		if err := bw.Flush(); err != nil {
 			return true
 		}
+	}
+}
+
+// Fetch pulls shard's records beyond this replica's frontier from the
+// node at nc — the election winner's pre-promotion catch-up, run after
+// halt() has quiesced the shard loops (the replica then owns its
+// frontiers). The source serves its durable cut and terminates with an
+// end frame; Fetch fails on any gap, leaving promotion to be abandoned
+// rather than serving holes.
+func (r *Replica) Fetch(shard int, nc net.Conn, timeout time.Duration) error {
+	defer nc.Close()
+	if timeout > 0 {
+		if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	req := Request{Op: OpFollow, Dst: uint32(shard), Off: r.last[shard],
+		Flags: FollowFetch, Epoch: r.j.Epoch(), Name: r.id}
+	if r.needReset[shard] {
+		req.Flags |= FollowReset
+	}
+	buf, err := AppendRequest(nil, &req)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	body, err := ReadFrame(br, nil)
+	if err != nil {
+		return err
+	}
+	var resp Response
+	if err := ParseResponse(body, &resp); err != nil {
+		return err
+	}
+	if resp.Op != OpFollow {
+		return fmt.Errorf("rangestore: fetch: unexpected %s response", resp.Op)
+	}
+	if err := resp.Err(); err != nil {
+		return err
+	}
+	if resp.EOF {
+		if !r.bootstrap(shard, br, resp.Off, int(resp.N)) {
+			return fmt.Errorf("rangestore: fetch: shard %d snapshot bootstrap failed", shard)
+		}
+		r.last[shard] = resp.Off
+		r.setNeedReset(shard, false)
+	}
+	var pendEnd int64
+	var frame []byte
+	for {
+		b, err := ReadFrameMax(br, frame, maxReplFrame)
+		if err != nil {
+			return err
+		}
+		frame = b[:0]
+		if len(b) == 9 && b[0] == repEnd {
+			endLSN := binary.LittleEndian.Uint64(b[1:])
+			if r.last[shard] < endLSN {
+				return fmt.Errorf("rangestore: fetch: shard %d ended at lsn %d, applied %d", shard, endLSN, r.last[shard])
+			}
+			if pendEnd != 0 {
+				return r.j.commitShard(shard, pendEnd)
+			}
+			return nil
+		}
+		if len(b) < 9 || b[0] != repRec {
+			return fmt.Errorf("rangestore: fetch: shard %d unexpected frame", shard)
+		}
+		prev := binary.LittleEndian.Uint64(b[1:])
+		raw := b[9:]
+		rec, n, err := pfs.DecodeRecord(raw)
+		if err != nil || n != len(raw) {
+			return fmt.Errorf("rangestore: fetch: shard %d corrupt record frame", shard)
+		}
+		if int(rec.Shard) != shard {
+			return fmt.Errorf("rangestore: fetch: record for shard %d on shard %d stream", rec.Shard, shard)
+		}
+		if rec.LSN <= r.last[shard] {
+			continue
+		}
+		if prev != r.last[shard] {
+			return fmt.Errorf("rangestore: fetch: shard %d gap at lsn %d (chain %d, applied %d)", shard, rec.LSN, prev, r.last[shard])
+		}
+		if err := r.applyRecord(&rec); err != nil {
+			return err
+		}
+		end, err := r.j.wals[shard].AppendPrepared(&rec)
+		if err != nil {
+			return err
+		}
+		if o := r.obsp.Load(); o != nil {
+			o.applied.Add(1)
+			o.appliedBytes.Add(int64(len(raw)))
+		}
+		pendEnd = end
+		r.last[shard] = rec.LSN
 	}
 }
 
@@ -545,8 +762,20 @@ func (r *Replica) Stop() {
 // committed), and the store's journal hooks are rewired so subsequent
 // local mutations write ahead to the local WAL. The caller makes the
 // server writable only after Promote returns (WithFollower's server
-// does this in its PROMOTE handler). Idempotent.
+// does this in its PROMOTE handler). A replica mid-snapshot-bootstrap
+// refuses with ErrNotReady — promoting a half-installed shard would
+// serve partial state as truth; the caller retries once the bootstrap
+// finishes (or dies). Idempotent once it has succeeded.
 func (r *Replica) Promote() error {
+	r.mu.Lock()
+	for i, b := range r.booting {
+		if b {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: shard %d", ErrNotReady, i)
+		}
+	}
+	r.promoting = true
+	r.mu.Unlock()
 	r.halt()
 	r.mu.Lock()
 	already := r.promoted

@@ -48,12 +48,17 @@ type Server struct {
 	recovered pfs.RecoverStats
 
 	// notLeader, when set, answers mutations with StatusNotLeader
-	// carrying leaderAddr — the follower role. replica is the
+	// carrying the leader address — the follower role. replica is the
 	// replication pull loop feeding this server's store; PROMOTE drains
-	// it and clears notLeader, flipping the server writable.
-	notLeader  atomic.Bool
-	leaderAddr string
-	replica    *Replica
+	// it and clears notLeader, flipping the server writable. leaderp
+	// (an atomic string) is mutable at runtime: elections re-point it.
+	notLeader atomic.Bool
+	leaderp   atomic.Value
+	replica   *Replica
+
+	// replHeartbeat is the leader→follower heartbeat period for FOLLOW
+	// sessions (0: defaultReplHeartbeat) — the lease elections run on.
+	replHeartbeat time.Duration
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -135,9 +140,98 @@ func WithRecovered(st pfs.RecoverStats) ServerOption {
 func WithFollower(r *Replica, leaderAddr string) ServerOption {
 	return func(s *Server) {
 		s.replica = r
-		s.leaderAddr = leaderAddr
+		s.setLeaderAddr(leaderAddr)
 		s.notLeader.Store(true)
 	}
+}
+
+// WithReplHeartbeat sets the leader→follower heartbeat period for
+// replication sessions. Followers treat heartbeat (or record) silence
+// beyond their election timeout as a dead leader, so this must be well
+// under the cluster's election timeout.
+func WithReplHeartbeat(d time.Duration) ServerOption {
+	return func(s *Server) { s.replHeartbeat = d }
+}
+
+// setLeaderAddr publishes the leader address NotLeader redirects carry.
+func (s *Server) setLeaderAddr(a string) { s.leaderp.Store(a) }
+
+// LeaderAddr returns the leader address this server currently believes
+// in ("" when unknown).
+func (s *Server) LeaderAddr() string {
+	if v := s.leaderp.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// stepDown records that a later epoch exists: the node adopts it
+// durably and, if it was the leader, goes read-only on the spot — its
+// late acks and streams are fenced by the epoch stamp either way, this
+// just stops it wasting work. A deposed leader has no replica to
+// re-follow with; it serves reads and redirects until restarted as a
+// follower of the new regime.
+func (s *Server) stepDown(epoch uint64, leader string) {
+	if s.journal != nil {
+		if _, err := s.journal.AdvanceEpoch(epoch); err != nil {
+			s.logger.Warn("epoch adoption failed", "epoch", epoch, "err", err)
+		}
+	}
+	if !s.notLeader.Swap(true) {
+		if leader != "" {
+			s.setLeaderAddr(leader)
+		}
+		s.logger.Warn("stepping down: deposed by later epoch", "epoch", epoch, "role", "leader")
+	}
+}
+
+// promoteSelf flips a follower into the leader after winning an
+// election: the replica is drained and its journal hooks rewired, the
+// ack quorum armed at the full cluster size, and only then is the
+// server made writable — no write can slip through ungated.
+func (s *Server) promoteSelf(epoch uint64, self string, cluster int) error {
+	if s.replica == nil {
+		return errors.New("rangestore: no replica to promote")
+	}
+	if err := s.replica.Promote(); err != nil {
+		return err
+	}
+	if s.journal != nil && cluster >= 2 {
+		s.journal.SetClusterSize(cluster)
+	}
+	s.setLeaderAddr(self)
+	s.notLeader.Store(false)
+	if m := s.metrics; m != nil {
+		m.elections.Add(1)
+	}
+	s.logger.Info("promoted to leader by election", "epoch", epoch, "role", "leader")
+	return nil
+}
+
+// vote answers one VOTE request: the epoch advance is the grant (and
+// the durable promise), deposing this node if it was leading. The
+// response carries the voter's committed per-shard frontier — a granted
+// vote is a catch-up source contract, so the LSNs must be on disk
+// before they are spoken.
+func (s *Server) vote(epoch uint64, candidate string) (*VoteInfo, error) {
+	granted, err := s.journal.AdvanceEpoch(epoch)
+	if err != nil {
+		return nil, err
+	}
+	if granted && s.notLeader.CompareAndSwap(false, true) {
+		s.setLeaderAddr(candidate)
+		s.logger.Warn("stepping down: granted vote", "epoch", epoch, "candidate", candidate, "role", "leader")
+	}
+	v := &VoteInfo{Granted: granted, Epoch: s.journal.Epoch(), Fresh: true}
+	if r := s.replica; r != nil {
+		v.Fresh = r.Fresh()
+	}
+	lsns, err := s.journal.DurableLSNs()
+	if err != nil {
+		return nil, err
+	}
+	v.LSNs = lsns
+	return v, nil
 }
 
 // NewServer wraps a single-shard store over fs. The fs's lock variant
@@ -654,7 +748,7 @@ func (cn *conn) exec(req *Request, resp *Response) error {
 		switch req.Op {
 		case OpWrite, OpAppend, OpTruncate, OpMigrate:
 			resp.Status = StatusNotLeader
-			resp.Msg = cn.srv.leaderAddr
+			resp.Msg = cn.srv.LeaderAddr()
 			return nil
 		}
 	}
@@ -709,6 +803,33 @@ func (cn *conn) exec(req *Request, resp *Response) error {
 		return nil
 	case OpStats:
 		resp.Stats = cn.srv.statsSnapshot()
+		return nil
+	case OpState:
+		st := &StateInfo{Leader: !cn.srv.notLeader.Load(), Fresh: true, Addr: cn.srv.LeaderAddr()}
+		if r := cn.srv.replica; r != nil {
+			st.Fresh = r.Fresh()
+		}
+		if j := cn.srv.journal; j != nil {
+			st.Epoch = j.Epoch()
+			lsns := make([]uint64, len(j.wals))
+			for i, w := range j.wals {
+				lsns[i] = w.LastLSN()
+			}
+			st.LSNs = lsns
+		}
+		resp.State = st
+		return nil
+	case OpVote:
+		if cn.srv.journal == nil {
+			resp.Status = StatusBadRequest
+			return nil
+		}
+		v, err := cn.srv.vote(req.Epoch, req.Name)
+		if err != nil {
+			fillError(resp, err)
+			return nil
+		}
+		resp.Vote = v
 		return nil
 	}
 	// Client-controlled offsets are capped well below the uint64 wrap
@@ -889,7 +1010,7 @@ func (cn *conn) execOpen(req *Request, resp *Response) error {
 		f, err = cn.srv.store.Open(req.Name)
 		if errors.Is(err, pfs.ErrNotExist) {
 			resp.Status = StatusNotLeader
-			resp.Msg = cn.srv.leaderAddr
+			resp.Msg = cn.srv.LeaderAddr()
 			return nil
 		}
 	case req.Flags&OpenCreate != 0:
@@ -933,6 +1054,8 @@ func (cn *conn) execOpen(req *Request, resp *Response) error {
 // fillError maps pfs errors onto wire statuses.
 func fillError(resp *Response, err error) {
 	switch {
+	case errors.Is(err, ErrNotReady):
+		resp.Status = StatusNotReady
 	case errors.Is(err, pfs.ErrNotExist):
 		resp.Status = StatusNotExist
 	case errors.Is(err, pfs.ErrExist):

@@ -1,0 +1,370 @@
+// Chaos scenario: a kill/revive loop over a replicated cluster under
+// continuous client load. Workers write deterministic payloads through
+// FailoverClient while the harness repeatedly crashes a node — the
+// leader on even cycles, a follower on odd ones — revives it from its
+// crash-surviving state, and verifies after every cycle that
+//
+//   - every write acknowledged to a client reads back intact from the
+//     current leader (no acked write is ever lost, across elections),
+//   - no slot beyond the issued frontier exists (no ghost write was
+//     ever applied and exposed), and
+//   - writes kept committing while the node was down (a dead minority
+//     must not stall the quorum).
+//
+// The harness owns the schedule and the invariants; node lifecycle
+// (what "kill" and "revive" mean — process death, crash-copy restarts,
+// fault-injected transports) is injected by the caller, so the same
+// scenario drives in-process tests and the smoke script.
+package wload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rangestore"
+)
+
+// ChaosConfig drives RunChaos.
+type ChaosConfig struct {
+	// Addrs are every node in the cluster. Clients rotate over all of
+	// them; the harness probes them to find the current leader.
+	Addrs []string
+	// Dial opens a control-plane connection to one node: client
+	// traffic, leader probes and verification reads. Down nodes must
+	// return an error. Required.
+	Dial func(addr string) (*rangestore.Client, error)
+
+	// Kill crashes the named node: it must stop answering Dial and
+	// lose everything non-durable. Required.
+	Kill func(addr string)
+	// Revive restarts the named node from its crash-surviving state as
+	// a follower. Required.
+	Revive func(addr string) error
+
+	Cycles  int // kill/revive cycles (default 10)
+	Workers int // concurrent writers, one file each (default 3)
+	IOSize  int // bytes per write (default 256)
+
+	// WriteGap throttles each worker between writes so per-cycle
+	// verification stays proportional to the run, not to raw client
+	// throughput (default 5 ms).
+	WriteGap time.Duration
+	// ProgressWrites is how many new acks each down-window must
+	// produce before the node is revived — the liveness half of the
+	// scenario (default 5).
+	ProgressWrites int
+	// MaxWait bounds each client call's retry budget and every
+	// harness wait: leader discovery, down-window progress (default 30 s).
+	MaxWait time.Duration
+	Seed    int64 // payload seed (default 1)
+
+	// Logf, when set, narrates the schedule (cycle, victim, leader).
+	Logf func(format string, args ...any)
+}
+
+// ChaosReport summarizes one chaos run.
+type ChaosReport struct {
+	Cycles        int   // kill/revive cycles completed
+	LeaderKills   int   // cycles whose victim was the current leader
+	FollowerKills int   // cycles whose victim was a follower
+	Acked         int64 // writes acknowledged over the whole run
+	Verified      int64 // slot reads byte-compared against regenerated payloads
+}
+
+func (cfg *ChaosConfig) withDefaults() {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 10
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.IOSize <= 0 {
+		cfg.IOSize = 256
+	}
+	if cfg.WriteGap <= 0 {
+		cfg.WriteGap = 5 * time.Millisecond
+	}
+	if cfg.ProgressWrites <= 0 {
+		cfg.ProgressWrites = 5
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 30 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
+func chaosFileName(w int) string { return fmt.Sprintf("chaos-%02d", w) }
+
+// chaosPayload regenerates the bytes worker w's slot i carries — a
+// pure function of the seed, so verification keeps no write log.
+func chaosPayload(seed int64, w, i, size int) []byte {
+	p := make([]byte, size)
+	rand.New(rand.NewSource(seed ^ int64(w)<<32 ^ int64(i))).Read(p)
+	return p
+}
+
+// chaosWorker is one writer's frontier: issued is bumped before a
+// write is attempted, acked after it is acknowledged. A worker holds
+// the pause read-lock across the whole attempt, so under the
+// verifier's write-lock the two are equal — every issued write has
+// been acked (possibly after failover retries) and the verifiable
+// prefix is exactly [0, acked).
+type chaosWorker struct {
+	issued atomic.Int64
+	acked  atomic.Int64
+	err    error
+}
+
+// RunChaos runs the scenario. The returned error is non-nil if any
+// invariant broke: a lost acked write, a ghost write, a down-window
+// without commit progress, a worker that exhausted its retry budget,
+// or a cluster that never converged on a leader.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg.withDefaults()
+	if cfg.Dial == nil || cfg.Kill == nil || cfg.Revive == nil {
+		return nil, fmt.Errorf("wload: RunChaos needs Dial, Kill and Revive hooks")
+	}
+
+	rep := &ChaosReport{}
+	workers := make([]*chaosWorker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &chaosWorker{}
+	}
+	var pause sync.RWMutex
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := workers[w]
+			fc, err := rangestore.NewFailoverClient(rangestore.FailoverConfig{
+				Addrs:     cfg.Addrs,
+				Dial:      cfg.Dial,
+				MaxWait:   cfg.MaxWait,
+				OpTimeout: 2 * time.Second,
+			})
+			if err != nil {
+				st.err = err
+				return
+			}
+			defer fc.Close()
+			pause.RLock()
+			h, err := fc.Open(chaosFileName(w), true)
+			pause.RUnlock()
+			if err != nil {
+				st.err = err
+				return
+			}
+			for {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				pause.RLock()
+				i := st.issued.Add(1) - 1
+				p := chaosPayload(cfg.Seed, w, int(i), cfg.IOSize)
+				_, err := fc.WriteAt(h, p, uint64(i)*uint64(cfg.IOSize))
+				if err != nil {
+					st.err = fmt.Errorf("wload: chaos worker %d slot %d: %w", w, i, err)
+					pause.RUnlock()
+					return
+				}
+				st.acked.Add(1)
+				pause.RUnlock()
+				time.Sleep(cfg.WriteGap)
+			}
+		}(w)
+	}
+	stop := func() {
+		select {
+		case <-stopCh:
+		default:
+			close(stopCh)
+		}
+		wg.Wait()
+	}
+	defer stop()
+
+	ackedSum := func() int64 {
+		var s int64
+		for _, st := range workers {
+			s += st.acked.Load()
+		}
+		return s
+	}
+	workerErr := func() error {
+		for _, st := range workers {
+			if st.err != nil {
+				return st.err
+			}
+		}
+		return nil
+	}
+
+	followerCursor := 0
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		leader, err := findLeader(&cfg, nil)
+		if err != nil {
+			return rep, fmt.Errorf("wload: cycle %d: %w", cycle, err)
+		}
+		victim := leader
+		if cycle%2 == 0 {
+			rep.LeaderKills++
+		} else {
+			// Round-robin over the non-leaders so both followers get
+			// their turn dying.
+			cands := []string{}
+			for _, a := range cfg.Addrs {
+				if a != leader {
+					cands = append(cands, a)
+				}
+			}
+			victim = cands[followerCursor%len(cands)]
+			followerCursor++
+			rep.FollowerKills++
+		}
+		cfg.Logf("cycle %d: leader=%s killing %s", cycle, leader, victim)
+
+		base := ackedSum()
+		cfg.Kill(victim)
+
+		// Liveness: the surviving majority must keep committing while
+		// the victim is down (for a leader kill, after electing).
+		deadline := time.Now().Add(cfg.MaxWait)
+		for ackedSum() < base+int64(cfg.ProgressWrites) {
+			if err := workerErr(); err != nil {
+				return rep, fmt.Errorf("wload: cycle %d (victim %s): %w", cycle, victim, err)
+			}
+			if !time.Now().Before(deadline) {
+				return rep, fmt.Errorf("wload: cycle %d: no commit progress while %s was down (%d acked, want +%d)",
+					cycle, victim, ackedSum()-base, cfg.ProgressWrites)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		if err := cfg.Revive(victim); err != nil {
+			return rep, fmt.Errorf("wload: cycle %d: revive %s: %w", cycle, victim, err)
+		}
+
+		// Safety: freeze the writers and audit the whole acked history
+		// against the current leader.
+		pause.Lock()
+		cur, err := findLeader(&cfg, &victim)
+		if err == nil {
+			err = verifyChaos(&cfg, workers, cur, rep)
+		}
+		pause.Unlock()
+		if err != nil {
+			return rep, fmt.Errorf("wload: cycle %d: %w", cycle, err)
+		}
+		rep.Cycles++
+	}
+
+	stop()
+	if err := workerErr(); err != nil {
+		return rep, err
+	}
+	rep.Acked = ackedSum()
+
+	// Final sweep, writers stopped for good.
+	leader, err := findLeader(&cfg, nil)
+	if err != nil {
+		return rep, err
+	}
+	if err := verifyChaos(&cfg, workers, leader, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// findLeader probes every node for STATE until exactly a live leader
+// answers, preferring the highest epoch when a deposed leader has not
+// yet learned of its successor. skip, when set, names a node to leave
+// alone (the just-revived victim may still be bootstrapping).
+func findLeader(cfg *ChaosConfig, skip *string) (string, error) {
+	deadline := time.Now().Add(cfg.MaxWait)
+	for {
+		best := ""
+		var bestEpoch uint64
+		for _, addr := range cfg.Addrs {
+			if skip != nil && addr == *skip {
+				continue
+			}
+			c, err := cfg.Dial(addr)
+			if err != nil {
+				continue
+			}
+			c.SetOpTimeout(2 * time.Second)
+			st, err := c.State()
+			c.Close()
+			if err != nil || !st.Leader {
+				continue
+			}
+			if best == "" || st.Epoch > bestEpoch {
+				best, bestEpoch = addr, st.Epoch
+			}
+		}
+		if best != "" {
+			return best, nil
+		}
+		if !time.Now().Before(deadline) {
+			return "", fmt.Errorf("no leader emerged within %v", cfg.MaxWait)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// verifyChaos audits every worker file on the leader: the acked prefix
+// must read back byte-identical to the regenerated payloads, and the
+// file must not extend past the issued frontier (a slot nobody was
+// ever acked for must not exist).
+func verifyChaos(cfg *ChaosConfig, workers []*chaosWorker, leader string, rep *ChaosReport) error {
+	c, err := cfg.Dial(leader)
+	if err != nil {
+		return fmt.Errorf("verify dial %s: %w", leader, err)
+	}
+	defer c.Close()
+	c.SetOpTimeout(5 * time.Second)
+	buf := make([]byte, cfg.IOSize)
+	for w, st := range workers {
+		acked, issued := st.acked.Load(), st.issued.Load()
+		if acked == 0 {
+			continue
+		}
+		h, err := c.Open(chaosFileName(w), false)
+		if err != nil {
+			return fmt.Errorf("verify open %s on %s: %w", chaosFileName(w), leader, err)
+		}
+		size, _, err := c.Stat(h)
+		if err != nil {
+			return fmt.Errorf("verify stat %s: %w", chaosFileName(w), err)
+		}
+		if size > uint64(issued)*uint64(cfg.IOSize) {
+			return fmt.Errorf("ghost write: %s is %d bytes on %s, beyond the issued frontier %d",
+				chaosFileName(w), size, leader, issued)
+		}
+		for i := int64(0); i < acked; i++ {
+			n, err := c.ReadAt(h, buf, uint64(i)*uint64(cfg.IOSize))
+			if err != nil && n != cfg.IOSize {
+				return fmt.Errorf("lost acked write: worker %d slot %d on %s: %w", w, i, leader, err)
+			}
+			if want := chaosPayload(cfg.Seed, w, int(i), cfg.IOSize); !bytes.Equal(buf[:n], want) {
+				return fmt.Errorf("corrupt acked write: worker %d slot %d on %s", w, i, leader)
+			}
+			rep.Verified++
+		}
+	}
+	return nil
+}

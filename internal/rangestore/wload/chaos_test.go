@@ -1,0 +1,292 @@
+package wload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/rangestore"
+)
+
+const chaosShards = 4
+
+// chaosNode is one in-process cluster member. Everything behind mu is
+// replaced wholesale on revive — a killed node's server, replica and
+// elector are gone; only its crash-copied directory carries over.
+type chaosNode struct {
+	name string
+
+	mu      sync.Mutex
+	up      bool
+	dir     *pfs.MemDir
+	snap    *pfs.MemDir // crash copy taken at kill time; revive boots from it
+	srv     *rangestore.Server
+	j       *rangestore.Journal
+	rep     *rangestore.Replica
+	el      *rangestore.Elector
+	leader  *rangestore.LeaderRef
+	attempt int // replication dial counter; fresh fault schedule each
+}
+
+// chaosCluster is the three-node in-process cluster: a routing table
+// from node name to live server, with replication links fault-wrapped
+// and control-plane links clean.
+type chaosCluster struct {
+	t     *testing.T
+	names []string
+
+	mu    sync.Mutex
+	nodes map[string]*chaosNode
+	rng   *rand.Rand // crash-copy torn-tail schedule
+}
+
+func newChaosCluster(t *testing.T, names []string, seed int64) *chaosCluster {
+	cl := &chaosCluster{
+		t:     t,
+		names: names,
+		nodes: make(map[string]*chaosNode),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for _, n := range names {
+		cl.nodes[n] = &chaosNode{name: n}
+	}
+	return cl
+}
+
+func (cl *chaosCluster) node(addr string) *chaosNode {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.nodes[addr]
+}
+
+// dialNode is the clean control-plane dial: clients, elector probes,
+// verification. Down nodes refuse.
+func (cl *chaosCluster) dialNode(addr string) (net.Conn, error) {
+	n := cl.node(addr)
+	if n == nil {
+		return nil, fmt.Errorf("chaos: unknown node %s", addr)
+	}
+	n.mu.Lock()
+	srv, up := n.srv, n.up
+	n.mu.Unlock()
+	if !up {
+		return nil, fmt.Errorf("chaos: node %s is down", addr)
+	}
+	c1, c2 := rangestore.Pipe()
+	go srv.ServeConn(c2)
+	return c1, nil
+}
+
+func (cl *chaosCluster) dialClient(addr string) (*rangestore.Client, error) {
+	nc, err := cl.dialNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	return rangestore.NewClient(nc), nil
+}
+
+// replDial builds a follower's replication dial: it chases the node's
+// LeaderRef and suffers the fault schedule on the leader's write side
+// (records, snapshots, heartbeats — the traffic LSN chaining must
+// survive).
+func (cl *chaosCluster) replDial(n *chaosNode, leader *rangestore.LeaderRef) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		addr := leader.Load()
+		if addr == "" || addr == n.name {
+			return nil, errors.New("chaos: no leader known")
+		}
+		target := cl.node(addr)
+		if target == nil {
+			return nil, fmt.Errorf("chaos: unknown leader %s", addr)
+		}
+		target.mu.Lock()
+		srv, up := target.srv, target.up
+		target.mu.Unlock()
+		if !up {
+			return nil, fmt.Errorf("chaos: leader %s is down", addr)
+		}
+		n.mu.Lock()
+		n.attempt++
+		seed := int64(n.attempt)
+		for _, c := range n.name {
+			seed = seed*131 + int64(c)
+		}
+		n.mu.Unlock()
+		c1, c2 := rangestore.Pipe()
+		go srv.ServeConn(rangestore.FaultWrap(c2, rangestore.FaultConfig{
+			Seed: seed, Drop: 0.02, Dup: 0.03, Delay: 0.05,
+			MaxDelay: time.Millisecond, SkipFirst: 8,
+		}))
+		return c1, nil
+	}
+}
+
+func chaosRecoverConfig() rangestore.RecoverConfig {
+	return rangestore.RecoverConfig{
+		Shards: chaosShards, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+		ReplAckTimeout: 1 * time.Second,
+	}
+}
+
+// startLeader boots addr as the initial epoch-0 leader: journal, a
+// declared 3-node cluster (commits need a majority even before any
+// follower attaches), no replica, no elector.
+func (cl *chaosCluster) startLeader(addr string) error {
+	n := cl.node(addr)
+	dir := pfs.NewMemDir()
+	store, j, stats, err := rangestore.Recover(dir, chaosRecoverConfig())
+	if err != nil {
+		return err
+	}
+	j.SetClusterSize(len(cl.names))
+	srv := rangestore.NewServerSharded(store,
+		rangestore.WithJournal(j), rangestore.WithRecovered(stats),
+		rangestore.WithReplHeartbeat(50*time.Millisecond))
+	n.mu.Lock()
+	n.dir, n.j, n.srv, n.rep, n.el, n.leader = dir, j, srv, nil, nil, nil
+	n.up = true
+	n.mu.Unlock()
+	return nil
+}
+
+// startFollower boots addr over dir as a follower pointed at
+// leaderHint, with an elector watching the stream. Revive passes the
+// crash copy as dir; the hint may be stale — the elector re-points.
+func (cl *chaosCluster) startFollower(addr string, dir *pfs.MemDir, leaderHint string) error {
+	n := cl.node(addr)
+	store, j, stats, err := rangestore.Recover(dir, chaosRecoverConfig())
+	if err != nil {
+		return err
+	}
+	leader := rangestore.NewLeaderRef(leaderHint)
+	rep, err := rangestore.StartReplica(store, j, stats, cl.replDial(n, leader),
+		rangestore.WithReplicaID(addr))
+	if err != nil {
+		return err
+	}
+	srv := rangestore.NewServerSharded(store,
+		rangestore.WithJournal(j), rangestore.WithRecovered(stats),
+		rangestore.WithFollower(rep, leaderHint),
+		rangestore.WithReplHeartbeat(50*time.Millisecond))
+	el, err := rangestore.StartElector(srv, rangestore.ElectorConfig{
+		Self: addr, Peers: cl.names, Dial: cl.dialNode,
+		Timeout: 300 * time.Millisecond, OpTimeout: time.Second,
+		Leader: leader,
+	})
+	if err != nil {
+		rep.Stop()
+		srv.Close()
+		return err
+	}
+	n.mu.Lock()
+	n.dir, n.j, n.srv, n.rep, n.el, n.leader = dir, j, srv, rep, el, leader
+	n.up = true
+	n.mu.Unlock()
+	return nil
+}
+
+// kill crashes addr: the crash copy is snapshotted while everything
+// still runs (what a power cut would leave — synced bytes plus maybe a
+// torn tail), then the routing entry dies and the process is torn down.
+func (cl *chaosCluster) kill(addr string) {
+	n := cl.node(addr)
+	n.mu.Lock()
+	if !n.up {
+		n.mu.Unlock()
+		return
+	}
+	cl.mu.Lock()
+	n.snap = n.dir.CrashCopy(cl.rng)
+	cl.mu.Unlock()
+	n.up = false
+	srv, rep, el, j := n.srv, n.rep, n.el, n.j
+	n.mu.Unlock()
+	if el != nil {
+		el.Stop()
+	}
+	srv.Close()
+	if rep != nil {
+		rep.Stop()
+	}
+	j.Close()
+}
+
+// revive restarts addr from its crash copy, always as a follower —
+// whoever leads now, the elector will find it (or this node will win
+// an election if nobody does).
+func (cl *chaosCluster) revive(addr string) error {
+	n := cl.node(addr)
+	n.mu.Lock()
+	snap := n.snap
+	n.mu.Unlock()
+	hint := ""
+	for _, p := range cl.names {
+		if p != addr {
+			hint = p
+			break
+		}
+	}
+	return cl.startFollower(addr, snap, hint)
+}
+
+func (cl *chaosCluster) teardown() {
+	for _, addr := range cl.names {
+		cl.kill(addr)
+	}
+}
+
+// TestRunChaosQuorumFailover is the acceptance scenario: a 3-node
+// cluster (1 leader + 2 followers, majority-ack commits) survives ten
+// kill/revive cycles — the current leader on even cycles, a follower
+// on odd ones — under a lossy, reordering replication transport, with
+// client load running throughout. After every cycle, every
+// acknowledged write must read back intact from the elected leader, no
+// unacknowledged slot may exist, and writes must have kept committing
+// while the victim was down.
+func TestRunChaosQuorumFailover(t *testing.T) {
+	cl := newChaosCluster(t, []string{"n0", "n1", "n2"}, 41)
+	defer cl.teardown()
+	if err := cl.startLeader("n0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.startFollower("n1", pfs.NewMemDir(), "n0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.startFollower("n2", pfs.NewMemDir(), "n0"); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := RunChaos(ChaosConfig{
+		Addrs:   cl.names,
+		Dial:    cl.dialClient,
+		Kill:    cl.kill,
+		Revive:  cl.revive,
+		Cycles:  10,
+		Workers: 3,
+		IOSize:  256,
+		MaxWait: 30 * time.Second,
+		Seed:    11,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos scenario: %v (report %+v)", err, report)
+	}
+	if report.Cycles != 10 {
+		t.Fatalf("completed %d cycles, want 10", report.Cycles)
+	}
+	if report.LeaderKills < 5 {
+		t.Fatalf("killed the leader %d times, want >= 5", report.LeaderKills)
+	}
+	if report.FollowerKills < 5 {
+		t.Fatalf("killed followers %d times, want >= 5", report.FollowerKills)
+	}
+	if report.Acked == 0 || report.Verified == 0 {
+		t.Fatalf("no load flowed: %+v", report)
+	}
+	t.Logf("chaos report: %+v", report)
+}

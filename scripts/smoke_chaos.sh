@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Chaos smoke: the quorum-replication failover path, end to end, twice
+# over.
+#
+# Part 1 runs the in-process chaos scenario under the race detector: a
+# 3-node cluster suffers ten kill/revive cycles (leader included) on a
+# lossy transport while client load runs; the test fails on any lost
+# acked write, any ghost write, or any down-window without commit
+# progress.
+#
+# Part 2 boots three real rangestored processes as a -peers cluster,
+# writes through the leader, SIGKILLs it, and requires a follower to
+# win the election (role=leader, epoch advanced, elections_total >= 1
+# on /healthz) and to accept writes.
+#
+#   bash scripts/smoke_chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== in-process chaos under -race =="
+go test -race -count=1 -timeout 300s \
+    -run 'TestRunChaosQuorumFailover' ./internal/rangestore/wload/
+
+echo "== process-level election smoke =="
+P0=${P0:-7431}; P1=${P1:-7432}; P2=${P2:-7433}
+H0=${H0:-9431}; H1=${H1:-9432}; H2=${H2:-9433}
+PEERS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2"
+dir=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/rangestored" ./cmd/rangestored
+go build -o "$dir/rangeload" ./cmd/rangeload
+
+common=(-shards 4 -placement map -fsync batch -peers "$PEERS"
+        -election-timeout 1s -repl-heartbeat 200ms -repl-ack-timeout 5s)
+"$dir/rangestored" -addr "127.0.0.1:$P0" -node-id "127.0.0.1:$P0" \
+    -wal "$dir/wal0" -http "127.0.0.1:$H0" "${common[@]}" &
+leader_pid=$!
+pids+=("$leader_pid")
+for i in 1 2; do
+    port=$((P0 + i)); http=$((H0 + i))
+    "$dir/rangestored" -addr "127.0.0.1:$port" -node-id "127.0.0.1:$port" \
+        -wal "$dir/wal$i" -http "127.0.0.1:$http" \
+        -follow "127.0.0.1:$P0" "${common[@]}" &
+    pids+=("$!")
+done
+
+wait_health() { # port
+    for _ in $(seq 100); do
+        if curl -fs "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: node on http port $1 never became healthy" >&2
+    return 1
+}
+wait_health "$H0"; wait_health "$H1"; wait_health "$H2"
+
+# Let the followers attach, then put acked writes on the cluster.
+sleep 1
+"$dir/rangeload" -addr "127.0.0.1:$P0" -mix write-heavy -workers 2 \
+    -pipeline 4 -duration 2s -shards 4 -placement map
+
+echo "killing the leader (pid $leader_pid)"
+kill -9 "$leader_pid"
+
+new_leader_http=""
+new_leader_port=""
+for _ in $(seq 100); do
+    for pair in "$H1:$P1" "$H2:$P2"; do
+        h=${pair%%:*}; p=${pair##*:}
+        health=$(curl -fs "http://127.0.0.1:$h/healthz" 2>/dev/null || true)
+        if echo "$health" | grep -q '"role": "leader"'; then
+            new_leader_http=$h; new_leader_port=$p
+            break 2
+        fi
+    done
+    sleep 0.2
+done
+if [ -z "$new_leader_http" ]; then
+    echo "FAIL: no follower won the election within 20s" >&2
+    exit 1
+fi
+echo "new leader on port $new_leader_port"
+
+health=$(curl -fs "http://127.0.0.1:$new_leader_http/healthz")
+echo "$health"
+epoch=$(echo "$health" | sed -n 's/.*"repl_epoch": \([0-9]*\).*/\1/p')
+elections=$(echo "$health" | sed -n 's/.*"elections_total": \([0-9]*\).*/\1/p')
+if [ -z "$epoch" ] || [ "$epoch" -lt 1 ]; then
+    echo "FAIL: elected leader reports epoch ${epoch:-absent}, want >= 1" >&2
+    exit 1
+fi
+if [ -z "$elections" ] || [ "$elections" -lt 1 ]; then
+    echo "FAIL: elected leader reports elections_total ${elections:-absent}, want >= 1" >&2
+    exit 1
+fi
+
+# The new leader must take writes (the surviving follower supplies the
+# majority ack).
+"$dir/rangeload" -addr "127.0.0.1:$new_leader_port" -mix write-heavy -workers 2 \
+    -pipeline 4 -duration 2s -shards 4 -placement map
+
+echo "chaos smoke OK"
