@@ -81,6 +81,8 @@ func main() {
 		walDir    = flag.String("wal", "", "write-ahead log directory: journal mutations per shard and recover on boot (empty = RAM only)")
 		fsync     = flag.String("fsync", "batch", "WAL fsync policy: batch (one fsync per pipelined batch), always (per record), off")
 		ckptBytes = flag.Int64("ckpt-bytes", rangestore.DefaultCheckpointBytes, "per-shard log size that triggers a checkpoint/compaction")
+		walBuf    = flag.Int64("wal-buffer-bytes", pfs.DefaultWALBufferBytes, "per-shard cap on WAL bytes buffered ahead of the log file; appenders block at the cap (0 = unbounded)")
+		walPipe   = flag.Int("wal-pipeline", pfs.DefaultCommitPipeline, "per-shard cap on in-flight WAL fsyncs (commit pipeline depth; 0 = serialized commits)")
 		follow    = flag.String("follow", "", "run as a live follower of the leader at this address (requires -wal and -placement map)")
 		advertise = flag.String("advertise", "", "leader address told to redirected clients (default: the -follow address)")
 		ackWait   = flag.Duration("repl-ack-timeout", rangestore.DefaultReplAckTimeout, "leader: max wait for a follower's ack before a batch commit fails and the follower is dropped")
@@ -183,6 +185,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rangestored:", err)
 			os.Exit(1)
 		}
+		// Flag zero means "off" (unbounded buffer, serialized commits);
+		// the config encodes off as negative and reserves zero for the
+		// defaults, which the flag defaults already carry.
+		bufBytes := *walBuf
+		if bufBytes <= 0 {
+			bufBytes = -1
+		}
+		pipe := *walPipe
+		if pipe <= 0 {
+			pipe = -1
+		}
 		store, journal, stats, err = rangestore.Recover(dir, rangestore.RecoverConfig{
 			Shards:          *shards,
 			Lock:            mk,
@@ -190,6 +203,8 @@ func main() {
 			Sync:            mode,
 			CheckpointBytes: *ckptBytes,
 			ReplAckTimeout:  *ackWait,
+			WALBufferBytes:  bufBytes,
+			CommitPipeline:  pipe,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rangestored: recover:", err)

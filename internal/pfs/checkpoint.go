@@ -5,25 +5,58 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"sync/atomic"
 )
 
 // Checkpoint file layout — one per shard, written atomically via
-// .ckpt.tmp + rename:
+// .ckpt.tmp + rename. The current format is streamed:
 //
-//	header = magic:"PFSCKP1\n" shard:u32 gen:u64 lsnFloor:u64 nfiles:u32
-//	file   = len:u32 crc:u32 body        (same framing as WAL records)
-//	body   = nameLen:u16 name snapshot
+//	header = magic:"PFSCKP2\n" shard:u32 gen:u64 lsnFloor:u64
+//	frame  = len:u32 crc:u32 body        (same framing as WAL records)
+//	body   = part:u8 <part-specific>
+//
+//	part 0 (file)  nameLen:u16 name snapshot      (file's first frame)
+//	part 1 (cont)  nameLen:u16 name nblocks:u32 (blockIdx:u64 block)…
+//	part 2 (end)   nfiles:u32                     (trailer; must be last)
 //
 //	snapshot = size:u64 nblocks:u32 (blockIdx:u64 block:BlockSize)…
 //
-// lsnFloor is the global LSN read at log rotation: every record with
+// The writer streams frames through a bounded staging buffer instead
+// of materializing the whole shard in memory: a large file is split
+// into a part-0 frame plus part-1 continuations of roughly
+// ckptChunkBytes each, and the buffer is flushed to disk between
+// frames. Because frames stream, the file count cannot be backfilled
+// into the header; the part-2 trailer carries it instead, and doubles
+// as the truncation detector — a checkpoint without a matching trailer
+// is damage, not a crash artifact (the tmp+rename protocol never
+// publishes a partial file). The v1 format ("PFSCKP1\n", nfiles in the
+// header, one frame per file) is still read for directories written by
+// older builds.
+//
+// lsnFloor is the shard LSN read at log rotation: every record with
 // LSN ≤ floor is reflected in the snapshot (records are logged after
 // their mutation applies, and rotation happens before the snapshot is
 // taken), so recovery replays only records above it. The snapshot
 // encoding is shared with MIGRATE records, which carry the migrating
 // file's full state so the source shard's checkpoint may forget it.
 
-const ckptHdrLen = 8 + 4 + 8 + 8 + 4
+const (
+	ckptMagic2  = "PFSCKP2\n"
+	ckptHdrLen  = 8 + 4 + 8 + 8 + 4 // v1: magic, shard, gen, floor, nfiles
+	ckptHdr2Len = 8 + 4 + 8 + 8     // v2: magic, shard, gen, floor
+
+	ckptPartFile = 0 // first frame of a file: replaces its state
+	ckptPartCont = 1 // continuation: more blocks of the same file
+	ckptPartEnd  = 2 // trailer: total file count; nothing may follow
+)
+
+// ckptChunkBytes is the streaming checkpoint writer's target frame and
+// flush granularity: a frame is cut and the staging buffer written out
+// once it outgrows this. The buffer can overshoot by one block-shard's
+// worth of blocks (frames only cut between block-shard locks — disk
+// I/O never runs under a block spinlock), which the peak-buffer gauge
+// makes visible.
+const ckptChunkBytes = 256 << 10
 
 // AppendFileSnapshot encodes f's state in the snapshot format MIGRATE
 // records carry — the journal layer calls it from the MigrateWith emit
@@ -103,51 +136,139 @@ func applyFileSnapshot(f *File, b []byte) error {
 	return nil
 }
 
-// writeCheckpoint snapshots every file of fs into shard's checkpoint,
-// atomically replacing the previous one.
-func writeCheckpoint(d Dir, shard int, gen, floor uint64, fs *FS) error {
-	names := fs.List()
-	buf := make([]byte, 0, ckptHdrLen+len(names)*(walFrameHdr+64))
-	buf = append(buf, ckptMagic...)
-	buf = le32(buf, uint32(shard))
-	buf = le64(buf, gen)
-	buf = le64(buf, floor)
-	nfiles := uint32(0)
-	npos := len(buf) // nfiles backfilled: a file can vanish mid-iteration
-	buf = le32(buf, 0)
-	for _, name := range names {
-		if len(name) > maxWalName {
-			// Unreachable through pfs (Create caps names at MaxName),
-			// but never truncate: a wrong u16 length would make this
-			// checkpoint restore the wrong name or fail to parse.
-			return errNameTooLong(name)
-		}
-		f, err := fs.Open(name)
-		if err != nil {
-			continue // removed since List; its absence is the truth
-		}
-		start := len(buf)
-		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
-		buf = le16(buf, uint16(len(name)))
-		buf = append(buf, name...)
-		buf = appendFileSnapshot(buf, f)
-		body := buf[start+walFrameHdr:]
-		putLE32(buf[start:], uint32(len(body)))
-		putLE32(buf[start+4:], crc32.ChecksumIEEE(body))
-		nfiles++
-	}
-	putLE32(buf[npos:], nfiles)
+// ckptWriter streams checkpoint frames through a bounded staging
+// buffer. Frames are staged in buf and flushed to the log file between
+// frames; peak records the high-water buffer size so the journal's
+// gauge can prove the bound holds.
+type ckptWriter struct {
+	f     LogFile
+	buf   []byte
+	start int // offset of the open frame's header in buf
+	peak  int64
+}
 
+// beginFrame stages a frame header; part 0/1 carry the file name.
+func (w *ckptWriter) beginFrame(part byte, name string) {
+	w.start = len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0) // len+crc backfilled
+	w.buf = append(w.buf, part)
+	if part != ckptPartEnd {
+		w.buf = le16(w.buf, uint16(len(name)))
+		w.buf = append(w.buf, name...)
+	}
+}
+
+// endFrame backfills the open frame's length and CRC.
+func (w *ckptWriter) endFrame() {
+	body := w.buf[w.start+walFrameHdr:]
+	putLE32(w.buf[w.start:], uint32(len(body)))
+	putLE32(w.buf[w.start+4:], crc32.ChecksumIEEE(body))
+}
+
+// flush writes the staged bytes out. Only legal between frames.
+func (w *ckptWriter) flush() error {
+	if n := int64(len(w.buf)); n > w.peak {
+		w.peak = n
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// writeFile streams one file as a part-0 frame plus as many part-1
+// continuations as its size demands. Frames are cut only between
+// block-shard locks, so the staging buffer can overshoot
+// ckptChunkBytes by one block-shard's blocks but never holds the
+// whole file. Mirrors appendFileSnapshot's locking discipline: each
+// block is copied under its spinlock, so it is internally consistent,
+// and any mutation racing the snapshot is in the log above the floor.
+func (w *ckptWriter) writeFile(name string, f *File) error {
+	w.beginFrame(ckptPartFile, name)
+	w.buf = le64(w.buf, f.size.Load())
+	npos := len(w.buf)
+	w.buf = le32(w.buf, 0) // nblocks backfilled at endFrame time
+	n := uint32(0)
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		for idx, b := range s.blocks {
+			w.buf = le64(w.buf, idx)
+			w.buf = append(w.buf, b...)
+			n++
+		}
+		s.mu.Unlock()
+		if len(w.buf)-w.start >= ckptChunkBytes && i < len(f.shards)-1 {
+			putLE32(w.buf[npos:], n)
+			w.endFrame()
+			if err := w.flush(); err != nil {
+				return err
+			}
+			w.beginFrame(ckptPartCont, name)
+			npos = len(w.buf)
+			w.buf = le32(w.buf, 0)
+			n = 0
+		}
+	}
+	putLE32(w.buf[npos:], n)
+	w.endFrame()
+	return w.flush()
+}
+
+// writeCheckpoint snapshots every file of fs into shard's checkpoint,
+// atomically replacing the previous one. The snapshot streams to disk
+// through a bounded buffer (see ckptWriter); when peak is non-nil the
+// high-water buffer size is folded into it for observability.
+func writeCheckpoint(d Dir, shard int, gen, floor uint64, fs *FS, peak *atomic.Int64) error {
+	names := fs.List()
 	base := shardBase(shard)
 	cf, err := d.Create(base + ckptTmpSufx)
 	if err != nil {
 		return err
 	}
-	if _, err := cf.Write(buf); err == nil {
-		err = cf.Sync()
-	}
+	w := &ckptWriter{f: cf, buf: make([]byte, 0, ckptChunkBytes+walFrameHdr)}
+	w.buf = append(w.buf, ckptMagic2...)
+	w.buf = le32(w.buf, uint32(shard))
+	w.buf = le64(w.buf, gen)
+	w.buf = le64(w.buf, floor)
+	nfiles := uint32(0)
+	err = func() error {
+		for _, name := range names {
+			if len(name) > maxWalName {
+				// Unreachable through pfs (Create caps names at MaxName),
+				// but never truncate: a wrong u16 length would make this
+				// checkpoint restore the wrong name or fail to parse.
+				return errNameTooLong(name)
+			}
+			f, err := fs.Open(name)
+			if err != nil {
+				continue // removed since List; its absence is the truth
+			}
+			if err := w.writeFile(name, f); err != nil {
+				return err
+			}
+			nfiles++
+		}
+		w.beginFrame(ckptPartEnd, "")
+		w.buf = le32(w.buf, nfiles)
+		w.endFrame()
+		if err := w.flush(); err != nil {
+			return err
+		}
+		return cf.Sync()
+	}()
 	if cerr := cf.Close(); err == nil {
 		err = cerr
+	}
+	if peak != nil {
+		for {
+			cur := peak.Load()
+			if w.peak <= cur || peak.CompareAndSwap(cur, w.peak) {
+				break
+			}
+		}
 	}
 	if err != nil {
 		return err
@@ -192,9 +313,96 @@ func readCheckpoint(d Dir, shard int) (files []ckptFile, gen, floor uint64, err 
 		}
 		return nil, 0, 0, err
 	}
-	if len(content) < ckptHdrLen || string(content[:8]) != ckptMagic {
+	if len(content) >= ckptHdrLen && string(content[:8]) == ckptMagic {
+		return readCheckpointV1(content, shard)
+	}
+	if len(content) < ckptHdr2Len || string(content[:8]) != ckptMagic2 {
 		return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: bad header", shard)
 	}
+	if got := int(le32get(content[8:])); got != shard {
+		return nil, 0, 0, fmt.Errorf("pfs: checkpoint of shard %d found in shard %d's slot", got, shard)
+	}
+	gen = le64get(content[12:])
+	floor = le64get(content[20:])
+	b := content[ckptHdr2Len:]
+	idx := make(map[string]int) // name → files index, for continuation merges
+	frame := 0
+	sealed := false
+	for len(b) > 0 {
+		frame++
+		if sealed {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: data after trailer", shard)
+		}
+		if len(b) < walFrameHdr {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: truncated at frame %d", shard, frame)
+		}
+		ln := int(le32get(b))
+		if ln > maxWalRecord || walFrameHdr+ln > len(b) {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: truncated at frame %d", shard, frame)
+		}
+		body := b[walFrameHdr : walFrameHdr+ln]
+		if crc32.ChecksumIEEE(body) != le32get(b[4:]) {
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: frame %d fails CRC", shard, frame)
+		}
+		b = b[walFrameHdr+ln:]
+		c := cur{b: body}
+		switch part := c.u8(); part {
+		case ckptPartFile:
+			name := string(c.take(int(c.u16())))
+			snap := c.rest()
+			if c.err {
+				return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: frame %d malformed", shard, frame)
+			}
+			if _, dup := idx[name]; dup {
+				return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: duplicate file %q", shard, name)
+			}
+			idx[name] = len(files)
+			files = append(files, ckptFile{Name: name, Snapshot: snap})
+		case ckptPartCont:
+			name := string(c.take(int(c.u16())))
+			nb := c.u32()
+			ext := c.rest()
+			if c.err || len(ext) != int(nb)*(8+BlockSize) {
+				return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: frame %d malformed", shard, frame)
+			}
+			i, ok := idx[name]
+			if !ok {
+				return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: continuation of unknown file %q", shard, name)
+			}
+			// Merge into the base snapshot. Copy: the base aliases
+			// content, and appending in place would stomp the frames
+			// that follow it.
+			snap := files[i].Snapshot
+			if len(snap) < 12 {
+				return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: frame %d malformed", shard, frame)
+			}
+			merged := make([]byte, 0, len(snap)+len(ext))
+			merged = append(merged, snap...)
+			merged = append(merged, ext...)
+			putLE32(merged[8:], le32get(snap[8:])+nb)
+			files[i].Snapshot = merged
+		case ckptPartEnd:
+			nfiles := c.u32()
+			if c.err || len(c.rest()) != 0 {
+				return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: frame %d malformed", shard, frame)
+			}
+			if int(nfiles) != len(files) {
+				return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: trailer says %d files, read %d", shard, nfiles, len(files))
+			}
+			sealed = true
+		default:
+			return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: frame %d has unknown part %d", shard, frame, part)
+		}
+	}
+	if !sealed {
+		return nil, 0, 0, fmt.Errorf("pfs: shard %d checkpoint: missing trailer", shard)
+	}
+	return files, gen, floor, nil
+}
+
+// readCheckpointV1 parses the pre-streaming checkpoint format: nfiles
+// in the header, exactly one frame per file, no trailer.
+func readCheckpointV1(content []byte, shard int) (files []ckptFile, gen, floor uint64, err error) {
 	if got := int(le32get(content[8:])); got != shard {
 		return nil, 0, 0, fmt.Errorf("pfs: checkpoint of shard %d found in shard %d's slot", got, shard)
 	}

@@ -1,0 +1,270 @@
+package pfs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gatedWAL builds a single-shard WAL over a MemDir whose log fsyncs
+// block on gate once armed — the harness for crashing with an fsync in
+// flight. Returns the MemDir (for CrashCopy), the WAL, the arm switch
+// and the gate (close it to let every blocked and future sync through).
+func gatedWAL(t *testing.T) (*MemDir, *WAL, *atomic.Bool, chan struct{}) {
+	t.Helper()
+	md := NewMemDir()
+	var armed atomic.Bool
+	gate := make(chan struct{})
+	sd := &SlowDir{Dir: md, OnSync: func(string) {
+		if armed.Load() {
+			<-gate
+		}
+	}}
+	_, wals, _, err := RecoverSharded(sd, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md, wals[0], &armed, gate
+}
+
+// waitSyncInFlight polls until w's write frontier runs ahead of its
+// sync frontier — an fsync is in flight (ours is parked on the gate).
+func waitSyncInFlight(t *testing.T, w *WAL) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.SyncLag() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sync never went in flight")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestCrashMidFsyncAckedPrefixIsSyncFrontier crashes the store with an
+// fsync in flight: the record is written (write frontier covers it)
+// but not durable (sync frontier does not), so Commit must still be
+// blocked — the acked prefix is the sync frontier, never the write
+// frontier. Recovery of the crash image must keep everything below the
+// sync frontier and at most a replayable prefix above it; once the
+// fsync completes and Commit returns, a second crash must keep the
+// record.
+func TestCrashMidFsyncAckedPrefixIsSyncFrontier(t *testing.T) {
+	md, w, armed, gate := gatedWAL(t)
+	rng := rand.New(rand.NewSource(42))
+
+	if _, err := w.Append(&Record{Kind: RecCreate, Name: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	end, err := w.Append(&Record{Kind: RecWrite, Name: "f", Off: 0, Data: []byte("durable!")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(end, true); err != nil {
+		t.Fatal(err)
+	}
+
+	armed.Store(true)
+	end2, err := w.Append(&Record{Kind: RecWrite, Name: "f", Off: 8, Data: []byte("pending!")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Commit(end2, true) }()
+	waitSyncInFlight(t, w)
+
+	// The crash: snapshot the directory while the fsync is parked on
+	// the gate. The commit must not have returned an ack.
+	select {
+	case err := <-done:
+		t.Fatalf("Commit returned (%v) with its fsync still in flight", err)
+	default:
+	}
+	crashed := md.CrashCopy(rng)
+
+	store, _, _, err := RecoverSharded(crashed, 1, nil, nil)
+	if err != nil {
+		t.Fatalf("recovery mid-fsync: %v", err)
+	}
+	f, err := store.Open("f")
+	if err != nil {
+		t.Fatalf("sync-frontier record lost: %v", err)
+	}
+	got := make([]byte, 16)
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got[:8], []byte("durable!")) {
+		t.Fatalf("acked bytes lost across mid-fsync crash: %q", got[:8])
+	}
+	// The in-flight record may survive (it is in the file, a crash can
+	// keep any prefix of the unsynced tail) — but only as exactly
+	// itself or nothing, never torn into the applied state.
+	if !bytes.Equal(got[8:], []byte("pending!")) && !bytes.Equal(got[8:], make([]byte, 8)) {
+		t.Fatalf("unacked record half-applied: %q", got[8:])
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Commit after fsync completed: %v", err)
+	}
+	if w.SyncLag() != 0 {
+		t.Fatalf("SyncLag = %d after a drained commit", w.SyncLag())
+	}
+	// Now the record is acked, so it must survive any crash.
+	store2, _, _, err := RecoverSharded(md.CrashCopy(rng), 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := store2.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, 16)
+	f2.ReadAt(got2, 0)
+	if !bytes.Equal(got2, []byte("durable!pending!")) {
+		t.Fatalf("acked record lost after fsync completed: %q", got2)
+	}
+}
+
+// TestWALTapHoldsMidFsyncBytes: a synced tap must not deliver a record
+// whose fsync is still in flight — replication acks must never outrun
+// the sync frontier, even though the bytes are already in the file.
+// The sibling of TestWALTapHoldsUnsyncedBytes, with the fsync issued
+// but parked instead of never requested.
+func TestWALTapHoldsMidFsyncBytes(t *testing.T) {
+	md, w, armed, gate := gatedWAL(t)
+	_ = md
+	tap, err := w.Tap(1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tap.Close()
+
+	armed.Store(true)
+	rec := &Record{Kind: RecWrite, Name: "f", Off: 5, Data: []byte("inflight")}
+	end, err := w.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Commit(end, true) }()
+	waitSyncInFlight(t, w)
+
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := tap.Next(nil)
+		got <- b
+	}()
+	select {
+	case <-got:
+		t.Fatal("mid-fsync bytes delivered to a synced tap")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		dec, n, err := DecodeRecord(b)
+		if err != nil || n != len(b) || dec.LSN != rec.LSN {
+			t.Fatalf("post-sync delivery wrong: %d bytes, %v", len(b), err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("synced bytes never delivered")
+	}
+}
+
+// TestCommitPipelineOverlapsFsyncs proves the pipeline actually
+// overlaps: with the gate holding one commit's fsync, a second
+// commit's fsync must still be issued (two in flight at once) — and
+// under the serialized baseline it must not be.
+func TestCommitPipelineOverlapsFsyncs(t *testing.T) {
+	md := NewMemDir()
+	var armed atomic.Bool
+	var inflight, peak atomic.Int32
+	var releaseMu sync.Mutex
+	release := make(chan struct{})
+	getRelease := func() chan struct{} {
+		releaseMu.Lock()
+		defer releaseMu.Unlock()
+		return release
+	}
+	sd := &SlowDir{Dir: md, OnSync: func(string) {
+		if !armed.Load() {
+			return // recovery's own checkpoint fsync passes through
+		}
+		n := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-getRelease()
+		inflight.Add(-1)
+	}}
+	_, wals, _, err := RecoverSharded(sd, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wals[0]
+	armed.Store(true)
+
+	commit := func(done chan<- error) {
+		end, err := w.Append(&Record{Kind: RecCreate, Name: "f"})
+		if err != nil {
+			done <- err
+			return
+		}
+		go func() { done <- w.Commit(end, true) }()
+	}
+	waitInflight := func(want int32, what string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for peak.Load() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s (peak %d, want %d)", what, peak.Load(), want)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	d1, d2 := make(chan error, 1), make(chan error, 1)
+	commit(d1)
+	waitInflight(1, "first fsync never issued")
+	commit(d2)
+	waitInflight(2, "pipelined WAL never overlapped fsyncs")
+	close(release)
+	if err := <-d1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-d2; err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialized baseline: the same dance must keep fsyncs one at a
+	// time — the second commit waits out the first's round.
+	inflight.Store(0)
+	peak.Store(0)
+	hold := make(chan struct{})
+	releaseMu.Lock()
+	release = hold
+	releaseMu.Unlock()
+	w.SetCommitPipeline(0)
+	d3, d4 := make(chan error, 1), make(chan error, 1)
+	commit(d3)
+	waitInflight(1, "serialized fsync never issued")
+	commit(d4)
+	time.Sleep(20 * time.Millisecond) // give a buggy overlap time to show
+	if p := peak.Load(); p > 1 {
+		t.Fatalf("serialized WAL overlapped %d fsyncs", p)
+	}
+	close(hold)
+	if err := <-d3; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-d4; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -277,7 +277,7 @@ func RecoverSharded(d Dir, nshards int, mk DomainLockFactory, place Placement) (
 	lsn := &atomic.Uint64{}
 	lsn.Store(stats.MaxLSN)
 	for i := 0; i < nshards; i++ {
-		if err := writeCheckpoint(d, i, scans[i].gen+1, stats.MaxLSN, store.Shard(i)); err != nil {
+		if err := writeCheckpoint(d, i, scans[i].gen+1, stats.MaxLSN, store.Shard(i), nil); err != nil {
 			return nil, nil, stats, err
 		}
 	}

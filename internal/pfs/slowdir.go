@@ -1,0 +1,51 @@
+package pfs
+
+import "time"
+
+// SlowDir wraps a Dir to make every log-file Sync cost SyncDelay and,
+// when OnSync is set, announce itself first. It exists for the test
+// and bench suites: the delay models a disk whose flush latency
+// dwarfs its write latency (the regime the pipelined commit path is
+// built for — overlapped fsyncs amortize the delay, serialized ones
+// pay it per round), and the hook gives crash tests a place to stall
+// an fsync mid-flight and cut power around it. Directory-level Sync
+// (namespace durability) passes through undelayed: it is off the
+// commit hot path and slowing it only drags checkpoint rotation into
+// every measurement.
+type SlowDir struct {
+	Dir
+	SyncDelay time.Duration
+	// OnSync, when set, runs at the start of every log-file Sync with
+	// the file's name, before the delay and the underlying sync. It
+	// may block — that is the point: a crash test holds the sync here
+	// while it snapshots the directory.
+	OnSync func(name string)
+}
+
+// Create implements Dir, wrapping the file so its Syncs slow down.
+func (d *SlowDir) Create(name string) (LogFile, error) {
+	f, err := d.Dir.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{f: f, d: d, name: name}, nil
+}
+
+type slowFile struct {
+	f    LogFile
+	d    *SlowDir
+	name string
+}
+
+func (f *slowFile) Write(p []byte) (int, error) { return f.f.Write(p) }
+func (f *slowFile) Close() error                { return f.f.Close() }
+
+func (f *slowFile) Sync() error {
+	if hook := f.d.OnSync; hook != nil {
+		hook(f.name)
+	}
+	if f.d.SyncDelay > 0 {
+		time.Sleep(f.d.SyncDelay)
+	}
+	return f.f.Sync()
+}

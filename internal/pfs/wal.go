@@ -22,10 +22,18 @@
 // increasing (assignment and buffer append happen under the WAL mutex),
 // and the scanner treats a non-increasing LSN as corruption.
 //
-// Commit is a leader-based group commit: appenders buffer under the
-// mutex, and whoever finds no flush in progress writes and fsyncs the
-// whole buffer for everyone waiting — one fsync amortizes across a
-// pipelined batch and across concurrently committing connections.
+// Commit is a leader-based group commit, and it is pipelined in two
+// phases: appenders buffer under the mutex; whoever finds no *write* in
+// progress writes the whole buffer for everyone waiting; whoever then
+// finds room in the sync pipeline issues an fsync covering everything
+// written so far. The write stage and up to maxSyncs fsyncs overlap, so
+// batch N+1 buffers, writes and submits while batch N's fsync is in
+// flight — but acknowledgements are released strictly by the *sync
+// frontier* (syncEnd): Commit(end, true) returns only once some fsync
+// issued after end was written has returned. One fsync still amortizes
+// across a pipelined batch and across concurrently committing
+// connections; overlapping them additionally hides the disk's sync
+// latency behind the next batch's work.
 package pfs
 
 import (
@@ -331,8 +339,22 @@ func scanLog(content []byte, shard int) (recs []Record, gen uint64, torn int, er
 	return recs, gen, 0, nil
 }
 
+// DefaultCommitPipeline is the sync-stage depth a WAL starts with: how
+// many fsyncs may be in flight at once before committers queue. Depth 1
+// still overlaps one fsync with the next batch's write; deeper
+// pipelines let concurrent connections ride the kernel's own journal
+// coalescing instead of convoying behind one inode flush.
+const DefaultCommitPipeline = 8
+
+// DefaultWALBufferBytes caps a shard's buffered-but-unwritten log bytes
+// when nothing overrides it: past the cap, appenders stall until the
+// write stage drains — backpressure, never an error — so a SyncOff
+// firehose cannot grow the commit buffer without bound.
+const DefaultWALBufferBytes = 64 << 20
+
 // WAL is one shard's write-ahead log. Appends buffer under the mutex;
-// Commit makes a logical prefix durable via leader-based group commit.
+// Commit makes a logical prefix durable via pipelined leader-based
+// group commit (see the package comment for the two-phase protocol).
 // A WAL is created only by recovery (RecoverSharded), which is also
 // what replays it — see recover.go.
 type WAL struct {
@@ -347,7 +369,7 @@ type WAL struct {
 	lastLSN atomic.Uint64
 
 	mu       sync.Mutex
-	flushed  sync.Cond // broadcast when a flush round completes
+	flushed  sync.Cond // broadcast when a write or sync stage completes
 	f        LogFile
 	gen      uint64
 	rotating bool   // a .log.new is the active file; FinishRotate pending
@@ -356,13 +378,34 @@ type WAL struct {
 	// Written under mu; atomic so AppendEnd can report the frontier
 	// without the mutex (commit gates read it once per request).
 	appendEnd atomic.Int64
-	writeEnd  int64 // logical end of what reached the file
-	syncEnd   int64 // logical end of what fsync covered
+	writeEnd  int64 // logical end of what reached the file (write frontier)
+	syncEnd   int64 // logical end of what fsync covered (sync frontier)
 	sinceCkpt int64 // bytes appended since the last rotation
-	pendRecs  int64 // records in buf — one flush round's group-commit batch
-	flushing  bool
-	m         *WALMetrics // observation hooks; nil = unmetered (see wal_metrics.go)
-	err       error       // sticky I/O error; the WAL refuses further work
+	pendRecs  int64 // records in buf — one write round's group-commit batch
+
+	// Commit pipeline state. writing marks the single in-flight write
+	// stage; syncs counts in-flight fsyncs (bounded by maxSyncs);
+	// syncIssued is the highest write frontier any issued fsync is
+	// guaranteed to cover, so a committer below it waits instead of
+	// issuing a redundant fsync. barriers counts callers (Close, Tap,
+	// checkpoint rotation) that need both stages quiesced and the
+	// pipeline held shut; maxSyncs <= 0 selects the serialized
+	// pre-pipelining path (one combined write+fsync round at a time),
+	// kept as the benchmark baseline.
+	writing    bool
+	syncs      int
+	syncIssued int64
+	barriers   int
+	maxSyncs   int
+
+	// maxBuf caps appendEnd-writeEnd: appenders block (never error) at
+	// the cap until the write stage drains. <= 0 is unbounded.
+	maxBuf int64
+
+	ckptPeak atomic.Int64 // high-water checkpoint staging buffer, bytes
+
+	m   *WALMetrics // observation hooks; nil = unmetered (see wal_metrics.go)
+	err error       // sticky I/O error; the WAL refuses further work
 	// lost marks a hole below the frontier: an append was refused, so a
 	// mutation applied without its record ever entering the log. Commit
 	// must then fail even for ends the durable frontier covers — unlike
@@ -380,7 +423,8 @@ type WAL struct {
 }
 
 func newWAL(dir Dir, shard int, gen uint64, lsn *atomic.Uint64, last uint64) (*WAL, error) {
-	w := &WAL{dir: dir, shard: shard, gen: gen, lsn: lsn}
+	w := &WAL{dir: dir, shard: shard, gen: gen, lsn: lsn,
+		maxSyncs: DefaultCommitPipeline, maxBuf: DefaultWALBufferBytes}
 	w.lastLSN.Store(last)
 	w.flushed.L = &w.mu
 	f, err := dir.Create(shardBase(shard) + logSuffix)
@@ -402,11 +446,64 @@ func newWAL(dir Dir, shard int, gen uint64, lsn *atomic.Uint64, last uint64) (*W
 // Shard returns the shard this log belongs to.
 func (w *WAL) Shard() int { return w.shard }
 
+// SetCommitPipeline bounds how many fsyncs the commit path may have in
+// flight at once. n <= 0 selects the serialized pre-pipelining path
+// (one combined write+fsync round at a time) — the baseline the
+// pipelined benchmarks compare against.
+func (w *WAL) SetCommitPipeline(n int) {
+	w.mu.Lock()
+	w.maxSyncs = n
+	w.mu.Unlock()
+}
+
+// SetMaxBuffer caps the shard's buffered-but-unwritten log bytes
+// (appendEnd - writeEnd). At the cap, appenders block until the write
+// stage drains — backpressure, never an error. n <= 0 removes the cap.
+func (w *WAL) SetMaxBuffer(n int64) {
+	w.mu.Lock()
+	w.maxBuf = n
+	w.flushed.Broadcast() // a raised cap releases stalled appenders
+	w.mu.Unlock()
+}
+
+// waitBuffer blocks the calling appender while the buffered backlog is
+// at the cap, driving the write stage itself when nobody else is. The
+// stall is surfaced as a metric and never as an error: durability work
+// is already in motion, the appender just may not outrun it. Caller
+// holds w.mu; returns with w.mu held and either room in the buffer or a
+// sticky error pending.
+func (w *WAL) waitBuffer() {
+	if w.maxBuf <= 0 || w.appendEnd.Load()-w.writeEnd < w.maxBuf {
+		return
+	}
+	m := w.m
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	for w.err == nil && w.appendEnd.Load()-w.writeEnd >= w.maxBuf {
+		switch {
+		case w.writing || w.barriers > 0:
+			w.flushed.Wait()
+		case w.maxSyncs > 0:
+			w.writeRound()
+		default:
+			w.flushRound(false)
+		}
+	}
+	if m != nil {
+		m.Stalls.Add(1)
+		m.StallNs.ObserveDuration(time.Since(start))
+	}
+}
+
 // Append assigns r the next global LSN and buffers it; it returns the
-// logical end offset to pass to Commit. r.Data is copied.
+// logical end offset to pass to Commit. r.Data is copied. A full
+// buffer (see SetMaxBuffer) blocks until the write stage drains.
 func (w *WAL) Append(r *Record) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.waitBuffer()
 	if w.err != nil {
 		return 0, w.err
 	}
@@ -436,9 +533,13 @@ func (w *WAL) Append(r *Record) (int64, error) {
 
 // Commit makes the log durable up to logical offset end: it returns
 // once end is written to the file and — when sync is set — fsynced.
-// Concurrent commits coalesce: one leader writes and syncs the whole
-// buffer, everyone whose end it covers returns without touching the
-// file. An I/O error is sticky and fails all pending and future work.
+// Concurrent commits coalesce and pipeline: one leader writes the
+// whole buffer for everyone waiting, another issues an fsync covering
+// everything written, and up to maxSyncs fsyncs overlap both each
+// other and the next batch's write. Acks ride the sync frontier only —
+// a committer returns when syncEnd covers its end, never when the
+// write frontier does. An I/O error is sticky and fails all pending
+// and future work.
 //
 // The durable-frontier check runs before the sticky-error check on
 // purpose: a server shutting down under traffic closes the journal
@@ -463,19 +564,135 @@ func (w *WAL) Commit(end int64, sync bool) error {
 		if w.err != nil {
 			return w.err
 		}
-		if w.flushing {
+		if w.barriers > 0 {
+			// Close, Tap or a checkpoint rotation holds the pipeline
+			// shut; its own flush will cover us or fail us.
 			w.flushed.Wait()
 			continue
 		}
-		w.flushRound(sync)
+		if w.maxSyncs <= 0 {
+			// Serialized baseline: one combined write+fsync round at a
+			// time, every committer behind it. (A pipeline turned off
+			// mid-flight still waits out straggler fsyncs.)
+			if w.writing || w.syncs > 0 {
+				w.flushed.Wait()
+				continue
+			}
+			w.flushRound(sync)
+			continue
+		}
+		if w.writeEnd < end {
+			if w.writing {
+				w.flushed.Wait()
+				continue
+			}
+			w.writeRound()
+			continue
+		}
+		// Written but not yet sync-covered: ride an fsync already
+		// issued past our end, else issue one if the pipeline has room.
+		if w.syncIssued >= end || w.syncs >= w.maxSyncs {
+			w.flushed.Wait()
+			continue
+		}
+		w.syncRound()
 	}
 }
 
-// flushRound writes the current buffer (and optionally fsyncs) with the
-// mutex dropped, then publishes the new durable frontier. Caller holds
-// w.mu with w.flushing false; returns with w.mu held.
+// writeRound runs the write stage: it takes the buffer and writes it to
+// the file with the mutex dropped, then publishes the write frontier.
+// fsyncs may be in flight throughout — that is the pipeline. Caller
+// holds w.mu with w.writing false; returns with w.mu held.
+func (w *WAL) writeRound() {
+	w.writing = true
+	buf := w.buf
+	w.buf = nil
+	recs := w.pendRecs
+	w.pendRecs = 0
+	target := w.appendEnd.Load()
+	f := w.f
+	m := w.m
+	w.mu.Unlock()
+	var err error
+	if len(buf) > 0 {
+		_, err = f.Write(buf)
+	}
+	if m != nil && recs > 0 {
+		// One write round is one group commit: every record buffered
+		// since the last round rides a single write (and, downstream,
+		// a single fsync covers one or more rounds).
+		m.BatchRecords.Observe(recs)
+		m.BatchBytes.Observe(int64(len(buf)))
+		m.FlushedBytes.Add(int64(len(buf)))
+	}
+	w.mu.Lock()
+	if err != nil {
+		w.err = err
+		w.failTaps(err)
+	} else {
+		w.writeEnd = target
+		w.feedTaps(buf)
+	}
+	w.writing = false
+	w.flushed.Broadcast()
+}
+
+// syncRound runs one sync stage: it captures the write frontier, fsyncs
+// with the mutex dropped, and publishes the captured frontier as
+// sync-covered. An fsync guarantees exactly the bytes written before
+// the call, which is why the target is read before the mutex drops and
+// why out-of-order completions (a later, higher-target fsync returning
+// first) are resolved with max, not assignment. Caller holds w.mu with
+// w.syncs < w.maxSyncs; returns with w.mu held.
+func (w *WAL) syncRound() {
+	target := w.writeEnd
+	w.syncs++
+	if target > w.syncIssued {
+		w.syncIssued = target
+	}
+	f := w.f
+	m := w.m
+	if m != nil {
+		m.PipelineDepth.Observe(int64(w.syncs))
+	}
+	w.mu.Unlock()
+	var err error
+	if m == nil {
+		err = f.Sync()
+	} else {
+		start := time.Now()
+		err = f.Sync()
+		m.Fsyncs.Add(1)
+		m.FsyncNs.ObserveDuration(time.Since(start))
+	}
+	w.mu.Lock()
+	w.syncs--
+	if err != nil {
+		w.err = err
+		w.failTaps(err)
+	} else if target > w.syncEnd {
+		w.syncEnd = target
+		w.feedTaps(nil)
+	}
+	w.flushed.Broadcast()
+}
+
+// flushRound is the serialized combined round — write the buffer, then
+// optionally fsync, as one exclusive step. It is the whole commit path
+// when the pipeline is off (maxSyncs <= 0) and the quiesced final
+// flush for Close, Tap and checkpoint rotation, which hold a barrier
+// so no pipelined stage can start around it. Caller holds w.mu;
+// flushRound waits out any in-flight stage itself (two barrier holders
+// may both reach it) and no-ops on a sticky error. Returns with w.mu
+// held.
 func (w *WAL) flushRound(sync bool) {
-	w.flushing = true
+	for w.writing || w.syncs > 0 {
+		w.flushed.Wait()
+	}
+	if w.err != nil {
+		return
+	}
+	w.writing = true
 	buf := w.buf
 	w.buf = nil
 	recs := w.pendRecs
@@ -499,8 +716,6 @@ func (w *WAL) flushRound(sync bool) {
 		}
 	}
 	if m != nil && recs > 0 {
-		// One flush round is one group commit: every record buffered
-		// since the last round rides a single write (and fsync).
 		m.BatchRecords.Observe(recs)
 		m.BatchBytes.Observe(int64(len(buf)))
 		m.FlushedBytes.Add(int64(len(buf)))
@@ -513,19 +728,43 @@ func (w *WAL) flushRound(sync bool) {
 		w.writeEnd = target
 		if sync {
 			w.syncEnd = target
+			if target > w.syncIssued {
+				w.syncIssued = target
+			}
 		}
 		w.feedTaps(buf)
 	}
-	w.flushing = false
+	w.writing = false
+	w.flushed.Broadcast()
+}
+
+// beginBarrier holds the commit pipeline shut — no new write or sync
+// stage may start — and waits out the in-flight ones, so the caller
+// observes (and may advance) the frontiers with nothing racing the
+// file. Barriers nest: each holder re-checks quiescence around its own
+// exclusive work. Caller holds w.mu; returns with w.mu held.
+func (w *WAL) beginBarrier() {
+	w.barriers++
+	for w.writing || w.syncs > 0 {
+		w.flushed.Wait()
+	}
+}
+
+// endBarrier reopens the pipeline and wakes queued committers. Caller
+// holds w.mu.
+func (w *WAL) endBarrier() {
+	w.barriers--
 	w.flushed.Broadcast()
 }
 
 // feedTaps hands newly durable log bytes to every registered tap.
-// Called under w.mu from flushRound's success path with the bytes it
-// just wrote; the durable frontier (syncEnd, or writeEnd for unsynced
-// journals) decides how much of the pending run ships. Round targets
-// land on record boundaries, so in practice the whole run ships at
-// once; the frontier arithmetic keeps the invariant honest anyway.
+// Called under w.mu from the write stage (with the bytes it just
+// wrote) and from the sync stage (with nil, after the sync frontier
+// advanced); the durable frontier (syncEnd, or writeEnd for unsynced
+// journals) decides how much of the pending run ships. Under the
+// pipelined commit this gate earns its keep: written-but-unsynced
+// bytes sit in tapPend until the fsync that covers them returns, so a
+// follower can never hold a record the leader could still lose.
 func (w *WAL) feedTaps(wrote []byte) {
 	if len(w.taps) == 0 {
 		return
@@ -612,6 +851,7 @@ func (w *WAL) SetLastLSN(lsn uint64) {
 func (w *WAL) AppendPrepared(r *Record) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.waitBuffer()
 	if w.err != nil {
 		return 0, w.err
 	}
@@ -672,14 +912,21 @@ var ErrTapClosed = errors.New("pfs: WAL tap closed")
 // durable from now on. max bounds the undelivered backlog; synced
 // selects the durable frontier (fsync-covered bytes — pass false only
 // for SyncOff journals, where nothing is ever fsynced). The
-// registration point is exact: any in-flight flush is waited out, so
-// the caller can pair the tap with a read of the log file and miss
-// nothing in between.
+// registration point is exact: a barrier waits out the in-flight write
+// and every in-flight fsync, and for a synced tap any
+// written-but-unsynced gap is flushed closed, so the caller can pair
+// the tap with a read of the log file and miss nothing in between.
 func (w *WAL) Tap(max int, synced bool) (*WALTap, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.flushing {
-		w.flushed.Wait()
+	w.beginBarrier()
+	defer w.endBarrier()
+	if w.err == nil && synced && w.syncEnd < w.writeEnd {
+		// The pipelined commit lets the write frontier run ahead of the
+		// sync frontier; bytes in that gap predate this tap and would
+		// never enter its pending run. Close the gap before
+		// registering: tapStart then equals both frontiers.
+		w.flushRound(true)
 	}
 	if w.err != nil {
 		return nil, w.err
@@ -798,20 +1045,26 @@ func (w *WAL) SinceCheckpoint() int64 {
 // and outcome observation.
 func (w *WAL) runCheckpoint(fs *FS) error {
 	w.mu.Lock()
-	for w.flushing {
-		w.flushed.Wait()
-	}
+	// The barrier holds the commit pipeline shut across the rotation:
+	// in-flight writes and fsyncs (which target the old file) are
+	// waited out, and none may start until the swap below publishes the
+	// new one — an fsync racing the old file's Close would turn the
+	// rotation into a spurious sticky error.
+	w.beginBarrier()
 	if w.err != nil {
+		w.endBarrier()
 		w.mu.Unlock()
 		return w.err
 	}
 	if w.rotating {
+		w.endBarrier()
 		w.mu.Unlock()
 		return fmt.Errorf("pfs: shard %d checkpoint already in progress", w.shard)
 	}
-	// Flush + sync the old log inline (nobody else can be flushing).
+	// Flush + sync the old log inline (the barrier keeps stages out).
 	w.flushRound(true)
 	if w.err != nil {
+		w.endBarrier()
 		w.mu.Unlock()
 		return w.err
 	}
@@ -830,6 +1083,7 @@ func (w *WAL) runCheckpoint(fs *FS) error {
 	base := shardBase(w.shard)
 	nf, err := w.dir.Create(base + logNewSuffx)
 	if err != nil {
+		w.endBarrier()
 		w.mu.Unlock()
 		return err
 	}
@@ -844,6 +1098,7 @@ func (w *WAL) runCheckpoint(fs *FS) error {
 	}
 	if err != nil {
 		nf.Close()
+		w.endBarrier()
 		w.mu.Unlock()
 		return err
 	}
@@ -852,10 +1107,13 @@ func (w *WAL) runCheckpoint(fs *FS) error {
 	w.gen = gen
 	w.rotating = true
 	w.sinceCkpt = 0
+	// The swap is published: reopen the pipeline so appends and commits
+	// run against the new log while the snapshot streams out below.
+	w.endBarrier()
 	w.mu.Unlock()
 	old.Close()
 
-	if err := writeCheckpoint(w.dir, w.shard, gen, floor, fs); err != nil {
+	if err := writeCheckpoint(w.dir, w.shard, gen, floor, fs, &w.ckptPeak); err != nil {
 		return w.fail(err)
 	}
 	// The old log is now redundant; promote the new one into its name.
@@ -907,16 +1165,18 @@ func (w *WAL) fail(err error) error {
 }
 
 // Close flushes and fsyncs outstanding records and closes the file.
-// The WAL is left with a sticky ErrWALClosed, so a racing or late
-// Append/Commit fails cleanly instead of buffering records no flush
-// will ever cover (or dereferencing the closed file). Closing twice is
-// a no-op.
+// The barrier first waits out the in-flight write and every in-flight
+// fsync — closing the file under a pipelined fsync would fail it
+// spuriously — then a final combined round makes the remaining buffer
+// durable. The WAL is left with a sticky ErrWALClosed, so a racing or
+// late Append/Commit fails cleanly instead of buffering records no
+// flush will ever cover (or dereferencing the closed file). Closing
+// twice is a no-op.
 func (w *WAL) Close() error {
 	w.mu.Lock()
-	for w.flushing {
-		w.flushed.Wait()
-	}
+	w.beginBarrier()
 	if errors.Is(w.err, ErrWALClosed) {
+		w.endBarrier()
 		w.mu.Unlock()
 		return nil
 	}
@@ -933,6 +1193,7 @@ func (w *WAL) Close() error {
 	// its bytes: a replication session sees the log's complete durable
 	// suffix, then the terminal error.
 	w.failTaps(ErrWALClosed)
+	w.endBarrier()
 	w.mu.Unlock()
 	if f != nil {
 		if cerr := f.Close(); err == nil {

@@ -39,6 +39,17 @@ func FuzzWALReplay(f *testing.F) {
 	huge := append([]byte(nil), extra...)
 	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0x7f // absurd length
 	f.Add(huge)
+	// Pipelined-commit crash shapes: the write frontier can run several
+	// complete records past the sync frontier, so a crash may leave a
+	// whole unsynced batch (replayable), or such a batch with its last
+	// frame torn mid-record.
+	batch, err := appendRecord(append([]byte(nil), extra...),
+		&Record{Kind: RecAppend, LSN: 5, Shard: 0, Name: "f", Off: 110, Data: []byte("pipelined")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch)                // complete-but-unsynced batch beyond the sync frontier
+	f.Add(batch[:len(batch)-4]) // …with the final record torn mid-fsync
 
 	f.Fuzz(func(t *testing.T, tail []byte) {
 		content := append(append([]byte(nil), prefix...), tail...)

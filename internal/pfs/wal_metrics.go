@@ -20,12 +20,15 @@ import (
 type WALMetrics struct {
 	FsyncNs        *obs.Histogram // latency of each group-commit fsync
 	Fsyncs         *obs.Counter   // fsync calls issued by flush rounds
-	BatchRecords   *obs.Histogram // records per flush round (group-commit batch size)
-	BatchBytes     *obs.Histogram // bytes per flush round
+	BatchRecords   *obs.Histogram // records per write round (group-commit batch size)
+	BatchBytes     *obs.Histogram // bytes per write round
 	FlushedBytes   *obs.Counter   // total log bytes written
 	CheckpointNs   *obs.Histogram // wall time of each successful checkpoint
 	Checkpoints    *obs.Counter   // checkpoints completed
 	CheckpointErrs *obs.Counter   // checkpoints failed (incl. already-in-progress refusals)
+	PipelineDepth  *obs.Histogram // in-flight fsyncs observed as each one is issued
+	StallNs        *obs.Histogram // time appenders spent blocked on the buffer cap
+	Stalls         *obs.Counter   // appends that hit the buffer cap
 }
 
 // SetMetrics installs (or clears) the WAL's observation hooks. Safe
@@ -39,12 +42,27 @@ func (w *WAL) SetMetrics(m *WALMetrics) {
 
 // BufferedBytes returns how many appended bytes have not yet reached
 // the log file — the group-commit buffer depth a scrape-time gauge
-// reports.
+// reports (and what the SetMaxBuffer cap bounds).
 func (w *WAL) BufferedBytes() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.appendEnd.Load() - w.writeEnd
 }
+
+// SyncLag returns how far the write frontier runs ahead of the sync
+// frontier — bytes in the file an fsync has not yet covered, i.e. the
+// depth of the commit pipeline in bytes. Zero whenever the pipeline is
+// drained (and always, under the serialized baseline, between rounds).
+func (w *WAL) SyncLag() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeEnd - w.syncEnd
+}
+
+// CheckpointPeakBuffer returns the largest staging buffer any
+// checkpoint of this shard has used — the bound the streaming writer
+// holds in memory instead of the whole shard snapshot.
+func (w *WAL) CheckpointPeakBuffer() int64 { return w.ckptPeak.Load() }
 
 // Checkpoint snapshots fs and truncates the log (see runCheckpoint for
 // the full protocol), observing duration and outcome.

@@ -336,7 +336,7 @@ func TestRecoverMidCheckpointWindows(t *testing.T) {
 			t.Fatal(err)
 		}
 		f.WriteAt(content, 0)
-		if err := writeCheckpoint(d, 0, 2, floor, fs); err != nil {
+		if err := writeCheckpoint(d, 0, 2, floor, fs, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -489,7 +489,7 @@ func TestNameLengthLimits(t *testing.T) {
 	// pfs.Create would never let the name in).
 	long := New(nil)
 	long.files[strings.Repeat("c", maxWalName+1)] = newFile(long, "c", long.mkLock())
-	if err := writeCheckpoint(NewMemDir(), 0, 1, 0, long); !errors.Is(err, ErrNameTooLong) {
+	if err := writeCheckpoint(NewMemDir(), 0, 1, 0, long, nil); !errors.Is(err, ErrNameTooLong) {
 		t.Fatalf("writeCheckpoint(over-long name) = %v, want ErrNameTooLong", err)
 	}
 }

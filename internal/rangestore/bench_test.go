@@ -599,6 +599,97 @@ func BenchmarkStoreWAL(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreWALPipelined prices the two-phase commit pipeline at
+// realistic disk latency: an append mix under fsync=batch against a
+// SlowDir injecting 100µs per fsync — the regime where flush latency
+// dwarfs write latency and overlapping matters. Unlike
+// BenchmarkStoreWAL's one-file-per-worker mix, each worker here
+// rotates its batch across eight files, so a batch dirties several
+// shards — the common served shape. "serialized" is the
+// pre-pipelining baseline (one combined write+fsync round at a time,
+// -wal-pipeline 0): every shard commit convoys behind other batches'
+// in-flight rounds. "pipeline=8" lets up to eight fsyncs overlap per
+// shard, so a batch's shards and its neighbours' batches all ride
+// concurrent flushes. MemDir underneath keeps the injected latency the
+// only disk variable. Run with -cpu=8; snapshot
+// `rangestore-wal-pipelined`.
+func BenchmarkStoreWALPipelined(b *testing.B) {
+	const depth = 8
+	const files = 8
+	for _, v := range []struct {
+		name string
+		pipe int
+	}{
+		{"serialized", -1},
+		{"pipeline=8", 8},
+	} {
+		b.Run("slow=100µs/"+v.name, func(b *testing.B) {
+			dir := &pfs.SlowDir{Dir: pfs.NewMemDir(), SyncDelay: 100 * time.Microsecond}
+			store, j, _, err := Recover(dir, RecoverConfig{
+				Shards:         4,
+				Sync:           pfs.SyncBatch,
+				CommitPipeline: v.pipe,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			srv := NewServerSharded(store, WithJournal(j))
+			defer srv.Close()
+			rec := make([]byte, 128)
+			var tid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := int(tid.Add(1)) - 1
+				cl := pipeClient(b, srv)
+				var hs [files]uint32
+				for k := range hs {
+					h, err := cl.Open(fmt.Sprintf("wal-pipe-%02d-%d", me, k), true)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					hs[k] = h
+				}
+				var resp Response
+				inflight := 0
+				n := 0
+				for pb.Next() {
+					h := hs[n%files]
+					n++
+					if _, err := cl.Send(&Request{Op: OpAppend, Handle: h, Data: rec}); err != nil {
+						b.Error(err)
+						return
+					}
+					inflight++
+					if inflight == depth {
+						if err := cl.Flush(); err != nil {
+							b.Error(err)
+							return
+						}
+						for ; inflight > 0; inflight-- {
+							if err := cl.Recv(&resp); err != nil || resp.Err() != nil {
+								b.Errorf("recv: %v / %v", err, resp.Err())
+								return
+							}
+						}
+					}
+				}
+				if err := cl.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for ; inflight > 0; inflight-- {
+					if err := cl.Recv(&resp); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkStoreAppendLog: concurrent appenders sharing one log file,
 // the pattern where the list lock's disjoint tail reservations shine.
 func BenchmarkStoreAppendLog(b *testing.B) {

@@ -150,10 +150,24 @@ func TestCrashReplayTorture(t *testing.T) {
 		if round%3 == 2 {
 			mode = pfs.SyncOff
 		}
-		t.Run(fmt.Sprintf("seed=%d,fsync=%s", round, mode), func(t *testing.T) {
+		// Odd rounds stretch every fsync to 200µs, so the crash snapshot
+		// routinely lands between the commit pipeline's write and sync
+		// phases — records on the write frontier but not the sync
+		// frontier. Round 1 also runs the serialized (pre-pipelining)
+		// commit path so its crash windows stay covered.
+		slow := round%2 == 1
+		pipeline := 0 // 0: the pipelined default
+		if round == 1 {
+			pipeline = -1
+		}
+		t.Run(fmt.Sprintf("seed=%d,fsync=%s,slow=%v", round, mode, slow), func(t *testing.T) {
 			seed := int64(round)*2654435761 + 99
 			rng := rand.New(rand.NewSource(seed))
-			d := pfs.NewMemDir()
+			md := pfs.NewMemDir()
+			var d pfs.Dir = md
+			if slow {
+				d = &pfs.SlowDir{Dir: md, SyncDelay: 200 * time.Microsecond}
+			}
 			store, j, _, err := Recover(d, RecoverConfig{
 				Shards:    4,
 				Placement: pfs.NewMapPlacement(nil),
@@ -161,6 +175,7 @@ func TestCrashReplayTorture(t *testing.T) {
 				// Tiny threshold: checkpoints and log rotations race the
 				// kill for real.
 				CheckpointBytes: 16 << 10,
+				CommitPipeline:  pipeline,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -193,7 +208,7 @@ func TestCrashReplayTorture(t *testing.T) {
 				// fsync=off promises nothing for acks; the floor stays 0
 				// and only the prefix property is enforced.
 			}
-			crashed := d.CrashCopy(rng)
+			crashed := md.CrashCopy(rng)
 			srv.Close()
 			wg.Wait()
 			store2, _, stats, err := Recover(crashed, RecoverConfig{

@@ -52,6 +52,17 @@ type RecoverConfig struct {
 	// on the follower") is kept by refusing the ack, not by dropping
 	// the follower.
 	ReplAckTimeout time.Duration
+	// WALBufferBytes caps each shard WAL's buffered-but-unwritten
+	// bytes; appenders that would exceed it block until the write stage
+	// drains (0: pfs.DefaultWALBufferBytes, negative: unbounded). The
+	// cap is backpressure, never an error — it bounds the memory and
+	// replay exposure of a -fsync off firehose.
+	WALBufferBytes int64
+	// CommitPipeline caps each shard WAL's in-flight fsyncs — the
+	// two-phase commit pipeline depth (0: pfs.DefaultCommitPipeline,
+	// negative: serialized single-stage commits, the pre-pipelining
+	// behaviour kept as the benchmark baseline).
+	CommitPipeline int
 }
 
 // Recover rebuilds the store from the WAL directory d (an empty
@@ -70,6 +81,14 @@ func Recover(d pfs.Dir, cfg RecoverConfig) (*pfs.Sharded, *Journal, pfs.RecoverS
 	ackTimeout := cfg.ReplAckTimeout
 	if ackTimeout <= 0 {
 		ackTimeout = DefaultReplAckTimeout
+	}
+	for _, w := range wals {
+		if cfg.WALBufferBytes != 0 {
+			w.SetMaxBuffer(cfg.WALBufferBytes)
+		}
+		if cfg.CommitPipeline != 0 {
+			w.SetCommitPipeline(cfg.CommitPipeline)
+		}
 	}
 	j := &Journal{
 		mode:       cfg.Sync,
@@ -484,38 +503,65 @@ func (jc *journalConn) touch(shard int) error {
 // Commit makes the batch's records durable (per the journal's sync
 // mode) and triggers any size-triggered checkpoints — only the shards
 // this batch dirtied are examined, so the per-batch cost does not grow
-// with the store's shard count. The server calls it after every batch,
-// before flushing responses; on error the responses must not be
-// flushed — the mutations exist in memory but their durability cannot
-// be promised.
+// with the store's shard count. A multi-shard batch commits its shards
+// concurrently: each shard's fsync and replication ack wait are
+// independent, and the pipelined WAL lets them overlap instead of
+// paying one disk round-trip per dirty shard in sequence. The server
+// calls Commit after every batch, before flushing responses; on error
+// the responses must not be flushed — the mutations exist in memory
+// but their durability cannot be promised.
 func (jc *journalConn) Commit() error {
 	first := jc.j.checkpointErr()
-	for _, shard := range jc.list {
-		end := jc.end[shard]
-		lsn := jc.lsn[shard]
-		jc.end[shard] = 0
-		jc.lsn[shard] = 0
-		if err := jc.j.wals[shard].Commit(end, jc.j.mode != pfs.SyncOff); err != nil {
-			if first == nil {
+	switch len(jc.list) {
+	case 0:
+	case 1:
+		if err := jc.commitOne(jc.list[0]); err != nil && first == nil {
+			first = err
+		}
+	default:
+		errs := make([]error, len(jc.list))
+		var wg sync.WaitGroup
+		for i, shard := range jc.list {
+			wg.Add(1)
+			go func(i, shard int) {
+				defer wg.Done()
+				errs[i] = jc.commitOne(shard)
+			}(i, shard)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil && first == nil {
 				first = err
 			}
-			continue
-		}
-		// Local durability first, then the follower's: the ack gate
-		// waits only on records already on the leader's disk, so a
-		// follower can never hold an LSN the leader would lose.
-		if err := jc.j.replWait(shard, lsn); err != nil {
-			if first == nil {
-				first = err
-			}
-			continue
-		}
-		if jc.j.wals[shard].SinceCheckpoint() >= jc.j.ckptBytes {
-			jc.j.triggerCheckpoint(shard)
 		}
 	}
 	jc.list = jc.list[:0]
 	return first
+}
+
+// commitOne drives one dirty shard through the batch's durability
+// chain: WAL commit to the batch's snapshotted frontier, then the
+// replication ack gate, then the size-triggered checkpoint check.
+// Safe to run concurrently across distinct shards — each call touches
+// only its own shard's slots of the batch state.
+func (jc *journalConn) commitOne(shard int) error {
+	end := jc.end[shard]
+	lsn := jc.lsn[shard]
+	jc.end[shard] = 0
+	jc.lsn[shard] = 0
+	if err := jc.j.wals[shard].Commit(end, jc.j.mode != pfs.SyncOff); err != nil {
+		return err
+	}
+	// Local durability first, then the follower's: the ack gate
+	// waits only on records already on the leader's disk, so a
+	// follower can never hold an LSN the leader would lose.
+	if err := jc.j.replWait(shard, lsn); err != nil {
+		return err
+	}
+	if jc.j.wals[shard].SinceCheckpoint() >= jc.j.ckptBytes {
+		jc.j.triggerCheckpoint(shard)
+	}
+	return nil
 }
 
 // triggerCheckpoint starts shard's checkpoint on a background

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/pfs"
 )
@@ -290,5 +292,75 @@ func TestJournalMigrateServed(t *testing.T) {
 	f.ReadAt(got, 0)
 	if !bytes.Equal(got[64:], content) || string(got[:5]) != "after" {
 		t.Fatalf("recovered content diverged: %q", got)
+	}
+}
+
+// TestAckWaitsForSyncFrontier parks a batch's fsync mid-flight and
+// asserts the client response is withheld until the sync frontier
+// covers the batch — the served-path regression test for "ack ⇒
+// durable" under the pipelined commit: acks (and therefore replication
+// acks, which ride the same commit gate) never outrun the frontier.
+func TestAckWaitsForSyncFrontier(t *testing.T) {
+	var armed atomic.Bool
+	gate := make(chan struct{})
+	md := pfs.NewMemDir()
+	sd := &pfs.SlowDir{Dir: md, OnSync: func(string) {
+		if armed.Load() {
+			<-gate
+		}
+	}}
+	srv, store, j, _ := walServer(t, sd, RecoverConfig{
+		Shards: 2, Placement: pfs.NewMapPlacement(nil), Sync: pfs.SyncBatch,
+	})
+	cl := pipeClient(t, srv)
+	h, err := cl.Open("ack-gate", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.WriteAt(h, []byte("pre"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	armed.Store(true)
+	if _, err := cl.Send(&Request{Op: OpAppend, Handle: h, Data: []byte("gated")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	acked := make(chan error, 1)
+	go func() {
+		var resp Response
+		if err := cl.Recv(&resp); err != nil {
+			acked <- err
+			return
+		}
+		acked <- resp.Err()
+	}()
+
+	// Prove the batch reached the sync stage: its record is on the
+	// write frontier with the covering fsync parked on the gate.
+	shard := store.ShardIndex("ack-gate")
+	deadline := time.Now().Add(5 * time.Second)
+	for j.wals[shard].SyncLag() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch fsync never went in flight")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case err := <-acked:
+		t.Fatalf("response flushed (%v) with the batch's fsync still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	select {
+	case err := <-acked:
+		if err != nil {
+			t.Fatalf("post-sync ack: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ack never arrived after the fsync completed")
 	}
 }

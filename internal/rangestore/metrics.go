@@ -209,6 +209,9 @@ func (j *Journal) setMetrics(reg *obs.Registry) {
 		CheckpointNs:   reg.Histogram("wal_checkpoint_ns"),
 		Checkpoints:    reg.Counter("wal_checkpoints_total"),
 		CheckpointErrs: reg.Counter("wal_checkpoint_errors_total"),
+		PipelineDepth:  reg.Histogram("wal_commit_pipeline_depth"),
+		StallNs:        reg.Histogram("wal_backpressure_stall_ns"),
+		Stalls:         reg.Counter("wal_backpressure_stalls_total"),
 	}
 	j.ackWaitNs = reg.Histogram("repl_ack_wait_ns")
 	j.ackTimeouts = reg.Counter("repl_ack_timeouts_total")
@@ -218,6 +221,8 @@ func (j *Journal) setMetrics(reg *obs.Registry) {
 		w.SetMetrics(wm)
 		shard := fmt.Sprintf(`{shard="%d"}`, i)
 		reg.GaugeFunc("wal_buffered_bytes"+shard, w.BufferedBytes)
+		reg.GaugeFunc("wal_sync_frontier_lag_bytes"+shard, w.SyncLag)
+		reg.GaugeFunc("wal_checkpoint_peak_buffer_bytes"+shard, w.CheckpointPeakBuffer)
 		reg.GaugeFunc("wal_since_checkpoint_bytes"+shard, w.SinceCheckpoint)
 		reg.GaugeFunc("wal_last_lsn"+shard, func() int64 { return int64(w.LastLSN()) })
 		reg.GaugeFunc("repl_lag_records"+shard, func() int64 { return lagRecords(w, g, int(j.cluster.Load())) })

@@ -37,8 +37,11 @@ trap cleanup EXIT
 go build -o "$dir/rangestored" ./cmd/rangestored
 go build -o "$dir/rangeload" ./cmd/rangeload
 
+# -wal-pipeline 8 is the default, spelled out so the smoke provably
+# exercises failover + fencing on top of overlapped fsyncs.
 common=(-shards 4 -placement map -fsync batch -peers "$PEERS"
-        -election-timeout 1s -repl-heartbeat 200ms -repl-ack-timeout 5s)
+        -election-timeout 1s -repl-heartbeat 200ms -repl-ack-timeout 5s
+        -wal-pipeline 8)
 "$dir/rangestored" -addr "127.0.0.1:$P0" -node-id "127.0.0.1:$P0" \
     -wal "$dir/wal0" -http "127.0.0.1:$H0" "${common[@]}" &
 leader_pid=$!
