@@ -13,6 +13,15 @@
 // the matching -placement: for "hash" the per-shard report is predicted
 // client-side, for "rendezvous"/"map" it is fetched from the server
 // (prediction is wrong once placement is weighted or dynamic).
+//
+// -client-cache-bytes > 0 fronts every worker with a shared
+// placement-version-validated read cache; the report gains a cache
+// section (hits, misses, invalidations, hit rate). -cache-scenario
+// picks cold (default), warm (working set pre-read before measuring),
+// or storm (a background loop migrates files mid-run, invalidating the
+// cache — needs -placement map and -shards > 1):
+//
+//	go run ./cmd/rangeload -mix read-heavy -client-cache-bytes 67108864 -cache-scenario warm -format json
 package main
 
 import (
@@ -43,6 +52,10 @@ func main() {
 		zipfFile = flag.Float64("zipf-file", 1.2, "zipf skew across files (<= 1: uniform)")
 		zipfOff  = flag.Float64("zipf-off", 1.1, "zipf skew across offsets (<= 1: uniform)")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
+		cacheBy  = flag.Int64("client-cache-bytes", 0, "client-side read cache budget in bytes; 0 disables (> 0 runs workers synchronously, ignoring -pipeline)")
+		cacheBk  = flag.Int("cache-block", 0, "cache block size in bytes (default 64KiB)")
+		cacheSc  = flag.String("cache-scenario", "cold", "cache scenario: cold, warm (prewarm working set), storm (background migrations; needs map placement and -shards > 1)")
+		stormIv  = flag.Duration("storm-interval", 50*time.Millisecond, "migration pacing for -cache-scenario storm")
 		format   = flag.String("format", "text", "output format: text, csv, json (json includes the full per-class latency histograms)")
 		report   = flag.String("report", "", "alias for -format")
 		out      = flag.String("out", "", "output file (default stdout)")
@@ -62,6 +75,12 @@ func main() {
 	case "text", "csv", "json":
 	default:
 		fmt.Fprintf(os.Stderr, "rangeload: unknown -format %q (text, csv, json)\n", *format)
+		os.Exit(2)
+	}
+	switch *cacheSc {
+	case wload.CacheCold, wload.CacheWarm, wload.CacheStorm:
+	default:
+		fmt.Fprintf(os.Stderr, "rangeload: unknown -cache-scenario %q (%s)\n", *cacheSc, strings.Join(wload.CacheScenarios, ", "))
 		os.Exit(2)
 	}
 	var w io.Writer = os.Stdout
@@ -88,6 +107,11 @@ func main() {
 		Seed:      *seed,
 		Shards:    *shards,
 		Placement: *place,
+
+		CacheBytes:    *cacheBy,
+		CacheBlock:    *cacheBk,
+		CacheScenario: *cacheSc,
+		StormInterval: *stormIv,
 	}
 
 	rep, err := wload.Run(cfg, func() (*rangestore.Client, error) {

@@ -1,0 +1,211 @@
+package rangestore
+
+import (
+	"io"
+
+	"repro/internal/rangestore/ccache"
+)
+
+// BaseClient is the synchronous data-path surface CachingClient wraps:
+// the method set Client and FailoverClient share. PlacementVersion and
+// ConnGen are the cache-coherence signals — the highest protocol-v6
+// placement stamp seen and the count of (re)connects.
+type BaseClient interface {
+	Open(name string, create bool) (uint32, error)
+	ReadAt(h uint32, p []byte, off uint64) (int, error)
+	WriteAt(h uint32, p []byte, off uint64) (int, error)
+	Truncate(h uint32, size uint64) error
+	Stat(h uint32) (size uint64, blocks uint32, err error)
+	Close() error
+	PlacementVersion() uint64
+	ConnGen() uint64
+}
+
+// appender is the optional Append surface (Client has it,
+// FailoverClient deliberately does not — appends are not idempotent
+// across retries).
+type appender interface {
+	Append(h uint32, p []byte) (uint64, error)
+}
+
+// CachingClient layers a read cache over a BaseClient. READ and STAT
+// results are served from the shared ccache.Cache when valid; writes
+// through this client invalidate the ranges they overlap before
+// returning, so a caller always reads its own writes. Placement-version
+// bumps learned from any response drop the cache (the data moved), and
+// a reconnect (ConnGen advance — failover happened) drops it too: the
+// node now answering may hold writes this cache never observed.
+//
+// Like the clients it wraps, a CachingClient serves one goroutine at a
+// time — but the Cache may be shared by many CachingClients in one
+// process, and a write through any of them invalidates for all.
+type CachingClient struct {
+	base  BaseClient
+	cache *ccache.Cache
+	names map[uint32]string // handle → name, the cache key
+	gen   uint64            // last ConnGen observed on base
+}
+
+// NewCachingClient wraps base with cache. The cache may be shared
+// across clients; it must not be nil.
+func NewCachingClient(base BaseClient, cache *ccache.Cache) *CachingClient {
+	return &CachingClient{base: base, cache: cache, names: make(map[uint32]string)}
+}
+
+// Cache exposes the underlying cache (stats, metrics registration).
+func (cc *CachingClient) Cache() *ccache.Cache { return cc.cache }
+
+// Base exposes the wrapped client for operations outside the cached
+// surface (Migrate, Promote, Stats, ...).
+func (cc *CachingClient) Base() BaseClient { return cc.base }
+
+// sync folds the base client's coherence signals into the cache: a
+// reconnect drops everything, a placement-version bump drops
+// everything. Called after every base-client round trip so a response
+// carrying either signal takes effect before the next cache lookup —
+// and, on the fill path, before the gen-checked Put, so data read
+// under the old placement cannot enter the cache.
+func (cc *CachingClient) sync() {
+	if g := cc.base.ConnGen(); g != cc.gen {
+		cc.gen = g
+		cc.cache.Reset()
+	}
+	cc.cache.Learn(cc.base.PlacementVersion())
+}
+
+// Open opens name through the base client and registers the handle for
+// cache keying.
+func (cc *CachingClient) Open(name string, create bool) (uint32, error) {
+	h, err := cc.base.Open(name, create)
+	cc.sync()
+	if err != nil {
+		return 0, err
+	}
+	cc.names[h] = name
+	return h, nil
+}
+
+// Close closes the wrapped client. The cache is left intact: other
+// clients may share it.
+func (cc *CachingClient) Close() error { return cc.base.Close() }
+
+// ReadAt serves a read from cache when every covering block is
+// resident and valid; otherwise it fetches the covering block-aligned
+// span from the server, caches it, and serves the requested sub-range.
+// EOF semantics mirror the wire: a read spanning EOF returns the short
+// count and io.EOF.
+func (cc *CachingClient) ReadAt(h uint32, p []byte, off uint64) (int, error) {
+	name, tracked := cc.names[h]
+	if !tracked || len(p) == 0 {
+		n, err := cc.base.ReadAt(h, p, off)
+		cc.sync()
+		return n, err
+	}
+	if n, eof, ok := cc.cache.GetRange(name, off, p); ok {
+		if eof {
+			return n, io.EOF
+		}
+		return n, nil
+	}
+	bs := cc.cache.BlockSize()
+	lo := off - off%bs
+	hi := off + uint64(len(p))
+	hi += (bs - hi%bs) % bs
+	if hi-lo > MaxData {
+		// The aligned span exceeds one request's payload cap: serve the
+		// read directly rather than splitting the fill.
+		n, err := cc.base.ReadAt(h, p, off)
+		cc.sync()
+		return n, err
+	}
+	tok := cc.cache.Token(name)
+	buf := make([]byte, hi-lo)
+	n, err := cc.base.ReadAt(h, buf, lo)
+	cc.sync()
+	eof := err == io.EOF
+	if err != nil && !eof {
+		return 0, err
+	}
+	cc.cache.PutRange(name, tok, lo, buf[:n], eof)
+	if off >= lo+uint64(n) {
+		// The requested offset lies at or past the end the fill
+		// observed — only reachable when the fill hit EOF.
+		return 0, io.EOF
+	}
+	m := copy(p, buf[off-lo:n])
+	if eof && m < len(p) {
+		return m, io.EOF
+	}
+	return m, nil
+}
+
+// WriteAt writes through to the server, then invalidates the cached
+// blocks the write overlaps — for every client sharing the cache — so
+// the next read observes the write. Invalidation runs even when the
+// write errors: a failover retry may have applied it before the error
+// surfaced.
+func (cc *CachingClient) WriteAt(h uint32, p []byte, off uint64) (int, error) {
+	n, err := cc.base.WriteAt(h, p, off)
+	if name, ok := cc.names[h]; ok {
+		cc.cache.InvalidateRange(name, off, off+uint64(len(p)))
+	}
+	cc.sync()
+	return n, err
+}
+
+// Append appends through to the server (only when the base client
+// supports it — FailoverClient does not) and invalidates the file's
+// cached tail and stat: appended bytes land past the old EOF, so
+// interior blocks stay valid but cached EOF knowledge is void.
+func (cc *CachingClient) Append(h uint32, p []byte) (uint64, error) {
+	a, ok := cc.base.(appender)
+	if !ok {
+		return 0, ErrBadRequest
+	}
+	off, err := a.Append(h, p)
+	if name, ok := cc.names[h]; ok {
+		// Empty range: drops only tail-marked blocks and the stat entry,
+		// and stales in-flight fills.
+		cc.cache.InvalidateRange(name, 0, 0)
+	}
+	cc.sync()
+	return off, err
+}
+
+// Truncate truncates through to the server and drops every cached
+// entry for the file: any block may now describe bytes past the end.
+func (cc *CachingClient) Truncate(h uint32, size uint64) error {
+	err := cc.base.Truncate(h, size)
+	if name, ok := cc.names[h]; ok {
+		cc.cache.InvalidateRange(name, 0, ^uint64(0))
+	}
+	cc.sync()
+	return err
+}
+
+// Stat serves the file's size and block count from cache when
+// resident, filling from the server otherwise.
+func (cc *CachingClient) Stat(h uint32) (size uint64, blocks uint32, err error) {
+	name, tracked := cc.names[h]
+	if tracked {
+		if size, blocks, ok := cc.cache.GetStat(name); ok {
+			return size, blocks, nil
+		}
+	}
+	tok := cc.cache.Token(name)
+	size, blocks, err = cc.base.Stat(h)
+	cc.sync()
+	if err != nil {
+		return 0, 0, err
+	}
+	if tracked {
+		cc.cache.PutStat(name, tok, size, blocks)
+	}
+	return size, blocks, nil
+}
+
+// PlacementVersion forwards the base client's learned version.
+func (cc *CachingClient) PlacementVersion() uint64 { return cc.base.PlacementVersion() }
+
+// ConnGen forwards the base client's connection generation.
+func (cc *CachingClient) ConnGen() uint64 { return cc.base.ConnGen() }

@@ -1,0 +1,473 @@
+package rangestore
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+	"repro/internal/rangestore/ccache"
+)
+
+// TestClientStickyAfterTimeout: an op-timeout expiry condemns the
+// connection — the late response would desynchronize the pipeline — so
+// every subsequent call fails with ErrClosed instead of reading
+// someone else's answer.
+func TestClientStickyAfterTimeout(t *testing.T) {
+	c1, c2 := net.Pipe() // net.Pipe honors read deadlines, unlike Pipe
+	defer c2.Close()
+	go io.Copy(io.Discard, c2) // swallow requests, never answer
+	cl := NewClient(c1)
+	defer cl.Close()
+	cl.SetOpTimeout(50 * time.Millisecond)
+
+	_, err := cl.Open("f", true)
+	if err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("first call: err = %v, want a timeout", err)
+	}
+	if _, err := cl.Open("f", true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after timeout: err = %v, want ErrClosed", err)
+	}
+	if _, err := cl.ReadAt(0, make([]byte, 8), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after timeout: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestClientStickyAfterSeqMismatch: a response carrying the wrong
+// sequence number proves the stream is desynchronized; the client must
+// refuse to keep using it.
+func TestClientStickyAfterSeqMismatch(t *testing.T) {
+	c1, c2 := Pipe()
+	go func() {
+		br := bufio.NewReader(c2)
+		body, err := ReadFrame(br, nil)
+		if err != nil {
+			return
+		}
+		var req Request
+		if err := ParseRequest(body, &req); err != nil {
+			return
+		}
+		out, err := AppendResponse(nil, &Response{Op: req.Op, Seq: req.Seq + 1, Status: StatusOK})
+		if err != nil {
+			return
+		}
+		c2.Write(out)
+	}()
+	cl := NewClient(c1)
+	defer cl.Close()
+
+	_, err := cl.Open("f", true)
+	if err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("mismatched call: err = %v, want seq-mismatch error", err)
+	}
+	if _, err := cl.Open("f", true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after seq mismatch: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestFailoverReopenSemanticFastFail: when reconnection lands on a
+// healthy server that definitively refuses a handle's name, the error
+// surfaces immediately instead of burning the whole MaxWait budget and
+// masquerading as cluster unavailability.
+func TestFailoverReopenSemanticFastFail(t *testing.T) {
+	srv1 := NewServer(pfs.New(nil))
+	defer srv1.Close()
+	srv2 := NewServer(pfs.New(nil)) // never has the file
+	defer srv2.Close()
+	dial := func(addr string) (*Client, error) {
+		srv := srv1
+		if addr == "b" {
+			srv = srv2
+		}
+		c1, c2 := Pipe()
+		go srv.ServeConn(c2)
+		return NewClient(c1), nil
+	}
+	cl1, _ := dial("a")
+	if _, err := cl1.Open("only-on-a", true); err != nil {
+		t.Fatal(err)
+	}
+	cl1.Close()
+
+	fc, err := NewFailoverClient(FailoverConfig{Addrs: []string{"a", "b"}, Dial: dial, MaxWait: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	h, err := fc.Open("only-on-a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	start := time.Now()
+	_, err = fc.ReadAt(h, make([]byte, 8), 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("read after failover to empty server: err = %v, want ErrNotExist", err)
+	}
+	var cu *ClusterUnavailableError
+	if errors.As(err, &cu) {
+		t.Fatalf("semantic reopen failure reported as cluster unavailability: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("semantic reopen failure took %v — burned the retry budget", elapsed)
+	}
+}
+
+// TestFailoverOpenDedupe: Open is idempotent per (name, create) — the
+// handle table must not grow with repeated opens, or every reconnect
+// replays the accumulated history.
+func TestFailoverOpenDedupe(t *testing.T) {
+	srv := NewServer(pfs.New(nil))
+	defer srv.Close()
+	fc, err := NewFailoverClient(FailoverConfig{
+		Addrs: []string{"x"},
+		Dial: func(string) (*Client, error) {
+			c1, c2 := Pipe()
+			go srv.ServeConn(c2)
+			return NewClient(c1), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	h1, err := fc.Open("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h, err := fc.Open("f", true)
+		if err != nil || h != h1 {
+			t.Fatalf("repeat open %d: handle %d err %v, want %d", i, h, err, h1)
+		}
+	}
+	if len(fc.handles) != 1 {
+		t.Fatalf("handle table grew to %d entries", len(fc.handles))
+	}
+	// A different (name, create) tuple is a distinct entry.
+	h2, err := fc.Open("f", false)
+	if err != nil || h2 == h1 {
+		t.Fatalf("open(create=false): handle %d err %v", h2, err)
+	}
+	h3, err := fc.Open("g", true)
+	if err != nil || h3 == h1 || h3 == h2 {
+		t.Fatalf("open g: handle %d err %v", h3, err)
+	}
+	if len(fc.handles) != 3 {
+		t.Fatalf("handle table has %d entries, want 3", len(fc.handles))
+	}
+	// Writes through deduped handles land on the same file.
+	if _, err := fc.WriteAt(h1, []byte("via-h1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := fc.ReadAt(h2, got, 0); err != nil || string(got) != "via-h1" {
+		t.Fatalf("read through deduped handle: %q, %v", got, err)
+	}
+}
+
+const tbs = 512 // cache block size for the caching tests
+
+// pattern returns deterministic bytes.
+func pattern(tag byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = tag ^ byte(i*7)
+	}
+	return p
+}
+
+// TestCachingClientReadYourWrites: reads through the caching client
+// always observe this client's completed writes — write-through
+// invalidation across WriteAt, Truncate, Append, and Stat.
+func TestCachingClientReadYourWrites(t *testing.T) {
+	srv, _ := mapServer(t, 4)
+	cache := ccache.New(ccache.Config{BlockSize: tbs})
+	cc := NewCachingClient(pipeClient(t, srv), cache)
+	h, err := cc.Open("ryw", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := pattern(1, 4*tbs)
+	if _, err := cc.WriteAt(h, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	read := func(off uint64, n int) []byte {
+		t.Helper()
+		p := make([]byte, n)
+		m, err := cc.ReadAt(h, p, off)
+		if err != nil && err != io.EOF {
+			t.Fatalf("read %d@%d: %v", n, off, err)
+		}
+		return p[:m]
+	}
+	// Miss-fill, then hit, both correct.
+	if got := read(100, 700); !bytes.Equal(got, a[100:800]) {
+		t.Fatal("miss read diverges")
+	}
+	h0, _, _, _, _ := cache.Stats()
+	if got := read(100, 700); !bytes.Equal(got, a[100:800]) {
+		t.Fatal("hit read diverges")
+	}
+	if h1, _, _, _, _ := cache.Stats(); h1 != h0+1 {
+		t.Fatalf("second read was not a hit (hits %d -> %d)", h0, h1)
+	}
+
+	// Overwrite part of the cached range: the next read must see it.
+	b := pattern(2, 64)
+	if _, err := cc.WriteAt(h, b, 300); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(append([]byte{}, a[100:300]...), b...), a[364:800]...)
+	if got := read(100, 700); !bytes.Equal(got, want) {
+		t.Fatal("read after overlapping write returned stale bytes")
+	}
+
+	// Stat caches, truncate invalidates it.
+	size, _, err := cc.Stat(h)
+	if err != nil || size != uint64(len(a)) {
+		t.Fatalf("stat: %d, %v", size, err)
+	}
+	if err := cc.Truncate(h, uint64(tbs)); err != nil {
+		t.Fatal(err)
+	}
+	if size, _, err = cc.Stat(h); err != nil || size != uint64(tbs) {
+		t.Fatalf("stat after truncate: %d, %v (stale stat served?)", size, err)
+	}
+	// Reads past the new end hit EOF, not stale cached data.
+	p := make([]byte, 64)
+	if n, err := cc.ReadAt(h, p, uint64(2*tbs)); err != io.EOF || n != 0 {
+		t.Fatalf("read past truncated end: n=%d err=%v, want 0, EOF", n, err)
+	}
+
+	// Extending the file voids cached EOF knowledge.
+	if _, err := cc.WriteAt(h, pattern(3, tbs), uint64(3*tbs)); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cc.ReadAt(h, p, uint64(2*tbs)); err != nil || n != len(p) {
+		t.Fatalf("hole read after extend: n=%d err=%v (stale EOF served?)", n, err)
+	}
+	for _, v := range p {
+		if v != 0 {
+			t.Fatal("hole read returned non-zero")
+		}
+	}
+
+	// Append lands at the tail and reads back.
+	tail := pattern(4, 100)
+	off, err := cc.Append(h, tail)
+	if err != nil || off != uint64(4*tbs) {
+		t.Fatalf("append: off=%d err=%v", off, err)
+	}
+	if got := read(off, 100); !bytes.Equal(got, tail) {
+		t.Fatal("appended bytes not visible")
+	}
+	if size, _, _ = cc.Stat(h); size != uint64(4*tbs+100) {
+		t.Fatalf("stat after append: %d (stale stat served?)", size)
+	}
+}
+
+// TestCachingClientInvalidateOnMigrate: a placement-version bump
+// learned from any response drops the cache, so writes landed by other
+// clients around a migration become visible.
+func TestCachingClientInvalidateOnMigrate(t *testing.T) {
+	srv, store := mapServer(t, 4)
+	cache := ccache.New(ccache.Config{BlockSize: tbs})
+	cc := NewCachingClient(pipeClient(t, srv), cache)
+	admin := pipeClient(t, srv)
+
+	h, err := cc.Open("mig", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pattern(5, tbs)
+	if _, err := cc.WriteAt(h, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, tbs)
+	if _, err := cc.ReadAt(h, got, 0); err != nil || !bytes.Equal(got, a) {
+		t.Fatalf("prime read: %v", err)
+	}
+	v0 := cache.Version()
+
+	// Another client overwrites, then the file migrates: version bumps.
+	ha, err := admin.Open("mig", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pattern(6, tbs)
+	if _, err := admin.WriteAt(ha, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	dst := int(pfs.ShardOf("mig", 4)+1) % 4
+	if err := admin.Migrate("mig", dst); err != nil {
+		t.Fatal(err)
+	}
+	if store.PlacementVersion() <= v0 {
+		t.Fatal("migration did not bump the placement version")
+	}
+
+	// The caching client learns the bump from its next server contact
+	// (a stat miss here) and drops the cache...
+	if _, _, err := cc.Stat(h); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Version() <= v0 {
+		t.Fatalf("cache version still %d after stamped response", cache.Version())
+	}
+	// ...so the next read refetches and sees the other client's write.
+	if _, err := cc.ReadAt(h, got, 0); err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("read after version bump returned stale bytes (err %v)", err)
+	}
+}
+
+// TestCachingClientReadYourWritesAcrossPromote: a caching client over a
+// FailoverClient keeps read-your-writes across leader death and
+// follower promotion — the reconnect bumps ConnGen, which drops the
+// cache before any post-failover read.
+func TestCachingClientReadYourWritesAcrossPromote(t *testing.T) {
+	p := newReplPair(t, RecoverConfig{Sync: pfs.SyncBatch}, nil)
+	fc, err := NewFailoverClient(FailoverConfig{
+		Addrs: []string{"leader", "follower"}, Dial: p.pairDialer(), MaxWait: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := ccache.New(ccache.Config{BlockSize: tbs})
+	cc := NewCachingClient(fc, cache)
+	defer cc.Close()
+
+	h, err := cc.Open("promote-rw", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pattern(7, tbs)
+	if _, err := cc.WriteAt(h, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, tbs)
+	if _, err := cc.ReadAt(h, got, 0); err != nil || !bytes.Equal(got, a) {
+		t.Fatalf("pre-failover read: %v", err)
+	}
+	gen0 := cc.ConnGen()
+
+	// Append through a FailoverClient base is refused, not silently
+	// non-idempotent.
+	if _, err := cc.Append(h, a); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("append over failover base: err = %v, want ErrBadRequest", err)
+	}
+
+	// Kill the leader, promote the follower.
+	p.srvL.Close()
+	if err := pipeClient(t, p.srvF).Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+
+	// The next write retries onto the survivor; its ack plus the
+	// write-through invalidation keep read-your-writes.
+	b := pattern(8, tbs)
+	if _, err := cc.WriteAt(h, b, 0); err != nil {
+		t.Fatalf("post-failover write: %v", err)
+	}
+	if cc.ConnGen() <= gen0 {
+		t.Fatal("ConnGen did not advance across failover")
+	}
+	if _, err := cc.ReadAt(h, got, 0); err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("post-failover read returned stale bytes (err %v)", err)
+	}
+	// Pre-failover replicated data is still served.
+	if _, err := cc.ReadAt(h, got[:0:0], 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+}
+
+// TestCachingClientsSharedCacheRaced: several caching clients over one
+// cache, concurrent reads and single-writer-per-block writes, with
+// migrations bumping the placement version mid-run. Each worker must
+// always read back its own last write. Run under -race in CI.
+func TestCachingClientsSharedCacheRaced(t *testing.T) {
+	srv, _ := mapServer(t, 2)
+	cache := ccache.New(ccache.Config{MaxBytes: 64 << 10, BlockSize: tbs})
+	const workers = 4
+	const blocks = 8
+
+	// Pre-create and pre-size the file.
+	admin := pipeClient(t, srv)
+	ha, err := admin.Open("raced", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.WriteAt(ha, []byte{0}, blocks*tbs-1); err != nil {
+		t.Fatal(err)
+	}
+
+	ccs := make([]*CachingClient, workers)
+	for w := range ccs {
+		ccs[w] = NewCachingClient(pipeClient(t, srv), cache)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc := ccs[w]
+			h, err := cc.Open("raced", false)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			own := uint64(w) * tbs // block w belongs to worker w alone
+			buf := make([]byte, tbs)
+			for i := 0; i < 400; i++ {
+				mine := pattern(byte(w), tbs)
+				mine[0] = byte(i)
+				if _, err := cc.WriteAt(h, mine, own); err != nil {
+					errs[w] = fmt.Errorf("worker %d write %d: %w", w, i, err)
+					return
+				}
+				if _, err := cc.ReadAt(h, buf, own); err != nil {
+					errs[w] = fmt.Errorf("worker %d readback %d: %w", w, i, err)
+					return
+				}
+				if !bytes.Equal(buf, mine) {
+					errs[w] = fmt.Errorf("worker %d iter %d: read-your-writes violated", w, i)
+					return
+				}
+				// Cross-block read: no verification (another worker owns
+				// it), just exercise shared-cache paths.
+				if _, err := cc.ReadAt(h, buf, uint64(i%blocks)*tbs); err != nil && err != io.EOF {
+					errs[w] = fmt.Errorf("worker %d cross read %d: %w", w, i, err)
+					return
+				}
+				if w == 0 && i%50 == 25 {
+					if err := admin.Migrate("raced", i/50%2); err != nil {
+						errs[w] = fmt.Errorf("migrate: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses, _, _, _ := cache.Stats(); hits == 0 || misses == 0 {
+		t.Fatalf("degenerate cache traffic: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -1,0 +1,438 @@
+// Package ccache is the client-side read cache behind
+// rangestore.CachingClient: READ results stored as aligned blocks and
+// STAT results stored per name, validated by the placement version every
+// protocol-v6 response carries, bounded by an LRU byte budget, and safe
+// for concurrent use so many connections in one process can share a
+// single cache (a write through any of them invalidates for all).
+//
+// Coherence contract. The cache never serves a range that a local write
+// (through any sharing client) has overlapped, never serves anything
+// filled before the latest placement-version bump it has learned of,
+// and is dropped wholesale on failover reconnect. It does NOT observe
+// writes issued by other processes: cross-client coherence is exactly
+// the placement-version signal, no more. The server's migration path
+// bumps the version on every move, so a client that keeps talking to
+// the server (misses, writes, stats) converges within one response.
+//
+// The insert race. A fill is a two-step protocol — read the server,
+// then Put — and an invalidation (local write, version bump, reconnect
+// reset) can land between the steps. Every fill therefore captures a
+// FillToken first; Put discards the data if the token went stale, so an
+// in-flight read of pre-write bytes can never re-insert them after the
+// write's invalidation ran. Readers that began before the invalidation
+// may still return the old bytes to their caller — that read was
+// concurrent with the write, and no ordering was promised — but nothing
+// stale survives in the cache past the invalidation.
+package ccache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// DefaultBlockSize is the alignment unit when Config.BlockSize is 0.
+// 64 KiB trades miss-time overfetch for spatial locality: under
+// zipf-skewed offsets, one miss warms the neighbouring hot blocks.
+const DefaultBlockSize = 64 << 10
+
+// Per-entry bookkeeping charged against the byte budget on top of the
+// payload, so a budget of N bytes cannot be turned into unbounded
+// memory by millions of tiny blocks.
+const (
+	blockOverhead = 96
+	statCost      = 128
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxBytes is the LRU byte budget (payload + per-entry overhead).
+	// <= 0 means an unbounded cache — tests only; real clients bound it.
+	MaxBytes int64
+	// BlockSize is the alignment unit for cached ranges (default
+	// DefaultBlockSize). Reads are served only when every covering
+	// block is resident; misses are filled with block-aligned fetches.
+	BlockSize int
+}
+
+// FillToken is the freshness proof captured before a fill's server
+// read. Put discards data whose token predates any invalidation that
+// touched the name (or the whole cache) in between.
+type FillToken struct {
+	global uint64
+	file   uint64
+}
+
+// block is one cached aligned range of a file and an LRU list node.
+// len(data) < blockSize (or eof true at any length) marks the block as
+// carrying the file's tail: the file is known to end at off+len(data).
+type block struct {
+	prev, next *block
+	file       *fileEntry
+	off        uint64
+	data       []byte
+	eof        bool
+	stat       bool   // this node is the file's stat entry, not a data block
+	size       uint64 // stat payload
+	blocks     uint32 // stat payload
+}
+
+func (b *block) cost() int64 {
+	if b.stat {
+		return statCost
+	}
+	return int64(len(b.data)) + blockOverhead
+}
+
+// fileEntry groups one name's blocks and its fill generation.
+type fileEntry struct {
+	name   string
+	gen    uint64
+	blocks map[uint64]*block // keyed by aligned block start
+	stat   *block
+}
+
+// Cache is a concurrency-safe LRU block cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	mu     sync.Mutex
+	bs     uint64
+	max    int64
+	bytes  int64
+	ver    uint64 // highest placement version learned
+	global uint64 // bumped by whole-cache drops (reconnect, version bump)
+	files  map[string]*fileEntry
+	lru    block // sentinel: lru.next is most recent, lru.prev least
+
+	// Counters are atomics so Stats() and the obs CounterFuncs read
+	// them without the lock.
+	hits   atomic.Int64
+	misses atomic.Int64
+	inval  atomic.Int64 // entries dropped by invalidation (not eviction)
+	evict  atomic.Int64 // entries dropped by the byte budget
+	gbytes atomic.Int64 // mirrors bytes for the lock-free gauge
+}
+
+// New builds a cache over cfg.
+func New(cfg Config) *Cache {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	c := &Cache{
+		bs:    uint64(cfg.BlockSize),
+		max:   cfg.MaxBytes,
+		files: make(map[string]*fileEntry),
+	}
+	c.lru.next = &c.lru
+	c.lru.prev = &c.lru
+	return c
+}
+
+// SetMetrics registers the cache's series in reg:
+//
+//	cc_hits_total          reads served entirely from cache
+//	cc_misses_total        reads that went to the server
+//	cc_invalidations_total entries dropped by writes, version bumps, resets
+//	cc_evictions_total     entries dropped by the byte budget
+//	cc_bytes               resident payload + overhead (gauge)
+func (c *Cache) SetMetrics(reg *obs.Registry) {
+	reg.CounterFunc("cc_hits_total", c.hits.Load)
+	reg.CounterFunc("cc_misses_total", c.misses.Load)
+	reg.CounterFunc("cc_invalidations_total", c.inval.Load)
+	reg.CounterFunc("cc_evictions_total", c.evict.Load)
+	reg.GaugeFunc("cc_bytes", c.gbytes.Load)
+}
+
+// BlockSize returns the alignment unit.
+func (c *Cache) BlockSize() uint64 { return c.bs }
+
+// Version returns the highest placement version the cache has learned.
+func (c *Cache) Version() uint64 { return c.ver }
+
+// Stats returns the counters: cache hits, misses, entries invalidated,
+// entries evicted, and resident bytes.
+func (c *Cache) Stats() (hits, misses, invalidations, evictions, bytes int64) {
+	return c.hits.Load(), c.misses.Load(), c.inval.Load(), c.evict.Load(), c.gbytes.Load()
+}
+
+// Learn feeds a placement version learned from a response. A version
+// above the highest seen drops every entry: the placement moved, and
+// entries filled under the old generation are no longer trusted.
+// Returns whether a drop happened.
+func (c *Cache) Learn(ver uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ver <= c.ver {
+		return false
+	}
+	c.ver = ver
+	c.dropAllLocked()
+	return true
+}
+
+// Reset drops every entry unconditionally — the failover-reconnect
+// hook: the node now answering may hold writes this cache never saw.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropAllLocked()
+}
+
+// dropAllLocked empties the cache and bumps the global generation so
+// every outstanding FillToken goes stale.
+func (c *Cache) dropAllLocked() {
+	n := int64(0)
+	for _, fe := range c.files {
+		n += int64(len(fe.blocks))
+		if fe.stat != nil {
+			n++
+		}
+	}
+	c.inval.Add(n)
+	c.files = make(map[string]*fileEntry)
+	c.lru.next = &c.lru
+	c.lru.prev = &c.lru
+	c.bytes = 0
+	c.gbytes.Store(0)
+	c.global++
+}
+
+// Token captures the freshness proof for a fill of name. Any
+// invalidation touching name (or the whole cache) after Token and
+// before Put makes the token stale and the Put a no-op.
+func (c *Cache) Token(name string) FillToken {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := FillToken{global: c.global}
+	if fe := c.files[name]; fe != nil {
+		t.file = fe.gen
+	}
+	return t
+}
+
+// GetRange serves a read of len(p) bytes at off from cache. ok reports
+// a hit: every byte up to the file's known end was resident. n is the
+// bytes copied into p and eof whether the read ran into the file's
+// cached end (mirroring the wire semantics: a read spanning EOF returns
+// the short count and EOF; one ending exactly at EOF does not).
+func (c *Cache) GetRange(name string, off uint64, p []byte) (n int, eof bool, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fe := c.files[name]
+	if fe == nil {
+		c.misses.Add(1)
+		return 0, false, false
+	}
+	pos := off
+	for n < len(p) {
+		b := fe.blocks[pos-pos%c.bs]
+		if b == nil {
+			c.misses.Add(1)
+			return 0, false, false
+		}
+		c.touchLocked(b)
+		i := pos - b.off
+		if i >= uint64(len(b.data)) {
+			// Start at or past this block's payload: only valid as a
+			// read at/after the file's cached end.
+			if b.eof {
+				c.hits.Add(1)
+				return n, true, true
+			}
+			c.misses.Add(1)
+			return 0, false, false
+		}
+		m := copy(p[n:], b.data[i:])
+		n += m
+		pos += uint64(m)
+		if n < len(p) && b.eof {
+			// Tail block: the file ends here, the read spans it.
+			c.hits.Add(1)
+			return n, true, true
+		}
+	}
+	c.hits.Add(1)
+	return n, false, true
+}
+
+// PutRange inserts data read from the server at block-aligned offset
+// off, filled under tok. eof marks that the read observed the file's
+// end at off+len(data). Stale tokens (an invalidation ran since Token)
+// discard the insert; the caller still serves its bytes, they just do
+// not enter the cache.
+func (c *Cache) PutRange(name string, tok FillToken, off uint64, data []byte, eof bool) {
+	if off%c.bs != 0 {
+		return // misaligned fills are a caller bug; drop, never corrupt
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tok.global != c.global {
+		return
+	}
+	fe := c.files[name]
+	if fe == nil {
+		if tok.file != 0 {
+			return
+		}
+		fe = &fileEntry{name: name, blocks: make(map[uint64]*block)}
+		c.files[name] = fe
+	} else if fe.gen != tok.file {
+		return
+	}
+	for len(data) > 0 || eof {
+		chunk := data
+		if uint64(len(chunk)) > c.bs {
+			chunk = chunk[:c.bs]
+		}
+		data = data[len(chunk):]
+		last := len(data) == 0
+		b := fe.blocks[off]
+		if b == nil {
+			b = &block{file: fe, off: off}
+			fe.blocks[off] = b
+			c.pushLocked(b)
+		} else {
+			c.bytes -= b.cost()
+			c.touchLocked(b)
+		}
+		b.data = append(b.data[:0], chunk...)
+		b.eof = last && eof
+		c.bytes += b.cost()
+		c.touchLocked(b)
+		off += c.bs
+		if last {
+			break
+		}
+	}
+	c.gbytes.Store(c.bytes)
+	c.evictLocked()
+}
+
+// GetStat serves a cached STAT result for name.
+func (c *Cache) GetStat(name string) (size uint64, blocks uint32, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fe := c.files[name]
+	if fe == nil || fe.stat == nil {
+		c.misses.Add(1)
+		return 0, 0, false
+	}
+	c.touchLocked(fe.stat)
+	c.hits.Add(1)
+	return fe.stat.size, fe.stat.blocks, true
+}
+
+// PutStat inserts a STAT result filled under tok.
+func (c *Cache) PutStat(name string, tok FillToken, size uint64, blocks uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tok.global != c.global {
+		return
+	}
+	fe := c.files[name]
+	if fe == nil {
+		if tok.file != 0 {
+			return
+		}
+		fe = &fileEntry{name: name, blocks: make(map[uint64]*block)}
+		c.files[name] = fe
+	} else if fe.gen != tok.file {
+		return
+	}
+	b := fe.stat
+	if b == nil {
+		b = &block{file: fe, stat: true}
+		fe.stat = b
+		c.bytes += b.cost()
+		c.pushLocked(b)
+	} else {
+		c.touchLocked(b)
+	}
+	b.size, b.blocks = size, blocks
+	c.gbytes.Store(c.bytes)
+	c.evictLocked()
+}
+
+// InvalidateRange drops name's blocks overlapping [lo, hi), every
+// tail-marked (eof) block — a write past the cached end moves the end,
+// so cached EOF knowledge is void — and the name's stat entry, then
+// bumps the name's fill generation so in-flight fills discard. hi may
+// be ^uint64(0) to drop the whole name (truncate, append).
+func (c *Cache) InvalidateRange(name string, lo, hi uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fe := c.files[name]
+	if fe == nil {
+		// Nothing cached, but a fill may be in flight: record the bump so
+		// its token goes stale. (Entries like this are reclaimed whenever
+		// the whole cache drops.)
+		c.files[name] = &fileEntry{name: name, gen: 1, blocks: make(map[uint64]*block)}
+		return
+	}
+	fe.gen++
+	for off, b := range fe.blocks {
+		// Overlap test uses the block's full aligned extent [off, off+bs),
+		// not just its payload: the slot owns the whole alignment unit.
+		// Tail-marked blocks drop regardless of range — a write past the
+		// cached end moves the end, voiding cached EOF knowledge.
+		if b.eof || (off < hi && off+c.bs > lo) {
+			c.removeLocked(b)
+			c.inval.Add(1)
+		}
+	}
+	if fe.stat != nil {
+		c.removeLocked(fe.stat)
+		c.inval.Add(1)
+	}
+	// fe itself stays resident even when emptied: its gen must outlive
+	// any FillToken that captured it, or a racing fill could re-insert
+	// the bytes this invalidation just condemned.
+	c.gbytes.Store(c.bytes)
+}
+
+// touchLocked moves b to the recent end of the LRU list (inserting it
+// if detached).
+func (c *Cache) touchLocked(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+		b.next.prev = b.prev
+	}
+	b.next = c.lru.next
+	b.prev = &c.lru
+	c.lru.next.prev = b
+	c.lru.next = b
+}
+
+// pushLocked inserts a fresh node at the recent end. The node's cost
+// is charged by the caller once its payload is in place.
+func (c *Cache) pushLocked(b *block) {
+	c.touchLocked(b)
+}
+
+// removeLocked detaches b from its file and the LRU list and refunds
+// its cost.
+func (c *Cache) removeLocked(b *block) {
+	b.prev.next = b.next
+	b.next.prev = b.prev
+	b.prev, b.next = nil, nil
+	c.bytes -= b.cost()
+	if b.stat {
+		b.file.stat = nil
+	} else {
+		delete(b.file.blocks, b.off)
+	}
+}
+
+// evictLocked enforces the byte budget, dropping least-recently-used
+// entries.
+func (c *Cache) evictLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for c.bytes > c.max && c.lru.prev != &c.lru {
+		c.removeLocked(c.lru.prev)
+		c.evict.Add(1)
+	}
+	c.gbytes.Store(c.bytes)
+}

@@ -1,0 +1,285 @@
+package ccache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const bs = 1024 // test block size
+
+func newCache(maxBytes int64) *Cache {
+	return New(Config{MaxBytes: maxBytes, BlockSize: bs})
+}
+
+// fill returns deterministic bytes for a block.
+func fill(tag byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = tag ^ byte(i)
+	}
+	return p
+}
+
+func TestGetPutRange(t *testing.T) {
+	c := newCache(0)
+	if _, _, ok := c.GetRange("f", 0, make([]byte, 10)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	data := fill(1, 3*bs)
+	c.PutRange("f", c.Token("f"), 0, data, false)
+
+	// Full-span hit.
+	got := make([]byte, 3*bs)
+	n, eof, ok := c.GetRange("f", 0, got)
+	if !ok || eof || n != len(got) || !bytes.Equal(got, data) {
+		t.Fatalf("full read: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+	// Unaligned sub-range crossing a block boundary.
+	got = make([]byte, bs)
+	n, eof, ok = c.GetRange("f", bs/2, got)
+	if !ok || eof || n != bs || !bytes.Equal(got, data[bs/2:bs/2+bs]) {
+		t.Fatalf("sub-range read: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+	// Read past the cached frontier misses.
+	if _, _, ok = c.GetRange("f", 3*bs, make([]byte, 1)); ok {
+		t.Fatal("hit past cached frontier without eof")
+	}
+	hits, misses, _, _, b := c.Stats()
+	if hits != 2 || misses < 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if want := int64(3 * (bs + blockOverhead)); b != want {
+		t.Fatalf("bytes=%d want %d", b, want)
+	}
+}
+
+func TestEOFTail(t *testing.T) {
+	c := newCache(0)
+	// File ends mid-block-2: 2.5 blocks of data.
+	data := fill(2, 2*bs+bs/2)
+	c.PutRange("f", c.Token("f"), 0, data, true)
+
+	// Read spanning EOF: short count plus eof.
+	got := make([]byte, 3*bs)
+	n, eof, ok := c.GetRange("f", 0, got)
+	if !ok || !eof || n != len(data) || !bytes.Equal(got[:n], data) {
+		t.Fatalf("spanning read: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+	// Read ending exactly at EOF: no eof.
+	n, eof, ok = c.GetRange("f", 2*bs, make([]byte, bs/2))
+	if !ok || eof || n != bs/2 {
+		t.Fatalf("exact-end read: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+	// Read starting at EOF: zero bytes, eof.
+	n, eof, ok = c.GetRange("f", uint64(len(data)), make([]byte, 8))
+	if !ok || !eof || n != 0 {
+		t.Fatalf("at-end read: n=%d eof=%v ok=%v", n, eof, ok)
+	}
+	// Read starting past the tail block's aligned extent: miss (the
+	// cache only knows the end within the tail block's slot).
+	if _, _, ok := c.GetRange("f", 4*bs, make([]byte, 8)); ok {
+		t.Fatal("hit far past EOF")
+	}
+
+	// Any invalidation drops tail-marked blocks, even outside its range:
+	// a write moved the end.
+	c.InvalidateRange("f", 0, 1)
+	if _, _, ok := c.GetRange("f", 2*bs, make([]byte, 1)); ok {
+		t.Fatal("tail block survived invalidation")
+	}
+}
+
+func TestInvalidateRangeOverlap(t *testing.T) {
+	c := newCache(0)
+	c.PutRange("f", c.Token("f"), 0, fill(3, 3*bs), false)
+	c.PutStat("f", c.Token("f"), 3*bs, 3)
+
+	// Invalidate one byte inside block 1: blocks 0 and 2 survive, block
+	// 1 and the stat entry drop.
+	c.InvalidateRange("f", bs+10, bs+11)
+	if _, _, ok := c.GetRange("f", 0, make([]byte, bs)); !ok {
+		t.Fatal("block 0 dropped by non-overlapping invalidation")
+	}
+	if _, _, ok := c.GetRange("f", 2*bs, make([]byte, bs)); !ok {
+		t.Fatal("block 2 dropped by non-overlapping invalidation")
+	}
+	if _, _, ok := c.GetRange("f", bs, make([]byte, bs)); ok {
+		t.Fatal("block 1 survived overlapping invalidation")
+	}
+	if _, _, ok := c.GetStat("f"); ok {
+		t.Fatal("stat survived invalidation")
+	}
+	// Other names untouched.
+	c.PutRange("g", c.Token("g"), 0, fill(4, bs), false)
+	c.InvalidateRange("f", 0, ^uint64(0))
+	if _, _, ok := c.GetRange("g", 0, make([]byte, bs)); !ok {
+		t.Fatal("invalidation leaked across names")
+	}
+}
+
+func TestFillTokenStaleAfterInvalidate(t *testing.T) {
+	c := newCache(0)
+	tok := c.Token("f")
+	c.InvalidateRange("f", 0, ^uint64(0)) // no entries yet, but gen bumps
+	c.PutRange("f", tok, 0, fill(5, bs), false)
+	if _, _, ok := c.GetRange("f", 0, make([]byte, bs)); ok {
+		t.Fatal("stale-token fill entered the cache")
+	}
+	// A fresh token works.
+	c.PutRange("f", c.Token("f"), 0, fill(5, bs), false)
+	if _, _, ok := c.GetRange("f", 0, make([]byte, bs)); !ok {
+		t.Fatal("fresh-token fill rejected")
+	}
+	// Stat fills obey the same protocol.
+	tok = c.Token("f")
+	c.InvalidateRange("f", 0, 0)
+	c.PutStat("f", tok, 123, 1)
+	if _, _, ok := c.GetStat("f"); ok {
+		t.Fatal("stale-token stat entered the cache")
+	}
+}
+
+func TestLearnAndReset(t *testing.T) {
+	c := newCache(0)
+	tok := c.Token("f")
+	c.PutRange("f", tok, 0, fill(6, bs), false)
+
+	if c.Learn(0) {
+		t.Fatal("Learn(0) dropped")
+	}
+	if !c.Learn(7) {
+		t.Fatal("Learn(7) did not drop")
+	}
+	if c.Version() != 7 {
+		t.Fatalf("Version=%d", c.Version())
+	}
+	if _, _, ok := c.GetRange("f", 0, make([]byte, bs)); ok {
+		t.Fatal("entry survived version bump")
+	}
+	if c.Learn(7) || c.Learn(3) {
+		t.Fatal("stale Learn dropped")
+	}
+	// The bump staled every outstanding token.
+	c.PutRange("f", tok, 0, fill(6, bs), false)
+	if _, _, ok := c.GetRange("f", 0, make([]byte, bs)); ok {
+		t.Fatal("pre-bump token survived Learn")
+	}
+
+	tok = c.Token("f")
+	c.PutRange("f", tok, 0, fill(6, bs), false)
+	c.Reset()
+	if _, _, ok := c.GetRange("f", 0, make([]byte, bs)); ok {
+		t.Fatal("entry survived Reset")
+	}
+	c.PutRange("f", tok, 0, fill(6, bs), false)
+	if _, _, ok := c.GetRange("f", 0, make([]byte, bs)); ok {
+		t.Fatal("pre-Reset token survived Reset")
+	}
+	_, _, inval, _, b := c.Stats()
+	if inval != 2 || b != 0 {
+		t.Fatalf("invalidations=%d bytes=%d", inval, b)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	const budget = 4 * (bs + blockOverhead)
+	c := newCache(budget)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("f%d", i)
+		c.PutRange(name, c.Token(name), 0, fill(byte(i), bs), false)
+	}
+	_, _, _, evict, b := c.Stats()
+	if b > budget {
+		t.Fatalf("bytes=%d over budget %d", b, budget)
+	}
+	if evict != 4 {
+		t.Fatalf("evictions=%d want 4", evict)
+	}
+	// Oldest gone, newest resident.
+	if _, _, ok := c.GetRange("f0", 0, make([]byte, bs)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, _, ok := c.GetRange("f7", 0, make([]byte, bs)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// A touch protects against the next insert.
+	if _, _, ok := c.GetRange("f4", 0, make([]byte, bs)); !ok {
+		t.Fatal("f4 missing")
+	}
+	c.PutRange("f8", c.Token("f8"), 0, fill(8, bs), false)
+	if _, _, ok := c.GetRange("f4", 0, make([]byte, bs)); !ok {
+		t.Fatal("recently-touched entry evicted before colder ones")
+	}
+	if _, _, ok := c.GetRange("f5", 0, make([]byte, bs)); ok {
+		t.Fatal("coldest entry survived")
+	}
+}
+
+func TestMetricsRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newCache(0)
+	c.SetMetrics(reg)
+	c.PutRange("f", c.Token("f"), 0, fill(9, bs), false)
+	c.GetRange("f", 0, make([]byte, bs))
+	c.GetRange("g", 0, make([]byte, bs))
+	c.InvalidateRange("f", 0, ^uint64(0))
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"cc_hits_total":          1,
+		"cc_misses_total":        1,
+		"cc_invalidations_total": 1,
+		"cc_bytes":               0,
+	}
+	got := map[string]int64{}
+	for _, e := range snap.Entries {
+		got[e.Name] = e.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("%s = %d, want %d (snapshot %v)", name, got[name], v, got)
+		}
+	}
+}
+
+// TestRacedReadInvalidate exercises the lock and token protocols under
+// the race detector: concurrent fills, reads, invalidations, version
+// bumps, and stats over a tight byte budget.
+func TestRacedReadInvalidate(t *testing.T) {
+	c := newCache(16 * (bs + blockOverhead))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			buf := make([]byte, bs)
+			for i := 0; i < 2000; i++ {
+				name := fmt.Sprintf("f%d", rng.Intn(4))
+				off := uint64(rng.Intn(8)) * bs
+				switch rng.Intn(10) {
+				case 0:
+					c.InvalidateRange(name, off, off+bs)
+				case 1:
+					c.Learn(uint64(i / 100))
+				case 2:
+					c.PutStat(name, c.Token(name), off, 1)
+					c.GetStat(name)
+				default:
+					if _, _, ok := c.GetRange(name, off, buf); !ok {
+						tok := c.Token(name)
+						c.PutRange(name, tok, off, fill(byte(g), bs), rng.Intn(8) == 0)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, _, _, _, b := c.Stats(); b > 16*(bs+blockOverhead) {
+		t.Fatalf("budget exceeded: %d", b)
+	}
+}

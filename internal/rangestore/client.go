@@ -18,6 +18,15 @@ import (
 // for its response. The Send/Flush/Recv triple exposes the pipelined
 // surface: responses arrive in request order, so callers keep any number
 // of requests in flight and match them FIFO.
+//
+// Transport failures are sticky: once a send, flush or receive fails —
+// a broken connection, an op-timeout expiry, a malformed frame, or a
+// response whose seq does not match its request — the pipeline can no
+// longer be trusted (a late or misordered response would be matched to
+// the wrong request), so the connection is condemned and every
+// subsequent call fails with ErrClosed until the caller redials.
+// Semantic per-request errors (ErrNotExist, ErrTooBig, ...) are answers,
+// not failures, and do not condemn the connection.
 type Client struct {
 	conn   net.Conn
 	br     *bufio.Reader
@@ -26,6 +35,15 @@ type Client struct {
 	reqBuf []byte
 	frame  []byte
 	resp   Response // scratch for synchronous calls
+
+	// fail is the sticky condemnation error: non-nil once the pipeline
+	// desynchronized (transport error, timeout, seq mismatch). Every
+	// later call short-circuits to ErrClosed.
+	fail error
+
+	// ver is the highest placement version learned from any response
+	// (protocol v6 stamps); 0 until a stamped response arrives.
+	ver uint64
 
 	// opTimeout, when set, bounds each synchronous round trip with a
 	// read deadline — a dead server fails the call instead of hanging
@@ -65,39 +83,94 @@ func DialTimeout(addr string, d time.Duration) (*Client, error) {
 // SetOpTimeout bounds every subsequent synchronous round trip (Open,
 // ReadAt, ...) with a read deadline: if the server does not answer
 // within d the call fails with a timeout error and the connection is
-// no longer usable (the response may arrive later and desynchronize
-// the pipeline — redial). Zero restores blocking behaviour.
+// condemned — the response may arrive later and desynchronize the
+// pipeline, so every subsequent call fails with ErrClosed until the
+// caller redials. Zero restores blocking behaviour.
 func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout = d }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection. The client is condemned:
+// later calls fail with ErrClosed.
+func (c *Client) Close() error {
+	if c.fail == nil {
+		c.fail = ErrClosed
+	}
+	return c.conn.Close()
+}
+
+// PlacementVersion returns the highest placement version any response
+// on this connection has carried (protocol v6 stamps) — 0 until a
+// stamped response arrives. Client-side caches compare it against the
+// version their entries were filled under.
+func (c *Client) PlacementVersion() uint64 { return c.ver }
+
+// ConnGen is the connection generation — constant 0: a Client never
+// redials, so its cache-relevant identity never changes. FailoverClient
+// implements the same method with a real counter.
+func (c *Client) ConnGen() uint64 { return 0 }
+
+// condemn marks the pipeline unusable and returns err. Every later
+// Send/Recv/do fails with ErrClosed.
+func (c *Client) condemn(err error) error {
+	if c.fail == nil {
+		c.fail = err
+	}
+	return err
+}
 
 // Send encodes req into the connection buffer, assigning and returning
 // its pipelining sequence number. Call Flush before waiting on Recv.
 func (c *Client) Send(req *Request) (uint32, error) {
+	if c.fail != nil {
+		return 0, ErrClosed
+	}
 	req.Seq = c.seq
 	c.seq++
 	buf, err := AppendRequest(c.reqBuf[:0], req)
 	if err != nil {
+		// Nothing reached the wire; the pipeline is intact.
 		return 0, err
 	}
 	c.reqBuf = buf[:0]
-	_, err = c.bw.Write(buf)
-	return req.Seq, err
+	if _, err = c.bw.Write(buf); err != nil {
+		return 0, c.condemn(err)
+	}
+	return req.Seq, nil
 }
 
 // Flush pushes buffered requests to the server.
-func (c *Client) Flush() error { return c.bw.Flush() }
+func (c *Client) Flush() error {
+	if c.fail != nil {
+		return ErrClosed
+	}
+	if err := c.bw.Flush(); err != nil {
+		// A partial frame may have escaped: the server will misparse the
+		// stream, so the connection is done.
+		return c.condemn(err)
+	}
+	return nil
+}
 
 // Recv reads the next response in pipeline order. resp.Data and resp.Msg
-// alias an internal buffer valid until the next Recv.
+// alias an internal buffer valid until the next Recv. A failed Recv —
+// transport error, timeout, malformed frame — condemns the connection:
+// the response it lost may still arrive and would be matched to the
+// wrong request, so every later call fails with ErrClosed.
 func (c *Client) Recv(resp *Response) error {
+	if c.fail != nil {
+		return ErrClosed
+	}
 	body, err := ReadFrame(c.br, c.frame)
 	if err != nil {
-		return err
+		return c.condemn(err)
 	}
 	c.frame = body[:0]
-	return ParseResponse(body, resp)
+	if err := ParseResponse(body, resp); err != nil {
+		return c.condemn(err)
+	}
+	if resp.VerSet && resp.Ver > c.ver {
+		c.ver = resp.Ver
+	}
+	return nil
 }
 
 // do is the synchronous round trip behind the convenience methods.
@@ -117,7 +190,10 @@ func (c *Client) do(req *Request) (*Response, error) {
 		return nil, err
 	}
 	if c.resp.Seq != seq {
-		return nil, fmt.Errorf("rangestore: response seq %d for request %d", c.resp.Seq, seq)
+		// A response for another request: the stream is desynchronized
+		// (a timed-out predecessor's answer arriving late, typically).
+		// Reading on would hand this caller someone else's data.
+		return nil, c.condemn(fmt.Errorf("rangestore: response seq %d for request %d", c.resp.Seq, seq))
 	}
 	return &c.resp, c.resp.Err()
 }
@@ -142,7 +218,9 @@ func (c *Client) ReadAt(h uint32, p []byte, off uint64) (int, error) {
 	if len(p) > MaxData {
 		return 0, ErrTooBig
 	}
-	resp, err := c.do(&Request{Op: OpRead, Handle: h, Off: off, Length: uint32(len(p))})
+	// ReadWantVer asks v6 servers to stamp the response with the
+	// placement version; older servers ignore the trailing flag byte.
+	resp, err := c.do(&Request{Op: OpRead, Handle: h, Off: off, Length: uint32(len(p)), Flags: ReadWantVer})
 	if err != nil {
 		return 0, err
 	}

@@ -71,6 +71,14 @@ type FailoverClient struct {
 	next    int    // rotation cursor over cfg.Addrs
 	handles []fcHandle
 	log     *obs.Logger
+
+	// ver is the highest placement version learned across every
+	// connection this client has used; gen counts successful
+	// (re)connects. Both feed client-side caches: a version bump drops
+	// stale entries, a generation bump (failover happened — the new
+	// leader may hold writes this client never saw) drops everything.
+	ver uint64
+	gen uint64
 }
 
 // NewFailoverClient returns a client over cfg. No connection is made
@@ -151,6 +159,11 @@ func (fc *FailoverClient) pickAddr() string {
 // connect dials until a server accepts and every handle re-opens, or
 // the deadline passes. attempts counts every dial across the whole
 // call, so the exhaustion error can report the real work burned.
+// Semantic reopen failures — a healthy server definitively refusing a
+// handle's name (ErrNotExist with create=false, ErrBadRequest on an
+// over-long name) — surface immediately: no amount of redialing changes
+// a correct answer, and burning the MaxWait budget on one would
+// misreport it as cluster unavailability.
 func (fc *FailoverClient) connect(deadline time.Time, attempts *int) error {
 	backoff := failoverBackoffMin
 	var lastErr error = ErrClosed
@@ -164,10 +177,16 @@ func (fc *FailoverClient) connect(deadline time.Time, attempts *int) error {
 			}
 			if err = fc.reopen(c); err == nil {
 				fc.c = c
+				fc.gen++
+				fc.absorbVer()
 				fc.log.Info("connected", "addr", addr, "handles", len(fc.handles))
 				return nil
 			}
 			c.Close()
+			if semantic(err) {
+				fc.log.Info("reopen refused", "addr", addr, "err", err)
+				return fmt.Errorf("rangestore: reopen handles on %s: %w", addr, err)
+			}
 		}
 		lastErr = err
 		fc.log.Debug("connect failed", "addr", addr, "err", err)
@@ -196,6 +215,27 @@ func (fc *FailoverClient) reopen(c *Client) error {
 	return nil
 }
 
+// absorbVer folds the live connection's learned placement version into
+// the client-wide maximum.
+func (fc *FailoverClient) absorbVer() {
+	if fc.c != nil {
+		if v := fc.c.PlacementVersion(); v > fc.ver {
+			fc.ver = v
+		}
+	}
+}
+
+// PlacementVersion returns the highest placement version any response —
+// on any connection this client has used — has carried. 0 until a
+// stamped response arrives.
+func (fc *FailoverClient) PlacementVersion() uint64 { return fc.ver }
+
+// ConnGen counts successful (re)connects. A caching layer that sees it
+// advance must assume a failover happened and drop everything: the node
+// now answering may hold acknowledged writes this client's cache never
+// observed.
+func (fc *FailoverClient) ConnGen() uint64 { return fc.gen }
+
 // retry runs op against the current connection, reconnecting and
 // retrying on transport errors until MaxWait runs out. Semantic errors
 // (not-exist, too-big, ...) surface immediately.
@@ -211,6 +251,7 @@ func (fc *FailoverClient) retry(op func(c *Client) error) error {
 		}
 		attempts++
 		err := op(fc.c)
+		fc.absorbVer()
 		if err == nil {
 			return nil
 		}
@@ -236,7 +277,17 @@ func (fc *FailoverClient) retry(op func(c *Client) error) error {
 }
 
 // Open returns a stable client-side handle for name, created if asked.
+// Opens are deduplicated by (name, create): re-opening a name this
+// client already holds returns the existing handle instead of growing
+// the handle table — long-lived clients would otherwise leak an entry
+// per call, and every reconnect's reopen loop would replay the whole
+// accumulated history against the new server.
 func (fc *FailoverClient) Open(name string, create bool) (uint32, error) {
+	for i := range fc.handles {
+		if fc.handles[i].name == name && fc.handles[i].create == create {
+			return uint32(i), nil
+		}
+	}
 	var remote uint32
 	err := fc.retry(func(c *Client) error {
 		h, err := c.Open(name, create)

@@ -87,6 +87,24 @@
 // answers with an empty snapshot; older servers answer StatusBadRequest,
 // which clients surface as ErrBadRequest.
 //
+// Placement-version stamps (protocol v6) let clients cache read results
+// and validate them without extra round trips: every OPEN, WRITE,
+// APPEND, TRUNCATE, STAT and MIGRATE response carries a trailing
+// ver:u64 — the store's placement version at execution time. The stamp
+// is additive twice over: the cursor ignores trailing bytes it does not
+// know, so a v5 client parses a v6 response unchanged, and a v6 client
+// reads the stamp only when at least 8 bytes remain, so a v5 response
+// parses as "no stamp" (Response.VerSet false). READ is the one layout
+// whose tail is variable (data), so its stamp is negotiated per
+// request: a READ request may append a trailing flags byte (ignored by
+// older servers) with ReadWantVer set, and the server then folds a
+// ver-present bit into the response's eof byte and emits ver:u64
+// between it and the data. A v5 server never sets the bit, so a v6
+// client cannot misread data bytes as a stamp. Client-side caches
+// (CachingClient) drop their entries whenever a response's stamp
+// exceeds the highest version they have seen — the same placement
+// generation the server itself uses to re-resolve stale handles.
+//
 // STATE and VOTE (protocol v5) are the election surface. STATE is a
 // cheap read-only probe: role, election epoch, whether the node's
 // replica is fresh (fully attached, no pending snapshot reset), the
@@ -202,6 +220,20 @@ const OpenCreate uint8 = 1 << 0
 // its on-disk state may hold files the leader has since removed, and
 // only a snapshot wipe re-converges them.
 const FollowReset uint8 = 1 << 0
+
+// ReadWantVer, set in a READ request's optional trailing flags byte
+// (protocol v6), asks the server to stamp the response with the current
+// placement version: the response's eof byte gains the readVerBit and a
+// ver:u64 follows it, ahead of the data. Servers predating v6 ignore
+// the trailing byte and answer the unstamped layout.
+const ReadWantVer uint8 = 1 << 0
+
+// readVerBit marks a READ response's eof byte as "ver:u64 follows";
+// readEOFBit is the EOF flag itself (the whole byte, pre-v6).
+const (
+	readEOFBit uint8 = 1 << 0
+	readVerBit uint8 = 1 << 1
+)
 
 // FollowFetch makes FOLLOW a finite catch-up read: the server streams
 // the snapshot (if needed) and records up to its current frontier, then
@@ -386,6 +418,13 @@ type Response struct {
 	State     *StateInfo    // STATE (allocated, not aliased)
 	Vote      *VoteInfo     // VOTE (allocated, not aliased)
 	Msg       string        // non-OK statuses
+
+	// Ver is the placement-version stamp (protocol v6); VerSet reports
+	// whether the response carried one (older servers do not stamp, and
+	// READ responses are stamped only when the request asked via
+	// ReadWantVer).
+	Ver    uint64
+	VerSet bool
 }
 
 // Err maps the response status to an error (nil when OK).
@@ -419,6 +458,10 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
 		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
 		dst = binary.LittleEndian.AppendUint32(dst, r.Length)
+		if r.Flags != 0 {
+			// Trailing flags byte (v6): older servers ignore it.
+			dst = append(dst, r.Flags)
+		}
 	case OpWrite:
 		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
 		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
@@ -463,22 +506,34 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	switch r.Op {
 	case OpOpen:
 		dst = binary.LittleEndian.AppendUint32(dst, r.Handle)
+		dst = appendVer(dst, r)
 	case OpRead:
 		eof := byte(0)
 		if r.EOF {
-			eof = 1
+			eof |= readEOFBit
+		}
+		if r.VerSet {
+			eof |= readVerBit
 		}
 		dst = append(dst, eof)
+		if r.VerSet {
+			dst = binary.LittleEndian.AppendUint64(dst, r.Ver)
+		}
 		dst = append(dst, r.Data...)
 	case OpWrite:
 		dst = binary.LittleEndian.AppendUint32(dst, r.N)
+		dst = appendVer(dst, r)
 	case OpAppend:
 		dst = binary.LittleEndian.AppendUint64(dst, r.Off)
+		dst = appendVer(dst, r)
 	case OpTruncate:
+		dst = appendVer(dst, r)
 	case OpStat:
 		dst = binary.LittleEndian.AppendUint64(dst, r.Size)
 		dst = binary.LittleEndian.AppendUint32(dst, r.Blocks)
+		dst = appendVer(dst, r)
 	case OpMigrate:
+		dst = appendVer(dst, r)
 	case OpShards:
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Shards)))
 		for _, n := range r.Shards {
@@ -536,6 +591,16 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		return dst[:start], fmt.Errorf("rangestore: encode unknown op %d", r.Op)
 	}
 	return finishFrame(dst, start)
+}
+
+// appendVer appends the trailing placement-version stamp (protocol v6)
+// to a fixed-layout response. Unstamped responses (VerSet false, e.g.
+// re-encoding a response parsed from a v5 server) keep the v5 layout.
+func appendVer(dst []byte, r *Response) []byte {
+	if !r.VerSet {
+		return dst
+	}
+	return binary.LittleEndian.AppendUint64(dst, r.Ver)
 }
 
 func b2u8(b bool) byte {
@@ -622,6 +687,10 @@ func ParseRequest(body []byte, r *Request) error {
 		r.Handle = c.u32()
 		r.Off = c.u64()
 		r.Length = c.u32()
+		if len(c.b) > 0 {
+			// Optional trailing flags byte (v6, ReadWantVer).
+			r.Flags = c.u8()
+		}
 	case OpWrite:
 		r.Handle = c.u32()
 		r.Off = c.u64()
@@ -671,18 +740,29 @@ func ParseResponse(body []byte, r *Response) error {
 	switch r.Op {
 	case OpOpen:
 		r.Handle = c.u32()
+		parseVer(&c, r)
 	case OpRead:
-		r.EOF = c.u8() != 0
+		fl := c.u8()
+		r.EOF = fl&readEOFBit != 0
+		if fl&readVerBit != 0 {
+			r.Ver = c.u64()
+			r.VerSet = true
+		}
 		r.Data = c.rest()
 	case OpWrite:
 		r.N = c.u32()
+		parseVer(&c, r)
 	case OpAppend:
 		r.Off = c.u64()
+		parseVer(&c, r)
 	case OpTruncate:
+		parseVer(&c, r)
 	case OpStat:
 		r.Size = c.u64()
 		r.Blocks = c.u32()
+		parseVer(&c, r)
 	case OpMigrate:
+		parseVer(&c, r)
 	case OpShards:
 		n := c.u32()
 		if uint64(n)*8 > uint64(len(c.b)) {
@@ -725,6 +805,17 @@ func ParseResponse(body []byte, r *Response) error {
 		return fmt.Errorf("%w: truncated %s response", ErrBadRequest, r.Op)
 	}
 	return nil
+}
+
+// parseVer reads the optional trailing placement-version stamp of a
+// fixed-layout response: present when at least 8 bytes remain (a v6
+// server), absent otherwise (a v5 one). Reading it only when available
+// is what makes the stamp additive in both directions.
+func parseVer(c *cursor, r *Response) {
+	if len(c.b) >= 8 {
+		r.Ver = c.u64()
+		r.VerSet = true
+	}
 }
 
 // parseLSNs decodes a u32-counted list of u64 LSNs, bounds-checked

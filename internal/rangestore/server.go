@@ -692,6 +692,22 @@ func (cn *conn) handle(body []byte) error {
 		// connection.
 		return err
 	}
+	// Stamp the response with the placement version (protocol v6) so
+	// client-side caches can validate entries without extra round trips.
+	// The version is read after execution, so a migration that completed
+	// during the request is already visible in the stamp. READ stamps
+	// only on request (ReadWantVer) — its variable tail makes an
+	// unconditional stamp ambiguous for older clients.
+	if resp.Status == StatusOK {
+		switch req.Op {
+		case OpOpen, OpWrite, OpAppend, OpTruncate, OpStat, OpMigrate:
+			resp.Ver, resp.VerSet = cn.srv.store.PlacementVersion(), true
+		case OpRead:
+			if req.Flags&ReadWantVer != 0 {
+				resp.Ver, resp.VerSet = cn.srv.store.PlacementVersion(), true
+			}
+		}
+	}
 	var encStart time.Time
 	if t != nil {
 		// exec filled t.lock through tr.cur; apply is the rest of it.

@@ -1,0 +1,522 @@
+// Client-cache workload support: the cached synchronous worker behind
+// Run's CacheBytes mode, its cold/warm/storm scenario hooks, and
+// RunCacheStorm — the verification scenario that proves the cache never
+// serves a stale read while a migration loop bumps the placement
+// version and writers overwrite hot blocks.
+package wload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rangestore"
+	"repro/internal/rangestore/ccache"
+)
+
+// The cache scenarios, selecting what Run does around the measured
+// window when CacheBytes > 0.
+const (
+	// CacheCold measures with an empty cache — hits come only from
+	// locality inside the run.
+	CacheCold = "cold"
+	// CacheWarm pre-reads the whole working set through the cache
+	// before measurement (prewarm traffic is excluded from the
+	// reported counters).
+	CacheWarm = "warm"
+	// CacheStorm runs a background migration loop that re-homes
+	// workload files mid-run, bumping the placement version and
+	// invalidating the cache — the worst case for hit rate, the test
+	// case for coherence.
+	CacheStorm = "storm"
+)
+
+// CacheScenarios lists the valid Config.CacheScenario values.
+var CacheScenarios = []string{CacheCold, CacheWarm, CacheStorm}
+
+// CacheReport is the cache section of a Report, counters as deltas over
+// the measured window. JSON keys match the obs series names so scripts
+// grep one vocabulary.
+type CacheReport struct {
+	Scenario      string  `json:"scenario"`
+	BlockSize     int     `json:"block_size"`
+	MaxBytes      int64   `json:"max_bytes"`
+	Hits          int64   `json:"cc_hits_total"`
+	Misses        int64   `json:"cc_misses_total"`
+	Invalidations int64   `json:"cc_invalidations_total"`
+	Evictions     int64   `json:"cc_evictions_total"`
+	Bytes         int64   `json:"cc_bytes"`
+	HitRate       float64 `json:"hit_rate"`
+	Migrations    int64   `json:"migrations,omitempty"`
+}
+
+// opFatal reports whether a cached worker must redial after err: any
+// error that is not a definitive per-request answer condemned the
+// connection (mirrors the failover client's semantic test).
+func opFatal(err error) bool {
+	return !(errors.Is(err, rangestore.ErrNotExist) || errors.Is(err, rangestore.ErrExist) ||
+		errors.Is(err, rangestore.ErrBadHandle) || errors.Is(err, rangestore.ErrBadRequest) ||
+		errors.Is(err, rangestore.ErrTooBig))
+}
+
+// prewarmCache reads every block of every workload file (and stats each
+// file) through the cache, as far as the byte budget lets it.
+func prewarmCache(cfg Config, dial Dialer, cache *ccache.Cache) error {
+	cl, err := dial()
+	if err != nil {
+		return err
+	}
+	cc := rangestore.NewCachingClient(cl, cache)
+	defer cc.Close()
+	bs := cache.BlockSize()
+	// Largest block-aligned span one READ carries: fewer round trips,
+	// same cache content.
+	chunk := (uint64(rangestore.MaxData) / bs) * bs
+	if chunk == 0 {
+		chunk = bs
+	}
+	buf := make([]byte, chunk)
+	for i := 0; i < cfg.Files; i++ {
+		h, err := cc.Open(fileName(i), false)
+		if err != nil {
+			return fmt.Errorf("wload: prewarm %s: %w", fileName(i), err)
+		}
+		for off := uint64(0); off < cfg.FileSize; off += chunk {
+			n := chunk
+			if off+n > cfg.FileSize {
+				n = cfg.FileSize - off
+			}
+			if _, err := cc.ReadAt(h, buf[:n], off); err != nil && err != io.EOF {
+				return fmt.Errorf("wload: prewarm read %s@%d: %w", fileName(i), off, err)
+			}
+		}
+		if _, _, err := cc.Stat(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stormMigrator re-homes a random workload file onto a random shard
+// every interval until stop closes, counting successful migrations.
+// Each migration bumps the store's placement version; every cached
+// client drops its cache when the bump reaches it.
+func stormMigrator(cfg Config, dial Dialer, migrations *atomic.Int64, stop <-chan struct{}) {
+	if cfg.Shards < 2 {
+		return
+	}
+	cl, err := dial()
+	if err != nil {
+		return
+	}
+	defer func() { cl.Close() }()
+	rng := rand.New(rand.NewSource(cfg.Seed*31 + 7))
+	tick := time.NewTicker(cfg.StormInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		name := fileName(rng.Intn(cfg.Files))
+		if err := cl.Migrate(name, rng.Intn(cfg.Shards)); err != nil {
+			if !opFatal(err) {
+				// A definitive refusal (hash placement, bad shard) will
+				// not change on retry.
+				return
+			}
+			cl.Close()
+			if cl, err = dial(); err != nil {
+				return
+			}
+			continue
+		}
+		migrations.Add(1)
+	}
+}
+
+// runCachedWorker is runWorker's synchronous, cache-fronted sibling:
+// every op goes through a CachingClient over the shared cache, so reads
+// can be served locally and writes invalidate for the whole worker
+// fleet. Pipelining does not apply — the cache needs each response
+// before the next decision.
+func runCachedWorker(cfg Config, dial Dialer, cache *ccache.Cache, recs []*classRec, remaining *atomic.Int64, deadline time.Time, seed int64) error {
+	cl, err := dial()
+	if err != nil {
+		return err
+	}
+	cc := rangestore.NewCachingClient(cl, cache)
+	// cc is rebound on redial; the closure closes whichever is live.
+	defer func() { cc.Close() }()
+
+	handles := make([]uint32, cfg.Files)
+	openAll := func() error {
+		for i := range handles {
+			h, err := cc.Open(fileName(i), false)
+			if err != nil {
+				return err
+			}
+			handles[i] = h
+		}
+		return nil
+	}
+	if err := openAll(); err != nil {
+		return err
+	}
+
+	pick := newPicker(cfg, seed)
+	payload := make([]byte, cfg.IOSize)
+	pick.rng.Read(payload)
+	rbuf := make([]byte, rangestore.MaxData)
+
+	var cum [numClasses]int
+	t := 0
+	for c := 0; c < int(numClasses); c++ {
+		t += cfg.Mix.Weights[c]
+		cum[c] = t
+	}
+	pickClass := func() Class {
+		n := pick.rng.Intn(t)
+		for c := 0; c < int(numClasses); c++ {
+			if n < cum[c] {
+				return Class(c)
+			}
+		}
+		return ClassRead
+	}
+
+	opBound := cfg.Ops > 0
+	done := func(sent int64) bool {
+		if opBound {
+			return remaining.Add(-1) < 0
+		}
+		return sent%64 == 0 && time.Now().After(deadline)
+	}
+
+	// redial replaces a condemned connection, keeping the shared cache —
+	// but resetting it first: the fresh connection may reach a different
+	// node holding writes this cache never observed.
+	redial := func(cause error) error {
+		if !cfg.Redial {
+			return cause
+		}
+		cc.Close()
+		backoff := 10 * time.Millisecond
+		limit := time.Now().Add(10 * time.Second)
+		if !opBound && deadline.Before(limit) {
+			limit = deadline
+		}
+		for {
+			c2, err := dial()
+			if err == nil {
+				cache.Reset()
+				cc = rangestore.NewCachingClient(c2, cache)
+				if err = openAll(); err == nil {
+					return nil
+				}
+				cc.Close()
+			}
+			if time.Now().Add(backoff).After(limit) {
+				return cause
+			}
+			time.Sleep(backoff)
+			backoff = min(backoff*2, 500*time.Millisecond)
+		}
+	}
+
+	var sent int64
+	for {
+		if done(sent) {
+			return nil
+		}
+		class := pickClass()
+		fi := pick.file()
+		h := handles[fi]
+		bytes := 0
+		t0 := time.Now()
+		var err error
+		switch class {
+		case ClassRead:
+			length := cfg.IOSize
+			if m := cfg.Mix.MaxScanBlocks; m > 1 {
+				length *= 1 + pick.rng.Intn(m)
+				if length > rangestore.MaxData {
+					length = rangestore.MaxData
+				}
+			}
+			var n int
+			n, err = cc.ReadAt(h, rbuf[:length], pick.offset(cfg.IOSize))
+			if err == io.EOF {
+				err = nil // EOF is service, not failure
+			}
+			bytes = n
+		case ClassWrite:
+			bytes = len(payload)
+			_, err = cc.WriteAt(h, payload, pick.offset(cfg.IOSize))
+		case ClassAppend:
+			bytes = len(payload)
+			_, err = cc.Append(h, payload)
+		case ClassTruncate:
+			err = cc.Truncate(h, cfg.FileSize/2+uint64(pick.rng.Int63n(int64(cfg.FileSize/2+1))))
+		case ClassStat:
+			_, _, err = cc.Stat(h)
+		}
+		recs[class].observe(time.Since(t0), bytes, err != nil)
+		sent++
+		if err != nil && opFatal(err) {
+			if err = redial(err); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// --- RunCacheStorm: the coherence verification scenario ---
+
+// stormHeader is the verifiable prefix of every storm block: which
+// (file, block) the payload claims to be and the write sequence it
+// carries.
+const stormHeader = 16
+
+// stormFill writes the deterministic payload for (file, blk, seq) into
+// p: the header plus an xorshift stream seeded by the triple, so
+// verification regenerates expected bytes instead of storing them.
+func stormFill(p []byte, file, blk int, seq uint64) {
+	binary.LittleEndian.PutUint32(p[0:], uint32(file))
+	binary.LittleEndian.PutUint32(p[4:], uint32(blk))
+	binary.LittleEndian.PutUint64(p[8:], seq)
+	x := seq*0x9E3779B97F4A7C15 ^ uint64(file)<<32 ^ uint64(blk) ^ 0xD1B54A32D192ED03
+	for i := stormHeader; i < len(p); i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p[i] = byte(x)
+	}
+}
+
+// StormReport summarizes one RunCacheStorm.
+type StormReport struct {
+	Reads         int64 // verified reads
+	Writes        int64 // acknowledged writes
+	Migrations    int64 // successful placement moves during the run
+	Hits          int64 // cache hits across all workers
+	Misses        int64
+	Invalidations int64
+	StaleReads    int64 // reads that returned data older than the acked floor
+}
+
+// RunCacheStorm drives cached readers and writers against the store
+// while a migration loop re-homes the files, and proves no read — hit
+// or miss — ever returns data older than what the reader already knew
+// was acknowledged.
+//
+// The proof scheme: each block is owned by exactly one writer, which
+// stamps every write with a monotone sequence and publishes the acked
+// floor only after the write (and its cache invalidation) completed. A
+// reader loads the floor, then reads: decoding a sequence below that
+// floor, or bytes that do not match the sequence's deterministic
+// payload, is a coherence violation. Single-writer blocks make the
+// floor monotone; writes-through-the-cache make acked implies
+// invalidated; version bumps from migrations only ever drop more.
+//
+// Uses Config.Files, FileSize, IOSize (the verify block — also forced
+// as the cache block size), Workers (split between writers and
+// readers), Duration, CacheBytes, StormInterval, Shards, Seed. The
+// returned error is non-nil on any worker failure or stale read.
+func RunCacheStorm(cfg Config, dial Dialer) (*StormReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.IOSize < stormHeader {
+		return nil, fmt.Errorf("wload: storm IOSize %d below header %d", cfg.IOSize, stormHeader)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 8 << 20
+	}
+	bs := uint64(cfg.IOSize)
+	blocks := int(cfg.FileSize / bs)
+	if blocks == 0 {
+		blocks = 1
+	}
+	writers := cfg.Workers / 2
+	if writers == 0 {
+		writers = 1
+	}
+	readers := cfg.Workers - writers
+	if readers == 0 {
+		readers = 1
+	}
+
+	cache := ccache.New(ccache.Config{MaxBytes: cfg.CacheBytes, BlockSize: cfg.IOSize})
+
+	// floors[f*blocks+b] is the highest acked sequence for that block —
+	// written only by the block's single owner, after the write's cache
+	// invalidation ran.
+	floors := make([]atomic.Uint64, cfg.Files*blocks)
+
+	// Seed every block at sequence 1 so readers always verify full
+	// deterministic content (a never-written block would read as hole
+	// zeroes and be unverifiable).
+	seedCl, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	seedCC := rangestore.NewCachingClient(seedCl, cache)
+	buf := make([]byte, cfg.IOSize)
+	for f := 0; f < cfg.Files; f++ {
+		h, err := seedCC.Open(fileName(f), true)
+		if err != nil {
+			seedCC.Close()
+			return nil, fmt.Errorf("wload: storm seed %s: %w", fileName(f), err)
+		}
+		for b := 0; b < blocks; b++ {
+			stormFill(buf, f, b, 1)
+			if _, err := seedCC.WriteAt(h, buf, uint64(b)*bs); err != nil {
+				seedCC.Close()
+				return nil, fmt.Errorf("wload: storm seed %s blk %d: %w", fileName(f), b, err)
+			}
+			floors[f*blocks+b].Store(1)
+		}
+	}
+	seedCC.Close()
+
+	rep := &StormReport{}
+	var stale atomic.Int64
+	var staleMu sync.Mutex
+	var staleErr error // first violation, for the error message
+	recordStale := func(e error) {
+		stale.Add(1)
+		staleMu.Lock()
+		if staleErr == nil {
+			staleErr = e
+		}
+		staleMu.Unlock()
+	}
+	var reads, writes, migs atomic.Int64
+	stop := make(chan struct{})
+	deadline := time.Now().Add(cfg.Duration)
+
+	var migWG sync.WaitGroup
+	migWG.Add(1)
+	go func() {
+		defer migWG.Done()
+		stormMigrator(cfg, dial, &migs, stop)
+	}()
+
+	errs := make([]error, writers+readers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := dial()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			cc := rangestore.NewCachingClient(cl, cache)
+			defer cc.Close()
+			handles := make([]uint32, cfg.Files)
+			for f := range handles {
+				if handles[f], err = cc.Open(fileName(f), false); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			// The blocks this writer owns, round-robin over the flat index.
+			var owned []int
+			for i := w; i < len(floors); i += writers {
+				owned = append(owned, i)
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
+			p := make([]byte, cfg.IOSize)
+			for time.Now().Before(deadline) {
+				idx := owned[rng.Intn(len(owned))]
+				f, b := idx/blocks, idx%blocks
+				seq := floors[idx].Load() + 1
+				stormFill(p, f, b, seq)
+				if _, err := cc.WriteAt(handles[f], p, uint64(b)*bs); err != nil {
+					// The write may or may not have applied; the floor
+					// stays — the next attempt re-writes the same seq.
+					errs[w] = fmt.Errorf("wload: storm writer %d: %w", w, err)
+					return
+				}
+				// Publish only after the ack: the write went through the
+				// cache, so its invalidation already ran for every client.
+				floors[idx].Store(seq)
+				writes.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cl, err := dial()
+			if err != nil {
+				errs[writers+r] = err
+				return
+			}
+			cc := rangestore.NewCachingClient(cl, cache)
+			defer cc.Close()
+			handles := make([]uint32, cfg.Files)
+			for f := range handles {
+				if handles[f], err = cc.Open(fileName(f), false); err != nil {
+					errs[writers+r] = err
+					return
+				}
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919 + 3))
+			got := make([]byte, cfg.IOSize)
+			want := make([]byte, cfg.IOSize)
+			for time.Now().Before(deadline) {
+				idx := rng.Intn(len(floors))
+				f, b := idx/blocks, idx%blocks
+				floor := floors[idx].Load()
+				n, err := cc.ReadAt(handles[f], got, uint64(b)*bs)
+				if err != nil && err != io.EOF {
+					errs[writers+r] = fmt.Errorf("wload: storm reader %d: %w", r, err)
+					return
+				}
+				if n != cfg.IOSize {
+					errs[writers+r] = fmt.Errorf("wload: storm reader %d: short read %d at %s blk %d", r, n, fileName(f), b)
+					return
+				}
+				gf := binary.LittleEndian.Uint32(got[0:])
+				gb := binary.LittleEndian.Uint32(got[4:])
+				seq := binary.LittleEndian.Uint64(got[8:])
+				stormFill(want, f, b, seq)
+				switch {
+				case int(gf) != f || int(gb) != b || !bytes.Equal(got, want):
+					recordStale(fmt.Errorf("wload: storm %s blk %d: corrupt payload (claims file %d blk %d seq %d)", fileName(f), b, gf, gb, seq))
+				case seq < floor:
+					recordStale(fmt.Errorf("wload: storm %s blk %d: stale read seq %d < acked floor %d", fileName(f), b, seq, floor))
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	migWG.Wait()
+
+	rep.Reads = reads.Load()
+	rep.Writes = writes.Load()
+	rep.Migrations = migs.Load()
+	rep.StaleReads = stale.Load()
+	rep.Hits, rep.Misses, rep.Invalidations, _, _ = cache.Stats()
+	for _, err := range errs {
+		if err != nil {
+			return rep, err
+		}
+	}
+	if rep.StaleReads > 0 {
+		return rep, staleErr
+	}
+	return rep, nil
+}

@@ -1,0 +1,149 @@
+package wload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+	"repro/internal/rangestore"
+)
+
+// mapDialer serves dialed connections from one in-process map-placement
+// sharded server — the placement MIGRATE needs.
+func mapDialer(t *testing.T, shards int) Dialer {
+	t.Helper()
+	store := pfs.NewShardedPlacement(shards, nil, pfs.NewMapPlacement(nil))
+	srv := rangestore.NewServerSharded(store)
+	t.Cleanup(func() { srv.Close() })
+	return pipeDialer(t, srv)
+}
+
+// TestRunCachedWarmHitRate: a warm zipf read-heavy run over a budget
+// that holds the working set must report a hit rate above one half —
+// the ISSUE's acceptance bar for the cache being real.
+func TestRunCachedWarmHitRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Mix:      Mixes[0], // read-heavy
+		Files:    4,
+		FileSize: 64 << 10,
+		IOSize:   1024,
+		Workers:  3,
+		Ops:      900,
+		ZipfFile: 1.2,
+		ZipfOff:  1.1,
+
+		CacheBytes:    1 << 20, // holds all 4 x 64KiB files
+		CacheBlock:    4096,
+		CacheScenario: CacheWarm,
+		Metrics:       reg,
+	}
+	srv := rangestore.NewServer(pfs.New(nil))
+	defer srv.Close()
+	rep, err := Run(cfg, pipeDialer(t, srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cache
+	if c == nil {
+		t.Fatal("cached run produced no cache report")
+	}
+	if c.Scenario != CacheWarm || c.Hits == 0 {
+		t.Fatalf("cache report: %+v", c)
+	}
+	if c.HitRate <= 0.5 {
+		t.Fatalf("warm hit rate %.2f, want > 0.5 (%+v)", c.HitRate, c)
+	}
+	if rep.TotalOps != cfg.Ops || rep.TotalErrs != 0 {
+		t.Fatalf("ops=%d errs=%d", rep.TotalOps, rep.TotalErrs)
+	}
+	// The obs series are registered and live.
+	var hits int64
+	for _, e := range reg.Snapshot().Entries {
+		if e.Name == "cc_hits_total" {
+			hits = e.Value
+		}
+	}
+	if hits == 0 {
+		t.Fatal("cc_hits_total not threaded through the registry")
+	}
+	// The JSON report speaks the same vocabulary the smoke script greps.
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cc_hits_total", "cc_misses_total", "cc_invalidations_total", "cc_bytes", "hit_rate"} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("JSON report missing %q", key)
+		}
+	}
+}
+
+// TestRunCacheScenarioStorm: the storm scenario migrates files mid-run
+// and the report records both the migrations and the invalidations
+// they caused.
+func TestRunCacheScenarioStorm(t *testing.T) {
+	cfg := Config{
+		Mix:      Mixes[0],
+		Files:    4,
+		FileSize: 32 << 10,
+		IOSize:   1024,
+		Workers:  2,
+		Duration: 400 * time.Millisecond,
+		Shards:   4,
+
+		CacheBytes:    1 << 20,
+		CacheBlock:    4096,
+		CacheScenario: CacheStorm,
+		StormInterval: 20 * time.Millisecond,
+	}
+	cfg.Placement = "map"
+	rep, err := Run(cfg, mapDialer(t, cfg.Shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cache
+	if c == nil || c.Migrations == 0 {
+		t.Fatalf("storm run recorded no migrations: %+v", c)
+	}
+	if c.Invalidations == 0 {
+		t.Fatalf("migrations bumped the version but nothing invalidated: %+v", c)
+	}
+}
+
+// TestRunCacheStormNoStaleReads is the coherence acceptance test:
+// cached readers and single-writer-per-block writers race a migration
+// loop, and no read may return data older than the acked floor the
+// reader saw before reading.
+func TestRunCacheStormNoStaleReads(t *testing.T) {
+	cfg := Config{
+		Files:    3,
+		FileSize: 16 << 10,
+		IOSize:   1024,
+		Workers:  4,
+		Duration: 600 * time.Millisecond,
+		Shards:   4,
+		Seed:     42,
+
+		CacheBytes:    4 << 20,
+		StormInterval: 15 * time.Millisecond,
+	}
+	rep, err := RunCacheStorm(cfg, mapDialer(t, cfg.Shards))
+	if err != nil {
+		t.Fatalf("storm verify failed: %v (report %+v)", err, rep)
+	}
+	if rep.StaleReads != 0 {
+		t.Fatalf("stale reads: %d", rep.StaleReads)
+	}
+	if rep.Reads == 0 || rep.Writes == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if rep.Migrations == 0 {
+		t.Fatalf("no migrations fired — the storm never stormed: %+v", rep)
+	}
+	if rep.Hits == 0 {
+		t.Fatalf("no cache hits — the scenario never exercised the cache: %+v", rep)
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/rangestore"
+	"repro/internal/rangestore/ccache"
 	"repro/internal/stats"
 )
 
@@ -120,6 +122,27 @@ type Config struct {
 	// failover. Off, any connection error aborts the run (the strict
 	// default benchmarks want).
 	Redial bool
+
+	// CacheBytes > 0 fronts every worker with a shared client-side read
+	// cache (rangestore.CachingClient) of that byte budget. Cached
+	// workers run synchronously — Pipeline is ignored — and the report
+	// gains a Cache section with hit/miss/invalidation deltas for the
+	// measured window.
+	CacheBytes int64
+	// CacheBlock is the cache's alignment unit (default
+	// ccache.DefaultBlockSize, capped at one request's payload).
+	CacheBlock int
+	// CacheScenario selects what happens around the measured window:
+	// CacheCold (default), CacheWarm (working set pre-read), or
+	// CacheStorm (background migration loop bumps the placement version
+	// mid-run; needs Shards > 1 and map placement).
+	CacheScenario string
+	// StormInterval paces CacheStorm's migrations (default 50ms).
+	StormInterval time.Duration
+	// Metrics, when set with CacheBytes > 0, registers the cache's
+	// cc_* series (cc_hits_total, cc_misses_total,
+	// cc_invalidations_total, cc_evictions_total, cc_bytes) there.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +172,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Mix.total() == 0 {
 		c.Mix = Mixes[0]
+	}
+	if c.CacheBlock <= 0 {
+		c.CacheBlock = ccache.DefaultBlockSize
+	}
+	if c.CacheBlock > rangestore.MaxData {
+		c.CacheBlock = rangestore.MaxData
+	}
+	if c.CacheScenario == "" {
+		c.CacheScenario = CacheCold
+	}
+	if c.StormInterval <= 0 {
+		c.StormInterval = 50 * time.Millisecond
 	}
 	return c
 }
@@ -240,6 +275,9 @@ type Report struct {
 	ShardOps    []int64 `json:"shard_ops,omitempty"`
 	ShardSource string  `json:"shard_source,omitempty"`
 	Placement   string  `json:"placement,omitempty"`
+	// Cache is present when the run used a client-side cache
+	// (Config.CacheBytes > 0): counter deltas over the measured window.
+	Cache *CacheReport `json:"cache,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -284,6 +322,14 @@ func (r *Report) String() string {
 				fmt.Fprintf(&b, ", %s placement", r.Placement)
 			}
 			b.WriteByte(']')
+		}
+		b.WriteByte('\n')
+	}
+	if c := r.Cache; c != nil {
+		fmt.Fprintf(&b, "cache[%s]: hit_rate=%.1f%% hits=%d misses=%d invalidations=%d evictions=%d bytes=%d",
+			c.Scenario, 100*c.HitRate, c.Hits, c.Misses, c.Invalidations, c.Evictions, c.Bytes)
+		if c.Migrations > 0 {
+			fmt.Fprintf(&b, " migrations=%d", c.Migrations)
 		}
 		b.WriteByte('\n')
 	}
@@ -362,8 +408,9 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 	}
 	// Client-side shard prediction only holds for hash placement; under
 	// any other policy the server's own tally is the truth, snapshotted
-	// around the run.
-	predicted := cfg.Placement == "" || cfg.Placement == "hash"
+	// around the run. A client cache also voids prediction: reads served
+	// locally never land on a shard.
+	predicted := (cfg.Placement == "" || cfg.Placement == "hash") && cfg.CacheBytes <= 0
 	var shardOps []atomic.Int64
 	var baseCounts []int64
 	if cfg.Shards > 1 {
@@ -374,6 +421,35 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 			if baseCounts, err = serverShardCounts(dial); err != nil {
 				return nil, fmt.Errorf("wload: server shard counts: %w", err)
 			}
+		}
+	}
+
+	// Cache mode: one shared cache fronts every worker; prewarm and
+	// storm hooks run around the measured window, and counter baselines
+	// exclude setup traffic from the reported deltas.
+	var cache *ccache.Cache
+	var baseHits, baseMisses, baseInval, baseEvict int64
+	var migrations atomic.Int64
+	var stopStorm chan struct{}
+	var stormWG sync.WaitGroup
+	if cfg.CacheBytes > 0 {
+		cache = ccache.New(ccache.Config{MaxBytes: cfg.CacheBytes, BlockSize: cfg.CacheBlock})
+		if cfg.Metrics != nil {
+			cache.SetMetrics(cfg.Metrics)
+		}
+		if cfg.CacheScenario == CacheWarm {
+			if err := prewarmCache(cfg, dial, cache); err != nil {
+				return nil, err
+			}
+		}
+		baseHits, baseMisses, baseInval, baseEvict, _ = cache.Stats()
+		if cfg.CacheScenario == CacheStorm {
+			stopStorm = make(chan struct{})
+			stormWG.Add(1)
+			go func() {
+				defer stormWG.Done()
+				stormMigrator(cfg, dial, &migrations, stopStorm)
+			}()
 		}
 	}
 
@@ -391,12 +467,22 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if err := runWorker(cfg, dial, recs, shardOps, &remaining, deadline, cfg.Seed+int64(w)*7919); err != nil {
+			var err error
+			if cache != nil {
+				err = runCachedWorker(cfg, dial, cache, recs, &remaining, deadline, cfg.Seed+int64(w)*7919)
+			} else {
+				err = runWorker(cfg, dial, recs, shardOps, &remaining, deadline, cfg.Seed+int64(w)*7919)
+			}
+			if err != nil {
 				errs <- err
 			}
 		}(w)
 	}
 	wg.Wait()
+	if stopStorm != nil {
+		close(stopStorm)
+		stormWG.Wait()
+	}
 	close(errs)
 	if err := <-errs; err != nil {
 		return nil, err
@@ -459,6 +545,24 @@ func Run(cfg Config, dial Dialer) (*Report, error) {
 			rep.ShardOps[i] = end[i] - baseCounts[i]
 		}
 		rep.ShardSource = "server"
+	}
+	if cache != nil {
+		hits, misses, inval, evict, bytes := cache.Stats()
+		cr := &CacheReport{
+			Scenario:      cfg.CacheScenario,
+			BlockSize:     cfg.CacheBlock,
+			MaxBytes:      cfg.CacheBytes,
+			Hits:          hits - baseHits,
+			Misses:        misses - baseMisses,
+			Invalidations: inval - baseInval,
+			Evictions:     evict - baseEvict,
+			Bytes:         bytes,
+			Migrations:    migrations.Load(),
+		}
+		if lookups := cr.Hits + cr.Misses; lookups > 0 {
+			cr.HitRate = float64(cr.Hits) / float64(lookups)
+		}
+		rep.Cache = cr
 	}
 	return rep, nil
 }

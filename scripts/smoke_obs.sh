@@ -81,4 +81,26 @@ done
 # pprof must answer on the same listener.
 curl -fs "http://127.0.0.1:$HTTP/debug/pprof/cmdline" >/dev/null
 
+# Client-cache smoke: a warm read-heavy run through the client-side
+# cache must report real hits and a hit rate above one half in the
+# JSON report (keys match the cc_* obs series names).
+"$dir/rangeload" -addr "127.0.0.1:$PORT" -mix read-heavy -workers 4 \
+    -duration 2s -shards 4 -placement map \
+    -client-cache-bytes $((64 * 1024 * 1024)) -cache-scenario warm \
+    -report json -out "$dir/cache.json"
+cc_hits=$(python3 -c "import json; print(json.load(open('$dir/cache.json'))['cache']['cc_hits_total'])" 2>/dev/null ||
+    grep -o '"cc_hits_total": *[0-9]*' "$dir/cache.json" | grep -o '[0-9]*$')
+if [ -z "$cc_hits" ] || [ "$cc_hits" -le 0 ]; then
+    echo "FAIL: cc_hits_total is ${cc_hits:-absent} after a warm cached run" >&2
+    cat "$dir/cache.json" >&2
+    exit 1
+fi
+hit_rate=$(grep -o '"hit_rate": *[0-9.]*' "$dir/cache.json" | grep -o '[0-9.]*$')
+if [ -z "$hit_rate" ] || ! awk -v r="$hit_rate" 'BEGIN{exit !(r > 0.5)}'; then
+    echo "FAIL: warm cache hit_rate is ${hit_rate:-absent}, want > 0.5" >&2
+    cat "$dir/cache.json" >&2
+    exit 1
+fi
+echo "client cache: hits=$cc_hits hit_rate=$hit_rate"
+
 echo "observability smoke OK"
